@@ -1,0 +1,95 @@
+//! Ablations of the reproduction's own design choices (DESIGN.md §5):
+//!
+//! * composite stencil driver vs the equivalent explicit CSHIFT
+//!   composition (same arithmetic, different instrumentation/fusion);
+//! * instrumentation overhead: a run with full accounting vs the raw
+//!   kernel arithmetic;
+//! * virtual machine size: accounting cost is O(1) in `nprocs` for
+//!   shifts but O(n) for router ops — measure both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dpf_array::{DistArray, PAR};
+use dpf_comm::{cshift, gather, star_stencil, stencil, StencilBoundary};
+use dpf_core::{Ctx, Machine};
+
+fn bench_stencil_vs_cshift_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil_ablation");
+    g.sample_size(10);
+    let ctx = Ctx::new(Machine::cm5(32));
+    let n = 512;
+    let a = DistArray::<f64>::from_fn(&ctx, &[n, n], &[PAR, PAR], |i| (i[0] * n + i[1]) as f64);
+    let pts = star_stencil(2, -4.0, 1.0);
+    g.bench_function("composite_driver", |b| {
+        b.iter(|| black_box(stencil(&ctx, &a, &pts, StencilBoundary::Cyclic)))
+    });
+    g.bench_function("explicit_cshifts", |b| {
+        b.iter(|| {
+            let north = cshift(&ctx, &a, 0, -1);
+            let south = cshift(&ctx, &a, 0, 1);
+            let west = cshift(&ctx, &a, 1, -1);
+            let east = cshift(&ctx, &a, 1, 1);
+            let sum = north
+                .zip_map(&ctx, 1, &south, |p, q| p + q)
+                .zip_map(&ctx, 1, &west, |p, q| p + q)
+                .zip_map(&ctx, 1, &east, |p, q| p + q);
+            black_box(a.zip_map(&ctx, 2, &sum, |centre, nb| nb - 4.0 * centre))
+        })
+    });
+    g.finish();
+}
+
+fn bench_accounting_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accounting_overhead");
+    g.sample_size(10);
+    let n = 1 << 18;
+    // Instrumented element-wise update.
+    let ctx = Ctx::new(Machine::cm5(32));
+    let a = DistArray::<f64>::from_fn(&ctx, &[n], &[PAR], |i| i[0] as f64);
+    g.bench_function("instrumented_axpy", |b| {
+        let mut y = DistArray::<f64>::zeros(&ctx, &[n], &[PAR]);
+        b.iter(|| {
+            y.zip_inplace(&ctx, 2, &a, |yi, ai| *yi += 1.0001 * ai);
+            black_box(y.as_slice()[0])
+        })
+    });
+    // Raw slice arithmetic (no context, no accounting).
+    g.bench_function("raw_axpy", |b| {
+        let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut dst = vec![0.0f64; n];
+        b.iter(|| {
+            for (d, s) in dst.iter_mut().zip(&src) {
+                *d += 1.0001 * s;
+            }
+            black_box(dst[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_router_accounting_vs_machine_size(c: &mut Criterion) {
+    // gather's exact owner comparison is O(n) regardless of P; confirm
+    // the virtual machine size doesn't change the cost.
+    let mut g = c.benchmark_group("router_accounting");
+    g.sample_size(10);
+    let n = 1 << 16;
+    for procs in [1usize, 32, 1024] {
+        let ctx = Ctx::new(Machine::cm5(procs));
+        let src = DistArray::<f64>::from_fn(&ctx, &[n], &[PAR], |i| i[0] as f64);
+        let idx =
+            DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], move |i| ((i[0] * 131) % n) as i32);
+        g.bench_with_input(BenchmarkId::new("gather", procs), &procs, |b, _| {
+            b.iter(|| black_box(gather(&ctx, &src, &idx)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stencil_vs_cshift_composition,
+    bench_accounting_overhead,
+    bench_router_accounting_vs_machine_size
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for the DPF suite; benches live in `benches/`.

@@ -1,0 +1,178 @@
+//! `diff-1D` — the 1-D diffusion equation via an implicit tridiagonal
+//! solver.
+//!
+//! Table 5: `x(:)` 1-D parallel. Table 6: `13 n_x + 4P log P − 8` FLOPs
+//! per iteration, memory `32 n_x` bytes (d — four double vectors),
+//! communication **1 3-point Stencil** (the right-hand side) plus the
+//! substructured tridiagonal solve (here parallel cyclic reduction, the
+//! same substructuring family), no local axes.
+//!
+//! Crank–Nicolson time stepping: `(I − ½λΔ) u^{k+1} = (I + ½λΔ) u^k`
+//! with Dirichlet boundaries — the RHS is the 3-point stencil, the LHS
+//! a constant tridiagonal system solved each step.
+
+use dpf_array::{DistArray, PAR};
+use dpf_comm::{stencil, StencilBoundary, StencilPoint};
+use dpf_core::{Ctx, Verify};
+use dpf_linalg::pcr::{pcr_solve, Tridiag};
+use dpf_linalg::reference::thomas;
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Grid points.
+    pub nx: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// Diffusion number `λ = D·Δt/Δx²`.
+    pub lambda: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { nx: 256, steps: 8, lambda: 0.4 }
+    }
+}
+
+/// Run the benchmark; returns the final field and verification against a
+/// serial Crank–Nicolson integration.
+pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
+    let n = p.nx;
+    let lam = p.lambda;
+    // Initial condition: a sine mode (Dirichlet-compatible).
+    let mut u = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
+        (std::f64::consts::PI * (i[0] + 1) as f64 / (n + 1) as f64).sin()
+    })
+    .declare(ctx);
+    // Constant implicit system (I − ½λ Δ).
+    let sys_l = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
+        if i[0] == 0 {
+            0.0
+        } else {
+            -0.5 * lam
+        }
+    })
+    .declare(ctx);
+    let sys_d = DistArray::<f64>::full(ctx, &[n], &[PAR], 1.0 + lam).declare(ctx);
+    let sys_u = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
+        if i[0] + 1 == n {
+            0.0
+        } else {
+            -0.5 * lam
+        }
+    })
+    .declare(ctx);
+
+    // Serial reference mirror.
+    let mut u_ref = u.to_vec();
+
+    let rhs_pts = vec![
+        StencilPoint::new(&[-1], 0.5 * lam),
+        StencilPoint::new(&[0], 1.0 - lam),
+        StencilPoint::new(&[1], 0.5 * lam),
+    ];
+    for _ in 0..p.steps {
+        // RHS: the 3-point stencil with Dirichlet-0 ends.
+        let rhs = stencil(ctx, &u, &rhs_pts, StencilBoundary::Fixed(0.0));
+        // Substructured tridiagonal solve.
+        let sys = Tridiag {
+            lower: sys_l.clone(),
+            diag: sys_d.clone(),
+            upper: sys_u.clone(),
+            rhs,
+        };
+        u = pcr_solve(ctx, &sys);
+
+        // Reference step.
+        let rl: Vec<f64> = (0..n)
+            .map(|i| {
+                let lo = if i > 0 { u_ref[i - 1] } else { 0.0 };
+                let hi = if i + 1 < n { u_ref[i + 1] } else { 0.0 };
+                0.5 * lam * (lo + hi) + (1.0 - lam) * u_ref[i]
+            })
+            .collect();
+        let tl: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -0.5 * lam }).collect();
+        let td = vec![1.0 + lam; n];
+        let tu: Vec<f64> =
+            (0..n).map(|i| if i + 1 == n { 0.0 } else { -0.5 * lam }).collect();
+        u_ref = thomas(&tl, &td, &tu, &rl);
+    }
+    let worst = u
+        .as_slice()
+        .iter()
+        .zip(&u_ref)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let verify = Verify::check("diff-1D vs serial CN", worst, 1e-9);
+    (u, verify)
+}
+
+/// The analytic decay factor of the first sine mode after `steps` of
+/// Crank–Nicolson: `((1 − λ(1 − cos θ)) / (1 + λ(1 − cos θ)))^steps`.
+pub fn analytic_mode_decay(p: &Params) -> f64 {
+    let theta = std::f64::consts::PI / (p.nx + 1) as f64;
+    let g = 2.0 * p.lambda * (1.0 - theta.cos());
+    ((1.0 - 0.5 * g) / (1.0 + 0.5 * g)).powi(p.steps as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::{CommPattern, Machine};
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn matches_serial_crank_nicolson() {
+        let ctx = ctx();
+        let (_, v) = run(&ctx, &Params { nx: 64, steps: 5, lambda: 0.4 });
+        assert!(v.is_pass(), "{v}");
+    }
+
+    #[test]
+    fn sine_mode_decays_at_analytic_rate() {
+        let ctx = ctx();
+        let p = Params { nx: 128, steps: 10, lambda: 0.3 };
+        let (u, _) = run(&ctx, &p);
+        // The initial condition is exactly the first eigenmode, so the
+        // field stays proportional to it with the analytic decay factor.
+        let factor = analytic_mode_decay(&p);
+        let mid = u.as_slice()[64 - 1];
+        let init = (std::f64::consts::PI * 64.0 / 129.0).sin();
+        assert!(
+            (mid - factor * init).abs() < 1e-9,
+            "mid {mid} vs analytic {}",
+            factor * init
+        );
+    }
+
+    #[test]
+    fn records_stencil_and_cshift_patterns() {
+        let ctx = ctx();
+        let _ = run(&ctx, &Params { nx: 32, steps: 3, lambda: 0.4 });
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Stencil), 3);
+        // PCR contributes 2·ceil(log2 n) cshifts per step.
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 3 * 2 * 5);
+    }
+
+    #[test]
+    fn memory_is_32nx() {
+        let ctx = ctx();
+        let p = Params { nx: 100, steps: 0, lambda: 0.4 };
+        let _ = run(&ctx, &p);
+        // u + the three tridiagonal coefficient vectors = 4 × 8 n.
+        assert_eq!(ctx.instr.declared_bytes(), 32 * 100);
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        let ctx = ctx();
+        let (u, _) = run(&ctx, &Params { nx: 64, steps: 20, lambda: 0.45 });
+        // Diffusion with zero boundaries keeps 0 <= u <= max(initial).
+        for &x in u.as_slice() {
+            assert!(x >= -1e-12 && x <= 1.0 + 1e-12);
+        }
+    }
+}

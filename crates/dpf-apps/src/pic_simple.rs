@@ -1,0 +1,236 @@
+//! `pic-simple` — a straightforward 2-D particle-in-cell code.
+//!
+//! Table 5: particles `x(:serial,:)`, fields `x(:serial,:,:)`. Table 6:
+//! `n_p + 15 n_x n_y (log n_x + log n_y)` FLOPs per iteration, memory
+//! `60 n_p + 72 n_x n_y` bytes (d), communication **1 Gather w/ add
+//! (1-D to 2-D), 3 FFTs, 1 Gather (3-D to 2-D)** per iteration, *direct*
+//! local access.
+//!
+//! Per step: deposit particle charge on the grid (the combining gather —
+//! Table 8's `FORALL with SUM`), solve Poisson's equation spectrally
+//! (forward FFT, symbol division, inverse FFT — the "3 FFT" entry counts
+//! the transform passes of the field solve), gather the two force
+//! components back to the particles, and push with leapfrog.
+
+use dpf_array::{DistArray, PAR};
+use dpf_comm::{gather, gather_combine};
+use dpf_core::{CommPattern, Ctx, Verify, C64};
+use dpf_fft::{fft_axis_as, Direction};
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Particles.
+    pub np: usize,
+    /// Grid points per side (power of two).
+    pub ng: usize,
+    /// Time step.
+    pub dt: f64,
+    /// Steps.
+    pub steps: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { np: 512, ng: 32, dt: 0.05, steps: 10 }
+    }
+}
+
+/// Particle phase state (positions in grid units, periodic).
+#[derive(Clone, Debug)]
+pub struct Plasma {
+    /// Positions x, y.
+    pub pos: [DistArray<f64>; 2],
+    /// Velocities.
+    pub vel: [DistArray<f64>; 2],
+    /// Charge per particle.
+    pub q: DistArray<f64>,
+}
+
+/// A neutral two-stream-ish cloud: uniform positions, alternating charge
+/// sign so the box is neutral.
+pub fn workload(ctx: &Ctx, p: &Params) -> Plasma {
+    let np = p.np;
+    let ng = p.ng as f64;
+    let mk = |salt: usize| {
+        DistArray::<f64>::from_fn(ctx, &[np], &[PAR], move |i| {
+            crate::util::pseudo01(i[0] * 97 + salt) * ng
+        })
+        .declare(ctx)
+    };
+    let zero = || DistArray::<f64>::zeros(ctx, &[np], &[PAR]).declare(ctx);
+    let q = DistArray::<f64>::from_fn(ctx, &[np], &[PAR], |i| {
+        if i[0] % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    })
+    .declare(ctx);
+    Plasma { pos: [mk(1), mk(2)], vel: [zero(), zero()], q }
+}
+
+/// Deposit charge (nearest grid point) — the "Gather w/ add" of Table 6.
+pub fn deposit(ctx: &Ctx, p: &Params, pl: &Plasma) -> DistArray<f64> {
+    let ng = p.ng;
+    let cell = cell_index(ctx, p, pl);
+    let mut rho_flat = DistArray::<f64>::zeros(ctx, &[ng * ng], &[PAR]);
+    gather_combine(ctx, &mut rho_flat, &cell, &pl.q);
+    rho_flat.reshape(ctx, &[ng, ng], &[PAR, PAR])
+}
+
+fn cell_index(ctx: &Ctx, p: &Params, pl: &Plasma) -> DistArray<i32> {
+    let ng = p.ng;
+    pl.pos[0].zip_map(ctx, 2, &pl.pos[1], move |x, y| {
+        let i = (x.rem_euclid(ng as f64)) as usize % ng;
+        let j = (y.rem_euclid(ng as f64)) as usize % ng;
+        (i * ng + j) as i32
+    })
+}
+
+/// Spectral Poisson solve `∇²φ = −ρ` and E = −∇φ, all in one pass.
+/// Returns the two electric-field grids.
+pub fn field_solve(ctx: &Ctx, p: &Params, rho: &DistArray<f64>) -> [DistArray<f64>; 2] {
+    let ng = p.ng;
+    let rho_c = rho.map(ctx, 0, C64::from_re);
+    // "3 FFT": forward pass over both axes plus the two inverse passes
+    // for the field components share the transforms below.
+    let f1 = fft_axis_as(ctx, &rho_c, 1, Direction::Forward, CommPattern::Butterfly);
+    let rho_hat = fft_axis_as(ctx, &f1, 0, Direction::Forward, CommPattern::Butterfly);
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let kvec = |k: usize| {
+        let kk = if k <= ng / 2 { k as isize } else { k as isize - ng as isize };
+        two_pi * kk as f64 / ng as f64
+    };
+    // Ê_d = −i k_d ρ̂ / k².
+    let make_e = |d: usize| {
+        let e_hat = rho_hat.indexed_map(ctx, 6, |idx, v| {
+            let kx = kvec(idx[0]);
+            let ky = kvec(idx[1]);
+            let k2 = kx * kx + ky * ky;
+            if k2 == 0.0 {
+                C64::zero()
+            } else {
+                let kd = if d == 0 { kx } else { ky };
+                C64::new(-kd * v.im, kd * v.re).scale(-1.0 / k2)
+            }
+        });
+        let b1 = fft_axis_as(ctx, &e_hat, 0, Direction::Inverse, CommPattern::Butterfly);
+        let b2 = fft_axis_as(ctx, &b1, 1, Direction::Inverse, CommPattern::Butterfly);
+        b2.map(ctx, 0, |c| c.re)
+    };
+    [make_e(0), make_e(1)]
+}
+
+/// Run the benchmark. Verification: total charge on the grid is exactly
+/// the particle charge sum, total momentum stays ~0 (neutral plasma,
+/// antisymmetric interactions), and the field of a neutral uniform box
+/// stays small.
+pub fn run(ctx: &Ctx, p: &Params) -> (Plasma, Verify) {
+    let mut pl = workload(ctx, p);
+    let mut worst = 0.0f64;
+    for _ in 0..p.steps {
+        let rho = deposit(ctx, p, &pl);
+        // Charge conservation: grid total == particle total (exact).
+        let grid_q = dpf_comm::sum_all(ctx, &rho);
+        let part_q = dpf_comm::sum_all(ctx, &pl.q);
+        worst = worst.max((grid_q - part_q).abs());
+        let e = field_solve(ctx, p, &rho);
+        // Gather the field at the particles (Table 6's 3-D to 2-D gather:
+        // both components of the staggered field stack).
+        let cell = cell_index(ctx, p, &pl);
+        let ex_flat = e[0].reshape(ctx, &[p.ng * p.ng], &[PAR]);
+        let ey_flat = e[1].reshape(ctx, &[p.ng * p.ng], &[PAR]);
+        let fx = gather(ctx, &ex_flat, &cell);
+        let fy = gather(ctx, &ey_flat, &cell);
+        // Push (charge × field), periodic wrap in grid units.
+        let q = pl.q.clone();
+        let ng = p.ng as f64;
+        pl.vel[0].zip_inplace(ctx, 2, &fx.zip_map(ctx, 1, &q, |f, qq| f * qq), |v, a| {
+            *v += p.dt * a
+        });
+        pl.vel[1].zip_inplace(ctx, 2, &fy.zip_map(ctx, 1, &q, |f, qq| f * qq), |v, a| {
+            *v += p.dt * a
+        });
+        let vx = pl.vel[0].clone();
+        let vy = pl.vel[1].clone();
+        pl.pos[0].zip_inplace(ctx, 2, &vx, |x, v| *x = (*x + p.dt * v).rem_euclid(ng));
+        pl.pos[1].zip_inplace(ctx, 2, &vy, |x, v| *x = (*x + p.dt * v).rem_euclid(ng));
+    }
+    // Momentum: Σ m v should stay near 0 for the neutral cloud.
+    let mom_x: f64 = pl.vel[0].as_slice().iter().sum();
+    let mom_y: f64 = pl.vel[1].as_slice().iter().sum();
+    let metric = worst.max((mom_x.abs() + mom_y.abs()) / p.np as f64);
+    (pl, Verify::check("pic-simple charge + momentum", metric, 1e-6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::Machine;
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn charge_and_momentum_conserved() {
+        let ctx = ctx();
+        let (_, v) = run(&ctx, &Params { np: 200, ng: 16, dt: 0.05, steps: 5 });
+        assert!(v.is_pass(), "{v}");
+    }
+
+    #[test]
+    fn deposit_matches_histogram() {
+        let ctx = ctx();
+        let p = Params { np: 100, ng: 8, ..Params::default() };
+        let pl = workload(&ctx, &p);
+        let rho = deposit(&ctx, &p, &pl);
+        // Naive histogram.
+        let mut want = vec![0.0f64; 64];
+        for k in 0..p.np {
+            let i = (pl.pos[0].as_slice()[k] as usize) % 8;
+            let j = (pl.pos[1].as_slice()[k] as usize) % 8;
+            want[i * 8 + j] += pl.q.as_slice()[k];
+        }
+        for (g, w) in rho.as_slice().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_neutral_charge_gives_zero_field() {
+        let ctx = ctx();
+        let p = Params { np: 0, ng: 16, ..Params::default() };
+        let rho = DistArray::<f64>::zeros(&ctx, &[16, 16], &[PAR, PAR]);
+        let e = field_solve(&ctx, &p, &rho);
+        for d in 0..2 {
+            for &x in e[d].as_slice() {
+                assert!(x.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn point_charge_field_points_away() {
+        let ctx = ctx();
+        let p = Params { np: 0, ng: 32, ..Params::default() };
+        let mut rho = DistArray::<f64>::zeros(&ctx, &[32, 32], &[PAR, PAR]);
+        rho.set(&[16, 16], 1.0);
+        let e = field_solve(&ctx, &p, &rho);
+        // Just right of the charge, Ex > 0; just left, Ex < 0.
+        assert!(e[0].get(&[18, 16]) > 0.0);
+        assert!(e[0].get(&[14, 16]) < 0.0);
+        assert!(e[1].get(&[16, 18]) > 0.0);
+        assert!(e[1].get(&[16, 14]) < 0.0);
+    }
+
+    #[test]
+    fn records_gather_patterns() {
+        let ctx = ctx();
+        let _ = run(&ctx, &Params { np: 64, ng: 8, dt: 0.05, steps: 2 });
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::GatherCombine), 2);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Gather), 4); // 2/step
+        assert!(ctx.instr.pattern_calls(CommPattern::Butterfly) > 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! `qcd-kernel` — a staggered-fermion conjugate gradient kernel for
+//! quantum chromodynamics.
+//!
+//! Table 5: `x(:serial,:,:,:,:,:)` and `x(:serial,:serial,:,:,:,:,:)` —
+//! colour (and colour×colour) serial axes over a 4-D space-time lattice.
+//! Table 6: `606 n_x n_y n_z n_t` FLOPs per iteration, memory
+//! `360 n_x n_y n_z n_t` bytes (s) per instance, **4 CSHIFTs** per
+//! iteration (one per space-time direction; our spelling also shifts the
+//! backward links, recorded), *direct* local access.
+//!
+//! The staggered Dirac operator on SU(3) gauge links:
+//! `(Dψ)(x) = Σ_μ η_μ(x) [U_μ(x) ψ(x+μ̂) − U†_μ(x−μ̂) ψ(x−μ̂)] / 2`.
+//! CG runs on the normal operator `A = D†D + m²` (SPD for anti-Hermitian
+//! `D`).
+
+use dpf_array::{DistArray, PAR, SER};
+use dpf_comm::cshift;
+use dpf_core::{Ctx, Verify, C64};
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Lattice extent per dimension (nx = ny = nz = nt = n).
+    pub n: usize,
+    /// Fermion mass.
+    pub mass: f64,
+    /// CG tolerance.
+    pub tol: f64,
+    /// CG iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 4, mass: 0.5, tol: 1e-10, max_iter: 200 }
+    }
+}
+
+/// A colour field: 3 complex components per site, `(3, n, n, n, n)`.
+pub type Fermion = DistArray<C64>;
+/// A link field: 3×3 complex per site per direction, `(4, 3, 3, n, n, n, n)`.
+pub type Links = DistArray<C64>;
+
+const AXES5: [dpf_array::AxisKind; 5] = [SER, PAR, PAR, PAR, PAR];
+const AXES7: [dpf_array::AxisKind; 7] = [SER, SER, SER, PAR, PAR, PAR, PAR];
+
+/// Random SU(3) gauge configuration (Gram–Schmidt of pseudo-random
+/// complex columns, exactly unitary up to rounding).
+pub fn gauge_field(ctx: &Ctx, n: usize) -> Links {
+    let vol = n * n * n * n;
+    let mut data = vec![C64::zero(); 4 * 9 * vol];
+    for mu in 0..4 {
+        for site in 0..vol {
+            let seed = mu * vol + site;
+            let u = random_su3(seed);
+            for r in 0..3 {
+                for c in 0..3 {
+                    // Layout (mu, r, c, site...): row-major over (4,3,3,vol).
+                    data[((mu * 3 + r) * 3 + c) * vol + site] = u[r][c];
+                }
+            }
+        }
+    }
+    DistArray::<C64>::from_vec(ctx, &[4, 3, 3, n, n, n, n], &AXES7, data).declare(ctx)
+}
+
+fn random_su3(seed: usize) -> [[C64; 3]; 3] {
+    let mut v = [[C64::zero(); 3]; 3];
+    for r in 0..3 {
+        for c in 0..3 {
+            v[r][c] = C64::new(
+                crate::util::pseudo(seed * 18 + r * 6 + c * 2),
+                crate::util::pseudo(seed * 18 + r * 6 + c * 2 + 1),
+            );
+        }
+    }
+    // Gram–Schmidt the rows.
+    for r in 0..3 {
+        for p in 0..r {
+            let mut dot = C64::zero();
+            for c in 0..3 {
+                dot += v[r][c] * v[p][c].conj();
+            }
+            for c in 0..3 {
+                v[r][c] -= dot * v[p][c];
+            }
+        }
+        let norm: f64 = v[r].iter().map(|x| x.abs2()).sum::<f64>().sqrt();
+        for c in 0..3 {
+            v[r][c] = v[r][c].scale(1.0 / norm);
+        }
+    }
+    v
+}
+
+/// Apply the staggered Dirac operator plus mass: `out = D ψ + m ψ`.
+pub fn apply_dirac(ctx: &Ctx, p: &Params, u: &Links, psi: &Fermion) -> Fermion {
+    let n = p.n;
+    let vol = n * n * n * n;
+    let mut out = psi.map(ctx, 2, |v| v.scale(p.mass));
+    for mu in 0..4 {
+        // ψ(x+μ̂) and ψ(x−μ̂): the per-direction CSHIFT pair (Table 6
+        // counts one per direction; the backward shift is the matching
+        // U†-aligned move).
+        let fwd = cshift(ctx, psi, 1 + mu, 1);
+        let bwd = cshift(ctx, psi, 1 + mu, -1);
+        // Links for the backward hop live on the neighbouring site.
+        let u_bwd = cshift(ctx, u, 3 + mu, -1);
+        // SU(3) matvec per site: ~66 real FLOPs each, two per direction,
+        // plus phases and accumulate — Table 6's 606 per site over 4 dirs.
+        ctx.add_flops((vol as u64) * (2 * 66 + 18));
+        ctx.busy(|| {
+            let us = u.as_slice();
+            let ubs = u_bwd.as_slice();
+            let fs = fwd.as_slice();
+            let bs = bwd.as_slice();
+            let os = out.as_mut_slice();
+            for site in 0..vol {
+                let eta = staggered_phase(site, mu, n);
+                for r in 0..3 {
+                    let mut acc = C64::zero();
+                    for c in 0..3 {
+                        let u_f = us[((mu * 3 + r) * 3 + c) * vol + site];
+                        // U†: conjugate transpose indexes (c, r).
+                        let u_b = ubs[((mu * 3 + c) * 3 + r) * vol + site].conj();
+                        acc += u_f * fs[c * vol + site] - u_b * bs[c * vol + site];
+                    }
+                    os[r * vol + site] += acc.scale(0.5 * eta);
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Staggered phase η_μ(x) = (−1)^(x_0 + … + x_{μ−1}).
+fn staggered_phase(site: usize, mu: usize, n: usize) -> f64 {
+    let mut coords = [0usize; 4];
+    let mut s = site;
+    for d in (0..4).rev() {
+        coords[d] = s % n;
+        s /= n;
+    }
+    let sum: usize = coords[..mu].iter().sum();
+    if sum.is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// `D† v`: for anti-Hermitian hopping plus mass, `D† = m − (D − m)`.
+fn apply_dirac_dagger(ctx: &Ctx, p: &Params, u: &Links, v: &Fermion) -> Fermion {
+    let dv = apply_dirac(ctx, p, u, v);
+    // D† v = 2 m v − D v.
+    v.zip_map(ctx, 4, &dv, |vi, dvi| vi.scale(2.0 * p.mass) - dvi)
+}
+
+fn fdot(ctx: &Ctx, a: &Fermion, b: &Fermion) -> f64 {
+    // Re⟨a, b⟩ — the quantity CG needs for Hermitian positive systems.
+    ctx.add_flops(4 * a.len() as u64);
+    ctx.record_comm(dpf_core::CommPattern::Reduction, a.rank(), 0, a.len() as u64, 0);
+    ctx.busy(|| {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x.re * y.re + x.im * y.im)
+            .sum()
+    })
+}
+
+/// Solve `(D†D) x = b` by CG; returns (x, iterations, final residual).
+pub fn cg_normal(
+    ctx: &Ctx,
+    p: &Params,
+    u: &Links,
+    b: &Fermion,
+) -> (Fermion, usize, f64) {
+    let apply = |ctx: &Ctx, v: &Fermion| -> Fermion {
+        let dv = apply_dirac(ctx, p, u, v);
+        apply_dirac_dagger(ctx, p, u, &dv)
+    };
+    let mut x = DistArray::<C64>::zeros(ctx, b.shape(), b.layout().axes());
+    let mut r = b.clone();
+    let mut pv = r.clone();
+    let mut rho = fdot(ctx, &r, &r);
+    let mut iters = 0;
+    while rho.sqrt() > p.tol && iters < p.max_iter {
+        let q = apply(ctx, &pv);
+        let alpha = rho / fdot(ctx, &pv, &q);
+        x.zip_inplace(ctx, 4, &pv, |xi, pi| *xi += pi.scale(alpha));
+        r.zip_inplace(ctx, 4, &q, |ri, qi| *ri -= qi.scale(alpha));
+        let rho_new = fdot(ctx, &r, &r);
+        let beta = rho_new / rho;
+        pv = r.zip_map(ctx, 4, &pv, |ri, pi| ri + pi.scale(beta));
+        rho = rho_new;
+        iters += 1;
+    }
+    (x, iters, rho.sqrt())
+}
+
+/// Run the benchmark; verification applies `D†D` to the solution and
+/// compares with the right-hand side.
+pub fn run(ctx: &Ctx, p: &Params) -> (Fermion, usize, Verify) {
+    let n = p.n;
+    let u = gauge_field(ctx, n);
+    let b = DistArray::<C64>::from_fn(ctx, &[3, n, n, n, n], &AXES5, |idx| {
+        let s: usize = idx.iter().enumerate().map(|(d, &i)| i * (17 * d + 3)).sum();
+        C64::new(crate::util::pseudo(s), crate::util::pseudo(s + 1))
+    })
+    .declare(ctx);
+    let (x, iters, _res) = cg_normal(ctx, p, &u, &b);
+    let dx = apply_dirac(ctx, p, &u, &x);
+    let ax = apply_dirac_dagger(ctx, p, &u, &dx);
+    let worst = ax
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(g, w)| (*g - *w).abs())
+        .fold(0.0, f64::max);
+    (x, iters, Verify::check("qcd D†D x = b residual", worst, 1e-7))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::{CommPattern, Machine};
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn links_are_unitary() {
+        let u = random_su3(1234);
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut dot = C64::zero();
+                for k in 0..3 {
+                    dot += u[r][k] * u[c][k].conj();
+                }
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((dot.re - want).abs() < 1e-12 && dot.im.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dirac_hopping_is_antihermitian() {
+        // ⟨a, (D−m) b⟩ = −⟨(D−m) a, b⟩ in the real inner product.
+        let ctx = ctx();
+        let p = Params { n: 2, mass: 0.0, ..Params::default() };
+        let u = gauge_field(&ctx, p.n);
+        let mk = |salt: usize| {
+            DistArray::<C64>::from_fn(&ctx, &[3, 2, 2, 2, 2], &AXES5, move |idx| {
+                let s: usize =
+                    idx.iter().enumerate().map(|(d, &i)| i * (29 * d + 7) + salt).sum();
+                C64::new(crate::util::pseudo(s), crate::util::pseudo(s + 2))
+            })
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let da = apply_dirac(&ctx, &p, &u, &a);
+        let db = apply_dirac(&ctx, &p, &u, &b);
+        let lhs = fdot(&ctx, &a, &db);
+        let rhs = -fdot(&ctx, &da, &b);
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn cg_solves_the_normal_system() {
+        let ctx = ctx();
+        let (_, iters, v) = run(&ctx, &Params { n: 2, mass: 0.5, tol: 1e-11, max_iter: 400 });
+        assert!(v.is_pass(), "{v}");
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn free_field_mass_term_only() {
+        // With the identity gauge field... here: mass dominates — apply D
+        // to a constant colour field with m and check the mass part.
+        let ctx = ctx();
+        let p = Params { n: 2, mass: 2.0, ..Params::default() };
+        let u = gauge_field(&ctx, p.n);
+        let psi = DistArray::<C64>::full(&ctx, &[3, 2, 2, 2, 2], &AXES5, C64::one());
+        let out = apply_dirac(&ctx, &p, &u, &psi);
+        // Each output = 2·ψ + hopping; verify against a direct site-0
+        // evaluation.
+        let vol = 16;
+        let mut want = C64::new(2.0, 0.0);
+        for mu in 0..4 {
+            // site 0, eta = +1 for all mu at the origin.
+            for c in 0..3 {
+                let u_f = u.as_slice()[((mu * 3) * 3 + c) * vol]; // r = 0, site 0
+                // Backward neighbour site of 0 in direction mu.
+                let n = p.n;
+                let mut coords = [0usize; 4];
+                coords[mu] = n - 1;
+                let site_b =
+                    ((coords[0] * n + coords[1]) * n + coords[2]) * n + coords[3];
+                let u_b = u.as_slice()[((mu * 3 + c) * 3) * vol + site_b].conj();
+                want += (u_f - u_b).scale(0.5);
+            }
+        }
+        let got = out.as_slice()[0];
+        assert!((got - want).abs() < 1e-10, "{got:?} vs {want:?}");
+    }
+
+    #[test]
+    fn cshift_count_per_dirac_application() {
+        let ctx = ctx();
+        let p = Params { n: 2, ..Params::default() };
+        let u = gauge_field(&ctx, p.n);
+        let psi = DistArray::<C64>::full(&ctx, &[3, 2, 2, 2, 2], &AXES5, C64::one());
+        let _ = apply_dirac(&ctx, &p, &u, &psi);
+        // 3 shifts per direction (ψ forward, ψ backward, U backward).
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 12);
+    }
+}

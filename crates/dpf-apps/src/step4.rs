@@ -1,0 +1,340 @@
+//! `step4` — an explicit finite difference method in 2-D with wide
+//! (16-point) stencils.
+//!
+//! Table 5: `x(:serial,:,:)` — a field axis over the 2-D grid. Table 6:
+//! memory `500 n_x n_y` bytes (s), communication **128 CSHIFTs = 8
+//! 16-point stencils built from chained CSHIFTs** (Table 8's
+//! step4-specific technique) per iteration, *direct* local access.
+//!
+//! Leapfrog for a wide-stencil 2-D wave operator on four independent
+//! shot fields: each field's update applies two directional 16-point
+//! stencils, each spelled as a *chained* spanning tree of exactly 16
+//! CSHIFTs (every stencil point is one shift from an already-shifted
+//! intermediate) — 4 fields × 2 stencils × 16 = 128 CSHIFTs per step.
+
+use dpf_array::{DistArray, PAR};
+use dpf_comm::cshift;
+use dpf_core::{Ctx, Verify};
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Grid extent per side.
+    pub n: usize,
+    /// Courant number (stability needs ≲ 0.6 for this stencil).
+    pub courant: f64,
+    /// Time steps.
+    pub steps: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 48, courant: 0.4, steps: 12 }
+    }
+}
+
+/// Number of independent shot fields.
+pub const FIELDS: usize = 4;
+
+/// Off-centre weight total of one directional stencil (the centre tap of
+/// the combined operator is −2 × this, making constants fixed points).
+pub const PASS_SUM: f64 = 2.5;
+
+/// One directional 16-point stencil via a chained spanning tree of
+/// exactly 16 CSHIFTs: 4 taps along `axis` (±1, ±2), 4 transverse taps,
+/// 4 near diagonals (±1,±1) and 4 far diagonals (±2,±2), each produced
+/// by a single shift of an already-shifted intermediate.
+pub fn stencil16(ctx: &Ctx, u: &DistArray<f64>, axis: usize) -> DistArray<f64> {
+    let t = 1 - axis;
+    let mut acc = DistArray::<f64>::zeros(ctx, u.shape(), u.layout().axes());
+    let mut add = |arr: &DistArray<f64>, w: f64| {
+        acc.zip_inplace(ctx, 2, arr, move |a, x| *a += w * x);
+    };
+    // Along-axis chain: u -> +1 -> +2 and u -> −1 -> −2. (4 shifts)
+    let a1 = cshift(ctx, u, axis, 1);
+    let a2 = cshift(ctx, &a1, axis, 1);
+    let am1 = cshift(ctx, u, axis, -1);
+    let am2 = cshift(ctx, &am1, axis, -1);
+    add(&a1, 1.0);
+    add(&am1, 1.0);
+    add(&a2, -0.05);
+    add(&am2, -0.05);
+    // Transverse chain. (4 shifts)
+    let t1 = cshift(ctx, u, t, 1);
+    let t2 = cshift(ctx, &t1, t, 1);
+    let tm1 = cshift(ctx, u, t, -1);
+    let tm2 = cshift(ctx, &tm1, t, -1);
+    add(&t1, 0.2);
+    add(&tm1, 0.2);
+    add(&t2, -0.025);
+    add(&tm2, -0.025);
+    // Near diagonals chained off the ±1 rows. (4 shifts)
+    for (row, dt) in [(&a1, 1isize), (&a1, -1), (&am1, 1), (&am1, -1)] {
+        let d = cshift(ctx, row, t, dt);
+        add(&d, 0.05);
+    }
+    // Far diagonals chained off the ±2 rows. (4 shifts)
+    for (row, dt) in [(&a2, 2isize), (&a2, -2), (&am2, 2), (&am2, -2)] {
+        let d = cshift(ctx, row, t, dt);
+        add(&d, 0.0125);
+    }
+    acc
+}
+
+/// State: current and previous snapshots of the four fields.
+pub struct State {
+    /// u(t), one (n, n) grid per field.
+    pub now: Vec<DistArray<f64>>,
+    /// u(t−Δt).
+    pub prev: Vec<DistArray<f64>>,
+}
+
+/// Gaussian pulses, one per field, at staggered positions.
+pub fn workload(ctx: &Ctx, p: &Params) -> State {
+    let n = p.n;
+    let mk = |f: usize| {
+        DistArray::<f64>::from_fn(ctx, &[n, n], &[PAR, PAR], move |i| {
+            let cx = (n / 4 + (f % 2) * n / 2) as f64;
+            let cy = (n / 4 + (f / 2) * n / 2) as f64;
+            let dx = i[0] as f64 - cx;
+            let dy = i[1] as f64 - cy;
+            (-(dx * dx + dy * dy) / 18.0).exp()
+        })
+        .declare(ctx)
+    };
+    let now: Vec<_> = (0..FIELDS).map(mk).collect();
+    let prev = now.iter().map(|a| a.clone().declare(ctx)).collect();
+    State { now, prev }
+}
+
+/// One leapfrog step over all fields (8 stencils, 128 CSHIFTs).
+pub fn step(ctx: &Ctx, p: &Params, st: &mut State) {
+    let c2 = p.courant * p.courant;
+    for f in 0..FIELDS {
+        let lx = stencil16(ctx, &st.now[f], 0);
+        let ly = stencil16(ctx, &st.now[f], 1);
+        let lap = lx
+            .zip_map(ctx, 1, &ly, |a, b| a + b)
+            .zip_map(ctx, 2, &st.now[f], |l, u| l - 2.0 * PASS_SUM * u);
+        let next = st.now[f]
+            .zip_map(ctx, 2, &st.prev[f], |u, up| 2.0 * u - up)
+            .zip_map(ctx, 2, &lap, move |v, l| v + c2 * l);
+        st.prev[f] = std::mem::replace(&mut st.now[f], next);
+    }
+}
+
+/// Run the benchmark. Verification: the stencil's zero-sum property makes
+/// the spatial mean of each field exactly conserved, and the amplitude
+/// must stay bounded at a stable Courant number.
+pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
+    let mut st = workload(ctx, p);
+    let mean0: Vec<f64> = st.now.iter().map(|f| f.as_slice().iter().sum()).collect();
+    let amp0 = st.now[0].as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max);
+    for _ in 0..p.steps {
+        step(ctx, p, &mut st);
+    }
+    let mut worst = 0.0f64;
+    let mut amp = 0.0f64;
+    for (f, field) in st.now.iter().enumerate() {
+        let mean: f64 = field.as_slice().iter().sum();
+        worst = worst.max((mean - mean0[f]).abs());
+        amp = amp.max(field.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max));
+    }
+    let metric = if amp < 10.0 * amp0 { worst } else { f64::NAN };
+    (st, Verify::check("step4 mean conservation + stability", metric, 1e-9))
+}
+
+/// Optimized (C/DPEAC-style) step: the two directional 16-point stencils
+/// and the leapfrog update fused into a single pass per field with direct
+/// wrap-around indexing — no CSHIFT temporaries. Records the data motion
+/// as 2 composite Stencils per field (the halo is identical) and charges
+/// the same arithmetic.
+pub fn step_optimized(ctx: &Ctx, p: &Params, st: &mut State) {
+    let n = p.n;
+    let c2 = p.courant * p.courant;
+    // (offset_a, offset_t, weight) relative to (axis, transverse); the
+    // same 16-point set as `stencil16`, fused for both directions.
+    let taps: [(isize, isize, f64); 16] = [
+        (1, 0, 1.0),
+        (-1, 0, 1.0),
+        (2, 0, -0.05),
+        (-2, 0, -0.05),
+        (0, 1, 0.2),
+        (0, -1, 0.2),
+        (0, 2, -0.025),
+        (0, -2, -0.025),
+        (1, 1, 0.05),
+        (1, -1, 0.05),
+        (-1, 1, 0.05),
+        (-1, -1, 0.05),
+        (2, 2, 0.0125),
+        (2, -2, 0.0125),
+        (-2, 2, 0.0125),
+        (-2, -2, 0.0125),
+    ];
+    for f in 0..FIELDS {
+        for _ in 0..2 {
+            let halo = st.now[f].layout().offproc_per_lane(0, 1) * n * 8;
+            ctx.record_comm(dpf_core::CommPattern::Stencil, 2, 2, (n * n) as u64, halo as u64);
+        }
+        ctx.add_flops((n * n) as u64 * (2 * 32 + 6));
+        let mut next = DistArray::<f64>::zeros(ctx, &[n, n], st.now[f].layout().axes());
+        ctx.busy(|| {
+            let u = st.now[f].as_slice();
+            let up = st.prev[f].as_slice();
+            let dst = next.as_mut_slice();
+            let wrap = |i: isize| -> usize { i.rem_euclid(n as isize) as usize };
+            for r in 0..n {
+                for c in 0..n {
+                    let mut lap = -2.0 * PASS_SUM * u[r * n + c];
+                    for &(da, dt, w) in &taps {
+                        // x-pass: (da along rows, dt along cols).
+                        lap += w * u[wrap(r as isize + da) * n + wrap(c as isize + dt)];
+                        // y-pass: axes swapped.
+                        lap += w * u[wrap(r as isize + dt) * n + wrap(c as isize + da)];
+                    }
+                    dst[r * n + c] = 2.0 * u[r * n + c] - up[r * n + c] + c2 * lap;
+                }
+            }
+        });
+        st.prev[f] = std::mem::replace(&mut st.now[f], next);
+    }
+}
+
+/// Run the optimized version end-to-end (same verification as [`run`]).
+pub fn run_optimized(ctx: &Ctx, p: &Params) -> (State, Verify) {
+    let mut st = workload(ctx, p);
+    let mean0: Vec<f64> = st.now.iter().map(|f| f.as_slice().iter().sum()).collect();
+    let amp0 = st.now[0].as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max);
+    for _ in 0..p.steps {
+        step_optimized(ctx, p, &mut st);
+    }
+    let mut worst = 0.0f64;
+    let mut amp = 0.0f64;
+    for (f, field) in st.now.iter().enumerate() {
+        let mean: f64 = field.as_slice().iter().sum();
+        worst = worst.max((mean - mean0[f]).abs());
+        amp = amp.max(field.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max));
+    }
+    let metric = if amp < 10.0 * amp0 { worst } else { f64::NAN };
+    (st, Verify::check("step4 optimized conservation", metric, 1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::{CommPattern, Machine};
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn mean_conserved_and_stable() {
+        let ctx = ctx();
+        let (_, v) = run(&ctx, &Params::default());
+        assert!(v.is_pass(), "{v}");
+    }
+
+    #[test]
+    fn exactly_128_cshifts_per_step() {
+        let ctx = ctx();
+        let p = Params { n: 16, steps: 1, ..Params::default() };
+        let mut st = workload(&ctx, &p);
+        step(&ctx, &p, &mut st);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 128);
+    }
+
+    #[test]
+    fn one_stencil_is_16_cshifts() {
+        let ctx = ctx();
+        let u = DistArray::<f64>::zeros(&ctx, &[8, 8], &[PAR, PAR]);
+        let _ = stencil16(&ctx, &u, 0);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 16);
+    }
+
+    #[test]
+    fn stencil_pass_sum_on_constant_field() {
+        let ctx = ctx();
+        let u = DistArray::<f64>::full(&ctx, &[8, 8], &[PAR, PAR], 3.0);
+        let s = stencil16(&ctx, &u, 0);
+        for &x in s.as_slice() {
+            assert!((x - 3.0 * PASS_SUM).abs() < 1e-12, "{x}");
+        }
+    }
+
+    #[test]
+    fn constant_field_is_a_fixed_point() {
+        let ctx = ctx();
+        let p = Params { n: 8, steps: 3, ..Params::default() };
+        let mk = || DistArray::<f64>::full(&ctx, &[8, 8], &[PAR, PAR], 1.5);
+        let mut st = State {
+            now: (0..FIELDS).map(|_| mk()).collect(),
+            prev: (0..FIELDS).map(|_| mk()).collect(),
+        };
+        for _ in 0..3 {
+            step(&ctx, &p, &mut st);
+        }
+        for f in &st.now {
+            for &x in f.as_slice() {
+                assert!((x - 1.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pulse_spreads_outward() {
+        let ctx = ctx();
+        let p = Params { n: 32, steps: 10, courant: 0.4 };
+        let mut st = workload(&ctx, &p);
+        let centre_before = st.now[0].get(&[8, 8]);
+        for _ in 0..p.steps {
+            step(&ctx, &p, &mut st);
+        }
+        let centre_after = st.now[0].get(&[8, 8]);
+        assert!(
+            centre_after < centre_before,
+            "wave did not leave the centre: {centre_before} -> {centre_after}"
+        );
+    }
+
+    #[test]
+    fn optimized_step_matches_basic_bitwise_structure() {
+        let ctx_b = Ctx::new(Machine::cm5(4));
+        let ctx_o = Ctx::new(Machine::cm5(4));
+        let p = Params { n: 16, steps: 4, ..Params::default() };
+        let mut sb = workload(&ctx_b, &p);
+        let mut so = workload(&ctx_o, &p);
+        for _ in 0..p.steps {
+            step(&ctx_b, &p, &mut sb);
+            step_optimized(&ctx_o, &p, &mut so);
+        }
+        for f in 0..FIELDS {
+            for (a, b) in sb.now[f].to_vec().iter().zip(so.now[f].to_vec()) {
+                assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+            }
+        }
+        // The fused path avoids the 128 CSHIFT temporaries.
+        assert_eq!(ctx_o.instr.pattern_calls(CommPattern::Cshift), 0);
+        assert_eq!(
+            ctx_o.instr.pattern_calls(CommPattern::Stencil),
+            (8 * p.steps) as u64
+        );
+    }
+
+    #[test]
+    fn stencil_is_directionally_symmetric() {
+        // stencil16(u, 0) of a transposed field equals the transpose of
+        // stencil16(u, 1).
+        let ctx = ctx();
+        let u = DistArray::<f64>::from_fn(&ctx, &[8, 8], &[PAR, PAR], |i| {
+            crate::util::pseudo(i[0] * 8 + i[1])
+        });
+        let ut = u.permute(&ctx, &[1, 0]);
+        let s0t = stencil16(&ctx, &ut, 0).permute(&ctx, &[1, 0]);
+        let s1 = stencil16(&ctx, &u, 1);
+        for (a, b) in s0t.to_vec().iter().zip(s1.to_vec()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared helpers for the application benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic quasi-random value in `[-1, 1]` from an integer seed —
+/// used for reproducible workload initialization without threading an RNG
+/// through array constructors.
+pub fn pseudo(seed: usize) -> f64 {
+    let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    (h as f64 / usize::MAX as f64) * 2.0 - 1.0
+}
+
+/// Deterministic quasi-random value in `[0, 1)`.
+pub fn pseudo01(seed: usize) -> f64 {
+    (pseudo(seed) + 1.0) * 0.5
+}
+
+/// A seeded small RNG for the Monte-Carlo codes (boson, qmc) — the paper's
+/// "fast random number generator" requirement, reproducible per run.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Draw a standard-normal sample (Box–Muller).
+pub fn normal(r: &mut SmallRng) -> f64 {
+    let u1: f64 = r.gen_range(1e-12..1.0);
+    let u2: f64 = r.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_is_deterministic_and_bounded() {
+        for s in 0..1000 {
+            let v = pseudo(s);
+            assert!((-1.0..=1.0).contains(&v));
+            assert_eq!(v, pseudo(s));
+        }
+    }
+
+    #[test]
+    fn pseudo_values_spread_out() {
+        let mean: f64 = (0..10_000).map(pseudo).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn normal_samples_have_unit_variance() {
+        let mut r = rng(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05);
+        assert!((var - 1.0).abs() < 0.1);
+    }
+}

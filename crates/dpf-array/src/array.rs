@@ -1,0 +1,469 @@
+//! The distributed array type.
+//!
+//! A [`DistArray`] is the Rust rendering of a CMF/HPF array: a contiguous
+//! row-major buffer plus a [`Layout`] that says which axes are `:serial`
+//! (local) and which are `:` (parallel, block-distributed over the virtual
+//! processor grid). Element-wise computation executes on the host's real
+//! cores through rayon; the layout exists so the communication layer can
+//! account exactly which primitive invocations move data between virtual
+//! processors.
+//!
+//! Every compute method takes the run's [`Ctx`] and a per-element FLOP
+//! cost, so FLOP accounting is part of the operation's signature and
+//! cannot be forgotten — mirroring how the paper derives its Table 4/6
+//! FLOP columns from the source text of each benchmark.
+
+use dpf_core::{Ctx, Elem};
+use rayon::prelude::*;
+
+use crate::layout::{AxisKind, IndexIter, Layout};
+
+/// Element count above which element-wise loops run under rayon.
+pub const PAR_THRESHOLD: usize = 16_384;
+
+/// An HPF-style array: contiguous row-major data plus a distribution
+/// layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistArray<T> {
+    data: Vec<T>,
+    layout: Layout,
+}
+
+impl<T: Elem> DistArray<T> {
+    /// An array of `Default` (zero) values.
+    pub fn zeros(ctx: &Ctx, shape: &[usize], axes: &[AxisKind]) -> Self {
+        let layout = Layout::new(&ctx.machine, shape, axes);
+        let data = vec![T::default(); layout.len()];
+        DistArray { data, layout }
+    }
+
+    /// An array filled with `value`.
+    pub fn full(ctx: &Ctx, shape: &[usize], axes: &[AxisKind], value: T) -> Self {
+        let layout = Layout::new(&ctx.machine, shape, axes);
+        let data = vec![value; layout.len()];
+        DistArray { data, layout }
+    }
+
+    /// Wrap an existing buffer (length must match the shape product).
+    pub fn from_vec(ctx: &Ctx, shape: &[usize], axes: &[AxisKind], data: Vec<T>) -> Self {
+        let layout = Layout::new(&ctx.machine, shape, axes);
+        assert_eq!(
+            data.len(),
+            layout.len(),
+            "buffer length {} != shape product {}",
+            data.len(),
+            layout.len()
+        );
+        DistArray { data, layout }
+    }
+
+    /// Build from a function of the multi-index.
+    pub fn from_fn(
+        ctx: &Ctx,
+        shape: &[usize],
+        axes: &[AxisKind],
+        mut f: impl FnMut(&[usize]) -> T,
+    ) -> Self {
+        let layout = Layout::new(&ctx.machine, shape, axes);
+        let mut data = Vec::with_capacity(layout.len());
+        for idx in IndexIter::new(shape) {
+            data.push(f(&idx));
+        }
+        DistArray { data, layout }
+    }
+
+    /// Register this array's bytes as user-declared storage (paper §1.5
+    /// attribute 3 counts declared data structures, not compiler
+    /// temporaries). Returns `self` for chaining.
+    pub fn declare(self, ctx: &Ctx) -> Self {
+        ctx.instr
+            .declare_bytes((self.len() as u64) * T::DTYPE.size() as u64);
+        self
+    }
+
+    /// The layout.
+    #[inline]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        self.layout.shape()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.layout.rank()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.layout.offset(idx)]
+    }
+
+    /// Set the element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: T) {
+        let off = self.layout.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Map into a new array, charging `flops_per_elem` per element.
+    pub fn map<U: Elem>(
+        &self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        f: impl Fn(T) -> U + Sync + Send,
+    ) -> DistArray<U> {
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        let data = ctx.busy(|| {
+            if self.len() >= PAR_THRESHOLD {
+                self.data.par_iter().map(|&x| f(x)).collect()
+            } else {
+                self.data.iter().map(|&x| f(x)).collect()
+            }
+        });
+        DistArray { data, layout: self.layout.clone() }
+    }
+
+    /// Combine with another same-shaped array into a new array.
+    pub fn zip_map<U: Elem, V: Elem>(
+        &self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        other: &DistArray<U>,
+        f: impl Fn(T, U) -> V + Sync + Send,
+    ) -> DistArray<V> {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        let data = ctx.busy(|| {
+            if self.len() >= PAR_THRESHOLD {
+                self.data
+                    .par_iter()
+                    .zip(other.data.par_iter())
+                    .map(|(&x, &y)| f(x, y))
+                    .collect()
+            } else {
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&x, &y)| f(x, y))
+                    .collect()
+            }
+        });
+        DistArray { data, layout: self.layout.clone() }
+    }
+
+    /// Update in place.
+    pub fn map_inplace(
+        &mut self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        f: impl Fn(&mut T) + Sync + Send,
+    ) {
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        ctx.busy(|| {
+            if self.len() >= PAR_THRESHOLD {
+                self.data.par_iter_mut().for_each(&f);
+            } else {
+                self.data.iter_mut().for_each(f);
+            }
+        });
+    }
+
+    /// Update in place from a same-shaped array.
+    pub fn zip_inplace<U: Elem>(
+        &mut self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        other: &DistArray<U>,
+        f: impl Fn(&mut T, U) + Sync + Send,
+    ) {
+        assert_eq!(self.shape(), other.shape(), "zip_inplace shape mismatch");
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        ctx.busy(|| {
+            if self.len() >= PAR_THRESHOLD {
+                self.data
+                    .par_iter_mut()
+                    .zip(other.data.par_iter())
+                    .for_each(|(x, &y)| f(x, y));
+            } else {
+                self.data
+                    .iter_mut()
+                    .zip(other.data.iter())
+                    .for_each(|(x, &y)| f(x, y));
+            }
+        });
+    }
+
+    /// FORALL: map with the multi-index available, into a new array.
+    pub fn indexed_map<U: Elem>(
+        &self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        f: impl Fn(&[usize], T) -> U + Sync + Send,
+    ) -> DistArray<U> {
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        let shape = self.shape().to_vec();
+        let data = ctx.busy(|| {
+            if self.len() >= PAR_THRESHOLD {
+                self.data
+                    .par_iter()
+                    .enumerate()
+                    .map(|(flat, &x)| f(&unflatten(flat, &shape), x))
+                    .collect()
+            } else {
+                self.data
+                    .iter()
+                    .enumerate()
+                    .map(|(flat, &x)| f(&unflatten(flat, &shape), x))
+                    .collect()
+            }
+        });
+        DistArray { data, layout: self.layout.clone() }
+    }
+
+    /// FORALL assignment: set every element from its multi-index.
+    pub fn indexed_fill(
+        &mut self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        f: impl Fn(&[usize]) -> T + Sync + Send,
+    ) {
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        let shape = self.shape().to_vec();
+        ctx.busy(|| {
+            if self.len() >= PAR_THRESHOLD {
+                self.data
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(flat, x)| *x = f(&unflatten(flat, &shape)));
+            } else {
+                self.data
+                    .iter_mut()
+                    .enumerate()
+                    .for_each(|(flat, x)| *x = f(&unflatten(flat, &shape)));
+            }
+        });
+    }
+
+    /// Overwrite all elements with `value`.
+    pub fn fill(&mut self, ctx: &Ctx, value: T) {
+        ctx.busy(|| self.data.iter_mut().for_each(|x| *x = value));
+    }
+
+    /// Copy the contents of a same-shaped array into this one.
+    pub fn assign(&mut self, ctx: &Ctx, other: &DistArray<T>) {
+        assert_eq!(self.shape(), other.shape(), "assign shape mismatch");
+        ctx.busy(|| self.data.copy_from_slice(&other.data));
+    }
+
+    /// Reinterpret with a new shape and axis kinds (copying none of the
+    /// data; the length must match).
+    pub fn reshape(&self, ctx: &Ctx, shape: &[usize], axes: &[AxisKind]) -> DistArray<T> {
+        let layout = Layout::new(&ctx.machine, shape, axes);
+        assert_eq!(layout.len(), self.len(), "reshape length mismatch");
+        DistArray { data: self.data.clone(), layout }
+    }
+
+    /// Permute axes (copying), e.g. `permute(&[1, 0])` is a 2-D transpose
+    /// of the *storage*. Communication accounting for distributed
+    /// transposes lives in `dpf-comm::transpose`.
+    pub fn permute(&self, ctx: &Ctx, order: &[usize]) -> DistArray<T> {
+        assert_eq!(order.len(), self.rank(), "permute order rank mismatch");
+        let mut seen = vec![false; self.rank()];
+        for &d in order {
+            assert!(!seen[d], "permute order repeats axis {d}");
+            seen[d] = true;
+        }
+        let new_shape: Vec<usize> = order.iter().map(|&d| self.shape()[d]).collect();
+        let new_axes: Vec<AxisKind> =
+            order.iter().map(|&d| self.layout.axes()[d]).collect();
+        let layout = Layout::new(&ctx.machine, &new_shape, &new_axes);
+        let old_strides = self.layout.strides();
+        let strides_in_new_order: Vec<usize> =
+            order.iter().map(|&d| old_strides[d]).collect();
+        let mut data = vec![T::default(); self.len()];
+        ctx.busy(|| {
+            for (flat_new, slot) in data.iter_mut().enumerate() {
+                let idx_new = unflatten(flat_new, &new_shape);
+                let mut flat_old = 0;
+                for d in 0..idx_new.len() {
+                    flat_old += idx_new[d] * strides_in_new_order[d];
+                }
+                *slot = self.data[flat_old];
+            }
+        });
+        DistArray { data, layout }
+    }
+
+    /// The elements as a plain `Vec` (clone).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.clone()
+    }
+}
+
+/// Convert a flat row-major offset back into a multi-index.
+#[inline]
+pub fn unflatten(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0usize; shape.len()];
+    for d in (0..shape.len()).rev() {
+        idx[d] = flat % shape[d];
+        flat /= shape[d];
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{PAR, SER};
+    use dpf_core::Machine;
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let ctx = ctx();
+        let mut a = DistArray::<f64>::zeros(&ctx, &[2, 3], &[PAR, PAR]);
+        a.set(&[1, 2], 7.5);
+        assert_eq!(a.get(&[1, 2]), 7.5);
+        assert_eq!(a.get(&[0, 0]), 0.0);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.rank(), 2);
+    }
+
+    #[test]
+    fn from_fn_builds_row_major() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[2, 2], &[PAR, PAR], |idx| {
+            (10 * idx[0] + idx[1]) as i32
+        });
+        assert_eq!(a.to_vec(), vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn map_charges_flops() {
+        let ctx = ctx();
+        let a = DistArray::<f64>::full(&ctx, &[10], &[PAR], 2.0);
+        let b = a.map(&ctx, 1, |x| x * x);
+        assert_eq!(b.to_vec(), vec![4.0; 10]);
+        assert_eq!(ctx.instr.flops(), 10);
+    }
+
+    #[test]
+    fn zip_map_combines() {
+        let ctx = ctx();
+        let a = DistArray::<f64>::full(&ctx, &[8], &[PAR], 3.0);
+        let b = DistArray::<f64>::full(&ctx, &[8], &[PAR], 4.0);
+        let c = a.zip_map(&ctx, 2, &b, |x, y| x * y + 1.0);
+        assert_eq!(c.to_vec(), vec![13.0; 8]);
+        assert_eq!(ctx.instr.flops(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_rejects_shape_mismatch() {
+        let ctx = ctx();
+        let a = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
+        let b = DistArray::<f64>::zeros(&ctx, &[5], &[PAR]);
+        let _ = a.zip_map(&ctx, 0, &b, |x, _| x);
+    }
+
+    #[test]
+    fn indexed_fill_sees_indices() {
+        let ctx = ctx();
+        let mut a = DistArray::<i32>::zeros(&ctx, &[3, 2], &[PAR, SER]);
+        a.indexed_fill(&ctx, 0, |idx| (idx[0] * 2 + idx[1]) as i32);
+        assert_eq!(a.to_vec(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn declare_registers_paper_sized_bytes() {
+        let ctx = ctx();
+        let _a = DistArray::<f64>::zeros(&ctx, &[100], &[PAR]).declare(&ctx);
+        assert_eq!(ctx.instr.declared_bytes(), 800);
+        // Logicals count 4 bytes each (Fortran LOGICAL), not Rust's 1.
+        let _m = DistArray::<bool>::zeros(&ctx, &[10], &[PAR]).declare(&ctx);
+        assert_eq!(ctx.instr.declared_bytes(), 840);
+    }
+
+    #[test]
+    fn permute_transposes() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |idx| {
+            (idx[0] * 3 + idx[1]) as i32
+        });
+        let t = a.permute(&ctx, &[1, 0]);
+        assert_eq!(t.shape(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(a.get(&[i, j]), t.get(&[j, i]));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_three_axes() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[2, 3, 4], &[PAR, PAR, PAR], |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as i32
+        });
+        let p = a.permute(&ctx, &[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.get(&[3, 1, 2]), a.get(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn unflatten_inverts_offset() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::zeros(&ctx, &[3, 4, 5], &[PAR, PAR, SER]);
+        for flat in 0..a.len() {
+            let idx = unflatten(flat, a.shape());
+            assert_eq!(a.layout().offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[6], &[PAR], |idx| idx[0] as i32);
+        let b = a.reshape(&ctx, &[2, 3], &[PAR, PAR]);
+        assert_eq!(b.get(&[1, 2]), 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! HPF-style distributed arrays for the DPF suite.
+//!
+//! This crate is the data-parallel *language substrate* the paper's
+//! benchmarks are written against: CMF/HPF arrays with `:serial` (local)
+//! and `:` (parallel, block-distributed) axes, Fortran triplet sections,
+//! element-wise operations and FORALL — each threading the run's
+//! [`Ctx`](dpf_core::Ctx) so FLOPs and busy time are accounted as the
+//! paper's §1.5 metrics require. Data motion *between* virtual processors
+//! (CSHIFT, SPREAD, reductions, gather/scatter, …) lives in `dpf-comm`.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod layout;
+pub mod mask;
+pub mod section;
+
+pub use array::{unflatten, DistArray, PAR_THRESHOLD};
+pub use mask::{all, any, count, merge};
+pub use layout::{AxisKind, IndexIter, Layout, PAR, SER};
+pub use section::Triplet;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dpf_core::{Ctx, Machine};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn grid_never_exceeds_nprocs(
+            nprocs in 1usize..128,
+            n0 in 1usize..64,
+            n1 in 1usize..64,
+        ) {
+            let m = Machine::cm5(nprocs);
+            let l = Layout::new(&m, &[n0, n1], &[PAR, PAR]);
+            prop_assert!(l.procs_on(0) * l.procs_on(1) <= nprocs);
+            prop_assert!(l.procs_on(0) <= n0.max(1));
+            prop_assert!(l.procs_on(1) <= n1.max(1));
+        }
+
+        #[test]
+        fn owner_is_monotonic_and_bounded(
+            nprocs in 1usize..32,
+            n in 1usize..200,
+        ) {
+            let m = Machine::cm5(nprocs);
+            let l = Layout::new(&m, &[n], &[PAR]);
+            let mut prev = 0;
+            for i in 0..n {
+                let o = l.owner(0, i);
+                prop_assert!(o >= prev);
+                prop_assert!(o < l.procs_on(0));
+                prev = o;
+            }
+        }
+
+        #[test]
+        fn offproc_zero_for_full_cycle(nprocs in 1usize..32, n in 1usize..100) {
+            let m = Machine::cm5(nprocs);
+            let l = Layout::new(&m, &[n], &[PAR]);
+            prop_assert_eq!(l.offproc_per_lane(0, n as isize), 0);
+            prop_assert_eq!(l.offproc_per_lane(0, 0), 0);
+        }
+
+        #[test]
+        fn offproc_upper_bounds_bruteforce(
+            nprocs in 1usize..16,
+            n in 1usize..80,
+            shift in -100isize..100,
+        ) {
+            let m = Machine::cm5(nprocs);
+            let l = Layout::new(&m, &[n], &[PAR]);
+            let brute = (0..n)
+                .filter(|&i| {
+                    let j = ((i as isize + shift).rem_euclid(n as isize)) as usize;
+                    l.owner(0, i) != l.owner(0, j)
+                })
+                .count();
+            // The closed form is exact for uniform blocks and an upper
+            // bound when the last block is ragged.
+            let formula = l.offproc_per_lane(0, shift);
+            prop_assert!(formula >= brute,
+                "formula {} under brute {} (n={}, p={}, shift={})",
+                formula, brute, n, l.procs_on(0), shift);
+            let s = shift.rem_euclid(n as isize) as usize;
+            if s != 0 && n % l.procs_on(0) == 0 {
+                prop_assert_eq!(formula, brute,
+                    "uniform blocks must be exact (n={}, p={}, shift={})",
+                    n, l.procs_on(0), shift);
+            }
+        }
+
+        #[test]
+        fn unflatten_roundtrips(
+            n0 in 1usize..8, n1 in 1usize..8, n2 in 1usize..8,
+            pick in 0usize..512,
+        ) {
+            let ctx = Ctx::new(Machine::cm5(2));
+            let a = DistArray::<i32>::zeros(&ctx, &[n0, n1, n2], &[PAR, PAR, SER]);
+            let flat = pick % a.len();
+            let idx = unflatten(flat, a.shape());
+            prop_assert_eq!(a.layout().offset(&idx), flat);
+        }
+
+        #[test]
+        fn section_matches_naive(
+            n in 2usize..40,
+            start in 0usize..10,
+            step in 1usize..5,
+        ) {
+            let ctx = Ctx::new(Machine::cm5(4));
+            let start = start % n;
+            let a = DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], |i| i[0] as i32);
+            let t = Triplet::strided(start, n, step);
+            let s = a.section(&ctx, &[t]);
+            let naive: Vec<i32> = (start..n).step_by(step).map(|i| i as i32).collect();
+            prop_assert_eq!(s.to_vec(), naive);
+        }
+
+        #[test]
+        fn permute_roundtrips(
+            n0 in 1usize..6, n1 in 1usize..6, n2 in 1usize..6,
+        ) {
+            let ctx = Ctx::new(Machine::cm5(4));
+            let a = DistArray::<i32>::from_fn(
+                &ctx, &[n0, n1, n2], &[PAR, PAR, PAR],
+                |i| (i[0] * 100 + i[1] * 10 + i[2]) as i32,
+            );
+            let p = a.permute(&ctx, &[2, 0, 1]);
+            let back = p.permute(&ctx, &[1, 2, 0]);
+            prop_assert_eq!(back.to_vec(), a.to_vec());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Masked operations — HPF's `WHERE` construct and `MERGE` intrinsic.
+//!
+//! Paper §1.4 fixes the execution semantics the suite assumes: *"the
+//! statement `vtv = sum(v*v, mask)` ... is executed for all elements,
+//! rather than only the unmasked ones"*. Masked operations therefore
+//! charge FLOPs over the **full** extent; the mask only gates which
+//! results are stored. (`dpf_comm::sum_masked` applies the same rule to
+//! reductions.)
+
+use dpf_core::{Ctx, Elem};
+
+use crate::array::DistArray;
+
+impl<T: Elem> DistArray<T> {
+    /// `WHERE (mask) self = value` — masked fill.
+    pub fn where_fill(&mut self, ctx: &Ctx, mask: &DistArray<bool>, value: T) {
+        assert_eq!(self.shape(), mask.shape(), "mask shape mismatch");
+        ctx.busy(|| {
+            for (x, &m) in self.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                if m {
+                    *x = value;
+                }
+            }
+        });
+    }
+
+    /// `WHERE (mask) self = f(self)` — masked update. Charges
+    /// `flops_per_elem` over the **full** extent per HPF semantics
+    /// (§1.4), even though only masked elements are stored.
+    pub fn where_map(
+        &mut self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        mask: &DistArray<bool>,
+        f: impl Fn(T) -> T + Sync + Send,
+    ) {
+        assert_eq!(self.shape(), mask.shape(), "mask shape mismatch");
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        ctx.busy(|| {
+            for (x, &m) in self.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                // Full-extent execution; masked store.
+                let v = f(*x);
+                if m {
+                    *x = v;
+                }
+            }
+        });
+    }
+
+    /// `WHERE (mask) self = f(self, other)` — masked combining update,
+    /// full-extent FLOP charge.
+    pub fn where_zip<U: Elem>(
+        &mut self,
+        ctx: &Ctx,
+        flops_per_elem: u64,
+        mask: &DistArray<bool>,
+        other: &DistArray<U>,
+        f: impl Fn(T, U) -> T + Sync + Send,
+    ) {
+        assert_eq!(self.shape(), mask.shape(), "mask shape mismatch");
+        assert_eq!(self.shape(), other.shape(), "operand shape mismatch");
+        ctx.add_flops(flops_per_elem * self.len() as u64);
+        ctx.busy(|| {
+            let o = other.as_slice();
+            for (k, (x, &m)) in
+                self.as_mut_slice().iter_mut().zip(mask.as_slice()).enumerate()
+            {
+                let v = f(*x, o[k]);
+                if m {
+                    *x = v;
+                }
+            }
+        });
+    }
+}
+
+/// Fortran `MERGE(tsource, fsource, mask)`.
+pub fn merge<T: Elem>(
+    ctx: &Ctx,
+    tsource: &DistArray<T>,
+    fsource: &DistArray<T>,
+    mask: &DistArray<bool>,
+) -> DistArray<T> {
+    assert_eq!(tsource.shape(), fsource.shape(), "merge operand shape mismatch");
+    assert_eq!(tsource.shape(), mask.shape(), "merge mask shape mismatch");
+    let mut out = DistArray::<T>::zeros(ctx, tsource.shape(), tsource.layout().axes());
+    ctx.busy(|| {
+        let t = tsource.as_slice();
+        let f = fsource.as_slice();
+        let m = mask.as_slice();
+        for (k, slot) in out.as_mut_slice().iter_mut().enumerate() {
+            *slot = if m[k] { t[k] } else { f[k] };
+        }
+    });
+    out
+}
+
+/// Fortran `COUNT(mask)`.
+pub fn count(ctx: &Ctx, mask: &DistArray<bool>) -> usize {
+    ctx.busy(|| mask.as_slice().iter().filter(|&&m| m).count())
+}
+
+/// Fortran `ANY(mask)`.
+pub fn any(ctx: &Ctx, mask: &DistArray<bool>) -> bool {
+    ctx.busy(|| mask.as_slice().iter().any(|&m| m))
+}
+
+/// Fortran `ALL(mask)`.
+pub fn all(ctx: &Ctx, mask: &DistArray<bool>) -> bool {
+    ctx.busy(|| mask.as_slice().iter().all(|&m| m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PAR;
+    use dpf_core::Machine;
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn where_fill_sets_only_masked() {
+        let ctx = ctx();
+        let mut a = DistArray::<f64>::zeros(&ctx, &[6], &[PAR]);
+        let mask = DistArray::<bool>::from_fn(&ctx, &[6], &[PAR], |i| i[0] % 2 == 0);
+        a.where_fill(&ctx, &mask, 5.0);
+        assert_eq!(a.to_vec(), vec![5.0, 0.0, 5.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn where_map_charges_full_extent_per_hpf() {
+        // Paper §1.4: masked computation is executed for all elements.
+        let ctx = ctx();
+        let mut a = DistArray::<f64>::from_fn(&ctx, &[10], &[PAR], |i| i[0] as f64);
+        let mask = DistArray::<bool>::from_fn(&ctx, &[10], &[PAR], |i| i[0] < 3);
+        a.where_map(&ctx, 2, &mask, |x| x * x + 1.0);
+        assert_eq!(ctx.instr.flops(), 20, "must charge all 10 elements");
+        assert_eq!(a.as_slice()[0], 1.0);
+        assert_eq!(a.as_slice()[2], 5.0);
+        assert_eq!(a.as_slice()[5], 5.0 * 1.0); // unmasked: unchanged = 5
+    }
+
+    #[test]
+    fn where_zip_combines_under_mask() {
+        let ctx = ctx();
+        let mut a = DistArray::<f64>::full(&ctx, &[4], &[PAR], 10.0);
+        let b = DistArray::<f64>::from_fn(&ctx, &[4], &[PAR], |i| i[0] as f64);
+        let mask = DistArray::<bool>::from_vec(&ctx, &[4], &[PAR], vec![true, false, true, false]);
+        a.where_zip(&ctx, 1, &mask, &b, |x, y| x + y);
+        assert_eq!(a.to_vec(), vec![10.0, 10.0, 12.0, 10.0]);
+    }
+
+    #[test]
+    fn merge_selects_elementwise() {
+        let ctx = ctx();
+        let t = DistArray::<i32>::full(&ctx, &[4], &[PAR], 1);
+        let f = DistArray::<i32>::full(&ctx, &[4], &[PAR], 2);
+        let mask =
+            DistArray::<bool>::from_vec(&ctx, &[4], &[PAR], vec![true, false, false, true]);
+        let m = merge(&ctx, &t, &f, &mask);
+        assert_eq!(m.to_vec(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn count_any_all() {
+        let ctx = ctx();
+        let mask =
+            DistArray::<bool>::from_vec(&ctx, &[5], &[PAR], vec![true, false, true, false, false]);
+        assert_eq!(count(&ctx, &mask), 2);
+        assert!(any(&ctx, &mask));
+        assert!(!all(&ctx, &mask));
+        let none = DistArray::<bool>::zeros(&ctx, &[3], &[PAR]);
+        assert!(!any(&ctx, &none));
+        let every = DistArray::<bool>::full(&ctx, &[3], &[PAR], true);
+        assert!(all(&ctx, &every));
+    }
+
+}

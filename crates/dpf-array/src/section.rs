@@ -1,0 +1,297 @@
+//! Array sections — the Fortran triplet subscript `a(l:u:s)`.
+//!
+//! Sections are one of Table 8's stencil implementation techniques (the
+//! diff-1D/2D/3D codes build their constant-coefficient stencils from
+//! interior sections rather than CSHIFTs) and define the paper's *strided*
+//! local-memory-access class when applied to a serial axis.
+
+use dpf_core::{Ctx, Elem};
+
+use crate::array::DistArray;
+
+/// A Fortran triplet subscript: `start : end (exclusive) : step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Triplet {
+    /// First index.
+    pub start: usize,
+    /// One past the last index considered.
+    pub end: usize,
+    /// Stride (must be ≥ 1).
+    pub step: usize,
+}
+
+impl Triplet {
+    /// `start : end : 1`.
+    pub const fn range(start: usize, end: usize) -> Self {
+        Triplet { start, end, step: 1 }
+    }
+
+    /// The whole axis `0 : n : 1`.
+    pub const fn all(n: usize) -> Self {
+        Triplet { start: 0, end: n, step: 1 }
+    }
+
+    /// A single index `i : i+1 : 1`.
+    pub const fn at(i: usize) -> Self {
+        Triplet { start: i, end: i + 1, step: 1 }
+    }
+
+    /// `start : end : step`.
+    pub const fn strided(start: usize, end: usize, step: usize) -> Self {
+        Triplet { start, end, step }
+    }
+
+    /// Number of selected indices.
+    pub const fn len(&self) -> usize {
+        if self.end <= self.start {
+            0
+        } else {
+            (self.end - self.start).div_ceil(self.step)
+        }
+    }
+
+    /// True when the triplet selects nothing.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k`-th selected index.
+    #[inline]
+    pub const fn index(&self, k: usize) -> usize {
+        self.start + k * self.step
+    }
+}
+
+impl<T: Elem> DistArray<T> {
+    /// Extract a section as a new array (same axis kinds as the source).
+    ///
+    /// # Panics
+    /// If the triplet count differs from the rank or a triplet exceeds its
+    /// extent.
+    pub fn section(&self, ctx: &Ctx, trips: &[Triplet]) -> DistArray<T> {
+        let shape = self.check_trips(trips);
+        let mut out = DistArray::<T>::zeros(ctx, &shape, self.layout().axes());
+        ctx.busy(|| copy_section(self, trips, out.as_mut_slice(), &shape, true));
+        out
+    }
+
+    /// Write `src` into the section of `self` selected by `trips`.
+    ///
+    /// # Panics
+    /// If shapes are inconsistent.
+    pub fn set_section(&mut self, ctx: &Ctx, trips: &[Triplet], src: &DistArray<T>) {
+        let shape = self.check_trips(trips);
+        assert_eq!(
+            src.shape(),
+            &shape[..],
+            "set_section: source shape {:?} != section shape {:?}",
+            src.shape(),
+            shape
+        );
+        ctx.busy(|| {
+            let mut buf = src.as_slice().to_vec();
+            scatter_section(self, trips, &mut buf, &shape);
+        });
+    }
+
+    fn check_trips(&self, trips: &[Triplet]) -> Vec<usize> {
+        assert_eq!(
+            trips.len(),
+            self.rank(),
+            "section rank {} != array rank {}",
+            trips.len(),
+            self.rank()
+        );
+        for (d, t) in trips.iter().enumerate() {
+            assert!(t.step >= 1, "triplet step must be >= 1");
+            assert!(
+                t.end <= self.shape()[d],
+                "triplet {d} end {} exceeds extent {}",
+                t.end,
+                self.shape()[d]
+            );
+        }
+        trips.iter().map(|t| t.len()).collect()
+    }
+}
+
+/// Copy `src[trips] -> dst` (gather = true) walking the section row-major.
+/// The innermost unit-stride run is copied as a slice.
+fn copy_section<T: Elem>(
+    src: &DistArray<T>,
+    trips: &[Triplet],
+    dst: &mut [T],
+    sec_shape: &[usize],
+    _gather: bool,
+) {
+    let rank = trips.len();
+    if rank == 0 {
+        dst[0] = src.as_slice()[0];
+        return;
+    }
+    let strides = src.layout().strides();
+    let inner = rank - 1;
+    let inner_len = sec_shape[inner];
+    let outer: usize = sec_shape[..inner].iter().product();
+    let mut idx = vec![0usize; inner];
+    for o in 0..outer.max(1) {
+        if outer > 0 {
+            let mut rem = o;
+            for d in (0..inner).rev() {
+                idx[d] = rem % sec_shape[d];
+                rem /= sec_shape[d];
+            }
+        }
+        let mut base = 0usize;
+        for d in 0..inner {
+            base += trips[d].index(idx[d]) * strides[d];
+        }
+        let out_base = o * inner_len;
+        if trips[inner].step == 1 {
+            let s = base + trips[inner].start * strides[inner];
+            dst[out_base..out_base + inner_len]
+                .copy_from_slice(&src.as_slice()[s..s + inner_len]);
+        } else {
+            for k in 0..inner_len {
+                dst[out_base + k] =
+                    src.as_slice()[base + trips[inner].index(k) * strides[inner]];
+            }
+        }
+    }
+}
+
+/// Scatter `buf -> dst[trips]`.
+fn scatter_section<T: Elem>(
+    dst: &mut DistArray<T>,
+    trips: &[Triplet],
+    buf: &mut [T],
+    sec_shape: &[usize],
+) {
+    let rank = trips.len();
+    if rank == 0 {
+        dst.as_mut_slice()[0] = buf[0];
+        return;
+    }
+    let strides = dst.layout().strides();
+    let inner = rank - 1;
+    let inner_len = sec_shape[inner];
+    let outer: usize = sec_shape[..inner].iter().product();
+    let mut idx = vec![0usize; inner];
+    for o in 0..outer.max(1) {
+        if outer > 0 {
+            let mut rem = o;
+            for d in (0..inner).rev() {
+                idx[d] = rem % sec_shape[d];
+                rem /= sec_shape[d];
+            }
+        }
+        let mut base = 0usize;
+        for d in 0..inner {
+            base += trips[d].index(idx[d]) * strides[d];
+        }
+        let in_base = o * inner_len;
+        if trips[inner].step == 1 {
+            let s = base + trips[inner].start * strides[inner];
+            dst.as_mut_slice()[s..s + inner_len]
+                .copy_from_slice(&buf[in_base..in_base + inner_len]);
+        } else {
+            for k in 0..inner_len {
+                dst.as_mut_slice()[base + trips[inner].index(k) * strides[inner]] =
+                    buf[in_base + k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PAR;
+    use dpf_core::{Ctx, Machine};
+
+    fn ctx() -> Ctx {
+        Ctx::new(Machine::cm5(4))
+    }
+
+    #[test]
+    fn triplet_lengths() {
+        assert_eq!(Triplet::range(2, 7).len(), 5);
+        assert_eq!(Triplet::strided(0, 10, 3).len(), 4); // 0,3,6,9
+        assert_eq!(Triplet::strided(1, 10, 3).len(), 3); // 1,4,7
+        assert_eq!(Triplet::range(5, 5).len(), 0);
+        assert_eq!(Triplet::at(3).len(), 1);
+    }
+
+    #[test]
+    fn section_1d_interior() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[8], &[PAR], |i| i[0] as i32);
+        let s = a.section(&ctx, &[Triplet::range(1, 7)]);
+        assert_eq!(s.to_vec(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn section_1d_strided() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[10], &[PAR], |i| i[0] as i32);
+        let s = a.section(&ctx, &[Triplet::strided(1, 10, 4)]);
+        assert_eq!(s.to_vec(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn section_2d_block() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[4, 5], &[PAR, PAR], |i| {
+            (i[0] * 10 + i[1]) as i32
+        });
+        let s = a.section(&ctx, &[Triplet::range(1, 3), Triplet::range(2, 5)]);
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.to_vec(), vec![12, 13, 14, 22, 23, 24]);
+    }
+
+    #[test]
+    fn set_section_roundtrip() {
+        let ctx = ctx();
+        let mut a = DistArray::<i32>::zeros(&ctx, &[4, 4], &[PAR, PAR]);
+        let block = DistArray::<i32>::full(&ctx, &[2, 2], &[PAR, PAR], 9);
+        a.set_section(&ctx, &[Triplet::range(1, 3), Triplet::range(1, 3)], &block);
+        assert_eq!(a.get(&[1, 1]), 9);
+        assert_eq!(a.get(&[2, 2]), 9);
+        assert_eq!(a.get(&[0, 0]), 0);
+        assert_eq!(a.get(&[3, 3]), 0);
+        let back = a.section(&ctx, &[Triplet::range(1, 3), Triplet::range(1, 3)]);
+        assert_eq!(back.to_vec(), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn section_then_set_is_identity() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[6], &[PAR], |i| i[0] as i32 * 3);
+        let mut b = DistArray::<i32>::zeros(&ctx, &[6], &[PAR]);
+        let s = a.section(&ctx, &[Triplet::all(6)]);
+        b.set_section(&ctx, &[Triplet::all(6)], &s);
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds extent")]
+    fn out_of_bounds_triplet_panics() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::zeros(&ctx, &[4], &[PAR]);
+        let _ = a.section(&ctx, &[Triplet::range(0, 5)]);
+    }
+
+    #[test]
+    fn strided_2d_section() {
+        let ctx = ctx();
+        let a = DistArray::<i32>::from_fn(&ctx, &[6, 6], &[PAR, PAR], |i| {
+            (i[0] * 6 + i[1]) as i32
+        });
+        let s = a.section(
+            &ctx,
+            &[Triplet::strided(0, 6, 2), Triplet::strided(1, 6, 2)],
+        );
+        assert_eq!(s.shape(), &[3, 3]);
+        assert_eq!(s.get(&[1, 1]), (2 * 6 + 3) as i32);
+    }
+}

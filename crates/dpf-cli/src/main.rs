@@ -1,0 +1,164 @@
+//! `dpf` — command-line runner for the DPF benchmark suite.
+//!
+//! ```text
+//! dpf list                          # all 32 benchmarks with their versions
+//! dpf run <name> [options]          # run one benchmark, print the §1.5 report
+//! dpf all [options]                 # run the whole suite, print a summary line each
+//! dpf table <1..8|perf|eff|model>   # regenerate a paper table
+//!
+//! options:
+//!   --size small|medium|large   problem size tier (default medium)
+//!   --version basic|optimized|library|CMSSL|C/DPEAC
+//!   --procs N                    virtual processors (default 32, CM-5 style)
+//! ```
+
+use std::process::ExitCode;
+
+use dpf_core::Machine;
+use dpf_suite::{find, registry, tables, Size, Version};
+
+struct Options {
+    size: Size,
+    version: Version,
+    procs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { size: Size::Medium, version: Version::Basic, procs: 32 }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                o.size = match it.next().map(String::as_str) {
+                    Some("small") => Size::Small,
+                    Some("medium") => Size::Medium,
+                    Some("large") => Size::Large,
+                    other => return Err(format!("bad --size {other:?}")),
+                }
+            }
+            "--version" => {
+                o.version = match it.next().map(String::as_str) {
+                    Some("basic") => Version::Basic,
+                    Some("optimized") => Version::Optimized,
+                    Some("library") => Version::Library,
+                    Some("CMSSL") | Some("cmssl") => Version::Cmssl,
+                    Some("C/DPEAC") | Some("cdpeac") => Version::CDpeac,
+                    other => return Err(format!("bad --version {other:?}")),
+                }
+            }
+            "--procs" => {
+                o.procs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --procs")?;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dpf <list|run <name>|all|table <1-8|perf|eff|model>> \
+         [--size small|medium|large] [--version v] [--procs N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<20} {:<15} paper versions", "name", "group");
+            for e in registry() {
+                let versions: Vec<&str> =
+                    e.paper_versions.iter().map(|v| v.name()).collect();
+                println!("{:<20} {:<15} {}", e.name, e.group.to_string(), versions.join(", "));
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let opts = match parse_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let Some(entry) = find(name) else {
+                eprintln!("unknown benchmark {name:?}; try `dpf list`");
+                return ExitCode::FAILURE;
+            };
+            if entry.variant(opts.version).is_none() {
+                eprintln!(
+                    "{name} has no runnable {} variant in this reproduction",
+                    opts.version
+                );
+                return ExitCode::FAILURE;
+            }
+            let machine = Machine::cm5(opts.procs);
+            let res = dpf_suite::run(&entry, opts.version, &machine, opts.size);
+            print!("{}", res.report);
+            println!("  FLOPs per point           : {:.2}", res.flops_per_point());
+            println!("  Comm calls per iteration  : {:.2}", res.comm_per_iteration());
+            if res.report.verify.is_pass() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "all" => {
+            let opts = match parse_options(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let machine = Machine::cm5(opts.procs);
+            print!("{}", tables::perf_report(&machine, opts.size));
+            ExitCode::SUCCESS
+        }
+        "table" => {
+            let Some(which) = args.get(1) else { return usage() };
+            let opts = match parse_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let machine = Machine::cm5(opts.procs);
+            let text = match which.as_str() {
+                "1" => tables::table1(),
+                "2" => tables::table2(),
+                "3" => tables::table3(&machine),
+                "4" => tables::table4(&machine, opts.size),
+                "5" => tables::table5(),
+                "6" => tables::table6(&machine, opts.size),
+                "7" => tables::table7(&machine),
+                "8" => tables::table8(),
+                "perf" => tables::perf_report(&machine, opts.size),
+                "eff" => tables::efficiency_table(&machine, opts.size),
+                "model" => tables::scalability_table(opts.size),
+                "layouts" => tables::matvec_layouts_table(&machine),
+                other => {
+                    eprintln!("unknown table {other}");
+                    return usage();
+                }
+            };
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,449 @@
+//! Gather, scatter, send and get — general (router) communication.
+//!
+//! These are the irregular-addressing primitives of the suite: `FORALL
+//! with indirect addressing` in the paper's Table 8, the CMSSL partitioned
+//! gather/scatter utilities used by fem-3D, and the `CMF send`/`get`
+//! language primitives. All variants compute the exact number of elements
+//! whose source and destination fall on different virtual processors by
+//! comparing owner ids under the two arrays' layouts.
+//!
+//! Collision semantics follow the language: plain scatter leaves the
+//! last-written value (deterministically, in flat source order here);
+//! combining scatters apply `+`, `max` or `min` at collisions.
+
+use dpf_array::DistArray;
+use dpf_core::{CommPattern, Ctx, Elem, Num};
+
+/// How a combining scatter resolves collisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combine {
+    /// Sum colliding contributions (`CMF send with add`).
+    Add,
+    /// Keep the maximum.
+    Max,
+    /// Keep the minimum.
+    Min,
+}
+
+fn offproc_count<T: Elem, U: Elem>(
+    src: &DistArray<T>,
+    dst: &DistArray<U>,
+    pairs: impl Iterator<Item = (usize, usize)>,
+) -> u64 {
+    let sl = src.layout();
+    let dl = dst.layout();
+    if !sl.is_distributed() && !dl.is_distributed() {
+        return 0;
+    }
+    pairs
+        .filter(|&(s, d)| sl.owner_id_flat(s) != dl.owner_id_flat(d))
+        .count() as u64
+}
+
+/// `out = src(idx)` — gather from a 1-D source through a flat index array
+/// of any rank; the result is shaped like `idx`.
+pub fn gather<T: Elem>(ctx: &Ctx, src: &DistArray<T>, idx: &DistArray<i32>) -> DistArray<T> {
+    gather_as(ctx, src, idx, CommPattern::Gather)
+}
+
+/// [`gather`] recorded as the language-level `Get` pattern.
+pub fn get<T: Elem>(ctx: &Ctx, src: &DistArray<T>, idx: &DistArray<i32>) -> DistArray<T> {
+    gather_as(ctx, src, idx, CommPattern::Get)
+}
+
+fn gather_as<T: Elem>(
+    ctx: &Ctx,
+    src: &DistArray<T>,
+    idx: &DistArray<i32>,
+    pattern: CommPattern,
+) -> DistArray<T> {
+    assert_eq!(src.rank(), 1, "gather source must be 1-D (use gather_nd)");
+    let n = src.shape()[0] as i32;
+    let mut out = DistArray::<T>::zeros(ctx, idx.shape(), idx.layout().axes());
+    let offproc = offproc_count(
+        src,
+        &out,
+        idx.as_slice().iter().enumerate().map(|(d, &s)| {
+            assert!(s >= 0 && s < n, "gather index {s} out of bounds {n}");
+            (s as usize, d)
+        }),
+    );
+    ctx.record_comm(
+        pattern,
+        src.rank(),
+        idx.rank(),
+        idx.len() as u64,
+        offproc * T::DTYPE.size() as u64,
+    );
+    ctx.busy(|| {
+        let s = src.as_slice();
+        for (o, &i) in out.as_mut_slice().iter_mut().zip(idx.as_slice()) {
+            *o = s[i as usize];
+        }
+    });
+    out
+}
+
+/// Multi-dimensional gather: `out[k] = src(idx0[k], idx1[k], …)` with one
+/// coordinate array per source axis, all shaped like the result.
+pub fn gather_nd<T: Elem>(
+    ctx: &Ctx,
+    src: &DistArray<T>,
+    coords: &[&DistArray<i32>],
+) -> DistArray<T> {
+    assert_eq!(coords.len(), src.rank(), "need one coordinate array per source axis");
+    let out_shape = coords[0].shape().to_vec();
+    for c in coords {
+        assert_eq!(c.shape(), &out_shape[..], "coordinate arrays must agree in shape");
+    }
+    let mut out = DistArray::<T>::zeros(ctx, &out_shape, coords[0].layout().axes());
+    let strides = src.layout().strides();
+    let flat_of = |k: usize| -> usize {
+        let mut off = 0usize;
+        for (d, c) in coords.iter().enumerate() {
+            let i = c.as_slice()[k];
+            assert!(
+                i >= 0 && (i as usize) < src.shape()[d],
+                "gather_nd index {i} out of extent {}",
+                src.shape()[d]
+            );
+            off += i as usize * strides[d];
+        }
+        off
+    };
+    let offproc = offproc_count(src, &out, (0..out.len()).map(|k| (flat_of(k), k)));
+    ctx.record_comm(
+        CommPattern::Gather,
+        src.rank(),
+        out.rank(),
+        out.len() as u64,
+        offproc * T::DTYPE.size() as u64,
+    );
+    ctx.busy(|| {
+        let s = src.as_slice();
+        for k in 0..out.len() {
+            out.as_mut_slice()[k] = s[flat_of(k)];
+        }
+    });
+    out
+}
+
+/// Plain scatter: `dst(idx[k]) = src[k]` with last-writer-wins collisions.
+pub fn scatter<T: Elem>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    idx: &DistArray<i32>,
+    src: &DistArray<T>,
+) {
+    scatter_as(ctx, dst, idx, src, CommPattern::Scatter);
+}
+
+/// [`scatter`] recorded as the language-level `Send` pattern.
+pub fn send<T: Elem>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    idx: &DistArray<i32>,
+    src: &DistArray<T>,
+) {
+    scatter_as(ctx, dst, idx, src, CommPattern::Send);
+}
+
+fn scatter_as<T: Elem>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    idx: &DistArray<i32>,
+    src: &DistArray<T>,
+    pattern: CommPattern,
+) {
+    assert_eq!(dst.rank(), 1, "scatter destination must be 1-D (use scatter_nd_*)");
+    assert_eq!(idx.shape(), src.shape(), "index and source shapes must agree");
+    let n = dst.shape()[0] as i32;
+    let offproc = offproc_count(
+        src,
+        dst,
+        idx.as_slice().iter().enumerate().map(|(s, &d)| {
+            assert!(d >= 0 && d < n, "scatter index {d} out of bounds {n}");
+            (s, d as usize)
+        }),
+    );
+    ctx.record_comm(
+        pattern,
+        src.rank(),
+        dst.rank(),
+        src.len() as u64,
+        offproc * T::DTYPE.size() as u64,
+    );
+    ctx.busy(|| {
+        let d = dst.as_mut_slice();
+        for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
+            d[i as usize] = v;
+        }
+    });
+}
+
+/// Combining scatter into a 1-D destination: `dst(idx[k]) ⊕= src[k]`.
+pub fn scatter_combine<T: Num + PartialOrd>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    idx: &DistArray<i32>,
+    src: &DistArray<T>,
+    combine: Combine,
+) {
+    assert_eq!(dst.rank(), 1, "scatter destination must be 1-D (use scatter_nd_*)");
+    assert_eq!(idx.shape(), src.shape(), "index and source shapes must agree");
+    let n = dst.shape()[0] as i32;
+    let offproc = offproc_count(
+        src,
+        dst,
+        idx.as_slice().iter().enumerate().map(|(s, &d)| {
+            assert!(d >= 0 && d < n, "scatter index {d} out of bounds {n}");
+            (s, d as usize)
+        }),
+    );
+    ctx.record_comm(
+        CommPattern::ScatterCombine,
+        src.rank(),
+        dst.rank(),
+        src.len() as u64,
+        offproc * T::DTYPE.size() as u64,
+    );
+    if combine == Combine::Add {
+        ctx.add_flops(src.len() as u64 * T::DTYPE.add_flops());
+    }
+    ctx.busy(|| {
+        let d = dst.as_mut_slice();
+        for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
+            let slot = &mut d[i as usize];
+            match combine {
+                Combine::Add => *slot += v,
+                Combine::Max => {
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+                Combine::Min => {
+                    if v < *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Combining deposit recorded as the paper's "Gather w/ combine" pattern
+/// (pic-simple's `FORALL` with `SUM`: grid points gather and add particle
+/// contributions). Mechanically identical to an add-scatter.
+pub fn gather_combine<T: Num + PartialOrd>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    idx: &DistArray<i32>,
+    src: &DistArray<T>,
+) {
+    assert_eq!(dst.rank(), 1, "gather_combine destination must be 1-D");
+    assert_eq!(idx.shape(), src.shape(), "index and source shapes must agree");
+    let n = dst.shape()[0] as i32;
+    let offproc = offproc_count(
+        src,
+        dst,
+        idx.as_slice().iter().enumerate().map(|(s, &d)| {
+            assert!(d >= 0 && d < n, "index {d} out of bounds {n}");
+            (s, d as usize)
+        }),
+    );
+    ctx.record_comm(
+        CommPattern::GatherCombine,
+        src.rank(),
+        dst.rank(),
+        src.len() as u64,
+        offproc * T::DTYPE.size() as u64,
+    );
+    ctx.add_flops(src.len() as u64 * T::DTYPE.add_flops());
+    ctx.busy(|| {
+        let d = dst.as_mut_slice();
+        for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
+            d[i as usize] += v;
+        }
+    });
+}
+
+/// Multi-dimensional combining scatter: `dst(c0[k], c1[k], …) ⊕= src[k]`.
+pub fn scatter_nd_combine<T: Num + PartialOrd>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    coords: &[&DistArray<i32>],
+    src: &DistArray<T>,
+    combine: Combine,
+) {
+    assert_eq!(coords.len(), dst.rank(), "need one coordinate array per dest axis");
+    for c in coords {
+        assert_eq!(c.shape(), src.shape(), "coordinate arrays must match source shape");
+    }
+    let strides = dst.layout().strides();
+    let shape = dst.shape().to_vec();
+    let flat_of = |k: usize| -> usize {
+        let mut off = 0usize;
+        for (d, c) in coords.iter().enumerate() {
+            let i = c.as_slice()[k];
+            assert!(
+                i >= 0 && (i as usize) < shape[d],
+                "scatter_nd index {i} out of extent {}",
+                shape[d]
+            );
+            off += i as usize * strides[d];
+        }
+        off
+    };
+    let offproc = offproc_count(src, dst, (0..src.len()).map(|k| (k, flat_of(k))));
+    ctx.record_comm(
+        CommPattern::ScatterCombine,
+        src.rank(),
+        dst.rank(),
+        src.len() as u64,
+        offproc * T::DTYPE.size() as u64,
+    );
+    if combine == Combine::Add {
+        ctx.add_flops(src.len() as u64 * T::DTYPE.add_flops());
+    }
+    ctx.busy(|| {
+        for k in 0..src.len() {
+            let off = flat_of(k);
+            let v = src.as_slice()[k];
+            let slot = &mut dst.as_mut_slice()[off];
+            match combine {
+                Combine::Add => *slot += v,
+                Combine::Max => {
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+                Combine::Min => {
+                    if v < *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_array::{PAR, SER};
+    use dpf_core::Machine;
+
+    fn ctx(p: usize) -> Ctx {
+        Ctx::new(Machine::cm5(p))
+    }
+
+    #[test]
+    fn gather_reads_through_indices() {
+        let ctx = ctx(4);
+        let src = DistArray::<f64>::from_fn(&ctx, &[5], &[PAR], |i| i[0] as f64 * 10.0);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[3], &[PAR], vec![4, 0, 2]);
+        let out = gather(&ctx, &src, &idx);
+        assert_eq!(out.to_vec(), vec![40.0, 0.0, 20.0]);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Gather), 1);
+    }
+
+    #[test]
+    fn gather_into_higher_rank() {
+        let ctx = ctx(2);
+        let src = DistArray::<i32>::from_fn(&ctx, &[4], &[PAR], |i| i[0] as i32);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[2, 2], &[PAR, PAR], vec![3, 2, 1, 0]);
+        let out = gather(&ctx, &src, &idx);
+        assert_eq!(out.shape(), &[2, 2]);
+        assert_eq!(out.to_vec(), vec![3, 2, 1, 0]);
+        let snap = ctx.instr.comm_snapshot();
+        let key = snap.keys().next().unwrap();
+        assert_eq!((key.src_rank, key.dst_rank), (1, 2));
+    }
+
+    #[test]
+    fn gather_nd_uses_coordinates() {
+        let ctx = ctx(2);
+        let src = DistArray::<i32>::from_fn(&ctx, &[3, 3], &[PAR, PAR], |i| {
+            (i[0] * 3 + i[1]) as i32
+        });
+        let r = DistArray::<i32>::from_vec(&ctx, &[2], &[PAR], vec![0, 2]);
+        let c = DistArray::<i32>::from_vec(&ctx, &[2], &[PAR], vec![2, 1]);
+        let out = gather_nd(&ctx, &src, &[&r, &c]);
+        assert_eq!(out.to_vec(), vec![2, 7]);
+    }
+
+    #[test]
+    fn scatter_overwrites_last_wins() {
+        let ctx = ctx(4);
+        let mut dst = DistArray::<i32>::zeros(&ctx, &[4], &[PAR]);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[3], &[PAR], vec![1, 3, 1]);
+        let src = DistArray::<i32>::from_vec(&ctx, &[3], &[PAR], vec![10, 20, 30]);
+        scatter(&ctx, &mut dst, &idx, &src);
+        assert_eq!(dst.to_vec(), vec![0, 30, 0, 20]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_collisions() {
+        let ctx = ctx(4);
+        let mut dst = DistArray::<f64>::zeros(&ctx, &[3], &[PAR]);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[4], &[PAR], vec![0, 1, 0, 1]);
+        let src = DistArray::<f64>::from_vec(&ctx, &[4], &[PAR], vec![1., 2., 3., 4.]);
+        scatter_combine(&ctx, &mut dst, &idx, &src, Combine::Add);
+        assert_eq!(dst.to_vec(), vec![4.0, 6.0, 0.0]);
+        assert_eq!(ctx.instr.flops(), 4);
+    }
+
+    #[test]
+    fn scatter_max_keeps_largest() {
+        let ctx = ctx(2);
+        let mut dst = DistArray::<f64>::zeros(&ctx, &[2], &[PAR]);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[3], &[PAR], vec![0, 0, 1]);
+        let src = DistArray::<f64>::from_vec(&ctx, &[3], &[PAR], vec![2., 5., -1.]);
+        scatter_combine(&ctx, &mut dst, &idx, &src, Combine::Max);
+        assert_eq!(dst.to_vec(), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_nd_combine_into_grid() {
+        let ctx = ctx(2);
+        let mut grid = DistArray::<f64>::zeros(&ctx, &[2, 2], &[PAR, PAR]);
+        let r = DistArray::<i32>::from_vec(&ctx, &[3], &[PAR], vec![0, 1, 0]);
+        let c = DistArray::<i32>::from_vec(&ctx, &[3], &[PAR], vec![0, 1, 0]);
+        let v = DistArray::<f64>::from_vec(&ctx, &[3], &[PAR], vec![1., 2., 3.]);
+        scatter_nd_combine(&ctx, &mut grid, &[&r, &c], &v, Combine::Add);
+        assert_eq!(grid.get(&[0, 0]), 4.0);
+        assert_eq!(grid.get(&[1, 1]), 2.0);
+    }
+
+    #[test]
+    fn send_and_get_record_their_own_patterns() {
+        let ctx = ctx(2);
+        let src = DistArray::<i32>::from_fn(&ctx, &[4], &[PAR], |i| i[0] as i32);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[2], &[PAR], vec![1, 2]);
+        let _ = get(&ctx, &src, &idx);
+        let mut dst = DistArray::<i32>::zeros(&ctx, &[4], &[PAR]);
+        send(&ctx, &mut dst, &idx, &DistArray::<i32>::zeros(&ctx, &[2], &[PAR]));
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Get), 1);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Send), 1);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Gather), 0);
+    }
+
+    #[test]
+    fn serial_arrays_move_nothing_offproc() {
+        let ctx = ctx(1);
+        let src = DistArray::<f64>::from_fn(&ctx, &[8], &[SER], |i| i[0] as f64);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[8], &[SER], (0..8).rev().map(|i| i as i32).collect());
+        let _ = gather(&ctx, &src, &idx);
+        let snap = ctx.instr.comm_snapshot();
+        assert_eq!(snap.values().next().unwrap().offproc_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_bounds_checked() {
+        let ctx = ctx(2);
+        let src = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[1], &[PAR], vec![4]);
+        let _ = gather(&ctx, &src, &idx);
+    }
+}

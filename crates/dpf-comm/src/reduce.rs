@@ -1,0 +1,316 @@
+//! Reductions — `SUM`, `PRODUCT`, `MINVAL`/`MAXVAL`, dot products.
+//!
+//! The paper counts a reduction over `N` elements as `N − 1` FLOPs (its
+//! sequential operation count) and, under HPF execution semantics, charges
+//! masked reductions over the **full** extent. Min/max reductions move the
+//! same data but perform comparisons, not floating-point arithmetic, so
+//! they charge no FLOPs.
+//!
+//! Off-processor volume models a reduction tree: along an axis distributed
+//! over `p` processors, `p − 1` partial values per lane cross processor
+//! boundaries.
+
+use dpf_array::DistArray;
+use dpf_core::{flops, CommPattern, Ctx, Elem, Num};
+use rayon::prelude::*;
+
+fn record_reduce<T: Elem>(ctx: &Ctx, src_rank: usize, dst_rank: usize, len: u64, partials: u64) {
+    ctx.record_comm(
+        CommPattern::Reduction,
+        src_rank,
+        dst_rank,
+        len,
+        partials * T::DTYPE.size() as u64,
+    );
+}
+
+/// Total processors an array's grid actually uses.
+fn grid_procs<T: Elem>(a: &DistArray<T>) -> usize {
+    (0..a.rank()).map(|d| a.layout().procs_on(d)).product::<usize>().max(1)
+}
+
+/// `SUM(a)` — full reduction to a scalar.
+pub fn sum_all<T: Num>(ctx: &Ctx, a: &DistArray<T>) -> T {
+    ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.add_flops());
+    record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
+    ctx.busy(|| serial_sum(a.as_slice()))
+}
+
+/// `SUM(a, mask)` — masked full reduction; FLOPs charged over the full
+/// extent per HPF semantics (paper §1.4).
+pub fn sum_masked<T: Num>(ctx: &Ctx, a: &DistArray<T>, mask: &DistArray<bool>) -> T {
+    assert_eq!(a.shape(), mask.shape(), "mask shape mismatch");
+    ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.add_flops());
+    record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
+    ctx.busy(|| {
+        let mut acc = T::zero();
+        for (&x, &m) in a.as_slice().iter().zip(mask.as_slice()) {
+            if m {
+                acc += x;
+            }
+        }
+        acc
+    })
+}
+
+/// `PRODUCT(a)`.
+pub fn product_all<T: Num>(ctx: &Ctx, a: &DistArray<T>) -> T {
+    ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.mul_flops());
+    record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
+    ctx.busy(|| {
+        let mut acc = T::one();
+        for &x in a.as_slice() {
+            acc *= x;
+        }
+        acc
+    })
+}
+
+/// `SUM(a, dim=axis)` — reduction along one axis; the result drops that
+/// axis.
+pub fn sum_axis<T: Num>(ctx: &Ctx, a: &DistArray<T>, axis: usize) -> DistArray<T> {
+    assert!(axis < a.rank());
+    let n = a.shape()[axis];
+    let lanes = a.layout().lanes(axis) as u64;
+    ctx.add_flops(lanes * flops::reduction(n as u64) * T::DTYPE.add_flops());
+    let partials = lanes * (a.layout().procs_on(axis) as u64 - 1);
+    record_reduce::<T>(ctx, a.rank(), a.rank() - 1, a.len() as u64, partials);
+
+    let out_shape: Vec<usize> = a
+        .shape()
+        .iter()
+        .enumerate()
+        .filter(|&(d, _)| d != axis)
+        .map(|(_, &s)| s)
+        .collect();
+    let out_axes: Vec<_> = a
+        .layout()
+        .axes()
+        .iter()
+        .enumerate()
+        .filter(|&(d, _)| d != axis)
+        .map(|(_, &k)| k)
+        .collect();
+    let mut out = DistArray::<T>::zeros(ctx, &out_shape, &out_axes);
+    let outer: usize = a.shape()[..axis].iter().product();
+    let inner: usize = a.shape()[axis + 1..].iter().product();
+    ctx.busy(|| {
+        let src = a.as_slice();
+        let dst = out.as_mut_slice();
+        for o in 0..outer {
+            let src_base = o * n * inner;
+            let dst_base = o * inner;
+            for i in 0..n {
+                let row = &src[src_base + i * inner..src_base + (i + 1) * inner];
+                for (k, &v) in row.iter().enumerate() {
+                    dst[dst_base + k] += v;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `MAXVAL(a)` for ordered reals/integers; returns the maximum. Moves the
+/// same partials as a sum reduction but charges no FLOPs (comparisons).
+pub fn max_all<T: Elem + PartialOrd>(ctx: &Ctx, a: &DistArray<T>) -> T {
+    assert!(!a.is_empty() || a.len() == 1);
+    record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
+    ctx.busy(|| {
+        let s = a.as_slice();
+        let mut best = s[0];
+        for &x in &s[1..] {
+            if x > best {
+                best = x;
+            }
+        }
+        best
+    })
+}
+
+/// `MINVAL(a)`.
+pub fn min_all<T: Elem + PartialOrd>(ctx: &Ctx, a: &DistArray<T>) -> T {
+    record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
+    ctx.busy(|| {
+        let s = a.as_slice();
+        let mut best = s[0];
+        for &x in &s[1..] {
+            if x < best {
+                best = x;
+            }
+        }
+        best
+    })
+}
+
+/// `MAXLOC(|a|)` — flat index and value of the element of largest
+/// magnitude (the pivot search of `gauss-jordan` and `lu`).
+pub fn maxloc_abs<T: Num>(ctx: &Ctx, a: &DistArray<T>) -> (usize, T) {
+    record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
+    ctx.busy(|| {
+        let s = a.as_slice();
+        let mut best = 0usize;
+        let mut bm = s[0].mag();
+        for (i, &x) in s.iter().enumerate().skip(1) {
+            let m = x.mag();
+            if m > bm {
+                bm = m;
+                best = i;
+            }
+        }
+        (best, s[best])
+    })
+}
+
+/// Dot product `SUM(a * b)`: charges the multiplies plus the `N − 1`
+/// reduction adds, and records one Reduction (the paper's conj-grad and
+/// qr count their inner products this way).
+pub fn dot<T: Num>(ctx: &Ctx, a: &DistArray<T>, b: &DistArray<T>) -> T {
+    assert_eq!(a.shape(), b.shape(), "dot shape mismatch");
+    let n = a.len() as u64;
+    ctx.add_flops(n * T::DTYPE.mul_flops() + flops::reduction(n) * T::DTYPE.add_flops());
+    record_reduce::<T>(ctx, a.rank(), 0, n, grid_procs(a) as u64 - 1);
+    ctx.busy(|| {
+        if a.len() >= dpf_array::PAR_THRESHOLD {
+            a.as_slice()
+                .par_chunks(4096)
+                .zip(b.as_slice().par_chunks(4096))
+                .map(|(xa, xb)| {
+                    let mut acc = T::zero();
+                    for (&x, &y) in xa.iter().zip(xb) {
+                        acc += x * y;
+                    }
+                    acc
+                })
+                .reduce(T::zero, |p, q| p + q)
+        } else {
+            let mut acc = T::zero();
+            for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+                acc += x * y;
+            }
+            acc
+        }
+    })
+}
+
+fn serial_sum<T: Num>(s: &[T]) -> T {
+    let mut acc = T::zero();
+    for &x in s {
+        acc += x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_array::{PAR, SER};
+    use dpf_core::{Machine, C64};
+
+    fn ctx(p: usize) -> Ctx {
+        Ctx::new(Machine::cm5(p))
+    }
+
+    #[test]
+    fn sum_all_matches_arithmetic_series() {
+        let ctx = ctx(4);
+        let a = DistArray::<f64>::from_fn(&ctx, &[100], &[PAR], |i| i[0] as f64);
+        assert_eq!(sum_all(&ctx, &a), 4950.0);
+        assert_eq!(ctx.instr.flops(), 99);
+    }
+
+    #[test]
+    fn complex_sum_charges_two_flops_per_add() {
+        let ctx = ctx(2);
+        let a = DistArray::<C64>::full(&ctx, &[10], &[PAR], C64::new(1.0, -1.0));
+        let s = sum_all(&ctx, &a);
+        assert_eq!(s, C64::new(10.0, -10.0));
+        assert_eq!(ctx.instr.flops(), 9 * 2);
+    }
+
+    #[test]
+    fn masked_sum_charges_full_extent() {
+        let ctx = ctx(2);
+        let a = DistArray::<f64>::from_fn(&ctx, &[10], &[PAR], |i| i[0] as f64);
+        let mask = DistArray::<bool>::from_fn(&ctx, &[10], &[PAR], |i| i[0] % 2 == 0);
+        let s = sum_masked(&ctx, &a, &mask);
+        assert_eq!(s, 0.0 + 2.0 + 4.0 + 6.0 + 8.0);
+        // HPF semantics: full-extent FLOPs, not 4.
+        assert_eq!(ctx.instr.flops(), 9);
+    }
+
+    #[test]
+    fn sum_axis_reduces_correct_dimension() {
+        let ctx = ctx(4);
+        let a = DistArray::<f64>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| {
+            (i[0] * 3 + i[1]) as f64
+        });
+        let rows = sum_axis(&ctx, &a, 1);
+        assert_eq!(rows.shape(), &[2]);
+        assert_eq!(rows.to_vec(), vec![3.0, 12.0]);
+        let cols = sum_axis(&ctx, &a, 0);
+        assert_eq!(cols.shape(), &[3]);
+        assert_eq!(cols.to_vec(), vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn sum_axis_3d_middle() {
+        let ctx = ctx(2);
+        let a = DistArray::<f64>::full(&ctx, &[2, 4, 3], &[PAR, PAR, SER], 1.0);
+        let r = sum_axis(&ctx, &a, 1);
+        assert_eq!(r.shape(), &[2, 3]);
+        assert_eq!(r.to_vec(), vec![4.0; 6]);
+    }
+
+    #[test]
+    fn minmax_and_maxloc() {
+        let ctx = ctx(4);
+        let a = DistArray::<f64>::from_vec(
+            &ctx,
+            &[5],
+            &[PAR],
+            vec![3.0, -7.0, 2.0, 5.0, -1.0],
+        );
+        assert_eq!(max_all(&ctx, &a), 5.0);
+        assert_eq!(min_all(&ctx, &a), -7.0);
+        let (i, v) = maxloc_abs(&ctx, &a);
+        assert_eq!((i, v), (1, -7.0));
+        // min/max charge no FLOPs.
+        assert_eq!(ctx.instr.flops(), 0);
+    }
+
+    #[test]
+    fn dot_matches_and_charges_2n_minus_1() {
+        let ctx = ctx(2);
+        let a = DistArray::<f64>::full(&ctx, &[8], &[PAR], 2.0);
+        let b = DistArray::<f64>::full(&ctx, &[8], &[PAR], 3.0);
+        assert_eq!(dot(&ctx, &a, &b), 48.0);
+        assert_eq!(ctx.instr.flops(), 8 + 7);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Reduction), 1);
+    }
+
+    #[test]
+    fn paper_vtv_example_semantics() {
+        // Paper §1.4: vtv = sum(v*v, mask) executes the multiply on the
+        // full vector and charges the reduction's N−1 — 2N−1 total,
+        // independent of the mask.
+        let ctx = ctx(4);
+        let v = DistArray::<f64>::from_fn(&ctx, &[8], &[PAR], |i| i[0] as f64);
+        let mask = DistArray::<bool>::from_fn(&ctx, &[8], &[PAR], |i| i[0] >= 4);
+        let vv = v.zip_map(&ctx, 1, &v, |a, b| a * b);
+        let vtv = sum_masked(&ctx, &vv, &mask);
+        assert_eq!(vtv, 16.0 + 25.0 + 36.0 + 49.0);
+        assert_eq!(ctx.instr.flops(), 8 + 7);
+    }
+
+    #[test]
+    fn reduction_partials_scale_with_grid() {
+        let ctx = ctx(8);
+        let a = DistArray::<f64>::zeros(&ctx, &[64], &[PAR]);
+        let _ = sum_all(&ctx, &a);
+        let snap = ctx.instr.comm_snapshot();
+        let stats = snap.values().next().unwrap();
+        // 8 procs -> 7 partial doubles cross boundaries.
+        assert_eq!(stats.offproc_bytes, 7 * 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! CSHIFT and EOSHIFT — the suite's most frequent communication pattern.
+//!
+//! A circular shift along a parallel axis moves the elements near each
+//! block boundary to the neighbouring processor; along a serial axis it is
+//! a local memory move and records no communication. Off-processor volume
+//! is computed from the block map via
+//! [`Layout::offproc_per_lane`](dpf_array::Layout::offproc_per_lane).
+
+use dpf_array::DistArray;
+use dpf_core::{CommPattern, Ctx, Elem};
+
+/// Circular shift by `shift` along `axis`: `out[.., i, ..] = a[.., (i + shift) mod n, ..]`
+/// (CMF/HPF convention: positive shift moves data toward lower indices).
+pub fn cshift<T: Elem>(ctx: &Ctx, a: &DistArray<T>, axis: usize, shift: isize) -> DistArray<T> {
+    record_shift(ctx, a, axis, shift, CommPattern::Cshift);
+    shifted(ctx, a, axis, shift, Boundary::Cyclic)
+}
+
+/// End-off shift: elements shifted off the end are discarded and `fill`
+/// enters from the other side.
+pub fn eoshift<T: Elem>(
+    ctx: &Ctx,
+    a: &DistArray<T>,
+    axis: usize,
+    shift: isize,
+    fill: T,
+) -> DistArray<T> {
+    record_shift(ctx, a, axis, shift, CommPattern::Eoshift);
+    shifted(ctx, a, axis, shift, Boundary::Fill(fill))
+}
+
+fn record_shift<T: Elem>(
+    ctx: &Ctx,
+    a: &DistArray<T>,
+    axis: usize,
+    shift: isize,
+    pattern: CommPattern,
+) {
+    let offproc = a.layout().offproc_per_lane(axis, shift) * a.layout().lanes(axis);
+    ctx.record_comm(
+        pattern,
+        a.rank(),
+        a.rank(),
+        a.len() as u64,
+        (offproc * T::DTYPE.size()) as u64,
+    );
+}
+
+enum Boundary<T> {
+    Cyclic,
+    Fill(T),
+}
+
+fn shifted<T: Elem>(
+    ctx: &Ctx,
+    a: &DistArray<T>,
+    axis: usize,
+    shift: isize,
+    boundary: Boundary<T>,
+) -> DistArray<T> {
+    assert!(axis < a.rank(), "shift axis {axis} out of rank {}", a.rank());
+    let shape = a.shape().to_vec();
+    let n = shape[axis];
+    let outer: usize = shape[..axis].iter().product();
+    let inner: usize = shape[axis + 1..].iter().product();
+    let mut out = DistArray::<T>::zeros(ctx, &shape, a.layout().axes());
+    ctx.busy(|| {
+        let src = a.as_slice();
+        let dst = out.as_mut_slice();
+        // View the array as [outer, n, inner]; a shift along `axis` copies
+        // whole inner-contiguous lanes.
+        for o in 0..outer {
+            let base = o * n * inner;
+            for i in 0..n {
+                let j = i as isize + shift;
+                let d0 = base + i * inner;
+                match boundary {
+                    Boundary::Cyclic => {
+                        let j = j.rem_euclid(n as isize) as usize;
+                        let s0 = base + j * inner;
+                        dst[d0..d0 + inner].copy_from_slice(&src[s0..s0 + inner]);
+                    }
+                    Boundary::Fill(fill) => {
+                        if j < 0 || j >= n as isize {
+                            dst[d0..d0 + inner].fill(fill);
+                        } else {
+                            let s0 = base + j as usize * inner;
+                            dst[d0..d0 + inner].copy_from_slice(&src[s0..s0 + inner]);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_array::{PAR, SER};
+    use dpf_core::Machine;
+
+    fn ctx(p: usize) -> Ctx {
+        Ctx::new(Machine::cm5(p))
+    }
+
+    #[test]
+    fn cshift_1d_moves_toward_lower_indices() {
+        let ctx = ctx(4);
+        let a = DistArray::<i32>::from_fn(&ctx, &[5], &[PAR], |i| i[0] as i32);
+        let s = cshift(&ctx, &a, 0, 1);
+        assert_eq!(s.to_vec(), vec![1, 2, 3, 4, 0]);
+        let s = cshift(&ctx, &a, 0, -1);
+        assert_eq!(s.to_vec(), vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cshift_2d_along_each_axis() {
+        let ctx = ctx(4);
+        let a = DistArray::<i32>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| {
+            (i[0] * 3 + i[1]) as i32
+        });
+        let r = cshift(&ctx, &a, 1, 1);
+        assert_eq!(r.to_vec(), vec![1, 2, 0, 4, 5, 3]);
+        let c = cshift(&ctx, &a, 0, 1);
+        assert_eq!(c.to_vec(), vec![3, 4, 5, 0, 1, 2]);
+    }
+
+    #[test]
+    fn eoshift_fills_vacated_positions() {
+        let ctx = ctx(4);
+        let a = DistArray::<i32>::from_fn(&ctx, &[4], &[PAR], |i| i[0] as i32 + 1);
+        let s = eoshift(&ctx, &a, 0, 1, -9);
+        assert_eq!(s.to_vec(), vec![2, 3, 4, -9]);
+        let s = eoshift(&ctx, &a, 0, -2, 0);
+        assert_eq!(s.to_vec(), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn cshift_records_offproc_bytes() {
+        let ctx = ctx(4);
+        // 16 f64 over 4 procs: shift 1 moves 4 elements off-proc = 32 bytes.
+        let a = DistArray::<f64>::zeros(&ctx, &[16], &[PAR]);
+        let _ = cshift(&ctx, &a, 0, 1);
+        let snap = ctx.instr.comm_snapshot();
+        let (key, stats) = snap.iter().next().unwrap();
+        assert_eq!(key.pattern, CommPattern::Cshift);
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.offproc_bytes, 32);
+    }
+
+    #[test]
+    fn serial_axis_shift_is_local() {
+        let ctx = ctx(4);
+        let a = DistArray::<f64>::zeros(&ctx, &[16], &[SER]);
+        let _ = cshift(&ctx, &a, 0, 3);
+        let snap = ctx.instr.comm_snapshot();
+        let stats = snap.values().next().unwrap();
+        assert_eq!(stats.offproc_bytes, 0);
+        assert_eq!(stats.calls, 1);
+    }
+
+    #[test]
+    fn full_cycle_shift_is_identity() {
+        let ctx = ctx(2);
+        let a = DistArray::<i32>::from_fn(&ctx, &[6], &[PAR], |i| i[0] as i32);
+        assert_eq!(cshift(&ctx, &a, 0, 6).to_vec(), a.to_vec());
+        assert_eq!(cshift(&ctx, &a, 0, 0).to_vec(), a.to_vec());
+    }
+}

@@ -1,0 +1,172 @@
+//! Parallel sort — the router-collision mitigation primitive.
+//!
+//! The paper's qptransport and pic-gather-scatter sort particles by their
+//! destination cell so that a sum-scan can replace colliding router
+//! traffic. On the CM-5 this was a sample/radix sort over the data
+//! network; here the compute is a rayon parallel sort and the accounting
+//! charges the classical all-to-all volume (every element may change
+//! processor, `(p−1)/p` of them in expectation — we charge the exact
+//! count by comparing owners of the initial and final positions).
+
+use dpf_array::DistArray;
+use dpf_core::{CommPattern, Ctx, Elem, Num};
+use rayon::prelude::*;
+
+/// Sort an `i32` key array ascending, carrying a payload permutation.
+/// Returns `(sorted_keys, permutation)` where `permutation[k]` is the
+/// original index of the `k`-th smallest key (ties broken by original
+/// index, so the sort is stable).
+pub fn sort_keys(ctx: &Ctx, keys: &DistArray<i32>) -> (DistArray<i32>, DistArray<i32>) {
+    assert_eq!(keys.rank(), 1, "sort operates on 1-D arrays");
+    let n = keys.len();
+    let mut pairs: Vec<(i32, i32)> = ctx.busy(|| {
+        keys.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as i32))
+            .collect()
+    });
+    ctx.busy(|| {
+        if n >= dpf_array::PAR_THRESHOLD {
+            pairs.par_sort_unstable();
+        } else {
+            pairs.sort_unstable();
+        }
+    });
+    let sorted = DistArray::<i32>::from_vec(
+        ctx,
+        keys.shape(),
+        keys.layout().axes(),
+        pairs.iter().map(|&(k, _)| k).collect(),
+    );
+    let perm = DistArray::<i32>::from_vec(
+        ctx,
+        keys.shape(),
+        keys.layout().axes(),
+        pairs.iter().map(|&(_, i)| i).collect(),
+    );
+    record_sort(ctx, keys, perm.as_slice());
+    (sorted, perm)
+}
+
+/// Sort `f64` keys ascending (total order via `total_cmp`), returning the
+/// sorted keys and the permutation.
+pub fn sort_keys_f64(ctx: &Ctx, keys: &DistArray<f64>) -> (DistArray<f64>, DistArray<i32>) {
+    assert_eq!(keys.rank(), 1, "sort operates on 1-D arrays");
+    let n = keys.len();
+    let mut pairs: Vec<(f64, i32)> = ctx.busy(|| {
+        keys.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as i32))
+            .collect()
+    });
+    ctx.busy(|| {
+        let cmp = |a: &(f64, i32), b: &(f64, i32)| {
+            a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+        };
+        if n >= dpf_array::PAR_THRESHOLD {
+            pairs.par_sort_unstable_by(cmp);
+        } else {
+            pairs.sort_unstable_by(cmp);
+        }
+    });
+    let sorted = DistArray::<f64>::from_vec(
+        ctx,
+        keys.shape(),
+        keys.layout().axes(),
+        pairs.iter().map(|&(k, _)| k).collect(),
+    );
+    let perm = DistArray::<i32>::from_vec(
+        ctx,
+        keys.shape(),
+        keys.layout().axes(),
+        pairs.iter().map(|&(_, i)| i).collect(),
+    );
+    record_sort(ctx, keys, perm.as_slice());
+    (sorted, perm)
+}
+
+/// Apply a permutation produced by [`sort_keys`] to a payload array
+/// (local data motion already accounted by the sort itself).
+pub fn apply_perm<T: Num>(ctx: &Ctx, a: &DistArray<T>, perm: &DistArray<i32>) -> DistArray<T> {
+    assert_eq!(a.shape(), perm.shape(), "permutation shape mismatch");
+    let mut out = DistArray::<T>::zeros(ctx, a.shape(), a.layout().axes());
+    ctx.busy(|| {
+        let src = a.as_slice();
+        for (o, &p) in out.as_mut_slice().iter_mut().zip(perm.as_slice()) {
+            *o = src[p as usize];
+        }
+    });
+    out
+}
+
+fn record_sort<T: Elem>(ctx: &Ctx, keys: &DistArray<T>, perm: &[i32]) {
+    let layout = keys.layout();
+    let offproc = if layout.is_distributed() {
+        perm.iter()
+            .enumerate()
+            .filter(|&(dst, &src)| {
+                layout.owner_id_flat(src as usize) != layout.owner_id_flat(dst)
+            })
+            .count() as u64
+    } else {
+        0
+    };
+    ctx.record_comm(
+        CommPattern::Sort,
+        keys.rank(),
+        keys.rank(),
+        keys.len() as u64,
+        offproc * T::DTYPE.size() as u64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_array::PAR;
+    use dpf_core::Machine;
+
+    fn ctx(p: usize) -> Ctx {
+        Ctx::new(Machine::cm5(p))
+    }
+
+    #[test]
+    fn sort_orders_keys_and_returns_permutation() {
+        let ctx = ctx(4);
+        let keys = DistArray::<i32>::from_vec(&ctx, &[5], &[PAR], vec![3, 1, 4, 1, 5]);
+        let (sorted, perm) = sort_keys(&ctx, &keys);
+        assert_eq!(sorted.to_vec(), vec![1, 1, 3, 4, 5]);
+        assert_eq!(perm.to_vec(), vec![1, 3, 0, 2, 4]);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Sort), 1);
+    }
+
+    #[test]
+    fn permutation_carries_payload() {
+        let ctx = ctx(2);
+        let keys = DistArray::<i32>::from_vec(&ctx, &[4], &[PAR], vec![2, 0, 3, 1]);
+        let vals = DistArray::<f64>::from_vec(&ctx, &[4], &[PAR], vec![20., 0., 30., 10.]);
+        let (_, perm) = sort_keys(&ctx, &keys);
+        let sorted_vals = apply_perm(&ctx, &vals, &perm);
+        assert_eq!(sorted_vals.to_vec(), vec![0., 10., 20., 30.]);
+    }
+
+    #[test]
+    fn float_sort_handles_negatives() {
+        let ctx = ctx(2);
+        let keys =
+            DistArray::<f64>::from_vec(&ctx, &[4], &[PAR], vec![0.5, -1.5, 2.0, -0.1]);
+        let (sorted, _) = sort_keys_f64(&ctx, &keys);
+        assert_eq!(sorted.to_vec(), vec![-1.5, -0.1, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn already_sorted_array_moves_nothing() {
+        let ctx = ctx(4);
+        let keys = DistArray::<i32>::from_fn(&ctx, &[16], &[PAR], |i| i[0] as i32);
+        let _ = sort_keys(&ctx, &keys);
+        let snap = ctx.instr.comm_snapshot();
+        assert_eq!(snap.values().next().unwrap().offproc_bytes, 0);
+    }
+}

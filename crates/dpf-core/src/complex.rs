@@ -1,0 +1,279 @@
+//! Complex arithmetic for the suite.
+//!
+//! Implemented here (rather than via an external crate) so that the two
+//! Fortran complex kinds — 8-byte `COMPLEX` (`c`) and 16-byte
+//! `DOUBLE COMPLEX` (`z`) — carry the suite's [`DType`](crate::DType)
+//! conventions, and so the FFT and spectral benchmarks have no dependency
+//! outside the allowed set.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar underlying a [`Complex`] value.
+///
+/// The small method set is exactly what the suite's kernels need; both
+/// `f32` and `f64` implement it.
+pub trait Real:
+    Copy
+    + Send
+    + Sync
+    + Default
+    + PartialEq
+    + PartialOrd
+    + std::fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f64` (exact for `f64`).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` (exact for `f32` and `f64`).
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            #[inline]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+/// A complex number over a [`Real`] scalar.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Single-precision complex, the Fortran `COMPLEX` / DPF `c` type (8 bytes).
+pub type C32 = Complex<f32>;
+/// Double-precision complex, the Fortran `DOUBLE COMPLEX` / DPF `z` type (16 bytes).
+pub type C64 = Complex<f64>;
+
+impl<T: Real> Complex<T> {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+
+    /// The complex zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Complex { re: T::zero(), im: T::zero() }
+    }
+
+    /// The complex one.
+    #[inline]
+    pub fn one() -> Self {
+        Complex { re: T::one(), im: T::zero() }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub fn from_re(re: T) -> Self {
+        Complex { re, im: T::zero() }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ` — the FFT twiddle generator.
+    #[inline]
+    pub fn cis(theta: T) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn abs2(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> T {
+        self.abs2().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: T) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl<T: Real> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl<T: Real> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl<T: Real> Mul for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl<T: Real> Div for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.abs2();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl<T: Real> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<T: Real> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<T: Real> MulAssign for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn multiplication_is_correct() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -4.0);
+        assert!(close(a * b, C64::new(11.0, 2.0)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(0.7, -1.3);
+        let b = C64::new(2.5, 0.4);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / 16.0;
+            let w = C64::cis(theta);
+            assert!((w.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conjugate_squares_to_abs2() {
+        let a = C64::new(3.0, 4.0);
+        let p = a * a.conj();
+        assert!(close(p, C64::new(25.0, 0.0)));
+        assert_eq!(a.abs(), 5.0);
+    }
+
+    #[test]
+    fn single_precision_arithmetic_works() {
+        let a = C32::new(1.0, 1.0);
+        let b = a * a;
+        assert!((b.re - 0.0).abs() < 1e-6 && (b.im - 2.0).abs() < 1e-6);
+    }
+}

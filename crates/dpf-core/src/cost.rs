@@ -1,0 +1,149 @@
+//! Analytic cost model for a CM-5-class distributed-memory machine.
+//!
+//! The suite measures real busy/elapsed times on the host, but the paper's
+//! numbers were produced on a 1993 CM-5. To compare the *shape* of the
+//! results (who wins, by what factor) the harness can convert a run's
+//! recorded statistics — FLOPs plus per-pattern communication volumes —
+//! into modeled times on a parameterized machine.
+//!
+//! The model is the classical postal/LogP-style one: a pattern invocation
+//! costs a start-up latency `α` times its software-tree depth, plus the
+//! off-processor volume divided by the relevant bandwidth. Patterns are
+//! grouped into three classes:
+//!
+//! * **neighbour** (cshift, eoshift, stencil, send, get, gather, scatter):
+//!   depth 1, per-processor link bandwidth;
+//! * **tree** (reduction, broadcast, spread, scan): depth `log2 P`;
+//! * **global** (AAPC, AABC, butterfly, sort): depth `log2 P`, bisection
+//!   bandwidth.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::instr::{CommKey, CommPattern, CommStats};
+use crate::machine::Machine;
+
+/// Parameters of the modeled machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-invocation start-up latency, seconds.
+    pub alpha: f64,
+    /// Per-processor link bandwidth, bytes/second.
+    pub link_bw: f64,
+    /// Cross-machine bisection bandwidth, bytes/second (whole machine).
+    pub bisection_bw: f64,
+    /// Sustained FLOP rate per processor, FLOPs/second.
+    pub flops_per_proc: f64,
+}
+
+impl CostModel {
+    /// CM-5-class parameters: ~5 µs network start-up, ~10 MB/s per-node
+    /// link, bisection scaling with machine size is folded in by the
+    /// caller through `machine.nprocs`, and a sustained 20 MFLOPS per
+    /// vector-unit node (out of the 32 MFLOPS peak).
+    pub fn cm5() -> Self {
+        CostModel {
+            alpha: 5.0e-6,
+            link_bw: 10.0e6,
+            bisection_bw: 5.0e6, // per processor; scaled by P/2 below
+            flops_per_proc: 20.0e6,
+        }
+    }
+
+    /// Modeled compute time for `flops` on `machine`.
+    pub fn compute_time(&self, machine: &Machine, flops: u64) -> Duration {
+        Duration::from_secs_f64(
+            flops as f64 / (self.flops_per_proc * machine.nprocs as f64),
+        )
+    }
+
+    /// Modeled time of one aggregated communication record.
+    pub fn comm_time(&self, machine: &Machine, key: &CommKey, stats: &CommStats) -> Duration {
+        let p = machine.nprocs as f64;
+        let depth = match key.pattern {
+            CommPattern::Cshift
+            | CommPattern::Eoshift
+            | CommPattern::Stencil
+            | CommPattern::Send
+            | CommPattern::Get
+            | CommPattern::Gather
+            | CommPattern::GatherCombine
+            | CommPattern::Scatter
+            | CommPattern::ScatterCombine => 1.0,
+            CommPattern::Reduction
+            | CommPattern::Broadcast
+            | CommPattern::Spread
+            | CommPattern::Scan => p.log2().max(1.0),
+            CommPattern::Aapc
+            | CommPattern::Aabc
+            | CommPattern::Butterfly
+            | CommPattern::Sort => p.log2().max(1.0),
+        };
+        let bw = match key.pattern {
+            CommPattern::Aapc
+            | CommPattern::Aabc
+            | CommPattern::Butterfly
+            | CommPattern::Sort => self.bisection_bw * (p / 2.0).max(1.0),
+            _ => self.link_bw * p,
+        };
+        let latency = stats.calls as f64 * self.alpha * depth;
+        let volume = stats.offproc_bytes as f64 / bw;
+        Duration::from_secs_f64(latency + volume)
+    }
+
+    /// Total modeled time: compute plus all communication records.
+    pub fn total_time(
+        &self,
+        machine: &Machine,
+        flops: u64,
+        comm: &BTreeMap<CommKey, CommStats>,
+    ) -> Duration {
+        let mut t = self.compute_time(machine, flops);
+        for (key, stats) in comm {
+            t += self.comm_time(machine, key, stats);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: CommPattern) -> CommKey {
+        CommKey { pattern: p, src_rank: 1, dst_rank: 1 }
+    }
+
+    #[test]
+    fn compute_time_scales_with_processors() {
+        let m1 = Machine::cm5(1);
+        let m32 = Machine::cm5(32);
+        let cm = CostModel::cm5();
+        let t1 = cm.compute_time(&m1, 1_000_000).as_secs_f64();
+        let t32 = cm.compute_time(&m32, 1_000_000).as_secs_f64();
+        assert!((t1 / t32 - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_patterns_cost_log_latency() {
+        let m = Machine::cm5(64);
+        let cm = CostModel::cm5();
+        let s = CommStats { calls: 1, elements: 0, offproc_bytes: 0 };
+        let t_red = cm.comm_time(&m, &key(CommPattern::Reduction), &s).as_secs_f64();
+        let t_shift = cm.comm_time(&m, &key(CommPattern::Cshift), &s).as_secs_f64();
+        assert!((t_red / t_shift - 6.0).abs() < 1e-9, "log2(64) = 6");
+    }
+
+    #[test]
+    fn total_time_accumulates() {
+        let m = Machine::cm5(4);
+        let cm = CostModel::cm5();
+        let mut comm = BTreeMap::new();
+        comm.insert(
+            key(CommPattern::Cshift),
+            CommStats { calls: 10, elements: 1000, offproc_bytes: 4000 },
+        );
+        let t = cm.total_time(&m, 1_000_000, &comm);
+        assert!(t > cm.compute_time(&m, 1_000_000));
+    }
+}

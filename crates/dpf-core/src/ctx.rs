@@ -1,0 +1,93 @@
+//! The benchmark execution context.
+
+use crate::instr::{CommKey, CommPattern, Instr};
+use crate::machine::Machine;
+
+/// Execution context threaded through every DPF operation: the virtual
+/// [`Machine`] plus the run's [`Instr`]umentation.
+///
+/// A `Ctx` is cheap to create and owns no array data; benchmarks create one
+/// per run so metric state never leaks between runs.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    /// The virtual machine the run is laid out for.
+    pub machine: Machine,
+    /// The run's metric state.
+    pub instr: Instr,
+}
+
+impl Ctx {
+    /// Context for the given machine.
+    pub fn new(machine: Machine) -> Self {
+        Ctx { machine, instr: Instr::new() }
+    }
+
+    /// Context sized to the host (one virtual processor per hardware
+    /// thread).
+    pub fn host() -> Self {
+        Ctx::new(Machine::host())
+    }
+
+    /// Number of virtual processors.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.machine.nprocs
+    }
+
+    /// Charge `n` FLOPs (see [`crate::flops`] for the conventions).
+    #[inline]
+    pub fn add_flops(&self, n: u64) {
+        self.instr.add_flops(n);
+    }
+
+    /// Record one communication event.
+    #[inline]
+    pub fn record_comm(
+        &self,
+        pattern: CommPattern,
+        src_rank: usize,
+        dst_rank: usize,
+        elements: u64,
+        offproc_bytes: u64,
+    ) {
+        self.instr.record_comm(
+            CommKey { pattern, src_rank: src_rank as u8, dst_rank: dst_rank as u8 },
+            elements,
+            offproc_bytes,
+        );
+    }
+
+    /// Time `f` as busy (non-idle) work.
+    #[inline]
+    pub fn busy<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.instr.busy(f)
+    }
+
+    /// Run `f` as a named, separately-reported phase.
+    #[inline]
+    pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.instr.phase(name, f)
+    }
+
+    /// Run `f` with communication recording suppressed (for composite
+    /// primitives that record themselves once).
+    #[inline]
+    pub fn suppress_comm<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.instr.suppress_comm(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_delegates_to_instr() {
+        let ctx = Ctx::new(Machine::cm5(8));
+        ctx.add_flops(7);
+        ctx.record_comm(CommPattern::Broadcast, 0, 2, 16, 64);
+        assert_eq!(ctx.instr.flops(), 7);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Broadcast), 1);
+        assert_eq!(ctx.nprocs(), 8);
+    }
+}

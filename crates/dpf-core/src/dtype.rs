@@ -1,0 +1,163 @@
+//! Element types and the paper's memory-size conventions.
+//!
+//! Paper §1.5, attribute 3 fixes the sizes and single-letter sigils used in
+//! every memory-usage formula of Tables 4 and 6:
+//!
+//! | sigil | type | bytes |
+//! |---|---|---|
+//! | `t` | integer | 4 |
+//! | `l` | logical | 4 |
+//! | `s` | single-precision real | 4 |
+//! | `d` | double-precision real | 8 |
+//! | `c` | single-precision complex | 8 |
+//! | `z` | double-precision complex | 16 |
+//!
+//! Note that a Fortran `LOGICAL` occupies four bytes; Rust's `bool` is one
+//! byte, so the memory ledger accounts logicals at the Fortran size (what
+//! the paper's formulas assume) regardless of the host representation.
+
+use crate::complex::{C32, C64};
+
+/// The six element types of the suite, with the paper's sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 4-byte integer (`t`).
+    I32,
+    /// 4-byte logical (`l`).
+    Bool,
+    /// 4-byte single-precision real (`s`).
+    F32,
+    /// 8-byte double-precision real (`d`).
+    F64,
+    /// 8-byte single-precision complex (`c`).
+    C32,
+    /// 16-byte double-precision complex (`z`).
+    C64,
+}
+
+impl DType {
+    /// Size in bytes under the paper's conventions.
+    pub const fn size(self) -> usize {
+        match self {
+            DType::I32 | DType::Bool | DType::F32 => 4,
+            DType::F64 | DType::C32 => 8,
+            DType::C64 => 16,
+        }
+    }
+
+    /// The single-letter sigil used in the paper's memory formulas.
+    pub const fn sigil(self) -> char {
+        match self {
+            DType::I32 => 't',
+            DType::Bool => 'l',
+            DType::F32 => 's',
+            DType::F64 => 'd',
+            DType::C32 => 'c',
+            DType::C64 => 'z',
+        }
+    }
+
+    /// FLOP multiplier for complex arithmetic relative to real arithmetic.
+    ///
+    /// Tables 4's complex rows count four real FLOPs per complex
+    /// multiply-add pair (e.g. `matrix-vector` counts `2nm` for `s,d` and
+    /// `8nm` for `c,z`), i.e. a factor of 4.
+    pub const fn flop_factor(self) -> u64 {
+        match self {
+            DType::C32 | DType::C64 => 4,
+            _ => 1,
+        }
+    }
+
+    /// True for the two complex types.
+    pub const fn is_complex(self) -> bool {
+        matches!(self, DType::C32 | DType::C64)
+    }
+
+    /// Real FLOPs of one addition in this type (2 for complex).
+    pub const fn add_flops(self) -> u64 {
+        if self.is_complex() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Real FLOPs of one multiplication in this type (6 for complex:
+    /// 4 multiplies + 2 adds).
+    pub const fn mul_flops(self) -> u64 {
+        if self.is_complex() {
+            6
+        } else {
+            1
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.sigil())
+    }
+}
+
+/// An element that can live in a DPF array.
+///
+/// `Default` provides the zero value used for padding and `eoshift`
+/// boundaries; `PartialEq + Debug` support testing.
+pub trait Elem:
+    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
+{
+    /// The DPF type descriptor for this element.
+    const DTYPE: DType;
+}
+
+impl Elem for i32 {
+    const DTYPE: DType = DType::I32;
+}
+impl Elem for bool {
+    const DTYPE: DType = DType::Bool;
+}
+impl Elem for f32 {
+    const DTYPE: DType = DType::F32;
+}
+impl Elem for f64 {
+    const DTYPE: DType = DType::F64;
+}
+impl Elem for C32 {
+    const DTYPE: DType = DType::C32;
+}
+impl Elem for C64 {
+    const DTYPE: DType = DType::C64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper_table() {
+        assert_eq!(DType::I32.size(), 4);
+        assert_eq!(DType::Bool.size(), 4);
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::F64.size(), 8);
+        assert_eq!(DType::C32.size(), 8);
+        assert_eq!(DType::C64.size(), 16);
+    }
+
+    #[test]
+    fn sigils_match_paper_notation() {
+        let sigils: Vec<char> =
+            [DType::I32, DType::Bool, DType::F32, DType::F64, DType::C32, DType::C64]
+                .iter()
+                .map(|d| d.sigil())
+                .collect();
+        assert_eq!(sigils, vec!['t', 'l', 's', 'd', 'c', 'z']);
+    }
+
+    #[test]
+    fn complex_flop_factor_is_four() {
+        assert_eq!(DType::C32.flop_factor(), 4);
+        assert_eq!(DType::C64.flop_factor(), 4);
+        assert_eq!(DType::F64.flop_factor(), 1);
+    }
+}

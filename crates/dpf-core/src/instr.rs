@@ -1,0 +1,406 @@
+//! Instrumentation: FLOP, communication, memory and busy-time accounting.
+//!
+//! Every DPF benchmark run records the metric set of paper §1.5 through an
+//! [`Instr`] carried by the run's [`Ctx`](crate::Ctx):
+//!
+//! * **FLOP count** — charged in bulk by kernels under the conventions of
+//!   [`flops`](crate::flops).
+//! * **Communication** — every collective primitive in `dpf-comm` records
+//!   a ([`CommPattern`], source rank, destination rank) key with its call
+//!   count, element count and the exact number of bytes that cross virtual
+//!   processor boundaries under the arrays' block layouts. These records
+//!   regenerate the paper's Tables 3, 6 (communication column) and 7.
+//! * **Memory usage** — user-declared array bytes (constructor-registered);
+//!   compiler temporaries are deliberately *not* counted, matching the
+//!   paper's convention.
+//! * **Busy time** — wall time spent inside compute/communication
+//!   primitives; *elapsed* time is measured end-to-end by the harness. The
+//!   busy/elapsed pair mirrors the CM-5 `CM_timer` semantics of non-idle
+//!   versus total time.
+//! * **Phases** — named segments (`lu:factor`, `lu:solve`, …) so the codes
+//!   the paper times per segment (boson, fem-3D, md, mdcell, qcd-kernel,
+//!   qptransport, step4, qr, lu, diff-1D, diff-2D) can report them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The communication patterns named by the paper (§1.5, attribute 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommPattern {
+    /// Regular neighbour exchange composed by a stencil driver.
+    Stencil,
+    /// Many-to-one indexed read.
+    Gather,
+    /// Gather combined with a reduction at the destination.
+    GatherCombine,
+    /// One-to-many indexed write (collisions overwrite).
+    Scatter,
+    /// Scatter with a combining operator at collisions.
+    ScatterCombine,
+    /// Reduction along an axis or to a scalar.
+    Reduction,
+    /// One-to-all broadcast of a scalar or lower-rank array.
+    Broadcast,
+    /// Replication of an array along a new axis (`SPREAD`).
+    Spread,
+    /// All-to-all broadcast communication.
+    Aabc,
+    /// All-to-all personalized communication (transpose).
+    Aapc,
+    /// Butterfly exchange (FFT data motion).
+    Butterfly,
+    /// Parallel prefix (possibly segmented).
+    Scan,
+    /// Circular shift.
+    Cshift,
+    /// End-off shift.
+    Eoshift,
+    /// General send (indexed write without pattern structure).
+    Send,
+    /// General get (indexed read).
+    Get,
+    /// Parallel sort.
+    Sort,
+}
+
+impl CommPattern {
+    /// The paper's name for the pattern.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CommPattern::Stencil => "Stencil",
+            CommPattern::Gather => "Gather",
+            CommPattern::GatherCombine => "Gather w/ combine",
+            CommPattern::Scatter => "Scatter",
+            CommPattern::ScatterCombine => "Scatter w/ combine",
+            CommPattern::Reduction => "Reduction",
+            CommPattern::Broadcast => "Broadcast",
+            CommPattern::Spread => "SPREAD",
+            CommPattern::Aabc => "AABC",
+            CommPattern::Aapc => "AAPC",
+            CommPattern::Butterfly => "Butterfly (FFT)",
+            CommPattern::Scan => "Scan",
+            CommPattern::Cshift => "CSHIFT",
+            CommPattern::Eoshift => "EOSHIFT",
+            CommPattern::Send => "Send",
+            CommPattern::Get => "Get",
+            CommPattern::Sort => "Sort",
+        }
+    }
+}
+
+impl std::fmt::Display for CommPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Key under which communication statistics are aggregated: the pattern and
+/// the ranks (number of array dimensions) of its source and destination —
+/// the classification axis of the paper's Tables 3 and 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommKey {
+    /// The communication pattern.
+    pub pattern: CommPattern,
+    /// Rank of the source array (0 for scalars).
+    pub src_rank: u8,
+    /// Rank of the destination array (0 for scalars).
+    pub dst_rank: u8,
+}
+
+impl std::fmt::Display for CommKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.src_rank == self.dst_rank {
+            write!(f, "{} {}-D", self.pattern, self.src_rank)
+        } else {
+            write!(f, "{} {}-D to {}-D", self.pattern, self.src_rank, self.dst_rank)
+        }
+    }
+}
+
+/// Aggregated statistics for one [`CommKey`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of primitive invocations.
+    pub calls: u64,
+    /// Total elements moved (on- or off-processor).
+    pub elements: u64,
+    /// Bytes that crossed a virtual-processor boundary.
+    pub offproc_bytes: u64,
+}
+
+impl CommStats {
+    fn merge(&mut self, other: CommStats) {
+        self.calls += other.calls;
+        self.elements += other.elements;
+        self.offproc_bytes += other.offproc_bytes;
+    }
+}
+
+/// The paper's local-memory-access classification (§1.5, attribute 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LocalAccess {
+    /// No local (serial) axes are present.
+    NA,
+    /// Local axis indexed directly by the loop variable.
+    Direct,
+    /// Local axis indexed through another array.
+    Indirect,
+    /// Local axis indexed by a triplet subscript.
+    Strided,
+}
+
+impl std::fmt::Display for LocalAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LocalAccess::NA => "N/A",
+            LocalAccess::Direct => "direct",
+            LocalAccess::Indirect => "indirect",
+            LocalAccess::Strided => "strided",
+        })
+    }
+}
+
+/// A named, timed segment of a benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseReport {
+    /// Segment name, e.g. `"lu:factor"`.
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Wall time of the segment in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Busy (in-primitive) time attributed to the segment, nanoseconds.
+    pub busy_ns: u64,
+    /// FLOPs charged during the segment.
+    pub flops: u64,
+}
+
+/// The instrumentation state of one benchmark run.
+///
+/// All counters are thread-safe: element-wise kernels run under rayon, but
+/// accounting calls are made in bulk (per primitive, not per element) so
+/// the atomics are not contended in hot loops.
+#[derive(Debug, Default)]
+pub struct Instr {
+    flops: AtomicU64,
+    declared_bytes: AtomicU64,
+    busy_ns: AtomicU64,
+    busy_depth: AtomicUsize,
+    suppress_depth: AtomicUsize,
+    comm: Mutex<BTreeMap<CommKey, CommStats>>,
+    phases: Mutex<Vec<PhaseReport>>,
+    phase_stack: Mutex<Vec<usize>>,
+}
+
+impl Instr {
+    /// Fresh, zeroed instrumentation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` FLOPs.
+    #[inline]
+    pub fn add_flops(&self, n: u64) {
+        self.flops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total FLOPs charged so far.
+    #[inline]
+    pub fn flops(&self) -> u64 {
+        self.flops.load(Ordering::Relaxed)
+    }
+
+    /// Register `bytes` of user-declared array storage.
+    #[inline]
+    pub fn declare_bytes(&self, bytes: u64) {
+        self.declared_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total user-declared bytes.
+    #[inline]
+    pub fn declared_bytes(&self) -> u64 {
+        self.declared_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Busy (in-primitive) time so far, nanoseconds.
+    #[inline]
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Record one communication event. No-op while suppressed (a composite
+    /// primitive such as a stencil records itself once and suppresses its
+    /// constituent shifts, so per-iteration counts match the paper's).
+    pub fn record_comm(&self, key: CommKey, elements: u64, offproc_bytes: u64) {
+        if self.suppress_depth.load(Ordering::Relaxed) > 0 {
+            return;
+        }
+        let mut comm = self.comm.lock();
+        comm.entry(key)
+            .or_default()
+            .merge(CommStats { calls: 1, elements, offproc_bytes });
+    }
+
+    /// Run `f` with communication recording suppressed.
+    pub fn suppress_comm<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.suppress_depth.fetch_add(1, Ordering::Relaxed);
+        let r = f();
+        self.suppress_depth.fetch_sub(1, Ordering::Relaxed);
+        r
+    }
+
+    /// Time `f` as busy (non-idle) work. Nested busy sections do not double
+    /// count: only the outermost section accrues.
+    pub fn busy<R>(&self, f: impl FnOnce() -> R) -> R {
+        let outermost = self.busy_depth.fetch_add(1, Ordering::Relaxed) == 0;
+        let start = Instant::now();
+        let r = f();
+        if outermost {
+            self.busy_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        self.busy_depth.fetch_sub(1, Ordering::Relaxed);
+        r
+    }
+
+    /// Run `f` as the named phase, recording its elapsed/busy/FLOP deltas.
+    /// Phases may nest; the report preserves order and depth.
+    pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let idx;
+        {
+            let mut phases = self.phases.lock();
+            let mut stack = self.phase_stack.lock();
+            idx = phases.len();
+            phases.push(PhaseReport {
+                name: name.to_string(),
+                depth: stack.len(),
+                elapsed_ns: 0,
+                busy_ns: 0,
+                flops: 0,
+            });
+            stack.push(idx);
+        }
+        let flops0 = self.flops();
+        let busy0 = self.busy_ns();
+        let start = Instant::now();
+        let r = f();
+        let elapsed = start.elapsed().as_nanos() as u64;
+        {
+            let mut phases = self.phases.lock();
+            let p = &mut phases[idx];
+            p.elapsed_ns = elapsed;
+            p.busy_ns = self.busy_ns() - busy0;
+            p.flops = self.flops() - flops0;
+            self.phase_stack.lock().pop();
+        }
+        r
+    }
+
+    /// Snapshot of the aggregated communication statistics.
+    pub fn comm_snapshot(&self) -> BTreeMap<CommKey, CommStats> {
+        self.comm.lock().clone()
+    }
+
+    /// Total calls recorded for a pattern across all rank combinations.
+    pub fn pattern_calls(&self, pattern: CommPattern) -> u64 {
+        self.comm
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.pattern == pattern)
+            .map(|(_, s)| s.calls)
+            .sum()
+    }
+
+    /// The set of distinct patterns observed.
+    pub fn patterns(&self) -> Vec<CommPattern> {
+        let mut v: Vec<CommPattern> =
+            self.comm.lock().keys().map(|k| k.pattern).collect();
+        v.dedup();
+        v
+    }
+
+    /// Snapshot of the recorded phases.
+    pub fn phases(&self) -> Vec<PhaseReport> {
+        self.phases.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: CommPattern) -> CommKey {
+        CommKey { pattern: p, src_rank: 1, dst_rank: 1 }
+    }
+
+    #[test]
+    fn flops_accumulate() {
+        let i = Instr::new();
+        i.add_flops(10);
+        i.add_flops(5);
+        assert_eq!(i.flops(), 15);
+    }
+
+    #[test]
+    fn comm_records_aggregate_per_key() {
+        let i = Instr::new();
+        i.record_comm(key(CommPattern::Cshift), 100, 400);
+        i.record_comm(key(CommPattern::Cshift), 100, 400);
+        i.record_comm(key(CommPattern::Reduction), 50, 8);
+        let snap = i.comm_snapshot();
+        assert_eq!(snap[&key(CommPattern::Cshift)].calls, 2);
+        assert_eq!(snap[&key(CommPattern::Cshift)].offproc_bytes, 800);
+        assert_eq!(snap[&key(CommPattern::Reduction)].calls, 1);
+    }
+
+    #[test]
+    fn suppression_hides_inner_events() {
+        let i = Instr::new();
+        i.record_comm(key(CommPattern::Stencil), 10, 0);
+        i.suppress_comm(|| {
+            i.record_comm(key(CommPattern::Cshift), 10, 40);
+        });
+        assert_eq!(i.pattern_calls(CommPattern::Cshift), 0);
+        assert_eq!(i.pattern_calls(CommPattern::Stencil), 1);
+    }
+
+    #[test]
+    fn nested_busy_does_not_double_count() {
+        let i = Instr::new();
+        i.busy(|| {
+            i.busy(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        });
+        let ns = i.busy_ns();
+        // One outer interval of ~2 ms, not ~4 ms.
+        assert!(ns >= 1_000_000, "busy time too small: {ns}");
+        assert!(ns < 100_000_000, "busy time absurdly large: {ns}");
+    }
+
+    #[test]
+    fn phases_record_deltas_and_nesting() {
+        let i = Instr::new();
+        i.phase("outer", || {
+            i.add_flops(10);
+            i.phase("inner", || i.add_flops(5));
+        });
+        let phases = i.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "outer");
+        assert_eq!(phases[0].depth, 0);
+        assert_eq!(phases[0].flops, 15);
+        assert_eq!(phases[1].name, "inner");
+        assert_eq!(phases[1].depth, 1);
+        assert_eq!(phases[1].flops, 5);
+    }
+
+    #[test]
+    fn comm_key_display_matches_paper_style() {
+        let k = CommKey { pattern: CommPattern::Spread, src_rank: 1, dst_rank: 2 };
+        assert_eq!(k.to_string(), "SPREAD 1-D to 2-D");
+        let k2 = CommKey { pattern: CommPattern::Cshift, src_rank: 2, dst_rank: 2 };
+        assert_eq!(k2.to_string(), "CSHIFT 2-D");
+    }
+}

@@ -1,0 +1,38 @@
+//! Core substrate for the DPF (Data Parallel Fortran) benchmark suite.
+//!
+//! This crate provides everything the suite's HPF-style runtime needs that is
+//! not an array operation: the virtual [`Machine`] model, the element-type
+//! system with the paper's memory-size conventions ([`DType`], [`Elem`],
+//! [`Complex`]), the FLOP-counting conventions of paper §1.5 ([`flops`]),
+//! the instrumentation context ([`Ctx`], [`Instr`]) that records FLOPs,
+//! communication events, memory usage and busy/elapsed phase timings, the
+//! performance report ([`report`]) and an analytic [`cost`] model for a
+//! CM-5-class machine.
+//!
+//! Everything in the higher crates (`dpf-array`, `dpf-comm`, `dpf-linalg`,
+//! `dpf-apps`) threads a `&Ctx` through its operations so that each
+//! benchmark run yields the full metric set the paper defines: busy and
+//! elapsed times, busy and elapsed FLOP rates, FLOP count, memory usage,
+//! communication patterns and counts, and local-memory-access class.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod cost;
+pub mod ctx;
+pub mod dtype;
+pub mod flops;
+pub mod instr;
+pub mod machine;
+pub mod numeric;
+pub mod report;
+pub mod verify;
+
+pub use complex::{Complex, Real, C32, C64};
+pub use ctx::Ctx;
+pub use dtype::{DType, Elem};
+pub use instr::{CommKey, CommPattern, CommStats, Instr, LocalAccess, PhaseReport};
+pub use machine::Machine;
+pub use numeric::{Field, Num};
+pub use report::{BenchReport, PerfSummary};
+pub use verify::Verify;

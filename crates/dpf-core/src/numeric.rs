@@ -1,0 +1,169 @@
+//! Numeric element traits for generic kernels.
+//!
+//! [`Num`] covers the arithmetic every reduction/scan/linear-algebra kernel
+//! needs; it is implemented for `i32`, `f32`, `f64` and the two complex
+//! types, so a generic kernel written once serves all the dtype rows of the
+//! paper's Table 4.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::complex::{Complex, Real};
+use crate::dtype::Elem;
+
+/// An element type with ring arithmetic (all the suite's numeric dtypes).
+pub trait Num:
+    Elem
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact conversion from a small integer (workload generators).
+    fn from_i32(x: i32) -> Self;
+    /// Magnitude as `f64` (for residual norms and pivot selection).
+    fn mag(self) -> f64;
+}
+
+impl Num for i32 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+    #[inline]
+    fn one() -> Self {
+        1
+    }
+    #[inline]
+    fn from_i32(x: i32) -> Self {
+        x
+    }
+    #[inline]
+    fn mag(self) -> f64 {
+        (self as f64).abs()
+    }
+}
+
+impl Num for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_i32(x: i32) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn mag(self) -> f64 {
+        (self as f64).abs()
+    }
+}
+
+impl Num for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_i32(x: i32) -> Self {
+        x as f64
+    }
+    #[inline]
+    fn mag(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl<T: Real> Num for Complex<T>
+where
+    Complex<T>: Elem,
+{
+    #[inline]
+    fn zero() -> Self {
+        Complex::zero()
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::one()
+    }
+    #[inline]
+    fn from_i32(x: i32) -> Self {
+        Complex::from_re(T::from_f64(x as f64))
+    }
+    #[inline]
+    fn mag(self) -> f64 {
+        self.abs().to_f64()
+    }
+}
+
+/// A [`Num`] with exact division — the floating and complex dtypes
+/// (everything the solvers can eliminate with). `i32` is deliberately
+/// excluded: integer division truncates.
+pub trait Field: Num + Div<Output = Self> {
+    /// Multiplicative inverse.
+    #[inline]
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+}
+
+impl Field for f32 {}
+impl Field for f64 {}
+impl<T: Real> Field for Complex<T> where Complex<T>: Elem {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn sum_generic<T: Num>(xs: &[T]) -> T {
+        let mut acc = T::zero();
+        for &x in xs {
+            acc += x;
+        }
+        acc
+    }
+
+    #[test]
+    fn generic_sum_works_for_all_dtypes() {
+        assert_eq!(sum_generic(&[1i32, 2, 3]), 6);
+        assert_eq!(sum_generic(&[1.5f64, 2.5]), 4.0);
+        let c = sum_generic(&[C64::new(1.0, 2.0), C64::new(3.0, -1.0)]);
+        assert_eq!(c, C64::new(4.0, 1.0));
+    }
+
+    #[test]
+    fn magnitude_is_absolute_value() {
+        assert_eq!((-3i32).mag(), 3.0);
+        assert_eq!((-2.5f64).mag(), 2.5);
+        assert_eq!(C64::new(3.0, 4.0).mag(), 5.0);
+    }
+
+    #[test]
+    fn field_recip_inverts() {
+        assert!((2.0f64.recip() - 0.5).abs() < 1e-15);
+        let c = C64::new(0.0, 2.0);
+        let r = Field::recip(c);
+        assert!((c * r - C64::one()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_i32_round_trips_small_values() {
+        assert_eq!(f64::from_i32(-7), -7.0);
+        assert_eq!(C64::from_i32(3), C64::new(3.0, 0.0));
+    }
+}

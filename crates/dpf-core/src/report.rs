@@ -1,0 +1,240 @@
+//! Benchmark performance reports.
+//!
+//! The DPF codes produce four headline metrics (paper §1.5): busy time,
+//! elapsed time, busy FLOP rate and elapsed FLOP rate — plus the FLOP
+//! count, memory usage, communication inventory and per-segment (phase)
+//! breakdown. [`BenchReport`] carries all of them and renders the
+//! paper-style text block.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::instr::{CommKey, CommStats, PhaseReport};
+use crate::machine::Machine;
+use crate::verify::Verify;
+use crate::Ctx;
+
+/// The four §1.5 headline numbers, derived from a FLOP count and the two
+/// times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfSummary {
+    /// FLOPs charged during the run.
+    pub flops: u64,
+    /// Busy (non-idle) time.
+    pub busy: Duration,
+    /// Total benchmark execution time.
+    pub elapsed: Duration,
+}
+
+impl PerfSummary {
+    /// Busy FLOP rate in MFLOPS (`FLOP count / busy time`).
+    pub fn busy_mflops(&self) -> f64 {
+        rate_mflops(self.flops, self.busy)
+    }
+
+    /// Elapsed FLOP rate in MFLOPS (`FLOP count / elapsed time`).
+    pub fn elapsed_mflops(&self) -> f64 {
+        rate_mflops(self.flops, self.elapsed)
+    }
+
+    /// Arithmetic efficiency: busy FLOP rate over the machine's aggregate
+    /// peak rate (paper §1.5, attribute 2 — reported for the linear
+    /// algebra codes).
+    pub fn arithmetic_efficiency(&self, machine: &Machine) -> f64 {
+        let peak = machine.peak_flops();
+        if peak <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_mflops() * 1.0e6 / peak) * 100.0
+    }
+}
+
+fn rate_mflops(flops: u64, t: Duration) -> f64 {
+    let secs = t.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    flops as f64 / secs / 1.0e6
+}
+
+/// The complete metric record of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Benchmark name, e.g. `"fft"`.
+    pub name: String,
+    /// Code version, e.g. `"basic"`, `"optimized"`, `"library"`.
+    pub version: String,
+    /// Human-readable problem description, e.g. `"n=1024, dtype=z"`.
+    pub problem: String,
+    /// Headline metrics.
+    pub perf: PerfSummary,
+    /// User-declared memory in bytes.
+    pub memory_bytes: u64,
+    /// Aggregated communication statistics.
+    pub comm: BTreeMap<CommKey, CommStats>,
+    /// Per-segment breakdown, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Correctness outcome.
+    pub verify: Verify,
+    /// Machine the run was laid out for.
+    pub machine: Machine,
+}
+
+impl BenchReport {
+    /// Assemble a report from a context after a run of `elapsed` wall time.
+    pub fn from_ctx(
+        name: impl Into<String>,
+        version: impl Into<String>,
+        problem: impl Into<String>,
+        ctx: &Ctx,
+        elapsed: Duration,
+        verify: Verify,
+    ) -> Self {
+        BenchReport {
+            name: name.into(),
+            version: version.into(),
+            problem: problem.into(),
+            perf: PerfSummary {
+                flops: ctx.instr.flops(),
+                busy: Duration::from_nanos(ctx.instr.busy_ns()),
+                elapsed,
+            },
+            memory_bytes: ctx.instr.declared_bytes(),
+            comm: ctx.instr.comm_snapshot(),
+            phases: ctx.instr.phases(),
+            verify,
+            machine: ctx.machine.clone(),
+        }
+    }
+
+    /// Total communication calls across all patterns.
+    pub fn comm_calls(&self) -> u64 {
+        self.comm.values().map(|s| s.calls).sum()
+    }
+
+    /// Total off-processor bytes across all patterns.
+    pub fn offproc_bytes(&self) -> u64 {
+        self.comm.values().map(|s| s.offproc_bytes).sum()
+    }
+
+    /// Operation count per data point (paper §1.5 attribute 5) given the
+    /// problem size in points.
+    pub fn flops_per_point(&self, points: u64) -> f64 {
+        if points == 0 {
+            return 0.0;
+        }
+        self.perf.flops as f64 / points as f64
+    }
+}
+
+impl std::fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "benchmark: {} ({})    problem: {}    machine: {} procs",
+            self.name, self.version, self.problem, self.machine.nprocs
+        )?;
+        writeln!(f, "  FLOP count                : {}", self.perf.flops)?;
+        writeln!(f, "  Busy time (sec.)          : {:.6}", self.perf.busy.as_secs_f64())?;
+        writeln!(
+            f,
+            "  Elapsed time (sec.)       : {:.6}",
+            self.perf.elapsed.as_secs_f64()
+        )?;
+        writeln!(f, "  Busy floprate (MFLOPS)    : {:.2}", self.perf.busy_mflops())?;
+        writeln!(
+            f,
+            "  Elapsed floprate (MFLOPS) : {:.2}",
+            self.perf.elapsed_mflops()
+        )?;
+        writeln!(f, "  Memory usage (bytes)      : {}", self.memory_bytes)?;
+        writeln!(f, "  Verification              : {}", self.verify)?;
+        if !self.comm.is_empty() {
+            writeln!(f, "  Communication:")?;
+            for (key, stats) in &self.comm {
+                writeln!(
+                    f,
+                    "    {:<28} {:>8} calls {:>14} elements {:>14} off-proc bytes",
+                    key.to_string(),
+                    stats.calls,
+                    stats.elements,
+                    stats.offproc_bytes
+                )?;
+            }
+        }
+        if !self.phases.is_empty() {
+            writeln!(f, "  Segments:")?;
+            for p in &self.phases {
+                writeln!(
+                    f,
+                    "    {:indent$}{:<24} elapsed {:>10.6}s busy {:>10.6}s flops {:>12}",
+                    "",
+                    p.name,
+                    p.elapsed_ns as f64 * 1e-9,
+                    p.busy_ns as f64 * 1e-9,
+                    p.flops,
+                    indent = 2 * p.depth
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_rates_are_consistent() {
+        let p = PerfSummary {
+            flops: 2_000_000,
+            busy: Duration::from_secs(1),
+            elapsed: Duration::from_secs(2),
+        };
+        assert!((p.busy_mflops() - 2.0).abs() < 1e-12);
+        assert!((p.elapsed_mflops() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_rate() {
+        let p = PerfSummary {
+            flops: 10,
+            busy: Duration::ZERO,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(p.busy_mflops(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_efficiency_against_cm5_peak() {
+        // 32 procs x 32 MFLOPS = 1024 MFLOPS peak; 512 MFLOPS busy => 50%.
+        let m = Machine::cm5(32);
+        let p = PerfSummary {
+            flops: 512_000_000,
+            busy: Duration::from_secs(1),
+            elapsed: Duration::from_secs(1),
+        };
+        assert!((p.arithmetic_efficiency(&m) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_from_ctx_and_display() {
+        let ctx = Ctx::new(Machine::cm5(4));
+        ctx.add_flops(100);
+        ctx.instr.declare_bytes(4096);
+        let r = BenchReport::from_ctx(
+            "demo",
+            "basic",
+            "n=16",
+            &ctx,
+            Duration::from_millis(10),
+            Verify::NotApplicable,
+        );
+        assert_eq!(r.perf.flops, 100);
+        assert_eq!(r.memory_bytes, 4096);
+        let text = r.to_string();
+        assert!(text.contains("FLOP count"));
+        assert!(text.contains("Busy time"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Benchmark result verification.
+//!
+//! Every benchmark in the suite returns a [`Verify`] so that the harness
+//! and the test suite can assert *correctness* of a run, not only record
+//! its metrics. Verification compares against a serial reference solution,
+//! a conservation law, a known analytic solution, or a residual norm —
+//! whichever the benchmark's mathematics admits.
+
+/// Outcome of a benchmark's built-in verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verify {
+    /// The check passed: `value <= tol` for the named metric.
+    Pass {
+        /// What was checked (e.g. `"residual"`, `"energy drift"`).
+        metric: &'static str,
+        /// Measured value.
+        value: f64,
+        /// Tolerance it was compared against.
+        tol: f64,
+    },
+    /// The check failed.
+    Fail {
+        /// What was checked.
+        metric: &'static str,
+        /// Measured value.
+        value: f64,
+        /// Tolerance it exceeded.
+        tol: f64,
+    },
+    /// The benchmark has no meaningful numerical check (pure data motion).
+    NotApplicable,
+}
+
+impl Verify {
+    /// Build a Pass/Fail from a measured error value and tolerance.
+    pub fn check(metric: &'static str, value: f64, tol: f64) -> Self {
+        if value.is_finite() && value.abs() <= tol {
+            Verify::Pass { metric, value, tol }
+        } else {
+            Verify::Fail { metric, value, tol }
+        }
+    }
+
+    /// True unless the check failed.
+    pub fn is_pass(&self) -> bool {
+        !matches!(self, Verify::Fail { .. })
+    }
+}
+
+impl std::fmt::Display for Verify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verify::Pass { metric, value, tol } => {
+                write!(f, "PASS ({metric} = {value:.3e} <= {tol:.1e})")
+            }
+            Verify::Fail { metric, value, tol } => {
+                write!(f, "FAIL ({metric} = {value:.3e} > {tol:.1e})")
+            }
+            Verify::NotApplicable => write!(f, "n/a"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_classifies_by_tolerance() {
+        assert!(Verify::check("residual", 1e-12, 1e-10).is_pass());
+        assert!(!Verify::check("residual", 1e-8, 1e-10).is_pass());
+        assert!(Verify::NotApplicable.is_pass());
+    }
+
+    #[test]
+    fn nan_fails() {
+        assert!(!Verify::check("residual", f64::NAN, 1.0).is_pass());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Verify::check("residual", 1e-12, 1e-10);
+        assert!(v.to_string().starts_with("PASS"));
+    }
+}

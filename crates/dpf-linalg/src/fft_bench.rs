@@ -1,0 +1,82 @@
+//! `fft` — the FFT library benchmark wrappers (1-D, 2-D, 3-D).
+//!
+//! Table 4 rows: `5n` / `10n²` / `15n³` FLOPs per iteration (= per
+//! butterfly stage per transformed axis), memory `100n` / `115n²` /
+//! `136n³` bytes (z — input, output and workspace), and per iteration
+//! **2 CSHIFTs + 1 AAPC** per axis. The transforms themselves live in
+//! `dpf-fft`; these wrappers build the workloads and verify round trips.
+
+use dpf_array::{DistArray, PAR, SER};
+use dpf_core::{Ctx, Verify, C64};
+use dpf_fft::{fft, fft_2d, fft_3d, Direction};
+
+/// Complex workload with deterministic pseudo-random content.
+pub fn workload(ctx: &Ctx, shape: &[usize]) -> DistArray<C64> {
+    let axes = match shape.len() {
+        1 => vec![PAR],
+        2 => vec![PAR, PAR],
+        3 => vec![PAR, PAR, SER],
+        r => panic!("fft benchmark supports rank 1-3, got {r}"),
+    };
+    DistArray::<C64>::from_fn(ctx, shape, &axes, |idx| {
+        let s: usize = idx.iter().enumerate().map(|(d, &i)| i * (d * 131 + 17)).sum();
+        C64::new(pseudo(s), pseudo(s + 1))
+    })
+    .declare(ctx)
+}
+
+fn pseudo(seed: usize) -> f64 {
+    let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    (h as f64 / usize::MAX as f64) * 2.0 - 1.0
+}
+
+/// Run forward+inverse of the right rank and verify the round trip.
+pub fn run_roundtrip(ctx: &Ctx, a: &DistArray<C64>) -> (DistArray<C64>, Verify) {
+    let f = match a.rank() {
+        1 => fft(ctx, a, Direction::Forward),
+        2 => fft_2d(ctx, a, Direction::Forward),
+        3 => fft_3d(ctx, a, Direction::Forward),
+        r => panic!("unsupported rank {r}"),
+    };
+    let back = match a.rank() {
+        1 => fft(ctx, &f, Direction::Inverse),
+        2 => fft_2d(ctx, &f, Direction::Inverse),
+        3 => fft_3d(ctx, &f, Direction::Inverse),
+        _ => unreachable!(),
+    };
+    let worst = back
+        .as_slice()
+        .iter()
+        .zip(a.as_slice())
+        .map(|(p, q)| (*p - *q).abs())
+        .fold(0.0, f64::max);
+    (f, Verify::check("fft round-trip error", worst, 1e-8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::Machine;
+
+    #[test]
+    fn roundtrip_all_ranks() {
+        for shape in [vec![64usize], vec![16, 16], vec![8, 8, 8]] {
+            let ctx = Ctx::new(Machine::cm5(4));
+            let a = workload(&ctx, &shape);
+            let (_, v) = run_roundtrip(&ctx, &a);
+            assert!(v.is_pass(), "rank {} failed: {v}", shape.len());
+        }
+    }
+
+    #[test]
+    fn flops_scale_as_table4() {
+        // 2-D of n x n: forward = 2 axes * 5 n^2 log2 n.
+        let ctx = Ctx::new(Machine::cm5(2));
+        let n = 16u64;
+        let a = workload(&ctx, &[n as usize, n as usize]);
+        let f0 = ctx.instr.flops();
+        let _ = fft_2d(&ctx, &a, Direction::Forward);
+        let measured = ctx.instr.flops() - f0;
+        assert_eq!(measured, 2 * 5 * n * n * n.trailing_zeros() as u64);
+    }
+}

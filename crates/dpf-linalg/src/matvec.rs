@@ -1,0 +1,351 @@
+//! `matrix-vector` — dense matrix–vector multiplication, four layouts.
+//!
+//! Table 2 lists four data layouts for the benchmark; Table 4 gives its
+//! main-loop characterization: `2nm·i` FLOPs (real; `8nm·i` complex),
+//! memory `4(n + nm + m)·i` (s) / `8(n + nm + m)·i` (d), **1 Broadcast +
+//! 1 Reduction** per iteration, and *direct* local access.
+//!
+//! The basic version is the idiomatic CMF spelling
+//! `y = SUM(SPREAD(x, 1, n) * A, dim=2)` — a broadcast of the vector
+//! followed by an element-wise product and an axis reduction. The
+//! library version is a tuned row-blocked kernel behind the same
+//! interface (what CMSSL's `gen_matrix_vector_mult` provided).
+
+use dpf_array::{AxisKind, DistArray, PAR, SER};
+use dpf_comm::{broadcast, sum_axis};
+use dpf_core::{Ctx, Num, Verify};
+use rayon::prelude::*;
+
+/// The four data layouts of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MvLayout {
+    /// (1) `x(:)`, `A(:,:)` — single instance, all axes parallel.
+    AllParallel,
+    /// (2) `x(:,:)`, `A(:,:,:)` — `i` instances, all axes parallel.
+    Instances,
+    /// (3) `x(:serial,:)`, `A(:serial,:serial,:)` — local matrices,
+    /// parallel instance axis.
+    SerialLocal,
+    /// (4) `x(:,:)`, `A(:serial,:,:)` — serial row axis.
+    SerialRows,
+}
+
+impl MvLayout {
+    /// All four, in Table 2 order.
+    pub const ALL: [MvLayout; 4] = [
+        MvLayout::AllParallel,
+        MvLayout::Instances,
+        MvLayout::SerialLocal,
+        MvLayout::SerialRows,
+    ];
+
+    /// The paper's row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MvLayout::AllParallel => "(1) X(:), X(:,:)",
+            MvLayout::Instances => "(2) X(:,:), X(:,:,:)",
+            MvLayout::SerialLocal => "(3) X(:serial,:), X(:serial,:serial,:)",
+            MvLayout::SerialRows => "(4) X(:,:), X(:serial,:,:)",
+        }
+    }
+
+    /// The axis kinds of the (instances, n, m) matrix array.
+    pub fn matrix_axes(self) -> [AxisKind; 3] {
+        match self {
+            MvLayout::AllParallel | MvLayout::Instances => [PAR, PAR, PAR],
+            MvLayout::SerialLocal => [PAR, SER, SER],
+            MvLayout::SerialRows => [PAR, SER, PAR],
+        }
+    }
+
+    /// The axis kinds of the (instances, m) vector array.
+    pub fn vector_axes(self) -> [AxisKind; 2] {
+        match self {
+            MvLayout::AllParallel | MvLayout::Instances => [PAR, PAR],
+            MvLayout::SerialLocal => [PAR, SER],
+            MvLayout::SerialRows => [PAR, PAR],
+        }
+    }
+}
+
+/// Basic version: `y = SUM(SPREAD(x) * A, dim)` over `i` instances.
+/// `a` is `(i, n, m)`, `x` is `(i, m)`; the result is `(i, n)`.
+/// Generic over the dtype: the `c`/`z` rows of Table 4 use the same
+/// spelling with the complex FLOP weights.
+pub fn matvec_basic<T: Num>(ctx: &Ctx, a: &DistArray<T>, x: &DistArray<T>) -> DistArray<T> {
+    let (ni, n, m) = dims(a, x);
+    // Broadcast x along a new row axis: (i, m) -> (i, n, m).
+    let xs = {
+        // broadcast inserts one axis; we need it at position 1.
+        broadcast(ctx, x, 1, n, a.layout().axes()[1])
+    };
+    let prod = a.zip_map(ctx, T::DTYPE.mul_flops(), &xs, |p, q| p * q);
+    let y = sum_axis(ctx, &prod, 2);
+    debug_assert_eq!(y.shape(), &[ni, n]);
+    let _ = m;
+    y
+}
+
+/// Library version: row-blocked dot-product kernel (CMSSL-style). Charges
+/// the same FLOPs and records the same Broadcast + Reduction pair so the
+/// two versions are directly comparable in the version-axis benches.
+pub fn matvec_library<T: Num>(ctx: &Ctx, a: &DistArray<T>, x: &DistArray<T>) -> DistArray<T> {
+    let (ni, n, m) = dims(a, x);
+    ctx.record_comm(dpf_core::CommPattern::Broadcast, 2, 3, (ni * n * m) as u64, 0);
+    ctx.record_comm(dpf_core::CommPattern::Reduction, 3, 2, (ni * n * m) as u64, 0);
+    ctx.add_flops((ni * n * m) as u64 * (T::DTYPE.mul_flops() + T::DTYPE.add_flops()));
+    let mut y = DistArray::<T>::zeros(ctx, &[ni, n], x.layout().axes());
+    ctx.busy(|| {
+        let av = a.as_slice();
+        let xv = x.as_slice();
+        y.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(inst, yrow)| {
+                let abase = inst * n * m;
+                let xrow = &xv[inst * m..(inst + 1) * m];
+                for (r, out) in yrow.iter_mut().enumerate() {
+                    let row = &av[abase + r * m..abase + (r + 1) * m];
+                    let mut acc = T::zero();
+                    for (p, q) in row.iter().zip(xrow) {
+                        acc += *p * *q;
+                    }
+                    *out = acc;
+                }
+            });
+    });
+    y
+}
+
+fn dims<T: Num>(a: &DistArray<T>, x: &DistArray<T>) -> (usize, usize, usize) {
+    assert_eq!(a.rank(), 3, "matrix array is (instances, n, m)");
+    assert_eq!(x.rank(), 2, "vector array is (instances, m)");
+    let (ni, n, m) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    assert_eq!(x.shape()[0], ni, "instance counts differ");
+    assert_eq!(x.shape()[1], m, "inner dimensions differ");
+    (ni, n, m)
+}
+
+/// Build the benchmark inputs for a layout: `i` well-conditioned `n×m`
+/// matrices and vectors with entries in `[-1, 1]`.
+pub fn workload(
+    ctx: &Ctx,
+    layout: MvLayout,
+    ni: usize,
+    n: usize,
+    m: usize,
+) -> (DistArray<f64>, DistArray<f64>) {
+    let a = DistArray::<f64>::from_fn(ctx, &[ni, n, m], &layout.matrix_axes(), |idx| {
+        pseudo(idx[0] * 31 + idx[1] * 7 + idx[2])
+    })
+    .declare(ctx);
+    let x = DistArray::<f64>::from_fn(ctx, &[ni, m], &layout.vector_axes(), |idx| {
+        pseudo(idx[0] * 17 + idx[1] * 3 + 1)
+    })
+    .declare(ctx);
+    (a, x)
+}
+
+fn pseudo(seed: usize) -> f64 {
+    // Deterministic quasi-random in [-1, 1].
+    let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    (h as f64 / usize::MAX as f64) * 2.0 - 1.0
+}
+
+/// Verify a result against the serial reference.
+pub fn verify(
+    a: &DistArray<f64>,
+    x: &DistArray<f64>,
+    y: &DistArray<f64>,
+    tol: f64,
+) -> Verify {
+    let (ni, n, m) = dims(a, x);
+    let mut worst = 0.0f64;
+    for inst in 0..ni {
+        let ar = &a.as_slice()[inst * n * m..(inst + 1) * n * m];
+        let xr = &x.as_slice()[inst * m..(inst + 1) * m];
+        let want = crate::reference::matvec_dense(ar, xr, n, m);
+        for r in 0..n {
+            worst = worst.max((y.as_slice()[inst * n + r] - want[r]).abs());
+        }
+    }
+    Verify::check("matvec residual", worst, tol)
+}
+
+/// Complex (`z`) workload for the Table 4 c/z rows.
+pub fn workload_c64(
+    ctx: &Ctx,
+    layout: MvLayout,
+    ni: usize,
+    n: usize,
+    m: usize,
+) -> (DistArray<dpf_core::C64>, DistArray<dpf_core::C64>) {
+    use dpf_core::C64;
+    let a = DistArray::<C64>::from_fn(ctx, &[ni, n, m], &layout.matrix_axes(), |idx| {
+        C64::new(
+            pseudo(idx[0] * 31 + idx[1] * 7 + idx[2]),
+            pseudo(idx[0] * 31 + idx[1] * 7 + idx[2] + 1),
+        )
+    })
+    .declare(ctx);
+    let x = DistArray::<C64>::from_fn(ctx, &[ni, m], &layout.vector_axes(), |idx| {
+        C64::new(pseudo(idx[0] * 17 + idx[1] * 3 + 1), pseudo(idx[0] * 17 + idx[1] * 3 + 2))
+    })
+    .declare(ctx);
+    (a, x)
+}
+
+/// Verify a result of any dtype against a naive same-dtype evaluation.
+pub fn verify_generic<T: Num>(
+    a: &DistArray<T>,
+    x: &DistArray<T>,
+    y: &DistArray<T>,
+    tol: f64,
+) -> Verify {
+    let (ni, n, m) = dims(a, x);
+    let mut worst = 0.0f64;
+    for inst in 0..ni {
+        for r in 0..n {
+            let mut acc = T::zero();
+            for k in 0..m {
+                acc += a.as_slice()[(inst * n + r) * m + k] * x.as_slice()[inst * m + k];
+            }
+            worst = worst.max((y.as_slice()[inst * n + r] - acc).mag());
+        }
+    }
+    Verify::check("matvec residual", worst, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::{CommPattern, Machine};
+
+    fn ctx(p: usize) -> Ctx {
+        Ctx::new(Machine::cm5(p))
+    }
+
+    #[test]
+    fn basic_matches_reference_all_layouts() {
+        for layout in [
+            MvLayout::AllParallel,
+            MvLayout::Instances,
+            MvLayout::SerialLocal,
+            MvLayout::SerialRows,
+        ] {
+            let ctx = ctx(4);
+            let (a, x) = workload(&ctx, layout, 3, 5, 7);
+            let y = matvec_basic(&ctx, &a, &x);
+            assert!(verify(&a, &x, &y, 1e-12).is_pass(), "layout {layout:?}");
+        }
+    }
+
+    #[test]
+    fn library_matches_basic() {
+        let ctx = ctx(4);
+        let (a, x) = workload(&ctx, MvLayout::Instances, 2, 8, 6);
+        let yb = matvec_basic(&ctx, &a, &x);
+        let yl = matvec_library(&ctx, &a, &x);
+        for (p, q) in yb.to_vec().iter().zip(yl.to_vec()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flops_are_2nmi_leading_order() {
+        let ctx = ctx(2);
+        let (a, x) = workload(&ctx, MvLayout::Instances, 2, 16, 16);
+        let _ = matvec_basic(&ctx, &a, &x);
+        // product: nmi muls, reduction: (m-1)*n*i adds => 2nmi - ni.
+        let (ni, n, m) = (2u64, 16u64, 16u64);
+        assert_eq!(ctx.instr.flops(), ni * n * m + ni * n * (m - 1));
+    }
+
+    #[test]
+    fn comm_is_one_broadcast_one_reduction() {
+        let ctx = ctx(4);
+        let (a, x) = workload(&ctx, MvLayout::AllParallel, 1, 8, 8);
+        let _ = matvec_basic(&ctx, &a, &x);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Broadcast), 1);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Reduction), 1);
+    }
+
+    #[test]
+    fn memory_matches_paper_formula() {
+        // Table 4: d: 8(n + nm + m)i bytes (x, A and the y result).
+        let ctx = ctx(2);
+        let (ni, n, m) = (2usize, 8usize, 6usize);
+        let (_a, _x) = workload(&ctx, MvLayout::Instances, ni, n, m);
+        let y = DistArray::<f64>::zeros(&ctx, &[ni, n], &[PAR, PAR]).declare(&ctx);
+        let _ = y;
+        assert_eq!(
+            ctx.instr.declared_bytes(),
+            (8 * (n + n * m + m) * ni) as u64
+        );
+    }
+
+    #[test]
+    fn layouts_change_communication_not_answers() {
+        // Table 2's point: the layout variant selects where the data
+        // motion happens. Layout (3) keeps the matrix local per instance
+        // (zero off-processor broadcast volume); layout (2) distributes
+        // everything.
+        let mut results: Vec<Vec<f64>> = Vec::new();
+        let mut volumes = Vec::new();
+        for layout in MvLayout::ALL {
+            let ctx = Ctx::new(dpf_core::Machine::cm5(16));
+            let (a, x) = workload(&ctx, layout, 4, 16, 16);
+            let y = matvec_basic(&ctx, &a, &x);
+            results.push(y.to_vec());
+            let snap = ctx.instr.comm_snapshot();
+            volumes.push(snap.values().map(|s| s.offproc_bytes).sum::<u64>());
+        }
+        for r in &results[1..] {
+            for (p, q) in r.iter().zip(&results[0]) {
+                assert!((p - q).abs() < 1e-12);
+            }
+        }
+        // Fully parallel layout moves data; the serial-local layout may
+        // not (its broadcast axis is within-processor).
+        assert!(volumes[1] > 0, "layout (2) should move data: {volumes:?}");
+        assert!(
+            volumes[2] < volumes[1],
+            "layout (3) should move less than (2): {volumes:?}"
+        );
+    }
+
+    #[test]
+    fn complex_matvec_matches_naive_and_charges_8nmi() {
+        // Table 4's c,z row: 8nmi FLOPs for complex multiply-add pairs.
+        let ctx = ctx(4);
+        let (ni, n, m) = (2u64, 8u64, 8u64);
+        let (a, x) = workload_c64(&ctx, MvLayout::Instances, 2, 8, 8);
+        let y = matvec_basic(&ctx, &a, &x);
+        assert!(verify_generic(&a, &x, &y, 1e-12).is_pass());
+        // products: 6nmi real FLOPs; reduction: 2(m−1)ni — total ≈ 8nmi.
+        let measured = ctx.instr.flops();
+        assert_eq!(measured, 6 * ni * n * m + 2 * ni * n * (m - 1));
+        let lead = (8 * ni * n * m) as f64;
+        assert!((measured as f64 - lead).abs() / lead < 0.05);
+    }
+
+    #[test]
+    fn complex_library_matches_basic() {
+        let ctx = ctx(2);
+        let (a, x) = workload_c64(&ctx, MvLayout::Instances, 2, 6, 9);
+        let yb = matvec_basic(&ctx, &a, &x);
+        let yl = matvec_library(&ctx, &a, &x);
+        for (p, q) in yb.to_vec().iter().zip(yl.to_vec()) {
+            assert!((*p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes_work() {
+        let ctx = ctx(4);
+        let (a, x) = workload(&ctx, MvLayout::SerialRows, 1, 3, 9);
+        let y = matvec_basic(&ctx, &a, &x);
+        assert_eq!(y.shape(), &[1, 3]);
+        assert!(verify(&a, &x, &y, 1e-12).is_pass());
+    }
+}

@@ -1,0 +1,317 @@
+//! `pcr` — tridiagonal solution by parallel cyclic reduction.
+//!
+//! Table 2 lists three layout variants: a single system `x(:)` with the
+//! coefficient quad on a serial axis, and batched systems on 2-D/3-D
+//! arrays. Table 4 characterizes the main loop as `(5r + 12)n` FLOPs and
+//! **(2r + 4) CSHIFTs** per iteration, where `r = log2 n` is the number
+//! of reduction steps; local access is *direct*.
+//!
+//! The implementation packs the four coefficient arrays `(l, d, u, rhs)`
+//! on a leading serial axis so each reduction step shifts the whole quad
+//! with **two** CSHIFTs (one per direction), exactly the `2r` of the
+//! table, plus the constant setup/finish shifts.
+
+use dpf_array::{AxisKind, DistArray, SER};
+use dpf_comm::cshift;
+use dpf_core::{flops, Ctx, Field, Verify};
+
+/// A batch of independent tridiagonal systems, solved along the **last**
+/// axis of each array. For the paper's variant (1) the arrays are 1-D;
+/// variants (2) and (3) add leading batch axes.
+#[derive(Clone, Debug)]
+pub struct Tridiag<T: Field = f64> {
+    /// Sub-diagonal (`lower[.., 0]` is unused and must be 0).
+    pub lower: DistArray<T>,
+    /// Main diagonal.
+    pub diag: DistArray<T>,
+    /// Super-diagonal (`upper[.., n-1]` must be 0).
+    pub upper: DistArray<T>,
+    /// Right-hand side.
+    pub rhs: DistArray<T>,
+}
+
+/// Solve by cyclic reduction; returns `x` shaped like `rhs`. Generic
+/// over the dtype: the paper's `s`/`d`/`c`/`z` rows all run through this
+/// kernel with their respective FLOP weights.
+pub fn pcr_solve<T: Field>(ctx: &Ctx, sys: &Tridiag<T>) -> DistArray<T> {
+    let shape = sys.diag.shape().to_vec();
+    let rank = shape.len();
+    assert!(rank >= 1);
+    let n = shape[rank - 1];
+    for a in [&sys.lower, &sys.upper, &sys.rhs] {
+        assert_eq!(a.shape(), &shape[..], "tridiagonal arrays must agree in shape");
+    }
+    // Pack (l, d, u, r) on a leading serial axis: one CSHIFT moves all
+    // four — the paper's "direct" local access on the quad axis.
+    let mut pshape = vec![4usize];
+    pshape.extend_from_slice(&shape);
+    let mut paxes: Vec<AxisKind> = vec![SER];
+    paxes.extend_from_slice(sys.diag.layout().axes());
+    let mut packed = DistArray::<T>::zeros(ctx, &pshape, &paxes);
+    let lanes = sys.diag.len();
+    ctx.busy(|| {
+        let p = packed.as_mut_slice();
+        p[..lanes].copy_from_slice(sys.lower.as_slice());
+        p[lanes..2 * lanes].copy_from_slice(sys.diag.as_slice());
+        p[2 * lanes..3 * lanes].copy_from_slice(sys.upper.as_slice());
+        p[3 * lanes..].copy_from_slice(sys.rhs.as_slice());
+    });
+
+    let steps = usize::BITS as usize - (n - 1).leading_zeros() as usize; // ceil(log2 n)
+    let axis = rank; // the system axis inside the packed array
+    for s in 0..steps {
+        let dist = 1isize << s;
+        // Two CSHIFTs per step: the quad from below and from above.
+        let from_below = cshift(ctx, &packed, axis, -dist);
+        let from_above = cshift(ctx, &packed, axis, dist);
+        // 5 combining FLOP groups per element per step (Table 4's 5r·n):
+        // the two elimination factors and the three updated coefficients,
+        // scaled by the dtype's complex factor for the c/z rows.
+        ctx.add_flops((lanes as u64) * (2 * flops::DIV + 9) * T::DTYPE.flop_factor());
+        ctx.busy(|| {
+            let below = from_below.as_slice();
+            let above = from_above.as_slice();
+            let p = packed.as_mut_slice();
+            let batch = lanes / n;
+            for b in 0..batch {
+                for i in 0..n {
+                    let e = b * n + i;
+                    let (l, d, u, r) =
+                        (p[e], p[lanes + e], p[2 * lanes + e], p[3 * lanes + e]);
+                    // Neighbours at distance `dist`, zero past the ends
+                    // (cshift wraps; we conditionalize like the CMF codes).
+                    let has_lo = i as isize - dist >= 0;
+                    let has_hi = i as isize + dist < n as isize;
+                    let (llo, dlo, ulo, rlo) = if has_lo {
+                        (below[e], below[lanes + e], below[2 * lanes + e], below[3 * lanes + e])
+                    } else {
+                        (T::zero(), T::one(), T::zero(), T::zero())
+                    };
+                    let (lhi, dhi, uhi, rhi) = if has_hi {
+                        (above[e], above[lanes + e], above[2 * lanes + e], above[3 * lanes + e])
+                    } else {
+                        (T::zero(), T::one(), T::zero(), T::zero())
+                    };
+                    let alpha = if has_lo { -l / dlo } else { T::zero() };
+                    let beta = if has_hi { -u / dhi } else { T::zero() };
+                    p[e] = alpha * llo;
+                    p[lanes + e] = d + alpha * ulo + beta * lhi;
+                    p[2 * lanes + e] = beta * uhi;
+                    p[3 * lanes + e] = r + alpha * rlo + beta * rhi;
+                }
+            }
+        });
+    }
+    // After ceil(log2 n) steps the system is diagonal: x = rhs / diag
+    // (the table's +12 constant work plus the final division).
+    ctx.add_flops(lanes as u64 * flops::DIV * T::DTYPE.flop_factor());
+    let mut x = DistArray::<T>::zeros(ctx, &shape, sys.diag.layout().axes());
+    ctx.busy(|| {
+        let p = packed.as_slice();
+        for e in 0..lanes {
+            x.as_mut_slice()[e] = p[3 * lanes + e] / p[lanes + e];
+        }
+    });
+    x
+}
+
+/// Build a batch of well-conditioned systems: the last axis is the system
+/// axis; all leading axes are independent instances.
+pub fn workload(ctx: &Ctx, shape: &[usize], axes: &[AxisKind]) -> Tridiag {
+    let rank = shape.len();
+    let n = shape[rank - 1];
+    let lower = DistArray::<f64>::from_fn(ctx, shape, axes, |idx| {
+        if idx[rank - 1] == 0 {
+            0.0
+        } else {
+            -1.0 + 0.1 * pseudo(idx[rank - 1] * 3 + idx[0])
+        }
+    })
+    .declare(ctx);
+    let diag = DistArray::<f64>::from_fn(ctx, shape, axes, |idx| {
+        4.0 + pseudo(idx.iter().sum::<usize>())
+    })
+    .declare(ctx);
+    let upper = DistArray::<f64>::from_fn(ctx, shape, axes, |idx| {
+        if idx[rank - 1] + 1 == n {
+            0.0
+        } else {
+            -1.0 + 0.1 * pseudo(idx[rank - 1] * 7 + 1)
+        }
+    })
+    .declare(ctx);
+    let rhs = DistArray::<f64>::from_fn(ctx, shape, axes, |idx| {
+        pseudo(idx[rank - 1] * 13 + 5)
+    })
+    .declare(ctx);
+    Tridiag { lower, diag, upper, rhs }
+}
+
+fn pseudo(seed: usize) -> f64 {
+    let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    (h as f64 / usize::MAX as f64) * 2.0 - 1.0
+}
+
+/// Residual verification for any dtype: `max |A x − rhs|` evaluated
+/// directly from the tridiagonal coefficients.
+pub fn residual_verify<T: Field>(sys: &Tridiag<T>, x: &DistArray<T>, tol: f64) -> Verify {
+    let shape = sys.diag.shape();
+    let n = shape[shape.len() - 1];
+    let batch = sys.diag.len() / n;
+    let mut worst = 0.0f64;
+    for b in 0..batch {
+        for i in 0..n {
+        let e = b * n + i;
+            let mut ax = sys.diag.as_slice()[e] * x.as_slice()[e];
+            if i > 0 {
+                ax += sys.lower.as_slice()[e] * x.as_slice()[e - 1];
+            }
+            if i + 1 < n {
+                ax += sys.upper.as_slice()[e] * x.as_slice()[e + 1];
+            }
+            worst = worst.max((ax - sys.rhs.as_slice()[e]).mag());
+        }
+    }
+    Verify::check("pcr residual", worst, tol)
+}
+
+/// Complex (`z`) workload for the Table 4 c/z rows: diagonally dominant
+/// complex tridiagonal systems.
+pub fn workload_c64(ctx: &Ctx, shape: &[usize], axes: &[AxisKind]) -> Tridiag<dpf_core::C64> {
+    use dpf_core::C64;
+    let rank = shape.len();
+    let n = shape[rank - 1];
+    let lower = DistArray::<C64>::from_fn(ctx, shape, axes, |idx| {
+        if idx[rank - 1] == 0 {
+            C64::zero()
+        } else {
+            C64::new(-1.0, 0.2 * pseudo(idx[rank - 1] * 3))
+        }
+    })
+    .declare(ctx);
+    let diag = DistArray::<C64>::from_fn(ctx, shape, axes, |idx| {
+        C64::new(4.0 + pseudo(idx.iter().sum::<usize>()), 0.5)
+    })
+    .declare(ctx);
+    let upper = DistArray::<C64>::from_fn(ctx, shape, axes, |idx| {
+        if idx[rank - 1] + 1 == n {
+            C64::zero()
+        } else {
+            C64::new(-1.0, -0.1)
+        }
+    })
+    .declare(ctx);
+    let rhs = DistArray::<C64>::from_fn(ctx, shape, axes, |idx| {
+        C64::new(pseudo(idx[rank - 1] * 13 + 5), pseudo(idx[rank - 1] * 13 + 6))
+    })
+    .declare(ctx);
+    Tridiag { lower, diag, upper, rhs }
+}
+
+/// Verify every lane against the Thomas algorithm.
+pub fn verify(sys: &Tridiag, x: &DistArray<f64>, tol: f64) -> Verify {
+    let shape = sys.diag.shape();
+    let n = shape[shape.len() - 1];
+    let batch = sys.diag.len() / n;
+    let mut worst = 0.0f64;
+    for b in 0..batch {
+        let sl = &sys.lower.as_slice()[b * n..(b + 1) * n];
+        let sd = &sys.diag.as_slice()[b * n..(b + 1) * n];
+        let su = &sys.upper.as_slice()[b * n..(b + 1) * n];
+        let sr = &sys.rhs.as_slice()[b * n..(b + 1) * n];
+        let want = crate::reference::thomas(sl, sd, su, sr);
+        for i in 0..n {
+            worst = worst.max((x.as_slice()[b * n + i] - want[i]).abs());
+        }
+    }
+    Verify::check("pcr error", worst, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_array::PAR;
+    use dpf_core::{CommPattern, Machine};
+
+    fn ctx(p: usize) -> Ctx {
+        Ctx::new(Machine::cm5(p))
+    }
+
+    #[test]
+    fn single_system_matches_thomas() {
+        let ctx = ctx(4);
+        let sys = workload(&ctx, &[32], &[PAR]);
+        let x = pcr_solve(&ctx, &sys);
+        assert!(verify(&sys, &x, 1e-9).is_pass());
+    }
+
+    #[test]
+    fn non_power_of_two_length() {
+        let ctx = ctx(2);
+        let sys = workload(&ctx, &[23], &[PAR]);
+        let x = pcr_solve(&ctx, &sys);
+        assert!(verify(&sys, &x, 1e-9).is_pass());
+    }
+
+    #[test]
+    fn batched_2d_variant() {
+        let ctx = ctx(4);
+        let sys = workload(&ctx, &[5, 16], &[PAR, PAR]);
+        let x = pcr_solve(&ctx, &sys);
+        assert!(verify(&sys, &x, 1e-9).is_pass());
+    }
+
+    #[test]
+    fn batched_3d_variant() {
+        let ctx = ctx(4);
+        let sys = workload(&ctx, &[3, 4, 8], &[PAR, PAR, PAR]);
+        let x = pcr_solve(&ctx, &sys);
+        assert!(verify(&sys, &x, 1e-9).is_pass());
+    }
+
+    #[test]
+    fn cshift_count_is_2r() {
+        let ctx = ctx(4);
+        let n = 64; // r = 6
+        let sys = workload(&ctx, &[n], &[PAR]);
+        let _ = pcr_solve(&ctx, &sys);
+        assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 12);
+    }
+
+    #[test]
+    fn complex_systems_solve_with_z_flop_weights() {
+        let ctx = ctx(4);
+        let n = 32u64;
+        let sys = workload_c64(&ctx, &[n as usize], &[PAR]);
+        let f0 = ctx.instr.flops();
+        let x = pcr_solve(&ctx, &sys);
+        assert!(residual_verify(&sys, &x, 1e-9).is_pass());
+        // The z row charges 4x the d row (Table 4's complex convention).
+        let ctx_d = Ctx::new(Machine::cm5(4));
+        let sys_d = workload(&ctx_d, &[n as usize], &[PAR]);
+        let _ = pcr_solve(&ctx_d, &sys_d);
+        assert_eq!(ctx.instr.flops() - f0, 4 * ctx_d.instr.flops());
+    }
+
+    #[test]
+    fn residual_verify_agrees_with_thomas_check() {
+        let ctx = ctx(2);
+        let sys = workload(&ctx, &[24], &[PAR]);
+        let x = pcr_solve(&ctx, &sys);
+        assert!(verify(&sys, &x, 1e-9).is_pass());
+        assert!(residual_verify(&sys, &x, 1e-8).is_pass());
+    }
+
+    #[test]
+    fn tiny_system_n1() {
+        let ctx = ctx(1);
+        let sys = Tridiag {
+            lower: DistArray::<f64>::from_vec(&ctx, &[1], &[PAR], vec![0.0]),
+            diag: DistArray::<f64>::from_vec(&ctx, &[1], &[PAR], vec![2.0]),
+            upper: DistArray::<f64>::from_vec(&ctx, &[1], &[PAR], vec![0.0]),
+            rhs: DistArray::<f64>::from_vec(&ctx, &[1], &[PAR], vec![6.0]),
+        };
+        let x = pcr_solve(&ctx, &sys);
+        assert_eq!(x.to_vec(), vec![3.0]);
+    }
+}

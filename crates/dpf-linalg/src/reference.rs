@@ -1,0 +1,149 @@
+//! Serial reference solvers used only for verification.
+//!
+//! These are deliberately naive dense routines on plain `Vec<f64>` data —
+//! the "known good" answers the instrumented benchmarks are checked
+//! against, never part of the timed paths.
+
+/// Solve `A x = b` for dense row-major `A` (n×n) by Gaussian elimination
+/// with partial pivoting. Returns `None` for singular systems.
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut m = a.to_vec();
+    let mut x = b.to_vec();
+    for k in 0..n {
+        // Pivot.
+        let mut p = k;
+        for i in k + 1..n {
+            if m[i * n + k].abs() > m[p * n + k].abs() {
+                p = i;
+            }
+        }
+        if m[p * n + k].abs() < 1e-300 {
+            return None;
+        }
+        if p != k {
+            for j in 0..n {
+                m.swap(k * n + j, p * n + j);
+            }
+            x.swap(k, p);
+        }
+        let piv = m[k * n + k];
+        for i in k + 1..n {
+            let f = m[i * n + k] / piv;
+            for j in k..n {
+                m[i * n + j] -= f * m[k * n + j];
+            }
+            x[i] -= f * x[k];
+        }
+    }
+    // Back substitution.
+    for k in (0..n).rev() {
+        let mut s = x[k];
+        for j in k + 1..n {
+            s -= m[k * n + j] * x[j];
+        }
+        x[k] = s / m[k * n + k];
+    }
+    Some(x)
+}
+
+/// Multiply dense row-major `A` (n×m) by `x` (m).
+pub fn matvec_dense(a: &[f64], x: &[f64], n: usize, m: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * m);
+    assert_eq!(x.len(), m);
+    (0..n)
+        .map(|i| (0..m).map(|j| a[i * m + j] * x[j]).sum())
+        .collect()
+}
+
+/// Solve a tridiagonal system by the Thomas algorithm.
+/// `lower[0]` and `upper[n-1]` are ignored.
+pub fn thomas(lower: &[f64], diag: &[f64], upper: &[f64], rhs: &[f64]) -> Vec<f64> {
+    let n = diag.len();
+    assert!(n > 0);
+    let mut c = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    c[0] = upper[0] / diag[0];
+    d[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let m = diag[i] - lower[i] * c[i - 1];
+        c[i] = if i + 1 < n { upper[i] / m } else { 0.0 };
+        d[i] = (rhs[i] - lower[i] * d[i - 1]) / m;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = d[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d[i] - c[i] * x[i + 1];
+    }
+    x
+}
+
+/// Residual max-norm `max_i |A x − b|_i` for a dense system.
+pub fn residual_dense(a: &[f64], x: &[f64], b: &[f64], n: usize, m: usize) -> f64 {
+    let ax = matvec_dense(a, x, n, m);
+    ax.iter()
+        .zip(b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Frobenius norm of a dense matrix.
+pub fn frob_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_solver_on_known_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert!(solve_dense(&a, &b, 2).is_none());
+    }
+
+    #[test]
+    fn thomas_matches_dense_solver() {
+        let n = 6;
+        let lower: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -1.0 + 0.1 * i as f64 }).collect();
+        let diag: Vec<f64> = (0..n).map(|i| 4.0 + 0.2 * i as f64).collect();
+        let upper: Vec<f64> = (0..n).map(|i| if i + 1 == n { 0.0 } else { -1.2 }).collect();
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        // Assemble dense.
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = diag[i];
+            if i > 0 {
+                a[i * n + i - 1] = lower[i];
+            }
+            if i + 1 < n {
+                a[i * n + i + 1] = upper[i];
+            }
+        }
+        let xd = solve_dense(&a, &rhs, n).unwrap();
+        let xt = thomas(&lower, &diag, &upper, &rhs);
+        for (p, q) in xd.iter().zip(&xt) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = vec![3.0, 0.0, 0.0, 2.0];
+        let x = vec![2.0, 5.0];
+        let b = vec![6.0, 10.0];
+        assert!(residual_dense(&a, &x, &b, 2, 2) < 1e-14);
+    }
+}

@@ -1,0 +1,102 @@
+//! The run harness: wraps a registry entry's runner with a fresh context,
+//! end-to-end timing, and the §1.5 report assembly.
+
+use std::time::Instant;
+
+use dpf_core::{BenchReport, Ctx, Machine};
+
+use crate::benchmark::{BenchEntry, RunOutput, Size, Version};
+
+/// Result of one harnessed run: the full metric report plus the runner's
+/// own output.
+pub struct HarnessResult {
+    /// The §1.5 metric report.
+    pub report: BenchReport,
+    /// The runner's output (problem string, verification, points).
+    pub output: RunOutput,
+}
+
+impl HarnessResult {
+    /// Operation count per data point (paper §1.5, attribute 5).
+    pub fn flops_per_point(&self) -> f64 {
+        self.report.flops_per_point(self.output.points)
+    }
+
+    /// Communication calls per main-loop iteration (attribute 6).
+    pub fn comm_per_iteration(&self) -> f64 {
+        if self.output.iterations == 0 {
+            return 0.0;
+        }
+        self.report.comm_calls() as f64 / self.output.iterations as f64
+    }
+}
+
+/// Run one version of one benchmark on the given machine and size.
+pub fn run(
+    entry: &BenchEntry,
+    version: Version,
+    machine: &Machine,
+    size: Size,
+) -> HarnessResult {
+    let variant = entry
+        .variant(version)
+        .unwrap_or_else(|| panic!("{} has no {} variant", entry.name, version));
+    let ctx = Ctx::new(machine.clone());
+    let start = Instant::now();
+    let output = (variant.run)(&ctx, size);
+    let elapsed = start.elapsed();
+    let report = BenchReport::from_ctx(
+        entry.name,
+        version.name(),
+        output.problem.clone(),
+        &ctx,
+        elapsed,
+        output.verify.clone(),
+    );
+    HarnessResult { report, output }
+}
+
+/// Run the basic version.
+pub fn run_basic(entry: &BenchEntry, machine: &Machine, size: Size) -> HarnessResult {
+    run(entry, Version::Basic, machine, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn harness_produces_complete_reports() {
+        let entry = registry::find("conj-grad").unwrap();
+        let res = run_basic(&entry, &Machine::cm5(8), Size::Small);
+        assert!(res.report.verify.is_pass());
+        assert!(res.report.perf.flops > 0);
+        assert!(res.report.perf.elapsed.as_nanos() > 0);
+        assert!(res.report.perf.busy <= res.report.perf.elapsed);
+        assert!(res.report.memory_bytes > 0);
+        assert!(!res.report.comm.is_empty());
+        assert!(res.flops_per_point() > 0.0);
+    }
+
+    #[test]
+    fn busy_time_is_within_elapsed() {
+        for name in ["fft", "ellip-2D", "step4"] {
+            let entry = registry::find(name).unwrap();
+            let res = run_basic(&entry, &Machine::cm5(4), Size::Small);
+            assert!(
+                res.report.perf.busy <= res.report.perf.elapsed,
+                "{name}: busy {:?} > elapsed {:?}",
+                res.report.perf.busy,
+                res.report.perf.elapsed
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "has no")]
+    fn missing_variant_panics() {
+        let entry = registry::find("boson").unwrap();
+        let _ = run(&entry, Version::CDpeac, &Machine::cm5(4), Size::Small);
+    }
+}

@@ -1,0 +1,22 @@
+//! The DPF suite layer: registry, harness and table generators.
+//!
+//! * [`registry`] — all 32 benchmarks with their paper characterization
+//!   (version matrix, layouts, patterns, formulas) and runnable variants.
+//! * [`harness`] — run a benchmark on a chosen virtual machine/size and
+//!   collect the full §1.5 metric report.
+//! * [`tables`] — regenerate every table of the paper (1–8) plus the
+//!   performance and arithmetic-efficiency reports.
+//! * [`comm_bench`] — the four §2 communication benchmarks themselves.
+
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod comm_bench;
+pub mod harness;
+pub mod registry;
+pub mod runners;
+pub mod tables;
+
+pub use benchmark::{BenchEntry, Group, RunOutput, Size, Variant, Version};
+pub use harness::{run, run_basic, HarnessResult};
+pub use registry::{find, registry};

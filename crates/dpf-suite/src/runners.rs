@@ -1,0 +1,725 @@
+//! Size-tiered runner functions for every benchmark (the glue between the
+//! registry and the implementation crates).
+
+use dpf_array::PAR;
+use dpf_core::{Ctx, Verify};
+
+use crate::benchmark::{RunOutput, Size};
+
+// ---------------------------------------------------------------- linalg
+
+/// `matrix-vector`, basic version (`SUM(SPREAD(x) * A, dim)`).
+pub fn matvec_basic(ctx: &Ctx, size: Size) -> RunOutput {
+    matvec_impl(ctx, size, false)
+}
+
+/// `matrix-vector`, library version (blocked dot-product kernel).
+pub fn matvec_library(ctx: &Ctx, size: Size) -> RunOutput {
+    matvec_impl(ctx, size, true)
+}
+
+fn matvec_impl(ctx: &Ctx, size: Size, library: bool) -> RunOutput {
+    use dpf_linalg::matvec;
+    let (ni, n, m) = match size {
+        Size::Small => (2, 16, 16),
+        Size::Medium => (4, 128, 128),
+        Size::Large => (4, 512, 512),
+    };
+    let (a, x) = matvec::workload(ctx, matvec::MvLayout::Instances, ni, n, m);
+    let y = if library {
+        matvec::matvec_library(ctx, &a, &x)
+    } else {
+        matvec::matvec_basic(ctx, &a, &x)
+    };
+    RunOutput {
+        problem: format!("i={ni}, n={n}, m={m}, d"),
+        verify: matvec::verify(&a, &x, &y, 1e-10),
+        points: (ni * n * m) as u64,
+        iterations: 1,
+    }
+}
+
+/// `lu` — factor + solve, timed as separate phases.
+pub fn lu(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::lu;
+    let (n, r) = match size {
+        Size::Small => (16, 2),
+        Size::Medium => (96, 4),
+        Size::Large => (256, 8),
+    };
+    let (a, b) = lu::workload(ctx, n, r);
+    let f = ctx.phase("lu:factor", || lu::lu_factor(ctx, &a));
+    let x = ctx.phase("lu:solve", || lu::lu_solve(ctx, &f, &b));
+    RunOutput {
+        problem: format!("n={n}, r={r}, d"),
+        verify: lu::verify(&a, &b, &x, 1e-7 * n as f64),
+        points: (n * n) as u64,
+        iterations: n as u64,
+    }
+}
+
+/// `lu`, CMSSL (blocked) version.
+pub fn lu_blocked(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::lu;
+    let (n, r, nb) = match size {
+        Size::Small => (16, 2, 4),
+        Size::Medium => (96, 4, 16),
+        Size::Large => (256, 8, 32),
+    };
+    let (a, b) = lu::workload(ctx, n, r);
+    let f = ctx.phase("lu:factor", || lu::lu_factor_blocked(ctx, &a, nb));
+    let x = ctx.phase("lu:solve", || lu::lu_solve(ctx, &f, &b));
+    RunOutput {
+        problem: format!("n={n}, r={r}, nb={nb}, d (blocked)"),
+        verify: lu::verify(&a, &b, &x, 1e-7 * n as f64),
+        points: (n * n) as u64,
+        iterations: n as u64,
+    }
+}
+
+/// `qr` — factor + solve phases.
+pub fn qr(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::qr;
+    let (m, n, r) = match size {
+        Size::Small => (24, 12, 2),
+        Size::Medium => (128, 64, 4),
+        Size::Large => (384, 192, 4),
+    };
+    let (a, b, x_true) = qr::workload(ctx, m, n, r);
+    let f = ctx.phase("qr:factor", || qr::qr_factor(ctx, &a));
+    let x = ctx.phase("qr:solve", || qr::qr_solve(ctx, &f, &b));
+    RunOutput {
+        problem: format!("m={m}, n={n}, r={r}, d"),
+        verify: qr::verify(&x, &x_true, 1e-6),
+        points: (m * n) as u64,
+        iterations: n as u64,
+    }
+}
+
+/// `gauss-jordan`.
+pub fn gauss_jordan(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::gauss_jordan as gj;
+    let n = match size {
+        Size::Small => 16,
+        Size::Medium => 96,
+        Size::Large => 256,
+    };
+    let (a, b) = gj::workload(ctx, n);
+    let x = gj::gauss_jordan_solve(ctx, &a, &b);
+    RunOutput {
+        problem: format!("n={n}, d"),
+        verify: gj::verify(&a, &b, &x, 1e-8 * n as f64),
+        points: (n * n) as u64,
+        iterations: n as u64,
+    }
+}
+
+/// `pcr`, variant (1): a single 1-D system.
+pub fn pcr_1d(ctx: &Ctx, size: Size) -> RunOutput {
+    pcr_impl(ctx, size, 1)
+}
+
+/// `pcr`, variant (2): batched 2-D systems.
+pub fn pcr_2d(ctx: &Ctx, size: Size) -> RunOutput {
+    pcr_impl(ctx, size, 2)
+}
+
+/// `pcr`, variant (3): batched 3-D systems.
+pub fn pcr_3d(ctx: &Ctx, size: Size) -> RunOutput {
+    pcr_impl(ctx, size, 3)
+}
+
+fn pcr_impl(ctx: &Ctx, size: Size, rank: usize) -> RunOutput {
+    use dpf_linalg::pcr;
+    let shape: Vec<usize> = match (rank, size) {
+        (1, Size::Small) => vec![64],
+        (1, Size::Medium) => vec![4096],
+        (1, Size::Large) => vec![1 << 18],
+        (2, Size::Small) => vec![4, 32],
+        (2, Size::Medium) => vec![16, 512],
+        (2, Size::Large) => vec![64, 4096],
+        (3, Size::Small) => vec![2, 4, 16],
+        (3, Size::Medium) => vec![8, 16, 64],
+        (3, Size::Large) => vec![16, 64, 256],
+        _ => unreachable!(),
+    };
+    let axes = vec![PAR; shape.len()];
+    let sys = pcr::workload(ctx, &shape, &axes);
+    let x = pcr::pcr_solve(ctx, &sys);
+    let n = shape[shape.len() - 1];
+    RunOutput {
+        problem: format!("shape={shape:?}, d"),
+        verify: pcr::verify(&sys, &x, 1e-8),
+        points: sys.diag.len() as u64,
+        iterations: (usize::BITS - (n - 1).leading_zeros()) as u64,
+    }
+}
+
+/// `conj-grad`.
+pub fn conj_grad(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::conj_grad as cg;
+    let n = match size {
+        Size::Small => 128,
+        Size::Medium => 4096,
+        Size::Large => 1 << 16,
+    };
+    let sys = cg::workload(ctx, n);
+    let out = cg::cg_solve(ctx, &sys, 1e-11, 10 * n);
+    RunOutput {
+        problem: format!("n={n}, d"),
+        verify: cg::verify(&sys, &out.x, 1e-8),
+        points: n as u64,
+        iterations: out.iterations as u64,
+    }
+}
+
+/// `conj-grad`, optimized (fused-kernel) version.
+pub fn conj_grad_optimized(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::conj_grad as cg;
+    let n = match size {
+        Size::Small => 128,
+        Size::Medium => 4096,
+        Size::Large => 1 << 16,
+    };
+    let sys = cg::workload(ctx, n);
+    let out = cg::cg_solve_optimized(ctx, &sys, 1e-11, 10 * n);
+    RunOutput {
+        problem: format!("n={n}, d (fused)"),
+        verify: cg::verify(&sys, &out.x, 1e-8),
+        points: n as u64,
+        iterations: out.iterations as u64,
+    }
+}
+
+/// `jacobi`.
+pub fn jacobi(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::jacobi as jc;
+    let n = match size {
+        Size::Small => 8,
+        Size::Medium => 24,
+        Size::Large => 48,
+    };
+    let a = jc::workload(ctx, n);
+    let out = jc::jacobi_eigen(ctx, &a, 1e-11, 40);
+    RunOutput {
+        problem: format!("n={n}, d"),
+        verify: jc::verify(&a, &out, 1e-7),
+        points: (n * n) as u64,
+        iterations: out.iterations as u64,
+    }
+}
+
+/// `fft` — 1-D, 2-D and 3-D round trips (Table 4's three rows).
+pub fn fft(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_linalg::fft_bench as fb;
+    let shapes: [Vec<usize>; 3] = match size {
+        Size::Small => [vec![256], vec![16, 16], vec![8, 8, 8]],
+        Size::Medium => [vec![1 << 16], vec![256, 256], vec![32, 32, 32]],
+        Size::Large => [vec![1 << 20], vec![1024, 1024], vec![64, 64, 64]],
+    };
+    let mut worst = Verify::NotApplicable;
+    let mut points = 0u64;
+    for shape in &shapes {
+        let a = fb::workload(ctx, shape);
+        points += a.len() as u64;
+        let (_, v) = ctx.phase(&format!("fft:{}d", shape.len()), || fb::run_roundtrip(ctx, &a));
+        if !v.is_pass() {
+            worst = v;
+        }
+    }
+    if matches!(worst, Verify::NotApplicable) {
+        worst = Verify::check("fft all round trips", 0.0, 1e-8);
+    }
+    RunOutput {
+        problem: "1-D/2-D/3-D, z".to_string(),
+        verify: worst,
+        points,
+        iterations: 3,
+    }
+}
+
+// ------------------------------------------------------------------ apps
+
+/// `boson`.
+pub fn boson(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::boson as b;
+    let p = match size {
+        Size::Small => b::Params { nt: 4, nx: 8, sweeps: 3, ..Default::default() },
+        Size::Medium => b::Params::default(),
+        Size::Large => b::Params { nt: 16, nx: 32, sweeps: 20, ..Default::default() },
+    };
+    let (_, verify) = b::run(ctx, &p);
+    RunOutput {
+        problem: format!("nt={}, nx={}, sweeps={}", p.nt, p.nx, p.sweeps),
+        verify,
+        points: (p.nt * p.nx * p.nx) as u64,
+        iterations: p.sweeps as u64,
+    }
+}
+
+/// `diff-1D`.
+pub fn diff_1d(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::diff_1d as d;
+    let p = match size {
+        Size::Small => d::Params { nx: 64, steps: 4, ..Default::default() },
+        Size::Medium => d::Params::default(),
+        Size::Large => d::Params { nx: 1 << 16, steps: 16, ..Default::default() },
+    };
+    let (_, verify) = d::run(ctx, &p);
+    RunOutput {
+        problem: format!("nx={}, steps={}", p.nx, p.steps),
+        verify,
+        points: p.nx as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `diff-2D`.
+pub fn diff_2d(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::diff_2d as d;
+    let p = match size {
+        Size::Small => d::Params { nx: 16, steps: 3, ..Default::default() },
+        Size::Medium => d::Params::default(),
+        Size::Large => d::Params { nx: 512, steps: 10, ..Default::default() },
+    };
+    let (_, verify) = d::run(ctx, &p);
+    RunOutput {
+        problem: format!("nx={}, steps={}", p.nx, p.steps),
+        verify,
+        points: (p.nx * p.nx) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `diff-3D`.
+pub fn diff_3d(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::diff_3d as d;
+    let p = match size {
+        Size::Small => d::Params { n: 8, steps: 3, ..Default::default() },
+        Size::Medium => d::Params::default(),
+        Size::Large => d::Params { n: 96, steps: 20, ..Default::default() },
+    };
+    let (_, verify) = d::run(ctx, &p);
+    RunOutput {
+        problem: format!("n={}, steps={}", p.n, p.steps),
+        verify,
+        points: (p.n * p.n * p.n) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `diff-3D`, optimized (fused node-level kernel) version.
+pub fn diff_3d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::diff_3d as d;
+    let p = match size {
+        Size::Small => d::Params { n: 8, steps: 3, ..Default::default() },
+        Size::Medium => d::Params::default(),
+        Size::Large => d::Params { n: 96, steps: 20, ..Default::default() },
+    };
+    let (_, verify) = d::run_optimized(ctx, &p);
+    RunOutput {
+        problem: format!("n={}, steps={} (fused)", p.n, p.steps),
+        verify,
+        points: (p.n * p.n * p.n) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `ellip-2D`.
+pub fn ellip_2d(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::ellip_2d as e;
+    let p = match size {
+        Size::Small => e::Params { n: 16, ..Default::default() },
+        Size::Medium => e::Params::default(),
+        Size::Large => e::Params { n: 192, max_iter: 4000, ..Default::default() },
+    };
+    let (_, iters, verify) = e::run(ctx, &p);
+    RunOutput {
+        problem: format!("n={}", p.n),
+        verify,
+        points: (p.n * p.n) as u64,
+        iterations: iters as u64,
+    }
+}
+
+/// `fem-3D`.
+pub fn fem_3d(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::fem_3d as f;
+    let p = match size {
+        Size::Small => f::Params { nv_side: 4, ..Default::default() },
+        Size::Medium => f::Params::default(),
+        Size::Large => f::Params { nv_side: 14, max_iter: 1500, ..Default::default() },
+    };
+    let (_, iters, verify) = f::run(ctx, &p);
+    RunOutput {
+        problem: format!("vertices={}^3", p.nv_side),
+        verify,
+        points: (p.nv_side.pow(3)) as u64,
+        iterations: iters as u64,
+    }
+}
+
+/// `fermion`.
+pub fn fermion(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::fermion as f;
+    let p = match size {
+        Size::Small => f::Params { sites: 16, l: 4, chain: 2 },
+        Size::Medium => f::Params::default(),
+        Size::Large => f::Params { sites: 1024, l: 12, chain: 8 },
+    };
+    let (_, verify) = f::run(ctx, &p);
+    RunOutput {
+        problem: format!("sites={}, l={}, chain={}", p.sites, p.l, p.chain),
+        verify,
+        points: (p.sites * p.l * p.l) as u64,
+        iterations: p.chain as u64,
+    }
+}
+
+/// `fermion`, optimized (rayon + pre-resolved indirection) version.
+pub fn fermion_optimized(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::fermion as f;
+    let p = match size {
+        Size::Small => f::Params { sites: 16, l: 4, chain: 2 },
+        Size::Medium => f::Params::default(),
+        Size::Large => f::Params { sites: 1024, l: 12, chain: 8 },
+    };
+    let (_, verify) = f::run_optimized(ctx, &p);
+    RunOutput {
+        problem: format!("sites={}, l={}, chain={} (par)", p.sites, p.l, p.chain),
+        verify,
+        points: (p.sites * p.l * p.l) as u64,
+        iterations: p.chain as u64,
+    }
+}
+
+/// `gmo`.
+pub fn gmo(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::gmo as g;
+    let p = match size {
+        Size::Small => g::Params { ns: 64, ntr: 16, t0: 20.0, ..Default::default() },
+        Size::Medium => g::Params::default(),
+        Size::Large => g::Params { ns: 2048, ntr: 512, t0: 512.0, ..Default::default() },
+    };
+    let (_, verify) = g::run(ctx, &p);
+    RunOutput {
+        problem: format!("ns={}, ntr={}", p.ns, p.ntr),
+        verify,
+        points: (p.ns * p.ntr) as u64,
+        iterations: 1,
+    }
+}
+
+/// `ks-spectral`.
+pub fn ks_spectral(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::ks_spectral as k;
+    let p = match size {
+        Size::Small => k::Params { ne: 2, nx: 32, steps: 5, ..Default::default() },
+        Size::Medium => k::Params::default(),
+        Size::Large => k::Params { ne: 8, nx: 512, steps: 50, ..Default::default() },
+    };
+    let (_, verify) = k::run(ctx, &p);
+    RunOutput {
+        problem: format!("ne={}, nx={}, steps={}", p.ne, p.nx, p.steps),
+        verify,
+        points: (p.ne * p.nx) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `md`.
+pub fn md(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::md as m;
+    let p = match size {
+        Size::Small => m::Params { side: 2, steps: 5, ..Default::default() },
+        Size::Medium => m::Params::default(),
+        Size::Large => m::Params { side: 6, steps: 20, ..Default::default() },
+    };
+    let (_, verify) = m::run(ctx, &p);
+    RunOutput {
+        problem: format!("np={}, steps={}", p.side.pow(3), p.steps),
+        verify,
+        points: p.side.pow(3) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `mdcell`.
+pub fn mdcell(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::mdcell as m;
+    let p = match size {
+        Size::Small => m::Params { nc: 3, steps: 2, ..Default::default() },
+        Size::Medium => m::Params::default(),
+        Size::Large => m::Params { nc: 8, cap: 8, fill: 3.0, steps: 8, ..Default::default() },
+    };
+    let (_, verify) = m::run(ctx, &p);
+    RunOutput {
+        problem: format!("cells={}^3, cap={}, steps={}", p.nc, p.cap, p.steps),
+        verify,
+        points: (p.nc.pow(3) * p.cap) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `n-body`, basic (broadcast) version.
+pub fn n_body_broadcast(ctx: &Ctx, size: Size) -> RunOutput {
+    n_body_impl(ctx, size, dpf_apps::n_body::Variant::Broadcast)
+}
+
+/// `n-body`, optimized (cshift with symmetry) version.
+pub fn n_body_symmetry(ctx: &Ctx, size: Size) -> RunOutput {
+    n_body_impl(ctx, size, dpf_apps::n_body::Variant::CshiftSymmetry)
+}
+
+fn n_body_impl(ctx: &Ctx, size: Size, variant: dpf_apps::n_body::Variant) -> RunOutput {
+    use dpf_apps::n_body as nb;
+    let n = match size {
+        Size::Small => 24,
+        Size::Medium => 128,
+        Size::Large => 512,
+    };
+    let p = nb::Params { n, eps2: 1e-2 };
+    let (_, _, verify) = nb::run(ctx, &p, variant);
+    RunOutput {
+        problem: format!("n={n}, variant={}", variant.name()),
+        verify,
+        points: n as u64,
+        iterations: 1,
+    }
+}
+
+/// `pic-simple`.
+pub fn pic_simple(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::pic_simple as p;
+    let pars = match size {
+        Size::Small => p::Params { np: 128, ng: 8, steps: 3, ..Default::default() },
+        Size::Medium => p::Params::default(),
+        Size::Large => p::Params { np: 1 << 14, ng: 128, steps: 10, ..Default::default() },
+    };
+    let (_, verify) = p::run(ctx, &pars);
+    RunOutput {
+        problem: format!("np={}, ng={}, steps={}", pars.np, pars.ng, pars.steps),
+        verify,
+        points: pars.np as u64,
+        iterations: pars.steps as u64,
+    }
+}
+
+/// `pic-gather-scatter`.
+pub fn pic_gather_scatter(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::pic_gather_scatter as p;
+    let pars = match size {
+        Size::Small => p::Params { np: 128, ng: 4, steps: 2 },
+        Size::Medium => p::Params::default(),
+        Size::Large => p::Params { np: 1 << 16, ng: 16, steps: 8 },
+    };
+    let (_, verify) = p::run(ctx, &pars);
+    RunOutput {
+        problem: format!("np={}, ng={}^3, steps={}", pars.np, pars.ng, pars.steps),
+        verify,
+        points: pars.np as u64,
+        iterations: pars.steps as u64,
+    }
+}
+
+/// `qcd-kernel`.
+pub fn qcd_kernel(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::qcd_kernel as q;
+    let p = match size {
+        Size::Small => q::Params { n: 2, ..Default::default() },
+        Size::Medium => q::Params::default(),
+        Size::Large => q::Params { n: 6, max_iter: 400, ..Default::default() },
+    };
+    let (_, iters, verify) = q::run(ctx, &p);
+    RunOutput {
+        problem: format!("lattice={}^4, m={}", p.n, p.mass),
+        verify,
+        points: (p.n.pow(4)) as u64,
+        iterations: iters as u64,
+    }
+}
+
+/// `qmc`.
+pub fn qmc(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::qmc as q;
+    let p = match size {
+        Size::Small => q::Params { n_walkers: 512, blocks: 12, ..Default::default() },
+        Size::Medium => q::Params::default(),
+        Size::Large => q::Params { n_walkers: 8192, blocks: 60, ..Default::default() },
+    };
+    let blocks = p.blocks;
+    let walkers = p.n_walkers;
+    let (_, verify) = q::run(ctx, &p);
+    RunOutput {
+        problem: format!("walkers={walkers}, blocks={blocks}"),
+        verify,
+        points: walkers as u64,
+        iterations: blocks as u64,
+    }
+}
+
+/// `qptransport`.
+pub fn qptransport(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::qptransport as q;
+    let p = match size {
+        Size::Small => q::Params { n_src: 8, n_dst: 6, n_edges: 64, iters: 40 },
+        Size::Medium => q::Params::default(),
+        Size::Large => q::Params { n_src: 128, n_dst: 96, n_edges: 1 << 14, iters: 120 },
+    };
+    let iters = p.iters;
+    let edges = p.n_edges;
+    let (_, verify) = q::run(ctx, &p);
+    RunOutput {
+        problem: format!("edges={edges}, iters={iters}"),
+        verify,
+        points: edges as u64,
+        iterations: iters as u64,
+    }
+}
+
+/// `rp`.
+pub fn rp(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::rp as r;
+    let p = match size {
+        Size::Small => r::Params { n: 6, max_iter: 200, ..Default::default() },
+        Size::Medium => r::Params::default(),
+        Size::Large => r::Params { n: 32, max_iter: 1500, ..Default::default() },
+    };
+    let (_, iters, verify) = r::run(ctx, &p);
+    RunOutput {
+        problem: format!("grid={}^3", p.n),
+        verify,
+        points: (p.n.pow(3)) as u64,
+        iterations: iters as u64,
+    }
+}
+
+/// `step4`.
+pub fn step4(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::step4 as s;
+    let p = match size {
+        Size::Small => s::Params { n: 16, steps: 3, ..Default::default() },
+        Size::Medium => s::Params::default(),
+        Size::Large => s::Params { n: 256, steps: 30, ..Default::default() },
+    };
+    let (_, verify) = s::run(ctx, &p);
+    RunOutput {
+        problem: format!("n={}, steps={}", p.n, p.steps),
+        verify,
+        points: (s::FIELDS * p.n * p.n) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `step4`, optimized (fused C/DPEAC-style kernel) version.
+pub fn step4_optimized(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::step4 as s4;
+    let p = match size {
+        Size::Small => s4::Params { n: 16, steps: 3, ..Default::default() },
+        Size::Medium => s4::Params::default(),
+        Size::Large => s4::Params { n: 256, steps: 30, ..Default::default() },
+    };
+    let (_, verify) = s4::run_optimized(ctx, &p);
+    RunOutput {
+        problem: format!("n={}, steps={} (fused)", p.n, p.steps),
+        verify,
+        points: (s4::FIELDS * p.n * p.n) as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `wave-1D`.
+pub fn wave_1d(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::wave_1d as w;
+    let p = match size {
+        Size::Small => w::Params { nx: 64, steps: 10, ..Default::default() },
+        Size::Medium => w::Params::default(),
+        Size::Large => w::Params { nx: 1 << 14, steps: 100, ..Default::default() },
+    };
+    let (_, verify) = w::run(ctx, &p);
+    RunOutput {
+        problem: format!("nx={}, steps={}", p.nx, p.steps),
+        verify,
+        points: p.nx as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+/// `wave-1D`, optimized (fused flux kernel) version.
+pub fn wave_1d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
+    use dpf_apps::wave_1d as w;
+    let p = match size {
+        Size::Small => w::Params { nx: 64, steps: 10, ..Default::default() },
+        Size::Medium => w::Params::default(),
+        Size::Large => w::Params { nx: 1 << 14, steps: 100, ..Default::default() },
+    };
+    let mut st = w::workload(ctx, &p);
+    for _ in 0..p.steps {
+        w::step_optimized(ctx, &p, &mut st);
+    }
+    // Same d'Alembert check as the basic runner.
+    let want = (p.nx as f64 / 4.0 + p.courant * p.steps as f64) % p.nx as f64;
+    let peak = st
+        .now
+        .as_slice()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i as f64)
+        .unwrap();
+    let mut d = (peak - want).abs();
+    d = d.min(p.nx as f64 - d);
+    RunOutput {
+        problem: format!("nx={}, steps={} (fused)", p.nx, p.steps),
+        verify: dpf_core::Verify::check("wave-1D optimized pulse", d, 2.0),
+        points: p.nx as u64,
+        iterations: p.steps as u64,
+    }
+}
+
+// ----------------------------------------------------------- re-exported
+
+pub use crate::comm_bench::{run_gather, run_reduction, run_scatter, run_transpose};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpf_core::Machine;
+
+    #[test]
+    fn every_linalg_runner_verifies_small() {
+        let runners: [(&str, fn(&Ctx, Size) -> RunOutput); 9] = [
+            ("matvec-basic", matvec_basic),
+            ("matvec-library", matvec_library),
+            ("lu", lu),
+            ("qr", qr),
+            ("gauss-jordan", gauss_jordan),
+            ("pcr", pcr_1d),
+            ("conj-grad", conj_grad),
+            ("jacobi", jacobi),
+            ("fft", fft),
+        ];
+        for (name, f) in runners {
+            let ctx = Ctx::new(Machine::cm5(8));
+            let out = f(&ctx, Size::Small);
+            assert!(out.verify.is_pass(), "{name}: {}", out.verify);
+            assert!(out.points > 0);
+        }
+    }
+
+    #[test]
+    fn pcr_variants_all_verify() {
+        for f in [pcr_1d, pcr_2d, pcr_3d] {
+            let ctx = Ctx::new(Machine::cm5(8));
+            assert!(f(&ctx, Size::Small).verify.is_pass());
+        }
+    }
+
+    #[test]
+    fn n_body_variants_verify() {
+        for f in [n_body_broadcast, n_body_symmetry] {
+            let ctx = Ctx::new(Machine::cm5(8));
+            assert!(f(&ctx, Size::Small).verify.is_pass());
+        }
+    }
+}

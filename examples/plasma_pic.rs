@@ -1,0 +1,59 @@
+//! A plasma-in-a-box scenario on the two PIC implementations.
+//!
+//! The paper ships a straightforward PIC (`pic-simple`: colliding
+//! deposits + spectral field solve) and a sophisticated one
+//! (`pic-gather-scatter`: sort + segmented scan + collision-free router
+//! traffic). This example runs a clustered plasma through both deposit
+//! strategies and shows why the second exists: identical grids, very
+//! different router collision profiles.
+//!
+//! Run with: `cargo run --release --example plasma_pic`
+
+use dpf::apps::{pic_gather_scatter, pic_simple};
+use dpf::core::{Ctx, Machine};
+
+fn main() {
+    let machine = Machine::cm5(32);
+
+    // --- pic-simple: full field-solve loop --------------------------------
+    let ctx = Ctx::new(machine.clone());
+    let p = pic_simple::Params { np: 4096, ng: 64, dt: 0.05, steps: 8 };
+    let (_, verify) = pic_simple::run(&ctx, &p);
+    println!("pic-simple: {} particles on a {}x{} grid, {} steps", p.np, p.ng, p.ng, p.steps);
+    println!("  verification : {verify}");
+    println!("  FLOPs        : {}", ctx.instr.flops());
+    for (key, stats) in ctx.instr.comm_snapshot() {
+        println!(
+            "  {:<26} {:>6} calls {:>12} off-proc bytes",
+            key.to_string(),
+            stats.calls,
+            stats.offproc_bytes
+        );
+    }
+
+    // --- pic-gather-scatter: the collision-free deposit -------------------
+    let ctx = Ctx::new(machine);
+    let p = pic_gather_scatter::Params { np: 4096, ng: 8, steps: 8 };
+    let (grid, verify) = pic_gather_scatter::run(&ctx, &p);
+    let hottest = grid
+        .as_slice()
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    println!("\npic-gather-scatter: {} clustered particles into {}^3 cells, {} rounds", p.np, p.ng, p.steps);
+    println!("  verification : {verify}");
+    println!("  hottest cell : {hottest:.1} units of charge");
+    for (key, stats) in ctx.instr.comm_snapshot() {
+        println!(
+            "  {:<26} {:>6} calls {:>12} off-proc bytes",
+            key.to_string(),
+            stats.calls,
+            stats.offproc_bytes
+        );
+    }
+    println!(
+        "\nHalf the particles pile into 1/16th of the box, yet the sorted\n\
+         pipeline's scatter writes at most one value per cell per round —\n\
+         the collisions were absorbed by the sort and the segmented scan."
+    );
+}

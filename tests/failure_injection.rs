@@ -1,0 +1,101 @@
+//! Failure injection: the substrate and kernels must fail loudly on
+//! invalid inputs, not corrupt results.
+
+use dpf::array::{DistArray, PAR};
+use dpf::core::{Ctx, Machine};
+
+fn ctx() -> Ctx {
+    Ctx::new(Machine::cm5(4))
+}
+
+#[test]
+#[should_panic(expected = "singular matrix")]
+fn lu_rejects_singular_systems() {
+    let ctx = ctx();
+    // Rank-1 matrix.
+    let a = DistArray::<f64>::from_fn(&ctx, &[4, 4], &[PAR, PAR], |i| {
+        (i[0] + 1) as f64 * (i[1] + 1) as f64
+    });
+    let _ = dpf::linalg::lu::lu_factor(&ctx, &a);
+}
+
+#[test]
+#[should_panic(expected = "singular matrix")]
+fn gauss_jordan_rejects_singular_systems() {
+    let ctx = ctx();
+    let a = DistArray::<f64>::zeros(&ctx, &[3, 3], &[PAR, PAR]);
+    let b = DistArray::<f64>::zeros(&ctx, &[3], &[PAR]);
+    let _ = dpf::linalg::gauss_jordan::gauss_jordan_solve(&ctx, &a, &b);
+}
+
+#[test]
+#[should_panic(expected = "not a power of two")]
+fn fft_rejects_non_power_of_two() {
+    let ctx = ctx();
+    let a = DistArray::<dpf::core::C64>::zeros(&ctx, &[100], &[PAR]);
+    let _ = dpf::fft::fft(&ctx, &a, dpf::fft::Direction::Forward);
+}
+
+#[test]
+#[should_panic(expected = "overflowed capacity")]
+fn mdcell_rejects_cell_overflow() {
+    let ctx = ctx();
+    // Capacity 1 with fill 3 guarantees a rebin overflow.
+    let p = dpf::apps::mdcell::Params {
+        nc: 2,
+        cap: 1,
+        fill: 3.0,
+        cell: 2.0,
+        dt: 1e-3,
+        steps: 1,
+    };
+    // The workload itself caps placement at capacity, so force the
+    // overflow through rebin by squeezing two particles into one cell.
+    let mut c = dpf::apps::mdcell::workload(&ctx, &p);
+    // Find two occupied slots and move both into cell 0.
+    let occupied: Vec<usize> = {
+        let occ = c.occ.as_slice();
+        (0..occ.len()).filter(|&e| occ[e] == 1.0).take(2).collect()
+    };
+    assert!(occupied.len() == 2, "workload too sparse for the test");
+    for &e in &occupied {
+        for d in 0..3 {
+            c.pos[d].as_mut_slice()[e] = 0.5;
+        }
+    }
+    dpf::apps::mdcell::rebin(&ctx, &p, &mut c);
+}
+
+#[test]
+#[should_panic(expected = "mask shape mismatch")]
+fn where_rejects_mismatched_mask() {
+    let ctx = ctx();
+    let mut a = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
+    let mask = DistArray::<bool>::zeros(&ctx, &[5], &[PAR]);
+    a.where_fill(&ctx, &mask, 1.0);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn scatter_rejects_out_of_range_indices() {
+    let ctx = ctx();
+    let mut dst = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
+    let idx = DistArray::<i32>::from_vec(&ctx, &[1], &[PAR], vec![9]);
+    let src = DistArray::<f64>::zeros(&ctx, &[1], &[PAR]);
+    dpf::comm::scatter(&ctx, &mut dst, &idx, &src);
+}
+
+#[test]
+#[should_panic(expected = "m >= n")]
+fn qr_rejects_underdetermined_shapes() {
+    let ctx = ctx();
+    let a = DistArray::<f64>::zeros(&ctx, &[3, 5], &[PAR, PAR]);
+    let _ = dpf::linalg::qr::qr_factor(&ctx, &a);
+}
+
+#[test]
+#[should_panic(expected = "zero extent")]
+fn arrays_reject_zero_extents() {
+    let ctx = ctx();
+    let _ = DistArray::<f64>::zeros(&ctx, &[4, 0], &[PAR, PAR]);
+}
