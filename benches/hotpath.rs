@@ -1,0 +1,274 @@
+//! Hot-path microbenchmarks: the optimized primitives against inline
+//! seed-equivalent baselines.
+//!
+//! Each operation is measured two ways at three sizes:
+//!
+//! * `new`  — the current library path (chunked index decoding, pooled
+//!   output buffers, lane-parallel loops).
+//! * `seed` — a faithful inline copy of the pre-optimization
+//!   implementation (per-element [`unflatten`] heap allocation, serial
+//!   lane loops, fresh zeroed output buffers, per-element owner-id
+//!   comparisons).
+//!
+//! The seed variants are kept inline because this build environment
+//! cannot check out and build the seed commit side by side; the code is
+//! transcribed from it. `scripts/bench_snapshot.sh` runs this harness and
+//! assembles the `CRITERION_JSON` lines into `BENCH_1.json`, including
+//! per-op seed/new throughput ratios.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpf_array::{unflatten, DistArray, PAR};
+use dpf_comm::{cshift, gather};
+use dpf_core::{Ctx, Machine};
+use rayon::prelude::*;
+
+fn ctx() -> Ctx {
+    Ctx::new(Machine::cm5(4))
+}
+
+/// Benchmark element counts: 64K, 1M, 4M.
+const SIZES: [usize; 3] = [1 << 16, 1 << 20, 1 << 22];
+
+/// Square side per size (all sizes are powers of four).
+fn side(len: usize) -> usize {
+    let s = (len as f64).sqrt() as usize;
+    assert_eq!(s * s, len);
+    s
+}
+
+// ---------------------------------------------------------------- map --
+
+/// Seed `map`: rayon above the threshold, but collecting into a freshly
+/// allocated vector every call.
+fn seed_map(a: &DistArray<f64>) -> Vec<f64> {
+    if a.len() >= dpf_array::PAR_THRESHOLD {
+        a.as_slice().par_iter().map(|&x| 1.5 * x + 0.5).collect()
+    } else {
+        a.as_slice().iter().map(|&x| 1.5 * x + 0.5).collect()
+    }
+}
+
+fn bench_map(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("map");
+    for &n in &SIZES {
+        let a = DistArray::<f64>::from_fn(&ctx, &[n], &[PAR], |i| i[0] as f64);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| {
+                let r = a.map(&ctx, 2, |x| 1.5 * x + 0.5);
+                let probe = r.as_slice()[n / 2];
+                r.recycle(&ctx);
+                black_box(probe)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                let r = seed_map(&a);
+                black_box(r[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
+// ------------------------------------------------------------- cshift --
+
+/// Seed `cshift` data movement: serial lane loop into a zeroed output.
+fn seed_cshift(ctx: &Ctx, a: &DistArray<f64>, axis: usize, shift: isize) -> DistArray<f64> {
+    let shape = a.shape().to_vec();
+    let n = shape[axis];
+    let outer: usize = shape[..axis].iter().product();
+    let inner: usize = shape[axis + 1..].iter().product();
+    let mut out = DistArray::<f64>::zeros(ctx, &shape, a.layout().axes());
+    let src = a.as_slice();
+    let dst = out.as_mut_slice();
+    for o in 0..outer {
+        let base = o * n * inner;
+        for i in 0..n {
+            let j = (i as isize + shift).rem_euclid(n as isize) as usize;
+            let d0 = base + i * inner;
+            let s0 = base + j * inner;
+            dst[d0..d0 + inner].copy_from_slice(&src[s0..s0 + inner]);
+        }
+    }
+    out
+}
+
+fn bench_cshift(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("cshift");
+    for &n in &SIZES {
+        let s = side(n);
+        let a = DistArray::<f64>::from_fn(&ctx, &[s, s], &[PAR, PAR], |i| (i[0] * s + i[1]) as f64);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| {
+                let r = cshift(&ctx, &a, 0, 1);
+                let probe = r.as_slice()[n / 2];
+                r.recycle(&ctx);
+                black_box(probe)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                let r = seed_cshift(&ctx, &a, 0, 1);
+                black_box(r.as_slice()[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
+// ------------------------------------------------------------ permute --
+
+/// Seed `permute`: serial, with a heap-allocated `unflatten` vector per
+/// element.
+fn seed_permute(a: &DistArray<f64>, order: &[usize]) -> Vec<f64> {
+    let new_shape: Vec<usize> = order.iter().map(|&d| a.shape()[d]).collect();
+    let old_strides = a.layout().strides();
+    let strides_in_new_order: Vec<usize> = order.iter().map(|&d| old_strides[d]).collect();
+    let mut data = vec![0.0f64; a.len()];
+    for (flat_new, slot) in data.iter_mut().enumerate() {
+        let idx_new = unflatten(flat_new, &new_shape);
+        let mut flat_old = 0;
+        for d in 0..idx_new.len() {
+            flat_old += idx_new[d] * strides_in_new_order[d];
+        }
+        *slot = a.as_slice()[flat_old];
+    }
+    data
+}
+
+fn bench_permute(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("permute");
+    for &n in &SIZES {
+        let s = side(n);
+        let a = DistArray::<f64>::from_fn(&ctx, &[s, s], &[PAR, PAR], |i| (i[0] * s + i[1]) as f64);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| {
+                let r = a.permute(&ctx, &[1, 0]);
+                let probe = r.as_slice()[n / 2];
+                r.recycle(&ctx);
+                black_box(probe)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                let r = seed_permute(&a, &[1, 0]);
+                black_box(r[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
+// ------------------------------------------------------- indexed_fill --
+
+/// Seed `indexed_fill`: rayon above the threshold, but with a
+/// heap-allocated `unflatten` vector per element.
+fn seed_indexed_fill(data: &mut [f64], shape: &[usize]) {
+    if data.len() >= dpf_array::PAR_THRESHOLD {
+        data.par_iter_mut().enumerate().for_each(|(flat, x)| {
+            let idx = unflatten(flat, shape);
+            *x = (idx[0] + 2 * idx[1]) as f64;
+        });
+    } else {
+        data.iter_mut().enumerate().for_each(|(flat, x)| {
+            let idx = unflatten(flat, shape);
+            *x = (idx[0] + 2 * idx[1]) as f64;
+        });
+    }
+}
+
+fn bench_indexed_fill(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("indexed_fill");
+    for &n in &SIZES {
+        let s = side(n);
+        let mut a = DistArray::<f64>::zeros(&ctx, &[s, s], &[PAR, PAR]);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| {
+                a.indexed_fill(&ctx, 2, |idx| (idx[0] + 2 * idx[1]) as f64);
+                black_box(a.as_slice()[n / 2])
+            })
+        });
+        let shape = vec![s, s];
+        let mut raw = vec![0.0f64; n];
+        g.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                seed_indexed_fill(&mut raw, &shape);
+                black_box(raw[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
+// ------------------------------------------------------------- gather --
+
+/// Seed `gather`: serial per-element owner-id comparison for the
+/// off-processor count, a zeroed output, then a serial copy loop.
+fn seed_gather(ctx: &Ctx, src: &DistArray<f64>, idx: &DistArray<i32>) -> DistArray<f64> {
+    let n = src.shape()[0] as i32;
+    let mut out = DistArray::<f64>::zeros(ctx, idx.shape(), idx.layout().axes());
+    let sl = src.layout();
+    let dl = out.layout().clone();
+    let offproc = if sl.is_distributed() || dl.is_distributed() {
+        idx.as_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(d, &s)| {
+                assert!(s >= 0 && s < n, "gather index {s} out of bounds {n}");
+                sl.owner_id_flat(s as usize) != dl.owner_id_flat(d)
+            })
+            .count() as u64
+    } else {
+        0
+    };
+    black_box(offproc);
+    let s = src.as_slice();
+    for (o, &i) in out.as_mut_slice().iter_mut().zip(idx.as_slice()) {
+        *o = s[i as usize];
+    }
+    out
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("gather");
+    for &n in &SIZES {
+        let src = DistArray::<f64>::from_fn(&ctx, &[n], &[PAR], |i| i[0] as f64);
+        let idx =
+            DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], |i| ((i[0] * 7919 + 13) % n) as i32);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| {
+                let r = gather(&ctx, &src, &idx);
+                let probe = r.as_slice()[n / 2];
+                r.recycle(&ctx);
+                black_box(probe)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                let r = seed_gather(&ctx, &src, &idx);
+                black_box(r.as_slice()[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_map,
+    bench_cshift,
+    bench_permute,
+    bench_indexed_fill,
+    bench_gather
+);
+criterion_main!(hotpath);

@@ -77,8 +77,7 @@ fn bench_router_accounting_vs_machine_size(c: &mut Criterion) {
     for procs in [1usize, 32, 1024] {
         let ctx = Ctx::new(Machine::cm5(procs));
         let src = DistArray::<f64>::from_fn(&ctx, &[n], &[PAR], |i| i[0] as f64);
-        let idx =
-            DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], move |i| ((i[0] * 131) % n) as i32);
+        let idx = DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], move |i| ((i[0] * 131) % n) as i32);
         g.bench_with_input(BenchmarkId::new("gather", procs), &procs, |b, _| {
             b.iter(|| black_box(gather(&ctx, &src, &idx)))
         });

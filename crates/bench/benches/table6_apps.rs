@@ -12,7 +12,10 @@ fn bench_table6_rows(c: &mut Criterion) {
     let mut g = c.benchmark_group("table6");
     g.sample_size(10);
     let machine = Machine::cm5(32);
-    for entry in registry().into_iter().filter(|e| e.group == Group::Application) {
+    for entry in registry()
+        .into_iter()
+        .filter(|e| e.group == Group::Application)
+    {
         g.bench_function(entry.name, |b| {
             b.iter(|| black_box(run_basic(&entry, &machine, Size::Small).report.perf.flops))
         });
@@ -26,7 +29,14 @@ fn bench_medium_grid_codes(c: &mut Criterion) {
     let mut g = c.benchmark_group("table6_medium");
     g.sample_size(10);
     let machine = Machine::cm5(32);
-    for name in ["diff-3D", "ellip-2D", "rp", "step4", "wave-1D", "ks-spectral"] {
+    for name in [
+        "diff-3D",
+        "ellip-2D",
+        "rp",
+        "step4",
+        "wave-1D",
+        "ks-spectral",
+    ] {
         let entry = dpf_suite::find(name).unwrap();
         g.bench_function(name, |b| {
             b.iter(|| black_box(run_basic(&entry, &machine, Size::Medium).report.perf.flops))

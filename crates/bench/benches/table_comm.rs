@@ -44,14 +44,23 @@ fn bench_primitives(c: &mut Criterion) {
         });
     }
     let ctx = Ctx::new(Machine::cm5(32));
-    let keys = DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], |i| ((i[0] * 2654435761) % 1000003) as i32);
+    let keys = DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], |i| {
+        ((i[0] * 2654435761) % 1000003) as i32
+    });
     g.bench_function("sort_keys", |b| {
         b.iter(|| black_box(dpf_comm::sort_keys(&ctx, &keys)))
     });
     let grid = DistArray::<f64>::from_fn(&ctx, &[512, 512], &[PAR, PAR], |i| (i[0] + i[1]) as f64);
     let pts = dpf_comm::star_stencil(2, -4.0, 1.0);
     g.bench_function("stencil_5pt_512", |b| {
-        b.iter(|| black_box(dpf_comm::stencil(&ctx, &grid, &pts, dpf_comm::StencilBoundary::Cyclic)))
+        b.iter(|| {
+            black_box(dpf_comm::stencil(
+                &ctx,
+                &grid,
+                &pts,
+                dpf_comm::StencilBoundary::Cyclic,
+            ))
+        })
     });
     g.finish();
 }

@@ -21,7 +21,14 @@ fn bench_matvec_versions(c: &mut Criterion) {
     let machine = Machine::cm5(32);
     for version in [Version::Basic, Version::Library] {
         g.bench_function(version.name(), |b| {
-            b.iter(|| black_box(run(&entry, version, &machine, Size::Medium).report.perf.flops))
+            b.iter(|| {
+                black_box(
+                    run(&entry, version, &machine, Size::Medium)
+                        .report
+                        .perf
+                        .flops,
+                )
+            })
         });
     }
     g.finish();
@@ -42,7 +49,14 @@ fn bench_version_axis(c: &mut Criterion) {
     ] {
         let entry = find(name).unwrap();
         g.bench_function(format!("{name}_basic"), |b| {
-            b.iter(|| black_box(run(&entry, Version::Basic, &machine, Size::Medium).report.perf.flops))
+            b.iter(|| {
+                black_box(
+                    run(&entry, Version::Basic, &machine, Size::Medium)
+                        .report
+                        .perf
+                        .flops,
+                )
+            })
         });
         g.bench_function(format!("{name}_{}", alt.name().replace('/', "_")), |b| {
             b.iter(|| black_box(run(&entry, alt, &machine, Size::Medium).report.perf.flops))
@@ -82,7 +96,11 @@ fn bench_pic_deposit_strategies(c: &mut Criterion) {
     g.bench_function("colliding", |b| {
         b.iter(|| {
             let ctx = Ctx::new(machine.clone());
-            let p = dpf_apps::pic_gather_scatter::Params { np, ng: 8, steps: 1 };
+            let p = dpf_apps::pic_gather_scatter::Params {
+                np,
+                ng: 8,
+                steps: 1,
+            };
             let (cells, charge) = dpf_apps::pic_gather_scatter::workload(&ctx, &p);
             let mut grid =
                 dpf_array::DistArray::<f64>::zeros(&ctx, &[8 * 8 * 8], &[dpf_array::PAR]);
@@ -94,9 +112,15 @@ fn bench_pic_deposit_strategies(c: &mut Criterion) {
     g.bench_function("sorted_scan", |b| {
         b.iter(|| {
             let ctx = Ctx::new(machine.clone());
-            let p = dpf_apps::pic_gather_scatter::Params { np, ng: 8, steps: 1 };
+            let p = dpf_apps::pic_gather_scatter::Params {
+                np,
+                ng: 8,
+                steps: 1,
+            };
             let (cells, charge) = dpf_apps::pic_gather_scatter::workload(&ctx, &p);
-            black_box(dpf_apps::pic_gather_scatter::deposit_sorted(&ctx, &p, &cells, &charge))
+            black_box(dpf_apps::pic_gather_scatter::deposit_sorted(
+                &ctx, &p, &cells, &charge,
+            ))
         })
     });
     g.finish();

@@ -39,7 +39,14 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { nt: 8, nx: 16, u: 1.0, k: 0.5, sweeps: 10, seed: 11 }
+        Params {
+            nt: 8,
+            nx: 16,
+            u: 1.0,
+            k: 0.5,
+            sweeps: 10,
+            seed: 11,
+        }
     }
 }
 
@@ -64,7 +71,11 @@ pub fn workload(ctx: &Ctx, p: &Params) -> Lattice {
         }
     })
     .declare(ctx);
-    Lattice { occ, accepted: 0, proposed: 0 }
+    Lattice {
+        occ,
+        accepted: 0,
+        proposed: 0,
+    }
 }
 
 /// Particle count of each time slice.
@@ -145,7 +156,11 @@ pub fn sweep(ctx: &Ctx, p: &Params, lat: &mut Lattice, sweep_idx: usize) {
                             - sq(nbo as f64 - nbd[e] as f64));
                     let ds = du + dk;
                     let r = crate::util::pseudo01(
-                        e * 1000003 + sweep_idx * 7919 + colour * 31 + axis * 7 + (dir + 2) as usize,
+                        e * 1000003
+                            + sweep_idx * 7919
+                            + colour * 31
+                            + axis * 7
+                            + (dir + 2) as usize,
                     );
                     if ds <= 0.0 || r < (-ds).exp() {
                         delta[e] = 1;
@@ -186,14 +201,26 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Lattice, Verify) {
     let min_occ = lat.occ.as_slice().iter().copied().min().unwrap_or(0);
     let spread1 = occupancy_spread(&lat, p);
     let relaxed = spread1 < spread0;
-    let metric = if min_occ >= 0 && relaxed { conserved as f64 } else { f64::NAN };
-    (lat, Verify::check("boson slice-number conservation", metric, 0.0))
+    let metric = if min_occ >= 0 && relaxed {
+        conserved as f64
+    } else {
+        f64::NAN
+    };
+    (
+        lat,
+        Verify::check("boson slice-number conservation", metric, 0.0),
+    )
 }
 
 /// Mean squared occupation (decreases as repulsion spreads particles).
 fn occupancy_spread(lat: &Lattice, p: &Params) -> f64 {
     let vol = (p.nt * p.nx * p.nx) as f64;
-    lat.occ.as_slice().iter().map(|&n| (n as f64) * (n as f64)).sum::<f64>() / vol
+    lat.occ
+        .as_slice()
+        .iter()
+        .map(|&n| (n as f64) * (n as f64))
+        .sum::<f64>()
+        / vol
 }
 
 #[cfg(test)]
@@ -224,7 +251,10 @@ mod tests {
     #[test]
     fn cshift_count_is_38_per_sweep() {
         let ctx = ctx();
-        let p = Params { sweeps: 1, ..Params::default() };
+        let p = Params {
+            sweeps: 1,
+            ..Params::default()
+        };
         let _ = run(&ctx, &p);
         // 2 temporal + 2 colours × 4 directions × (3 neighbour fields +
         // 1 delta return) = 2 + 32 = 34... plus the 4 temporal re-shifts
@@ -236,7 +266,10 @@ mod tests {
     #[test]
     fn repulsion_spreads_particles() {
         let ctx = ctx();
-        let p = Params { sweeps: 20, ..Params::default() };
+        let p = Params {
+            sweeps: 20,
+            ..Params::default()
+        };
         let (lat, _) = run(&ctx, &p);
         let spread = occupancy_spread(&lat, &p);
         // Initial: 4² over 1/16 of sites = 16/16 = 1.0 mean square;
@@ -247,7 +280,12 @@ mod tests {
     #[test]
     fn zero_repulsion_still_conserves() {
         let ctx = ctx();
-        let p = Params { u: 0.0, k: 0.0, sweeps: 5, ..Params::default() };
+        let p = Params {
+            u: 0.0,
+            k: 0.0,
+            sweeps: 5,
+            ..Params::default()
+        };
         let (lat, _) = run(&ctx, &p);
         let counts = slice_counts(&lat, &p);
         let expect = (4 * (p.nx / 4) * (p.nx / 4)) as i64;

@@ -12,7 +12,7 @@
 //! a constant tridiagonal system solved each step.
 
 use dpf_array::{DistArray, PAR};
-use dpf_comm::{stencil, StencilBoundary, StencilPoint};
+use dpf_comm::{stencil_into, StencilBoundary, StencilPoint};
 use dpf_core::{Ctx, Verify};
 use dpf_linalg::pcr::{pcr_solve, Tridiag};
 use dpf_linalg::reference::thomas;
@@ -30,7 +30,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { nx: 256, steps: 8, lambda: 0.4 }
+        Params {
+            nx: 256,
+            steps: 8,
+            lambda: 0.4,
+        }
     }
 }
 
@@ -45,14 +49,20 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
     })
     .declare(ctx);
     // Constant implicit system (I − ½λ Δ).
-    let sys_l = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
-        if i[0] == 0 {
-            0.0
-        } else {
-            -0.5 * lam
-        }
-    })
-    .declare(ctx);
+    let sys_l =
+        DistArray::<f64>::from_fn(
+            ctx,
+            &[n],
+            &[PAR],
+            |i| {
+                if i[0] == 0 {
+                    0.0
+                } else {
+                    -0.5 * lam
+                }
+            },
+        )
+        .declare(ctx);
     let sys_d = DistArray::<f64>::full(ctx, &[n], &[PAR], 1.0 + lam).declare(ctx);
     let sys_u = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
         if i[0] + 1 == n {
@@ -71,17 +81,20 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         StencilPoint::new(&[0], 1.0 - lam),
         StencilPoint::new(&[1], 0.5 * lam),
     ];
+    // The implicit system is constant: build it once and refresh only the
+    // right-hand side in place each step (no per-step clones/allocations).
+    let mut sys = Tridiag {
+        lower: sys_l,
+        diag: sys_d,
+        upper: sys_u,
+        rhs: DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
+    };
     for _ in 0..p.steps {
         // RHS: the 3-point stencil with Dirichlet-0 ends.
-        let rhs = stencil(ctx, &u, &rhs_pts, StencilBoundary::Fixed(0.0));
-        // Substructured tridiagonal solve.
-        let sys = Tridiag {
-            lower: sys_l.clone(),
-            diag: sys_d.clone(),
-            upper: sys_u.clone(),
-            rhs,
-        };
-        u = pcr_solve(ctx, &sys);
+        stencil_into(ctx, &u, &rhs_pts, StencilBoundary::Fixed(0.0), &mut sys.rhs);
+        // Substructured tridiagonal solve; recycle the previous field's
+        // storage into the buffer pool.
+        std::mem::replace(&mut u, pcr_solve(ctx, &sys)).recycle(ctx);
 
         // Reference step.
         let rl: Vec<f64> = (0..n)
@@ -91,10 +104,13 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
                 0.5 * lam * (lo + hi) + (1.0 - lam) * u_ref[i]
             })
             .collect();
-        let tl: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -0.5 * lam }).collect();
+        let tl: Vec<f64> = (0..n)
+            .map(|i| if i == 0 { 0.0 } else { -0.5 * lam })
+            .collect();
         let td = vec![1.0 + lam; n];
-        let tu: Vec<f64> =
-            (0..n).map(|i| if i + 1 == n { 0.0 } else { -0.5 * lam }).collect();
+        let tu: Vec<f64> = (0..n)
+            .map(|i| if i + 1 == n { 0.0 } else { -0.5 * lam })
+            .collect();
         u_ref = thomas(&tl, &td, &tu, &rl);
     }
     let worst = u
@@ -127,14 +143,25 @@ mod tests {
     #[test]
     fn matches_serial_crank_nicolson() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { nx: 64, steps: 5, lambda: 0.4 });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                nx: 64,
+                steps: 5,
+                lambda: 0.4,
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
     #[test]
     fn sine_mode_decays_at_analytic_rate() {
         let ctx = ctx();
-        let p = Params { nx: 128, steps: 10, lambda: 0.3 };
+        let p = Params {
+            nx: 128,
+            steps: 10,
+            lambda: 0.3,
+        };
         let (u, _) = run(&ctx, &p);
         // The initial condition is exactly the first eigenmode, so the
         // field stays proportional to it with the analytic decay factor.
@@ -151,7 +178,14 @@ mod tests {
     #[test]
     fn records_stencil_and_cshift_patterns() {
         let ctx = ctx();
-        let _ = run(&ctx, &Params { nx: 32, steps: 3, lambda: 0.4 });
+        let _ = run(
+            &ctx,
+            &Params {
+                nx: 32,
+                steps: 3,
+                lambda: 0.4,
+            },
+        );
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Stencil), 3);
         // PCR contributes 2·ceil(log2 n) cshifts per step.
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 3 * 2 * 5);
@@ -160,7 +194,11 @@ mod tests {
     #[test]
     fn memory_is_32nx() {
         let ctx = ctx();
-        let p = Params { nx: 100, steps: 0, lambda: 0.4 };
+        let p = Params {
+            nx: 100,
+            steps: 0,
+            lambda: 0.4,
+        };
         let _ = run(&ctx, &p);
         // u + the three tridiagonal coefficient vectors = 4 × 8 n.
         assert_eq!(ctx.instr.declared_bytes(), 32 * 100);
@@ -169,7 +207,14 @@ mod tests {
     #[test]
     fn maximum_principle_holds() {
         let ctx = ctx();
-        let (u, _) = run(&ctx, &Params { nx: 64, steps: 20, lambda: 0.45 });
+        let (u, _) = run(
+            &ctx,
+            &Params {
+                nx: 64,
+                steps: 20,
+                lambda: 0.45,
+            },
+        );
         // Diffusion with zero boundaries keeps 0 <= u <= max(initial).
         for &x in u.as_slice() {
             assert!(x >= -1e-12 && x <= 1.0 + 1e-12);

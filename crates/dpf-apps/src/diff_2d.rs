@@ -13,7 +13,7 @@
 //! the AAPC transpose re-orients the grid between half steps.
 
 use dpf_array::{DistArray, PAR, SER};
-use dpf_comm::{stencil, transpose, StencilBoundary, StencilPoint};
+use dpf_comm::{stencil_into, transpose, StencilBoundary, StencilPoint};
 use dpf_core::{Ctx, Verify};
 use dpf_linalg::reference::thomas;
 
@@ -30,7 +30,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { nx: 64, steps: 6, lambda: 0.3 }
+        Params {
+            nx: 64,
+            steps: 6,
+            lambda: 0.3,
+        }
     }
 }
 
@@ -41,10 +45,14 @@ fn implicit_rows(ctx: &Ctx, rhs: &DistArray<f64>, lam: f64) -> DistArray<f64> {
     let (nr, nc) = (rhs.shape()[0], rhs.shape()[1]);
     let tl: Vec<f64> = (0..nc).map(|i| if i == 0 { 0.0 } else { -lam }).collect();
     let td = vec![1.0 + 2.0 * lam; nc];
-    let tu: Vec<f64> = (0..nc).map(|i| if i + 1 == nc { 0.0 } else { -lam }).collect();
+    let tu: Vec<f64> = (0..nc)
+        .map(|i| if i + 1 == nc { 0.0 } else { -lam })
+        .collect();
     // ~8 FLOPs per point for the forward/backward Thomas recurrences.
     ctx.add_flops((nr * nc) as u64 * 8);
-    let mut out = DistArray::<f64>::zeros(ctx, rhs.shape(), rhs.layout().axes());
+    // Every row is overwritten by a full Thomas solve, so pooled scratch
+    // storage is safe.
+    let mut out = DistArray::<f64>::scratch(ctx, rhs.shape(), rhs.layout().axes());
     ctx.busy(|| {
         for r in 0..nr {
             let row = &rhs.as_slice()[r * nc..(r + 1) * nc];
@@ -72,16 +80,23 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         StencilPoint::new(&[1, 0], lam),
     ];
     let mut u_ref = u.to_vec();
+    // Reused RHS buffers, one per grid orientation so layouts (and hence
+    // the recorded communication) match the allocating formulation.
+    let mut rhs = DistArray::<f64>::zeros(ctx, &[n, n], &[PAR, SER]);
+    let mut rhs_t = DistArray::<f64>::zeros(ctx, &[n, n], &[SER, PAR]);
     for _ in 0..p.steps {
         // Half step 1: explicit in the parallel direction (3-pt stencil),
         // implicit along the serial rows.
-        let rhs = stencil(ctx, &u, &expl_pts, StencilBoundary::Fixed(0.0));
+        stencil_into(ctx, &u, &expl_pts, StencilBoundary::Fixed(0.0), &mut rhs);
         let half = implicit_rows(ctx, &rhs, lam);
         // Transpose (AAPC) and repeat for the other direction.
         let ht = transpose(ctx, &half);
-        let rhs2 = stencil(ctx, &ht, &expl_pts, StencilBoundary::Fixed(0.0));
-        let full_t = implicit_rows(ctx, &rhs2, lam);
-        u = transpose(ctx, &full_t);
+        half.recycle(ctx);
+        stencil_into(ctx, &ht, &expl_pts, StencilBoundary::Fixed(0.0), &mut rhs_t);
+        let full_t = implicit_rows(ctx, &rhs_t, lam);
+        ht.recycle(ctx);
+        std::mem::replace(&mut u, transpose(ctx, &full_t)).recycle(ctx);
+        full_t.recycle(ctx);
 
         u_ref = serial_adi_step(&u_ref, n, lam);
     }
@@ -97,7 +112,9 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
 fn serial_adi_step(u: &[f64], n: usize, lam: f64) -> Vec<f64> {
     let tl: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -lam }).collect();
     let td = vec![1.0 + 2.0 * lam; n];
-    let tu: Vec<f64> = (0..n).map(|i| if i + 1 == n { 0.0 } else { -lam }).collect();
+    let tu: Vec<f64> = (0..n)
+        .map(|i| if i + 1 == n { 0.0 } else { -lam })
+        .collect();
     let at = |g: &[f64], r: isize, c: usize| -> f64 {
         if r < 0 || r >= n as isize {
             0.0
@@ -119,9 +136,7 @@ fn serial_adi_step(u: &[f64], n: usize, lam: f64) -> Vec<f64> {
         half[r * n..(r + 1) * n].copy_from_slice(&solved);
     }
     // Half 2 on the transpose.
-    let ht: Vec<f64> = (0..n * n)
-        .map(|k| half[(k % n) * n + k / n])
-        .collect();
+    let ht: Vec<f64> = (0..n * n).map(|k| half[(k % n) * n + k / n]).collect();
     let mut full_t = vec![0.0; n * n];
     for r in 0..n {
         let rhs: Vec<f64> = (0..n)
@@ -148,7 +163,14 @@ mod tests {
     #[test]
     fn matches_serial_adi() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { nx: 24, steps: 4, lambda: 0.3 });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                nx: 24,
+                steps: 4,
+                lambda: 0.3,
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
@@ -157,7 +179,11 @@ mod tests {
         // The first product mode decays by a known ADI amplification
         // factor per direction per step.
         let ctx = ctx();
-        let p = Params { nx: 32, steps: 5, lambda: 0.25 };
+        let p = Params {
+            nx: 32,
+            steps: 5,
+            lambda: 0.25,
+        };
         let (u, _) = run(&ctx, &p);
         let pi = std::f64::consts::PI;
         let theta = pi / (p.nx + 1) as f64;
@@ -178,16 +204,33 @@ mod tests {
     fn comm_is_stencils_and_aapcs() {
         let ctx = ctx();
         let steps = 3;
-        let _ = run(&ctx, &Params { nx: 16, steps, lambda: 0.3 });
+        let _ = run(
+            &ctx,
+            &Params {
+                nx: 16,
+                steps,
+                lambda: 0.3,
+            },
+        );
         // Per step: 2 stencils + 2 AAPC transposes (one per half step).
-        assert_eq!(ctx.instr.pattern_calls(CommPattern::Stencil), 2 * steps as u64);
+        assert_eq!(
+            ctx.instr.pattern_calls(CommPattern::Stencil),
+            2 * steps as u64
+        );
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Aapc), 2 * steps as u64);
     }
 
     #[test]
     fn memory_is_32nx_squared() {
         let ctx = ctx();
-        let _ = run(&ctx, &Params { nx: 20, steps: 0, lambda: 0.3 });
+        let _ = run(
+            &ctx,
+            &Params {
+                nx: 20,
+                steps: 0,
+                lambda: 0.3,
+            },
+        );
         // Field + scratch = 2 × 8 n² ... the paper's 32 n² counts four
         // n²-sized doubles (u, rhs, and the two ADI workspaces); we
         // declare u and one scratch (16 n²) and the two per-step RHS
@@ -198,7 +241,14 @@ mod tests {
     #[test]
     fn maximum_principle_holds() {
         let ctx = ctx();
-        let (u, _) = run(&ctx, &Params { nx: 16, steps: 10, lambda: 0.4 });
+        let (u, _) = run(
+            &ctx,
+            &Params {
+                nx: 16,
+                steps: 10,
+                lambda: 0.4,
+            },
+        );
         for &x in u.as_slice() {
             assert!(x >= -1e-12 && x <= 1.0 + 1e-12);
         }

@@ -23,7 +23,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 32, steps: 8, lambda: 0.15 }
+        Params {
+            n: 32,
+            steps: 8,
+            lambda: 0.15,
+        }
     }
 }
 
@@ -39,8 +43,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
             * (pi * i[1] as f64 / (n - 1) as f64).sin()
             * (pi * i[2] as f64 / (n - 1) as f64).sin()
     };
-    let mut u =
-        DistArray::<f64>::from_fn(ctx, &[n, n, n], &[PAR, PAR, PAR], mode).declare(ctx);
+    let mut u = DistArray::<f64>::from_fn(ctx, &[n, n, n], &[PAR, PAR, PAR], mode).declare(ctx);
     let pts = star_stencil(3, 1.0 - 6.0 * lam, lam);
     let interior = [
         Triplet::range(1, n - 1),
@@ -64,7 +67,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         let want = factor * mode(&idx);
         worst = worst.max((got - want).abs());
     }
-    (u, Verify::check("diff-3D vs analytic mode decay", worst, 1e-9))
+    (
+        u,
+        Verify::check("diff-3D vs analytic mode decay", worst, 1e-9),
+    )
 }
 
 /// Optimized (C/DPEAC-style) version: one fused pass over the interior
@@ -81,8 +87,7 @@ pub fn run_optimized(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
             * (pi * i[1] as f64 / (n - 1) as f64).sin()
             * (pi * i[2] as f64 / (n - 1) as f64).sin()
     };
-    let mut u =
-        DistArray::<f64>::from_fn(ctx, &[n, n, n], &[PAR, PAR, PAR], mode).declare(ctx);
+    let mut u = DistArray::<f64>::from_fn(ctx, &[n, n, n], &[PAR, PAR, PAR], mode).declare(ctx);
     let mut next = u.clone();
     let centre = 1.0 - 6.0 * lam;
     for _ in 0..p.steps {
@@ -130,7 +135,10 @@ pub fn run_optimized(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         let want = factor * mode(&idx);
         worst = worst.max((got - want).abs());
     }
-    (u, Verify::check("diff-3D optimized vs analytic", worst, 1e-9))
+    (
+        u,
+        Verify::check("diff-3D optimized vs analytic", worst, 1e-9),
+    )
 }
 
 #[cfg(test)]
@@ -145,7 +153,14 @@ mod tests {
     #[test]
     fn matches_analytic_mode_decay() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { n: 16, steps: 6, lambda: 0.12 });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                n: 16,
+                steps: 6,
+                lambda: 0.12,
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
@@ -153,21 +168,42 @@ mod tests {
     fn one_stencil_per_iteration() {
         let ctx = ctx();
         let steps = 4;
-        let _ = run(&ctx, &Params { n: 8, steps, lambda: 0.1 });
+        let _ = run(
+            &ctx,
+            &Params {
+                n: 8,
+                steps,
+                lambda: 0.1,
+            },
+        );
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Stencil), steps as u64);
     }
 
     #[test]
     fn memory_is_8n_cubed() {
         let ctx = ctx();
-        let _ = run(&ctx, &Params { n: 10, steps: 0, lambda: 0.1 });
+        let _ = run(
+            &ctx,
+            &Params {
+                n: 10,
+                steps: 0,
+                lambda: 0.1,
+            },
+        );
         assert_eq!(ctx.instr.declared_bytes(), 8 * 1000);
     }
 
     #[test]
     fn boundaries_stay_fixed() {
         let ctx = ctx();
-        let (u, _) = run(&ctx, &Params { n: 12, steps: 5, lambda: 0.15 });
+        let (u, _) = run(
+            &ctx,
+            &Params {
+                n: 12,
+                steps: 5,
+                lambda: 0.15,
+            },
+        );
         let n = 12;
         // The initial sine mode is ~0 on the boundary (up to sin(π)
         // rounding); the scheme must leave boundary cells untouched.
@@ -183,7 +219,11 @@ mod tests {
 
     #[test]
     fn optimized_matches_basic_exactly() {
-        let p = Params { n: 12, steps: 5, lambda: 0.12 };
+        let p = Params {
+            n: 12,
+            steps: 5,
+            lambda: 0.12,
+        };
         let ctx_b = Ctx::new(Machine::cm5(8));
         let (ub, vb) = run(&ctx_b, &p);
         let ctx_o = Ctx::new(Machine::cm5(8));

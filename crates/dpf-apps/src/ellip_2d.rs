@@ -28,7 +28,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 64, tol: 1e-10, max_iter: 2000 }
+        Params {
+            n: 64,
+            tol: 1e-10,
+            max_iter: 2000,
+        }
     }
 }
 
@@ -38,17 +42,15 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, usize, Verify) {
     let n = p.n;
     let pi = std::f64::consts::PI;
     let h = 1.0 / (n + 1) as f64;
-    let exact = |i: &[usize]| {
-        (pi * (i[0] + 1) as f64 * h).sin() * (pi * (i[1] + 1) as f64 * h).sin()
-    };
+    let exact =
+        |i: &[usize]| (pi * (i[0] + 1) as f64 * h).sin() * (pi * (i[1] + 1) as f64 * h).sin();
     // f = −Δu* = 2π² u*; discrete RHS is h²·f.
     let rhs = DistArray::<f64>::from_fn(ctx, &[n, n], &[PAR, PAR], |i| {
         2.0 * pi * pi * h * h * exact(i)
     })
     .declare(ctx);
     let mut u = DistArray::<f64>::zeros(ctx, &[n, n], &[PAR, PAR]).declare(ctx);
-    let _work =
-        DistArray::<f64>::zeros(ctx, &[n, n], &[PAR, PAR]).declare(ctx);
+    let _work = DistArray::<f64>::zeros(ctx, &[n, n], &[PAR, PAR]).declare(ctx);
 
     // Dirichlet-0 conditionalization masks: CSHIFT wraps cyclically, so
     // each shifted field's wrapped row/column is zeroed (the paper's
@@ -61,13 +63,19 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, usize, Verify) {
             1.0
         }
     });
-    let mask_s = DistArray::<f64>::from_fn(ctx, &[n, n], &[PAR, PAR], |i| {
-        if i[0] == 0 {
-            0.0
-        } else {
-            1.0
-        }
-    });
+    let mask_s =
+        DistArray::<f64>::from_fn(
+            ctx,
+            &[n, n],
+            &[PAR, PAR],
+            |i| {
+                if i[0] == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            },
+        );
     let mask_w = DistArray::<f64>::from_fn(ctx, &[n, n], &[PAR, PAR], |i| {
         if i[1] == n - 1 {
             0.0
@@ -75,13 +83,19 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, usize, Verify) {
             1.0
         }
     });
-    let mask_e = DistArray::<f64>::from_fn(ctx, &[n, n], &[PAR, PAR], |i| {
-        if i[1] == 0 {
-            0.0
-        } else {
-            1.0
-        }
-    });
+    let mask_e =
+        DistArray::<f64>::from_fn(
+            ctx,
+            &[n, n],
+            &[PAR, PAR],
+            |i| {
+                if i[1] == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            },
+        );
     let apply = |ctx: &Ctx, v: &DistArray<f64>| -> DistArray<f64> {
         let nn = cshift(ctx, v, 0, -1).zip_map(ctx, 1, &mask_s, |x, m| x * m);
         let ss = cshift(ctx, v, 0, 1).zip_map(ctx, 1, &mask_n, |x, m| x * m);
@@ -119,7 +133,11 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, usize, Verify) {
         worst = worst.max((got - exact(&idx)).abs());
     }
     let bound = 2.0 * h * h; // generous O(h²) constant for this mode
-    (u, iters, Verify::check("ellip-2D error vs exact", worst, bound))
+    (
+        u,
+        iters,
+        Verify::check("ellip-2D error vs exact", worst, bound),
+    )
 }
 
 #[cfg(test)]
@@ -134,7 +152,14 @@ mod tests {
     #[test]
     fn converges_to_manufactured_solution() {
         let ctx = ctx();
-        let (_, iters, v) = run(&ctx, &Params { n: 24, tol: 1e-11, max_iter: 2000 });
+        let (_, iters, v) = run(
+            &ctx,
+            &Params {
+                n: 24,
+                tol: 1e-11,
+                max_iter: 2000,
+            },
+        );
         assert!(v.is_pass(), "{v}");
         assert!(iters > 0);
     }
@@ -143,14 +168,21 @@ mod tests {
     fn error_shrinks_with_resolution() {
         let e = |n: usize| {
             let ctx = Ctx::new(Machine::cm5(4));
-            let (u, _, _) = run(&ctx, &Params { n, tol: 1e-12, max_iter: 4000 });
+            let (u, _, _) = run(
+                &ctx,
+                &Params {
+                    n,
+                    tol: 1e-12,
+                    max_iter: 4000,
+                },
+            );
             let pi = std::f64::consts::PI;
             let h = 1.0 / (n + 1) as f64;
             let mut worst = 0.0f64;
             for (flat, &got) in u.as_slice().iter().enumerate() {
                 let idx = dpf_array::unflatten(flat, u.shape());
-                let want = (pi * (idx[0] + 1) as f64 * h).sin()
-                    * (pi * (idx[1] + 1) as f64 * h).sin();
+                let want =
+                    (pi * (idx[0] + 1) as f64 * h).sin() * (pi * (idx[1] + 1) as f64 * h).sin();
                 worst = worst.max((got - want).abs());
             }
             worst
@@ -164,18 +196,35 @@ mod tests {
     #[test]
     fn per_iteration_comm_is_4cshift_3reduction() {
         let ctx = ctx();
-        let (_, iters, _) = run(&ctx, &Params { n: 16, tol: 1e-10, max_iter: 50 });
+        let (_, iters, _) = run(
+            &ctx,
+            &Params {
+                n: 16,
+                tol: 1e-10,
+                max_iter: 50,
+            },
+        );
         let iters = iters as u64;
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 4 * iters);
         // 2 setup reductions + 3 per iteration.
-        assert_eq!(ctx.instr.pattern_calls(CommPattern::Reduction), 2 + 3 * iters);
+        assert_eq!(
+            ctx.instr.pattern_calls(CommPattern::Reduction),
+            2 + 3 * iters
+        );
     }
 
     #[test]
     fn flops_per_iteration_leading_order() {
         let ctx = Ctx::new(Machine::cm5(1));
         let n = 32u64;
-        let (_, iters, _) = run(&ctx, &Params { n: n as usize, tol: 0.0, max_iter: 3 });
+        let (_, iters, _) = run(
+            &ctx,
+            &Params {
+                n: n as usize,
+                tol: 0.0,
+                max_iter: 3,
+            },
+        );
         assert_eq!(iters, 3);
         let per_iter = ctx.instr.flops() as f64 / 3.0;
         // Our CG spelling: matvec 10 n² (4 masked shifts à 1 + 3 adds +

@@ -30,7 +30,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { nv_side: 8, tol: 1e-10, max_iter: 500 }
+        Params {
+            nv_side: 8,
+            tol: 1e-10,
+            max_iter: 500,
+        }
     }
 }
 
@@ -94,7 +98,14 @@ pub fn build_mesh(ctx: &Ctx, n: usize) -> Mesh {
         }
     })
     .declare(ctx);
-    Mesh { n_ve: 8, n_e, n_v, connect, k_ref, free }
+    Mesh {
+        n_ve: 8,
+        n_e,
+        n_v,
+        connect,
+        k_ref,
+        free,
+    }
 }
 
 /// `q = A·p` element by element: gather vertex values to elements, apply
@@ -157,7 +168,11 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, usize, Verify) {
         res = max_all(ctx, &r.map(ctx, 0, f64::abs));
         iters += 1;
     }
-    (u, iters, Verify::check("fem-3D residual", res, p.tol.max(1e-12)))
+    (
+        u,
+        iters,
+        Verify::check("fem-3D residual", res, p.tol.max(1e-12)),
+    )
 }
 
 #[cfg(test)]
@@ -209,7 +224,14 @@ mod tests {
     #[test]
     fn cg_converges_and_comm_is_gather_scatter() {
         let ctx = ctx();
-        let (_, iters, v) = run(&ctx, &Params { nv_side: 5, tol: 1e-10, max_iter: 400 });
+        let (_, iters, v) = run(
+            &ctx,
+            &Params {
+                nv_side: 5,
+                tol: 1e-10,
+                max_iter: 400,
+            },
+        );
         assert!(v.is_pass(), "{v}");
         let iters = iters as u64;
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Gather), iters);
@@ -221,7 +243,11 @@ mod tests {
         // Assemble the full stiffness densely on a tiny mesh and compare
         // CG's answer on the free vertices.
         let ctx = ctx();
-        let p = Params { nv_side: 4, tol: 1e-12, max_iter: 1000 };
+        let p = Params {
+            nv_side: 4,
+            tol: 1e-12,
+            max_iter: 1000,
+        };
         let mesh = build_mesh(&ctx, p.nv_side);
         let (u, _, _) = run(&ctx, &p);
         // Dense assembly.

@@ -29,7 +29,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { sites: 64, l: 8, chain: 4 }
+        Params {
+            sites: 64,
+            l: 8,
+            chain: 4,
+        }
     }
 }
 
@@ -46,10 +50,9 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
     })
     .declare(ctx);
     // Site-dependent row permutation (the indirect local access).
-    let perm = DistArray::<i32>::from_fn(ctx, &[ns, l], &[PAR, SER], |i| {
-        ((i[1] + i[0]) % l) as i32
-    })
-    .declare(ctx);
+    let perm =
+        DistArray::<i32>::from_fn(ctx, &[ns, l], &[PAR, SER], |i| ((i[1] + i[0]) % l) as i32)
+            .declare(ctx);
 
     // Accumulate M_site = B'_chain ⋯ B'_1 where B' has permuted rows.
     // FLOPs: chain · sites · (2 l³) for the matmuls.
@@ -101,13 +104,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
     (traces, verify)
 }
 
-fn naive_site(
-    b: &DistArray<f64>,
-    perm: &DistArray<i32>,
-    s: usize,
-    l: usize,
-    chain: usize,
-) -> f64 {
+fn naive_site(b: &DistArray<f64>, perm: &DistArray<i32>, s: usize, l: usize, chain: usize) -> f64 {
     let bs = b.as_slice();
     let ps = perm.as_slice();
     let mut m = vec![0.0f64; l * l];
@@ -140,10 +137,9 @@ pub fn run_optimized(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         d + 0.1 * crate::util::pseudo(i[0] * 997 + i[1] * 31 + i[2])
     })
     .declare(ctx);
-    let perm = DistArray::<i32>::from_fn(ctx, &[ns, l], &[PAR, SER], |i| {
-        ((i[1] + i[0]) % l) as i32
-    })
-    .declare(ctx);
+    let perm =
+        DistArray::<i32>::from_fn(ctx, &[ns, l], &[PAR, SER], |i| ((i[1] + i[0]) % l) as i32)
+            .declare(ctx);
     ctx.add_flops((chain * ns) as u64 * 2 * (l as u64).pow(3) + (ns * (l - 1)) as u64);
     let traces_v: Vec<f64> = ctx.busy(|| {
         let bs = b.as_slice();
@@ -184,7 +180,10 @@ pub fn run_optimized(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
     let site = ns / 2;
     let want = naive_site(&b, &perm, site, l, chain);
     let got = traces.as_slice()[site];
-    (traces, Verify::check("fermion optimized trace", (got - want).abs(), 1e-10))
+    (
+        traces,
+        Verify::check("fermion optimized trace", (got - want).abs(), 1e-10),
+    )
 }
 
 #[cfg(test)]
@@ -199,7 +198,14 @@ mod tests {
     #[test]
     fn traces_match_naive_reference() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { sites: 16, l: 6, chain: 3 });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                sites: 16,
+                l: 6,
+                chain: 3,
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
@@ -208,14 +214,28 @@ mod tests {
         // fermion is embarrassingly parallel: the comm inventory must be
         // empty.
         let ctx = ctx();
-        let _ = run(&ctx, &Params { sites: 8, l: 4, chain: 2 });
+        let _ = run(
+            &ctx,
+            &Params {
+                sites: 8,
+                l: 4,
+                chain: 2,
+            },
+        );
         assert!(ctx.instr.comm_snapshot().is_empty());
     }
 
     #[test]
     fn identity_permutation_with_zero_chain_gives_trace_l() {
         let ctx = ctx();
-        let (traces, _) = run(&ctx, &Params { sites: 4, l: 5, chain: 0 });
+        let (traces, _) = run(
+            &ctx,
+            &Params {
+                sites: 4,
+                l: 5,
+                chain: 0,
+            },
+        );
         for &t in traces.as_slice() {
             assert!((t - 5.0).abs() < 1e-12);
         }
@@ -223,7 +243,11 @@ mod tests {
 
     #[test]
     fn optimized_matches_basic() {
-        let p = Params { sites: 12, l: 5, chain: 3 };
+        let p = Params {
+            sites: 12,
+            l: 5,
+            chain: 3,
+        };
         let ctx_b = Ctx::new(Machine::cm5(4));
         let (tb, vb) = run(&ctx_b, &p);
         let ctx_o = Ctx::new(Machine::cm5(4));
@@ -238,7 +262,11 @@ mod tests {
     #[test]
     fn flops_scale_with_chain_times_l_cubed() {
         let ctx = ctx();
-        let p = Params { sites: 10, l: 4, chain: 3 };
+        let p = Params {
+            sites: 10,
+            l: 4,
+            chain: 3,
+        };
         let _ = run(&ctx, &p);
         let expect = (p.chain * p.sites * 2 * p.l.pow(3) + p.sites * (p.l - 1)) as u64;
         assert_eq!(ctx.instr.flops(), expect);

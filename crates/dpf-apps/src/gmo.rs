@@ -32,7 +32,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { ns: 256, ntr: 64, velocity: 2.0, t0: 64.0 }
+        Params {
+            ns: 256,
+            ntr: 64,
+            velocity: 2.0,
+            t0: 64.0,
+        }
     }
 }
 
@@ -94,7 +99,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f32>, Verify) {
         }
         worst = worst.max((best_t as f64 - p.t0).abs());
     }
-    (out, Verify::check("gmo event flatness (samples)", worst, 1.0))
+    (
+        out,
+        Verify::check("gmo event flatness (samples)", worst, 1.0),
+    )
 }
 
 #[cfg(test)]
@@ -116,7 +124,12 @@ mod tests {
     #[test]
     fn zero_offset_trace_is_unchanged_at_event() {
         let ctx = ctx();
-        let p = Params { ns: 128, ntr: 16, velocity: 2.0, t0: 40.0 };
+        let p = Params {
+            ns: 128,
+            ntr: 16,
+            velocity: 2.0,
+            t0: 40.0,
+        };
         let (out, _) = run(&ctx, &p);
         // Trace 0 has zero offset: moveout(t) = t, so the output equals
         // the input and peaks at t0.
@@ -136,14 +149,25 @@ mod tests {
     #[test]
     fn no_communication_recorded() {
         let ctx = ctx();
-        let _ = run(&ctx, &Params { ns: 64, ntr: 8, ..Params::default() });
+        let _ = run(
+            &ctx,
+            &Params {
+                ns: 64,
+                ntr: 8,
+                ..Params::default()
+            },
+        );
         assert!(ctx.instr.comm_snapshot().is_empty());
     }
 
     #[test]
     fn flops_are_6_per_point() {
         let ctx = ctx();
-        let p = Params { ns: 32, ntr: 4, ..Params::default() };
+        let p = Params {
+            ns: 32,
+            ntr: 4,
+            ..Params::default()
+        };
         let _ = run(&ctx, &p);
         assert_eq!(ctx.instr.flops(), (32 * 4 * 6) as u64);
     }

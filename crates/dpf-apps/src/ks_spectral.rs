@@ -36,12 +36,23 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { ne: 4, nx: 128, domain: 16.0, dt: 0.05, steps: 20, linear_only: false }
+        Params {
+            ne: 4,
+            nx: 128,
+            domain: 16.0,
+            dt: 0.05,
+            steps: 20,
+            linear_only: false,
+        }
     }
 }
 
 fn wavenumber(k: usize, nx: usize, domain: f64) -> f64 {
-    let kk = if k <= nx / 2 { k as isize } else { k as isize - nx as isize };
+    let kk = if k <= nx / 2 {
+        k as isize
+    } else {
+        k as isize - nx as isize
+    };
     kk as f64 / domain
 }
 
@@ -71,7 +82,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Vec<f64>, Verify) {
     // Initial condition: one unstable mode per instance.
     let u0 = DistArray::<C64>::from_fn(ctx, &[ne, nx], &[PAR, PAR], |i| {
         let x = 2.0 * std::f64::consts::PI * i[1] as f64 / nx as f64 * p.domain;
-        C64::new((x / p.domain).cos() + 0.1 * ((i[0] + 1) as f64 * x / p.domain).sin(), 0.0)
+        C64::new(
+            (x / p.domain).cos() + 0.1 * ((i[0] + 1) as f64 * x / p.domain).sin(),
+            0.0,
+        )
     })
     .declare(ctx);
     let _work = DistArray::<C64>::zeros(ctx, &[ne, nx], &[PAR, PAR]).declare(ctx);
@@ -131,7 +145,11 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Vec<f64>, Verify) {
             .map(|c| c.im.abs())
             .fold(0.0, f64::max);
         let max_u = field.iter().map(|x| x.abs()).fold(0.0, f64::max);
-        let bounded = if max_u.is_finite() && max_u < 100.0 { max_im } else { f64::NAN };
+        let bounded = if max_u.is_finite() && max_u < 100.0 {
+            max_im
+        } else {
+            f64::NAN
+        };
         Verify::check("ks reality + boundedness", bounded, 1e-6)
     };
     (field, verify)
@@ -149,7 +167,11 @@ mod tests {
     #[test]
     fn linear_modes_evolve_exactly() {
         let ctx = ctx();
-        let p = Params { linear_only: true, steps: 10, ..Params::default() };
+        let p = Params {
+            linear_only: true,
+            steps: 10,
+            ..Params::default()
+        };
         let (_, v) = run(&ctx, &p);
         assert!(v.is_pass(), "{v}");
     }
@@ -157,7 +179,15 @@ mod tests {
     #[test]
     fn nonlinear_run_stays_real_and_bounded() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { ne: 2, nx: 64, steps: 40, ..Params::default() });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                ne: 2,
+                nx: 64,
+                steps: 40,
+                ..Params::default()
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
@@ -165,7 +195,12 @@ mod tests {
     fn eight_ffts_per_nonlinear_step() {
         let ctx = ctx();
         let steps = 5;
-        let p = Params { ne: 2, nx: 32, steps, ..Params::default() };
+        let p = Params {
+            ne: 2,
+            nx: 32,
+            steps,
+            ..Params::default()
+        };
         let _ = run(&ctx, &p);
         // Each fft_axis_as call records log2(nx) Butterfly exchanges; the
         // run performs 1 setup + 6 per step + 1 final = 6·steps + 2 calls.
@@ -179,7 +214,12 @@ mod tests {
         // The k = 0 mode has L(0) = 0 and the nonlinear term -u u_x =
         // -(u²/2)_x has zero mean: mean(u) is an invariant.
         let ctx = ctx();
-        let p = Params { ne: 1, nx: 64, steps: 30, ..Params::default() };
+        let p = Params {
+            ne: 1,
+            nx: 64,
+            steps: 30,
+            ..Params::default()
+        };
         let (field, _) = run(&ctx, &p);
         let mean: f64 = field.iter().sum::<f64>() / field.len() as f64;
         // Initial mean of cos(x/L)+0.1 sin(x/L) over full periods ~ 0.

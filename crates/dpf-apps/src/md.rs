@@ -33,7 +33,13 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { side: 3, dt: 2e-3, steps: 25, epsilon: 1.0, sigma: 1.0 }
+        Params {
+            side: 3,
+            dt: 2e-3,
+            steps: 25,
+            epsilon: 1.0,
+            sigma: 1.0,
+        }
     }
 }
 
@@ -54,13 +60,15 @@ pub fn workload(ctx: &Ctx, p: &Params) -> State {
     let mk = |axis: usize| {
         DistArray::<f64>::from_fn(ctx, &[n], &[PAR], move |i| {
             let cell = [i[0] / (side * side), (i[0] / side) % side, i[0] % side];
-            cell[axis] as f64 * spacing
-                + 0.01 * spacing * crate::util::pseudo(i[0] * 3 + axis)
+            cell[axis] as f64 * spacing + 0.01 * spacing * crate::util::pseudo(i[0] * 3 + axis)
         })
         .declare(ctx)
     };
     let zero = || DistArray::<f64>::zeros(ctx, &[n], &[PAR]).declare(ctx);
-    State { pos: [mk(0), mk(1), mk(2)], vel: [zero(), zero(), zero()] }
+    State {
+        pos: [mk(0), mk(1), mk(2)],
+        vel: [zero(), zero(), zero()],
+    }
 }
 
 /// Pairwise LJ force divided by displacement, as a function of `r²`
@@ -80,8 +88,8 @@ pub fn potential(p: &Params, st: &State) -> f64 {
     for i in 0..n {
         for j in i + 1..n {
             let mut r2 = 1e-4 * p.sigma * p.sigma;
-            for d in 0..3 {
-                let dx = xs[d][i] - xs[d][j];
+            for x in &xs {
+                let dx = x[i] - x[j];
                 r2 += dx * dx;
             }
             let s6 = (p.sigma * p.sigma / r2).powi(3);
@@ -100,6 +108,7 @@ pub fn kinetic(st: &State) -> f64 {
 }
 
 /// One force evaluation: 6 SPREADs, the pair matrix, 3 Reductions.
+#[allow(clippy::needless_range_loop)] // i/j couple several arrays per axis
 pub fn forces(ctx: &Ctx, p: &Params, st: &State) -> [DistArray<f64>; 3] {
     let n = st.pos[0].len();
     // The spread pair per coordinate realizes an all-to-all broadcast —
@@ -163,18 +172,16 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
     let e0 = potential(p, &st) + kinetic(&st);
     let mut f = forces(ctx, p, &st);
     for _ in 0..p.steps {
-        for d in 0..3 {
-            let fd = f[d].clone();
-            st.vel[d].zip_inplace(ctx, 2, &fd, |v, a| *v += 0.5 * p.dt * a);
+        for (d, fd) in f.iter().enumerate() {
+            st.vel[d].zip_inplace(ctx, 2, fd, |v, a| *v += 0.5 * p.dt * a);
             let vd = st.vel[d].clone();
             st.pos[d].zip_inplace(ctx, 2, &vd, |x, v| *x += p.dt * v);
             // The "send" of the updated coordinate back to the home array.
             ctx.record_comm(CommPattern::Send, 1, 2, n as u64, 0);
         }
         f = forces(ctx, p, &st);
-        for d in 0..3 {
-            let fd = f[d].clone();
-            st.vel[d].zip_inplace(ctx, 2, &fd, |v, a| *v += 0.5 * p.dt * a);
+        for (d, fd) in f.iter().enumerate() {
+            st.vel[d].zip_inplace(ctx, 2, fd, |v, a| *v += 0.5 * p.dt * a);
         }
     }
     // Momentum: Σv must stay 0 (equal masses, zero initial momentum).
@@ -186,7 +193,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
     let e1 = potential(p, &st) + kinetic(&st);
     let drift = ((e1 - e0) / e0.abs().max(1.0)).abs();
     let metric = mom.max(if drift < 0.05 { 0.0 } else { drift });
-    (st, Verify::check("md momentum + energy drift", metric, 1e-9))
+    (
+        st,
+        Verify::check("md momentum + energy drift", metric, 1e-9),
+    )
 }
 
 #[cfg(test)]

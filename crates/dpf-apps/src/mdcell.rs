@@ -36,7 +36,14 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { nc: 4, cap: 6, fill: 2.0, cell: 2.0, dt: 1e-3, steps: 5 }
+        Params {
+            nc: 4,
+            cap: 6,
+            fill: 2.0,
+            cell: 2.0,
+            dt: 1e-3,
+            steps: 5,
+        }
     }
 }
 
@@ -88,8 +95,7 @@ pub fn workload(ctx: &Ctx, p: &Params) -> Cells {
                 }
                 let seed = (gx * m + gy) * m + gz;
                 let xp = [
-                    (gx as f64 + 0.5) * spacing
-                        + 0.05 * spacing * crate::util::pseudo(seed * 3),
+                    (gx as f64 + 0.5) * spacing + 0.05 * spacing * crate::util::pseudo(seed * 3),
                     (gy as f64 + 0.5) * spacing
                         + 0.05 * spacing * crate::util::pseudo(seed * 3 + 1),
                     (gz as f64 + 0.5) * spacing
@@ -116,7 +122,11 @@ pub fn workload(ctx: &Ctx, p: &Params) -> Cells {
     let pos = pos.map(|a| a.declare(ctx));
     let occ = occ.declare(ctx);
     let zero = || DistArray::<f64>::zeros(ctx, &shape, &Cells::axes()).declare(ctx);
-    Cells { pos, vel: [zero(), zero(), zero()], occ }
+    Cells {
+        pos,
+        vel: [zero(), zero(), zero()],
+        occ,
+    }
 }
 
 fn lj_trunc(r2: f64, rc2: f64) -> f64 {
@@ -228,10 +238,10 @@ pub fn rebin(ctx: &Ctx, p: &Params, c: &mut Cells) {
                 }
                 // Wrap positions into the box, find the new cell.
                 let mut xp = [0.0f64; 3];
-                for d in 0..3 {
+                for (d, slot) in xp.iter_mut().enumerate() {
                     let mut x = c.pos[d].as_slice()[e];
                     x -= box_l * (x / box_l).floor();
-                    xp[d] = x;
+                    *slot = x;
                 }
                 let ci = ((xp[0] / p.cell) as usize).min(p.nc - 1);
                 let cj = ((xp[1] / p.cell) as usize).min(p.nc - 1);
@@ -261,8 +271,8 @@ pub fn rebin(ctx: &Ctx, p: &Params, c: &mut Cells) {
 pub fn momentum(c: &Cells) -> [f64; 3] {
     let occ = c.occ.as_slice();
     let mut m = [0.0f64; 3];
-    for d in 0..3 {
-        m[d] = c.vel[d]
+    for (d, slot) in m.iter_mut().enumerate() {
+        *slot = c.vel[d]
             .as_slice()
             .iter()
             .zip(occ)
@@ -279,28 +289,26 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Cells, Verify) {
     let n0: f64 = dpf_comm::sum_all(ctx, &c.occ);
     let mut f = forces(ctx, p, &c);
     for _ in 0..p.steps {
-        for d in 0..3 {
-            let fd = f[d].clone();
+        for (d, fd) in f.iter().enumerate() {
             let occ = c.occ.clone();
-            c.vel[d].zip_inplace(ctx, 2, &fd, |v, a| *v += 0.5 * p.dt * a);
+            c.vel[d].zip_inplace(ctx, 2, fd, |v, a| *v += 0.5 * p.dt * a);
             c.vel[d].zip_inplace(ctx, 1, &occ, |v, o| *v *= o);
             let vd = c.vel[d].clone();
             c.pos[d].zip_inplace(ctx, 2, &vd, |x, v| *x += p.dt * v);
         }
         rebin(ctx, p, &mut c);
         f = forces(ctx, p, &c);
-        for d in 0..3 {
-            let fd = f[d].clone();
-            c.vel[d].zip_inplace(ctx, 2, &fd, |v, a| *v += 0.5 * p.dt * a);
+        for (d, fd) in f.iter().enumerate() {
+            c.vel[d].zip_inplace(ctx, 2, fd, |v, a| *v += 0.5 * p.dt * a);
         }
     }
     let n1: f64 = dpf_comm::sum_all(ctx, &c.occ);
     let mom = momentum(&c);
-    let worst = mom
-        .iter()
-        .map(|x| x.abs())
-        .fold((n0 - n1).abs(), f64::max);
-    (c, Verify::check("mdcell momentum + particle count", worst, 1e-9))
+    let worst = mom.iter().map(|x| x.abs()).fold((n0 - n1).abs(), f64::max);
+    (
+        c,
+        Verify::check("mdcell momentum + particle count", worst, 1e-9),
+    )
 }
 
 #[cfg(test)]
@@ -322,7 +330,12 @@ mod tests {
     #[test]
     fn forces_match_direct_truncated_sum() {
         let ctx = ctx();
-        let p = Params { nc: 3, cap: 4, fill: 1.5, ..Params::default() };
+        let p = Params {
+            nc: 3,
+            cap: 4,
+            fill: 1.5,
+            ..Params::default()
+        };
         let c = workload(&ctx, &p);
         let f = forces(&ctx, &p, &c);
         // Direct O(N²) evaluation with the same cutoff and minimum image.
@@ -330,8 +343,7 @@ mod tests {
         let box_l = p.nc as f64 * p.cell;
         let rc2 = p.cell * p.cell;
         let occ = c.occ.as_slice();
-        let particles: Vec<usize> =
-            (0..p.cap * ncell).filter(|&e| occ[e] == 1.0).collect();
+        let particles: Vec<usize> = (0..p.cap * ncell).filter(|&e| occ[e] == 1.0).collect();
         for &ei in &particles {
             let mut want = [0.0f64; 3];
             for &ej in &particles {
@@ -377,7 +389,12 @@ mod tests {
     #[test]
     fn rebin_moves_particles_to_their_cells() {
         let ctx = ctx();
-        let p = Params { nc: 3, cap: 5, fill: 1.0, ..Params::default() };
+        let p = Params {
+            nc: 3,
+            cap: 5,
+            fill: 1.0,
+            ..Params::default()
+        };
         let mut c = workload(&ctx, &p);
         // Push one particle across a cell boundary.
         let e = {

@@ -143,7 +143,12 @@ fn pair_force(dx: f64, dy: f64, mj: f64, eps2: f64) -> (f64, f64) {
 
 /// Compute forces with the selected variant. Returns `(fx, fy)` over the
 /// (possibly padded) particle array.
-pub fn forces(ctx: &Ctx, p: &Particles, variant: Variant, eps2: f64) -> (DistArray<f64>, DistArray<f64>) {
+pub fn forces(
+    ctx: &Ctx,
+    p: &Particles,
+    variant: Variant,
+    eps2: f64,
+) -> (DistArray<f64>, DistArray<f64>) {
     let n = p.x.shape()[0];
     // Every variant realizes an all-to-all broadcast of the particle set
     // (via broadcasts, spreads or the systolic rotation) — recorded once
@@ -156,11 +161,7 @@ pub fn forces(ctx: &Ctx, p: &Particles, variant: Variant, eps2: f64) -> (DistArr
             let mut fx = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
             let mut fy = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
             for j in 0..n {
-                let (xj, yj, mj) = (
-                    p.x.as_slice()[j],
-                    p.y.as_slice()[j],
-                    p.m.as_slice()[j],
-                );
+                let (xj, yj, mj) = (p.x.as_slice()[j], p.y.as_slice()[j], p.m.as_slice()[j]);
                 for _ in 0..3 {
                     ctx.record_comm(CommPattern::Broadcast, 0, 1, n as u64, 0);
                 }
@@ -297,7 +298,11 @@ pub fn forces(ctx: &Ctx, p: &Particles, variant: Variant, eps2: f64) -> (DistArr
 /// Run one force evaluation of a variant and verify it against the plain
 /// broadcast variant (and Newton's third law for total force).
 pub fn run(ctx: &Ctx, p: &Params, variant: Variant) -> (DistArray<f64>, DistArray<f64>, Verify) {
-    let pad = if variant.padded() { p.n.next_power_of_two() } else { p.n };
+    let pad = if variant.padded() {
+        p.n.next_power_of_two()
+    } else {
+        p.n
+    };
     let parts = workload(ctx, p.n, pad);
     let (fx, fy) = forces(ctx, &parts, variant, p.eps2);
     // Reference forces via direct summation (no instrumentation).
@@ -359,7 +364,10 @@ mod tests {
         let ms = parts.m.as_slice();
         let tot_x: f64 = fx.as_slice().iter().zip(ms).map(|(f, m)| f * m).sum();
         let tot_y: f64 = fy.as_slice().iter().zip(ms).map(|(f, m)| f * m).sum();
-        assert!(tot_x.abs() < 1e-10 && tot_y.abs() < 1e-10, "{tot_x} {tot_y}");
+        assert!(
+            tot_x.abs() < 1e-10 && tot_y.abs() < 1e-10,
+            "{tot_x} {tot_y}"
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { np: 1024, ng: 8, steps: 4 }
+        Params {
+            np: 1024,
+            ng: 8,
+            steps: 4,
+        }
     }
 }
 
@@ -105,28 +109,27 @@ pub fn deposit_sorted(
     // Route every value to its cell, with non-final particles redirected
     // to a scratch slot (cell ncell) so no two writers collide on a live
     // cell — the writes are disjoint, collision-free router traffic.
-    let route = sorted_cells.zip_map(ctx, 0, &seg_end, |c, is_end| {
-        if is_end {
-            c
-        } else {
-            ncell as i32
-        }
-    });
+    let route = sorted_cells.zip_map(
+        ctx,
+        0,
+        &seg_end,
+        |c, is_end| {
+            if is_end {
+                c
+            } else {
+                ncell as i32
+            }
+        },
+    );
     let mut grid_ext = DistArray::<f64>::zeros(ctx, &[ncell + 1], &[PAR]);
     scatter(ctx, &mut grid_ext, &route, &sums);
     // Drop the scratch slot.
-    let grid = DistArray::<f64>::from_fn(ctx, &[ncell], &[PAR], |i| {
-        grid_ext.as_slice()[i[0]]
-    });
+    let grid = DistArray::<f64>::from_fn(ctx, &[ncell], &[PAR], |i| grid_ext.as_slice()[i[0]]);
     grid
 }
 
 /// Gather the per-cell field back to the particles (3-D to 1-D Gather).
-pub fn gather_field(
-    ctx: &Ctx,
-    grid: &DistArray<f64>,
-    cells: &DistArray<i32>,
-) -> DistArray<f64> {
+pub fn gather_field(ctx: &Ctx, grid: &DistArray<f64>, cells: &DistArray<i32>) -> DistArray<f64> {
     gather(ctx, grid, cells)
 }
 
@@ -191,8 +194,7 @@ pub fn deposit_sorted_tsc(
         idx[0] + 1 >= np || seg_start.as_slice()[idx[0] + 1]
     });
     // Permuted fractional offsets.
-    let sorted_frac: Vec<[f64; 3]> =
-        perm.as_slice().iter().map(|&i| frac[i as usize]).collect();
+    let sorted_frac: Vec<[f64; 3]> = perm.as_slice().iter().map(|&i| frac[i as usize]).collect();
     let sorted_home_v = sorted_home.to_vec();
 
     let mut grid = DistArray::<f64>::zeros(ctx, &[ncell + 1], &[PAR]);
@@ -229,11 +231,8 @@ pub fn deposit_sorted_tsc(
                         .map(|k| {
                             if seg_end.as_slice()[k] {
                                 let h = sorted_home_v[k];
-                                let (hx, hy, hz) =
-                                    (h / (ngi * ngi), (h / ngi) % ngi, h % ngi);
-                                let t = (wrap(hx + ox) * ngi + wrap(hy + oy)) * ngi
-                                    + wrap(hz + oz);
-                                t
+                                let (hx, hy, hz) = (h / (ngi * ngi), (h / ngi) % ngi, h % ngi);
+                                (wrap(hx + ox) * ngi + wrap(hy + oy)) * ngi + wrap(hz + oz)
                             } else {
                                 ncell as i32
                             }
@@ -273,11 +272,7 @@ fn scatter_add_runs(
 }
 
 /// Reference TSC deposit (naive colliding accumulation).
-pub fn reference_tsc(
-    p: &Params,
-    pos: &[DistArray<f64>; 3],
-    charge: &DistArray<f64>,
-) -> Vec<f64> {
+pub fn reference_tsc(p: &Params, pos: &[DistArray<f64>; 3], charge: &DistArray<f64>) -> Vec<f64> {
     let ng = p.ng;
     let ncell = ng * ng * ng;
     let np = charge.len();
@@ -295,8 +290,7 @@ pub fn reference_tsc(
         for (ix, wx) in w[0].iter().enumerate() {
             for (iy, wy) in w[1].iter().enumerate() {
                 for (iz, wz) in w[2].iter().enumerate() {
-                    let t = (wrap(cell[0] + ix as i32 - 1) * ng
-                        + wrap(cell[1] + iy as i32 - 1))
+                    let t = (wrap(cell[0] + ix as i32 - 1) * ng + wrap(cell[1] + iy as i32 - 1))
                         * ng
                         + wrap(cell[2] + iz as i32 - 1);
                     grid[t] += wx * wy * wz * charge.as_slice()[k];
@@ -326,7 +320,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         }
         let _ = gather_field(ctx, &grid, &cells);
     }
-    (grid, Verify::check("pic-gather-scatter deposit error", worst, 1e-9))
+    (
+        grid,
+        Verify::check("pic-gather-scatter deposit error", worst, 1e-9),
+    )
 }
 
 #[cfg(test)]
@@ -341,7 +338,14 @@ mod tests {
     #[test]
     fn sorted_deposit_matches_histogram() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { np: 300, ng: 4, steps: 2 });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                np: 300,
+                ng: 4,
+                steps: 2,
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
@@ -351,7 +355,11 @@ mod tests {
         // All particles in one cell: worst-case collisions.
         let cells = DistArray::<i32>::full(&ctx, &[100], &[PAR], 3);
         let charge = DistArray::<f64>::full(&ctx, &[100], &[PAR], 0.5);
-        let p = Params { np: 100, ng: 2, steps: 1 };
+        let p = Params {
+            np: 100,
+            ng: 2,
+            steps: 1,
+        };
         let grid = deposit_sorted(&ctx, &p, &cells, &charge);
         assert!((grid.as_slice()[3] - 50.0).abs() < 1e-12);
         let total: f64 = grid.as_slice().iter().sum();
@@ -361,7 +369,14 @@ mod tests {
     #[test]
     fn pipeline_records_sort_scan_scatter_gather() {
         let ctx = ctx();
-        let _ = run(&ctx, &Params { np: 128, ng: 4, steps: 1 });
+        let _ = run(
+            &ctx,
+            &Params {
+                np: 128,
+                ng: 4,
+                steps: 1,
+            },
+        );
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Sort), 1);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Scan), 1);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Scatter), 1);
@@ -380,7 +395,11 @@ mod tests {
     #[test]
     fn tsc_deposit_matches_naive_reference() {
         let ctx = ctx();
-        let p = Params { np: 200, ng: 6, steps: 1 };
+        let p = Params {
+            np: 200,
+            ng: 6,
+            steps: 1,
+        };
         let (pos, charge) = workload_positions(&ctx, &p);
         let grid = deposit_sorted_tsc(&ctx, &p, &pos, &charge);
         let want = reference_tsc(&p, &pos, &charge);
@@ -392,7 +411,11 @@ mod tests {
     #[test]
     fn tsc_deposit_conserves_total_charge_exactly() {
         let ctx = ctx();
-        let p = Params { np: 500, ng: 8, steps: 1 };
+        let p = Params {
+            np: 500,
+            ng: 8,
+            steps: 1,
+        };
         let (pos, charge) = workload_positions(&ctx, &p);
         let grid = deposit_sorted_tsc(&ctx, &p, &pos, &charge);
         let total_grid: f64 = grid.as_slice().iter().sum();
@@ -403,7 +426,11 @@ mod tests {
     #[test]
     fn tsc_pipeline_records_1_sort_27_scans_27_scatters() {
         let ctx = ctx();
-        let p = Params { np: 100, ng: 4, steps: 1 };
+        let p = Params {
+            np: 100,
+            ng: 4,
+            steps: 1,
+        };
         let (pos, charge) = workload_positions(&ctx, &p);
         let _ = deposit_sorted_tsc(&ctx, &p, &pos, &charge);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Sort), 1);
@@ -416,7 +443,11 @@ mod tests {
         let ctx = ctx();
         let cells = DistArray::<i32>::from_vec(&ctx, &[3], &[PAR], vec![0, 0, 7]);
         let charge = DistArray::<f64>::from_vec(&ctx, &[3], &[PAR], vec![1.0, 2.0, 4.0]);
-        let p = Params { np: 3, ng: 2, steps: 1 };
+        let p = Params {
+            np: 3,
+            ng: 2,
+            steps: 1,
+        };
         let grid = deposit_sorted(&ctx, &p, &cells, &charge);
         assert_eq!(grid.as_slice()[0], 3.0);
         assert_eq!(grid.as_slice()[7], 4.0);

@@ -32,7 +32,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { np: 512, ng: 32, dt: 0.05, steps: 10 }
+        Params {
+            np: 512,
+            ng: 32,
+            dt: 0.05,
+            steps: 10,
+        }
     }
 }
 
@@ -59,15 +64,24 @@ pub fn workload(ctx: &Ctx, p: &Params) -> Plasma {
         .declare(ctx)
     };
     let zero = || DistArray::<f64>::zeros(ctx, &[np], &[PAR]).declare(ctx);
-    let q = DistArray::<f64>::from_fn(ctx, &[np], &[PAR], |i| {
-        if i[0] % 2 == 0 {
-            1.0
-        } else {
-            -1.0
-        }
-    })
+    let q = DistArray::<f64>::from_fn(
+        ctx,
+        &[np],
+        &[PAR],
+        |i| {
+            if i[0] % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        },
+    )
     .declare(ctx);
-    Plasma { pos: [mk(1), mk(2)], vel: [zero(), zero()], q }
+    Plasma {
+        pos: [mk(1), mk(2)],
+        vel: [zero(), zero()],
+        q,
+    }
 }
 
 /// Deposit charge (nearest grid point) — the "Gather w/ add" of Table 6.
@@ -99,7 +113,11 @@ pub fn field_solve(ctx: &Ctx, p: &Params, rho: &DistArray<f64>) -> [DistArray<f6
     let rho_hat = fft_axis_as(ctx, &f1, 0, Direction::Forward, CommPattern::Butterfly);
     let two_pi = 2.0 * std::f64::consts::PI;
     let kvec = |k: usize| {
-        let kk = if k <= ng / 2 { k as isize } else { k as isize - ng as isize };
+        let kk = if k <= ng / 2 {
+            k as isize
+        } else {
+            k as isize - ng as isize
+        };
         two_pi * kk as f64 / ng as f64
     };
     // Ê_d = −i k_d ρ̂ / k².
@@ -161,7 +179,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Plasma, Verify) {
     let mom_x: f64 = pl.vel[0].as_slice().iter().sum();
     let mom_y: f64 = pl.vel[1].as_slice().iter().sum();
     let metric = worst.max((mom_x.abs() + mom_y.abs()) / p.np as f64);
-    (pl, Verify::check("pic-simple charge + momentum", metric, 1e-6))
+    (
+        pl,
+        Verify::check("pic-simple charge + momentum", metric, 1e-6),
+    )
 }
 
 #[cfg(test)]
@@ -176,14 +197,26 @@ mod tests {
     #[test]
     fn charge_and_momentum_conserved() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { np: 200, ng: 16, dt: 0.05, steps: 5 });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                np: 200,
+                ng: 16,
+                dt: 0.05,
+                steps: 5,
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
     #[test]
     fn deposit_matches_histogram() {
         let ctx = ctx();
-        let p = Params { np: 100, ng: 8, ..Params::default() };
+        let p = Params {
+            np: 100,
+            ng: 8,
+            ..Params::default()
+        };
         let pl = workload(&ctx, &p);
         let rho = deposit(&ctx, &p, &pl);
         // Naive histogram.
@@ -201,7 +234,11 @@ mod tests {
     #[test]
     fn uniform_neutral_charge_gives_zero_field() {
         let ctx = ctx();
-        let p = Params { np: 0, ng: 16, ..Params::default() };
+        let p = Params {
+            np: 0,
+            ng: 16,
+            ..Params::default()
+        };
         let rho = DistArray::<f64>::zeros(&ctx, &[16, 16], &[PAR, PAR]);
         let e = field_solve(&ctx, &p, &rho);
         for d in 0..2 {
@@ -214,7 +251,11 @@ mod tests {
     #[test]
     fn point_charge_field_points_away() {
         let ctx = ctx();
-        let p = Params { np: 0, ng: 32, ..Params::default() };
+        let p = Params {
+            np: 0,
+            ng: 32,
+            ..Params::default()
+        };
         let mut rho = DistArray::<f64>::zeros(&ctx, &[32, 32], &[PAR, PAR]);
         rho.set(&[16, 16], 1.0);
         let e = field_solve(&ctx, &p, &rho);
@@ -228,7 +269,15 @@ mod tests {
     #[test]
     fn records_gather_patterns() {
         let ctx = ctx();
-        let _ = run(&ctx, &Params { np: 64, ng: 8, dt: 0.05, steps: 2 });
+        let _ = run(
+            &ctx,
+            &Params {
+                np: 64,
+                ng: 8,
+                dt: 0.05,
+                steps: 2,
+            },
+        );
         assert_eq!(ctx.instr.pattern_calls(CommPattern::GatherCombine), 2);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Gather), 4); // 2/step
         assert!(ctx.instr.pattern_calls(CommPattern::Butterfly) > 0);

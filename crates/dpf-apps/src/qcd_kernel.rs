@@ -14,7 +14,7 @@
 //! `D`).
 
 use dpf_array::{DistArray, PAR, SER};
-use dpf_comm::cshift;
+use dpf_comm::cshift_into;
 use dpf_core::{Ctx, Verify, C64};
 
 /// Benchmark parameters.
@@ -32,7 +32,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 4, mass: 0.5, tol: 1e-10, max_iter: 200 }
+        Params {
+            n: 4,
+            mass: 0.5,
+            tol: 1e-10,
+            max_iter: 200,
+        }
     }
 }
 
@@ -64,6 +69,7 @@ pub fn gauge_field(ctx: &Ctx, n: usize) -> Links {
     DistArray::<C64>::from_vec(ctx, &[4, 3, 3, n, n, n, n], &AXES7, data).declare(ctx)
 }
 
+#[allow(clippy::needless_range_loop)] // r/c index the 3×3 matrix and the seed
 fn random_su3(seed: usize) -> [[C64; 3]; 3] {
     let mut v = [[C64::zero(); 3]; 3];
     for r in 0..3 {
@@ -98,14 +104,19 @@ pub fn apply_dirac(ctx: &Ctx, p: &Params, u: &Links, psi: &Fermion) -> Fermion {
     let n = p.n;
     let vol = n * n * n * n;
     let mut out = psi.map(ctx, 2, |v| v.scale(p.mass));
+    // Shift buffers reused across all four directions (cyclic shifts
+    // overwrite every element, so pooled scratch storage is safe).
+    let mut fwd = DistArray::<C64>::scratch(ctx, psi.shape(), psi.layout().axes());
+    let mut bwd = DistArray::<C64>::scratch(ctx, psi.shape(), psi.layout().axes());
+    let mut u_bwd = DistArray::<C64>::scratch(ctx, u.shape(), u.layout().axes());
     for mu in 0..4 {
         // ψ(x+μ̂) and ψ(x−μ̂): the per-direction CSHIFT pair (Table 6
         // counts one per direction; the backward shift is the matching
         // U†-aligned move).
-        let fwd = cshift(ctx, psi, 1 + mu, 1);
-        let bwd = cshift(ctx, psi, 1 + mu, -1);
+        cshift_into(ctx, psi, 1 + mu, 1, &mut fwd);
+        cshift_into(ctx, psi, 1 + mu, -1, &mut bwd);
         // Links for the backward hop live on the neighbouring site.
-        let u_bwd = cshift(ctx, u, 3 + mu, -1);
+        cshift_into(ctx, u, 3 + mu, -1, &mut u_bwd);
         // SU(3) matvec per site: ~66 real FLOPs each, two per direction,
         // plus phases and accumulate — Table 6's 606 per site over 4 dirs.
         ctx.add_flops((vol as u64) * (2 * 66 + 18));
@@ -130,6 +141,9 @@ pub fn apply_dirac(ctx: &Ctx, p: &Params, u: &Links, psi: &Fermion) -> Fermion {
             }
         });
     }
+    fwd.recycle(ctx);
+    bwd.recycle(ctx);
+    u_bwd.recycle(ctx);
     out
 }
 
@@ -159,7 +173,13 @@ fn apply_dirac_dagger(ctx: &Ctx, p: &Params, u: &Links, v: &Fermion) -> Fermion 
 fn fdot(ctx: &Ctx, a: &Fermion, b: &Fermion) -> f64 {
     // Re⟨a, b⟩ — the quantity CG needs for Hermitian positive systems.
     ctx.add_flops(4 * a.len() as u64);
-    ctx.record_comm(dpf_core::CommPattern::Reduction, a.rank(), 0, a.len() as u64, 0);
+    ctx.record_comm(
+        dpf_core::CommPattern::Reduction,
+        a.rank(),
+        0,
+        a.len() as u64,
+        0,
+    );
     ctx.busy(|| {
         a.as_slice()
             .iter()
@@ -170,12 +190,7 @@ fn fdot(ctx: &Ctx, a: &Fermion, b: &Fermion) -> f64 {
 }
 
 /// Solve `(D†D) x = b` by CG; returns (x, iterations, final residual).
-pub fn cg_normal(
-    ctx: &Ctx,
-    p: &Params,
-    u: &Links,
-    b: &Fermion,
-) -> (Fermion, usize, f64) {
+pub fn cg_normal(ctx: &Ctx, p: &Params, u: &Links, b: &Fermion) -> (Fermion, usize, f64) {
     let apply = |ctx: &Ctx, v: &Fermion| -> Fermion {
         let dv = apply_dirac(ctx, p, u, v);
         apply_dirac_dagger(ctx, p, u, &dv)
@@ -218,7 +233,11 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Fermion, usize, Verify) {
         .zip(b.as_slice())
         .map(|(g, w)| (*g - *w).abs())
         .fold(0.0, f64::max);
-    (x, iters, Verify::check("qcd D†D x = b residual", worst, 1e-7))
+    (
+        x,
+        iters,
+        Verify::check("qcd D†D x = b residual", worst, 1e-7),
+    )
 }
 
 #[cfg(test)]
@@ -249,12 +268,19 @@ mod tests {
     fn dirac_hopping_is_antihermitian() {
         // ⟨a, (D−m) b⟩ = −⟨(D−m) a, b⟩ in the real inner product.
         let ctx = ctx();
-        let p = Params { n: 2, mass: 0.0, ..Params::default() };
+        let p = Params {
+            n: 2,
+            mass: 0.0,
+            ..Params::default()
+        };
         let u = gauge_field(&ctx, p.n);
         let mk = |salt: usize| {
             DistArray::<C64>::from_fn(&ctx, &[3, 2, 2, 2, 2], &AXES5, move |idx| {
-                let s: usize =
-                    idx.iter().enumerate().map(|(d, &i)| i * (29 * d + 7) + salt).sum();
+                let s: usize = idx
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &i)| i * (29 * d + 7) + salt)
+                    .sum();
                 C64::new(crate::util::pseudo(s), crate::util::pseudo(s + 2))
             })
         };
@@ -270,7 +296,15 @@ mod tests {
     #[test]
     fn cg_solves_the_normal_system() {
         let ctx = ctx();
-        let (_, iters, v) = run(&ctx, &Params { n: 2, mass: 0.5, tol: 1e-11, max_iter: 400 });
+        let (_, iters, v) = run(
+            &ctx,
+            &Params {
+                n: 2,
+                mass: 0.5,
+                tol: 1e-11,
+                max_iter: 400,
+            },
+        );
         assert!(v.is_pass(), "{v}");
         assert!(iters > 0);
     }
@@ -280,7 +314,11 @@ mod tests {
         // With the identity gauge field... here: mass dominates — apply D
         // to a constant colour field with m and check the mass part.
         let ctx = ctx();
-        let p = Params { n: 2, mass: 2.0, ..Params::default() };
+        let p = Params {
+            n: 2,
+            mass: 2.0,
+            ..Params::default()
+        };
         let u = gauge_field(&ctx, p.n);
         let psi = DistArray::<C64>::full(&ctx, &[3, 2, 2, 2, 2], &AXES5, C64::one());
         let out = apply_dirac(&ctx, &p, &u, &psi);
@@ -292,12 +330,11 @@ mod tests {
             // site 0, eta = +1 for all mu at the origin.
             for c in 0..3 {
                 let u_f = u.as_slice()[((mu * 3) * 3 + c) * vol]; // r = 0, site 0
-                // Backward neighbour site of 0 in direction mu.
+                                                                  // Backward neighbour site of 0 in direction mu.
                 let n = p.n;
                 let mut coords = [0usize; 4];
                 coords[mu] = n - 1;
-                let site_b =
-                    ((coords[0] * n + coords[1]) * n + coords[2]) * n + coords[3];
+                let site_b = ((coords[0] * n + coords[1]) * n + coords[2]) * n + coords[3];
                 let u_b = u.as_slice()[((mu * 3 + c) * 3) * vol + site_b].conj();
                 want += (u_f - u_b).scale(0.5);
             }
@@ -309,7 +346,10 @@ mod tests {
     #[test]
     fn cshift_count_per_dirac_application() {
         let ctx = ctx();
-        let p = Params { n: 2, ..Params::default() };
+        let p = Params {
+            n: 2,
+            ..Params::default()
+        };
         let u = gauge_field(&ctx, p.n);
         let psi = DistArray::<C64>::full(&ctx, &[3, 2, 2, 2, 2], &AXES5, C64::one());
         let _ = apply_dirac(&ctx, &p, &u, &psi);

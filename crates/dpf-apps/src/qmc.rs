@@ -35,7 +35,13 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n_walkers: 2048, dtau: 0.01, steps_per_block: 20, blocks: 30, seed: 7 }
+        Params {
+            n_walkers: 2048,
+            dtau: 0.01,
+            steps_per_block: 20,
+            blocks: 30,
+            seed: 7,
+        }
     }
 }
 
@@ -114,7 +120,9 @@ pub fn run(ctx: &Ctx, p: &Params) -> (QmcResult, Verify) {
         ctx,
         &[p.n_walkers],
         &[PAR],
-        (0..p.n_walkers).map(|_| crate::util::normal(&mut rng)).collect(),
+        (0..p.n_walkers)
+            .map(|_| crate::util::normal(&mut rng))
+            .collect(),
     )
     .declare(ctx);
     let mut e_ref = 0.5;
@@ -125,8 +133,9 @@ pub fn run(ctx: &Ctx, p: &Params) -> (QmcResult, Verify) {
         let mut w = DistArray::<f64>::full(ctx, &[n], &[PAR], 1.0);
         for _ in 0..p.steps_per_block {
             // Diffuse.
-            let noise: Vec<f64> =
-                (0..n).map(|_| crate::util::normal(&mut rng) * p.dtau.sqrt()).collect();
+            let noise: Vec<f64> = (0..n)
+                .map(|_| crate::util::normal(&mut rng) * p.dtau.sqrt())
+                .collect();
             let dn = DistArray::<f64>::from_vec(ctx, &[n], &[PAR], noise);
             x.zip_inplace(ctx, 1, &dn, |xi, d| *xi += d);
             // Accumulate branching weight: V = x²/2.
@@ -150,7 +159,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (QmcResult, Verify) {
     // Verification: the tail-averaged energy must approach ħω/2 = 0.5.
     let tail = &block_energies[p.blocks / 2..];
     let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
-    let result = QmcResult { block_energies, population: x.len() };
+    let result = QmcResult {
+        block_energies,
+        population: x.len(),
+    };
     (
         result,
         Verify::check("qmc ground-state energy − 0.5", mean - 0.5, 0.05),
@@ -170,13 +182,21 @@ mod tests {
     fn ground_state_energy_is_half() {
         let ctx = ctx();
         let (res, v) = run(&ctx, &Params::default());
-        assert!(v.is_pass(), "{v} (energies: {:?})", &res.block_energies[25..]);
+        assert!(
+            v.is_pass(),
+            "{v} (energies: {:?})",
+            &res.block_energies[25..]
+        );
     }
 
     #[test]
     fn population_stays_bounded() {
         let ctx = ctx();
-        let p = Params { n_walkers: 512, blocks: 15, ..Params::default() };
+        let p = Params {
+            n_walkers: 512,
+            blocks: 15,
+            ..Params::default()
+        };
         let (res, _) = run(&ctx, &p);
         assert!(res.population > 64, "collapsed to {}", res.population);
         assert!(res.population < 512 * 4, "exploded to {}", res.population);
@@ -185,7 +205,11 @@ mod tests {
     #[test]
     fn branching_uses_scan_and_send() {
         let ctx = ctx();
-        let p = Params { n_walkers: 256, blocks: 3, ..Params::default() };
+        let p = Params {
+            n_walkers: 256,
+            blocks: 3,
+            ..Params::default()
+        };
         let _ = run(&ctx, &p);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Scan), 3);
         assert!(ctx.instr.pattern_calls(CommPattern::Send) >= 3);

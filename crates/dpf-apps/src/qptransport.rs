@@ -17,8 +17,8 @@
 
 use dpf_array::{DistArray, PAR};
 use dpf_comm::{
-    apply_perm, cshift, eoshift, gather, scatter_combine, segmented_copy_scan,
-    segmented_scan_add, sort_keys, sum_all, Combine,
+    apply_perm, cshift, eoshift, gather, scatter_combine, segmented_copy_scan, segmented_scan_add,
+    sort_keys, sum_all, Combine,
 };
 use dpf_core::{Ctx, Verify};
 
@@ -37,7 +37,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n_src: 16, n_dst: 12, n_edges: 256, iters: 60 }
+        Params {
+            n_src: 16,
+            n_dst: 12,
+            n_edges: 256,
+            iters: 60,
+        }
     }
 }
 
@@ -81,10 +86,9 @@ pub fn workload(ctx: &Ctx, p: &Params) -> Instance {
         }
     });
     let dst = apply_perm_i32(ctx, &raw_dst, &perm);
-    let pref = DistArray::<f64>::from_fn(ctx, &[ne], &[PAR], |i| {
-        crate::util::pseudo01(i[0] * 13 + 1)
-    })
-    .declare(ctx);
+    let pref =
+        DistArray::<f64>::from_fn(ctx, &[ne], &[PAR], |i| crate::util::pseudo01(i[0] * 13 + 1))
+            .declare(ctx);
     // Balanced supplies/demands proportional to node degrees.
     let mut src_deg = vec![0.0f64; p.n_src];
     for &s in src.as_slice() {
@@ -97,7 +101,15 @@ pub fn workload(ctx: &Ctx, p: &Params) -> Instance {
     let total = ne as f64;
     let supply: Vec<f64> = src_deg.iter().map(|d| d / total * 100.0).collect();
     let demand: Vec<f64> = dst_deg.iter().map(|d| d / total * 100.0).collect();
-    Instance { src, dst, pref, supply, demand, src_deg, dst_deg }
+    Instance {
+        src,
+        dst,
+        pref,
+        supply,
+        demand,
+        src_deg,
+        dst_deg,
+    }
 }
 
 fn apply_perm_i32(ctx: &Ctx, a: &DistArray<i32>, perm: &DistArray<i32>) -> DistArray<i32> {
@@ -106,11 +118,7 @@ fn apply_perm_i32(ctx: &Ctx, a: &DistArray<i32>, perm: &DistArray<i32>) -> DistA
 
 /// One alternating-projection iteration; returns the updated flows and
 /// the infeasibility after the supply projection.
-fn project(
-    ctx: &Ctx,
-    inst: &Instance,
-    x: &DistArray<f64>,
-) -> (DistArray<f64>, f64) {
+fn project(ctx: &Ctx, inst: &Instance, x: &DistArray<f64>) -> (DistArray<f64>, f64) {
     let ne = x.len();
     // Segment flags from the sorted source ids: the EOSHIFT brings each
     // edge its predecessor's source id with a sentinel entering at edge 0.
@@ -147,9 +155,10 @@ fn project(
     );
     ctx.add_flops(3 * ne as u64 + 4 * ne as u64);
     let x1 = {
-        let corr = supply_e
-            .zip_map(ctx, 1, &run_total, |s, t| s - t)
-            .zip_map(ctx, 4, &deg_e, |c, d| c / d);
+        let corr =
+            supply_e
+                .zip_map(ctx, 1, &run_total, |s, t| s - t)
+                .zip_map(ctx, 4, &deg_e, |c, d| c / d);
         x.zip_map(ctx, 1, &corr, |xi, c| xi + c)
     };
     let infeas = {
@@ -161,8 +170,7 @@ fn project(
     let nd = inst.demand.len();
     let mut col = DistArray::<f64>::zeros(ctx, &[nd], &[PAR]);
     scatter_combine(ctx, &mut col, &inst.dst, &x1, Combine::Add);
-    let demand_a =
-        DistArray::<f64>::from_vec(ctx, &[nd], &[PAR], inst.demand.clone());
+    let demand_a = DistArray::<f64>::from_vec(ctx, &[nd], &[PAR], inst.demand.clone());
     let ddeg = DistArray::<f64>::from_vec(ctx, &[nd], &[PAR], inst.dst_deg.clone());
     let corr_node = demand_a
         .zip_map(ctx, 1, &col, |d, c| d - c)
@@ -221,7 +229,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0, f64::max);
     let _ = infeas;
-    (x, Verify::check("qptransport feasibility", worst_row.max(worst_col), 1e-6))
+    (
+        x,
+        Verify::check("qptransport feasibility", worst_row.max(worst_col), 1e-6),
+    )
 }
 
 #[cfg(test)]
@@ -252,12 +263,8 @@ mod tests {
     #[test]
     fn backward_copy_fills_runs_with_their_end_value() {
         let ctx = ctx();
-        let ends = DistArray::<f64>::from_vec(
-            &ctx,
-            &[6],
-            &[PAR],
-            vec![0.0, 0.0, 7.0, 0.0, 0.0, 9.0],
-        );
+        let ends =
+            DistArray::<f64>::from_vec(&ctx, &[6], &[PAR], vec![0.0, 0.0, 7.0, 0.0, 0.0, 9.0]);
         let seg = DistArray::<bool>::from_vec(
             &ctx,
             &[6],
@@ -271,7 +278,10 @@ mod tests {
     #[test]
     fn per_iteration_comm_inventory() {
         let ctx = ctx();
-        let p = Params { iters: 1, ..Params::default() };
+        let p = Params {
+            iters: 1,
+            ..Params::default()
+        };
         let _ = run(&ctx, &p);
         // Workload setup: 1 Sort. Per iteration: 2 Scans (segmented sum +
         // backward copy), CSHIFTs and the EOSHIFT, 1 ScatterCombine,

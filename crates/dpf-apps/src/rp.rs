@@ -29,7 +29,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 12, convection: 0.3, tol: 1e-10, max_iter: 800 }
+        Params {
+            n: 12,
+            convection: 0.3,
+            tol: 1e-10,
+            max_iter: 800,
+        }
     }
 }
 
@@ -53,7 +58,11 @@ impl Weights {
     }
 
     fn transpose(self) -> Self {
-        Weights { centre: self.centre, minus: self.plus, plus: self.minus }
+        Weights {
+            centre: self.centre,
+            minus: self.plus,
+            plus: self.minus,
+        }
     }
 }
 
@@ -120,7 +129,13 @@ mod tests {
     #[test]
     fn cgnr_recovers_manufactured_solution() {
         let ctx = ctx();
-        let (_, _, v) = run(&ctx, &Params { n: 8, ..Params::default() });
+        let (_, _, v) = run(
+            &ctx,
+            &Params {
+                n: 8,
+                ..Params::default()
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
@@ -145,7 +160,15 @@ mod tests {
     #[test]
     fn per_iteration_comm_is_12cshift_2reduction() {
         let ctx = ctx();
-        let (_, iters, _) = run(&ctx, &Params { n: 6, tol: 1e-8, max_iter: 20, ..Params::default() });
+        let (_, iters, _) = run(
+            &ctx,
+            &Params {
+                n: 6,
+                tol: 1e-8,
+                max_iter: 20,
+                ..Params::default()
+            },
+        );
         let iters = iters as u64;
         // Setup: 1 apply (6 cshifts for b) + 1 apply (z) + 1 reduction.
         // Per iteration: apply A + apply Aᵀ = 12 cshifts, 2 reductions.
@@ -153,14 +176,25 @@ mod tests {
             ctx.instr.pattern_calls(CommPattern::Cshift),
             12 + 12 * iters
         );
-        assert_eq!(ctx.instr.pattern_calls(CommPattern::Reduction), 1 + 2 * iters);
+        assert_eq!(
+            ctx.instr.pattern_calls(CommPattern::Reduction),
+            1 + 2 * iters
+        );
     }
 
     #[test]
     fn flops_per_iteration_leading_order_matches() {
         let ctx = Ctx::new(Machine::cm5(1));
         let n = 12u64;
-        let (_, iters, _) = run(&ctx, &Params { n: n as usize, tol: 0.0, max_iter: 4, ..Params::default() });
+        let (_, iters, _) = run(
+            &ctx,
+            &Params {
+                n: n as usize,
+                tol: 0.0,
+                max_iter: 4,
+                ..Params::default()
+            },
+        );
         assert_eq!(iters, 4);
         let vol = (n * n * n) as f64;
         let per_iter = ctx.instr.flops() as f64 / 4.0;

@@ -29,7 +29,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { n: 48, courant: 0.4, steps: 12 }
+        Params {
+            n: 48,
+            courant: 0.4,
+            steps: 12,
+        }
     }
 }
 
@@ -129,7 +133,11 @@ pub fn step(ctx: &Ctx, p: &Params, st: &mut State) {
 pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
     let mut st = workload(ctx, p);
     let mean0: Vec<f64> = st.now.iter().map(|f| f.as_slice().iter().sum()).collect();
-    let amp0 = st.now[0].as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max);
+    let amp0 = st.now[0]
+        .as_slice()
+        .iter()
+        .map(|x| x.abs())
+        .fold(0.0, f64::max);
     for _ in 0..p.steps {
         step(ctx, p, &mut st);
     }
@@ -141,7 +149,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
         amp = amp.max(field.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max));
     }
     let metric = if amp < 10.0 * amp0 { worst } else { f64::NAN };
-    (st, Verify::check("step4 mean conservation + stability", metric, 1e-9))
+    (
+        st,
+        Verify::check("step4 mean conservation + stability", metric, 1e-9),
+    )
 }
 
 /// Optimized (C/DPEAC-style) step: the two directional 16-point stencils
@@ -175,7 +186,13 @@ pub fn step_optimized(ctx: &Ctx, p: &Params, st: &mut State) {
     for f in 0..FIELDS {
         for _ in 0..2 {
             let halo = st.now[f].layout().offproc_per_lane(0, 1) * n * 8;
-            ctx.record_comm(dpf_core::CommPattern::Stencil, 2, 2, (n * n) as u64, halo as u64);
+            ctx.record_comm(
+                dpf_core::CommPattern::Stencil,
+                2,
+                2,
+                (n * n) as u64,
+                halo as u64,
+            );
         }
         ctx.add_flops((n * n) as u64 * (2 * 32 + 6));
         let mut next = DistArray::<f64>::zeros(ctx, &[n, n], st.now[f].layout().axes());
@@ -205,7 +222,11 @@ pub fn step_optimized(ctx: &Ctx, p: &Params, st: &mut State) {
 pub fn run_optimized(ctx: &Ctx, p: &Params) -> (State, Verify) {
     let mut st = workload(ctx, p);
     let mean0: Vec<f64> = st.now.iter().map(|f| f.as_slice().iter().sum()).collect();
-    let amp0 = st.now[0].as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max);
+    let amp0 = st.now[0]
+        .as_slice()
+        .iter()
+        .map(|x| x.abs())
+        .fold(0.0, f64::max);
     for _ in 0..p.steps {
         step_optimized(ctx, p, &mut st);
     }
@@ -217,7 +238,10 @@ pub fn run_optimized(ctx: &Ctx, p: &Params) -> (State, Verify) {
         amp = amp.max(field.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max));
     }
     let metric = if amp < 10.0 * amp0 { worst } else { f64::NAN };
-    (st, Verify::check("step4 optimized conservation", metric, 1e-9))
+    (
+        st,
+        Verify::check("step4 optimized conservation", metric, 1e-9),
+    )
 }
 
 #[cfg(test)]
@@ -239,7 +263,11 @@ mod tests {
     #[test]
     fn exactly_128_cshifts_per_step() {
         let ctx = ctx();
-        let p = Params { n: 16, steps: 1, ..Params::default() };
+        let p = Params {
+            n: 16,
+            steps: 1,
+            ..Params::default()
+        };
         let mut st = workload(&ctx, &p);
         step(&ctx, &p, &mut st);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift), 128);
@@ -266,7 +294,11 @@ mod tests {
     #[test]
     fn constant_field_is_a_fixed_point() {
         let ctx = ctx();
-        let p = Params { n: 8, steps: 3, ..Params::default() };
+        let p = Params {
+            n: 8,
+            steps: 3,
+            ..Params::default()
+        };
         let mk = || DistArray::<f64>::full(&ctx, &[8, 8], &[PAR, PAR], 1.5);
         let mut st = State {
             now: (0..FIELDS).map(|_| mk()).collect(),
@@ -285,7 +317,11 @@ mod tests {
     #[test]
     fn pulse_spreads_outward() {
         let ctx = ctx();
-        let p = Params { n: 32, steps: 10, courant: 0.4 };
+        let p = Params {
+            n: 32,
+            steps: 10,
+            courant: 0.4,
+        };
         let mut st = workload(&ctx, &p);
         let centre_before = st.now[0].get(&[8, 8]);
         for _ in 0..p.steps {
@@ -302,7 +338,11 @@ mod tests {
     fn optimized_step_matches_basic_bitwise_structure() {
         let ctx_b = Ctx::new(Machine::cm5(4));
         let ctx_o = Ctx::new(Machine::cm5(4));
-        let p = Params { n: 16, steps: 4, ..Params::default() };
+        let p = Params {
+            n: 16,
+            steps: 4,
+            ..Params::default()
+        };
         let mut sb = workload(&ctx_b, &p);
         let mut so = workload(&ctx_o, &p);
         for _ in 0..p.steps {

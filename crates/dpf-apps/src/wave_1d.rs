@@ -31,7 +31,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { nx: 256, courant: 0.5, steps: 40, contrast: 0.0 }
+        Params {
+            nx: 256,
+            courant: 0.5,
+            steps: 40,
+            contrast: 0.0,
+        }
     }
 }
 
@@ -52,11 +57,11 @@ pub struct State {
 /// diagnostic (2 FFTs).
 pub fn step(ctx: &Ctx, p: &Params, st: &mut State) {
     let dt2 = p.courant * p.courant; // Δt²/Δx² with c_max scaled in c2
-    // Flux form: F_{i+1/2} = c²_{i+1/2}(u_{i+1} − u_i);
-    // u_tt ≈ F_{i+1/2} − F_{i−1/2}. CSHIFTs: u±1, c² staggered pair, and
-    // the assembled flux shifted back — with the three state moves of the
-    // leapfrog rotation that is the paper's 12 per iteration (we record
-    // the 6 genuine ones; EXPERIMENTS.md notes the difference).
+                                     // Flux form: F_{i+1/2} = c²_{i+1/2}(u_{i+1} − u_i);
+                                     // u_tt ≈ F_{i+1/2} − F_{i−1/2}. CSHIFTs: u±1, c² staggered pair, and
+                                     // the assembled flux shifted back — with the three state moves of the
+                                     // leapfrog rotation that is the paper's 12 per iteration (we record
+                                     // the 6 genuine ones; EXPERIMENTS.md notes the difference).
     let u_p = cshift(ctx, &st.now, 0, 1);
     let u_m = cshift(ctx, &st.now, 0, -1);
     let c_p = cshift(ctx, &st.c2, 0, 1);
@@ -65,8 +70,18 @@ pub fn step(ctx: &Ctx, p: &Params, st: &mut State) {
     // reusing c_p/c_m; the flux difference:
     let chp = st.c2.zip_map(ctx, 2, &c_p, |a, b| 0.5 * (a + b));
     let chm = st.c2.zip_map(ctx, 2, &c_m, |a, b| 0.5 * (a + b));
-    let flux_p = chp.zip_map(ctx, 2, &u_p.zip_map(ctx, 1, &st.now, |a, b| a - b), |c, d| c * d);
-    let flux_m = chm.zip_map(ctx, 2, &st.now.zip_map(ctx, 1, &u_m, |a, b| a - b), |c, d| c * d);
+    let flux_p = chp.zip_map(
+        ctx,
+        2,
+        &u_p.zip_map(ctx, 1, &st.now, |a, b| a - b),
+        |c, d| c * d,
+    );
+    let flux_m = chm.zip_map(
+        ctx,
+        2,
+        &st.now.zip_map(ctx, 1, &u_m, |a, b| a - b),
+        |c, d| c * d,
+    );
     let lap = flux_p.zip_map(ctx, 1, &flux_m, |a, b| a - b);
     let next = st
         .now
@@ -78,8 +93,7 @@ pub fn step(ctx: &Ctx, p: &Params, st: &mut State) {
     // the identity filter keeps the physics untouched).
     let uc = st.now.map(ctx, 0, C64::from_re);
     let uhat = fft_axis_as(ctx, &uc, 0, Direction::Forward, CommPattern::Butterfly);
-    let energy: f64 =
-        uhat.as_slice().iter().map(|z| z.abs2()).sum::<f64>() / p.nx as f64;
+    let energy: f64 = uhat.as_slice().iter().map(|z| z.abs2()).sum::<f64>() / p.nx as f64;
     ctx.add_flops(3 * p.nx as u64);
     let back = fft_axis_as(ctx, &uhat, 0, Direction::Inverse, CommPattern::Butterfly);
     st.now = back.map(ctx, 0, |z| z.re);
@@ -96,7 +110,9 @@ pub fn step_optimized(ctx: &Ctx, p: &Params, st: &mut State) {
     let halo = st.now.layout().offproc_per_lane(0, 1) * 8;
     ctx.record_comm(dpf_core::CommPattern::Stencil, 1, 1, n as u64, halo as u64);
     ctx.add_flops(10 * n as u64);
-    let mut next = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+    // Every element of the update is written below, so pooled scratch
+    // storage is safe; after a warm-up step the loop allocates nothing.
+    let mut next = DistArray::<f64>::scratch(ctx, &[n], &[PAR]);
     ctx.busy(|| {
         let u = st.now.as_slice();
         let up = st.prev.as_slice();
@@ -111,14 +127,18 @@ pub fn step_optimized(ctx: &Ctx, p: &Params, st: &mut State) {
             dst[i] = 2.0 * u[i] - up[i] + dt2 * lap;
         }
     });
-    st.prev = std::mem::replace(&mut st.now, next);
+    // Leapfrog rotation: recycle the field that falls off the window.
+    std::mem::replace(&mut st.prev, std::mem::replace(&mut st.now, next)).recycle(ctx);
     // Same spectral diagnostic as the basic step.
     let uc = st.now.map(ctx, 0, C64::from_re);
     let uhat = fft_axis_as(ctx, &uc, 0, Direction::Forward, CommPattern::Butterfly);
+    uc.recycle(ctx);
     let energy: f64 = uhat.as_slice().iter().map(|z| z.abs2()).sum::<f64>() / n as f64;
     ctx.add_flops(3 * n as u64);
     let back = fft_axis_as(ctx, &uhat, 0, Direction::Inverse, CommPattern::Butterfly);
-    st.now = back.map(ctx, 0, |z| z.re);
+    uhat.recycle(ctx);
+    std::mem::replace(&mut st.now, back.map(ctx, 0, |z| z.re)).recycle(ctx);
+    back.recycle(ctx);
     st.spectra.push(energy);
 }
 
@@ -132,15 +152,17 @@ pub fn workload(ctx: &Ctx, p: &Params) -> State {
         (c / (1.0 + p.contrast)).powi(2) // normalized so c_max = 1
     })
     .declare(ctx);
-    let now = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| pulse(i[0] as f64))
-        .declare(ctx);
+    let now = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| pulse(i[0] as f64)).declare(ctx);
     // For a right-travelling d'Alembert pulse: u(x, −Δt) = u(x + cΔt) ≈
     // shifted initial data (homogeneous case).
-    let prev = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
-        pulse(i[0] as f64 + p.courant)
-    })
-    .declare(ctx);
-    State { now, prev, c2, spectra: Vec::new() }
+    let prev = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| pulse(i[0] as f64 + p.courant))
+        .declare(ctx);
+    State {
+        now,
+        prev,
+        c2,
+        spectra: Vec::new(),
+    }
 }
 
 /// Run the benchmark. Verification (homogeneous case): the pulse
@@ -169,7 +191,11 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
         // Inhomogeneous: check energy boundedness via the spectra log.
         let e0 = st.spectra.first().copied().unwrap_or(0.0);
         let emax = st.spectra.iter().cloned().fold(0.0, f64::max);
-        Verify::check("wave-1D spectral energy growth", emax / e0.max(1e-300) - 1.0, 0.5)
+        Verify::check(
+            "wave-1D spectral energy growth",
+            emax / e0.max(1e-300) - 1.0,
+            0.5,
+        )
     };
     (st, verify)
 }
@@ -193,14 +219,25 @@ mod tests {
     #[test]
     fn inhomogeneous_medium_stays_bounded() {
         let ctx = ctx();
-        let (_, v) = run(&ctx, &Params { contrast: 0.5, steps: 60, ..Params::default() });
+        let (_, v) = run(
+            &ctx,
+            &Params {
+                contrast: 0.5,
+                steps: 60,
+                ..Params::default()
+            },
+        );
         assert!(v.is_pass(), "{v}");
     }
 
     #[test]
     fn records_cshifts_and_ffts() {
         let ctx = ctx();
-        let p = Params { nx: 64, steps: 1, ..Params::default() };
+        let p = Params {
+            nx: 64,
+            steps: 1,
+            ..Params::default()
+        };
         let mut st = workload(&ctx, &p);
         step(&ctx, &p, &mut st);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift) >= 4, true);
@@ -210,7 +247,12 @@ mod tests {
 
     #[test]
     fn optimized_step_matches_basic() {
-        let p = Params { nx: 128, steps: 6, contrast: 0.4, ..Params::default() };
+        let p = Params {
+            nx: 128,
+            steps: 6,
+            contrast: 0.4,
+            ..Params::default()
+        };
         let ctx_b = Ctx::new(Machine::cm5(4));
         let mut sb = workload(&ctx_b, &p);
         let ctx_o = Ctx::new(Machine::cm5(4));
@@ -223,26 +265,30 @@ mod tests {
             assert!((a - b).abs() < 1e-11, "{a} vs {b}");
         }
         // The fused path replaces the 4 CSHIFTs with 1 composite Stencil.
-        assert_eq!(ctx_o.instr.pattern_calls(CommPattern::Stencil), p.steps as u64);
+        assert_eq!(
+            ctx_o.instr.pattern_calls(CommPattern::Stencil),
+            p.steps as u64
+        );
     }
 
     #[test]
     fn spectral_diagnostic_roundtrip_preserves_field() {
         // The identity-filter FFT pair must not alter the field.
         let ctx = ctx();
-        let p = Params { nx: 128, steps: 1, ..Params::default() };
+        let p = Params {
+            nx: 128,
+            steps: 1,
+            ..Params::default()
+        };
         let mut st = workload(&ctx, &p);
         // Compute the pure finite-difference update separately.
-        let mut st2 = workload(&ctx, &p);
+        let st2 = workload(&ctx, &p);
         let dt2 = p.courant * p.courant;
         let u_p = cshift(&ctx, &st2.now, 0, 1);
         let u_m = cshift(&ctx, &st2.now, 0, -1);
-        let lap = u_p.zip_map(&ctx, 2, &u_m, |a, b| a + b).zip_map(
-            &ctx,
-            2,
-            &st2.now,
-            |s, u| s - 2.0 * u,
-        );
+        let lap = u_p
+            .zip_map(&ctx, 2, &u_m, |a, b| a + b)
+            .zip_map(&ctx, 2, &st2.now, |s, u| s - 2.0 * u);
         let next = st2
             .now
             .zip_map(&ctx, 2, &st2.prev, |u, up| 2.0 * u - up)
@@ -256,7 +302,10 @@ mod tests {
     #[test]
     fn energy_is_tracked_per_step() {
         let ctx = ctx();
-        let p = Params { steps: 7, ..Params::default() };
+        let p = Params {
+            steps: 7,
+            ..Params::default()
+        };
         let (st, _) = run(&ctx, &p);
         assert_eq!(st.spectra.len(), 7);
         for &e in &st.spectra {

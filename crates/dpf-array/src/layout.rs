@@ -43,6 +43,10 @@ pub struct Layout {
     axes: Vec<AxisKind>,
     /// Processors assigned to each axis (1 for serial axes).
     procs: Vec<usize>,
+    /// Precomputed block extent per axis: `ceil(shape/procs)`. Owner
+    /// queries sit on gather/scatter hot paths, so the division by the
+    /// block size must not recompute the block size itself each call.
+    blocks: Vec<usize>,
 }
 
 impl Layout {
@@ -58,14 +62,32 @@ impl Layout {
             shape.len(),
             axes.len()
         );
-        assert!(shape.iter().all(|&n| n > 0), "zero extent in shape {shape:?}");
+        assert!(
+            shape.iter().all(|&n| n > 0),
+            "zero extent in shape {shape:?}"
+        );
         let procs = factor_grid(machine.nprocs, shape, axes);
-        Layout { shape: shape.to_vec(), axes: axes.to_vec(), procs }
+        let blocks = shape
+            .iter()
+            .zip(&procs)
+            .map(|(&n, &p)| n.div_ceil(p))
+            .collect();
+        Layout {
+            shape: shape.to_vec(),
+            axes: axes.to_vec(),
+            procs,
+            blocks,
+        }
     }
 
     /// A rank-0 (scalar) layout.
     pub fn scalar() -> Self {
-        Layout { shape: vec![], axes: vec![], procs: vec![] }
+        Layout {
+            shape: vec![],
+            axes: vec![],
+            procs: vec![],
+            blocks: vec![],
+        }
     }
 
     /// The array shape.
@@ -104,17 +126,23 @@ impl Layout {
         self.procs[axis]
     }
 
-    /// Block size along `axis`: `ceil(extent / procs)`.
+    /// Block size along `axis`: `ceil(extent / procs)` (precomputed).
     #[inline]
     pub fn block(&self, axis: usize) -> usize {
-        self.shape[axis].div_ceil(self.procs[axis])
+        self.blocks[axis]
+    }
+
+    /// Precomputed block extents for every axis.
+    #[inline]
+    pub fn blocks(&self) -> &[usize] {
+        &self.blocks
     }
 
     /// The processor (along this axis's grid dimension) owning index `i`.
     #[inline]
     pub fn owner(&self, axis: usize, i: usize) -> usize {
         debug_assert!(i < self.shape[axis]);
-        i / self.block(axis)
+        i / self.blocks[axis]
     }
 
     /// Whether any axis is parallel over more than one processor.
@@ -137,7 +165,11 @@ impl Layout {
         debug_assert_eq!(idx.len(), self.rank());
         let mut off = 0;
         for d in 0..self.rank() {
-            debug_assert!(idx[d] < self.shape[d], "index {idx:?} out of {:?}", self.shape);
+            debug_assert!(
+                idx[d] < self.shape[d],
+                "index {idx:?} out of {:?}",
+                self.shape
+            );
             off = off * self.shape[d] + idx[d];
         }
         off
@@ -187,10 +219,47 @@ impl Layout {
     pub fn owner_id(&self, idx: &[usize]) -> usize {
         debug_assert_eq!(idx.len(), self.rank());
         let mut id = 0usize;
-        for d in 0..self.rank() {
-            id = id * self.procs[d] + self.owner(d, idx[d]);
+        for (d, &i) in idx.iter().enumerate() {
+            id = id * self.procs[d] + self.owner(d, i);
         }
         id
+    }
+
+    /// Visit `[start, start + len)` as maximal flat-offset segments within
+    /// which the owning processor id is constant, calling
+    /// `f(segment_start, segment_len, owner_id)` once per segment.
+    ///
+    /// In row-major order only the last axis varies within a row, so the
+    /// owner changes exactly at that axis's block boundaries and at row
+    /// ends. Communication accounting loops use this to replace a
+    /// per-element [`Layout::owner_id_flat`] (rank divmods each) with one
+    /// id computation per block segment.
+    pub fn for_each_owner_segment(
+        &self,
+        start: usize,
+        len: usize,
+        mut f: impl FnMut(usize, usize, usize),
+    ) {
+        if len == 0 {
+            return;
+        }
+        if self.rank() == 0 || !self.is_distributed() {
+            // Every element is owned by processor 0 of a 1-sized grid.
+            f(start, len, 0);
+            return;
+        }
+        let n_last = self.shape[self.rank() - 1];
+        let b_last = self.blocks[self.rank() - 1];
+        let end = start + len;
+        let mut pos = start;
+        while pos < end {
+            let j = pos % n_last;
+            let to_row_end = n_last - j;
+            let to_boundary = b_last - (j % b_last);
+            let seg = to_row_end.min(to_boundary).min(end - pos);
+            f(pos, seg, self.owner_id_flat(pos));
+            pos += seg;
+        }
     }
 
     /// Like [`Layout::owner_id`] but from a flat row-major offset.
@@ -215,8 +284,9 @@ impl Layout {
 /// balanced as CMF's layouts).
 fn factor_grid(nprocs: usize, shape: &[usize], axes: &[AxisKind]) -> Vec<usize> {
     let mut procs = vec![1usize; shape.len()];
-    let par_axes: Vec<usize> =
-        (0..shape.len()).filter(|&d| axes[d].is_parallel()).collect();
+    let par_axes: Vec<usize> = (0..shape.len())
+        .filter(|&d| axes[d].is_parallel())
+        .collect();
     if par_axes.is_empty() {
         return procs;
     }
@@ -271,7 +341,10 @@ impl IndexIter {
         } else {
             Some(vec![0; shape.len()])
         };
-        IndexIter { shape: shape.to_vec(), next }
+        IndexIter {
+            shape: shape.to_vec(),
+            next,
+        }
     }
 }
 
@@ -409,6 +482,35 @@ mod tests {
         for i in (0..32).step_by(3) {
             for j in (0..32).step_by(5) {
                 assert!(l.owner_id(&[i, j]) < total);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_segments_cover_range_with_constant_owner() {
+        for (shape, axes, p) in [
+            (vec![16usize], vec![PAR], 4usize),
+            (vec![10], vec![PAR], 4),
+            (vec![8, 6], vec![PAR, PAR], 8),
+            (vec![3, 5, 7], vec![PAR, SER, PAR], 6),
+            (vec![9, 9], vec![SER, SER], 4),
+        ] {
+            let l = Layout::new(&m(p), &shape, &axes);
+            for (start, len) in [(0usize, l.len()), (3, l.len() - 5), (l.len() - 1, 1)] {
+                let mut covered = start;
+                l.for_each_owner_segment(start, len, |s0, slen, owner| {
+                    assert_eq!(s0, covered, "segments must be contiguous");
+                    assert!(slen > 0);
+                    for flat in s0..s0 + slen {
+                        assert_eq!(
+                            l.owner_id_flat(flat),
+                            owner,
+                            "owner not constant in segment (layout {shape:?} over {p})"
+                        );
+                    }
+                    covered = s0 + slen;
+                });
+                assert_eq!(covered, start + len, "segments must cover the range");
             }
         }
     }

@@ -15,9 +15,9 @@ pub mod layout;
 pub mod mask;
 pub mod section;
 
-pub use array::{unflatten, DistArray, PAR_THRESHOLD};
-pub use mask::{all, any, count, merge};
+pub use array::{unflatten, DistArray, MAX_RANK, PAR_THRESHOLD};
 pub use layout::{AxisKind, IndexIter, Layout, PAR, SER};
+pub use mask::{all, any, count, merge};
 pub use section::Triplet;
 
 #[cfg(test)]

@@ -62,8 +62,11 @@ impl<T: Elem> DistArray<T> {
         ctx.add_flops(flops_per_elem * self.len() as u64);
         ctx.busy(|| {
             let o = other.as_slice();
-            for (k, (x, &m)) in
-                self.as_mut_slice().iter_mut().zip(mask.as_slice()).enumerate()
+            for (k, (x, &m)) in self
+                .as_mut_slice()
+                .iter_mut()
+                .zip(mask.as_slice())
+                .enumerate()
             {
                 let v = f(*x, o[k]);
                 if m {
@@ -81,7 +84,11 @@ pub fn merge<T: Elem>(
     fsource: &DistArray<T>,
     mask: &DistArray<bool>,
 ) -> DistArray<T> {
-    assert_eq!(tsource.shape(), fsource.shape(), "merge operand shape mismatch");
+    assert_eq!(
+        tsource.shape(),
+        fsource.shape(),
+        "merge operand shape mismatch"
+    );
     assert_eq!(tsource.shape(), mask.shape(), "merge mask shape mismatch");
     let mut out = DistArray::<T>::zeros(ctx, tsource.shape(), tsource.layout().axes());
     ctx.busy(|| {
@@ -157,8 +164,7 @@ mod tests {
         let ctx = ctx();
         let t = DistArray::<i32>::full(&ctx, &[4], &[PAR], 1);
         let f = DistArray::<i32>::full(&ctx, &[4], &[PAR], 2);
-        let mask =
-            DistArray::<bool>::from_vec(&ctx, &[4], &[PAR], vec![true, false, false, true]);
+        let mask = DistArray::<bool>::from_vec(&ctx, &[4], &[PAR], vec![true, false, false, true]);
         let m = merge(&ctx, &t, &f, &mask);
         assert_eq!(m.to_vec(), vec![1, 2, 2, 1]);
     }
@@ -176,5 +182,4 @@ mod tests {
         let every = DistArray::<bool>::full(&ctx, &[3], &[PAR], true);
         assert!(all(&ctx, &every));
     }
-
 }

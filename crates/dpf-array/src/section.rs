@@ -23,17 +23,29 @@ pub struct Triplet {
 impl Triplet {
     /// `start : end : 1`.
     pub const fn range(start: usize, end: usize) -> Self {
-        Triplet { start, end, step: 1 }
+        Triplet {
+            start,
+            end,
+            step: 1,
+        }
     }
 
     /// The whole axis `0 : n : 1`.
     pub const fn all(n: usize) -> Self {
-        Triplet { start: 0, end: n, step: 1 }
+        Triplet {
+            start: 0,
+            end: n,
+            step: 1,
+        }
     }
 
     /// A single index `i : i+1 : 1`.
     pub const fn at(i: usize) -> Self {
-        Triplet { start: i, end: i + 1, step: 1 }
+        Triplet {
+            start: i,
+            end: i + 1,
+            step: 1,
+        }
     }
 
     /// `start : end : step`.
@@ -149,12 +161,10 @@ fn copy_section<T: Elem>(
         let out_base = o * inner_len;
         if trips[inner].step == 1 {
             let s = base + trips[inner].start * strides[inner];
-            dst[out_base..out_base + inner_len]
-                .copy_from_slice(&src.as_slice()[s..s + inner_len]);
+            dst[out_base..out_base + inner_len].copy_from_slice(&src.as_slice()[s..s + inner_len]);
         } else {
             for k in 0..inner_len {
-                dst[out_base + k] =
-                    src.as_slice()[base + trips[inner].index(k) * strides[inner]];
+                dst[out_base + k] = src.as_slice()[base + trips[inner].index(k) * strides[inner]];
             }
         }
     }
@@ -241,9 +251,8 @@ mod tests {
     #[test]
     fn section_2d_block() {
         let ctx = ctx();
-        let a = DistArray::<i32>::from_fn(&ctx, &[4, 5], &[PAR, PAR], |i| {
-            (i[0] * 10 + i[1]) as i32
-        });
+        let a =
+            DistArray::<i32>::from_fn(&ctx, &[4, 5], &[PAR, PAR], |i| (i[0] * 10 + i[1]) as i32);
         let s = a.section(&ctx, &[Triplet::range(1, 3), Triplet::range(2, 5)]);
         assert_eq!(s.shape(), &[2, 3]);
         assert_eq!(s.to_vec(), vec![12, 13, 14, 22, 23, 24]);
@@ -284,9 +293,7 @@ mod tests {
     #[test]
     fn strided_2d_section() {
         let ctx = ctx();
-        let a = DistArray::<i32>::from_fn(&ctx, &[6, 6], &[PAR, PAR], |i| {
-            (i[0] * 6 + i[1]) as i32
-        });
+        let a = DistArray::<i32>::from_fn(&ctx, &[6, 6], &[PAR, PAR], |i| (i[0] * 6 + i[1]) as i32);
         let s = a.section(
             &ctx,
             &[Triplet::strided(0, 6, 2), Triplet::strided(1, 6, 2)],

@@ -25,7 +25,11 @@ struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { size: Size::Medium, version: Version::Basic, procs: 32 }
+        Options {
+            size: Size::Medium,
+            version: Version::Basic,
+            procs: 32,
+        }
     }
 }
 
@@ -74,19 +78,27 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     match cmd.as_str() {
         "list" => {
             println!("{:<20} {:<15} paper versions", "name", "group");
             for e in registry() {
-                let versions: Vec<&str> =
-                    e.paper_versions.iter().map(|v| v.name()).collect();
-                println!("{:<20} {:<15} {}", e.name, e.group.to_string(), versions.join(", "));
+                let versions: Vec<&str> = e.paper_versions.iter().map(|v| v.name()).collect();
+                println!(
+                    "{:<20} {:<15} {}",
+                    e.name,
+                    e.group.to_string(),
+                    versions.join(", ")
+                );
             }
             ExitCode::SUCCESS
         }
         "run" => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let opts = match parse_options(&args[2..]) {
                 Ok(o) => o,
                 Err(e) => {
@@ -109,7 +121,10 @@ fn main() -> ExitCode {
             let res = dpf_suite::run(&entry, opts.version, &machine, opts.size);
             print!("{}", res.report);
             println!("  FLOPs per point           : {:.2}", res.flops_per_point());
-            println!("  Comm calls per iteration  : {:.2}", res.comm_per_iteration());
+            println!(
+                "  Comm calls per iteration  : {:.2}",
+                res.comm_per_iteration()
+            );
             if res.report.verify.is_pass() {
                 ExitCode::SUCCESS
             } else {
@@ -129,7 +144,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "table" => {
-            let Some(which) = args.get(1) else { return usage() };
+            let Some(which) = args.get(1) else {
+                return usage();
+            };
             let opts = match parse_options(&args[2..]) {
                 Ok(o) => o,
                 Err(e) => {

@@ -11,8 +11,12 @@
 //! last-written value (deterministically, in flat source order here);
 //! combining scatters apply `+`, `max` or `min` at collisions.
 
-use dpf_array::DistArray;
+use dpf_array::{DistArray, Layout, PAR_THRESHOLD};
 use dpf_core::{CommPattern, Ctx, Elem, Num};
+use rayon::prelude::*;
+
+/// Index pairs per task in the parallel validate/count/move loops.
+const ROUTE_CHUNK: usize = 4096;
 
 /// How a combining scatter resolves collisions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,19 +29,46 @@ pub enum Combine {
     Min,
 }
 
-fn offproc_count<T: Elem, U: Elem>(
-    src: &DistArray<T>,
-    dst: &DistArray<U>,
-    pairs: impl Iterator<Item = (usize, usize)>,
-) -> u64 {
-    let sl = src.layout();
-    let dl = dst.layout();
-    if !sl.is_distributed() && !dl.is_distributed() {
-        return 0;
+/// Validate a flat slice of 1-D destination indices and count how many
+/// land on a different virtual processor than their (flat-consecutive)
+/// source positions, in one parallel pass.
+///
+/// Bounds validation runs unconditionally — including for fully serial
+/// layouts, where the seed implementation skipped it together with the
+/// owner accounting. Owner ids are only computed when some layout is
+/// distributed: the source side advances per block segment
+/// ([`Layout::for_each_owner_segment`]) and the destination side is a
+/// single divide by the precomputed 1-D block extent.
+fn validate_count_to_1d(src_layout: &Layout, dst_layout: &Layout, idx: &[i32], label: &str) -> u64 {
+    let n = dst_layout.shape()[0] as i32;
+    let distributed = src_layout.is_distributed() || dst_layout.is_distributed();
+    let dblock = dst_layout.block(0);
+    let count_chunk = |start: usize, chunk: &[i32]| -> u64 {
+        let mut off = 0u64;
+        if distributed {
+            src_layout.for_each_owner_segment(start, chunk.len(), |seg0, seg_len, sown| {
+                for &d in &chunk[seg0 - start..seg0 - start + seg_len] {
+                    assert!(d >= 0 && d < n, "{label} {d} out of bounds {n}");
+                    if (d as usize) / dblock != sown {
+                        off += 1;
+                    }
+                }
+            });
+        } else {
+            for &d in chunk {
+                assert!(d >= 0 && d < n, "{label} {d} out of bounds {n}");
+            }
+        }
+        off
+    };
+    if idx.len() >= PAR_THRESHOLD {
+        idx.par_chunks(ROUTE_CHUNK)
+            .enumerate()
+            .map(|(c, chunk)| count_chunk(c * ROUTE_CHUNK, chunk))
+            .reduce(|| 0u64, |a, b| a + b)
+    } else {
+        count_chunk(0, idx)
     }
-    pairs
-        .filter(|&(s, d)| sl.owner_id_flat(s) != dl.owner_id_flat(d))
-        .count() as u64
 }
 
 /// `out = src(idx)` — gather from a 1-D source through a flat index array
@@ -59,15 +90,51 @@ fn gather_as<T: Elem>(
 ) -> DistArray<T> {
     assert_eq!(src.rank(), 1, "gather source must be 1-D (use gather_nd)");
     let n = src.shape()[0] as i32;
-    let mut out = DistArray::<T>::zeros(ctx, idx.shape(), idx.layout().axes());
-    let offproc = offproc_count(
-        src,
-        &out,
-        idx.as_slice().iter().enumerate().map(|(d, &s)| {
-            assert!(s >= 0 && s < n, "gather index {s} out of bounds {n}");
-            (s as usize, d)
-        }),
-    );
+    // Fully overwritten below, so a pooled scratch output is safe.
+    let mut out = DistArray::<T>::scratch(ctx, idx.shape(), idx.layout().axes());
+    let src_layout = src.layout();
+    let dst_layout = out.layout().clone();
+    let distributed = src_layout.is_distributed() || dst_layout.is_distributed();
+    let sblock = src_layout.block(0);
+    // Validation, ownership accounting and data movement fused into one
+    // (parallel) pass: the destination owner is constant per block segment
+    // of the flat output range, the source owner is one divide.
+    let offproc = ctx.busy(|| {
+        let s = src.as_slice();
+        let move_chunk = |start: usize, out_chunk: &mut [T], idx_chunk: &[i32]| -> u64 {
+            let mut off = 0u64;
+            if distributed {
+                dst_layout.for_each_owner_segment(start, out_chunk.len(), |seg0, seg_len, down| {
+                    let base = seg0 - start;
+                    for k in base..base + seg_len {
+                        let i = idx_chunk[k];
+                        assert!(i >= 0 && i < n, "gather index {i} out of bounds {n}");
+                        let su = i as usize;
+                        if su / sblock != down {
+                            off += 1;
+                        }
+                        out_chunk[k] = s[su];
+                    }
+                });
+            } else {
+                for (o, &i) in out_chunk.iter_mut().zip(idx_chunk) {
+                    assert!(i >= 0 && i < n, "gather index {i} out of bounds {n}");
+                    *o = s[i as usize];
+                }
+            }
+            off
+        };
+        if out.len() >= PAR_THRESHOLD {
+            out.as_mut_slice()
+                .par_chunks_mut(ROUTE_CHUNK)
+                .zip(idx.as_slice().par_chunks(ROUTE_CHUNK))
+                .enumerate()
+                .map(|(c, (oc, ic))| move_chunk(c * ROUTE_CHUNK, oc, ic))
+                .reduce(|| 0u64, |a, b| a + b)
+        } else {
+            move_chunk(0, out.as_mut_slice(), idx.as_slice())
+        }
+    });
     ctx.record_comm(
         pattern,
         src.rank(),
@@ -75,12 +142,6 @@ fn gather_as<T: Elem>(
         idx.len() as u64,
         offproc * T::DTYPE.size() as u64,
     );
-    ctx.busy(|| {
-        let s = src.as_slice();
-        for (o, &i) in out.as_mut_slice().iter_mut().zip(idx.as_slice()) {
-            *o = s[i as usize];
-        }
-    });
     out
 }
 
@@ -91,27 +152,74 @@ pub fn gather_nd<T: Elem>(
     src: &DistArray<T>,
     coords: &[&DistArray<i32>],
 ) -> DistArray<T> {
-    assert_eq!(coords.len(), src.rank(), "need one coordinate array per source axis");
+    assert_eq!(
+        coords.len(),
+        src.rank(),
+        "need one coordinate array per source axis"
+    );
     let out_shape = coords[0].shape().to_vec();
     for c in coords {
-        assert_eq!(c.shape(), &out_shape[..], "coordinate arrays must agree in shape");
+        assert_eq!(
+            c.shape(),
+            &out_shape[..],
+            "coordinate arrays must agree in shape"
+        );
     }
-    let mut out = DistArray::<T>::zeros(ctx, &out_shape, coords[0].layout().axes());
+    // Fully overwritten below, so a pooled scratch output is safe.
+    let mut out = DistArray::<T>::scratch(ctx, &out_shape, coords[0].layout().axes());
     let strides = src.layout().strides();
+    let src_shape = src.shape();
+    let coord_slices: Vec<&[i32]> = coords.iter().map(|c| c.as_slice()).collect();
     let flat_of = |k: usize| -> usize {
         let mut off = 0usize;
-        for (d, c) in coords.iter().enumerate() {
-            let i = c.as_slice()[k];
+        for (d, c) in coord_slices.iter().enumerate() {
+            let i = c[k];
             assert!(
-                i >= 0 && (i as usize) < src.shape()[d],
+                i >= 0 && (i as usize) < src_shape[d],
                 "gather_nd index {i} out of extent {}",
-                src.shape()[d]
+                src_shape[d]
             );
             off += i as usize * strides[d];
         }
         off
     };
-    let offproc = offproc_count(src, &out, (0..out.len()).map(|k| (flat_of(k), k)));
+    let src_layout = src.layout();
+    let dst_layout = out.layout().clone();
+    let distributed = src_layout.is_distributed() || dst_layout.is_distributed();
+    // Fused validate + count + move, parallel over output chunks; the
+    // destination owner advances per block segment, the source owner is
+    // one flat decode per element (the index arrays are arbitrary).
+    let offproc = ctx.busy(|| {
+        let s = src.as_slice();
+        let move_chunk = |start: usize, out_chunk: &mut [T]| -> u64 {
+            let mut off = 0u64;
+            if distributed {
+                dst_layout.for_each_owner_segment(start, out_chunk.len(), |seg0, seg_len, down| {
+                    for k in seg0..seg0 + seg_len {
+                        let flat = flat_of(k);
+                        if src_layout.owner_id_flat(flat) != down {
+                            off += 1;
+                        }
+                        out_chunk[k - start] = s[flat];
+                    }
+                });
+            } else {
+                for (k, o) in out_chunk.iter_mut().enumerate() {
+                    *o = s[flat_of(start + k)];
+                }
+            }
+            off
+        };
+        if out.len() >= PAR_THRESHOLD {
+            out.as_mut_slice()
+                .par_chunks_mut(ROUTE_CHUNK)
+                .enumerate()
+                .map(|(c, oc)| move_chunk(c * ROUTE_CHUNK, oc))
+                .reduce(|| 0u64, |a, b| a + b)
+        } else {
+            move_chunk(0, out.as_mut_slice())
+        }
+    });
     ctx.record_comm(
         CommPattern::Gather,
         src.rank(),
@@ -119,12 +227,6 @@ pub fn gather_nd<T: Elem>(
         out.len() as u64,
         offproc * T::DTYPE.size() as u64,
     );
-    ctx.busy(|| {
-        let s = src.as_slice();
-        for k in 0..out.len() {
-            out.as_mut_slice()[k] = s[flat_of(k)];
-        }
-    });
     out
 }
 
@@ -139,12 +241,7 @@ pub fn scatter<T: Elem>(
 }
 
 /// [`scatter`] recorded as the language-level `Send` pattern.
-pub fn send<T: Elem>(
-    ctx: &Ctx,
-    dst: &mut DistArray<T>,
-    idx: &DistArray<i32>,
-    src: &DistArray<T>,
-) {
+pub fn send<T: Elem>(ctx: &Ctx, dst: &mut DistArray<T>, idx: &DistArray<i32>, src: &DistArray<T>) {
     scatter_as(ctx, dst, idx, src, CommPattern::Send);
 }
 
@@ -155,17 +252,21 @@ fn scatter_as<T: Elem>(
     src: &DistArray<T>,
     pattern: CommPattern,
 ) {
-    assert_eq!(dst.rank(), 1, "scatter destination must be 1-D (use scatter_nd_*)");
-    assert_eq!(idx.shape(), src.shape(), "index and source shapes must agree");
-    let n = dst.shape()[0] as i32;
-    let offproc = offproc_count(
-        src,
-        dst,
-        idx.as_slice().iter().enumerate().map(|(s, &d)| {
-            assert!(d >= 0 && d < n, "scatter index {d} out of bounds {n}");
-            (s, d as usize)
-        }),
+    assert_eq!(
+        dst.rank(),
+        1,
+        "scatter destination must be 1-D (use scatter_nd_*)"
     );
+    assert_eq!(
+        idx.shape(),
+        src.shape(),
+        "index and source shapes must agree"
+    );
+    // Parallel validate + ownership count, then a serial apply: the apply
+    // must stay in flat source order to keep last-writer-wins collisions
+    // deterministic.
+    let offproc = ctx
+        .busy(|| validate_count_to_1d(src.layout(), dst.layout(), idx.as_slice(), "scatter index"));
     ctx.record_comm(
         pattern,
         src.rank(),
@@ -189,17 +290,18 @@ pub fn scatter_combine<T: Num + PartialOrd>(
     src: &DistArray<T>,
     combine: Combine,
 ) {
-    assert_eq!(dst.rank(), 1, "scatter destination must be 1-D (use scatter_nd_*)");
-    assert_eq!(idx.shape(), src.shape(), "index and source shapes must agree");
-    let n = dst.shape()[0] as i32;
-    let offproc = offproc_count(
-        src,
-        dst,
-        idx.as_slice().iter().enumerate().map(|(s, &d)| {
-            assert!(d >= 0 && d < n, "scatter index {d} out of bounds {n}");
-            (s, d as usize)
-        }),
+    assert_eq!(
+        dst.rank(),
+        1,
+        "scatter destination must be 1-D (use scatter_nd_*)"
     );
+    assert_eq!(
+        idx.shape(),
+        src.shape(),
+        "index and source shapes must agree"
+    );
+    let offproc = ctx
+        .busy(|| validate_count_to_1d(src.layout(), dst.layout(), idx.as_slice(), "scatter index"));
     ctx.record_comm(
         CommPattern::ScatterCombine,
         src.rank(),
@@ -241,16 +343,13 @@ pub fn gather_combine<T: Num + PartialOrd>(
     src: &DistArray<T>,
 ) {
     assert_eq!(dst.rank(), 1, "gather_combine destination must be 1-D");
-    assert_eq!(idx.shape(), src.shape(), "index and source shapes must agree");
-    let n = dst.shape()[0] as i32;
-    let offproc = offproc_count(
-        src,
-        dst,
-        idx.as_slice().iter().enumerate().map(|(s, &d)| {
-            assert!(d >= 0 && d < n, "index {d} out of bounds {n}");
-            (s, d as usize)
-        }),
+    assert_eq!(
+        idx.shape(),
+        src.shape(),
+        "index and source shapes must agree"
     );
+    let offproc =
+        ctx.busy(|| validate_count_to_1d(src.layout(), dst.layout(), idx.as_slice(), "index"));
     ctx.record_comm(
         CommPattern::GatherCombine,
         src.rank(),
@@ -275,16 +374,25 @@ pub fn scatter_nd_combine<T: Num + PartialOrd>(
     src: &DistArray<T>,
     combine: Combine,
 ) {
-    assert_eq!(coords.len(), dst.rank(), "need one coordinate array per dest axis");
+    assert_eq!(
+        coords.len(),
+        dst.rank(),
+        "need one coordinate array per dest axis"
+    );
     for c in coords {
-        assert_eq!(c.shape(), src.shape(), "coordinate arrays must match source shape");
+        assert_eq!(
+            c.shape(),
+            src.shape(),
+            "coordinate arrays must match source shape"
+        );
     }
     let strides = dst.layout().strides();
     let shape = dst.shape().to_vec();
+    let coord_slices: Vec<&[i32]> = coords.iter().map(|c| c.as_slice()).collect();
     let flat_of = |k: usize| -> usize {
         let mut off = 0usize;
-        for (d, c) in coords.iter().enumerate() {
-            let i = c.as_slice()[k];
+        for (d, c) in coord_slices.iter().enumerate() {
+            let i = c[k];
             assert!(
                 i >= 0 && (i as usize) < shape[d],
                 "scatter_nd index {i} out of extent {}",
@@ -294,7 +402,44 @@ pub fn scatter_nd_combine<T: Num + PartialOrd>(
         }
         off
     };
-    let offproc = offproc_count(src, dst, (0..src.len()).map(|k| (k, flat_of(k))));
+    // Parallel validate + count (source owner constant per block segment,
+    // destination owner decoded per element), then a serial apply to keep
+    // collision order deterministic.
+    let src_layout = src.layout();
+    let dst_layout = dst.layout();
+    let distributed = src_layout.is_distributed() || dst_layout.is_distributed();
+    let offproc = ctx.busy(|| {
+        let count_chunk = |start: usize, len: usize| -> u64 {
+            let mut off = 0u64;
+            if distributed {
+                src_layout.for_each_owner_segment(start, len, |seg0, seg_len, sown| {
+                    for k in seg0..seg0 + seg_len {
+                        if dst_layout.owner_id_flat(flat_of(k)) != sown {
+                            off += 1;
+                        }
+                    }
+                });
+            } else {
+                for k in start..start + len {
+                    let _ = flat_of(k); // bounds validation always runs
+                }
+            }
+            off
+        };
+        let n = src.len();
+        if n >= PAR_THRESHOLD {
+            let chunks = n.div_ceil(ROUTE_CHUNK);
+            (0..chunks)
+                .into_par_iter()
+                .map(|c| {
+                    let start = c * ROUTE_CHUNK;
+                    count_chunk(start, ROUTE_CHUNK.min(n - start))
+                })
+                .reduce(|| 0u64, |a, b| a + b)
+        } else {
+            count_chunk(0, n)
+        }
+    });
     ctx.record_comm(
         CommPattern::ScatterCombine,
         src.rank(),
@@ -363,9 +508,8 @@ mod tests {
     #[test]
     fn gather_nd_uses_coordinates() {
         let ctx = ctx(2);
-        let src = DistArray::<i32>::from_fn(&ctx, &[3, 3], &[PAR, PAR], |i| {
-            (i[0] * 3 + i[1]) as i32
-        });
+        let src =
+            DistArray::<i32>::from_fn(&ctx, &[3, 3], &[PAR, PAR], |i| (i[0] * 3 + i[1]) as i32);
         let r = DistArray::<i32>::from_vec(&ctx, &[2], &[PAR], vec![0, 2]);
         let c = DistArray::<i32>::from_vec(&ctx, &[2], &[PAR], vec![2, 1]);
         let out = gather_nd(&ctx, &src, &[&r, &c]);
@@ -422,7 +566,12 @@ mod tests {
         let idx = DistArray::<i32>::from_vec(&ctx, &[2], &[PAR], vec![1, 2]);
         let _ = get(&ctx, &src, &idx);
         let mut dst = DistArray::<i32>::zeros(&ctx, &[4], &[PAR]);
-        send(&ctx, &mut dst, &idx, &DistArray::<i32>::zeros(&ctx, &[2], &[PAR]));
+        send(
+            &ctx,
+            &mut dst,
+            &idx,
+            &DistArray::<i32>::zeros(&ctx, &[2], &[PAR]),
+        );
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Get), 1);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Send), 1);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Gather), 0);
@@ -432,7 +581,12 @@ mod tests {
     fn serial_arrays_move_nothing_offproc() {
         let ctx = ctx(1);
         let src = DistArray::<f64>::from_fn(&ctx, &[8], &[SER], |i| i[0] as f64);
-        let idx = DistArray::<i32>::from_vec(&ctx, &[8], &[SER], (0..8).rev().map(|i| i as i32).collect());
+        let idx = DistArray::<i32>::from_vec(
+            &ctx,
+            &[8],
+            &[SER],
+            (0..8).rev().map(|i| i as i32).collect(),
+        );
         let _ = gather(&ctx, &src, &idx);
         let snap = ctx.instr.comm_snapshot();
         assert_eq!(snap.values().next().unwrap().offproc_bytes, 0);
@@ -445,5 +599,77 @@ mod tests {
         let src = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
         let idx = DistArray::<i32>::from_vec(&ctx, &[1], &[PAR], vec![4]);
         let _ = gather(&ctx, &src, &idx);
+    }
+
+    // Regression: the seed ran bounds validation only inside the
+    // off-processor counting iterator, which early-returned when both
+    // layouts were serial — so fully local gathers/scatters skipped the
+    // documented checks. Validation must run regardless of layout.
+
+    #[test]
+    #[should_panic(expected = "gather index -1 out of bounds 4")]
+    fn gather_bounds_checked_with_serial_layouts() {
+        let ctx = ctx(1);
+        let src = DistArray::<f64>::zeros(&ctx, &[4], &[SER]);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[2], &[SER], vec![0, -1]);
+        let _ = gather(&ctx, &src, &idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter index 9 out of bounds 4")]
+    fn scatter_bounds_checked_with_serial_layouts() {
+        let ctx = ctx(1);
+        let mut dst = DistArray::<i32>::zeros(&ctx, &[4], &[SER]);
+        let idx = DistArray::<i32>::from_vec(&ctx, &[2], &[SER], vec![1, 9]);
+        let src = DistArray::<i32>::from_vec(&ctx, &[2], &[SER], vec![5, 6]);
+        scatter(&ctx, &mut dst, &idx, &src);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather_nd index 3 out of extent 3")]
+    fn gather_nd_bounds_checked_with_serial_layouts() {
+        let ctx = ctx(1);
+        let src = DistArray::<i32>::zeros(&ctx, &[3, 3], &[SER, SER]);
+        let r = DistArray::<i32>::from_vec(&ctx, &[1], &[SER], vec![3]);
+        let c = DistArray::<i32>::from_vec(&ctx, &[1], &[SER], vec![0]);
+        let _ = gather_nd(&ctx, &src, &[&r, &c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter_nd index 7 out of extent 2")]
+    fn scatter_nd_bounds_checked_with_serial_layouts() {
+        let ctx = ctx(1);
+        let mut dst = DistArray::<f64>::zeros(&ctx, &[2, 2], &[SER, SER]);
+        let r = DistArray::<i32>::from_vec(&ctx, &[1], &[SER], vec![7]);
+        let c = DistArray::<i32>::from_vec(&ctx, &[1], &[SER], vec![0]);
+        let v = DistArray::<f64>::from_vec(&ctx, &[1], &[SER], vec![1.0]);
+        scatter_nd_combine(&ctx, &mut dst, &[&r, &c], &v, Combine::Add);
+    }
+
+    #[test]
+    fn parallel_gather_path_matches_serial_reference() {
+        // Above PAR_THRESHOLD the fused move/count loop runs under rayon;
+        // verify values and the off-processor byte count against a direct
+        // owner_id comparison.
+        let ctx = ctx(4);
+        let n = 20_000usize;
+        let src = DistArray::<f64>::from_fn(&ctx, &[n], &[PAR], |i| i[0] as f64);
+        let idx =
+            DistArray::<i32>::from_fn(&ctx, &[n], &[PAR], |i| ((i[0] * 7919 + 13) % n) as i32);
+        let out = gather(&ctx, &src, &idx);
+        for k in (0..n).step_by(1013) {
+            assert_eq!(out.as_slice()[k], ((k * 7919 + 13) % n) as f64);
+        }
+        let expected_offproc: u64 = idx
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(d, &s)| {
+                src.layout().owner_id_flat(s as usize) != out.layout().owner_id_flat(d)
+            })
+            .count() as u64;
+        let snap = ctx.instr.comm_snapshot();
+        let stats = snap.values().next().unwrap();
+        assert_eq!(stats.offproc_bytes, expected_offproc * 8);
     }
 }

@@ -21,15 +21,15 @@ pub mod stencil;
 pub mod transpose;
 
 pub use gather::{
-    gather, gather_combine, gather_nd, get, scatter, scatter_combine, scatter_nd_combine,
-    send, Combine,
+    gather, gather_combine, gather_nd, get, scatter, scatter_combine, scatter_nd_combine, send,
+    Combine,
 };
 pub use reduce::{dot, max_all, maxloc_abs, min_all, product_all, sum_all, sum_axis, sum_masked};
 pub use scan::{scan_add, scan_add_exclusive, segmented_copy_scan, segmented_scan_add};
-pub use shift::{cshift, eoshift};
+pub use shift::{cshift, cshift_into, eoshift, eoshift_into};
 pub use sort::{apply_perm, sort_keys, sort_keys_f64};
 pub use spread::{broadcast, broadcast_scalar, spread};
-pub use stencil::{star_stencil, stencil, StencilBoundary, StencilPoint};
+pub use stencil::{star_stencil, stencil, stencil_into, StencilBoundary, StencilPoint};
 pub use transpose::{transpose, transpose_axes};
 
 #[cfg(test)]

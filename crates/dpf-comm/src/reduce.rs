@@ -26,7 +26,10 @@ fn record_reduce<T: Elem>(ctx: &Ctx, src_rank: usize, dst_rank: usize, len: u64,
 
 /// Total processors an array's grid actually uses.
 fn grid_procs<T: Elem>(a: &DistArray<T>) -> usize {
-    (0..a.rank()).map(|d| a.layout().procs_on(d)).product::<usize>().max(1)
+    (0..a.rank())
+        .map(|d| a.layout().procs_on(d))
+        .product::<usize>()
+        .max(1)
 }
 
 /// `SUM(a)` — full reduction to a scalar.
@@ -242,9 +245,7 @@ mod tests {
     #[test]
     fn sum_axis_reduces_correct_dimension() {
         let ctx = ctx(4);
-        let a = DistArray::<f64>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| {
-            (i[0] * 3 + i[1]) as f64
-        });
+        let a = DistArray::<f64>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| (i[0] * 3 + i[1]) as f64);
         let rows = sum_axis(&ctx, &a, 1);
         assert_eq!(rows.shape(), &[2]);
         assert_eq!(rows.to_vec(), vec![3.0, 12.0]);
@@ -265,12 +266,7 @@ mod tests {
     #[test]
     fn minmax_and_maxloc() {
         let ctx = ctx(4);
-        let a = DistArray::<f64>::from_vec(
-            &ctx,
-            &[5],
-            &[PAR],
-            vec![3.0, -7.0, 2.0, 5.0, -1.0],
-        );
+        let a = DistArray::<f64>::from_vec(&ctx, &[5], &[PAR], vec![3.0, -7.0, 2.0, 5.0, -1.0]);
         assert_eq!(max_all(&ctx, &a), 5.0);
         assert_eq!(min_all(&ctx, &a), -7.0);
         let (i, v) = maxloc_abs(&ctx, &a);

@@ -76,7 +76,11 @@ pub fn segmented_scan_add<T: Num>(
     segment_start: &DistArray<bool>,
     axis: usize,
 ) -> DistArray<T> {
-    assert_eq!(a.shape(), segment_start.shape(), "segment flag shape mismatch");
+    assert_eq!(
+        a.shape(),
+        segment_start.shape(),
+        "segment flag shape mismatch"
+    );
     assert!(axis < a.rank());
     record_scan(ctx, a, axis);
     let n = a.shape()[axis];
@@ -115,7 +119,11 @@ pub fn segmented_copy_scan<T: Elem>(
     segment_start: &DistArray<bool>,
     axis: usize,
 ) -> DistArray<T> {
-    assert_eq!(a.shape(), segment_start.shape(), "segment flag shape mismatch");
+    assert_eq!(
+        a.shape(),
+        segment_start.shape(),
+        "segment flag shape mismatch"
+    );
     assert!(axis < a.rank());
     record_scan(ctx, a, axis);
     let n = a.shape()[axis];
@@ -172,9 +180,7 @@ mod tests {
     #[test]
     fn scan_along_second_axis() {
         let ctx = ctx();
-        let a = DistArray::<i32>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| {
-            (i[1] + 1) as i32
-        });
+        let a = DistArray::<i32>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| (i[1] + 1) as i32);
         let s = scan_add(&ctx, &a, 1);
         assert_eq!(s.to_vec(), vec![1, 3, 6, 1, 3, 6]);
     }

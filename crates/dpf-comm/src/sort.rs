@@ -62,9 +62,7 @@ pub fn sort_keys_f64(ctx: &Ctx, keys: &DistArray<f64>) -> (DistArray<f64>, DistA
             .collect()
     });
     ctx.busy(|| {
-        let cmp = |a: &(f64, i32), b: &(f64, i32)| {
-            a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
-        };
+        let cmp = |a: &(f64, i32), b: &(f64, i32)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
         if n >= dpf_array::PAR_THRESHOLD {
             pairs.par_sort_unstable_by(cmp);
         } else {
@@ -106,9 +104,7 @@ fn record_sort<T: Elem>(ctx: &Ctx, keys: &DistArray<T>, perm: &[i32]) {
     let offproc = if layout.is_distributed() {
         perm.iter()
             .enumerate()
-            .filter(|&(dst, &src)| {
-                layout.owner_id_flat(src as usize) != layout.owner_id_flat(dst)
-            })
+            .filter(|&(dst, &src)| layout.owner_id_flat(src as usize) != layout.owner_id_flat(dst))
             .count() as u64
     } else {
         0
@@ -155,8 +151,7 @@ mod tests {
     #[test]
     fn float_sort_handles_negatives() {
         let ctx = ctx(2);
-        let keys =
-            DistArray::<f64>::from_vec(&ctx, &[4], &[PAR], vec![0.5, -1.5, 2.0, -0.1]);
+        let keys = DistArray::<f64>::from_vec(&ctx, &[4], &[PAR], vec![0.5, -1.5, 2.0, -0.1]);
         let (sorted, _) = sort_keys_f64(&ctx, &keys);
         assert_eq!(sorted.to_vec(), vec![-1.5, -0.1, 0.5, 2.0]);
     }

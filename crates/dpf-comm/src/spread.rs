@@ -64,7 +64,11 @@ fn replicate<T: Elem>(
     kind: AxisKind,
     pattern: CommPattern,
 ) -> DistArray<T> {
-    assert!(axis <= a.rank(), "spread position {axis} out of rank {}", a.rank());
+    assert!(
+        axis <= a.rank(),
+        "spread position {axis} out of rank {}",
+        a.rank()
+    );
     assert!(ncopies > 0, "spread needs at least one copy");
     let mut shape = a.shape().to_vec();
     shape.insert(axis, ncopies);
@@ -127,9 +131,7 @@ mod tests {
     #[test]
     fn spread_middle_axis_of_2d() {
         let ctx = ctx(2);
-        let a = DistArray::<i32>::from_fn(&ctx, &[2, 2], &[PAR, PAR], |i| {
-            (i[0] * 2 + i[1]) as i32
-        });
+        let a = DistArray::<i32>::from_fn(&ctx, &[2, 2], &[PAR, PAR], |i| (i[0] * 2 + i[1]) as i32);
         let s = spread(&ctx, &a, 1, 3, PAR);
         assert_eq!(s.shape(), &[2, 3, 2]);
         assert_eq!(s.get(&[0, 0, 1]), 1);

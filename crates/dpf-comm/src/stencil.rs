@@ -9,7 +9,7 @@
 //! halo exchange — for each stencil point with a non-zero axis offset, the
 //! block-boundary elements of that axis cross processors once.
 
-use dpf_array::DistArray;
+use dpf_array::{DistArray, MAX_RANK, PAR_THRESHOLD};
 use dpf_core::{CommPattern, Ctx, Elem, Num};
 use rayon::prelude::*;
 
@@ -35,7 +35,10 @@ pub struct StencilPoint<T> {
 impl<T> StencilPoint<T> {
     /// Convenience constructor.
     pub fn new(offset: &[isize], weight: T) -> Self {
-        StencilPoint { offset: offset.to_vec(), weight }
+        StencilPoint {
+            offset: offset.to_vec(),
+            weight,
+        }
     }
 }
 
@@ -51,22 +54,44 @@ pub fn stencil<T: Num>(
     points: &[StencilPoint<T>],
     boundary: StencilBoundary<T>,
 ) -> DistArray<T> {
+    // Every output element is overwritten with the accumulated sum, so a
+    // pooled scratch buffer (possibly holding stale data) is safe.
+    let mut out = DistArray::<T>::scratch(ctx, a.shape(), a.layout().axes());
+    stencil_into(ctx, a, points, boundary, &mut out);
+    out
+}
+
+/// Like [`stencil`], but writing into an existing same-shaped array
+/// instead of allocating. Charges the identical FLOPs and records the
+/// identical `Stencil` communication event.
+pub fn stencil_into<T: Num>(
+    ctx: &Ctx,
+    a: &DistArray<T>,
+    points: &[StencilPoint<T>],
+    boundary: StencilBoundary<T>,
+    out: &mut DistArray<T>,
+) {
     assert!(!points.is_empty(), "stencil needs at least one point");
-    assert!(a.rank() <= 8, "stencil driver supports rank <= 8");
+    assert!(
+        a.rank() <= MAX_RANK,
+        "stencil driver supports rank <= {MAX_RANK}"
+    );
+    assert_eq!(a.shape(), out.shape(), "stencil output shape mismatch");
     for p in points {
         assert_eq!(p.offset.len(), a.rank(), "stencil offset rank mismatch");
     }
     let npts = points.len() as u64;
-    ctx.add_flops(a.len() as u64 * (npts * T::DTYPE.mul_flops() + (npts - 1) * T::DTYPE.add_flops()));
+    ctx.add_flops(
+        a.len() as u64 * (npts * T::DTYPE.mul_flops() + (npts - 1) * T::DTYPE.add_flops()),
+    );
     record_stencil(ctx, a, points.iter().map(|p| p.offset.as_slice()));
 
     let shape = a.shape().to_vec();
     let rank = shape.len();
-    let mut out = DistArray::<T>::zeros(ctx, &shape, a.layout().axes());
     let strides = a.layout().strides();
     let apply = |flat: usize, slot: &mut T| {
         // Decode the multi-index once per element.
-        let mut idx = [0usize; 8];
+        let mut idx = [0usize; MAX_RANK];
         let mut rem = flat;
         for d in (0..rank).rev() {
             idx[d] = rem % shape[d];
@@ -95,7 +120,7 @@ pub fn stencil<T: Num>(
         *slot = acc;
     };
     ctx.busy(|| {
-        if out.len() >= dpf_array::PAR_THRESHOLD {
+        if out.len() >= PAR_THRESHOLD {
             out.as_mut_slice()
                 .par_iter_mut()
                 .enumerate()
@@ -107,7 +132,6 @@ pub fn stencil<T: Num>(
                 .for_each(|(flat, slot)| apply(flat, slot));
         }
     });
-    out
 }
 
 /// Record the halo volume of a stencil: per point, the number of elements
@@ -151,7 +175,10 @@ pub fn star_stencil<T: Num>(rank: usize, centre: T, neighbour: T) -> Vec<Stencil
         for s in [-1isize, 1] {
             let mut off = vec![0isize; rank];
             off[d] = s;
-            pts.push(StencilPoint { offset: off, weight: neighbour });
+            pts.push(StencilPoint {
+                offset: off,
+                weight: neighbour,
+            });
         }
     }
     pts
@@ -174,7 +201,10 @@ mod tests {
         // out[i] = a[i-1] + a[i] + a[i+1] (cyclic)
         let pts = star_stencil(1, 1.0, 1.0);
         let out = stencil(&ctx, &a, &pts, StencilBoundary::Cyclic);
-        assert_eq!(out.to_vec(), vec![0. + 1. + 3., 0. + 1. + 2., 1. + 2. + 3., 2. + 3. + 0.]);
+        assert_eq!(
+            out.to_vec(),
+            vec![0. + 1. + 3., 0. + 1. + 2., 1. + 2. + 3., 2. + 3. + 0.]
+        );
     }
 
     #[test]
@@ -190,9 +220,7 @@ mod tests {
     #[test]
     fn five_point_laplacian_2d() {
         let ctx = ctx(4);
-        let a = DistArray::<f64>::from_fn(&ctx, &[4, 4], &[PAR, PAR], |i| {
-            (i[0] * 4 + i[1]) as f64
-        });
+        let a = DistArray::<f64>::from_fn(&ctx, &[4, 4], &[PAR, PAR], |i| (i[0] * 4 + i[1]) as f64);
         let pts = star_stencil(2, -4.0, 1.0);
         let out = stencil(&ctx, &a, &pts, StencilBoundary::Cyclic);
         // Interior point (1,1): neighbours 1+9+4+6 - 4*5 = 0.
@@ -221,6 +249,25 @@ mod tests {
         let _ = stencil(&ctx, &a, &pts, StencilBoundary::Cyclic);
         let snap = ctx.instr.comm_snapshot();
         assert_eq!(snap.values().next().unwrap().offproc_bytes, 64);
+    }
+
+    #[test]
+    fn stencil_into_matches_allocating_and_records_identically() {
+        let ctx_a = ctx(4);
+        let ctx_b = ctx(4);
+        let mk = |c: &Ctx| {
+            DistArray::<f64>::from_fn(c, &[6, 7], &[PAR, PAR], |i| (i[0] * 7 + i[1]) as f64)
+        };
+        let a = mk(&ctx_a);
+        let b = mk(&ctx_b);
+        let pts = star_stencil(2, -4.0, 1.0);
+        let expected = stencil(&ctx_a, &a, &pts, StencilBoundary::Fixed(2.5));
+
+        let mut out = DistArray::<f64>::zeros(&ctx_b, &[6, 7], &[PAR, PAR]);
+        stencil_into(&ctx_b, &b, &pts, StencilBoundary::Fixed(2.5), &mut out);
+        assert_eq!(out.to_vec(), expected.to_vec());
+        assert_eq!(ctx_a.instr.flops(), ctx_b.instr.flops());
+        assert_eq!(ctx_a.instr.comm_snapshot(), ctx_b.instr.comm_snapshot());
     }
 
     #[test]

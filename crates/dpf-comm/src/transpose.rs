@@ -6,23 +6,29 @@
 //! owner under the source layout differs from the owner of its transposed
 //! position under the destination layout.
 
-use dpf_array::DistArray;
+use dpf_array::{DistArray, MAX_RANK, PAR_THRESHOLD};
 use dpf_core::{CommPattern, Ctx, Elem};
+use rayon::prelude::*;
+
+/// Elements per task in the parallel owner-comparison loop.
+const COUNT_CHUNK: usize = 4096;
 
 /// Transpose a 2-D array (AAPC).
 pub fn transpose<T: Elem>(ctx: &Ctx, a: &DistArray<T>) -> DistArray<T> {
-    assert_eq!(a.rank(), 2, "transpose expects a 2-D array (use transpose_axes)");
+    assert_eq!(
+        a.rank(),
+        2,
+        "transpose expects a 2-D array (use transpose_axes)"
+    );
     transpose_axes(ctx, a, 0, 1)
 }
 
 /// Swap two axes of an array of any rank (AAPC along the pair).
-pub fn transpose_axes<T: Elem>(
-    ctx: &Ctx,
-    a: &DistArray<T>,
-    d0: usize,
-    d1: usize,
-) -> DistArray<T> {
-    assert!(d0 < a.rank() && d1 < a.rank() && d0 != d1, "invalid axis pair");
+pub fn transpose_axes<T: Elem>(ctx: &Ctx, a: &DistArray<T>, d0: usize, d1: usize) -> DistArray<T> {
+    assert!(
+        d0 < a.rank() && d1 < a.rank() && d0 != d1,
+        "invalid axis pair"
+    );
     let mut order: Vec<usize> = (0..a.rank()).collect();
     order.swap(d0, d1);
     // Build the result through the storage permutation, then account the
@@ -38,23 +44,62 @@ pub fn transpose_axes<T: Elem>(
 
 /// Count elements whose owner differs between the source layout and their
 /// permuted position in the destination layout.
+///
+/// Walks source flat offsets in parallel chunks with a stack-local
+/// odometer index (decoded once per chunk, advanced in place) — the
+/// source-side owner comes from block segments of the flat range, so only
+/// the permuted destination owner is computed per element.
 fn count_moves(
     shape: &[usize],
     order: &[usize],
     src: &dpf_array::Layout,
     dst: &dpf_array::Layout,
 ) -> u64 {
-    let mut count = 0u64;
-    let mut tidx = vec![0usize; shape.len()];
-    for idx in dpf_array::IndexIter::new(shape) {
-        for (k, &d) in order.iter().enumerate() {
-            tidx[k] = idx[d];
-        }
-        if src.owner_id(&idx) != dst.owner_id(&tidx) {
-            count += 1;
-        }
+    let rank = shape.len();
+    assert!(rank <= MAX_RANK, "transpose supports rank <= {MAX_RANK}");
+    let len: usize = shape.iter().product();
+    let count_chunk = |start: usize, chunk_len: usize| -> u64 {
+        let mut count = 0u64;
+        src.for_each_owner_segment(start, chunk_len, |seg0, seg_len, sown| {
+            // Decode the segment's first multi-index, then advance the
+            // odometer in place.
+            let mut idx = [0usize; MAX_RANK];
+            let mut rem = seg0;
+            for d in (0..rank).rev() {
+                idx[d] = rem % shape[d];
+                rem /= shape[d];
+            }
+            let mut tidx = [0usize; MAX_RANK];
+            for _ in 0..seg_len {
+                for (k, &d) in order.iter().enumerate() {
+                    tidx[k] = idx[d];
+                }
+                if dst.owner_id(&tidx[..rank]) != sown {
+                    count += 1;
+                }
+                for d in (0..rank).rev() {
+                    idx[d] += 1;
+                    if idx[d] < shape[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+        });
+        count
+    };
+    if len >= PAR_THRESHOLD {
+        let chunks = len.div_ceil(COUNT_CHUNK);
+        (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = c * COUNT_CHUNK;
+                count_chunk(start, COUNT_CHUNK.min(len - start))
+            })
+            .reduce(|| 0u64, |a, b| a + b)
+    } else {
+        count_chunk(0, len)
     }
-    count
 }
 
 fn finish<T: Elem>(
@@ -86,9 +131,7 @@ mod tests {
     #[test]
     fn transpose_2d_is_correct() {
         let ctx = ctx(4);
-        let a = DistArray::<i32>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| {
-            (i[0] * 3 + i[1]) as i32
-        });
+        let a = DistArray::<i32>::from_fn(&ctx, &[2, 3], &[PAR, PAR], |i| (i[0] * 3 + i[1]) as i32);
         let t = transpose(&ctx, &a);
         assert_eq!(t.shape(), &[3, 2]);
         for i in 0..2 {
@@ -135,9 +178,7 @@ mod tests {
     #[test]
     fn double_transpose_is_identity() {
         let ctx = ctx(4);
-        let a = DistArray::<i32>::from_fn(&ctx, &[3, 5], &[PAR, PAR], |i| {
-            (i[0] * 5 + i[1]) as i32
-        });
+        let a = DistArray::<i32>::from_fn(&ctx, &[3, 5], &[PAR, PAR], |i| (i[0] * 5 + i[1]) as i32);
         let tt = transpose(&ctx, &transpose(&ctx, &a));
         assert_eq!(tt.to_vec(), a.to_vec());
     }

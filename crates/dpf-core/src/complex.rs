@@ -117,13 +117,19 @@ impl<T: Real> Complex<T> {
     /// The complex zero.
     #[inline]
     pub fn zero() -> Self {
-        Complex { re: T::zero(), im: T::zero() }
+        Complex {
+            re: T::zero(),
+            im: T::zero(),
+        }
     }
 
     /// The complex one.
     #[inline]
     pub fn one() -> Self {
-        Complex { re: T::one(), im: T::zero() }
+        Complex {
+            re: T::one(),
+            im: T::zero(),
+        }
     }
 
     /// A purely real value.
@@ -135,13 +141,19 @@ impl<T: Real> Complex<T> {
     /// `e^{iθ} = cos θ + i sin θ` — the FFT twiddle generator.
     #[inline]
     pub fn cis(theta: T) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -159,7 +171,10 @@ impl<T: Real> Complex<T> {
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: T) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -167,7 +182,10 @@ impl<T: Real> Add for Complex<T> {
     type Output = Self;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -175,7 +193,10 @@ impl<T: Real> Sub for Complex<T> {
     type Output = Self;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -206,7 +227,10 @@ impl<T: Real> Neg for Complex<T> {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -52,9 +52,7 @@ impl CostModel {
 
     /// Modeled compute time for `flops` on `machine`.
     pub fn compute_time(&self, machine: &Machine, flops: u64) -> Duration {
-        Duration::from_secs_f64(
-            flops as f64 / (self.flops_per_proc * machine.nprocs as f64),
-        )
+        Duration::from_secs_f64(flops as f64 / (self.flops_per_proc * machine.nprocs as f64))
     }
 
     /// Modeled time of one aggregated communication record.
@@ -74,16 +72,14 @@ impl CostModel {
             | CommPattern::Broadcast
             | CommPattern::Spread
             | CommPattern::Scan => p.log2().max(1.0),
-            CommPattern::Aapc
-            | CommPattern::Aabc
-            | CommPattern::Butterfly
-            | CommPattern::Sort => p.log2().max(1.0),
+            CommPattern::Aapc | CommPattern::Aabc | CommPattern::Butterfly | CommPattern::Sort => {
+                p.log2().max(1.0)
+            }
         };
         let bw = match key.pattern {
-            CommPattern::Aapc
-            | CommPattern::Aabc
-            | CommPattern::Butterfly
-            | CommPattern::Sort => self.bisection_bw * (p / 2.0).max(1.0),
+            CommPattern::Aapc | CommPattern::Aabc | CommPattern::Butterfly | CommPattern::Sort => {
+                self.bisection_bw * (p / 2.0).max(1.0)
+            }
             _ => self.link_bw * p,
         };
         let latency = stats.calls as f64 * self.alpha * depth;
@@ -111,7 +107,11 @@ mod tests {
     use super::*;
 
     fn key(p: CommPattern) -> CommKey {
-        CommKey { pattern: p, src_rank: 1, dst_rank: 1 }
+        CommKey {
+            pattern: p,
+            src_rank: 1,
+            dst_rank: 1,
+        }
     }
 
     #[test]
@@ -128,9 +128,17 @@ mod tests {
     fn tree_patterns_cost_log_latency() {
         let m = Machine::cm5(64);
         let cm = CostModel::cm5();
-        let s = CommStats { calls: 1, elements: 0, offproc_bytes: 0 };
-        let t_red = cm.comm_time(&m, &key(CommPattern::Reduction), &s).as_secs_f64();
-        let t_shift = cm.comm_time(&m, &key(CommPattern::Cshift), &s).as_secs_f64();
+        let s = CommStats {
+            calls: 1,
+            elements: 0,
+            offproc_bytes: 0,
+        };
+        let t_red = cm
+            .comm_time(&m, &key(CommPattern::Reduction), &s)
+            .as_secs_f64();
+        let t_shift = cm
+            .comm_time(&m, &key(CommPattern::Cshift), &s)
+            .as_secs_f64();
         assert!((t_red / t_shift - 6.0).abs() < 1e-9, "log2(64) = 6");
     }
 
@@ -141,7 +149,11 @@ mod tests {
         let mut comm = BTreeMap::new();
         comm.insert(
             key(CommPattern::Cshift),
-            CommStats { calls: 10, elements: 1000, offproc_bytes: 4000 },
+            CommStats {
+                calls: 10,
+                elements: 1000,
+                offproc_bytes: 4000,
+            },
         );
         let t = cm.total_time(&m, 1_000_000, &comm);
         assert!(t > cm.compute_time(&m, 1_000_000));

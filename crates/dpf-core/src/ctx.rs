@@ -2,24 +2,34 @@
 
 use crate::instr::{CommKey, CommPattern, Instr};
 use crate::machine::Machine;
+use crate::pool::BufferPool;
 
 /// Execution context threaded through every DPF operation: the virtual
-/// [`Machine`] plus the run's [`Instr`]umentation.
+/// [`Machine`] plus the run's [`Instr`]umentation and the host-side
+/// [`BufferPool`] that lets iterative kernels recycle output buffers.
 ///
-/// A `Ctx` is cheap to create and owns no array data; benchmarks create one
-/// per run so metric state never leaks between runs.
+/// A `Ctx` is cheap to create and owns no array data beyond retired pool
+/// buffers; benchmarks create one per run so metric state never leaks
+/// between runs.
 #[derive(Debug, Default)]
 pub struct Ctx {
     /// The virtual machine the run is laid out for.
     pub machine: Machine,
     /// The run's metric state.
     pub instr: Instr,
+    /// Free list of retired output buffers (host-side optimization; never
+    /// affects the recorded §1.5 metrics).
+    pub pool: BufferPool,
 }
 
 impl Ctx {
     /// Context for the given machine.
     pub fn new(machine: Machine) -> Self {
-        Ctx { machine, instr: Instr::new() }
+        Ctx {
+            machine,
+            instr: Instr::new(),
+            pool: BufferPool::new(),
+        }
     }
 
     /// Context sized to the host (one virtual processor per hardware
@@ -51,7 +61,11 @@ impl Ctx {
         offproc_bytes: u64,
     ) {
         self.instr.record_comm(
-            CommKey { pattern, src_rank: src_rank as u8, dst_rank: dst_rank as u8 },
+            CommKey {
+                pattern,
+                src_rank: src_rank as u8,
+                dst_rank: dst_rank as u8,
+            },
             elements,
             offproc_bytes,
         );

@@ -104,9 +104,7 @@ impl std::fmt::Display for DType {
 ///
 /// `Default` provides the zero value used for padding and `eoshift`
 /// boundaries; `PartialEq + Debug` support testing.
-pub trait Elem:
-    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
-{
+pub trait Elem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
     /// The DPF type descriptor for this element.
     const DTYPE: DType;
 }
@@ -146,11 +144,17 @@ mod tests {
 
     #[test]
     fn sigils_match_paper_notation() {
-        let sigils: Vec<char> =
-            [DType::I32, DType::Bool, DType::F32, DType::F64, DType::C32, DType::C64]
-                .iter()
-                .map(|d| d.sigil())
-                .collect();
+        let sigils: Vec<char> = [
+            DType::I32,
+            DType::Bool,
+            DType::F32,
+            DType::F64,
+            DType::C32,
+            DType::C64,
+        ]
+        .iter()
+        .map(|d| d.sigil())
+        .collect();
         assert_eq!(sigils, vec!['t', 'l', 's', 'd', 'c', 'z']);
     }
 

@@ -115,7 +115,11 @@ impl std::fmt::Display for CommKey {
         if self.src_rank == self.dst_rank {
             write!(f, "{} {}-D", self.pattern, self.src_rank)
         } else {
-            write!(f, "{} {}-D to {}-D", self.pattern, self.src_rank, self.dst_rank)
+            write!(
+                f,
+                "{} {}-D to {}-D",
+                self.pattern, self.src_rank, self.dst_rank
+            )
         }
     }
 }
@@ -239,9 +243,11 @@ impl Instr {
             return;
         }
         let mut comm = self.comm.lock();
-        comm.entry(key)
-            .or_default()
-            .merge(CommStats { calls: 1, elements, offproc_bytes });
+        comm.entry(key).or_default().merge(CommStats {
+            calls: 1,
+            elements,
+            offproc_bytes,
+        });
     }
 
     /// Run `f` with communication recording suppressed.
@@ -316,8 +322,7 @@ impl Instr {
 
     /// The set of distinct patterns observed.
     pub fn patterns(&self) -> Vec<CommPattern> {
-        let mut v: Vec<CommPattern> =
-            self.comm.lock().keys().map(|k| k.pattern).collect();
+        let mut v: Vec<CommPattern> = self.comm.lock().keys().map(|k| k.pattern).collect();
         v.dedup();
         v
     }
@@ -333,7 +338,11 @@ mod tests {
     use super::*;
 
     fn key(p: CommPattern) -> CommKey {
-        CommKey { pattern: p, src_rank: 1, dst_rank: 1 }
+        CommKey {
+            pattern: p,
+            src_rank: 1,
+            dst_rank: 1,
+        }
     }
 
     #[test]
@@ -398,9 +407,17 @@ mod tests {
 
     #[test]
     fn comm_key_display_matches_paper_style() {
-        let k = CommKey { pattern: CommPattern::Spread, src_rank: 1, dst_rank: 2 };
+        let k = CommKey {
+            pattern: CommPattern::Spread,
+            src_rank: 1,
+            dst_rank: 2,
+        };
         assert_eq!(k.to_string(), "SPREAD 1-D to 2-D");
-        let k2 = CommKey { pattern: CommPattern::Cshift, src_rank: 2, dst_rank: 2 };
+        let k2 = CommKey {
+            pattern: CommPattern::Cshift,
+            src_rank: 2,
+            dst_rank: 2,
+        };
         assert_eq!(k2.to_string(), "CSHIFT 2-D");
     }
 }

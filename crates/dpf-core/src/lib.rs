@@ -25,6 +25,7 @@ pub mod flops;
 pub mod instr;
 pub mod machine;
 pub mod numeric;
+pub mod pool;
 pub mod report;
 pub mod verify;
 
@@ -34,5 +35,6 @@ pub use dtype::{DType, Elem};
 pub use instr::{CommKey, CommPattern, CommStats, Instr, LocalAccess, PhaseReport};
 pub use machine::Machine;
 pub use numeric::{Field, Num};
+pub use pool::BufferPool;
 pub use report::{BenchReport, PerfSummary};
 pub use verify::Verify;

@@ -31,15 +31,23 @@ impl Machine {
     /// peak rate (32 MFLOPS per vector unit).
     pub fn cm5(nprocs: usize) -> Self {
         assert!(nprocs > 0, "machine must have at least one processor");
-        Machine { nprocs, peak_mflops_per_proc: 32.0 }
+        Machine {
+            nprocs,
+            peak_mflops_per_proc: 32.0,
+        }
     }
 
     /// A machine sized to the host: one virtual processor per available
     /// hardware thread, with a peak rate calibrated loosely to modern
     /// scalar cores (the exact value only scales the efficiency metric).
     pub fn host() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Machine { nprocs: n, peak_mflops_per_proc: 2000.0 }
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Machine {
+            nprocs: n,
+            peak_mflops_per_proc: 2000.0,
+        }
     }
 
     /// Aggregate peak FLOP rate of all participating processors, in FLOPs/s.

@@ -135,13 +135,21 @@ impl std::fmt::Display for BenchReport {
             self.name, self.version, self.problem, self.machine.nprocs
         )?;
         writeln!(f, "  FLOP count                : {}", self.perf.flops)?;
-        writeln!(f, "  Busy time (sec.)          : {:.6}", self.perf.busy.as_secs_f64())?;
+        writeln!(
+            f,
+            "  Busy time (sec.)          : {:.6}",
+            self.perf.busy.as_secs_f64()
+        )?;
         writeln!(
             f,
             "  Elapsed time (sec.)       : {:.6}",
             self.perf.elapsed.as_secs_f64()
         )?;
-        writeln!(f, "  Busy floprate (MFLOPS)    : {:.2}", self.perf.busy_mflops())?;
+        writeln!(
+            f,
+            "  Busy floprate (MFLOPS)    : {:.2}",
+            self.perf.busy_mflops()
+        )?;
         writeln!(
             f,
             "  Elapsed floprate (MFLOPS) : {:.2}",

@@ -53,7 +53,7 @@ pub fn fft_row(buf: &mut [C64], dir: Direction) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits));
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             buf.swap(i, j);
         }
@@ -188,8 +188,20 @@ fn record_stages(ctx: &Ctx, a: &DistArray<C64>, axis: usize, exchange: CommPatte
     for s in 0..stages {
         let stride = 1isize << s;
         let moved = a.layout().offproc_per_lane(axis, stride) as u64 * lanes * esize;
-        ctx.record_comm(CommPattern::Cshift, a.rank(), a.rank(), a.len() as u64, moved);
-        ctx.record_comm(CommPattern::Cshift, a.rank(), a.rank(), a.len() as u64, moved);
+        ctx.record_comm(
+            CommPattern::Cshift,
+            a.rank(),
+            a.rank(),
+            a.len() as u64,
+            moved,
+        );
+        ctx.record_comm(
+            CommPattern::Cshift,
+            a.rank(),
+            a.rank(),
+            a.len() as u64,
+            moved,
+        );
         ctx.record_comm(exchange, a.rank(), a.rank(), a.len() as u64, moved);
     }
 }
@@ -297,7 +309,11 @@ mod tests {
         let a = DistArray::<C64>::from_fn(&ctx, &[8, 8], &[PAR, PAR], |i| {
             C64::new((i[0] * 8 + i[1]) as f64, (i[0] as f64) - (i[1] as f64))
         });
-        let back = fft_2d(&ctx, &fft_2d(&ctx, &a, Direction::Forward), Direction::Inverse);
+        let back = fft_2d(
+            &ctx,
+            &fft_2d(&ctx, &a, Direction::Forward),
+            Direction::Inverse,
+        );
         for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
             assert!(close(*x, *y, 1e-8));
         }
@@ -309,7 +325,11 @@ mod tests {
         let a = DistArray::<C64>::from_fn(&ctx, &[4, 4, 4], &[PAR, PAR, SER], |i| {
             C64::new((i[0] + 2 * i[1]) as f64, i[2] as f64)
         });
-        let back = fft_3d(&ctx, &fft_3d(&ctx, &a, Direction::Forward), Direction::Inverse);
+        let back = fft_3d(
+            &ctx,
+            &fft_3d(&ctx, &a, Direction::Forward),
+            Direction::Inverse,
+        );
         for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
             assert!(close(*x, *y, 1e-8));
         }

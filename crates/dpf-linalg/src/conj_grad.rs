@@ -43,7 +43,7 @@ pub struct CgResult {
 fn apply(ctx: &Ctx, sys: &CgSystem, v: &DistArray<f64>) -> DistArray<f64> {
     let up = cshift(ctx, v, 0, 1); // v[i+1]
     let down = cshift(ctx, v, 0, -1); // v[i-1]
-    // q = l*down + d*v + u*up : 3 muls + 2 adds per element.
+                                      // q = l*down + d*v + u*up : 3 muls + 2 adds per element.
     let dv = sys.diag.zip_map(ctx, 1, v, |d, x| d * x);
     let lu = sys.lower.zip_map(ctx, 1, &down, |l, x| l * x);
     let uu = sys.upper.zip_map(ctx, 1, &up, |u, x| u * x);
@@ -73,7 +73,11 @@ pub fn cg_solve(ctx: &Ctx, sys: &CgSystem, tol: f64, max_iter: usize) -> CgResul
         res = max_all(ctx, &r.map(ctx, 0, f64::abs));
         iters += 1;
     }
-    CgResult { x, iterations: iters, residual: res }
+    CgResult {
+        x,
+        iterations: iters,
+        residual: res,
+    }
 }
 
 /// Optimized version: the matvec, both AXPYs and both inner products of
@@ -89,9 +93,7 @@ pub fn cg_solve_optimized(ctx: &Ctx, sys: &CgSystem, tol: f64, max_iter: usize) 
     let l = sys.lower.as_slice();
     let d = sys.diag.as_slice();
     let u = sys.upper.as_slice();
-    let dot_serial = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| x * y).sum()
-    };
+    let dot_serial = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
     ctx.add_flops(2 * n as u64 - 1);
     ctx.record_comm(dpf_core::CommPattern::Reduction, 1, 0, n as u64, 0);
     let mut rho = ctx.busy(|| dot_serial(&r, &r));
@@ -150,28 +152,32 @@ pub fn cg_solve_optimized(ctx: &Ctx, sys: &CgSystem, tol: f64, max_iter: usize) 
 
 /// SPD tridiagonal workload (a 1-D Laplacian with a diagonal boost).
 pub fn workload(ctx: &Ctx, n: usize) -> CgSystem {
-    let lower = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
-        if i[0] == 0 {
-            0.0
-        } else {
-            -1.0
-        }
-    })
-    .declare(ctx);
+    let lower =
+        DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| if i[0] == 0 { 0.0 } else { -1.0 })
+            .declare(ctx);
     let diag = DistArray::<f64>::full(ctx, &[n], &[PAR], 4.0).declare(ctx);
-    let upper = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
-        if i[0] + 1 == n {
-            0.0
-        } else {
-            -1.0
-        }
-    })
-    .declare(ctx);
-    let rhs = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
-        ((i[0] as f64) * 0.37).sin()
-    })
-    .declare(ctx);
-    CgSystem { lower, diag, upper, rhs }
+    let upper =
+        DistArray::<f64>::from_fn(
+            ctx,
+            &[n],
+            &[PAR],
+            |i| {
+                if i[0] + 1 == n {
+                    0.0
+                } else {
+                    -1.0
+                }
+            },
+        )
+        .declare(ctx);
+    let rhs =
+        DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| ((i[0] as f64) * 0.37).sin()).declare(ctx);
+    CgSystem {
+        lower,
+        diag,
+        upper,
+        rhs,
+    }
 }
 
 /// Verify against the Thomas algorithm.

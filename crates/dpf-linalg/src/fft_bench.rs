@@ -19,7 +19,11 @@ pub fn workload(ctx: &Ctx, shape: &[usize]) -> DistArray<C64> {
         r => panic!("fft benchmark supports rank 1-3, got {r}"),
     };
     DistArray::<C64>::from_fn(ctx, shape, &axes, |idx| {
-        let s: usize = idx.iter().enumerate().map(|(d, &i)| i * (d * 131 + 17)).sum();
+        let s: usize = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| i * (d * 131 + 17))
+            .sum();
         C64::new(pseudo(s), pseudo(s + 1))
     })
     .declare(ctx)

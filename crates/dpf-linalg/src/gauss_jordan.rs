@@ -144,9 +144,7 @@ pub fn gauss_jordan_invert(ctx: &Ctx, a: &DistArray<f64>) -> DistArray<f64> {
             }
         });
     }
-    DistArray::<f64>::from_fn(ctx, &[n, n], &[PAR, PAR], |idx| {
-        m[idx[0] * w + n + idx[1]]
-    })
+    DistArray::<f64>::from_fn(ctx, &[n, n], &[PAR, PAR], |idx| m[idx[0] * w + n + idx[1]])
 }
 
 /// Diagonally-dominant workload (`A`, `b`).
@@ -160,8 +158,7 @@ pub fn workload(ctx: &Ctx, n: usize) -> (DistArray<f64>, DistArray<f64>) {
         }
     })
     .declare(ctx);
-    let b = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |idx| pseudo(idx[0] * 7 + 3))
-        .declare(ctx);
+    let b = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |idx| pseudo(idx[0] * 7 + 3)).declare(ctx);
     (a, b)
 }
 
@@ -173,8 +170,7 @@ fn pseudo(seed: usize) -> f64 {
 /// Verify against the serial reference solver.
 pub fn verify(a: &DistArray<f64>, b: &DistArray<f64>, x: &DistArray<f64>, tol: f64) -> Verify {
     let n = a.shape()[0];
-    let worst =
-        crate::reference::residual_dense(a.as_slice(), x.as_slice(), b.as_slice(), n, n);
+    let worst = crate::reference::residual_dense(a.as_slice(), x.as_slice(), b.as_slice(), n, n);
     Verify::check("gauss-jordan residual", worst, tol)
 }
 
@@ -270,6 +266,9 @@ mod tests {
         let _ = gauss_jordan_solve(&ctx, &a, &b);
         let measured = (ctx.instr.flops() - f0) as f64;
         let expect = 2.0 * (n as f64).powi(3); // n iterations of ~2n².
-        assert!((measured - expect).abs() / expect < 0.15, "{measured} vs {expect}");
+        assert!(
+            (measured - expect).abs() / expect < 0.15,
+            "{measured} vs {expect}"
+        );
     }
 }

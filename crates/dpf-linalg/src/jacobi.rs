@@ -34,7 +34,10 @@ pub fn jacobi_eigen(ctx: &Ctx, a: &DistArray<f64>, tol: f64, max_sweeps: usize) 
     assert_eq!(a.rank(), 2, "jacobi expects a 2-D matrix");
     let n = a.shape()[0];
     assert_eq!(a.shape()[1], n, "matrix must be square");
-    assert!(n >= 2 && n.is_multiple_of(2), "jacobi pairing needs even n >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "jacobi pairing needs even n >= 2"
+    );
     let mut m = a.to_vec();
     let mut v = vec![0.0f64; n * n];
     for i in 0..n {

@@ -168,8 +168,9 @@ pub fn lu_factor_blocked(ctx: &Ctx, a: &DistArray<f64>, nb: usize) -> LuFactors 
             }
             // Multipliers + panel-local update.
             let trailing_panel = (kend - k - 1) as u64;
-            ctx.add_flops((n - k - 1) as u64 * flops::DIV
-                + 2 * (n - k - 1) as u64 * trailing_panel);
+            ctx.add_flops(
+                (n - k - 1) as u64 * flops::DIV + 2 * (n - k - 1) as u64 * trailing_panel,
+            );
             ctx.busy(|| {
                 let s = lu.as_mut_slice();
                 for i in k + 1..n {
@@ -251,7 +252,13 @@ pub fn verify(a: &DistArray<f64>, b: &DistArray<f64>, x: &DistArray<f64>, tol: f
     for j in 0..r {
         let bj: Vec<f64> = (0..n).map(|i| b.as_slice()[i * r + j]).collect();
         let xj: Vec<f64> = (0..n).map(|i| x.as_slice()[i * r + j]).collect();
-        worst = worst.max(crate::reference::residual_dense(a.as_slice(), &xj, &bj, n, n));
+        worst = worst.max(crate::reference::residual_dense(
+            a.as_slice(),
+            &xj,
+            &bj,
+            n,
+            n,
+        ));
     }
     Verify::check("lu residual", worst, tol)
 }
@@ -314,7 +321,9 @@ mod tests {
         let _ = lu_factor(&ctx, &a);
         let measured = ctx.instr.flops() - flops0;
         // Sum over k of [4(n-k-1) + 2(n-k-1)^2] = 2/3 n^3 + lower order.
-        let expect: u64 = (0..n).map(|k| 4 * (n - k - 1) + 2 * (n - k - 1).pow(2)).sum();
+        let expect: u64 = (0..n)
+            .map(|k| 4 * (n - k - 1) + 2 * (n - k - 1).pow(2))
+            .sum();
         assert_eq!(measured, expect);
         let lead = 2.0 * (n as f64).powi(3) / 3.0;
         assert!((measured as f64 - lead).abs() / lead < 0.2);

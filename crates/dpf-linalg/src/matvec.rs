@@ -91,8 +91,20 @@ pub fn matvec_basic<T: Num>(ctx: &Ctx, a: &DistArray<T>, x: &DistArray<T>) -> Di
 /// two versions are directly comparable in the version-axis benches.
 pub fn matvec_library<T: Num>(ctx: &Ctx, a: &DistArray<T>, x: &DistArray<T>) -> DistArray<T> {
     let (ni, n, m) = dims(a, x);
-    ctx.record_comm(dpf_core::CommPattern::Broadcast, 2, 3, (ni * n * m) as u64, 0);
-    ctx.record_comm(dpf_core::CommPattern::Reduction, 3, 2, (ni * n * m) as u64, 0);
+    ctx.record_comm(
+        dpf_core::CommPattern::Broadcast,
+        2,
+        3,
+        (ni * n * m) as u64,
+        0,
+    );
+    ctx.record_comm(
+        dpf_core::CommPattern::Reduction,
+        3,
+        2,
+        (ni * n * m) as u64,
+        0,
+    );
     ctx.add_flops((ni * n * m) as u64 * (T::DTYPE.mul_flops() + T::DTYPE.add_flops()));
     let mut y = DistArray::<T>::zeros(ctx, &[ni, n], x.layout().axes());
     ctx.busy(|| {
@@ -153,20 +165,15 @@ fn pseudo(seed: usize) -> f64 {
 }
 
 /// Verify a result against the serial reference.
-pub fn verify(
-    a: &DistArray<f64>,
-    x: &DistArray<f64>,
-    y: &DistArray<f64>,
-    tol: f64,
-) -> Verify {
+pub fn verify(a: &DistArray<f64>, x: &DistArray<f64>, y: &DistArray<f64>, tol: f64) -> Verify {
     let (ni, n, m) = dims(a, x);
     let mut worst = 0.0f64;
     for inst in 0..ni {
         let ar = &a.as_slice()[inst * n * m..(inst + 1) * n * m];
         let xr = &x.as_slice()[inst * m..(inst + 1) * m];
         let want = crate::reference::matvec_dense(ar, xr, n, m);
-        for r in 0..n {
-            worst = worst.max((y.as_slice()[inst * n + r] - want[r]).abs());
+        for (r, &w) in want.iter().enumerate() {
+            worst = worst.max((y.as_slice()[inst * n + r] - w).abs());
         }
     }
     Verify::check("matvec residual", worst, tol)
@@ -189,7 +196,10 @@ pub fn workload_c64(
     })
     .declare(ctx);
     let x = DistArray::<C64>::from_fn(ctx, &[ni, m], &layout.vector_axes(), |idx| {
-        C64::new(pseudo(idx[0] * 17 + idx[1] * 3 + 1), pseudo(idx[0] * 17 + idx[1] * 3 + 2))
+        C64::new(
+            pseudo(idx[0] * 17 + idx[1] * 3 + 1),
+            pseudo(idx[0] * 17 + idx[1] * 3 + 2),
+        )
     })
     .declare(ctx);
     (a, x)

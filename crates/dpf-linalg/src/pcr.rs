@@ -39,7 +39,11 @@ pub fn pcr_solve<T: Field>(ctx: &Ctx, sys: &Tridiag<T>) -> DistArray<T> {
     assert!(rank >= 1);
     let n = shape[rank - 1];
     for a in [&sys.lower, &sys.upper, &sys.rhs] {
-        assert_eq!(a.shape(), &shape[..], "tridiagonal arrays must agree in shape");
+        assert_eq!(
+            a.shape(),
+            &shape[..],
+            "tridiagonal arrays must agree in shape"
+        );
     }
     // Pack (l, d, u, r) on a leading serial axis: one CSHIFT moves all
     // four — the paper's "direct" local access on the quad axis.
@@ -76,19 +80,28 @@ pub fn pcr_solve<T: Field>(ctx: &Ctx, sys: &Tridiag<T>) -> DistArray<T> {
             for b in 0..batch {
                 for i in 0..n {
                     let e = b * n + i;
-                    let (l, d, u, r) =
-                        (p[e], p[lanes + e], p[2 * lanes + e], p[3 * lanes + e]);
+                    let (l, d, u, r) = (p[e], p[lanes + e], p[2 * lanes + e], p[3 * lanes + e]);
                     // Neighbours at distance `dist`, zero past the ends
                     // (cshift wraps; we conditionalize like the CMF codes).
                     let has_lo = i as isize - dist >= 0;
                     let has_hi = i as isize + dist < n as isize;
                     let (llo, dlo, ulo, rlo) = if has_lo {
-                        (below[e], below[lanes + e], below[2 * lanes + e], below[3 * lanes + e])
+                        (
+                            below[e],
+                            below[lanes + e],
+                            below[2 * lanes + e],
+                            below[3 * lanes + e],
+                        )
                     } else {
                         (T::zero(), T::one(), T::zero(), T::zero())
                     };
                     let (lhi, dhi, uhi, rhi) = if has_hi {
-                        (above[e], above[lanes + e], above[2 * lanes + e], above[3 * lanes + e])
+                        (
+                            above[e],
+                            above[lanes + e],
+                            above[2 * lanes + e],
+                            above[3 * lanes + e],
+                        )
                     } else {
                         (T::zero(), T::one(), T::zero(), T::zero())
                     };
@@ -140,11 +153,14 @@ pub fn workload(ctx: &Ctx, shape: &[usize], axes: &[AxisKind]) -> Tridiag {
         }
     })
     .declare(ctx);
-    let rhs = DistArray::<f64>::from_fn(ctx, shape, axes, |idx| {
-        pseudo(idx[rank - 1] * 13 + 5)
-    })
-    .declare(ctx);
-    Tridiag { lower, diag, upper, rhs }
+    let rhs = DistArray::<f64>::from_fn(ctx, shape, axes, |idx| pseudo(idx[rank - 1] * 13 + 5))
+        .declare(ctx);
+    Tridiag {
+        lower,
+        diag,
+        upper,
+        rhs,
+    }
 }
 
 fn pseudo(seed: usize) -> f64 {
@@ -161,7 +177,7 @@ pub fn residual_verify<T: Field>(sys: &Tridiag<T>, x: &DistArray<T>, tol: f64) -
     let mut worst = 0.0f64;
     for b in 0..batch {
         for i in 0..n {
-        let e = b * n + i;
+            let e = b * n + i;
             let mut ax = sys.diag.as_slice()[e] * x.as_slice()[e];
             if i > 0 {
                 ax += sys.lower.as_slice()[e] * x.as_slice()[e - 1];
@@ -202,10 +218,18 @@ pub fn workload_c64(ctx: &Ctx, shape: &[usize], axes: &[AxisKind]) -> Tridiag<dp
     })
     .declare(ctx);
     let rhs = DistArray::<C64>::from_fn(ctx, shape, axes, |idx| {
-        C64::new(pseudo(idx[rank - 1] * 13 + 5), pseudo(idx[rank - 1] * 13 + 6))
+        C64::new(
+            pseudo(idx[rank - 1] * 13 + 5),
+            pseudo(idx[rank - 1] * 13 + 6),
+        )
     })
     .declare(ctx);
-    Tridiag { lower, diag, upper, rhs }
+    Tridiag {
+        lower,
+        diag,
+        upper,
+        rhs,
+    }
 }
 
 /// Verify every lane against the Thomas algorithm.
@@ -220,8 +244,8 @@ pub fn verify(sys: &Tridiag, x: &DistArray<f64>, tol: f64) -> Verify {
         let su = &sys.upper.as_slice()[b * n..(b + 1) * n];
         let sr = &sys.rhs.as_slice()[b * n..(b + 1) * n];
         let want = crate::reference::thomas(sl, sd, su, sr);
-        for i in 0..n {
-            worst = worst.max((x.as_slice()[b * n + i] - want[i]).abs());
+        for (i, &w) in want.iter().enumerate() {
+            worst = worst.max((x.as_slice()[b * n + i] - w).abs());
         }
     }
     Verify::check("pcr error", worst, tol)

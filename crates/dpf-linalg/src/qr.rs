@@ -56,7 +56,7 @@ pub fn qr_factor(ctx: &Ctx, a: &DistArray<f64>) -> QrFactors {
             // normalized to unit head.
             let v0 = s[k * n + k] - alpha;
             s[k * n + k] = alpha; // R diagonal
-            // Store v (below diagonal) with unit head implicit: v_i / v0.
+                                  // Store v (below diagonal) with unit head implicit: v_i / v0.
             for i in k + 1..m {
                 s[i * n + k] /= v0;
             }

@@ -117,9 +117,13 @@ mod tests {
     #[test]
     fn thomas_matches_dense_solver() {
         let n = 6;
-        let lower: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -1.0 + 0.1 * i as f64 }).collect();
+        let lower: Vec<f64> = (0..n)
+            .map(|i| if i == 0 { 0.0 } else { -1.0 + 0.1 * i as f64 })
+            .collect();
         let diag: Vec<f64> = (0..n).map(|i| 4.0 + 0.2 * i as f64).collect();
-        let upper: Vec<f64> = (0..n).map(|i| if i + 1 == n { 0.0 } else { -1.2 }).collect();
+        let upper: Vec<f64> = (0..n)
+            .map(|i| if i + 1 == n { 0.0 } else { -1.2 })
+            .collect();
         let rhs: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
         // Assemble dense.
         let mut a = vec![0.0; n * n];

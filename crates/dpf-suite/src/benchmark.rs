@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn version_order_matches_table1_columns() {
         let names: Vec<&str> = Version::ALL.iter().map(|v| v.name()).collect();
-        assert_eq!(names, vec!["basic", "optimized", "library", "CMSSL", "C/DPEAC"]);
+        assert_eq!(
+            names,
+            vec!["basic", "optimized", "library", "CMSSL", "C/DPEAC"]
+        );
     }
 
     #[test]

@@ -27,10 +27,9 @@ pub fn run_gather(ctx: &Ctx, size: Size) -> RunOutput {
     let n = n_for(size);
     let src = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| i[0] as f64).declare(ctx);
     // Permutation-style indices (collision-free)...
-    let idx = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], move |i| {
-        ((i[0] * 7919 + 13) % n) as i32
-    })
-    .declare(ctx);
+    let idx =
+        DistArray::<i32>::from_fn(ctx, &[n], &[PAR], move |i| ((i[0] * 7919 + 13) % n) as i32)
+            .declare(ctx);
     let out = comm::gather(ctx, &src, &idx);
     // ...and a hot-spot set (every index in one small region).
     let hot = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], move |i| (i[0] % 64) as i32);
@@ -53,10 +52,9 @@ pub fn run_gather(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn run_scatter(ctx: &Ctx, size: Size) -> RunOutput {
     let n = n_for(size);
     let src = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| i[0] as f64).declare(ctx);
-    let idx = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], move |i| {
-        ((i[0] * 7919 + 13) % n) as i32
-    })
-    .declare(ctx);
+    let idx =
+        DistArray::<i32>::from_fn(ctx, &[n], &[PAR], move |i| ((i[0] * 7919 + 13) % n) as i32)
+            .declare(ctx);
     let mut dst = DistArray::<f64>::zeros(ctx, &[n], &[PAR]).declare(ctx);
     comm::scatter(ctx, &mut dst, &idx, &src);
     let mut worst = 0.0f64;
@@ -157,7 +155,11 @@ mod tests {
 
     #[test]
     fn non_reduction_benchmarks_charge_no_flops() {
-        for f in [run_gather as fn(&Ctx, Size) -> RunOutput, run_scatter, run_transpose] {
+        for f in [
+            run_gather as fn(&Ctx, Size) -> RunOutput,
+            run_scatter,
+            run_transpose,
+        ] {
             let ctx = ctx();
             let _ = f(&ctx, Size::Small);
             // scatter's combining hot-spot pass legitimately adds; the

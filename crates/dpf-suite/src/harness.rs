@@ -32,12 +32,7 @@ impl HarnessResult {
 }
 
 /// Run one version of one benchmark on the given machine and size.
-pub fn run(
-    entry: &BenchEntry,
-    version: Version,
-    machine: &Machine,
-    size: Size,
-) -> HarnessResult {
+pub fn run(entry: &BenchEntry, version: Version, machine: &Machine, size: Size) -> HarnessResult {
     let variant = entry
         .variant(version)
         .unwrap_or_else(|| panic!("{} has no {} variant", entry.name, version));

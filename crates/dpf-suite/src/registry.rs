@@ -307,11 +307,15 @@ pub fn registry() -> Vec<BenchEntry> {
             patterns: &[P::Sort, P::Scan, P::Scatter, P::Gather],
             techniques: &[
                 ("Gather", "FORALL w/ indirect addressing"),
-                ("Scatter w/ combine", "CMF send add or FORALL w/ indirect addressing"),
+                (
+                    "Scatter w/ combine",
+                    "CMF send add or FORALL w/ indirect addressing",
+                ),
             ],
             flops_formula: "270 per particle",
             memory_formula: "s: 12nx³ + 88np",
-            comm_formula: "81 Scans, 27 Scatters w/ add, 27 1-D to 3-D Scatters, 27 3-D to 1-D Gathers",
+            comm_formula:
+                "81 Scans, 27 Scatters w/ add, 27 1-D to 3-D Scatters, 27 3-D to 1-D Gathers",
             variants: variants!(Basic => r::pic_gather_scatter),
         },
         BenchEntry {
@@ -484,8 +488,14 @@ mod tests {
     fn registry_has_all_32_benchmarks() {
         let reg = registry();
         assert_eq!(reg.len(), 32);
-        let comm = reg.iter().filter(|e| e.group == Group::Communication).count();
-        let la = reg.iter().filter(|e| e.group == Group::LinearAlgebra).count();
+        let comm = reg
+            .iter()
+            .filter(|e| e.group == Group::Communication)
+            .count();
+        let la = reg
+            .iter()
+            .filter(|e| e.group == Group::LinearAlgebra)
+            .count();
         let app = reg.iter().filter(|e| e.group == Group::Application).count();
         assert_eq!((comm, la, app), (4, 8, 20));
     }

@@ -222,7 +222,9 @@ pub fn fft(ctx: &Ctx, size: Size) -> RunOutput {
     for shape in &shapes {
         let a = fb::workload(ctx, shape);
         points += a.len() as u64;
-        let (_, v) = ctx.phase(&format!("fft:{}d", shape.len()), || fb::run_roundtrip(ctx, &a));
+        let (_, v) = ctx.phase(&format!("fft:{}d", shape.len()), || {
+            fb::run_roundtrip(ctx, &a)
+        });
         if !v.is_pass() {
             worst = v;
         }
@@ -244,9 +246,19 @@ pub fn fft(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn boson(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::boson as b;
     let p = match size {
-        Size::Small => b::Params { nt: 4, nx: 8, sweeps: 3, ..Default::default() },
+        Size::Small => b::Params {
+            nt: 4,
+            nx: 8,
+            sweeps: 3,
+            ..Default::default()
+        },
         Size::Medium => b::Params::default(),
-        Size::Large => b::Params { nt: 16, nx: 32, sweeps: 20, ..Default::default() },
+        Size::Large => b::Params {
+            nt: 16,
+            nx: 32,
+            sweeps: 20,
+            ..Default::default()
+        },
     };
     let (_, verify) = b::run(ctx, &p);
     RunOutput {
@@ -261,9 +273,17 @@ pub fn boson(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn diff_1d(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::diff_1d as d;
     let p = match size {
-        Size::Small => d::Params { nx: 64, steps: 4, ..Default::default() },
+        Size::Small => d::Params {
+            nx: 64,
+            steps: 4,
+            ..Default::default()
+        },
         Size::Medium => d::Params::default(),
-        Size::Large => d::Params { nx: 1 << 16, steps: 16, ..Default::default() },
+        Size::Large => d::Params {
+            nx: 1 << 16,
+            steps: 16,
+            ..Default::default()
+        },
     };
     let (_, verify) = d::run(ctx, &p);
     RunOutput {
@@ -278,9 +298,17 @@ pub fn diff_1d(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn diff_2d(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::diff_2d as d;
     let p = match size {
-        Size::Small => d::Params { nx: 16, steps: 3, ..Default::default() },
+        Size::Small => d::Params {
+            nx: 16,
+            steps: 3,
+            ..Default::default()
+        },
         Size::Medium => d::Params::default(),
-        Size::Large => d::Params { nx: 512, steps: 10, ..Default::default() },
+        Size::Large => d::Params {
+            nx: 512,
+            steps: 10,
+            ..Default::default()
+        },
     };
     let (_, verify) = d::run(ctx, &p);
     RunOutput {
@@ -295,9 +323,17 @@ pub fn diff_2d(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn diff_3d(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::diff_3d as d;
     let p = match size {
-        Size::Small => d::Params { n: 8, steps: 3, ..Default::default() },
+        Size::Small => d::Params {
+            n: 8,
+            steps: 3,
+            ..Default::default()
+        },
         Size::Medium => d::Params::default(),
-        Size::Large => d::Params { n: 96, steps: 20, ..Default::default() },
+        Size::Large => d::Params {
+            n: 96,
+            steps: 20,
+            ..Default::default()
+        },
     };
     let (_, verify) = d::run(ctx, &p);
     RunOutput {
@@ -312,9 +348,17 @@ pub fn diff_3d(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn diff_3d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::diff_3d as d;
     let p = match size {
-        Size::Small => d::Params { n: 8, steps: 3, ..Default::default() },
+        Size::Small => d::Params {
+            n: 8,
+            steps: 3,
+            ..Default::default()
+        },
         Size::Medium => d::Params::default(),
-        Size::Large => d::Params { n: 96, steps: 20, ..Default::default() },
+        Size::Large => d::Params {
+            n: 96,
+            steps: 20,
+            ..Default::default()
+        },
     };
     let (_, verify) = d::run_optimized(ctx, &p);
     RunOutput {
@@ -329,9 +373,16 @@ pub fn diff_3d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn ellip_2d(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::ellip_2d as e;
     let p = match size {
-        Size::Small => e::Params { n: 16, ..Default::default() },
+        Size::Small => e::Params {
+            n: 16,
+            ..Default::default()
+        },
         Size::Medium => e::Params::default(),
-        Size::Large => e::Params { n: 192, max_iter: 4000, ..Default::default() },
+        Size::Large => e::Params {
+            n: 192,
+            max_iter: 4000,
+            ..Default::default()
+        },
     };
     let (_, iters, verify) = e::run(ctx, &p);
     RunOutput {
@@ -346,9 +397,16 @@ pub fn ellip_2d(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn fem_3d(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::fem_3d as f;
     let p = match size {
-        Size::Small => f::Params { nv_side: 4, ..Default::default() },
+        Size::Small => f::Params {
+            nv_side: 4,
+            ..Default::default()
+        },
         Size::Medium => f::Params::default(),
-        Size::Large => f::Params { nv_side: 14, max_iter: 1500, ..Default::default() },
+        Size::Large => f::Params {
+            nv_side: 14,
+            max_iter: 1500,
+            ..Default::default()
+        },
     };
     let (_, iters, verify) = f::run(ctx, &p);
     RunOutput {
@@ -363,9 +421,17 @@ pub fn fem_3d(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn fermion(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::fermion as f;
     let p = match size {
-        Size::Small => f::Params { sites: 16, l: 4, chain: 2 },
+        Size::Small => f::Params {
+            sites: 16,
+            l: 4,
+            chain: 2,
+        },
         Size::Medium => f::Params::default(),
-        Size::Large => f::Params { sites: 1024, l: 12, chain: 8 },
+        Size::Large => f::Params {
+            sites: 1024,
+            l: 12,
+            chain: 8,
+        },
     };
     let (_, verify) = f::run(ctx, &p);
     RunOutput {
@@ -380,9 +446,17 @@ pub fn fermion(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn fermion_optimized(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::fermion as f;
     let p = match size {
-        Size::Small => f::Params { sites: 16, l: 4, chain: 2 },
+        Size::Small => f::Params {
+            sites: 16,
+            l: 4,
+            chain: 2,
+        },
         Size::Medium => f::Params::default(),
-        Size::Large => f::Params { sites: 1024, l: 12, chain: 8 },
+        Size::Large => f::Params {
+            sites: 1024,
+            l: 12,
+            chain: 8,
+        },
     };
     let (_, verify) = f::run_optimized(ctx, &p);
     RunOutput {
@@ -397,9 +471,19 @@ pub fn fermion_optimized(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn gmo(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::gmo as g;
     let p = match size {
-        Size::Small => g::Params { ns: 64, ntr: 16, t0: 20.0, ..Default::default() },
+        Size::Small => g::Params {
+            ns: 64,
+            ntr: 16,
+            t0: 20.0,
+            ..Default::default()
+        },
         Size::Medium => g::Params::default(),
-        Size::Large => g::Params { ns: 2048, ntr: 512, t0: 512.0, ..Default::default() },
+        Size::Large => g::Params {
+            ns: 2048,
+            ntr: 512,
+            t0: 512.0,
+            ..Default::default()
+        },
     };
     let (_, verify) = g::run(ctx, &p);
     RunOutput {
@@ -414,9 +498,19 @@ pub fn gmo(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn ks_spectral(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::ks_spectral as k;
     let p = match size {
-        Size::Small => k::Params { ne: 2, nx: 32, steps: 5, ..Default::default() },
+        Size::Small => k::Params {
+            ne: 2,
+            nx: 32,
+            steps: 5,
+            ..Default::default()
+        },
         Size::Medium => k::Params::default(),
-        Size::Large => k::Params { ne: 8, nx: 512, steps: 50, ..Default::default() },
+        Size::Large => k::Params {
+            ne: 8,
+            nx: 512,
+            steps: 50,
+            ..Default::default()
+        },
     };
     let (_, verify) = k::run(ctx, &p);
     RunOutput {
@@ -431,9 +525,17 @@ pub fn ks_spectral(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn md(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::md as m;
     let p = match size {
-        Size::Small => m::Params { side: 2, steps: 5, ..Default::default() },
+        Size::Small => m::Params {
+            side: 2,
+            steps: 5,
+            ..Default::default()
+        },
         Size::Medium => m::Params::default(),
-        Size::Large => m::Params { side: 6, steps: 20, ..Default::default() },
+        Size::Large => m::Params {
+            side: 6,
+            steps: 20,
+            ..Default::default()
+        },
     };
     let (_, verify) = m::run(ctx, &p);
     RunOutput {
@@ -448,9 +550,19 @@ pub fn md(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn mdcell(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::mdcell as m;
     let p = match size {
-        Size::Small => m::Params { nc: 3, steps: 2, ..Default::default() },
+        Size::Small => m::Params {
+            nc: 3,
+            steps: 2,
+            ..Default::default()
+        },
         Size::Medium => m::Params::default(),
-        Size::Large => m::Params { nc: 8, cap: 8, fill: 3.0, steps: 8, ..Default::default() },
+        Size::Large => m::Params {
+            nc: 8,
+            cap: 8,
+            fill: 3.0,
+            steps: 8,
+            ..Default::default()
+        },
     };
     let (_, verify) = m::run(ctx, &p);
     RunOutput {
@@ -492,9 +604,19 @@ fn n_body_impl(ctx: &Ctx, size: Size, variant: dpf_apps::n_body::Variant) -> Run
 pub fn pic_simple(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::pic_simple as p;
     let pars = match size {
-        Size::Small => p::Params { np: 128, ng: 8, steps: 3, ..Default::default() },
+        Size::Small => p::Params {
+            np: 128,
+            ng: 8,
+            steps: 3,
+            ..Default::default()
+        },
         Size::Medium => p::Params::default(),
-        Size::Large => p::Params { np: 1 << 14, ng: 128, steps: 10, ..Default::default() },
+        Size::Large => p::Params {
+            np: 1 << 14,
+            ng: 128,
+            steps: 10,
+            ..Default::default()
+        },
     };
     let (_, verify) = p::run(ctx, &pars);
     RunOutput {
@@ -509,9 +631,17 @@ pub fn pic_simple(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn pic_gather_scatter(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::pic_gather_scatter as p;
     let pars = match size {
-        Size::Small => p::Params { np: 128, ng: 4, steps: 2 },
+        Size::Small => p::Params {
+            np: 128,
+            ng: 4,
+            steps: 2,
+        },
         Size::Medium => p::Params::default(),
-        Size::Large => p::Params { np: 1 << 16, ng: 16, steps: 8 },
+        Size::Large => p::Params {
+            np: 1 << 16,
+            ng: 16,
+            steps: 8,
+        },
     };
     let (_, verify) = p::run(ctx, &pars);
     RunOutput {
@@ -526,9 +656,16 @@ pub fn pic_gather_scatter(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn qcd_kernel(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::qcd_kernel as q;
     let p = match size {
-        Size::Small => q::Params { n: 2, ..Default::default() },
+        Size::Small => q::Params {
+            n: 2,
+            ..Default::default()
+        },
         Size::Medium => q::Params::default(),
-        Size::Large => q::Params { n: 6, max_iter: 400, ..Default::default() },
+        Size::Large => q::Params {
+            n: 6,
+            max_iter: 400,
+            ..Default::default()
+        },
     };
     let (_, iters, verify) = q::run(ctx, &p);
     RunOutput {
@@ -543,9 +680,17 @@ pub fn qcd_kernel(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn qmc(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::qmc as q;
     let p = match size {
-        Size::Small => q::Params { n_walkers: 512, blocks: 12, ..Default::default() },
+        Size::Small => q::Params {
+            n_walkers: 512,
+            blocks: 12,
+            ..Default::default()
+        },
         Size::Medium => q::Params::default(),
-        Size::Large => q::Params { n_walkers: 8192, blocks: 60, ..Default::default() },
+        Size::Large => q::Params {
+            n_walkers: 8192,
+            blocks: 60,
+            ..Default::default()
+        },
     };
     let blocks = p.blocks;
     let walkers = p.n_walkers;
@@ -562,9 +707,19 @@ pub fn qmc(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn qptransport(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::qptransport as q;
     let p = match size {
-        Size::Small => q::Params { n_src: 8, n_dst: 6, n_edges: 64, iters: 40 },
+        Size::Small => q::Params {
+            n_src: 8,
+            n_dst: 6,
+            n_edges: 64,
+            iters: 40,
+        },
         Size::Medium => q::Params::default(),
-        Size::Large => q::Params { n_src: 128, n_dst: 96, n_edges: 1 << 14, iters: 120 },
+        Size::Large => q::Params {
+            n_src: 128,
+            n_dst: 96,
+            n_edges: 1 << 14,
+            iters: 120,
+        },
     };
     let iters = p.iters;
     let edges = p.n_edges;
@@ -581,9 +736,17 @@ pub fn qptransport(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn rp(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::rp as r;
     let p = match size {
-        Size::Small => r::Params { n: 6, max_iter: 200, ..Default::default() },
+        Size::Small => r::Params {
+            n: 6,
+            max_iter: 200,
+            ..Default::default()
+        },
         Size::Medium => r::Params::default(),
-        Size::Large => r::Params { n: 32, max_iter: 1500, ..Default::default() },
+        Size::Large => r::Params {
+            n: 32,
+            max_iter: 1500,
+            ..Default::default()
+        },
     };
     let (_, iters, verify) = r::run(ctx, &p);
     RunOutput {
@@ -598,9 +761,17 @@ pub fn rp(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn step4(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::step4 as s;
     let p = match size {
-        Size::Small => s::Params { n: 16, steps: 3, ..Default::default() },
+        Size::Small => s::Params {
+            n: 16,
+            steps: 3,
+            ..Default::default()
+        },
         Size::Medium => s::Params::default(),
-        Size::Large => s::Params { n: 256, steps: 30, ..Default::default() },
+        Size::Large => s::Params {
+            n: 256,
+            steps: 30,
+            ..Default::default()
+        },
     };
     let (_, verify) = s::run(ctx, &p);
     RunOutput {
@@ -615,9 +786,17 @@ pub fn step4(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn step4_optimized(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::step4 as s4;
     let p = match size {
-        Size::Small => s4::Params { n: 16, steps: 3, ..Default::default() },
+        Size::Small => s4::Params {
+            n: 16,
+            steps: 3,
+            ..Default::default()
+        },
         Size::Medium => s4::Params::default(),
-        Size::Large => s4::Params { n: 256, steps: 30, ..Default::default() },
+        Size::Large => s4::Params {
+            n: 256,
+            steps: 30,
+            ..Default::default()
+        },
     };
     let (_, verify) = s4::run_optimized(ctx, &p);
     RunOutput {
@@ -632,9 +811,17 @@ pub fn step4_optimized(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn wave_1d(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::wave_1d as w;
     let p = match size {
-        Size::Small => w::Params { nx: 64, steps: 10, ..Default::default() },
+        Size::Small => w::Params {
+            nx: 64,
+            steps: 10,
+            ..Default::default()
+        },
         Size::Medium => w::Params::default(),
-        Size::Large => w::Params { nx: 1 << 14, steps: 100, ..Default::default() },
+        Size::Large => w::Params {
+            nx: 1 << 14,
+            steps: 100,
+            ..Default::default()
+        },
     };
     let (_, verify) = w::run(ctx, &p);
     RunOutput {
@@ -649,9 +836,17 @@ pub fn wave_1d(ctx: &Ctx, size: Size) -> RunOutput {
 pub fn wave_1d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
     use dpf_apps::wave_1d as w;
     let p = match size {
-        Size::Small => w::Params { nx: 64, steps: 10, ..Default::default() },
+        Size::Small => w::Params {
+            nx: 64,
+            steps: 10,
+            ..Default::default()
+        },
         Size::Medium => w::Params::default(),
-        Size::Large => w::Params { nx: 1 << 14, steps: 100, ..Default::default() },
+        Size::Large => w::Params {
+            nx: 1 << 14,
+            steps: 100,
+            ..Default::default()
+        },
     };
     let mut st = w::workload(ctx, &p);
     for _ in 0..p.steps {

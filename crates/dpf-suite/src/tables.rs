@@ -27,7 +27,13 @@ pub fn table1() -> String {
         "Benchmark Name", "basic", "optimized", "library", "CMSSL", "C/DPEAC"
     );
     for e in registry() {
-        let mark = |v: Version| if e.paper_versions.contains(&v) { "x" } else { "" };
+        let mark = |v: Version| {
+            if e.paper_versions.contains(&v) {
+                "x"
+            } else {
+                ""
+            }
+        };
         let _ = writeln!(
             s,
             "{:<20} {:>6} {:>10} {:>8} {:>6} {:>8}",
@@ -55,7 +61,11 @@ pub fn table5() -> String {
 fn layouts_table(group: Group, title: &str) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "{:<20} Arrays (\":serial\" local, \":\" parallel)", "Code");
+    let _ = writeln!(
+        s,
+        "{:<20} Arrays (\":serial\" local, \":\" parallel)",
+        "Code"
+    );
     for e in registry().iter().filter(|e| e.group == group) {
         let _ = writeln!(s, "{:<20} {}", e.name, e.layouts.join("  "));
     }
@@ -123,11 +133,12 @@ pub fn ratio_table(group: Group, machine: &Machine, size: Size, title: &str) -> 
     );
     for e in registry().iter().filter(|e| e.group == group) {
         let res = harness::run_basic(e, machine, size);
-        let flops_per_iter = if res.output.iterations > 0 {
-            res.report.perf.flops / res.output.iterations
-        } else {
-            res.report.perf.flops
-        };
+        let flops_per_iter = res
+            .report
+            .perf
+            .flops
+            .checked_div(res.output.iterations)
+            .unwrap_or(res.report.perf.flops);
         let _ = writeln!(
             s,
             "{:<20} {:>14} {:>14} {:>10.1} {:>9}  {:<34} {}",
@@ -169,12 +180,21 @@ pub fn table8() -> String {
     let mut rows: BTreeMap<&str, Vec<(String, &str)>> = BTreeMap::new();
     for e in registry() {
         for &(pattern, technique) in e.techniques {
-            rows.entry(pattern).or_default().push((e.name.to_string(), technique));
+            rows.entry(pattern)
+                .or_default()
+                .push((e.name.to_string(), technique));
         }
     }
     let mut s = String::new();
-    let _ = writeln!(s, "Table 8. Implementation techniques for stencil, gather/scatter and AABC communication");
-    let _ = writeln!(s, "{:<22} {:<22} Implementation Technique", "Communication Pattern", "Code");
+    let _ = writeln!(
+        s,
+        "Table 8. Implementation techniques for stencil, gather/scatter and AABC communication"
+    );
+    let _ = writeln!(
+        s,
+        "{:<22} {:<22} Implementation Technique",
+        "Communication Pattern", "Code"
+    );
     for (pattern, codes) in rows {
         for (code, technique) in codes {
             let _ = writeln!(s, "{:<22} {:<22} {}", pattern, code, technique);
@@ -197,7 +217,14 @@ pub fn perf_report(machine: &Machine, size: Size) -> String {
     let _ = writeln!(
         s,
         "{:<20} {:>12} {:>11} {:>11} {:>11} {:>11} {:>13} {:>8}",
-        "benchmark", "FLOPs", "busy (s)", "elapsed(s)", "busy MF/s", "elap MF/s", "modeled(s)", "verify"
+        "benchmark",
+        "FLOPs",
+        "busy (s)",
+        "elapsed(s)",
+        "busy MF/s",
+        "elap MF/s",
+        "modeled(s)",
+        "verify"
     );
     for e in registry() {
         let res = harness::run_basic(&e, machine, size);
@@ -213,7 +240,11 @@ pub fn perf_report(machine: &Machine, size: Size) -> String {
             p.busy_mflops(),
             p.elapsed_mflops(),
             modeled.as_secs_f64(),
-            if res.report.verify.is_pass() { "PASS" } else { "FAIL" }
+            if res.report.verify.is_pass() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         );
     }
     s
@@ -301,8 +332,15 @@ pub fn matvec_layouts_table(machine: &Machine) -> String {
 pub fn efficiency_table(machine: &Machine, size: Size) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Arithmetic efficiency of the linear-algebra codes");
-    let _ = writeln!(s, "{:<20} {:>12} {:>14}", "code", "busy MF/s", "efficiency (%)");
-    for e in registry().iter().filter(|e| e.group == Group::LinearAlgebra) {
+    let _ = writeln!(
+        s,
+        "{:<20} {:>12} {:>14}",
+        "code", "busy MF/s", "efficiency (%)"
+    );
+    for e in registry()
+        .iter()
+        .filter(|e| e.group == Group::LinearAlgebra)
+    {
         let res = harness::run_basic(e, machine, size);
         let _ = writeln!(
             s,

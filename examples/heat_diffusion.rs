@@ -13,7 +13,10 @@ use dpf::core::{Ctx, Machine};
 
 fn main() {
     let machine = Machine::cm5(32);
-    println!("heat diffusion three ways on a {}-processor virtual machine\n", machine.nprocs);
+    println!(
+        "heat diffusion three ways on a {}-processor virtual machine\n",
+        machine.nprocs
+    );
     println!(
         "{:<28} {:>12} {:>12} {:>12} {:>10}",
         "method", "FLOPs", "comm calls", "off-proc B", "verify"
@@ -21,19 +24,31 @@ fn main() {
 
     // 1-D: Crank–Nicolson + parallel cyclic reduction.
     let ctx = Ctx::new(machine.clone());
-    let p1 = diff_1d::Params { nx: 4096, steps: 32, lambda: 0.4 };
+    let p1 = diff_1d::Params {
+        nx: 4096,
+        steps: 32,
+        lambda: 0.4,
+    };
     let (_, v1) = diff_1d::run(&ctx, &p1);
     row("diff-1D (implicit, PCR)", &ctx, &v1);
 
     // 2-D: alternating-direction implicit, transposing between sweeps.
     let ctx = Ctx::new(machine.clone());
-    let p2 = diff_2d::Params { nx: 128, steps: 16, lambda: 0.3 };
+    let p2 = diff_2d::Params {
+        nx: 128,
+        steps: 16,
+        lambda: 0.3,
+    };
     let (_, v2) = diff_2d::run(&ctx, &p2);
     row("diff-2D (ADI + AAPC)", &ctx, &v2);
 
     // 3-D: explicit 7-point stencil.
     let ctx = Ctx::new(machine.clone());
-    let p3 = diff_3d::Params { n: 48, steps: 32, lambda: 0.15 };
+    let p3 = diff_3d::Params {
+        n: 48,
+        steps: 32,
+        lambda: 0.15,
+    };
     let (_, v3) = diff_3d::run(&ctx, &p3);
     row("diff-3D (explicit stencil)", &ctx, &v3);
 

@@ -17,9 +17,17 @@ fn main() {
 
     // --- pic-simple: full field-solve loop --------------------------------
     let ctx = Ctx::new(machine.clone());
-    let p = pic_simple::Params { np: 4096, ng: 64, dt: 0.05, steps: 8 };
+    let p = pic_simple::Params {
+        np: 4096,
+        ng: 64,
+        dt: 0.05,
+        steps: 8,
+    };
     let (_, verify) = pic_simple::run(&ctx, &p);
-    println!("pic-simple: {} particles on a {}x{} grid, {} steps", p.np, p.ng, p.ng, p.steps);
+    println!(
+        "pic-simple: {} particles on a {}x{} grid, {} steps",
+        p.np, p.ng, p.ng, p.steps
+    );
     println!("  verification : {verify}");
     println!("  FLOPs        : {}", ctx.instr.flops());
     for (key, stats) in ctx.instr.comm_snapshot() {
@@ -33,14 +41,17 @@ fn main() {
 
     // --- pic-gather-scatter: the collision-free deposit -------------------
     let ctx = Ctx::new(machine);
-    let p = pic_gather_scatter::Params { np: 4096, ng: 8, steps: 8 };
+    let p = pic_gather_scatter::Params {
+        np: 4096,
+        ng: 8,
+        steps: 8,
+    };
     let (grid, verify) = pic_gather_scatter::run(&ctx, &p);
-    let hottest = grid
-        .as_slice()
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
-    println!("\npic-gather-scatter: {} clustered particles into {}^3 cells, {} rounds", p.np, p.ng, p.steps);
+    let hottest = grid.as_slice().iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\npic-gather-scatter: {} clustered particles into {}^3 cells, {} rounds",
+        p.np, p.ng, p.steps
+    );
     println!("  verification : {verify}");
     println!("  hottest cell : {hottest:.1} units of charge");
     for (key, stats) in ctx.instr.comm_snapshot() {

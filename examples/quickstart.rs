@@ -49,7 +49,10 @@ fn main() {
     println!("\ninstrumentation:");
     println!("  FLOPs charged : {}", ctx.instr.flops());
     println!("  memory (B)    : {}", ctx.instr.declared_bytes());
-    println!("  busy time     : {:.3} ms", ctx.instr.busy_ns() as f64 / 1e6);
+    println!(
+        "  busy time     : {:.3} ms",
+        ctx.instr.busy_ns() as f64 / 1e6
+    );
     println!("  communication :");
     for (key, stats) in ctx.instr.comm_snapshot() {
         println!(

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Run the hot-path benchmark harness and assemble its CRITERION_JSON
+# lines into a machine-readable snapshot (BENCH_1.json at the repo root).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# Each benchmark id has the form <op>/<variant>/<elements>, where variant
+# is `new` (current library path) or `seed` (inline transcription of the
+# pre-optimization implementation — see benches/hotpath.rs). The snapshot
+# groups the two variants per (op, elements) pair and records the
+# seed/new median-time ratio, i.e. the throughput speedup.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cargo bench --bench hotpath 2>&1 | tee /dev/stderr | grep '^CRITERION_JSON ' > "$raw"
+
+python3 - "$raw" "$out" <<'EOF'
+import json, platform, os, subprocess, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+rows = []
+with open(raw_path) as f:
+    for line in f:
+        rows.append(json.loads(line.split(None, 1)[1]))
+
+results = {}
+for r in rows:
+    op, variant, elems = r["id"].split("/")
+    results.setdefault((op, int(elems)), {})[variant] = r
+
+benches = []
+for (op, elems), variants in sorted(results.items()):
+    entry = {"op": op, "elements": elems}
+    for variant, r in sorted(variants.items()):
+        entry[variant] = {
+            "median_ns": r["median_ns"],
+            "min_ns": r["min_ns"],
+            "max_ns": r["max_ns"],
+            "elem_per_sec": r.get("elem_per_sec"),
+        }
+    if "new" in variants and "seed" in variants:
+        entry["speedup_seed_over_new"] = round(
+            variants["seed"]["median_ns"] / variants["new"]["median_ns"], 3
+        )
+    benches.append(entry)
+
+try:
+    rustc = subprocess.run(
+        ["rustc", "--version"], capture_output=True, text=True, check=True
+    ).stdout.strip()
+except Exception:
+    rustc = "unknown"
+
+snapshot = {
+    "harness": "benches/hotpath.rs",
+    "host": {
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "rustc": rustc,
+    },
+    "benches": benches,
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benches)} bench pairs)")
+EOF

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm_patterns-57036541b57049a5.d: tests/comm_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm_patterns-57036541b57049a5.rmeta: tests/comm_patterns.rs Cargo.toml
+
+tests/comm_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_patterns-b44a5e4a6d735d09.d: tests/comm_patterns.rs
+
+/root/repo/target/debug/deps/comm_patterns-b44a5e4a6d735d09: tests/comm_patterns.rs
+
+tests/comm_patterns.rs:

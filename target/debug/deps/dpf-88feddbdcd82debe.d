@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpf-88feddbdcd82debe.d: src/lib.rs
+
+/root/repo/target/debug/deps/dpf-88feddbdcd82debe: src/lib.rs
+
+src/lib.rs:

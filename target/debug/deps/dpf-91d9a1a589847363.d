@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpf-91d9a1a589847363.d: crates/dpf-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf-91d9a1a589847363.rmeta: crates/dpf-cli/src/main.rs Cargo.toml
+
+crates/dpf-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpf-acff30a08f3054d5.d: crates/dpf-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf-acff30a08f3054d5.rmeta: crates/dpf-cli/src/main.rs Cargo.toml
+
+crates/dpf-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpf-cf71e8b4a17ea5be.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdpf-cf71e8b4a17ea5be.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdpf-cf71e8b4a17ea5be.rmeta: src/lib.rs
+
+src/lib.rs:

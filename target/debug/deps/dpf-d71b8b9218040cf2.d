@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpf-d71b8b9218040cf2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf-d71b8b9218040cf2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

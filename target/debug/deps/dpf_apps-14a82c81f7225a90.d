@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/dpf_apps-14a82c81f7225a90.d: crates/dpf-apps/src/lib.rs crates/dpf-apps/src/boson.rs crates/dpf-apps/src/diff_1d.rs crates/dpf-apps/src/diff_2d.rs crates/dpf-apps/src/diff_3d.rs crates/dpf-apps/src/ellip_2d.rs crates/dpf-apps/src/fem_3d.rs crates/dpf-apps/src/fermion.rs crates/dpf-apps/src/gmo.rs crates/dpf-apps/src/ks_spectral.rs crates/dpf-apps/src/md.rs crates/dpf-apps/src/mdcell.rs crates/dpf-apps/src/n_body.rs crates/dpf-apps/src/pic_gather_scatter.rs crates/dpf-apps/src/pic_simple.rs crates/dpf-apps/src/qcd_kernel.rs crates/dpf-apps/src/qmc.rs crates/dpf-apps/src/qptransport.rs crates/dpf-apps/src/rp.rs crates/dpf-apps/src/step4.rs crates/dpf-apps/src/util.rs crates/dpf-apps/src/wave_1d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_apps-14a82c81f7225a90.rmeta: crates/dpf-apps/src/lib.rs crates/dpf-apps/src/boson.rs crates/dpf-apps/src/diff_1d.rs crates/dpf-apps/src/diff_2d.rs crates/dpf-apps/src/diff_3d.rs crates/dpf-apps/src/ellip_2d.rs crates/dpf-apps/src/fem_3d.rs crates/dpf-apps/src/fermion.rs crates/dpf-apps/src/gmo.rs crates/dpf-apps/src/ks_spectral.rs crates/dpf-apps/src/md.rs crates/dpf-apps/src/mdcell.rs crates/dpf-apps/src/n_body.rs crates/dpf-apps/src/pic_gather_scatter.rs crates/dpf-apps/src/pic_simple.rs crates/dpf-apps/src/qcd_kernel.rs crates/dpf-apps/src/qmc.rs crates/dpf-apps/src/qptransport.rs crates/dpf-apps/src/rp.rs crates/dpf-apps/src/step4.rs crates/dpf-apps/src/util.rs crates/dpf-apps/src/wave_1d.rs Cargo.toml
+
+crates/dpf-apps/src/lib.rs:
+crates/dpf-apps/src/boson.rs:
+crates/dpf-apps/src/diff_1d.rs:
+crates/dpf-apps/src/diff_2d.rs:
+crates/dpf-apps/src/diff_3d.rs:
+crates/dpf-apps/src/ellip_2d.rs:
+crates/dpf-apps/src/fem_3d.rs:
+crates/dpf-apps/src/fermion.rs:
+crates/dpf-apps/src/gmo.rs:
+crates/dpf-apps/src/ks_spectral.rs:
+crates/dpf-apps/src/md.rs:
+crates/dpf-apps/src/mdcell.rs:
+crates/dpf-apps/src/n_body.rs:
+crates/dpf-apps/src/pic_gather_scatter.rs:
+crates/dpf-apps/src/pic_simple.rs:
+crates/dpf-apps/src/qcd_kernel.rs:
+crates/dpf-apps/src/qmc.rs:
+crates/dpf-apps/src/qptransport.rs:
+crates/dpf-apps/src/rp.rs:
+crates/dpf-apps/src/step4.rs:
+crates/dpf-apps/src/util.rs:
+crates/dpf-apps/src/wave_1d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

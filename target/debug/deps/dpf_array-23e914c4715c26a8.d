@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dpf_array-23e914c4715c26a8.d: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+/root/repo/target/debug/deps/libdpf_array-23e914c4715c26a8.rlib: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+/root/repo/target/debug/deps/libdpf_array-23e914c4715c26a8.rmeta: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+crates/dpf-array/src/lib.rs:
+crates/dpf-array/src/array.rs:
+crates/dpf-array/src/layout.rs:
+crates/dpf-array/src/mask.rs:
+crates/dpf-array/src/section.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dpf_array-379c5f7e7c214a19.d: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_array-379c5f7e7c214a19.rmeta: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs Cargo.toml
+
+crates/dpf-array/src/lib.rs:
+crates/dpf-array/src/array.rs:
+crates/dpf-array/src/layout.rs:
+crates/dpf-array/src/mask.rs:
+crates/dpf-array/src/section.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

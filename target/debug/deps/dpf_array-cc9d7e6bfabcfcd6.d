@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dpf_array-cc9d7e6bfabcfcd6.d: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_array-cc9d7e6bfabcfcd6.rmeta: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs Cargo.toml
+
+crates/dpf-array/src/lib.rs:
+crates/dpf-array/src/array.rs:
+crates/dpf-array/src/layout.rs:
+crates/dpf-array/src/mask.rs:
+crates/dpf-array/src/section.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

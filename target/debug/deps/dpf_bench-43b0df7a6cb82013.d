@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpf_bench-43b0df7a6cb82013.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_bench-43b0df7a6cb82013.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpf_bench-fe7f6d2d9e3f21e2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_bench-fe7f6d2d9e3f21e2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

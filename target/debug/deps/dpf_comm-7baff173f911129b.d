@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dpf_comm-7baff173f911129b.d: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_comm-7baff173f911129b.rmeta: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs Cargo.toml
+
+crates/dpf-comm/src/lib.rs:
+crates/dpf-comm/src/gather.rs:
+crates/dpf-comm/src/reduce.rs:
+crates/dpf-comm/src/scan.rs:
+crates/dpf-comm/src/shift.rs:
+crates/dpf-comm/src/sort.rs:
+crates/dpf-comm/src/spread.rs:
+crates/dpf-comm/src/stencil.rs:
+crates/dpf-comm/src/transpose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

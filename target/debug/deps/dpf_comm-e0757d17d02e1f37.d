@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dpf_comm-e0757d17d02e1f37.d: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+/root/repo/target/debug/deps/libdpf_comm-e0757d17d02e1f37.rlib: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+/root/repo/target/debug/deps/libdpf_comm-e0757d17d02e1f37.rmeta: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+crates/dpf-comm/src/lib.rs:
+crates/dpf-comm/src/gather.rs:
+crates/dpf-comm/src/reduce.rs:
+crates/dpf-comm/src/scan.rs:
+crates/dpf-comm/src/shift.rs:
+crates/dpf-comm/src/sort.rs:
+crates/dpf-comm/src/spread.rs:
+crates/dpf-comm/src/stencil.rs:
+crates/dpf-comm/src/transpose.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dpf_core-6af3fbace1a77965.d: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_core-6af3fbace1a77965.rmeta: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs Cargo.toml
+
+crates/dpf-core/src/lib.rs:
+crates/dpf-core/src/complex.rs:
+crates/dpf-core/src/cost.rs:
+crates/dpf-core/src/ctx.rs:
+crates/dpf-core/src/dtype.rs:
+crates/dpf-core/src/flops.rs:
+crates/dpf-core/src/instr.rs:
+crates/dpf-core/src/machine.rs:
+crates/dpf-core/src/numeric.rs:
+crates/dpf-core/src/pool.rs:
+crates/dpf-core/src/report.rs:
+crates/dpf-core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

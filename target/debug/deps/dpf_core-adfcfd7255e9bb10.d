@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dpf_core-adfcfd7255e9bb10.d: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_core-adfcfd7255e9bb10.rmeta: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs Cargo.toml
+
+crates/dpf-core/src/lib.rs:
+crates/dpf-core/src/complex.rs:
+crates/dpf-core/src/cost.rs:
+crates/dpf-core/src/ctx.rs:
+crates/dpf-core/src/dtype.rs:
+crates/dpf-core/src/flops.rs:
+crates/dpf-core/src/instr.rs:
+crates/dpf-core/src/machine.rs:
+crates/dpf-core/src/numeric.rs:
+crates/dpf-core/src/pool.rs:
+crates/dpf-core/src/report.rs:
+crates/dpf-core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

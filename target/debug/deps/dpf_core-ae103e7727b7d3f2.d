@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dpf_core-ae103e7727b7d3f2.d: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+/root/repo/target/debug/deps/libdpf_core-ae103e7727b7d3f2.rlib: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+/root/repo/target/debug/deps/libdpf_core-ae103e7727b7d3f2.rmeta: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+crates/dpf-core/src/lib.rs:
+crates/dpf-core/src/complex.rs:
+crates/dpf-core/src/cost.rs:
+crates/dpf-core/src/ctx.rs:
+crates/dpf-core/src/dtype.rs:
+crates/dpf-core/src/flops.rs:
+crates/dpf-core/src/instr.rs:
+crates/dpf-core/src/machine.rs:
+crates/dpf-core/src/numeric.rs:
+crates/dpf-core/src/pool.rs:
+crates/dpf-core/src/report.rs:
+crates/dpf-core/src/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpf_fft-0d4341ea0ef4da04.d: crates/dpf-fft/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_fft-0d4341ea0ef4da04.rmeta: crates/dpf-fft/src/lib.rs Cargo.toml
+
+crates/dpf-fft/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dpf_fft-3c0b67a5fb57ccee.d: crates/dpf-fft/src/lib.rs
+
+/root/repo/target/debug/deps/libdpf_fft-3c0b67a5fb57ccee.rlib: crates/dpf-fft/src/lib.rs
+
+/root/repo/target/debug/deps/libdpf_fft-3c0b67a5fb57ccee.rmeta: crates/dpf-fft/src/lib.rs
+
+crates/dpf-fft/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpf_fft-450be5832bfea000.d: crates/dpf-fft/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_fft-450be5832bfea000.rmeta: crates/dpf-fft/src/lib.rs Cargo.toml
+
+crates/dpf-fft/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

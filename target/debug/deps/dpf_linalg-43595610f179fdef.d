@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dpf_linalg-43595610f179fdef.d: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+/root/repo/target/debug/deps/libdpf_linalg-43595610f179fdef.rlib: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+/root/repo/target/debug/deps/libdpf_linalg-43595610f179fdef.rmeta: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+crates/dpf-linalg/src/lib.rs:
+crates/dpf-linalg/src/conj_grad.rs:
+crates/dpf-linalg/src/fft_bench.rs:
+crates/dpf-linalg/src/gauss_jordan.rs:
+crates/dpf-linalg/src/jacobi.rs:
+crates/dpf-linalg/src/lu.rs:
+crates/dpf-linalg/src/matvec.rs:
+crates/dpf-linalg/src/pcr.rs:
+crates/dpf-linalg/src/qr.rs:
+crates/dpf-linalg/src/reference.rs:

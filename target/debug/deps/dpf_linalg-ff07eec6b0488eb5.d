@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dpf_linalg-ff07eec6b0488eb5.d: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_linalg-ff07eec6b0488eb5.rmeta: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs Cargo.toml
+
+crates/dpf-linalg/src/lib.rs:
+crates/dpf-linalg/src/conj_grad.rs:
+crates/dpf-linalg/src/fft_bench.rs:
+crates/dpf-linalg/src/gauss_jordan.rs:
+crates/dpf-linalg/src/jacobi.rs:
+crates/dpf-linalg/src/lu.rs:
+crates/dpf-linalg/src/matvec.rs:
+crates/dpf-linalg/src/pcr.rs:
+crates/dpf-linalg/src/qr.rs:
+crates/dpf-linalg/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dpf_suite-6d6a9958d5418c16.d: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+/root/repo/target/debug/deps/libdpf_suite-6d6a9958d5418c16.rlib: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+/root/repo/target/debug/deps/libdpf_suite-6d6a9958d5418c16.rmeta: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+crates/dpf-suite/src/lib.rs:
+crates/dpf-suite/src/benchmark.rs:
+crates/dpf-suite/src/comm_bench.rs:
+crates/dpf-suite/src/harness.rs:
+crates/dpf-suite/src/registry.rs:
+crates/dpf-suite/src/runners.rs:
+crates/dpf-suite/src/tables.rs:

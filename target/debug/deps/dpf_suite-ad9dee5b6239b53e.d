@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dpf_suite-ad9dee5b6239b53e.d: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpf_suite-ad9dee5b6239b53e.rmeta: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs Cargo.toml
+
+crates/dpf-suite/src/lib.rs:
+crates/dpf-suite/src/benchmark.rs:
+crates/dpf-suite/src/comm_bench.rs:
+crates/dpf-suite/src/harness.rs:
+crates/dpf-suite/src/registry.rs:
+crates/dpf-suite/src/runners.rs:
+crates/dpf-suite/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-bf415c35721d6dc1.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-bf415c35721d6dc1: tests/failure_injection.rs
+
+tests/failure_injection.rs:

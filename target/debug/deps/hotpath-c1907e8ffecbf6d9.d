@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath-c1907e8ffecbf6d9.d: benches/hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath-c1907e8ffecbf6d9.rmeta: benches/hotpath.rs Cargo.toml
+
+benches/hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

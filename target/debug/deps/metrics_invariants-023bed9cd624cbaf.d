@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_invariants-023bed9cd624cbaf.d: tests/metrics_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_invariants-023bed9cd624cbaf.rmeta: tests/metrics_invariants.rs Cargo.toml
+
+tests/metrics_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

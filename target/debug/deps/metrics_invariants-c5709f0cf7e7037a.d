@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_invariants-c5709f0cf7e7037a.d: tests/metrics_invariants.rs
+
+/root/repo/target/debug/deps/metrics_invariants-c5709f0cf7e7037a: tests/metrics_invariants.rs
+
+tests/metrics_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_end_to_end-5eb0933c889f714e.d: tests/suite_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_end_to_end-5eb0933c889f714e.rmeta: tests/suite_end_to_end.rs Cargo.toml
+
+tests/suite_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

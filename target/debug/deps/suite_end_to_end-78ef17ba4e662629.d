@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_end_to_end-78ef17ba4e662629.d: tests/suite_end_to_end.rs
+
+/root/repo/target/debug/deps/suite_end_to_end-78ef17ba4e662629: tests/suite_end_to_end.rs
+
+tests/suite_end_to_end.rs:

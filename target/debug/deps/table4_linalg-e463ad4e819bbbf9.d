@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_linalg-e463ad4e819bbbf9.d: crates/bench/benches/table4_linalg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_linalg-e463ad4e819bbbf9.rmeta: crates/bench/benches/table4_linalg.rs Cargo.toml
+
+crates/bench/benches/table4_linalg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

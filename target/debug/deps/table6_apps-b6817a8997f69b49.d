@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_apps-b6817a8997f69b49.d: crates/bench/benches/table6_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_apps-b6817a8997f69b49.rmeta: crates/bench/benches/table6_apps.rs Cargo.toml
+
+crates/bench/benches/table6_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_comm-bbf34729e0eb4575.d: crates/bench/benches/table_comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_comm-bbf34729e0eb4575.rmeta: crates/bench/benches/table_comm.rs Cargo.toml
+
+crates/bench/benches/table_comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

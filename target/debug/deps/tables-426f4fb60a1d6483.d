@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-426f4fb60a1d6483.d: tests/tables.rs
+
+/root/repo/target/debug/deps/tables-426f4fb60a1d6483: tests/tables.rs
+
+tests/tables.rs:

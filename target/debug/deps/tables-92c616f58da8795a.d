@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-92c616f58da8795a.d: tests/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-92c616f58da8795a.rmeta: tests/tables.rs Cargo.toml
+
+tests/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

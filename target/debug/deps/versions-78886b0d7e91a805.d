@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/versions-78886b0d7e91a805.d: tests/versions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libversions-78886b0d7e91a805.rmeta: tests/versions.rs Cargo.toml
+
+tests/versions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

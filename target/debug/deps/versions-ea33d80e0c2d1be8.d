@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/versions-ea33d80e0c2d1be8.d: tests/versions.rs
+
+/root/repo/target/debug/deps/versions-ea33d80e0c2d1be8: tests/versions.rs
+
+tests/versions.rs:

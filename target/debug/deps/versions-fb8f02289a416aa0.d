@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/versions-fb8f02289a416aa0.d: crates/bench/benches/versions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libversions-fb8f02289a416aa0.rmeta: crates/bench/benches/versions.rs Cargo.toml
+
+crates/bench/benches/versions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

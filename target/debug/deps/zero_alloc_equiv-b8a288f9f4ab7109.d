@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc_equiv-b8a288f9f4ab7109.d: tests/zero_alloc_equiv.rs
+
+/root/repo/target/debug/deps/zero_alloc_equiv-b8a288f9f4ab7109: tests/zero_alloc_equiv.rs
+
+tests/zero_alloc_equiv.rs:

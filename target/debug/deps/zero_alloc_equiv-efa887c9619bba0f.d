@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc_equiv-efa887c9619bba0f.d: tests/zero_alloc_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc_equiv-efa887c9619bba0f.rmeta: tests/zero_alloc_equiv.rs Cargo.toml
+
+tests/zero_alloc_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compiler_eval-5a844c969197f3d7.d: examples/compiler_eval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompiler_eval-5a844c969197f3d7.rmeta: examples/compiler_eval.rs Cargo.toml
+
+examples/compiler_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

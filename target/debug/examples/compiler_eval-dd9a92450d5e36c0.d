@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_eval-dd9a92450d5e36c0.d: examples/compiler_eval.rs
+
+/root/repo/target/debug/examples/compiler_eval-dd9a92450d5e36c0: examples/compiler_eval.rs
+
+examples/compiler_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heat_diffusion-2be71c7e63d0c473.d: examples/heat_diffusion.rs
+
+/root/repo/target/debug/examples/heat_diffusion-2be71c7e63d0c473: examples/heat_diffusion.rs
+
+examples/heat_diffusion.rs:

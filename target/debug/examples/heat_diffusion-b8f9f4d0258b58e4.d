@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heat_diffusion-b8f9f4d0258b58e4.d: examples/heat_diffusion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheat_diffusion-b8f9f4d0258b58e4.rmeta: examples/heat_diffusion.rs Cargo.toml
+
+examples/heat_diffusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

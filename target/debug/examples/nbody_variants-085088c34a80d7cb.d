@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nbody_variants-085088c34a80d7cb.d: examples/nbody_variants.rs
+
+/root/repo/target/debug/examples/nbody_variants-085088c34a80d7cb: examples/nbody_variants.rs
+
+examples/nbody_variants.rs:

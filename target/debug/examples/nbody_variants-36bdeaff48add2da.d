@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nbody_variants-36bdeaff48add2da.d: examples/nbody_variants.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnbody_variants-36bdeaff48add2da.rmeta: examples/nbody_variants.rs Cargo.toml
+
+examples/nbody_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

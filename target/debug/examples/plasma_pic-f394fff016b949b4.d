@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plasma_pic-f394fff016b949b4.d: examples/plasma_pic.rs
+
+/root/repo/target/debug/examples/plasma_pic-f394fff016b949b4: examples/plasma_pic.rs
+
+examples/plasma_pic.rs:

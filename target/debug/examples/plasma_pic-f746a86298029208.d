@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/plasma_pic-f746a86298029208.d: examples/plasma_pic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplasma_pic-f746a86298029208.rmeta: examples/plasma_pic.rs Cargo.toml
+
+examples/plasma_pic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-865a8a6ab0daa280.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-865a8a6ab0daa280: examples/quickstart.rs
+
+examples/quickstart.rs:

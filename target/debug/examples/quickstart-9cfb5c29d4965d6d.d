@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-9cfb5c29d4965d6d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-9cfb5c29d4965d6d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

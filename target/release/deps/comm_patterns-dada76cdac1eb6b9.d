@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comm_patterns-dada76cdac1eb6b9.d: tests/comm_patterns.rs
+
+/root/repo/target/release/deps/comm_patterns-dada76cdac1eb6b9: tests/comm_patterns.rs
+
+tests/comm_patterns.rs:

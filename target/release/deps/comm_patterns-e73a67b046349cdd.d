@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comm_patterns-e73a67b046349cdd.d: tests/comm_patterns.rs
+
+/root/repo/target/release/deps/comm_patterns-e73a67b046349cdd: tests/comm_patterns.rs
+
+tests/comm_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpf-7696aa19520f8c25.d: src/lib.rs
+
+/root/repo/target/release/deps/dpf-7696aa19520f8c25: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpf-79d7a3680cefe609.d: crates/dpf-cli/src/main.rs
+
+/root/repo/target/release/deps/dpf-79d7a3680cefe609: crates/dpf-cli/src/main.rs
+
+crates/dpf-cli/src/main.rs:

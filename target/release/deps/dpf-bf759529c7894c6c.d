@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dpf-bf759529c7894c6c.d: src/lib.rs
+
+/root/repo/target/release/deps/libdpf-bf759529c7894c6c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdpf-bf759529c7894c6c.rmeta: src/lib.rs
+
+src/lib.rs:

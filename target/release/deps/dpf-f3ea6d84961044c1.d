@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpf-f3ea6d84961044c1.d: src/lib.rs
+
+/root/repo/target/release/deps/dpf-f3ea6d84961044c1: src/lib.rs
+
+src/lib.rs:

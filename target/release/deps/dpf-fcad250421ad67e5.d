@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpf-fcad250421ad67e5.d: crates/dpf-cli/src/main.rs
+
+/root/repo/target/release/deps/dpf-fcad250421ad67e5: crates/dpf-cli/src/main.rs
+
+crates/dpf-cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dpf_array-175b6800725c55fe.d: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+/root/repo/target/release/deps/libdpf_array-175b6800725c55fe.rlib: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+/root/repo/target/release/deps/libdpf_array-175b6800725c55fe.rmeta: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+crates/dpf-array/src/lib.rs:
+crates/dpf-array/src/array.rs:
+crates/dpf-array/src/layout.rs:
+crates/dpf-array/src/mask.rs:
+crates/dpf-array/src/section.rs:

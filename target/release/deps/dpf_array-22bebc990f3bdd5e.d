@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dpf_array-22bebc990f3bdd5e.d: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+/root/repo/target/release/deps/dpf_array-22bebc990f3bdd5e: crates/dpf-array/src/lib.rs crates/dpf-array/src/array.rs crates/dpf-array/src/layout.rs crates/dpf-array/src/mask.rs crates/dpf-array/src/section.rs
+
+crates/dpf-array/src/lib.rs:
+crates/dpf-array/src/array.rs:
+crates/dpf-array/src/layout.rs:
+crates/dpf-array/src/mask.rs:
+crates/dpf-array/src/section.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dpf_bench-1ddedec70a9fcd69.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdpf_bench-1ddedec70a9fcd69.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdpf_bench-1ddedec70a9fcd69.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpf_bench-d5e97d09a10f876a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dpf_bench-d5e97d09a10f876a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dpf_comm-09e361d4d846a788.d: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+/root/repo/target/release/deps/libdpf_comm-09e361d4d846a788.rlib: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+/root/repo/target/release/deps/libdpf_comm-09e361d4d846a788.rmeta: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+crates/dpf-comm/src/lib.rs:
+crates/dpf-comm/src/gather.rs:
+crates/dpf-comm/src/reduce.rs:
+crates/dpf-comm/src/scan.rs:
+crates/dpf-comm/src/shift.rs:
+crates/dpf-comm/src/sort.rs:
+crates/dpf-comm/src/spread.rs:
+crates/dpf-comm/src/stencil.rs:
+crates/dpf-comm/src/transpose.rs:

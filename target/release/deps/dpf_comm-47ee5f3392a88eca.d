@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dpf_comm-47ee5f3392a88eca.d: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+/root/repo/target/release/deps/dpf_comm-47ee5f3392a88eca: crates/dpf-comm/src/lib.rs crates/dpf-comm/src/gather.rs crates/dpf-comm/src/reduce.rs crates/dpf-comm/src/scan.rs crates/dpf-comm/src/shift.rs crates/dpf-comm/src/sort.rs crates/dpf-comm/src/spread.rs crates/dpf-comm/src/stencil.rs crates/dpf-comm/src/transpose.rs
+
+crates/dpf-comm/src/lib.rs:
+crates/dpf-comm/src/gather.rs:
+crates/dpf-comm/src/reduce.rs:
+crates/dpf-comm/src/scan.rs:
+crates/dpf-comm/src/shift.rs:
+crates/dpf-comm/src/sort.rs:
+crates/dpf-comm/src/spread.rs:
+crates/dpf-comm/src/stencil.rs:
+crates/dpf-comm/src/transpose.rs:

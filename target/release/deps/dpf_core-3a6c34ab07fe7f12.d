@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dpf_core-3a6c34ab07fe7f12.d: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+/root/repo/target/release/deps/dpf_core-3a6c34ab07fe7f12: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+crates/dpf-core/src/lib.rs:
+crates/dpf-core/src/complex.rs:
+crates/dpf-core/src/cost.rs:
+crates/dpf-core/src/ctx.rs:
+crates/dpf-core/src/dtype.rs:
+crates/dpf-core/src/flops.rs:
+crates/dpf-core/src/instr.rs:
+crates/dpf-core/src/machine.rs:
+crates/dpf-core/src/numeric.rs:
+crates/dpf-core/src/pool.rs:
+crates/dpf-core/src/report.rs:
+crates/dpf-core/src/verify.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dpf_core-6637924847f17f85.d: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+/root/repo/target/release/deps/libdpf_core-6637924847f17f85.rlib: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+/root/repo/target/release/deps/libdpf_core-6637924847f17f85.rmeta: crates/dpf-core/src/lib.rs crates/dpf-core/src/complex.rs crates/dpf-core/src/cost.rs crates/dpf-core/src/ctx.rs crates/dpf-core/src/dtype.rs crates/dpf-core/src/flops.rs crates/dpf-core/src/instr.rs crates/dpf-core/src/machine.rs crates/dpf-core/src/numeric.rs crates/dpf-core/src/pool.rs crates/dpf-core/src/report.rs crates/dpf-core/src/verify.rs
+
+crates/dpf-core/src/lib.rs:
+crates/dpf-core/src/complex.rs:
+crates/dpf-core/src/cost.rs:
+crates/dpf-core/src/ctx.rs:
+crates/dpf-core/src/dtype.rs:
+crates/dpf-core/src/flops.rs:
+crates/dpf-core/src/instr.rs:
+crates/dpf-core/src/machine.rs:
+crates/dpf-core/src/numeric.rs:
+crates/dpf-core/src/pool.rs:
+crates/dpf-core/src/report.rs:
+crates/dpf-core/src/verify.rs:

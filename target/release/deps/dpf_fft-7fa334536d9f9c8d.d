@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dpf_fft-7fa334536d9f9c8d.d: crates/dpf-fft/src/lib.rs
+
+/root/repo/target/release/deps/libdpf_fft-7fa334536d9f9c8d.rlib: crates/dpf-fft/src/lib.rs
+
+/root/repo/target/release/deps/libdpf_fft-7fa334536d9f9c8d.rmeta: crates/dpf-fft/src/lib.rs
+
+crates/dpf-fft/src/lib.rs:

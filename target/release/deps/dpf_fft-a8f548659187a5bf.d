@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpf_fft-a8f548659187a5bf.d: crates/dpf-fft/src/lib.rs
+
+/root/repo/target/release/deps/dpf_fft-a8f548659187a5bf: crates/dpf-fft/src/lib.rs
+
+crates/dpf-fft/src/lib.rs:

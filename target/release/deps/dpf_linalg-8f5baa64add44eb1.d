@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dpf_linalg-8f5baa64add44eb1.d: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+/root/repo/target/release/deps/libdpf_linalg-8f5baa64add44eb1.rlib: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+/root/repo/target/release/deps/libdpf_linalg-8f5baa64add44eb1.rmeta: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+crates/dpf-linalg/src/lib.rs:
+crates/dpf-linalg/src/conj_grad.rs:
+crates/dpf-linalg/src/fft_bench.rs:
+crates/dpf-linalg/src/gauss_jordan.rs:
+crates/dpf-linalg/src/jacobi.rs:
+crates/dpf-linalg/src/lu.rs:
+crates/dpf-linalg/src/matvec.rs:
+crates/dpf-linalg/src/pcr.rs:
+crates/dpf-linalg/src/qr.rs:
+crates/dpf-linalg/src/reference.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dpf_linalg-acb410d22ca5f27c.d: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+/root/repo/target/release/deps/dpf_linalg-acb410d22ca5f27c: crates/dpf-linalg/src/lib.rs crates/dpf-linalg/src/conj_grad.rs crates/dpf-linalg/src/fft_bench.rs crates/dpf-linalg/src/gauss_jordan.rs crates/dpf-linalg/src/jacobi.rs crates/dpf-linalg/src/lu.rs crates/dpf-linalg/src/matvec.rs crates/dpf-linalg/src/pcr.rs crates/dpf-linalg/src/qr.rs crates/dpf-linalg/src/reference.rs
+
+crates/dpf-linalg/src/lib.rs:
+crates/dpf-linalg/src/conj_grad.rs:
+crates/dpf-linalg/src/fft_bench.rs:
+crates/dpf-linalg/src/gauss_jordan.rs:
+crates/dpf-linalg/src/jacobi.rs:
+crates/dpf-linalg/src/lu.rs:
+crates/dpf-linalg/src/matvec.rs:
+crates/dpf-linalg/src/pcr.rs:
+crates/dpf-linalg/src/qr.rs:
+crates/dpf-linalg/src/reference.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dpf_suite-3b89aacf495ee227.d: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+/root/repo/target/release/deps/libdpf_suite-3b89aacf495ee227.rlib: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+/root/repo/target/release/deps/libdpf_suite-3b89aacf495ee227.rmeta: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+crates/dpf-suite/src/lib.rs:
+crates/dpf-suite/src/benchmark.rs:
+crates/dpf-suite/src/comm_bench.rs:
+crates/dpf-suite/src/harness.rs:
+crates/dpf-suite/src/registry.rs:
+crates/dpf-suite/src/runners.rs:
+crates/dpf-suite/src/tables.rs:

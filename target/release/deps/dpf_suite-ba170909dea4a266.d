@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dpf_suite-ba170909dea4a266.d: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+/root/repo/target/release/deps/dpf_suite-ba170909dea4a266: crates/dpf-suite/src/lib.rs crates/dpf-suite/src/benchmark.rs crates/dpf-suite/src/comm_bench.rs crates/dpf-suite/src/harness.rs crates/dpf-suite/src/registry.rs crates/dpf-suite/src/runners.rs crates/dpf-suite/src/tables.rs
+
+crates/dpf-suite/src/lib.rs:
+crates/dpf-suite/src/benchmark.rs:
+crates/dpf-suite/src/comm_bench.rs:
+crates/dpf-suite/src/harness.rs:
+crates/dpf-suite/src/registry.rs:
+crates/dpf-suite/src/runners.rs:
+crates/dpf-suite/src/tables.rs:

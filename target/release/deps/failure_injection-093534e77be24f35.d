@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-093534e77be24f35.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-093534e77be24f35: tests/failure_injection.rs
+
+tests/failure_injection.rs:

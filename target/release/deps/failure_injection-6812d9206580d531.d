@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-6812d9206580d531.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-6812d9206580d531: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-b607695030617ad0.d: benches/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-b607695030617ad0: benches/hotpath.rs
+
+benches/hotpath.rs:

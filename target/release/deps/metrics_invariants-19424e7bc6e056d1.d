@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_invariants-19424e7bc6e056d1.d: tests/metrics_invariants.rs
+
+/root/repo/target/release/deps/metrics_invariants-19424e7bc6e056d1: tests/metrics_invariants.rs
+
+tests/metrics_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_invariants-48b2f0a009a0bffa.d: tests/metrics_invariants.rs
+
+/root/repo/target/release/deps/metrics_invariants-48b2f0a009a0bffa: tests/metrics_invariants.rs
+
+tests/metrics_invariants.rs:

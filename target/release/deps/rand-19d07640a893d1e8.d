@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-19d07640a893d1e8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-19d07640a893d1e8.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-19d07640a893d1e8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-20a902c93b07c6c4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-20a902c93b07c6c4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

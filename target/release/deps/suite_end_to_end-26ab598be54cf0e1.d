@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_end_to_end-26ab598be54cf0e1.d: tests/suite_end_to_end.rs
+
+/root/repo/target/release/deps/suite_end_to_end-26ab598be54cf0e1: tests/suite_end_to_end.rs
+
+tests/suite_end_to_end.rs:

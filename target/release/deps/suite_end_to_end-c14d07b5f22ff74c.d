@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_end_to_end-c14d07b5f22ff74c.d: tests/suite_end_to_end.rs
+
+/root/repo/target/release/deps/suite_end_to_end-c14d07b5f22ff74c: tests/suite_end_to_end.rs
+
+tests/suite_end_to_end.rs:

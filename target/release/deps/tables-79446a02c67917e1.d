@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-79446a02c67917e1.d: tests/tables.rs
+
+/root/repo/target/release/deps/tables-79446a02c67917e1: tests/tables.rs
+
+tests/tables.rs:

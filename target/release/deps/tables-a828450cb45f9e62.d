@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-a828450cb45f9e62.d: tests/tables.rs
+
+/root/repo/target/release/deps/tables-a828450cb45f9e62: tests/tables.rs
+
+tests/tables.rs:

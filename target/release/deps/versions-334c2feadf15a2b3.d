@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/versions-334c2feadf15a2b3.d: tests/versions.rs
+
+/root/repo/target/release/deps/versions-334c2feadf15a2b3: tests/versions.rs
+
+tests/versions.rs:

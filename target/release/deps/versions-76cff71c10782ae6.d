@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/versions-76cff71c10782ae6.d: tests/versions.rs
+
+/root/repo/target/release/deps/versions-76cff71c10782ae6: tests/versions.rs
+
+tests/versions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zero_alloc_equiv-ba1ecb5942d1abfa.d: tests/zero_alloc_equiv.rs
+
+/root/repo/target/release/deps/zero_alloc_equiv-ba1ecb5942d1abfa: tests/zero_alloc_equiv.rs
+
+tests/zero_alloc_equiv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiler_eval-30790d05a46bc887.d: examples/compiler_eval.rs
+
+/root/repo/target/release/examples/compiler_eval-30790d05a46bc887: examples/compiler_eval.rs
+
+examples/compiler_eval.rs:

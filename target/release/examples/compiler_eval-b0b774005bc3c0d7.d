@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiler_eval-b0b774005bc3c0d7.d: examples/compiler_eval.rs
+
+/root/repo/target/release/examples/compiler_eval-b0b774005bc3c0d7: examples/compiler_eval.rs
+
+examples/compiler_eval.rs:

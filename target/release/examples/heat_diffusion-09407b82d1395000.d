@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heat_diffusion-09407b82d1395000.d: examples/heat_diffusion.rs
+
+/root/repo/target/release/examples/heat_diffusion-09407b82d1395000: examples/heat_diffusion.rs
+
+examples/heat_diffusion.rs:

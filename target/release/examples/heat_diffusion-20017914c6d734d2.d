@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heat_diffusion-20017914c6d734d2.d: examples/heat_diffusion.rs
+
+/root/repo/target/release/examples/heat_diffusion-20017914c6d734d2: examples/heat_diffusion.rs
+
+examples/heat_diffusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nbody_variants-0c844536c6dbf0e9.d: examples/nbody_variants.rs
+
+/root/repo/target/release/examples/nbody_variants-0c844536c6dbf0e9: examples/nbody_variants.rs
+
+examples/nbody_variants.rs:

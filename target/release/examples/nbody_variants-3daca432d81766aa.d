@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nbody_variants-3daca432d81766aa.d: examples/nbody_variants.rs
+
+/root/repo/target/release/examples/nbody_variants-3daca432d81766aa: examples/nbody_variants.rs
+
+examples/nbody_variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/plasma_pic-40f80f680ac590dd.d: examples/plasma_pic.rs
+
+/root/repo/target/release/examples/plasma_pic-40f80f680ac590dd: examples/plasma_pic.rs
+
+examples/plasma_pic.rs:

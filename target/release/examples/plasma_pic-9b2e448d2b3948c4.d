@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/plasma_pic-9b2e448d2b3948c4.d: examples/plasma_pic.rs
+
+/root/repo/target/release/examples/plasma_pic-9b2e448d2b3948c4: examples/plasma_pic.rs
+
+examples/plasma_pic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-474a252e410f3462.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-474a252e410f3462: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fd6d50ef9a0a9ef4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fd6d50ef9a0a9ef4: examples/quickstart.rs
+
+examples/quickstart.rs:

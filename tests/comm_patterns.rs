@@ -12,8 +12,7 @@ fn measured_patterns_cover_the_declared_set() {
     let machine = Machine::cm5(8);
     for entry in registry() {
         let res = run_basic(&entry, &machine, Size::Small);
-        let measured: BTreeSet<CommPattern> =
-            res.report.comm.keys().map(|k| k.pattern).collect();
+        let measured: BTreeSet<CommPattern> = res.report.comm.keys().map(|k| k.pattern).collect();
         for want in entry.patterns {
             assert!(
                 measured.contains(want),

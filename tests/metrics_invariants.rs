@@ -36,8 +36,12 @@ fn memory_usage_is_declared_for_every_benchmark() {
 fn offproc_volume_grows_with_machine_size_for_transpose() {
     // The AAPC moves (P−1)/P of the matrix: more processors, more volume.
     let entry = dpf::suite::find("transpose").unwrap();
-    let v2 = run_basic(&entry, &Machine::cm5(2), Size::Small).report.offproc_bytes();
-    let v16 = run_basic(&entry, &Machine::cm5(16), Size::Small).report.offproc_bytes();
+    let v2 = run_basic(&entry, &Machine::cm5(2), Size::Small)
+        .report
+        .offproc_bytes();
+    let v16 = run_basic(&entry, &Machine::cm5(16), Size::Small)
+        .report
+        .offproc_bytes();
     assert!(v16 > v2, "AAPC volume did not grow: {v2} -> {v16}");
 }
 

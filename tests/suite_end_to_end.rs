@@ -30,7 +30,10 @@ fn communication_codes_move_data_off_processor() {
     // The §2 codes exist to exercise the network: on a multi-processor
     // machine they must report nonzero off-processor volume.
     let machine = Machine::cm5(16);
-    for entry in registry().iter().filter(|e| e.group == Group::Communication) {
+    for entry in registry()
+        .iter()
+        .filter(|e| e.group == Group::Communication)
+    {
         let res = run_basic(entry, &machine, Size::Small);
         assert!(
             res.report.offproc_bytes() > 0,
@@ -63,8 +66,14 @@ fn flop_counts_are_machine_independent() {
     // solvers may take identical paths too since compute is identical).
     for name in ["matrix-vector", "fft", "diff-3D", "step4", "lu", "gmo"] {
         let entry = dpf::suite::find(name).unwrap();
-        let f1 = run_basic(&entry, &Machine::cm5(1), Size::Small).report.perf.flops;
-        let f32 = run_basic(&entry, &Machine::cm5(32), Size::Small).report.perf.flops;
+        let f1 = run_basic(&entry, &Machine::cm5(1), Size::Small)
+            .report
+            .perf
+            .flops;
+        let f32 = run_basic(&entry, &Machine::cm5(32), Size::Small)
+            .report
+            .perf
+            .flops;
         assert_eq!(f1, f32, "{name} FLOPs changed with machine size");
     }
 }
@@ -83,7 +92,10 @@ fn results_are_deterministic_across_runs() {
 #[test]
 fn phase_segments_are_reported_for_segmented_codes() {
     // The paper times lu/qr factor and solve separately (§1.5).
-    for (name, phases) in [("lu", vec!["lu:factor", "lu:solve"]), ("qr", vec!["qr:factor", "qr:solve"])] {
+    for (name, phases) in [
+        ("lu", vec!["lu:factor", "lu:solve"]),
+        ("qr", vec!["qr:factor", "qr:solve"]),
+    ] {
         let entry = dpf::suite::find(name).unwrap();
         let res = run_basic(&entry, &Machine::cm5(4), Size::Small);
         let got: Vec<String> = res.report.phases.iter().map(|p| p.name.clone()).collect();

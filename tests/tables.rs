@@ -16,8 +16,12 @@ fn table1_reproduces_the_version_matrix() {
     }
     // Spot-check the reconstruction (count mark columns, not the name).
     let marks = |l: &str| l.split_whitespace().skip(1).filter(|w| *w == "x").count();
-    assert!(t.lines().any(|l| l.starts_with("matrix-vector") && marks(l) == 4));
-    assert!(t.lines().any(|l| l.starts_with("qcd-kernel") && marks(l) == 2));
+    assert!(t
+        .lines()
+        .any(|l| l.starts_with("matrix-vector") && marks(l) == 4));
+    assert!(t
+        .lines()
+        .any(|l| l.starts_with("qcd-kernel") && marks(l) == 2));
 }
 
 #[test]

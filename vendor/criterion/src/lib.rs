@@ -1,0 +1,354 @@
+//! A vendored, dependency-free subset of
+//! [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no registry access, so this shim implements
+//! the harness surface the workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!`
+//! / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, calibrate the iteration count to a
+//! target sample time, run warmup, then collect `sample_size` timed
+//! samples and report the median ns/iter. Besides the human-readable
+//! line, each result is emitted as a `CRITERION_JSON {...}` stdout line
+//! so scripts can assemble machine-readable snapshots (see
+//! `scripts/bench_snapshot.sh`).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("cshift", 1_000_000)` → `cshift/1000000`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (recorded, used to derive elements/sec).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`, keeping each result opaque.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Real criterion defaults to 100 samples / 5s targets; the
+            // vendored harness trims both so the full suite stays fast
+            // while medians remain stable on an idle machine.
+            sample_size: 15,
+            target_sample_time: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            target_sample_time: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        let time = self.target_sample_time;
+        run_benchmark(id, sample_size, time, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    target_sample_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Target wall time per sample.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.target_sample_time = Some(d);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<I: IntoBenchId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_benchmark(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.target_sample_time
+                .unwrap_or(self.criterion.target_sample_time),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (report nothing extra; results already printed).
+    pub fn finish(self) {}
+}
+
+/// Things accepted as a benchmark id within a group.
+pub trait IntoBenchId {
+    /// Render as the id path segment.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.full
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    target_sample_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: grow the iteration count until one sample takes at least
+    // the target time (or a single iteration already exceeds it).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target_sample_time || iters >= 1 << 24 {
+            break;
+        }
+        let factor = if b.elapsed.is_zero() {
+            8.0
+        } else {
+            (target_sample_time.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.2, 8.0)
+        };
+        iters = ((iters as f64 * factor).ceil() as u64).max(iters + 1);
+    }
+
+    // Warmup once at the calibrated count, then collect timed samples.
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size.max(1));
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_secs_f64() * 1e9 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+
+    let (tp_str, tp_json) = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 * 1e9 / median;
+            (
+                format!("  thrpt: {:>11} elem/s", format_count(eps)),
+                format!(",\"elements\":{n},\"elem_per_sec\":{eps:.1}"),
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            let bps = n as f64 * 1e9 / median;
+            (
+                format!("  thrpt: {:>11} B/s", format_count(bps)),
+                format!(",\"bytes\":{n},\"bytes_per_sec\":{bps:.1}"),
+            )
+        }
+        None => (String::new(), String::new()),
+    };
+
+    println!(
+        "{id:<48} time: [{} {} {}]{tp_str}",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max)
+    );
+    println!(
+        "CRITERION_JSON {{\"id\":\"{id}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\
+         \"max_ns\":{max:.1},\"iters\":{iters},\"samples\":{}{tp_json}}}",
+        per_iter_ns.len()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn format_count(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.1}")
+    } else if x < 1e6 {
+        format!("{:.2}K", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.2}M", x / 1e6)
+    } else {
+        format!("{:.2}G", x / 1e9)
+    }
+}
+
+/// Declare a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Generated benchmark group runner.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main`, as in real criterion. CLI arguments from
+/// `cargo bench` (e.g. `--bench`) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            target_sample_time: Duration::from_micros(200),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).throughput(Throughput::Elements(128));
+        let data: Vec<u64> = (0..128).collect();
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("map", 4096).into_bench_id(), "map/4096");
+        assert_eq!(BenchmarkId::from_parameter(7).into_bench_id(), "7");
+    }
+}

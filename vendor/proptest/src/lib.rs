@@ -1,0 +1,341 @@
+//! A vendored, dependency-free subset of
+//! [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no registry access, so this shim implements
+//! the slice of proptest this workspace uses: the `proptest!` macro with
+//! `name in strategy` bindings, range strategies over the primitive
+//! numeric types, `prop::collection::vec`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!` and `ProptestConfig::with_cases`.
+//!
+//! Semantics: each test runs `cases` random cases from a seed derived
+//! deterministically from the test name, so failures reproduce across
+//! runs. There is no shrinking — the failing inputs are printed instead.
+
+/// Strategy trait: something that can draw a value from entropy.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The value produced.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// Strategy yielding a fixed value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a `Vec` with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element_strategy, len_range)` as in proptest.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and RNG.
+pub mod test_runner {
+    /// Configuration for a property test (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; these properties run whole
+            // instrumented benchmarks, so the vendored runner trims the
+            // count to keep `cargo test` fast while still sweeping the
+            // parameter space every run.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically (callers derive the seed from the test
+        /// name and case number so failures reproduce).
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// FNV-1a hash of a test name, for seeding.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fail the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($a), stringify!($b), left, right, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}; {}) at {}:{}",
+                stringify!($a), stringify!($b), left, right,
+                format!($($fmt)*), file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` (both: {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            // Vendored runner: an unmet assumption skips the case.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let seed = $crate::test_runner::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::TestRng::new(
+                    seed ^ (case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+), $(&$arg),+
+                );
+                let result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = result {
+                    panic!(
+                        "proptest case {}/{} failed with inputs [{}]: {}",
+                        case + 1, cfg.cases, inputs, message
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..17, x in -4i32..9, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-4..9).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(keys in prop::collection::vec(-100i32..100, 1..80)) {
+            prop_assert!(!keys.is_empty() && keys.len() < 80);
+            for &k in &keys {
+                prop_assert!((-100..100).contains(&k));
+            }
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(n in 1usize..4) {
+            prop_assert!(n >= 1);
+        }
+    }
+
+    #[test]
+    fn assertion_macros_return_err() {
+        // The proptest! macro wraps bodies in a Result closure; exercise
+        // the Err paths of the assertion macros directly.
+        fn body(n: usize) -> Result<(), String> {
+            prop_assert!(n > 100, "n was {}", n);
+            Ok(())
+        }
+        let err = body(3).unwrap_err();
+        assert!(err.contains("n > 100") && err.contains("n was 3"), "{err}");
+
+        fn body_eq(a: i32, b: i32) -> Result<(), String> {
+            prop_assert_eq!(a, b);
+            Ok(())
+        }
+        assert!(body_eq(1, 2).unwrap_err().contains("left: 1"));
+        assert!(body_eq(4, 4).is_ok());
+
+        fn body_ne(a: i32, b: i32) -> Result<(), String> {
+            prop_assert_ne!(a, b);
+            Ok(())
+        }
+        assert!(body_ne(5, 5).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! A vendored, dependency-free subset of [rand](https://crates.io/crates/rand).
+//!
+//! The build environment has no registry access; this shim provides the
+//! `SmallRng`/`SeedableRng`/`Rng::gen_range` surface the workspace uses,
+//! backed by the SplitMix64 + xoshiro256** generators (the same family
+//! real `SmallRng` uses on 64-bit targets). Not cryptographically secure —
+//! exactly like the real `SmallRng`.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The subset of the `Rng` trait the workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<std::ops::Range<T>>,
+        Self: Sized,
+    {
+        let r: std::ops::Range<T> = range.into();
+        T::sample(self, r)
+    }
+
+    /// Uniform sample of the full type (bool, f64 in [0,1), ints).
+    fn gen<T: SampleFull>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_full(self)
+    }
+}
+
+/// Generator namespace mirroring `rand::rngs`.
+pub mod rngs {
+    /// Small, fast, non-cryptographic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as rand_xoshiro does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng::from_u64(seed)
+        }
+    }
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `range`.
+    fn sample<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is < 2^-64 for the spans this suite uses.
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Types `gen` can produce over their full domain.
+pub trait SampleFull {
+    /// Sample the full domain (floats: `[0, 1)`).
+    fn sample_full<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl SampleFull for f64 {
+    fn sample_full<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleFull for bool {
+    fn sample_full<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleFull for u64 {
+    fn sample_full<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen_range(1e-12..1.0);
+            assert!(x >= 1e-12 && x < 1.0);
+            let k: i32 = r.gen_range(-5..17);
+            assert!((-5..17).contains(&k));
+            let u: usize = r.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut r = SmallRng::seed_from_u64(42);
+        let mean: f64 = (0..100_000).map(|_| r.gen_range(0.0..1.0)).sum::<f64>() / 1e5;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,690 @@
+//! A vendored, dependency-free subset of [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no access to the crates.io
+//! registry, so the workspace ships the slice of rayon's API it actually
+//! uses, implemented on `std::thread::scope`. Every parallel iterator here
+//! is *indexed*: it has an exact length and can be split at an element
+//! boundary, which is all the DPF runtime needs (element-wise maps, lane
+//! chunks, zips and reductions over contiguous buffers).
+//!
+//! Execution model: a terminal operation splits the iterator into one
+//! piece per available core and runs each piece on a scoped thread, so
+//! borrowed data (slices, closures) works exactly as with real rayon.
+//! There is no work stealing; DPF's hot loops are uniform-cost, so even
+//! splits lose little to imbalance.
+
+use std::sync::Arc;
+
+/// `use rayon::prelude::*` — the traits that put `par_iter` & friends in
+/// scope, mirroring rayon's prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads a terminal operation fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// An indexed parallel iterator: exact length, splittable at any element
+/// boundary, convertible into a sequential iterator for per-thread drive.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a piece lowers to.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of elements.
+    fn pi_len(&self) -> usize;
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Lower to a sequential iterator over all remaining elements.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Map each element through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pair with another indexed iterator (length = the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach the element index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Run `op` on every element in parallel.
+    fn for_each<OP: Fn(Self::Item) + Sync + Send>(self, op: OP) {
+        let op = &op;
+        run_pieces(self, |piece| piece.into_seq().for_each(op));
+    }
+
+    /// Collect into a container (only `Vec<Item>` is supported, matching
+    /// every use in this workspace).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Fold each piece sequentially and combine piece results with `op`,
+    /// seeded by `identity` (rayon's signature).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let parts = run_pieces(self, |piece| piece.into_seq().fold(identity(), &op));
+        parts.into_iter().fold(identity(), op)
+    }
+
+    /// Sum all elements.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_pieces(self, |piece| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Conversion into a parallel iterator (`(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// `&[T]` parallel views.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> Iter<'_, T>;
+    /// Parallel iterator over non-overlapping `chunk_size` chunks.
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Chunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// `&mut [T]` parallel views and parallel sorts.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+    /// Parallel unstable sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy;
+    /// Parallel unstable sort with a comparator.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy,
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync + Send;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy,
+    {
+        par_merge_sort(self, &|a, b| a.cmp(b));
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy,
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync + Send,
+    {
+        par_merge_sort(self, &cmp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&T` (see [`ParallelSlice::par_iter`]).
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut T` (see [`ParallelSliceMut::par_iter_mut`]).
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over `&[T]` chunks.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let elems = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(elems);
+        (
+            Chunks {
+                slice: a,
+                size: self.size,
+            },
+            Chunks {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel iterator over `&mut [T]` chunks.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let elems = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(elems);
+        (
+            ChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type Seq = std::ops::Range<usize>;
+    fn pi_len(&self) -> usize {
+        self.range.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let split = self.range.start + mid;
+        (
+            RangeIter {
+                range: self.range.start..split,
+            },
+            RangeIter {
+                range: split..self.range.end,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.range
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Map adapter (the closure is shared between split pieces via `Arc`).
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    type Seq = MapSeq<I::Seq, F>;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        MapSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential side of [`Map`].
+pub struct MapSeq<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S: Iterator, R, F: Fn(S::Item) -> R> Iterator for MapSeq<S, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+/// Zip adapter.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Enumerate adapter (pieces carry their global base offset).
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = EnumerateSeq<I::Seq>;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            base: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct EnumerateSeq<S> {
+    base: S,
+    next: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.base.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Split `it` into roughly even pieces (one per core) and run `f` on each
+/// piece, the last inline on the calling thread. Results come back in
+/// piece order.
+fn run_pieces<I, R, F>(it: I, f: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = it.pi_len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return vec![f(it)];
+    }
+    let pieces = split_into(it, threads);
+    let f = &f;
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(pieces.len(), || None);
+    std::thread::scope(|s| {
+        let mut pieces = pieces.into_iter().zip(results.iter_mut());
+        // Keep one piece for the calling thread.
+        let (last_piece, last_slot) = pieces.next_back().expect("at least one piece");
+        for (piece, slot) in pieces {
+            s.spawn(move || *slot = Some(f(piece)));
+        }
+        *last_slot = Some(f(last_piece));
+    });
+    results.into_iter().map(|r| r.expect("piece ran")).collect()
+}
+
+/// Split into exactly `k` pieces of near-equal length (k >= 1, len >= k).
+fn split_into<I: ParallelIterator>(it: I, k: usize) -> Vec<I> {
+    let mut pieces = Vec::with_capacity(k);
+    let mut rest = it;
+    for i in 0..k - 1 {
+        let remaining = rest.pi_len();
+        let take = remaining.div_ceil(k - i);
+        let (head, tail) = rest.split_at(take);
+        pieces.push(head);
+        rest = tail;
+    }
+    pieces.push(rest);
+    pieces
+}
+
+/// Containers a parallel iterator can collect into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the container from the iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        let n = it.pi_len();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        {
+            // Each piece writes its exact-length window of the spare
+            // capacity; windows are disjoint, so threads never alias.
+            let spare = &mut out.spare_capacity_mut()[..n];
+            let threads = current_num_threads().min(n.max(1));
+            if threads <= 1 {
+                let mut written = 0usize;
+                for (slot, v) in spare.iter_mut().zip(it.into_seq()) {
+                    slot.write(v);
+                    written += 1;
+                }
+                assert_eq!(written, n, "parallel iterator under-produced");
+            } else {
+                let pieces = split_into(it, threads);
+                std::thread::scope(|s| {
+                    let mut spare = &mut *spare;
+                    let mut handles = Vec::new();
+                    for piece in pieces {
+                        let (window, rest) = spare.split_at_mut(piece.pi_len());
+                        spare = rest;
+                        handles.push(s.spawn(move || {
+                            let mut written = 0usize;
+                            for (slot, v) in window.iter_mut().zip(piece.into_seq()) {
+                                slot.write(v);
+                                written += 1;
+                            }
+                            assert_eq!(written, window.len(), "parallel iterator under-produced");
+                        }));
+                    }
+                    for h in handles {
+                        h.join().expect("collect worker panicked");
+                    }
+                });
+            }
+        }
+        // SAFETY: every slot in [0, n) was written exactly once (asserted
+        // per piece above) and the scope joined all writers.
+        unsafe { out.set_len(n) };
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sort
+// ---------------------------------------------------------------------------
+
+/// Sort by parallel chunk sorts followed by rounds of pairwise merges.
+/// `T: Copy` keeps the merge buffers trivial — every call site in this
+/// workspace sorts `(key, index)` pairs.
+fn par_merge_sort<T, F>(v: &mut [T], cmp: &F)
+where
+    T: Copy + Send,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync + Send,
+{
+    let n = v.len();
+    let threads = current_num_threads();
+    if n < 8192 || threads <= 1 {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    // Sort one chunk per thread in parallel.
+    let chunk = n.div_ceil(threads);
+    {
+        let mut runs: Vec<&mut [T]> = v.chunks_mut(chunk).collect();
+        std::thread::scope(|s| {
+            let last = runs.pop().expect("at least one run");
+            for run in runs {
+                s.spawn(move || run.sort_unstable_by(cmp));
+            }
+            last.sort_unstable_by(cmp);
+        });
+    }
+    // Merge sorted runs pairwise until one remains.
+    let mut width = chunk;
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    while width < n {
+        buf.clear();
+        {
+            let mut src = &v[..];
+            while !src.is_empty() {
+                let a_len = width.min(src.len());
+                let b_len = width.min(src.len() - a_len);
+                let (a, rest) = src.split_at(a_len);
+                let (b, rest) = rest.split_at(b_len);
+                merge_into(a, b, &mut buf, cmp);
+                src = rest;
+            }
+        }
+        v.copy_from_slice(&buf);
+        width *= 2;
+    }
+}
+
+fn merge_into<T: Copy, F: Fn(&T, &T) -> std::cmp::Ordering>(
+    a: &[T],
+    b: &[T],
+    out: &mut Vec<T>,
+    cmp: &F,
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out.len(), 100_000);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn zip_enumerate_for_each_writes_every_slot() {
+        let a: Vec<u64> = (0..50_000).collect();
+        let mut out = vec![0u64; 50_000];
+        out.par_iter_mut()
+            .zip(a.par_iter())
+            .enumerate()
+            .for_each(|(i, (o, &x))| *o = x + i as u64);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        let v: Vec<u32> = (0..10_001).collect();
+        let total: u32 = v.par_chunks(97).map(|c| c.len() as u32).sum();
+        assert_eq!(total, 10_001);
+    }
+
+    #[test]
+    fn reduce_matches_serial() {
+        let v: Vec<u64> = (1..=200_000).collect();
+        let s = v
+            .par_chunks(4096)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 200_000u64 * 200_001 / 2);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (10..20usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (10..20usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v: Vec<(i32, i32)> = (0..100_000)
+            .map(|i| ((i * 7919 % 1000) as i32 - 500, i as i32))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut back: Vec<i32> = v.iter().map(|p| p.1).collect();
+        back.sort_unstable();
+        assert_eq!(back, (0..100_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let v: Vec<i32> = vec![];
+        let out: Vec<i32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [42i32];
+        let out: Vec<i32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![43]);
+    }
+}
