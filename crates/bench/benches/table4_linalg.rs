@@ -35,6 +35,7 @@ fn bench_pcr_layout_variants(c: &mut Criterion) {
     let mut g = c.benchmark_group("pcr_variants");
     g.sample_size(10);
     let machine = Machine::cm5(32);
+    #[allow(clippy::type_complexity)]
     let variants: [(&str, fn(&Ctx, Size) -> dpf_suite::RunOutput); 3] = [
         ("1d_single", runners::pcr_1d),
         ("2d_batch", runners::pcr_2d),

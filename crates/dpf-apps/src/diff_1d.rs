@@ -13,7 +13,8 @@
 
 use dpf_array::{DistArray, PAR};
 use dpf_comm::{stencil_into, StencilBoundary, StencilPoint};
-use dpf_core::{Ctx, Verify};
+use dpf_core::checkpoint::{drive, Step};
+use dpf_core::{Ctx, DpfError, RecoveryStats, Verify};
 use dpf_linalg::pcr::{pcr_solve, Tridiag};
 use dpf_linalg::reference::thomas;
 
@@ -97,30 +98,108 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         std::mem::replace(&mut u, pcr_solve(ctx, &sys)).recycle(ctx);
 
         // Reference step.
-        let rl: Vec<f64> = (0..n)
-            .map(|i| {
-                let lo = if i > 0 { u_ref[i - 1] } else { 0.0 };
-                let hi = if i + 1 < n { u_ref[i + 1] } else { 0.0 };
-                0.5 * lam * (lo + hi) + (1.0 - lam) * u_ref[i]
-            })
-            .collect();
-        let tl: Vec<f64> = (0..n)
-            .map(|i| if i == 0 { 0.0 } else { -0.5 * lam })
-            .collect();
-        let td = vec![1.0 + lam; n];
-        let tu: Vec<f64> = (0..n)
-            .map(|i| if i + 1 == n { 0.0 } else { -0.5 * lam })
-            .collect();
-        u_ref = thomas(&tl, &td, &tu, &rl);
+        u_ref = serial_cn_step(&u_ref, n, lam);
     }
     let worst = u
         .as_slice()
         .iter()
         .zip(&u_ref)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     let verify = Verify::check("diff-1D vs serial CN", worst, 1e-9);
     (u, verify)
+}
+
+/// One serial Crank–Nicolson step (the verification mirror).
+fn serial_cn_step(u_ref: &[f64], n: usize, lam: f64) -> Vec<f64> {
+    let rl: Vec<f64> = (0..n)
+        .map(|i| {
+            let lo = if i > 0 { u_ref[i - 1] } else { 0.0 };
+            let hi = if i + 1 < n { u_ref[i + 1] } else { 0.0 };
+            0.5 * lam * (lo + hi) + (1.0 - lam) * u_ref[i]
+        })
+        .collect();
+    let tl: Vec<f64> = (0..n)
+        .map(|i| if i == 0 { 0.0 } else { -0.5 * lam })
+        .collect();
+    let td = vec![1.0 + lam; n];
+    let tu: Vec<f64> = (0..n)
+        .map(|i| if i + 1 == n { 0.0 } else { -0.5 * lam })
+        .collect();
+    thomas(&tl, &td, &tu, &rl)
+}
+
+/// [`run`] with snapshot-every-`every`-steps checkpointing: the field is
+/// snapshotted at step boundaries and rolled back + recomputed whenever a
+/// step panics (injected abort) or leaves a non-finite value behind
+/// (injected corruption). The serial reference is integrated fault-free
+/// afterwards, so a recovered run still verifies.
+pub fn run_checkpointed(
+    ctx: &Ctx,
+    p: &Params,
+    every: usize,
+    max_restores: usize,
+) -> Result<(DistArray<f64>, Verify, RecoveryStats), DpfError> {
+    let n = p.nx;
+    let lam = p.lambda;
+    let mut u = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
+        (std::f64::consts::PI * (i[0] + 1) as f64 / (n + 1) as f64).sin()
+    })
+    .declare(ctx);
+    let sys_l =
+        DistArray::<f64>::from_fn(
+            ctx,
+            &[n],
+            &[PAR],
+            |i| {
+                if i[0] == 0 {
+                    0.0
+                } else {
+                    -0.5 * lam
+                }
+            },
+        )
+        .declare(ctx);
+    let sys_d = DistArray::<f64>::full(ctx, &[n], &[PAR], 1.0 + lam).declare(ctx);
+    let sys_u = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| {
+        if i[0] + 1 == n {
+            0.0
+        } else {
+            -0.5 * lam
+        }
+    })
+    .declare(ctx);
+    let rhs_pts = vec![
+        StencilPoint::new(&[-1], 0.5 * lam),
+        StencilPoint::new(&[0], 1.0 - lam),
+        StencilPoint::new(&[1], 0.5 * lam),
+    ];
+    let mut sys = Tridiag {
+        lower: sys_l,
+        diag: sys_d,
+        upper: sys_u,
+        rhs: DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
+    };
+    let stats = drive(&mut u, p.steps, every, max_restores, |u, _| {
+        // The RHS buffer is fully rewritten each step, so it needs no
+        // snapshot: a rolled-back step recomputes it from the restored u.
+        stencil_into(ctx, u, &rhs_pts, StencilBoundary::Fixed(0.0), &mut sys.rhs);
+        std::mem::replace(u, pcr_solve(ctx, &sys)).recycle(ctx);
+        Step::Continue
+    })?;
+    let mut u_ref: Vec<f64> = (0..n)
+        .map(|i| (std::f64::consts::PI * (i + 1) as f64 / (n + 1) as f64).sin())
+        .collect();
+    for _ in 0..p.steps {
+        u_ref = serial_cn_step(&u_ref, n, lam);
+    }
+    let worst = u
+        .as_slice()
+        .iter()
+        .zip(&u_ref)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, dpf_core::nan_max);
+    Ok((u, Verify::check("diff-1D vs serial CN", worst, 1e-9), stats))
 }
 
 /// The analytic decay factor of the first sine mode after `steps` of
@@ -217,7 +296,42 @@ mod tests {
         );
         // Diffusion with zero boundaries keeps 0 <= u <= max(initial).
         for &x in u.as_slice() {
-            assert!(x >= -1e-12 && x <= 1.0 + 1e-12);
+            assert!((-1e-12..=1.0 + 1e-12).contains(&x));
         }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_when_fault_free() {
+        let p = Params {
+            nx: 64,
+            steps: 6,
+            lambda: 0.4,
+        };
+        let ctx_a = ctx();
+        let (ua, va) = run(&ctx_a, &p);
+        let ctx_b = ctx();
+        let (ub, vb, stats) = run_checkpointed(&ctx_b, &p, 2, 4).unwrap();
+        assert!(va.is_pass() && vb.is_pass());
+        assert_eq!(stats.restores, 0);
+        assert_eq!(stats.steps, p.steps);
+        for (a, b) in ua.as_slice().iter().zip(ub.as_slice()) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_recovers_from_injected_corruption() {
+        use dpf_core::{FaultKind, FaultPlan, Machine};
+        let p = Params {
+            nx: 64,
+            steps: 8,
+            lambda: 0.4,
+        };
+        let plan = FaultPlan::new(0.02, 0xD1F1D).only(FaultKind::NanPoison);
+        let ctx = Ctx::with_faults(Machine::cm5(4), plan);
+        let (_, v, stats) = run_checkpointed(&ctx, &p, 2, 200).unwrap();
+        assert!(ctx.faults.injected() > 0, "plan never fired");
+        assert!(stats.restores > 0, "corruption never tripped a rollback");
+        assert!(v.is_pass(), "{v}");
     }
 }

@@ -284,12 +284,12 @@ mod tests {
             })
             .collect();
         let want = dpf_linalg::reference::solve_dense(&k, &rhs, nv).unwrap();
-        for i in 0..nv {
+        for (i, &w) in want.iter().enumerate() {
             assert!(
-                (u.as_slice()[i] - want[i]).abs() < 1e-7,
+                (u.as_slice()[i] - w).abs() < 1e-7,
                 "vertex {i}: {} vs {}",
                 u.as_slice()[i],
-                want[i]
+                w
             );
         }
     }

@@ -97,7 +97,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f32>, Verify) {
                 best_t = t;
             }
         }
-        worst = worst.max((best_t as f64 - p.t0).abs());
+        worst = dpf_core::nan_max(worst, (best_t as f64 - p.t0).abs());
     }
     (
         out,

@@ -133,7 +133,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Vec<f64>, Verify) {
         for (k, (&got, &init)) in uhat.as_slice().iter().zip(want.as_slice()).enumerate() {
             let kk = k % nx;
             let expect = init.scale((lin[kk] * p.dt * p.steps as f64).exp());
-            worst = worst.max((got - expect).abs());
+            worst = dpf_core::nan_max(worst, (got - expect).abs());
         }
         Verify::check("ks linear-mode error", worst, 1e-8)
     } else {
@@ -143,8 +143,8 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Vec<f64>, Verify) {
             .as_slice()
             .iter()
             .map(|c| c.im.abs())
-            .fold(0.0, f64::max);
-        let max_u = field.iter().map(|x| x.abs()).fold(0.0, f64::max);
+            .fold(0.0, dpf_core::nan_max);
+        let max_u = field.iter().map(|x| x.abs()).fold(0.0, dpf_core::nan_max);
         let bounded = if max_u.is_finite() && max_u < 100.0 {
             max_im
         } else {

@@ -14,7 +14,8 @@
 //! back to the home arrays (3 sends).
 
 use dpf_array::{DistArray, PAR};
-use dpf_core::{CommPattern, Ctx, Verify};
+use dpf_core::checkpoint::{drive, Checkpoint, Step};
+use dpf_core::{CommPattern, Ctx, DpfError, RecoveryStats, Verify};
 
 /// Benchmark parameters.
 #[derive(Clone, Debug)]
@@ -50,6 +51,35 @@ pub struct State {
     pub pos: [DistArray<f64>; 3],
     /// Velocities per axis.
     pub vel: [DistArray<f64>; 3],
+}
+
+impl Checkpoint for State {
+    type Snapshot = ([Vec<f64>; 3], [Vec<f64>; 3]);
+
+    fn snapshot(&self) -> Self::Snapshot {
+        let grab = |a: &[DistArray<f64>; 3]| {
+            [
+                a[0].as_slice().to_vec(),
+                a[1].as_slice().to_vec(),
+                a[2].as_slice().to_vec(),
+            ]
+        };
+        (grab(&self.pos), grab(&self.vel))
+    }
+
+    fn restore(&mut self, snap: &Self::Snapshot) {
+        for d in 0..3 {
+            self.pos[d].as_mut_slice().copy_from_slice(&snap.0[d]);
+            self.vel[d].as_mut_slice().copy_from_slice(&snap.1[d]);
+        }
+    }
+
+    fn healthy(&self) -> bool {
+        self.pos
+            .iter()
+            .chain(self.vel.iter())
+            .all(|a| a.as_slice().iter().all(|v| v.is_finite()))
+    }
 }
 
 /// Particles on a slightly-perturbed cubic lattice, at rest.
@@ -189,7 +219,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
         .vel
         .iter()
         .map(|v| v.as_slice().iter().sum::<f64>().abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     let e1 = potential(p, &st) + kinetic(&st);
     let drift = ((e1 - e0) / e0.abs().max(1.0)).abs();
     let metric = mom.max(if drift < 0.05 { 0.0 } else { drift });
@@ -197,6 +227,48 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
         st,
         Verify::check("md momentum + energy drift", metric, 1e-9),
     )
+}
+
+/// [`run`] with snapshot-every-`every`-steps checkpointing. Unlike
+/// [`run`], each step recomputes the opening force evaluation from the
+/// (possibly restored) positions instead of carrying it across steps —
+/// the same trajectory, but a rolled-back step needs no saved forces.
+pub fn run_checkpointed(
+    ctx: &Ctx,
+    p: &Params,
+    every: usize,
+    max_restores: usize,
+) -> Result<(State, Verify, RecoveryStats), DpfError> {
+    let mut st = workload(ctx, p);
+    let n = st.pos[0].len();
+    let e0 = potential(p, &st) + kinetic(&st);
+    let stats = drive(&mut st, p.steps, every, max_restores, |st, _| {
+        let f = forces(ctx, p, st);
+        for (d, fd) in f.iter().enumerate() {
+            st.vel[d].zip_inplace(ctx, 2, fd, |v, a| *v += 0.5 * p.dt * a);
+            let vd = st.vel[d].clone();
+            st.pos[d].zip_inplace(ctx, 2, &vd, |x, v| *x += p.dt * v);
+            ctx.record_comm(CommPattern::Send, 1, 2, n as u64, 0);
+        }
+        let f = forces(ctx, p, st);
+        for (d, fd) in f.iter().enumerate() {
+            st.vel[d].zip_inplace(ctx, 2, fd, |v, a| *v += 0.5 * p.dt * a);
+        }
+        Step::Continue
+    })?;
+    let mom: f64 = st
+        .vel
+        .iter()
+        .map(|v| v.as_slice().iter().sum::<f64>().abs())
+        .fold(0.0, dpf_core::nan_max);
+    let e1 = potential(p, &st) + kinetic(&st);
+    let drift = ((e1 - e0) / e0.abs().max(1.0)).abs();
+    let metric = mom.max(if drift < 0.05 { 0.0 } else { drift });
+    Ok((
+        st,
+        Verify::check("md momentum + energy drift", metric, 1e-9),
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -221,8 +293,8 @@ mod tests {
         let p = Params::default();
         let st = workload(&ctx, &p);
         let f = forces(&ctx, &p, &st);
-        for d in 0..3 {
-            let tot: f64 = f[d].as_slice().iter().sum();
+        for (d, fd) in f.iter().enumerate() {
+            let tot: f64 = fd.as_slice().iter().sum();
             assert!(tot.abs() < 1e-10, "axis {d} total force {tot}");
         }
     }
@@ -236,6 +308,36 @@ mod tests {
         // 3 genuine spreads + 3 recorded row-orientation spreads.
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Spread), 6);
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Reduction), 3);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_and_recovers() {
+        use dpf_core::{FaultKind, FaultPlan, Machine};
+        let p = Params {
+            side: 2,
+            steps: 6,
+            ..Params::default()
+        };
+        // Fault-free: the recomputed-forces formulation walks the same
+        // trajectory as the carried-forces one.
+        let ctx_a = ctx();
+        let (sa, _) = run(&ctx_a, &p);
+        let ctx_b = ctx();
+        let (sb, vb, stats) = run_checkpointed(&ctx_b, &p, 2, 4).unwrap();
+        assert!(vb.is_pass() && stats.restores == 0);
+        for d in 0..3 {
+            for (a, b) in sa.pos[d].as_slice().iter().zip(sb.pos[d].as_slice()) {
+                assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
+        // NaN-poisoned spreads: the force matrix is corrupted, the state
+        // goes non-finite, and the driver rolls back and replays.
+        let plan = FaultPlan::new(0.05, 0x4D5FAA).only(FaultKind::NanPoison);
+        let ctx = Ctx::with_faults(Machine::cm5(4), plan);
+        let (_, v, stats) = run_checkpointed(&ctx, &p, 1, 300).unwrap();
+        assert!(ctx.faults.injected() > 0);
+        assert!(stats.restores > 0);
+        assert!(v.is_pass(), "{v}");
     }
 
     #[test]

@@ -304,7 +304,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Cells, Verify) {
     }
     let n1: f64 = dpf_comm::sum_all(ctx, &c.occ);
     let mom = momentum(&c);
-    let worst = mom.iter().map(|x| x.abs()).fold((n0 - n1).abs(), f64::max);
+    let worst = mom
+        .iter()
+        .map(|x| x.abs())
+        .fold((n0 - n1).abs(), dpf_core::nan_max);
     (
         c,
         Verify::check("mdcell momentum + particle count", worst, 1e-9),
@@ -352,10 +355,10 @@ mod tests {
                 }
                 let mut dx = [0.0f64; 3];
                 let mut r2 = 0.0;
-                for d in 0..3 {
+                for (d, dxd) in dx.iter_mut().enumerate() {
                     let mut dd = c.pos[d].as_slice()[ej] - c.pos[d].as_slice()[ei];
                     dd -= box_l * (dd / box_l).round();
-                    dx[d] = dd;
+                    *dxd = dd;
                     r2 += dd * dd;
                 }
                 let fv = lj_trunc(r2, rc2);

@@ -321,8 +321,8 @@ pub fn run(ctx: &Ctx, p: &Params, variant: Variant) -> (DistArray<f64>, DistArra
             rx += gx;
             ry += gy;
         }
-        worst = worst.max((fx.as_slice()[i] - rx).abs());
-        worst = worst.max((fy.as_slice()[i] - ry).abs());
+        worst = dpf_core::nan_max(worst, (fx.as_slice()[i] - rx).abs());
+        worst = dpf_core::nan_max(worst, (fy.as_slice()[i] - ry).abs());
     }
     (fx, fy, Verify::check("n-body force error", worst, 1e-9))
 }

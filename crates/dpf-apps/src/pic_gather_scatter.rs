@@ -316,7 +316,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
             want[cells.as_slice()[k] as usize] += charge.as_slice()[k];
         }
         for (g, w) in grid.as_slice().iter().zip(&want) {
-            worst = worst.max((g - w).abs());
+            worst = dpf_core::nan_max(worst, (g - w).abs());
         }
         let _ = gather_field(ctx, &grid, &cells);
     }

@@ -232,7 +232,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (Fermion, usize, Verify) {
         .iter()
         .zip(b.as_slice())
         .map(|(g, w)| (*g - *w).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     (
         x,
         iters,
@@ -255,8 +255,8 @@ mod tests {
         for r in 0..3 {
             for c in 0..3 {
                 let mut dot = C64::zero();
-                for k in 0..3 {
-                    dot += u[r][k] * u[c][k].conj();
+                for (ur, uc) in u[r].iter().zip(&u[c]) {
+                    dot += *ur * uc.conj();
                 }
                 let want = if r == c { 1.0 } else { 0.0 };
                 assert!((dot.re - want).abs() < 1e-12 && dot.im.abs() < 1e-12);

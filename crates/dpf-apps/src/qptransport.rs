@@ -222,12 +222,12 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         .iter()
         .zip(&inst.supply)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     let worst_col = col
         .iter()
         .zip(&inst.demand)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     let _ = infeas;
     (
         x,

@@ -113,7 +113,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, usize, Verify) {
         .iter()
         .zip(x_true.as_slice())
         .map(|(a, c)| (a - c).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     (x, iters, Verify::check("rp solution error", err, 1e-6))
 }
 

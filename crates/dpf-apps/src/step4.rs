@@ -137,7 +137,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
         .as_slice()
         .iter()
         .map(|x| x.abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     for _ in 0..p.steps {
         step(ctx, p, &mut st);
     }
@@ -145,8 +145,15 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
     let mut amp = 0.0f64;
     for (f, field) in st.now.iter().enumerate() {
         let mean: f64 = field.as_slice().iter().sum();
-        worst = worst.max((mean - mean0[f]).abs());
-        amp = amp.max(field.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max));
+        worst = dpf_core::nan_max(worst, (mean - mean0[f]).abs());
+        amp = dpf_core::nan_max(
+            amp,
+            field
+                .as_slice()
+                .iter()
+                .map(|x| x.abs())
+                .fold(0.0, dpf_core::nan_max),
+        );
     }
     let metric = if amp < 10.0 * amp0 { worst } else { f64::NAN };
     (
@@ -226,7 +233,7 @@ pub fn run_optimized(ctx: &Ctx, p: &Params) -> (State, Verify) {
         .as_slice()
         .iter()
         .map(|x| x.abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     for _ in 0..p.steps {
         step_optimized(ctx, p, &mut st);
     }
@@ -234,8 +241,15 @@ pub fn run_optimized(ctx: &Ctx, p: &Params) -> (State, Verify) {
     let mut amp = 0.0f64;
     for (f, field) in st.now.iter().enumerate() {
         let mean: f64 = field.as_slice().iter().sum();
-        worst = worst.max((mean - mean0[f]).abs());
-        amp = amp.max(field.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max));
+        worst = dpf_core::nan_max(worst, (mean - mean0[f]).abs());
+        amp = dpf_core::nan_max(
+            amp,
+            field
+                .as_slice()
+                .iter()
+                .map(|x| x.abs())
+                .fold(0.0, dpf_core::nan_max),
+        );
     }
     let metric = if amp < 10.0 * amp0 { worst } else { f64::NAN };
     (

@@ -13,7 +13,8 @@
 
 use dpf_array::{DistArray, PAR};
 use dpf_comm::cshift;
-use dpf_core::{CommPattern, Ctx, Verify, C64};
+use dpf_core::checkpoint::{drive, Checkpoint, Step};
+use dpf_core::{CommPattern, Ctx, DpfError, RecoveryStats, Verify, C64};
 use dpf_fft::{fft_axis_as, Direction};
 
 /// Benchmark parameters.
@@ -50,6 +51,32 @@ pub struct State {
     pub c2: DistArray<f64>,
     /// Spectral energy diagnostic per step.
     pub spectra: Vec<f64>,
+}
+
+impl Checkpoint for State {
+    // (now, prev, spectra); c2 is never written after setup.
+    type Snapshot = (Vec<f64>, Vec<f64>, Vec<f64>);
+
+    fn snapshot(&self) -> Self::Snapshot {
+        (
+            self.now.as_slice().to_vec(),
+            self.prev.as_slice().to_vec(),
+            self.spectra.clone(),
+        )
+    }
+
+    fn restore(&mut self, snap: &Self::Snapshot) {
+        self.now.as_mut_slice().copy_from_slice(&snap.0);
+        self.prev.as_mut_slice().copy_from_slice(&snap.1);
+        self.spectra.clear();
+        self.spectra.extend_from_slice(&snap.2);
+    }
+
+    fn healthy(&self) -> bool {
+        self.now.as_slice().iter().all(|v| v.is_finite())
+            && self.prev.as_slice().iter().all(|v| v.is_finite())
+            && self.spectra.iter().all(|v| v.is_finite())
+    }
 }
 
 /// One time step: the conservative update (flux differences built from
@@ -190,7 +217,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
     } else {
         // Inhomogeneous: check energy boundedness via the spectra log.
         let e0 = st.spectra.first().copied().unwrap_or(0.0);
-        let emax = st.spectra.iter().cloned().fold(0.0, f64::max);
+        let emax = st.spectra.iter().cloned().fold(0.0, dpf_core::nan_max);
         Verify::check(
             "wave-1D spectral energy growth",
             emax / e0.max(1e-300) - 1.0,
@@ -198,6 +225,45 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
         )
     };
     (st, verify)
+}
+
+/// [`run`] with snapshot-every-`every`-steps checkpointing: the leapfrog
+/// pair and the spectra log roll back together on an injected fault, so
+/// a recovered run reports the same pulse position and energy history.
+pub fn run_checkpointed(
+    ctx: &Ctx,
+    p: &Params,
+    every: usize,
+    max_restores: usize,
+) -> Result<(State, Verify, RecoveryStats), DpfError> {
+    let mut st = workload(ctx, p);
+    let stats = drive(&mut st, p.steps, every, max_restores, |st, _| {
+        step(ctx, p, st);
+        Step::Continue
+    })?;
+    let verify = if p.contrast == 0.0 {
+        let want = (p.nx as f64 / 4.0 + p.courant * p.steps as f64) % p.nx as f64;
+        let peak = st
+            .now
+            .as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as f64)
+            .unwrap();
+        let mut d = (peak - want).abs();
+        d = d.min(p.nx as f64 - d);
+        Verify::check("wave-1D pulse position error", d, 2.0)
+    } else {
+        let e0 = st.spectra.first().copied().unwrap_or(0.0);
+        let emax = st.spectra.iter().cloned().fold(0.0, dpf_core::nan_max);
+        Verify::check(
+            "wave-1D spectral energy growth",
+            emax / e0.max(1e-300) - 1.0,
+            0.5,
+        )
+    };
+    Ok((st, verify, stats))
 }
 
 #[cfg(test)]
@@ -240,7 +306,7 @@ mod tests {
         };
         let mut st = workload(&ctx, &p);
         step(&ctx, &p, &mut st);
-        assert_eq!(ctx.instr.pattern_calls(CommPattern::Cshift) >= 4, true);
+        assert!(ctx.instr.pattern_calls(CommPattern::Cshift) >= 4);
         // 2 FFTs, each log2(64) = 6 Butterfly stages.
         assert_eq!(ctx.instr.pattern_calls(CommPattern::Butterfly), 12);
     }
@@ -297,6 +363,36 @@ mod tests {
         for (a, b) in st.now.to_vec().iter().zip(next.to_vec()) {
             assert!((a - b).abs() < 1e-10, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn checkpointed_run_recovers_from_aborts_and_poison() {
+        use dpf_core::{FaultPlan, Machine};
+        let p = Params {
+            nx: 64,
+            steps: 10,
+            ..Params::default()
+        };
+        // Fault-free: same trajectory and spectra as the plain run.
+        let ctx_a = ctx();
+        let (sa, _) = run(&ctx_a, &p);
+        let ctx_b = ctx();
+        let (sb, vb, stats) = run_checkpointed(&ctx_b, &p, 2, 4).unwrap();
+        assert!(vb.is_pass() && stats.restores == 0);
+        assert_eq!(sa.spectra, sb.spectra);
+        for (a, b) in sa.now.as_slice().iter().zip(sb.now.as_slice()) {
+            assert!((a - b).abs() < 1e-14);
+        }
+        // Aborts unwind, poison trips the health probe; both roll back to
+        // the last snapshot and replay.
+        let mut plan = FaultPlan::new(0.01, 0x3A7E1D);
+        plan.kinds = vec![dpf_core::FaultKind::NanPoison, dpf_core::FaultKind::Abort];
+        let ctx = Ctx::with_faults(Machine::cm5(4), plan);
+        let (st, v, stats) = run_checkpointed(&ctx, &p, 2, 400).unwrap();
+        assert!(ctx.faults.injected() > 0);
+        assert!(stats.restores > 0);
+        assert_eq!(st.spectra.len(), p.steps);
+        assert!(v.is_pass(), "{v}");
     }
 
     #[test]

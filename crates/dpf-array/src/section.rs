@@ -299,6 +299,6 @@ mod tests {
             &[Triplet::strided(0, 6, 2), Triplet::strided(1, 6, 2)],
         );
         assert_eq!(s.shape(), &[3, 3]);
-        assert_eq!(s.get(&[1, 1]), (2 * 6 + 3) as i32);
+        assert_eq!(s.get(&[1, 1]), 2 * 6 + 3);
     }
 }

@@ -10,17 +10,30 @@
 //!   --size small|medium|large   problem size tier (default medium)
 //!   --version basic|optimized|library|CMSSL|C/DPEAC
 //!   --procs N                    virtual processors (default 32, CM-5 style)
+//!   --faults RATE                fault-injection probability per comm event
+//!   --fault-seed N               base seed for the deterministic fault plan
+//!   --timeout-secs N             wall-clock budget per attempt (default 300)
+//!   --retries N                  retry budget after a failed attempt
+//!   --checkpoint-every N         snapshot iterative kernels every N steps
+//!   --quarantine a,b             skip the named benchmarks (dpf all)
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use dpf_core::Machine;
-use dpf_suite::{find, registry, tables, Size, Version};
+use dpf_core::{FaultPlan, Machine};
+use dpf_suite::{find, registry, tables, Size, SuiteConfig, Version};
 
 struct Options {
     size: Size,
     version: Version,
     procs: usize,
+    faults: f64,
+    fault_seed: u64,
+    timeout_secs: u64,
+    retries: u32,
+    checkpoint_every: usize,
+    quarantine: Vec<String>,
 }
 
 impl Default for Options {
@@ -29,6 +42,31 @@ impl Default for Options {
             size: Size::Medium,
             version: Version::Basic,
             procs: 32,
+            faults: 0.0,
+            fault_seed: 0,
+            timeout_secs: 300,
+            retries: 0,
+            checkpoint_every: 0,
+            quarantine: Vec::new(),
+        }
+    }
+}
+
+impl Options {
+    fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.faults, self.fault_seed);
+        plan.checkpoint_every = self.checkpoint_every;
+        plan
+    }
+
+    fn suite_config(&self) -> SuiteConfig {
+        SuiteConfig {
+            machine: Machine::cm5(self.procs),
+            size: self.size,
+            faults: self.plan(),
+            timeout: Duration::from_secs(self.timeout_secs),
+            retries: self.retries,
+            quarantine: self.quarantine.clone(),
         }
     }
 }
@@ -62,6 +100,43 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("bad --procs")?;
             }
+            "--faults" => {
+                o.faults = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("bad --faults (want a rate in 0..=1)")?;
+            }
+            "--fault-seed" => {
+                o.fault_seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --fault-seed")?;
+            }
+            "--timeout-secs" => {
+                o.timeout_secs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --timeout-secs")?;
+            }
+            "--retries" => {
+                o.retries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --retries")?;
+            }
+            "--checkpoint-every" => {
+                o.checkpoint_every = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --checkpoint-every")?;
+            }
+            "--quarantine" => {
+                o.quarantine = it
+                    .next()
+                    .map(|s| s.split(',').map(str::to_string).collect())
+                    .ok_or("bad --quarantine")?;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -71,7 +146,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dpf <list|run <name>|all|table <1-8|perf|eff|model>> \
-         [--size small|medium|large] [--version v] [--procs N]"
+         [--size small|medium|large] [--version v] [--procs N] \
+         [--faults RATE] [--fault-seed N] [--timeout-secs N] [--retries N] \
+         [--checkpoint-every N] [--quarantine a,b]"
     );
     ExitCode::from(2)
 }
@@ -117,15 +194,21 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
-            let machine = Machine::cm5(opts.procs);
-            let res = dpf_suite::run(&entry, opts.version, &machine, opts.size);
-            print!("{}", res.report);
-            println!("  FLOPs per point           : {:.2}", res.flops_per_point());
+            let cfg = opts.suite_config();
+            let guarded = dpf_suite::run_guarded(&entry, opts.version, &cfg);
+            if let Some(res) = &guarded.result {
+                print!("{}", res.report);
+                println!("  FLOPs per point           : {:.2}", res.flops_per_point());
+                println!(
+                    "  Comm calls per iteration  : {:.2}",
+                    res.comm_per_iteration()
+                );
+            }
             println!(
-                "  Comm calls per iteration  : {:.2}",
-                res.comm_per_iteration()
+                "outcome: {} ({} attempt(s), {} fault(s) injected)",
+                guarded.outcome, guarded.attempts, guarded.faults_injected
             );
-            if res.report.verify.is_pass() {
+            if guarded.outcome.is_success() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -139,9 +222,14 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
-            let machine = Machine::cm5(opts.procs);
-            print!("{}", tables::perf_report(&machine, opts.size));
-            ExitCode::SUCCESS
+            let cfg = opts.suite_config();
+            let report = dpf_suite::run_suite(&cfg);
+            print!("{}", report.summary());
+            if report.failures() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         "table" => {
             let Some(which) = args.get(1) else {

@@ -12,7 +12,7 @@
 //! combining scatters apply `+`, `max` or `min` at collisions.
 
 use dpf_array::{DistArray, Layout, PAR_THRESHOLD};
-use dpf_core::{CommPattern, Ctx, Elem, Num};
+use dpf_core::{CommPattern, Ctx, DpfError, Elem, Num};
 use rayon::prelude::*;
 
 /// Index pairs per task in the parallel validate/count/move loops.
@@ -71,10 +71,127 @@ fn validate_count_to_1d(src_layout: &Layout, dst_layout: &Layout, idx: &[i32], l
     }
 }
 
+/// Pre-validate a flat slice of 1-D indices, returning the typed error the
+/// panicking paths raise as text. The extra pass is cheap relative to the
+/// data movement and keeps the fused move loops untouched.
+fn check_bounds_1d(idx: &[i32], n: i32, label: &'static str) -> Result<(), DpfError> {
+    for &d in idx {
+        if d < 0 || d >= n {
+            return Err(DpfError::IndexOutOfBounds {
+                label,
+                index: d as i64,
+                bound: n as i64,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pre-validate per-axis coordinate arrays against `shape`.
+fn check_bounds_nd(
+    coords: &[&DistArray<i32>],
+    shape: &[usize],
+    label: &'static str,
+) -> Result<(), DpfError> {
+    for (d, c) in coords.iter().enumerate() {
+        for &i in c.as_slice() {
+            if i < 0 || (i as usize) >= shape[d] {
+                return Err(DpfError::IndexOutOfExtent {
+                    label,
+                    index: i as i64,
+                    extent: shape[d],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `out = src(idx)` — gather from a 1-D source through a flat index array
 /// of any rank; the result is shaped like `idx`.
 pub fn gather<T: Elem>(ctx: &Ctx, src: &DistArray<T>, idx: &DistArray<i32>) -> DistArray<T> {
     gather_as(ctx, src, idx, CommPattern::Gather)
+}
+
+/// [`gather`] that reports out-of-range indices as a recoverable
+/// [`DpfError`] instead of panicking. The error text is identical to the
+/// panic message.
+pub fn try_gather<T: Elem>(
+    ctx: &Ctx,
+    src: &DistArray<T>,
+    idx: &DistArray<i32>,
+) -> Result<DistArray<T>, DpfError> {
+    assert_eq!(src.rank(), 1, "gather source must be 1-D (use gather_nd)");
+    check_bounds_1d(idx.as_slice(), src.shape()[0] as i32, "gather index")?;
+    Ok(gather(ctx, src, idx))
+}
+
+/// [`gather_nd`] with recoverable bounds errors.
+pub fn try_gather_nd<T: Elem>(
+    ctx: &Ctx,
+    src: &DistArray<T>,
+    coords: &[&DistArray<i32>],
+) -> Result<DistArray<T>, DpfError> {
+    assert_eq!(
+        coords.len(),
+        src.rank(),
+        "need one coordinate array per source axis"
+    );
+    check_bounds_nd(coords, src.shape(), "gather_nd index")?;
+    Ok(gather_nd(ctx, src, coords))
+}
+
+/// [`scatter`] with recoverable bounds errors.
+pub fn try_scatter<T: Elem>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    idx: &DistArray<i32>,
+    src: &DistArray<T>,
+) -> Result<(), DpfError> {
+    assert_eq!(
+        dst.rank(),
+        1,
+        "scatter destination must be 1-D (use scatter_nd_*)"
+    );
+    check_bounds_1d(idx.as_slice(), dst.shape()[0] as i32, "scatter index")?;
+    scatter(ctx, dst, idx, src);
+    Ok(())
+}
+
+/// [`scatter_combine`] with recoverable bounds errors.
+pub fn try_scatter_combine<T: Num + PartialOrd>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    idx: &DistArray<i32>,
+    src: &DistArray<T>,
+    combine: Combine,
+) -> Result<(), DpfError> {
+    assert_eq!(
+        dst.rank(),
+        1,
+        "scatter destination must be 1-D (use scatter_nd_*)"
+    );
+    check_bounds_1d(idx.as_slice(), dst.shape()[0] as i32, "scatter index")?;
+    scatter_combine(ctx, dst, idx, src, combine);
+    Ok(())
+}
+
+/// [`scatter_nd_combine`] with recoverable bounds errors.
+pub fn try_scatter_nd_combine<T: Num + PartialOrd>(
+    ctx: &Ctx,
+    dst: &mut DistArray<T>,
+    coords: &[&DistArray<i32>],
+    src: &DistArray<T>,
+    combine: Combine,
+) -> Result<(), DpfError> {
+    assert_eq!(
+        coords.len(),
+        dst.rank(),
+        "need one coordinate array per dest axis"
+    );
+    check_bounds_nd(coords, dst.shape(), "scatter_nd index")?;
+    scatter_nd_combine(ctx, dst, coords, src, combine);
+    Ok(())
 }
 
 /// [`gather`] recorded as the language-level `Get` pattern.
@@ -142,6 +259,7 @@ fn gather_as<T: Elem>(
         idx.len() as u64,
         offproc * T::DTYPE.size() as u64,
     );
+    ctx.faults.inject_slice("gather", out.as_mut_slice());
     out
 }
 
@@ -227,6 +345,7 @@ pub fn gather_nd<T: Elem>(
         out.len() as u64,
         offproc * T::DTYPE.size() as u64,
     );
+    ctx.faults.inject_slice("gather", out.as_mut_slice());
     out
 }
 
@@ -280,6 +399,7 @@ fn scatter_as<T: Elem>(
             d[i as usize] = v;
         }
     });
+    ctx.faults.inject_slice("scatter", dst.as_mut_slice());
 }
 
 /// Combining scatter into a 1-D destination: `dst(idx[k]) ⊕= src[k]`.
@@ -331,6 +451,7 @@ pub fn scatter_combine<T: Num + PartialOrd>(
             }
         }
     });
+    ctx.faults.inject_slice("scatter", dst.as_mut_slice());
 }
 
 /// Combining deposit recorded as the paper's "Gather w/ combine" pattern
@@ -364,6 +485,7 @@ pub fn gather_combine<T: Num + PartialOrd>(
             d[i as usize] += v;
         }
     });
+    ctx.faults.inject_slice("gather", dst.as_mut_slice());
 }
 
 /// Multi-dimensional combining scatter: `dst(c0[k], c1[k], …) ⊕= src[k]`.
@@ -470,6 +592,7 @@ pub fn scatter_nd_combine<T: Num + PartialOrd>(
             }
         }
     });
+    ctx.faults.inject_slice("scatter", dst.as_mut_slice());
 }
 
 #[cfg(test)]
@@ -581,12 +704,7 @@ mod tests {
     fn serial_arrays_move_nothing_offproc() {
         let ctx = ctx(1);
         let src = DistArray::<f64>::from_fn(&ctx, &[8], &[SER], |i| i[0] as f64);
-        let idx = DistArray::<i32>::from_vec(
-            &ctx,
-            &[8],
-            &[SER],
-            (0..8).rev().map(|i| i as i32).collect(),
-        );
+        let idx = DistArray::<i32>::from_vec(&ctx, &[8], &[SER], (0..8).rev().collect());
         let _ = gather(&ctx, &src, &idx);
         let snap = ctx.instr.comm_snapshot();
         assert_eq!(snap.values().next().unwrap().offproc_bytes, 0);

@@ -22,7 +22,7 @@ pub mod transpose;
 
 pub use gather::{
     gather, gather_combine, gather_nd, get, scatter, scatter_combine, scatter_nd_combine, send,
-    Combine,
+    try_gather, try_gather_nd, try_scatter, try_scatter_combine, try_scatter_nd_combine, Combine,
 };
 pub use reduce::{dot, max_all, maxloc_abs, min_all, product_all, sum_all, sum_axis, sum_masked};
 pub use scan::{scan_add, scan_add_exclusive, segmented_copy_scan, segmented_scan_add};
@@ -30,7 +30,7 @@ pub use shift::{cshift, cshift_into, eoshift, eoshift_into};
 pub use sort::{apply_perm, sort_keys, sort_keys_f64};
 pub use spread::{broadcast, broadcast_scalar, spread};
 pub use stencil::{star_stencil, stencil, stencil_into, StencilBoundary, StencilPoint};
-pub use transpose::{transpose, transpose_axes};
+pub use transpose::{transpose, transpose_axes, try_transpose};
 
 #[cfg(test)]
 mod proptests {
@@ -169,10 +169,10 @@ mod proptests {
             let s = segmented_scan_add(&ctx, &a, &seg, 0);
             let sv = s.to_vec();
             let mut acc = 0;
-            for i in 0..n {
+            for (i, &got) in sv.iter().enumerate() {
                 if i % seg_every == 0 { acc = 0; }
                 acc += i as i32 + 1;
-                prop_assert_eq!(sv[i], acc);
+                prop_assert_eq!(got, acc);
             }
         }
     }

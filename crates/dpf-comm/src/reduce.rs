@@ -36,7 +36,9 @@ fn grid_procs<T: Elem>(a: &DistArray<T>) -> usize {
 pub fn sum_all<T: Num>(ctx: &Ctx, a: &DistArray<T>) -> T {
     ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.add_flops());
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    ctx.busy(|| serial_sum(a.as_slice()))
+    let mut s = ctx.busy(|| serial_sum(a.as_slice()));
+    ctx.faults.inject_scalar("reduce", &mut s);
+    s
 }
 
 /// `SUM(a, mask)` — masked full reduction; FLOPs charged over the full
@@ -45,7 +47,7 @@ pub fn sum_masked<T: Num>(ctx: &Ctx, a: &DistArray<T>, mask: &DistArray<bool>) -
     assert_eq!(a.shape(), mask.shape(), "mask shape mismatch");
     ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.add_flops());
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    ctx.busy(|| {
+    let mut s = ctx.busy(|| {
         let mut acc = T::zero();
         for (&x, &m) in a.as_slice().iter().zip(mask.as_slice()) {
             if m {
@@ -53,7 +55,9 @@ pub fn sum_masked<T: Num>(ctx: &Ctx, a: &DistArray<T>, mask: &DistArray<bool>) -
             }
         }
         acc
-    })
+    });
+    ctx.faults.inject_scalar("reduce", &mut s);
+    s
 }
 
 /// `PRODUCT(a)`.
@@ -111,6 +115,7 @@ pub fn sum_axis<T: Num>(ctx: &Ctx, a: &DistArray<T>, axis: usize) -> DistArray<T
             }
         }
     });
+    ctx.faults.inject_slice("reduce", out.as_mut_slice());
     out
 }
 
@@ -173,7 +178,7 @@ pub fn dot<T: Num>(ctx: &Ctx, a: &DistArray<T>, b: &DistArray<T>) -> T {
     let n = a.len() as u64;
     ctx.add_flops(n * T::DTYPE.mul_flops() + flops::reduction(n) * T::DTYPE.add_flops());
     record_reduce::<T>(ctx, a.rank(), 0, n, grid_procs(a) as u64 - 1);
-    ctx.busy(|| {
+    let mut s = ctx.busy(|| {
         if a.len() >= dpf_array::PAR_THRESHOLD {
             a.as_slice()
                 .par_chunks(4096)
@@ -193,7 +198,9 @@ pub fn dot<T: Num>(ctx: &Ctx, a: &DistArray<T>, b: &DistArray<T>) -> T {
             }
             acc
         }
-    })
+    });
+    ctx.faults.inject_scalar("reduce", &mut s);
+    s
 }
 
 fn serial_sum<T: Num>(s: &[T]) -> T {

@@ -14,7 +14,9 @@ use rayon::prelude::*;
 /// (CMF/HPF convention: positive shift moves data toward lower indices).
 pub fn cshift<T: Elem>(ctx: &Ctx, a: &DistArray<T>, axis: usize, shift: isize) -> DistArray<T> {
     record_shift(ctx, a, axis, shift, CommPattern::Cshift);
-    shifted(ctx, a, axis, shift, Boundary::Cyclic)
+    let mut out = shifted(ctx, a, axis, shift, Boundary::Cyclic);
+    ctx.faults.inject_slice("cshift", out.as_mut_slice());
+    out
 }
 
 /// Like [`cshift`], but writing into an existing same-shaped array instead
@@ -28,6 +30,7 @@ pub fn cshift_into<T: Elem>(
 ) {
     record_shift(ctx, a, axis, shift, CommPattern::Cshift);
     shifted_into(ctx, a, axis, shift, Boundary::Cyclic, out);
+    ctx.faults.inject_slice("cshift", out.as_mut_slice());
 }
 
 /// End-off shift: elements shifted off the end are discarded and `fill`
@@ -40,7 +43,9 @@ pub fn eoshift<T: Elem>(
     fill: T,
 ) -> DistArray<T> {
     record_shift(ctx, a, axis, shift, CommPattern::Eoshift);
-    shifted(ctx, a, axis, shift, Boundary::Fill(fill))
+    let mut out = shifted(ctx, a, axis, shift, Boundary::Fill(fill));
+    ctx.faults.inject_slice("eoshift", out.as_mut_slice());
+    out
 }
 
 /// Like [`eoshift`], but writing into an existing same-shaped array
@@ -55,6 +60,7 @@ pub fn eoshift_into<T: Elem>(
 ) {
     record_shift(ctx, a, axis, shift, CommPattern::Eoshift);
     shifted_into(ctx, a, axis, shift, Boundary::Fill(fill), out);
+    ctx.faults.inject_slice("eoshift", out.as_mut_slice());
 }
 
 fn record_shift<T: Elem>(

@@ -97,6 +97,7 @@ fn replicate<T: Elem>(
             }
         }
     });
+    ctx.faults.inject_slice("spread", out.as_mut_slice());
     out
 }
 

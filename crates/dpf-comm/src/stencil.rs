@@ -132,6 +132,7 @@ pub fn stencil_into<T: Num>(
                 .for_each(|(flat, slot)| apply(flat, slot));
         }
     });
+    ctx.faults.inject_slice("stencil", out.as_mut_slice());
 }
 
 /// Record the halo volume of a stencil: per point, the number of elements

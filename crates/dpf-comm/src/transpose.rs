@@ -7,7 +7,7 @@
 //! position under the destination layout.
 
 use dpf_array::{DistArray, MAX_RANK, PAR_THRESHOLD};
-use dpf_core::{CommPattern, Ctx, Elem};
+use dpf_core::{CommPattern, Ctx, DpfError, Elem};
 use rayon::prelude::*;
 
 /// Elements per task in the parallel owner-comparison loop.
@@ -21,6 +21,17 @@ pub fn transpose<T: Elem>(ctx: &Ctx, a: &DistArray<T>) -> DistArray<T> {
         "transpose expects a 2-D array (use transpose_axes)"
     );
     transpose_axes(ctx, a, 0, 1)
+}
+
+/// [`transpose`] reporting a wrong-rank argument as a recoverable
+/// [`DpfError`] instead of panicking.
+pub fn try_transpose<T: Elem>(ctx: &Ctx, a: &DistArray<T>) -> Result<DistArray<T>, DpfError> {
+    if a.rank() != 2 {
+        return Err(DpfError::Shape {
+            what: "transpose expects a 2-D array (use transpose_axes)",
+        });
+    }
+    Ok(transpose_axes(ctx, a, 0, 1))
 }
 
 /// Swap two axes of an array of any rank (AAPC along the pair).
@@ -105,7 +116,7 @@ fn count_moves(
 fn finish<T: Elem>(
     ctx: &Ctx,
     a: &DistArray<T>,
-    out: DistArray<T>,
+    mut out: DistArray<T>,
     offproc_elems: u64,
 ) -> DistArray<T> {
     ctx.record_comm(
@@ -115,6 +126,7 @@ fn finish<T: Elem>(
         a.len() as u64,
         offproc_elems * T::DTYPE.size() as u64,
     );
+    ctx.faults.inject_slice("transpose", out.as_mut_slice());
     out
 }
 

@@ -1,0 +1,308 @@
+//! Checkpoint/restart for iterative kernels.
+//!
+//! Iterative benchmarks (conjugate gradient, Jacobi eigensolver, the
+//! diffusion/wave applications, molecular dynamics) advance a small state
+//! through many identical steps. Under fault injection a step may panic
+//! (forced abort), corrupt the state (NaN poison / bit flip), or both.
+//! [`drive`] runs such a loop with snapshot-every-K semantics: state is
+//! snapshotted at checkpoint boundaries, validated via
+//! [`Checkpoint::healthy`], and rolled back + recomputed when a step
+//! panics or leaves the state unsound. The final `Verify` of a recovered
+//! run must still pass — that is the point.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::fault::DpfError;
+
+/// Snapshot/restore/health for an iterative kernel's mutable state.
+pub trait Checkpoint {
+    /// The serialized form of the state (owned, cheap to clone around).
+    type Snapshot;
+
+    /// Capture the full state.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Restore the state captured by [`Checkpoint::snapshot`].
+    fn restore(&mut self, snap: &Self::Snapshot);
+
+    /// True when the state contains no corruption (e.g. all finite).
+    /// The default trusts the state unconditionally.
+    fn healthy(&self) -> bool {
+        true
+    }
+}
+
+/// Every array-of-floats-like pair (or triple, ...) checkpoints as a tuple.
+impl<A: Checkpoint, B: Checkpoint> Checkpoint for (A, B) {
+    type Snapshot = (A::Snapshot, B::Snapshot);
+
+    fn snapshot(&self) -> Self::Snapshot {
+        (self.0.snapshot(), self.1.snapshot())
+    }
+
+    fn restore(&mut self, snap: &Self::Snapshot) {
+        self.0.restore(&snap.0);
+        self.1.restore(&snap.1);
+    }
+
+    fn healthy(&self) -> bool {
+        self.0.healthy() && self.1.healthy()
+    }
+}
+
+impl<T: Checkpoint> Checkpoint for Vec<T> {
+    type Snapshot = Vec<T::Snapshot>;
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.iter().map(Checkpoint::snapshot).collect()
+    }
+
+    fn restore(&mut self, snap: &Self::Snapshot) {
+        assert_eq!(self.len(), snap.len(), "snapshot length mismatch");
+        for (s, c) in self.iter_mut().zip(snap) {
+            s.restore(c);
+        }
+    }
+
+    fn healthy(&self) -> bool {
+        self.iter().all(Checkpoint::healthy)
+    }
+}
+
+/// What a step tells the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Keep iterating.
+    Continue,
+    /// Converged / finished early — stop before `max_steps`.
+    Done,
+}
+
+/// What recovery cost: how often the driver snapshotted, rolled back, and
+/// re-ran work it had already done once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Steps successfully executed (including replays).
+    pub steps: usize,
+    /// Snapshots taken.
+    pub snapshots: usize,
+    /// Rollbacks performed.
+    pub restores: usize,
+    /// Steps re-executed after a rollback.
+    pub replayed_steps: usize,
+}
+
+/// Drive `step_fn` over `state` for up to `max_steps` iterations with
+/// snapshot-every-`every` checkpointing and at most `max_restores`
+/// rollbacks.
+///
+/// Each step runs under `catch_unwind`; a panic or an unhealthy state at a
+/// checkpoint boundary triggers restore-and-recompute from the last
+/// snapshot. Because fault-injection decisions advance a global counter,
+/// a replayed step sees fresh decisions — recovery converges instead of
+/// re-injecting the identical fault forever.
+pub fn drive<S, F>(
+    state: &mut S,
+    max_steps: usize,
+    every: usize,
+    max_restores: usize,
+    mut step_fn: F,
+) -> Result<RecoveryStats, DpfError>
+where
+    S: Checkpoint,
+    F: FnMut(&mut S, usize) -> Step,
+{
+    let every = every.max(1);
+    let mut stats = RecoveryStats::default();
+    let mut snap = state.snapshot();
+    let mut snap_at = 0usize;
+    stats.snapshots += 1;
+
+    let mut i = 0usize;
+    while i < max_steps {
+        let res = catch_unwind(AssertUnwindSafe(|| step_fn(state, i)));
+        let advance = match res {
+            Ok(step) => {
+                stats.steps += 1;
+                Some(step)
+            }
+            Err(_) => None,
+        };
+
+        match advance {
+            Some(step) => {
+                i += 1;
+                let boundary = i.is_multiple_of(every) || i == max_steps || step == Step::Done;
+                if boundary {
+                    if state.healthy() {
+                        snap = state.snapshot();
+                        snap_at = i;
+                        stats.snapshots += 1;
+                        if step == Step::Done {
+                            return Ok(stats);
+                        }
+                    } else {
+                        if stats.restores >= max_restores {
+                            return Err(DpfError::RecoveryExhausted {
+                                restores: stats.restores,
+                            });
+                        }
+                        stats.restores += 1;
+                        stats.replayed_steps += i - snap_at;
+                        state.restore(&snap);
+                        i = snap_at;
+                    }
+                } else if step == Step::Done {
+                    // Early convergence between boundaries: validate now.
+                    if state.healthy() {
+                        return Ok(stats);
+                    }
+                    if stats.restores >= max_restores {
+                        return Err(DpfError::RecoveryExhausted {
+                            restores: stats.restores,
+                        });
+                    }
+                    stats.restores += 1;
+                    stats.replayed_steps += i - snap_at;
+                    state.restore(&snap);
+                    i = snap_at;
+                }
+            }
+            None => {
+                // The step panicked: roll back to the last snapshot.
+                if stats.restores >= max_restores {
+                    return Err(DpfError::RecoveryExhausted {
+                        restores: stats.restores,
+                    });
+                }
+                stats.restores += 1;
+                stats.replayed_steps += i - snap_at;
+                state.restore(&snap);
+                i = snap_at;
+            }
+        }
+    }
+
+    if state.healthy() {
+        Ok(stats)
+    } else {
+        Err(DpfError::RecoveryExhausted {
+            restores: stats.restores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    struct Counter {
+        v: f64,
+    }
+
+    impl Checkpoint for Counter {
+        type Snapshot = f64;
+        fn snapshot(&self) -> f64 {
+            self.v
+        }
+        fn restore(&mut self, snap: &f64) {
+            self.v = *snap;
+        }
+        fn healthy(&self) -> bool {
+            self.v.is_finite()
+        }
+    }
+
+    #[test]
+    fn clean_run_snapshots_and_finishes() {
+        let mut st = Counter { v: 0.0 };
+        let stats = drive(&mut st, 10, 4, 3, |s, _| {
+            s.v += 1.0;
+            Step::Continue
+        })
+        .unwrap();
+        assert_eq!(st.v, 10.0);
+        assert_eq!(stats.steps, 10);
+        assert_eq!(stats.restores, 0);
+    }
+
+    #[test]
+    fn early_done_stops() {
+        let mut st = Counter { v: 0.0 };
+        let stats = drive(&mut st, 100, 8, 3, |s, _| {
+            s.v += 1.0;
+            if s.v >= 5.0 {
+                Step::Done
+            } else {
+                Step::Continue
+            }
+        })
+        .unwrap();
+        assert_eq!(st.v, 5.0);
+        assert_eq!(stats.steps, 5);
+    }
+
+    #[test]
+    fn panic_rolls_back_and_replays() {
+        let mut st = Counter { v: 0.0 };
+        let panicked = Cell::new(false);
+        let stats = drive(&mut st, 10, 4, 3, |s, i| {
+            if i == 5 && !panicked.get() {
+                panicked.set(true);
+                panic!("injected");
+            }
+            s.v += 1.0;
+            Step::Continue
+        })
+        .unwrap();
+        assert_eq!(st.v, 10.0, "replay must end at the same state");
+        assert_eq!(stats.restores, 1);
+        assert_eq!(
+            stats.replayed_steps, 1,
+            "rolled back from i=5 to snapshot at 4"
+        );
+    }
+
+    #[test]
+    fn corruption_at_boundary_rolls_back() {
+        let mut st = Counter { v: 0.0 };
+        let corrupted = Cell::new(false);
+        let stats = drive(&mut st, 8, 4, 3, |s, i| {
+            s.v += 1.0;
+            if i == 6 && !corrupted.get() {
+                corrupted.set(true);
+                s.v = f64::NAN;
+            }
+            Step::Continue
+        })
+        .unwrap();
+        assert_eq!(st.v, 8.0);
+        assert_eq!(stats.restores, 1);
+    }
+
+    #[test]
+    fn persistent_failure_exhausts() {
+        let mut st = Counter { v: 0.0 };
+        let err = drive(&mut st, 10, 2, 2, |_, i| {
+            if i == 3 {
+                panic!("always");
+            }
+            Step::Continue
+        })
+        .unwrap_err();
+        assert_eq!(err, DpfError::RecoveryExhausted { restores: 2 });
+    }
+
+    #[test]
+    fn tuple_state_checkpoints_both_halves() {
+        let mut st = (Counter { v: 1.0 }, Counter { v: 2.0 });
+        let snap = st.snapshot();
+        st.0.v = 9.0;
+        st.1.v = f64::NAN;
+        assert!(!st.healthy());
+        st.restore(&snap);
+        assert_eq!((st.0.v, st.1.v), (1.0, 2.0));
+        assert!(st.healthy());
+    }
+}

@@ -1,5 +1,6 @@
 //! The benchmark execution context.
 
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::instr::{CommKey, CommPattern, Instr};
 use crate::machine::Machine;
 use crate::pool::BufferPool;
@@ -20,6 +21,9 @@ pub struct Ctx {
     /// Free list of retired output buffers (host-side optimization; never
     /// affects the recorded §1.5 metrics).
     pub pool: BufferPool,
+    /// Deterministic fault engine; disabled by default, armed via
+    /// [`Ctx::with_faults`].
+    pub faults: FaultInjector,
 }
 
 impl Ctx {
@@ -29,6 +33,17 @@ impl Ctx {
             machine,
             instr: Instr::new(),
             pool: BufferPool::new(),
+            faults: FaultInjector::disabled(),
+        }
+    }
+
+    /// Context for the given machine with an armed fault plan.
+    pub fn with_faults(machine: Machine, plan: FaultPlan) -> Self {
+        Ctx {
+            machine,
+            instr: Instr::new(),
+            pool: BufferPool::new(),
+            faults: FaultInjector::new(plan),
         }
     }
 

@@ -104,28 +104,113 @@ impl std::fmt::Display for DType {
 ///
 /// `Default` provides the zero value used for padding and `eoshift`
 /// boundaries; `PartialEq + Debug` support testing.
+///
+/// The three fault-surface methods describe how the fault injector
+/// corrupts a value of this type and how checkpoint health checks detect
+/// corruption: [`Elem::poisoned`] is the loudest corruption the type can
+/// express (NaN where available), [`Elem::bit_flipped`] flips a
+/// high-order bit of the representation (large but possibly still finite),
+/// and [`Elem::is_sound`] is true when the value shows no sign of either.
 pub trait Elem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
     /// The DPF type descriptor for this element.
     const DTYPE: DType;
+
+    /// The value after NaN-poisoning (or the closest analogue the type
+    /// can express).
+    fn poisoned(self) -> Self;
+
+    /// The value after flipping a high-order bit of its representation.
+    fn bit_flipped(self) -> Self;
+
+    /// True when the value carries no corruption marker (finite for
+    /// floating point; always true where corruption is representable as
+    /// a legal value).
+    fn is_sound(self) -> bool;
 }
 
 impl Elem for i32 {
     const DTYPE: DType = DType::I32;
+    fn poisoned(self) -> Self {
+        i32::MIN
+    }
+    fn bit_flipped(self) -> Self {
+        self ^ (1 << 30)
+    }
+    fn is_sound(self) -> bool {
+        self != i32::MIN
+    }
 }
 impl Elem for bool {
     const DTYPE: DType = DType::Bool;
+    fn poisoned(self) -> Self {
+        !self
+    }
+    fn bit_flipped(self) -> Self {
+        !self
+    }
+    fn is_sound(self) -> bool {
+        true
+    }
 }
 impl Elem for f32 {
     const DTYPE: DType = DType::F32;
+    fn poisoned(self) -> Self {
+        f32::NAN
+    }
+    fn bit_flipped(self) -> Self {
+        f32::from_bits(self.to_bits() ^ (1 << 30))
+    }
+    fn is_sound(self) -> bool {
+        self.is_finite()
+    }
 }
 impl Elem for f64 {
     const DTYPE: DType = DType::F64;
+    fn poisoned(self) -> Self {
+        f64::NAN
+    }
+    fn bit_flipped(self) -> Self {
+        f64::from_bits(self.to_bits() ^ (1 << 62))
+    }
+    fn is_sound(self) -> bool {
+        self.is_finite()
+    }
 }
 impl Elem for C32 {
     const DTYPE: DType = DType::C32;
+    fn poisoned(self) -> Self {
+        C32 {
+            re: f32::NAN,
+            im: self.im,
+        }
+    }
+    fn bit_flipped(self) -> Self {
+        C32 {
+            re: self.re.bit_flipped(),
+            im: self.im,
+        }
+    }
+    fn is_sound(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
 }
 impl Elem for C64 {
     const DTYPE: DType = DType::C64;
+    fn poisoned(self) -> Self {
+        C64 {
+            re: f64::NAN,
+            im: self.im,
+        }
+    }
+    fn bit_flipped(self) -> Self {
+        C64 {
+            re: self.re.bit_flipped(),
+            im: self.im,
+        }
+    }
+    fn is_sound(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +248,27 @@ mod tests {
         assert_eq!(DType::C32.flop_factor(), 4);
         assert_eq!(DType::C64.flop_factor(), 4);
         assert_eq!(DType::F64.flop_factor(), 1);
+    }
+
+    #[test]
+    fn fault_surface_detects_its_own_corruption() {
+        assert!(1.0f64.is_sound());
+        assert!(!1.0f64.poisoned().is_sound());
+        assert!(!1.0f64.bit_flipped().is_sound() || 1.0f64.bit_flipped() != 1.0);
+        assert!(!1.0f32.poisoned().is_sound());
+        assert!(!7i32.poisoned().is_sound());
+        assert_ne!(7i32.bit_flipped(), 7);
+        let z = C64 { re: 1.0, im: 2.0 };
+        assert!(z.is_sound());
+        assert!(!z.poisoned().is_sound());
+    }
+
+    #[test]
+    fn f64_bit_flip_is_large_and_detectable() {
+        // Flipping bit 62 of a normal double changes the exponent's top
+        // bit, guaranteeing a magnitude change no residual tolerance hides.
+        let x = 1.5f64;
+        let y = x.bit_flipped();
+        assert!(y.is_nan() || y.is_infinite() || (y / x).abs() > 1e100 || (x / y).abs() > 1e100);
     }
 }

@@ -17,10 +17,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod complex;
 pub mod cost;
 pub mod ctx;
 pub mod dtype;
+pub mod fault;
 pub mod flops;
 pub mod instr;
 pub mod machine;
@@ -29,12 +31,14 @@ pub mod pool;
 pub mod report;
 pub mod verify;
 
+pub use checkpoint::{Checkpoint, RecoveryStats, Step};
 pub use complex::{Complex, Real, C32, C64};
 pub use ctx::Ctx;
 pub use dtype::{DType, Elem};
+pub use fault::{derive_seed, DpfError, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use instr::{CommKey, CommPattern, CommStats, Instr, LocalAccess, PhaseReport};
 pub use machine::Machine;
 pub use numeric::{Field, Num};
 pub use pool::BufferPool;
 pub use report::{BenchReport, PerfSummary};
-pub use verify::Verify;
+pub use verify::{nan_max, Verify};

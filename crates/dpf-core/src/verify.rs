@@ -31,6 +31,22 @@ pub enum Verify {
     NotApplicable,
 }
 
+/// NaN-propagating maximum for verification folds.
+///
+/// IEEE `f64::max` silently *drops* NaN (`0.0f64.max(f64::NAN) == 0.0`),
+/// so a worst-error fold over a poisoned buffer can report a perfect
+/// zero and verify as PASS. Every kernel's error fold uses this instead:
+/// one NaN anywhere makes the metric NaN, which [`Verify::check`]
+/// classifies as Fail.
+#[inline]
+pub fn nan_max(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else {
+        a.max(b)
+    }
+}
+
 impl Verify {
     /// Build a Pass/Fail from a measured error value and tolerance.
     pub fn check(metric: &'static str, value: f64, tol: f64) -> Self {
@@ -75,6 +91,16 @@ mod tests {
     #[test]
     fn nan_fails() {
         assert!(!Verify::check("residual", f64::NAN, 1.0).is_pass());
+    }
+
+    #[test]
+    fn nan_max_propagates_nan() {
+        assert_eq!(nan_max(1.0, 2.0), 2.0);
+        assert!(nan_max(0.0, f64::NAN).is_nan());
+        assert!(nan_max(f64::NAN, 0.0).is_nan());
+        // The plain IEEE max would have returned 0.0 here — that is the
+        // hole this helper closes.
+        assert_eq!(0.0f64.max(f64::NAN), 0.0);
     }
 
     #[test]

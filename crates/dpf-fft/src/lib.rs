@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use dpf_array::DistArray;
-use dpf_core::{CommPattern, Ctx, C64};
+use dpf_core::{CommPattern, Ctx, DpfError, C64};
 use rayon::prelude::*;
 
 /// Transform direction.
@@ -45,10 +45,18 @@ pub const fn stage_flops(n: usize) -> u64 {
 /// In-place radix-2 DIT FFT of one contiguous row. `n` must be a power of
 /// two. No instrumentation — callers account in bulk.
 pub fn fft_row(buf: &mut [C64], dir: Direction) {
+    try_fft_row(buf, dir).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`fft_row`] with a recoverable [`DpfError::NotPowerOfTwo`] (same
+/// message text as the panicking path).
+pub fn try_fft_row(buf: &mut [C64], dir: Direction) -> Result<(), DpfError> {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if !n.is_power_of_two() {
+        return Err(DpfError::NotPowerOfTwo { what: "length", n });
+    }
     if n <= 1 {
-        return;
+        return Ok(());
     }
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -78,6 +86,7 @@ pub fn fft_row(buf: &mut [C64], dir: Direction) {
         }
         len <<= 1;
     }
+    Ok(())
 }
 
 /// O(n²) reference DFT for verification.
@@ -103,10 +112,31 @@ pub fn fft(ctx: &Ctx, a: &DistArray<C64>, dir: Direction) -> DistArray<C64> {
     fft_axis(ctx, a, 0, dir)
 }
 
+/// [`fft`] with recoverable [`DpfError`]s instead of panics: `Shape` for
+/// a non-1-D input, `NotPowerOfTwo` for a bad length.
+pub fn try_fft(ctx: &Ctx, a: &DistArray<C64>, dir: Direction) -> Result<DistArray<C64>, DpfError> {
+    if a.rank() != 1 {
+        return Err(DpfError::Shape {
+            what: "fft expects a 1-D array (use fft_axis)",
+        });
+    }
+    try_fft_axis(ctx, a, 0, dir)
+}
+
 /// FFT along one axis of an array of any rank (each lane transformed
 /// independently — `ks-spectral`'s "1-D FFTs on 2-D arrays").
 pub fn fft_axis(ctx: &Ctx, a: &DistArray<C64>, axis: usize, dir: Direction) -> DistArray<C64> {
     fft_axis_as(ctx, a, axis, dir, CommPattern::Aapc)
+}
+
+/// [`fft_axis`] with a recoverable [`DpfError::NotPowerOfTwo`].
+pub fn try_fft_axis(
+    ctx: &Ctx,
+    a: &DistArray<C64>,
+    axis: usize,
+    dir: Direction,
+) -> Result<DistArray<C64>, DpfError> {
+    try_fft_axis_as(ctx, a, axis, dir, CommPattern::Aapc)
 }
 
 /// [`fft_axis`] with the stage exchange recorded under a caller-chosen
@@ -118,8 +148,22 @@ pub fn fft_axis_as(
     dir: Direction,
     exchange_pattern: CommPattern,
 ) -> DistArray<C64> {
+    try_fft_axis_as(ctx, a, axis, dir, exchange_pattern).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`fft_axis_as`] with a recoverable [`DpfError::NotPowerOfTwo`] (same
+/// message text as the panicking path).
+pub fn try_fft_axis_as(
+    ctx: &Ctx,
+    a: &DistArray<C64>,
+    axis: usize,
+    dir: Direction,
+    exchange_pattern: CommPattern,
+) -> Result<DistArray<C64>, DpfError> {
     let n = a.shape()[axis];
-    assert!(n.is_power_of_two(), "FFT extent {n} is not a power of two");
+    if !n.is_power_of_two() {
+        return Err(DpfError::NotPowerOfTwo { what: "extent", n });
+    }
     record_stages(ctx, a, axis, exchange_pattern);
     let stages = n.trailing_zeros() as u64;
     let lanes = a.layout().lanes(axis) as u64;
@@ -152,14 +196,16 @@ pub fn fft_axis_as(
             }
         });
     });
-    if axis == rank - 1 {
+    let mut out = if axis == rank - 1 {
         out
     } else {
         // Invert the permutation: the axis currently last goes back home.
         let mut back: Vec<usize> = (0..rank - 1).collect();
         back.insert(axis, rank - 1);
         ctx.suppress_comm(|| out.permute(ctx, &back))
-    }
+    };
+    ctx.faults.inject_slice("fft", out.as_mut_slice());
+    Ok(out)
 }
 
 /// Full 2-D FFT (both axes).
@@ -289,16 +335,16 @@ mod tests {
         for r in 0..4 {
             let row: Vec<C64> = (0..8).map(|c| a.get(&[r, c])).collect();
             let reference = dft_reference(&row, Direction::Forward);
-            for c in 0..8 {
-                assert!(close(rows.get(&[r, c]), reference[c], 1e-9));
+            for (c, &want) in reference.iter().enumerate() {
+                assert!(close(rows.get(&[r, c]), want, 1e-9));
             }
         }
         let cols = fft_axis(&ctx, &a, 0, Direction::Forward);
         for c in 0..8 {
             let col: Vec<C64> = (0..4).map(|r| a.get(&[r, c])).collect();
             let reference = dft_reference(&col, Direction::Forward);
-            for r in 0..4 {
-                assert!(close(cols.get(&[r, c]), reference[r], 1e-9));
+            for (r, &want) in reference.iter().enumerate() {
+                assert!(close(cols.get(&[r, c]), want, 1e-9));
             }
         }
     }

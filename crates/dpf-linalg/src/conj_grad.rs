@@ -12,7 +12,8 @@
 
 use dpf_array::{DistArray, PAR};
 use dpf_comm::{cshift, dot, max_all};
-use dpf_core::{Ctx, Verify};
+use dpf_core::checkpoint::{drive, Checkpoint, Step};
+use dpf_core::{Ctx, DpfError, RecoveryStats, Verify};
 
 /// A symmetric positive-definite tridiagonal system (constant layout with
 /// the boundary coefficients zeroed).
@@ -78,6 +79,99 @@ pub fn cg_solve(ctx: &Ctx, sys: &CgSystem, tol: f64, max_iter: usize) -> CgResul
         iterations: iters,
         residual: res,
     }
+}
+
+/// Full iteration state of a CG solve, checkpointable as one unit.
+struct CgState {
+    x: DistArray<f64>,
+    r: DistArray<f64>,
+    p: DistArray<f64>,
+    rho: f64,
+    res: f64,
+}
+
+impl Checkpoint for CgState {
+    type Snapshot = (Vec<f64>, Vec<f64>, Vec<f64>, f64, f64);
+
+    fn snapshot(&self) -> Self::Snapshot {
+        (
+            Checkpoint::snapshot(&self.x),
+            Checkpoint::snapshot(&self.r),
+            Checkpoint::snapshot(&self.p),
+            self.rho,
+            self.res,
+        )
+    }
+
+    fn restore(&mut self, snap: &Self::Snapshot) {
+        self.x.restore(&snap.0);
+        self.r.restore(&snap.1);
+        self.p.restore(&snap.2);
+        self.rho = snap.3;
+        self.res = snap.4;
+    }
+
+    fn healthy(&self) -> bool {
+        self.x.healthy()
+            && self.r.healthy()
+            && self.p.healthy()
+            && self.rho.is_finite()
+            && self.res.is_finite()
+    }
+}
+
+/// [`cg_solve`] with snapshot-every-`every` checkpoint/restart: survives
+/// injected comm-buffer corruption and forced aborts by rolling the full
+/// iteration state back to the last healthy snapshot and recomputing.
+/// Returns the solve result plus what recovery cost.
+pub fn cg_solve_checkpointed(
+    ctx: &Ctx,
+    sys: &CgSystem,
+    tol: f64,
+    max_iter: usize,
+    every: usize,
+    max_restores: usize,
+) -> Result<(CgResult, RecoveryStats), DpfError> {
+    let n = sys.diag.shape()[0];
+    let r = sys.rhs.clone();
+    let rho = dot(ctx, &r, &r);
+    let res = max_all(ctx, &r.map(ctx, 0, f64::abs));
+    let mut st = CgState {
+        x: DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
+        p: r.clone(),
+        r,
+        rho,
+        res,
+    };
+    let mut iters = 0usize;
+    let stats = drive(&mut st, max_iter, every, max_restores, |st, i| {
+        if st.res <= tol {
+            return Step::Done;
+        }
+        let q = apply(ctx, sys, &st.p);
+        let alpha = st.rho / dot(ctx, &st.p, &q);
+        st.x.zip_inplace(ctx, 2, &st.p, |xi, pi| *xi += alpha * pi);
+        st.r.zip_inplace(ctx, 2, &q, |ri, qi| *ri -= alpha * qi);
+        let rho_new = dot(ctx, &st.r, &st.r);
+        let beta = rho_new / st.rho;
+        st.p = st.r.zip_map(ctx, 2, &st.p, |ri, pi| ri + beta * pi);
+        st.rho = rho_new;
+        st.res = max_all(ctx, &st.r.map(ctx, 0, f64::abs));
+        iters = i + 1;
+        if st.res <= tol {
+            Step::Done
+        } else {
+            Step::Continue
+        }
+    })?;
+    Ok((
+        CgResult {
+            x: st.x,
+            iterations: iters,
+            residual: st.res,
+        },
+        stats,
+    ))
 }
 
 /// Optimized version: the matvec, both AXPYs and both inner products of
@@ -193,7 +287,7 @@ pub fn verify(sys: &CgSystem, x: &DistArray<f64>, tol: f64) -> Verify {
         .iter()
         .zip(&want)
         .map(|(p, q)| (p - q).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     Verify::check("cg error", worst, tol)
 }
 

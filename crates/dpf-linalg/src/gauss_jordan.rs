@@ -6,11 +6,21 @@
 //! exchanges through the router, and the pivot row/column broadcasts.
 
 use dpf_array::{DistArray, PAR};
-use dpf_core::{flops, CommPattern, Ctx, Verify};
+use dpf_core::{flops, CommPattern, Ctx, DpfError, Verify};
 
 /// Solve `A x = b` by Gauss–Jordan elimination with partial pivoting,
-/// reducing the augmented system to the identity.
+/// reducing the augmented system to the identity. Panics on singular `A`.
 pub fn gauss_jordan_solve(ctx: &Ctx, a: &DistArray<f64>, b: &DistArray<f64>) -> DistArray<f64> {
+    try_gauss_jordan_solve(ctx, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`gauss_jordan_solve`] with a recoverable [`DpfError::SingularMatrix`]
+/// (same message text as the panicking path).
+pub fn try_gauss_jordan_solve(
+    ctx: &Ctx,
+    a: &DistArray<f64>,
+    b: &DistArray<f64>,
+) -> Result<DistArray<f64>, DpfError> {
     assert_eq!(a.rank(), 2, "matrix must be 2-D");
     let n = a.shape()[0];
     assert_eq!(a.shape()[1], n, "matrix must be square");
@@ -37,7 +47,9 @@ pub fn gauss_jordan_solve(ctx: &Ctx, a: &DistArray<f64>, b: &DistArray<f64>) -> 
             best
         });
         let piv = m[p * w + k];
-        assert!(piv.abs() > 1e-300, "singular matrix at step {k}");
+        if piv.abs() <= 1e-300 {
+            return Err(DpfError::SingularMatrix { step: k });
+        }
         // Row exchange through the router: 3 Sends + 2 Gets (fetch both
         // rows, send both back, send the pivot scalar).
         ctx.record_comm(CommPattern::Get, 2, 1, w as u64, 0);
@@ -78,7 +90,12 @@ pub fn gauss_jordan_solve(ctx: &Ctx, a: &DistArray<f64>, b: &DistArray<f64>) -> 
             }
         });
     }
-    DistArray::<f64>::from_vec(ctx, &[n], &[PAR], (0..n).map(|i| m[i * w + n]).collect())
+    Ok(DistArray::<f64>::from_vec(
+        ctx,
+        &[n],
+        &[PAR],
+        (0..n).map(|i| m[i * w + n]).collect(),
+    ))
 }
 
 /// Invert `A` by Gauss–Jordan elimination on the augmented `[A | I]`

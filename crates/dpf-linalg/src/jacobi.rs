@@ -13,7 +13,8 @@
 
 use dpf_array::{DistArray, PAR};
 use dpf_comm::cshift;
-use dpf_core::{flops, CommPattern, Ctx, Verify};
+use dpf_core::checkpoint::{drive, Checkpoint, Step};
+use dpf_core::{flops, CommPattern, Ctx, DpfError, RecoveryStats, Verify};
 
 /// Result of the eigen decomposition.
 #[derive(Clone, Debug)]
@@ -94,6 +95,131 @@ pub fn jacobi_eigen(ctx: &Ctx, a: &DistArray<f64>, tol: f64, max_sweeps: usize) 
     }
 }
 
+/// Full per-round state of the eigensolver: the working matrix, the
+/// accumulating vectors, the tournament schedule and the convergence
+/// measure.
+struct JacobiState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    players: DistArray<i32>,
+    off: f64,
+}
+
+impl Checkpoint for JacobiState {
+    type Snapshot = (Vec<f64>, Vec<f64>, Vec<i32>, f64);
+
+    fn snapshot(&self) -> Self::Snapshot {
+        (
+            self.m.clone(),
+            self.v.clone(),
+            Checkpoint::snapshot(&self.players),
+            self.off,
+        )
+    }
+
+    fn restore(&mut self, snap: &Self::Snapshot) {
+        self.m.copy_from_slice(&snap.0);
+        self.v.copy_from_slice(&snap.1);
+        self.players.restore(&snap.2);
+        self.off = snap.3;
+    }
+
+    fn healthy(&self) -> bool {
+        // The schedule is a permutation of 1..n; a bit-flipped entry is a
+        // legal i32 but an illegal player id, so range-check explicitly.
+        let n = self.players.len() + 1;
+        self.m.iter().all(|x| x.is_finite())
+            && self.v.iter().all(|x| x.is_finite())
+            && self.off.is_finite()
+            && self
+                .players
+                .as_slice()
+                .iter()
+                .all(|&p| p >= 1 && (p as usize) < n)
+    }
+}
+
+/// [`jacobi_eigen`] with snapshot-every-`every` checkpoint/restart over
+/// the rotation-set loop: a corrupted schedule or matrix (or a forced
+/// abort inside a round) rolls back to the last healthy snapshot.
+pub fn jacobi_eigen_checkpointed(
+    ctx: &Ctx,
+    a: &DistArray<f64>,
+    tol: f64,
+    max_sweeps: usize,
+    every: usize,
+    max_restores: usize,
+) -> Result<(JacobiResult, RecoveryStats), DpfError> {
+    assert_eq!(a.rank(), 2, "jacobi expects a 2-D matrix");
+    let n = a.shape()[0];
+    assert_eq!(a.shape()[1], n, "matrix must be square");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "jacobi pairing needs even n >= 2"
+    );
+    let m = a.to_vec();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let off = offdiag_norm(&m, n);
+    let mut st = JacobiState {
+        m,
+        v,
+        players: DistArray::<i32>::from_fn(ctx, &[n - 1], &[PAR], |i| i[0] as i32 + 1),
+        off,
+    };
+    let mut iterations = 0usize;
+    let stats = drive(
+        &mut st,
+        max_sweeps * (n - 1),
+        every,
+        max_restores,
+        |st, i| {
+            if st.off <= tol {
+                return Step::Done;
+            }
+            let ps = st.players.to_vec();
+            let mut pairs = Vec::with_capacity(n / 2);
+            pairs.push((0usize, ps[0] as usize));
+            for k in 1..n / 2 {
+                pairs.push((ps[k] as usize, ps[n - 1 - k] as usize));
+            }
+            ctx.record_comm(CommPattern::Cshift, 2, 2, (n * n) as u64, 0);
+            ctx.record_comm(CommPattern::Cshift, 2, 2, (n * n) as u64, 0);
+            ctx.record_comm(CommPattern::Send, 1, 2, n as u64, 0);
+            ctx.record_comm(CommPattern::Send, 1, 2, n as u64, 0);
+            for _ in 0..4 {
+                ctx.record_comm(CommPattern::Broadcast, 1, 2, n as u64, 0);
+            }
+            ctx.add_flops(pairs.len() as u64 * (26 + 12 * n as u64));
+            ctx.busy(|| {
+                for &(p, q) in &pairs {
+                    rotate_pair(&mut st.m, &mut st.v, n, p.min(q), p.max(q));
+                }
+            });
+            st.players = cshift(ctx, &st.players, 0, -1);
+            ctx.record_comm(CommPattern::Cshift, 1, 1, (n - 1) as u64, 0);
+            st.off = offdiag_norm(&st.m, n);
+            iterations = i + 1;
+            if st.off <= tol {
+                Step::Done
+            } else {
+                Step::Continue
+            }
+        },
+    )?;
+    Ok((
+        JacobiResult {
+            eigenvalues: (0..n).map(|i| st.m[i * n + i]).collect(),
+            vectors: st.v,
+            iterations,
+            offdiag: st.off,
+        },
+        stats,
+    ))
+}
+
 fn rotate_pair(m: &mut [f64], v: &mut [f64], n: usize, p: usize, q: usize) {
     let apq = m[p * n + q];
     if apq.abs() < 1e-300 {
@@ -166,12 +292,12 @@ pub fn verify(a: &DistArray<f64>, out: &JacobiResult, tol: f64) -> Verify {
                 lhs += av[i * n + j] * out.vectors[j * n + k];
             }
             let rhs = out.eigenvalues[k] * out.vectors[i * n + k];
-            worst = worst.max((lhs - rhs).abs());
+            worst = dpf_core::nan_max(worst, (lhs - rhs).abs());
         }
     }
     let trace_a: f64 = (0..n).map(|i| av[i * n + i]).sum();
     let trace_l: f64 = out.eigenvalues.iter().sum();
-    worst = worst.max((trace_a - trace_l).abs());
+    worst = dpf_core::nan_max(worst, (trace_a - trace_l).abs());
     Verify::check("eigen residual", worst, tol)
 }
 

@@ -11,7 +11,7 @@
 //! `ctx.phase("lu:factor")` / `ctx.phase("lu:solve")` in the harness.
 
 use dpf_array::{DistArray, PAR};
-use dpf_core::{flops, CommPattern, Ctx, Verify};
+use dpf_core::{flops, CommPattern, Ctx, DpfError, Verify};
 
 /// Compact LU factors plus the pivot permutation.
 #[derive(Clone, Debug)]
@@ -22,8 +22,14 @@ pub struct LuFactors {
     pub perm: Vec<usize>,
 }
 
-/// Factor `A` (n×n) with partial pivoting.
+/// Factor `A` (n×n) with partial pivoting, panicking on singular input.
 pub fn lu_factor(ctx: &Ctx, a: &DistArray<f64>) -> LuFactors {
+    try_lu_factor(ctx, a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Factor `A` (n×n) with partial pivoting; a vanished pivot is reported as
+/// [`DpfError::SingularMatrix`] (same message text as the panicking path).
+pub fn try_lu_factor(ctx: &Ctx, a: &DistArray<f64>) -> Result<LuFactors, DpfError> {
     assert_eq!(a.rank(), 2, "lu expects a square 2-D matrix");
     let n = a.shape()[0];
     assert_eq!(n, a.shape()[1], "lu expects a square matrix");
@@ -45,7 +51,9 @@ pub fn lu_factor(ctx: &Ctx, a: &DistArray<f64>) -> LuFactors {
             }
             (best, s[best * n + k])
         });
-        assert!(piv.abs() > 1e-300, "singular matrix at step {k}");
+        if piv.abs() <= 1e-300 {
+            return Err(DpfError::SingularMatrix { step: k });
+        }
         if p != k {
             ctx.busy(|| {
                 let s = lu.as_mut_slice();
@@ -71,7 +79,7 @@ pub fn lu_factor(ctx: &Ctx, a: &DistArray<f64>) -> LuFactors {
             }
         });
     }
-    LuFactors { lu, perm }
+    Ok(LuFactors { lu, perm })
 }
 
 /// Solve `A X = B` for `r` right-hand sides (B is n×r) using the factors.
@@ -131,6 +139,15 @@ pub fn lu_solve(ctx: &Ctx, f: &LuFactors, b: &DistArray<f64>) -> DistArray<f64> 
 /// to keep the vector units busy. Identical pivoting sequence and
 /// (up to rounding) identical factors to [`lu_factor`].
 pub fn lu_factor_blocked(ctx: &Ctx, a: &DistArray<f64>, nb: usize) -> LuFactors {
+    try_lu_factor_blocked(ctx, a, nb).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`lu_factor_blocked`] with a recoverable [`DpfError::SingularMatrix`].
+pub fn try_lu_factor_blocked(
+    ctx: &Ctx,
+    a: &DistArray<f64>,
+    nb: usize,
+) -> Result<LuFactors, DpfError> {
     assert_eq!(a.rank(), 2, "lu expects a square 2-D matrix");
     let n = a.shape()[0];
     assert_eq!(n, a.shape()[1], "lu expects a square matrix");
@@ -156,7 +173,9 @@ pub fn lu_factor_blocked(ctx: &Ctx, a: &DistArray<f64>, nb: usize) -> LuFactors 
                 }
                 (best, s[best * n + k])
             });
-            assert!(piv.abs() > 1e-300, "singular matrix at step {k}");
+            if piv.abs() <= 1e-300 {
+                return Err(DpfError::SingularMatrix { step: k });
+            }
             if p != k {
                 ctx.busy(|| {
                     let s = lu.as_mut_slice();
@@ -218,7 +237,7 @@ pub fn lu_factor_blocked(ctx: &Ctx, a: &DistArray<f64>, nb: usize) -> LuFactors 
         }
         k0 = kend;
     }
-    LuFactors { lu, perm }
+    Ok(LuFactors { lu, perm })
 }
 
 /// Diagonally-dominant random workload: `A` (n×n) and `B` (n×r).
@@ -252,13 +271,10 @@ pub fn verify(a: &DistArray<f64>, b: &DistArray<f64>, x: &DistArray<f64>, tol: f
     for j in 0..r {
         let bj: Vec<f64> = (0..n).map(|i| b.as_slice()[i * r + j]).collect();
         let xj: Vec<f64> = (0..n).map(|i| x.as_slice()[i * r + j]).collect();
-        worst = worst.max(crate::reference::residual_dense(
-            a.as_slice(),
-            &xj,
-            &bj,
-            n,
-            n,
-        ));
+        worst = dpf_core::nan_max(
+            worst,
+            crate::reference::residual_dense(a.as_slice(), &xj, &bj, n, n),
+        );
     }
     Verify::check("lu residual", worst, tol)
 }

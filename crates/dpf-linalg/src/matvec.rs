@@ -173,7 +173,7 @@ pub fn verify(a: &DistArray<f64>, x: &DistArray<f64>, y: &DistArray<f64>, tol: f
         let xr = &x.as_slice()[inst * m..(inst + 1) * m];
         let want = crate::reference::matvec_dense(ar, xr, n, m);
         for (r, &w) in want.iter().enumerate() {
-            worst = worst.max((y.as_slice()[inst * n + r] - w).abs());
+            worst = dpf_core::nan_max(worst, (y.as_slice()[inst * n + r] - w).abs());
         }
     }
     Verify::check("matvec residual", worst, tol)
@@ -220,7 +220,7 @@ pub fn verify_generic<T: Num>(
             for k in 0..m {
                 acc += a.as_slice()[(inst * n + r) * m + k] * x.as_slice()[inst * m + k];
             }
-            worst = worst.max((y.as_slice()[inst * n + r] - acc).mag());
+            worst = dpf_core::nan_max(worst, (y.as_slice()[inst * n + r] - acc).mag());
         }
     }
     Verify::check("matvec residual", worst, tol)

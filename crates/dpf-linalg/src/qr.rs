@@ -188,7 +188,7 @@ pub fn verify(x: &DistArray<f64>, x_true: &DistArray<f64>, tol: f64) -> Verify {
         .iter()
         .zip(x_true.as_slice())
         .map(|(p, q)| (p - q).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     Verify::check("qr solution error", worst, tol)
 }
 

@@ -85,7 +85,7 @@ pub fn residual_dense(a: &[f64], x: &[f64], b: &[f64], n: usize, m: usize) -> f6
     ax.iter()
         .zip(b)
         .map(|(p, q)| (p - q).abs())
-        .fold(0.0, f64::max)
+        .fold(0.0, dpf_core::nan_max)
 }
 
 /// Frobenius norm of a dense matrix.

@@ -38,7 +38,7 @@ pub fn run_gather(ctx: &Ctx, size: Size) -> RunOutput {
     let mut worst = 0.0f64;
     for k in 0..n {
         let want = ((k * 7919 + 13) % n) as f64;
-        worst = worst.max((out.as_slice()[k] - want).abs());
+        worst = dpf_core::nan_max(worst, (out.as_slice()[k] - want).abs());
     }
     RunOutput {
         problem: format!("n={n}, d"),
@@ -60,14 +60,14 @@ pub fn run_scatter(ctx: &Ctx, size: Size) -> RunOutput {
     let mut worst = 0.0f64;
     for k in 0..n {
         let to = (k * 7919 + 13) % n;
-        worst = worst.max((dst.as_slice()[to] - k as f64).abs());
+        worst = dpf_core::nan_max(worst, (dst.as_slice()[to] - k as f64).abs());
     }
     // Hot-spot scatter with combining (collisions resolved by addition).
     let hot = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], |_| 0);
     let ones = DistArray::<f64>::full(ctx, &[n], &[PAR], 1.0);
     let mut hot_dst = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
     comm::scatter_combine(ctx, &mut hot_dst, &hot, &ones, comm::Combine::Add);
-    worst = worst.max(hot_dst.as_slice()[0] - n as f64);
+    worst = dpf_core::nan_max(worst, hot_dst.as_slice()[0] - n as f64);
     RunOutput {
         problem: format!("n={n}, d"),
         verify: Verify::check("scatter error", worst, 0.0),
@@ -88,11 +88,12 @@ pub fn run_reduction(ctx: &Ctx, size: Size) -> RunOutput {
     let side = (n as f64).sqrt() as usize;
     let b = DistArray::<f64>::full(ctx, &[side, side], &[PAR, PAR], 1.0).declare(ctx);
     let rows = comm::sum_axis(ctx, &b, 1);
-    worst = worst.max(
+    worst = dpf_core::nan_max(
+        worst,
         rows.as_slice()
             .iter()
             .map(|r| (r - side as f64).abs())
-            .fold(0.0, f64::max),
+            .fold(0.0, dpf_core::nan_max),
     );
     RunOutput {
         problem: format!("n={n}, d"),
@@ -121,7 +122,7 @@ pub fn run_transpose(ctx: &Ctx, size: Size) -> RunOutput {
         .iter()
         .zip(a.as_slice())
         .map(|(p, q)| (p - q).abs())
-        .fold(0.0, f64::max);
+        .fold(0.0, dpf_core::nan_max);
     RunOutput {
         problem: format!("{side}x{side}, d"),
         verify: Verify::check("transpose involution error", worst, 0.0),

@@ -1,9 +1,19 @@
 //! The run harness: wraps a registry entry's runner with a fresh context,
 //! end-to-end timing, and the §1.5 report assembly.
+//!
+//! The fault-tolerant layer ([`run_guarded`], [`run_suite`]) isolates each
+//! benchmark on a watchdog-monitored worker thread: panics are caught and
+//! reported instead of aborting the sweep, wall-clock timeouts abandon the
+//! worker, and failed attempts are retried (each with its own derived
+//! fault seed, the final attempt fault-free) up to a bounded budget. Every
+//! run ends in a [`RunOutcome`] recorded in the [`SuiteReport`].
 
-use std::time::Instant;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Once;
+use std::time::{Duration, Instant};
 
-use dpf_core::{BenchReport, Ctx, Machine};
+use dpf_core::{derive_seed, BenchReport, Ctx, FaultPlan, Machine};
 
 use crate::benchmark::{BenchEntry, RunOutput, Size, Version};
 
@@ -56,6 +66,338 @@ pub fn run_basic(entry: &BenchEntry, machine: &Machine, size: Size) -> HarnessRe
     run(entry, Version::Basic, machine, size)
 }
 
+// ------------------------------------------------- fault-tolerant harness
+
+/// How one guarded benchmark run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// First attempt ran to completion and verified.
+    Completed,
+    /// Every attempt completed but verification failed.
+    VerifyFailed,
+    /// Every attempt panicked; holds the last panic message.
+    Panicked(String),
+    /// Every attempt exceeded the wall-clock budget.
+    TimedOut,
+    /// A later attempt succeeded after `retries` failed ones.
+    Recovered {
+        /// Failed attempts before the one that succeeded.
+        retries: u32,
+    },
+    /// Skipped: the benchmark is on the quarantine list.
+    Quarantined,
+}
+
+impl RunOutcome {
+    /// True when the run produced a verified result (or was deliberately
+    /// skipped) — the suite exit code counts everything else as a failure.
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            RunOutcome::Completed | RunOutcome::Recovered { .. } | RunOutcome::Quarantined
+        )
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Completed => f.write_str("completed"),
+            RunOutcome::VerifyFailed => f.write_str("verify-failed"),
+            RunOutcome::Panicked(msg) => write!(f, "panicked: {msg}"),
+            RunOutcome::TimedOut => f.write_str("timed-out"),
+            RunOutcome::Recovered { retries } => write!(f, "recovered({retries})"),
+            RunOutcome::Quarantined => f.write_str("quarantined"),
+        }
+    }
+}
+
+/// Configuration of a guarded run / suite sweep.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Virtual machine to run on.
+    pub machine: Machine,
+    /// Problem-size tier.
+    pub size: Size,
+    /// Fault-injection plan (rate 0 = no injection). The seed is the
+    /// *base* seed: every benchmark and every retry attempt derives its
+    /// own decision stream from it, so a sweep is reproducible while no
+    /// two runs share fault sites.
+    pub faults: FaultPlan,
+    /// Wall-clock budget per attempt.
+    pub timeout: Duration,
+    /// Retry budget after a failed attempt (0 = single attempt). When
+    /// faults are active the final attempt runs fault-free, so a sweep
+    /// can always terminate with a clean answer.
+    pub retries: u32,
+    /// Benchmarks to skip entirely (recorded as [`RunOutcome::Quarantined`]).
+    pub quarantine: Vec<String>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            machine: Machine::cm5(32),
+            size: Size::Small,
+            faults: FaultPlan::default(),
+            timeout: Duration::from_secs(300),
+            retries: 0,
+            quarantine: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of [`run_guarded`]: how the run ended, plus the full harness
+/// result when an attempt ran to completion (also kept for
+/// `VerifyFailed`, so the report still shows the failing metric).
+pub struct GuardedResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The completed attempt's report, if any attempt completed.
+    pub result: Option<HarnessResult>,
+    /// Attempts actually launched.
+    pub attempts: u32,
+    /// Faults injected during the successful attempt (0 when none fired).
+    pub faults_injected: u64,
+}
+
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Install (once) a panic hook that stays silent on harness worker
+/// threads — an injected abort is an expected event, not console noise —
+/// while every other thread keeps the default backtrace behavior.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+enum Attempt {
+    Done(Box<HarnessResult>, u64),
+    Panicked(String),
+    TimedOut,
+}
+
+/// One attempt on a watchdog-monitored worker thread. The runner is a
+/// plain `fn` pointer and every input is owned, so the worker is fully
+/// detachable: on timeout the thread is abandoned (it parks on a closed
+/// channel when it eventually finishes) rather than blocking the sweep.
+fn run_attempt(
+    name: &'static str,
+    version: Version,
+    runner: fn(&Ctx, Size) -> RunOutput,
+    machine: Machine,
+    size: Size,
+    plan: FaultPlan,
+    timeout: Duration,
+) -> Attempt {
+    install_quiet_hook();
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::Builder::new()
+        .name(format!("dpf-worker-{name}"))
+        .spawn(move || {
+            QUIET_PANICS.with(|q| q.set(true));
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                let ctx = Ctx::with_faults(machine, plan);
+                let start = Instant::now();
+                let output = runner(&ctx, size);
+                let elapsed = start.elapsed();
+                let injected = ctx.faults.injected() as u64;
+                let report = BenchReport::from_ctx(
+                    name,
+                    version.name(),
+                    output.problem.clone(),
+                    &ctx,
+                    elapsed,
+                    output.verify.clone(),
+                );
+                (Box::new(HarnessResult { report, output }), injected)
+            }));
+            let _ = tx.send(outcome.map_err(payload_to_string));
+        })
+        .expect("spawn harness worker");
+    match rx.recv_timeout(timeout) {
+        Ok(Ok((result, injected))) => {
+            let _ = worker.join();
+            Attempt::Done(result, injected)
+        }
+        Ok(Err(msg)) => {
+            let _ = worker.join();
+            Attempt::Panicked(msg)
+        }
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Attempt::TimedOut,
+    }
+}
+
+/// Run one benchmark under the fault-tolerant harness: panic isolation,
+/// wall-clock timeout, bounded retries with a short backoff. Attempt `k`
+/// derives its fault seed as `derive_seed(base, name, k)`; when faults
+/// are active and a retry budget exists, the final attempt runs
+/// fault-free so the sweep always terminates with a definitive outcome.
+pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> GuardedResult {
+    let variant = entry
+        .variant(version)
+        .unwrap_or_else(|| panic!("{} has no {} variant", entry.name, version));
+    let name = entry.name;
+    let runner = variant.run;
+    let mut last_failure = RunOutcome::TimedOut;
+    let mut verify_failed: Option<Box<HarnessResult>> = None;
+    for attempt in 0..=cfg.retries {
+        if attempt > 0 {
+            // Short linear backoff between attempts.
+            std::thread::sleep(Duration::from_millis(10 * attempt as u64));
+        }
+        let mut plan = cfg.faults.clone();
+        if plan.is_active() {
+            plan.seed = derive_seed(cfg.faults.seed, name, attempt as u64);
+            if attempt == cfg.retries && cfg.retries > 0 {
+                // Last chance: no injection, so a healthy kernel always
+                // has a fault-free attempt to finish on.
+                plan.rate = 0.0;
+            }
+        }
+        match run_attempt(
+            name,
+            version,
+            runner,
+            cfg.machine.clone(),
+            cfg.size,
+            plan,
+            cfg.timeout,
+        ) {
+            Attempt::Done(result, injected) => {
+                if result.report.verify.is_pass() {
+                    return GuardedResult {
+                        outcome: if attempt == 0 {
+                            RunOutcome::Completed
+                        } else {
+                            RunOutcome::Recovered { retries: attempt }
+                        },
+                        result: Some(*result),
+                        attempts: attempt + 1,
+                        faults_injected: injected,
+                    };
+                }
+                last_failure = RunOutcome::VerifyFailed;
+                verify_failed = Some(result);
+            }
+            Attempt::Panicked(msg) => last_failure = RunOutcome::Panicked(msg),
+            Attempt::TimedOut => last_failure = RunOutcome::TimedOut,
+        }
+    }
+    let attempts = cfg.retries + 1;
+    GuardedResult {
+        outcome: last_failure,
+        result: verify_failed.map(|b| *b),
+        attempts,
+        faults_injected: 0,
+    }
+}
+
+/// One row of a [`SuiteReport`].
+pub struct SuiteRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// How the guarded run ended.
+    pub outcome: RunOutcome,
+    /// The completed attempt's report, when one exists.
+    pub result: Option<HarnessResult>,
+}
+
+/// The outcome table of a whole guarded sweep.
+pub struct SuiteReport {
+    /// One row per registry benchmark, in registry order.
+    pub rows: Vec<SuiteRow>,
+}
+
+impl SuiteReport {
+    /// Rows whose outcome counts as a failure.
+    pub fn failures(&self) -> usize {
+        self.rows.iter().filter(|r| !r.outcome.is_success()).count()
+    }
+
+    /// Render the sweep summary: one line per benchmark with its verify
+    /// state and outcome, then a failure count.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<20} {:>8} {:>12}  problem",
+            "benchmark", "verify", "outcome"
+        );
+        for row in &self.rows {
+            let (verify, problem) = match &row.result {
+                Some(res) => (
+                    if res.report.verify.is_pass() {
+                        "PASS"
+                    } else {
+                        "FAIL"
+                    },
+                    res.output.problem.as_str(),
+                ),
+                None => ("-", ""),
+            };
+            let _ = writeln!(
+                s,
+                "{:<20} {:>8} {:>12}  {}",
+                row.name, verify, row.outcome, problem
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{} benchmarks, {} failed",
+            self.rows.len(),
+            self.failures()
+        );
+        s
+    }
+}
+
+/// Run the whole registry (basic versions) under the fault-tolerant
+/// harness. The sweep never aborts on a single benchmark: every panic,
+/// timeout or verification failure is recorded as that row's outcome.
+pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
+    let rows = crate::registry::registry()
+        .iter()
+        .map(|entry| {
+            if cfg.quarantine.iter().any(|q| q == entry.name) {
+                return SuiteRow {
+                    name: entry.name,
+                    outcome: RunOutcome::Quarantined,
+                    result: None,
+                };
+            }
+            let guarded = run_guarded(entry, Version::Basic, cfg);
+            SuiteRow {
+                name: entry.name,
+                outcome: guarded.outcome,
+                result: guarded.result,
+            }
+        })
+        .collect();
+    SuiteReport { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +435,97 @@ mod tests {
     fn missing_variant_panics() {
         let entry = registry::find("boson").unwrap();
         let _ = run(&entry, Version::CDpeac, &Machine::cm5(4), Size::Small);
+    }
+
+    fn small_cfg() -> SuiteConfig {
+        SuiteConfig {
+            machine: Machine::cm5(8),
+            ..SuiteConfig::default()
+        }
+    }
+
+    #[test]
+    fn guarded_clean_run_completes() {
+        let entry = registry::find("conj-grad").unwrap();
+        let res = run_guarded(&entry, Version::Basic, &small_cfg());
+        assert_eq!(res.outcome, RunOutcome::Completed);
+        assert_eq!(res.attempts, 1);
+        assert_eq!(res.faults_injected, 0);
+        assert!(res.result.unwrap().report.verify.is_pass());
+    }
+
+    #[test]
+    fn guarded_isolates_injected_abort() {
+        use dpf_core::FaultKind;
+        let entry = registry::find("conj-grad").unwrap();
+        let mut cfg = small_cfg();
+        cfg.faults = FaultPlan::new(1.0, 7).only(FaultKind::Abort);
+        let res = run_guarded(&entry, Version::Basic, &cfg);
+        match &res.outcome {
+            RunOutcome::Panicked(msg) => {
+                assert!(msg.contains("injected fault: forced abort"), "{msg}")
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        assert!(!res.outcome.is_success());
+        assert!(res.result.is_none());
+    }
+
+    #[test]
+    fn guarded_recovers_on_fault_free_final_attempt() {
+        use dpf_core::FaultKind;
+        let entry = registry::find("conj-grad").unwrap();
+        let mut cfg = small_cfg();
+        cfg.faults = FaultPlan::new(1.0, 7).only(FaultKind::Abort);
+        cfg.retries = 1;
+        let res = run_guarded(&entry, Version::Basic, &cfg);
+        assert_eq!(res.outcome, RunOutcome::Recovered { retries: 1 });
+        assert_eq!(res.attempts, 2);
+        assert!(res.result.unwrap().report.verify.is_pass());
+    }
+
+    #[test]
+    fn guarded_times_out_on_stall() {
+        use dpf_core::FaultKind;
+        let entry = registry::find("conj-grad").unwrap();
+        let mut cfg = small_cfg();
+        cfg.faults = FaultPlan::new(1.0, 7)
+            .only(FaultKind::Stall)
+            .with_stall_ms(10_000);
+        cfg.timeout = Duration::from_millis(100);
+        let res = run_guarded(&entry, Version::Basic, &cfg);
+        assert_eq!(res.outcome, RunOutcome::TimedOut);
+        assert!(!res.outcome.is_success());
+    }
+
+    #[test]
+    fn guarded_outcome_is_deterministic() {
+        use dpf_core::FaultKind;
+        let entry = registry::find("conj-grad").unwrap();
+        let mut cfg = small_cfg();
+        cfg.faults = FaultPlan::new(0.05, 42).only(FaultKind::NanPoison);
+        cfg.retries = 2;
+        let a = run_guarded(&entry, Version::Basic, &cfg);
+        let b = run_guarded(&entry, Version::Basic, &cfg);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.faults_injected, b.faults_injected);
+    }
+
+    #[test]
+    fn suite_quarantine_skips_rows() {
+        let mut cfg = small_cfg();
+        cfg.quarantine = registry::registry()
+            .iter()
+            .map(|e| e.name.to_string())
+            .collect();
+        let report = run_suite(&cfg);
+        assert_eq!(report.rows.len(), registry::registry().len());
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| r.outcome == RunOutcome::Quarantined));
+        assert_eq!(report.failures(), 0);
+        assert!(report.summary().contains("0 failed"));
     }
 }

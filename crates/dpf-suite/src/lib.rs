@@ -18,5 +18,8 @@ pub mod runners;
 pub mod tables;
 
 pub use benchmark::{BenchEntry, Group, RunOutput, Size, Variant, Version};
-pub use harness::{run, run_basic, HarnessResult};
+pub use harness::{
+    run, run_basic, run_guarded, run_suite, GuardedResult, HarnessResult, RunOutcome, SuiteConfig,
+    SuiteReport, SuiteRow,
+};
 pub use registry::{find, registry};

@@ -2,9 +2,24 @@
 //! registry and the implementation crates).
 
 use dpf_array::PAR;
-use dpf_core::{Ctx, Verify};
+use dpf_core::{Ctx, DpfError, Verify};
 
 use crate::benchmark::{RunOutput, Size};
+
+/// Restore budget for checkpoint-aware runners (per run, not per window).
+const MAX_RESTORES: usize = 32;
+
+/// A checkpoint-aware runner exhausted its restore budget (or hit an
+/// unrecoverable error): report a failing verification instead of
+/// unwinding, so the suite sweep keeps going.
+fn recovery_failed(problem: String, e: DpfError, points: u64) -> RunOutput {
+    RunOutput {
+        problem: format!("{problem}: {e}"),
+        verify: Verify::check("checkpoint recovery", f64::INFINITY, 0.0),
+        points,
+        iterations: 0,
+    }
+}
 
 // ---------------------------------------------------------------- linalg
 
@@ -164,6 +179,18 @@ pub fn conj_grad(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => 1 << 16,
     };
     let sys = cg::workload(ctx, n);
+    let every = ctx.faults.checkpoint_every();
+    if every > 0 {
+        return match cg::cg_solve_checkpointed(ctx, &sys, 1e-11, 10 * n, every, MAX_RESTORES) {
+            Ok((out, stats)) => RunOutput {
+                problem: format!("n={n}, d (ck={every}, restores={})", stats.restores),
+                verify: cg::verify(&sys, &out.x, 1e-8),
+                points: n as u64,
+                iterations: out.iterations as u64,
+            },
+            Err(e) => recovery_failed(format!("n={n}, d"), e, n as u64),
+        };
+    }
     let out = cg::cg_solve(ctx, &sys, 1e-11, 10 * n);
     RunOutput {
         problem: format!("n={n}, d"),
@@ -200,6 +227,18 @@ pub fn jacobi(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => 48,
     };
     let a = jc::workload(ctx, n);
+    let every = ctx.faults.checkpoint_every();
+    if every > 0 {
+        return match jc::jacobi_eigen_checkpointed(ctx, &a, 1e-11, 40, every, MAX_RESTORES) {
+            Ok((out, stats)) => RunOutput {
+                problem: format!("n={n}, d (ck={every}, restores={})", stats.restores),
+                verify: jc::verify(&a, &out, 1e-7),
+                points: (n * n) as u64,
+                iterations: out.iterations as u64,
+            },
+            Err(e) => recovery_failed(format!("n={n}, d"), e, (n * n) as u64),
+        };
+    }
     let out = jc::jacobi_eigen(ctx, &a, 1e-11, 40);
     RunOutput {
         problem: format!("n={n}, d"),
@@ -285,6 +324,21 @@ pub fn diff_1d(ctx: &Ctx, size: Size) -> RunOutput {
             ..Default::default()
         },
     };
+    let every = ctx.faults.checkpoint_every();
+    if every > 0 {
+        return match d::run_checkpointed(ctx, &p, every, MAX_RESTORES) {
+            Ok((_, verify, stats)) => RunOutput {
+                problem: format!(
+                    "nx={}, steps={} (ck={every}, restores={})",
+                    p.nx, p.steps, stats.restores
+                ),
+                verify,
+                points: p.nx as u64,
+                iterations: p.steps as u64,
+            },
+            Err(e) => recovery_failed(format!("nx={}, steps={}", p.nx, p.steps), e, p.nx as u64),
+        };
+    }
     let (_, verify) = d::run(ctx, &p);
     RunOutput {
         problem: format!("nx={}, steps={}", p.nx, p.steps),
@@ -310,6 +364,25 @@ pub fn diff_2d(ctx: &Ctx, size: Size) -> RunOutput {
             ..Default::default()
         },
     };
+    let every = ctx.faults.checkpoint_every();
+    if every > 0 {
+        return match d::run_checkpointed(ctx, &p, every, MAX_RESTORES) {
+            Ok((_, verify, stats)) => RunOutput {
+                problem: format!(
+                    "nx={}, steps={} (ck={every}, restores={})",
+                    p.nx, p.steps, stats.restores
+                ),
+                verify,
+                points: (p.nx * p.nx) as u64,
+                iterations: p.steps as u64,
+            },
+            Err(e) => recovery_failed(
+                format!("nx={}, steps={}", p.nx, p.steps),
+                e,
+                (p.nx * p.nx) as u64,
+            ),
+        };
+    }
     let (_, verify) = d::run(ctx, &p);
     RunOutput {
         problem: format!("nx={}, steps={}", p.nx, p.steps),
@@ -335,6 +408,25 @@ pub fn diff_3d(ctx: &Ctx, size: Size) -> RunOutput {
             ..Default::default()
         },
     };
+    let every = ctx.faults.checkpoint_every();
+    if every > 0 {
+        return match d::run_checkpointed(ctx, &p, every, MAX_RESTORES) {
+            Ok((_, verify, stats)) => RunOutput {
+                problem: format!(
+                    "n={}, steps={} (ck={every}, restores={})",
+                    p.n, p.steps, stats.restores
+                ),
+                verify,
+                points: (p.n * p.n * p.n) as u64,
+                iterations: p.steps as u64,
+            },
+            Err(e) => recovery_failed(
+                format!("n={}, steps={}", p.n, p.steps),
+                e,
+                (p.n * p.n * p.n) as u64,
+            ),
+        };
+    }
     let (_, verify) = d::run(ctx, &p);
     RunOutput {
         problem: format!("n={}, steps={}", p.n, p.steps),
@@ -537,6 +629,27 @@ pub fn md(ctx: &Ctx, size: Size) -> RunOutput {
             ..Default::default()
         },
     };
+    let every = ctx.faults.checkpoint_every();
+    if every > 0 {
+        return match m::run_checkpointed(ctx, &p, every, MAX_RESTORES) {
+            Ok((_, verify, stats)) => RunOutput {
+                problem: format!(
+                    "np={}, steps={} (ck={every}, restores={})",
+                    p.side.pow(3),
+                    p.steps,
+                    stats.restores
+                ),
+                verify,
+                points: p.side.pow(3) as u64,
+                iterations: p.steps as u64,
+            },
+            Err(e) => recovery_failed(
+                format!("np={}, steps={}", p.side.pow(3), p.steps),
+                e,
+                p.side.pow(3) as u64,
+            ),
+        };
+    }
     let (_, verify) = m::run(ctx, &p);
     RunOutput {
         problem: format!("np={}, steps={}", p.side.pow(3), p.steps),
@@ -823,6 +936,21 @@ pub fn wave_1d(ctx: &Ctx, size: Size) -> RunOutput {
             ..Default::default()
         },
     };
+    let every = ctx.faults.checkpoint_every();
+    if every > 0 {
+        return match w::run_checkpointed(ctx, &p, every, MAX_RESTORES) {
+            Ok((_, verify, stats)) => RunOutput {
+                problem: format!(
+                    "nx={}, steps={} (ck={every}, restores={})",
+                    p.nx, p.steps, stats.restores
+                ),
+                verify,
+                points: p.nx as u64,
+                iterations: p.steps as u64,
+            },
+            Err(e) => recovery_failed(format!("nx={}, steps={}", p.nx, p.steps), e, p.nx as u64),
+        };
+    }
     let (_, verify) = w::run(ctx, &p);
     RunOutput {
         problem: format!("nx={}, steps={}", p.nx, p.steps),
@@ -883,6 +1011,7 @@ mod tests {
 
     #[test]
     fn every_linalg_runner_verifies_small() {
+        #[allow(clippy::type_complexity)]
         let runners: [(&str, fn(&Ctx, Size) -> RunOutput); 9] = [
             ("matvec-basic", matvec_basic),
             ("matvec-library", matvec_library),

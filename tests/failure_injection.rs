@@ -99,3 +99,88 @@ fn arrays_reject_zero_extents() {
     let ctx = ctx();
     let _ = DistArray::<f64>::zeros(&ctx, &[4, 0], &[PAR, PAR]);
 }
+
+// --------------------------------------------------------- try_* parity
+//
+// The recoverable `try_*` APIs must report the SAME message text their
+// panicking wrappers abort with, so diagnostics stay identical whichever
+// entry point a caller uses.
+
+/// Run `f`, catch its panic and return the payload as a string.
+fn panic_message<R>(f: impl FnOnce() -> R) -> String {
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = f();
+    }))
+    .expect_err("closure was expected to panic");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        panic!("non-string panic payload");
+    }
+}
+
+#[test]
+fn try_scatter_error_matches_panic_message() {
+    let ctx = ctx();
+    let idx = DistArray::<i32>::from_vec(&ctx, &[1], &[PAR], vec![9]);
+    let src = DistArray::<f64>::zeros(&ctx, &[1], &[PAR]);
+    let err = {
+        let mut dst = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
+        dpf::comm::try_scatter(&ctx, &mut dst, &idx, &src).unwrap_err()
+    };
+    let msg = panic_message(|| {
+        let mut dst = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
+        dpf::comm::scatter(&ctx, &mut dst, &idx, &src);
+    });
+    assert_eq!(err.to_string(), msg);
+}
+
+#[test]
+fn try_gather_error_matches_panic_message() {
+    let ctx = ctx();
+    let src = DistArray::<f64>::zeros(&ctx, &[4], &[PAR]);
+    let idx = DistArray::<i32>::from_vec(&ctx, &[2], &[PAR], vec![0, -3]);
+    let err = dpf::comm::try_gather(&ctx, &src, &idx).unwrap_err();
+    let msg = panic_message(|| dpf::comm::gather(&ctx, &src, &idx));
+    assert_eq!(err.to_string(), msg);
+}
+
+#[test]
+fn try_lu_factor_error_matches_panic_message() {
+    let ctx = ctx();
+    let a = DistArray::<f64>::from_fn(&ctx, &[4, 4], &[PAR, PAR], |i| {
+        (i[0] + 1) as f64 * (i[1] + 1) as f64
+    });
+    let err = dpf::linalg::lu::try_lu_factor(&ctx, &a).unwrap_err();
+    let msg = panic_message(|| dpf::linalg::lu::lu_factor(&ctx, &a));
+    assert_eq!(err.to_string(), msg);
+}
+
+#[test]
+fn try_gauss_jordan_error_matches_panic_message() {
+    let ctx = ctx();
+    let a = DistArray::<f64>::zeros(&ctx, &[3, 3], &[PAR, PAR]);
+    let b = DistArray::<f64>::zeros(&ctx, &[3], &[PAR]);
+    let err = dpf::linalg::gauss_jordan::try_gauss_jordan_solve(&ctx, &a, &b).unwrap_err();
+    let msg = panic_message(|| dpf::linalg::gauss_jordan::gauss_jordan_solve(&ctx, &a, &b));
+    assert_eq!(err.to_string(), msg);
+}
+
+#[test]
+fn try_fft_error_matches_panic_message() {
+    let ctx = ctx();
+    let a = DistArray::<dpf::core::C64>::zeros(&ctx, &[100], &[PAR]);
+    let err = dpf::fft::try_fft(&ctx, &a, dpf::fft::Direction::Forward).unwrap_err();
+    let msg = panic_message(|| dpf::fft::fft(&ctx, &a, dpf::fft::Direction::Forward));
+    assert_eq!(err.to_string(), msg);
+}
+
+#[test]
+fn try_transpose_rejects_wrong_rank() {
+    let ctx = ctx();
+    let a = DistArray::<f64>::zeros(&ctx, &[2, 2, 2], &[PAR, PAR, PAR]);
+    let err = dpf::comm::try_transpose(&ctx, &a).unwrap_err();
+    assert!(err.to_string().contains("transpose expects a 2-D array"));
+}

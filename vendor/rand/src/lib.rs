@@ -165,7 +165,7 @@ mod tests {
         let mut r = SmallRng::seed_from_u64(1);
         for _ in 0..10_000 {
             let x: f64 = r.gen_range(1e-12..1.0);
-            assert!(x >= 1e-12 && x < 1.0);
+            assert!((1e-12..1.0).contains(&x));
             let k: i32 = r.gen_range(-5..17);
             assert!((-5..17).contains(&k));
             let u: usize = r.gen_range(0..3);

@@ -666,9 +666,7 @@ mod tests {
 
     #[test]
     fn par_sort_sorts() {
-        let mut v: Vec<(i32, i32)> = (0..100_000)
-            .map(|i| ((i * 7919 % 1000) as i32 - 500, i as i32))
-            .collect();
+        let mut v: Vec<(i32, i32)> = (0..100_000).map(|i| (i * 7919 % 1000 - 500, i)).collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         v.par_sort_unstable();
