@@ -10,6 +10,7 @@
 //!   --size small|medium|large   problem size tier (default medium)
 //!   --version basic|optimized|library|CMSSL|C/DPEAC
 //!   --procs N                    virtual processors (default 32, CM-5 style)
+//!   --backend virtual|spmd       execution backend (default virtual)
 //!   --faults RATE                fault-injection probability per comm event
 //!   --fault-seed N               base seed for the deterministic fault plan
 //!   --timeout-secs N             wall-clock budget per attempt (default 300)
@@ -21,13 +22,14 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dpf_core::{FaultPlan, Machine};
+use dpf_core::{Backend, FaultPlan, Machine};
 use dpf_suite::{find, registry, tables, Size, SuiteConfig, Version};
 
 struct Options {
     size: Size,
     version: Version,
     procs: usize,
+    backend: Backend,
     faults: f64,
     fault_seed: u64,
     timeout_secs: u64,
@@ -42,6 +44,7 @@ impl Default for Options {
             size: Size::Medium,
             version: Version::Basic,
             procs: 32,
+            backend: Backend::Virtual,
             faults: 0.0,
             fault_seed: 0,
             timeout_secs: 300,
@@ -67,6 +70,7 @@ impl Options {
             timeout: Duration::from_secs(self.timeout_secs),
             retries: self.retries,
             quarantine: self.quarantine.clone(),
+            backend: self.backend,
         }
     }
 }
@@ -99,6 +103,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("bad --procs")?;
+            }
+            "--backend" => {
+                o.backend = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --backend (want virtual|spmd)")?;
             }
             "--faults" => {
                 o.faults = it
@@ -147,8 +157,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: dpf <list|run <name>|all|table <1-8|perf|eff|model>> \
          [--size small|medium|large] [--version v] [--procs N] \
-         [--faults RATE] [--fault-seed N] [--timeout-secs N] [--retries N] \
-         [--checkpoint-every N] [--quarantine a,b]"
+         [--backend virtual|spmd] [--faults RATE] [--fault-seed N] \
+         [--timeout-secs N] [--retries N] [--checkpoint-every N] \
+         [--quarantine a,b]"
     );
     ExitCode::from(2)
 }

@@ -10,7 +10,16 @@
 //! Collision semantics follow the language: plain scatter leaves the
 //! last-written value (deterministically, in flat source order here);
 //! combining scatters apply `+`, `max` or `min` at collisions.
+//!
+//! Under the SPMD backend the gathers pull their sources from the owning
+//! workers ([`crate::spmd::pull_exec`]) and the scatter family routes
+//! `(src, dst, value)` triples to the destination owners
+//! ([`crate::spmd::route_exec`]), which apply them in global source order
+//! — the same collision semantics as the serial loops. Indices are
+//! validated (and off-processor elements counted) on the host first, so
+//! worker threads cannot panic on bad input.
 
+use crate::spmd::{pull_exec, route_exec, Src};
 use dpf_array::{DistArray, Layout, PAR_THRESHOLD};
 use dpf_core::{CommPattern, Ctx, DpfError, Elem, Num};
 use rayon::prelude::*;
@@ -216,42 +225,75 @@ fn gather_as<T: Elem>(
     // Validation, ownership accounting and data movement fused into one
     // (parallel) pass: the destination owner is constant per block segment
     // of the flat output range, the source owner is one divide.
-    let offproc = ctx.busy(|| {
-        let s = src.as_slice();
-        let move_chunk = |start: usize, out_chunk: &mut [T], idx_chunk: &[i32]| -> u64 {
+    let offproc = if ctx.spmd() && distributed {
+        // Validate + count on the host so the workers cannot panic, then
+        // pull every output element from its source owner.
+        let idx_s = idx.as_slice();
+        let off = ctx.busy(|| {
             let mut off = 0u64;
-            if distributed {
-                dst_layout.for_each_owner_segment(start, out_chunk.len(), |seg0, seg_len, down| {
-                    let base = seg0 - start;
-                    for k in base..base + seg_len {
-                        let i = idx_chunk[k];
-                        assert!(i >= 0 && i < n, "gather index {i} out of bounds {n}");
-                        let su = i as usize;
-                        if su / sblock != down {
-                            off += 1;
-                        }
-                        out_chunk[k] = s[su];
-                    }
-                });
-            } else {
-                for (o, &i) in out_chunk.iter_mut().zip(idx_chunk) {
+            dst_layout.for_each_owner_segment(0, idx_s.len(), |seg0, seg_len, down| {
+                for &i in &idx_s[seg0..seg0 + seg_len] {
                     assert!(i >= 0 && i < n, "gather index {i} out of bounds {n}");
-                    *o = s[i as usize];
+                    if (i as usize) / sblock != down {
+                        off += 1;
+                    }
                 }
-            }
+            });
             off
-        };
-        if out.len() >= PAR_THRESHOLD {
-            out.as_mut_slice()
-                .par_chunks_mut(ROUTE_CHUNK)
-                .zip(idx.as_slice().par_chunks(ROUTE_CHUNK))
-                .enumerate()
-                .map(|(c, (oc, ic))| move_chunk(c * ROUTE_CHUNK, oc, ic))
-                .reduce(|| 0u64, |a, b| a + b)
-        } else {
-            move_chunk(0, out.as_mut_slice(), idx.as_slice())
-        }
-    });
+        });
+        ctx.busy(|| {
+            pull_exec(
+                ctx,
+                src_layout,
+                src.as_slice(),
+                &dst_layout,
+                out.as_mut_slice(),
+                &|flat| Src::Flat(idx_s[flat] as usize),
+            );
+        });
+        off
+    } else {
+        ctx.busy(|| {
+            let s = src.as_slice();
+            let move_chunk = |start: usize, out_chunk: &mut [T], idx_chunk: &[i32]| -> u64 {
+                let mut off = 0u64;
+                if distributed {
+                    dst_layout.for_each_owner_segment(
+                        start,
+                        out_chunk.len(),
+                        |seg0, seg_len, down| {
+                            let base = seg0 - start;
+                            for k in base..base + seg_len {
+                                let i = idx_chunk[k];
+                                assert!(i >= 0 && i < n, "gather index {i} out of bounds {n}");
+                                let su = i as usize;
+                                if su / sblock != down {
+                                    off += 1;
+                                }
+                                out_chunk[k] = s[su];
+                            }
+                        },
+                    );
+                } else {
+                    for (o, &i) in out_chunk.iter_mut().zip(idx_chunk) {
+                        assert!(i >= 0 && i < n, "gather index {i} out of bounds {n}");
+                        *o = s[i as usize];
+                    }
+                }
+                off
+            };
+            if out.len() >= PAR_THRESHOLD {
+                out.as_mut_slice()
+                    .par_chunks_mut(ROUTE_CHUNK)
+                    .zip(idx.as_slice().par_chunks(ROUTE_CHUNK))
+                    .enumerate()
+                    .map(|(c, (oc, ic))| move_chunk(c * ROUTE_CHUNK, oc, ic))
+                    .reduce(|| 0u64, |a, b| a + b)
+            } else {
+                move_chunk(0, out.as_mut_slice(), idx.as_slice())
+            }
+        })
+    };
     ctx.record_comm(
         pattern,
         src.rank(),
@@ -307,37 +349,68 @@ pub fn gather_nd<T: Elem>(
     // Fused validate + count + move, parallel over output chunks; the
     // destination owner advances per block segment, the source owner is
     // one flat decode per element (the index arrays are arbitrary).
-    let offproc = ctx.busy(|| {
-        let s = src.as_slice();
-        let move_chunk = |start: usize, out_chunk: &mut [T]| -> u64 {
+    let offproc = if ctx.spmd() && distributed {
+        // The host count pass also validates every coordinate, so the
+        // workers' `flat_of` calls cannot panic.
+        let off = ctx.busy(|| {
             let mut off = 0u64;
-            if distributed {
-                dst_layout.for_each_owner_segment(start, out_chunk.len(), |seg0, seg_len, down| {
-                    for k in seg0..seg0 + seg_len {
-                        let flat = flat_of(k);
-                        if src_layout.owner_id_flat(flat) != down {
-                            off += 1;
-                        }
-                        out_chunk[k - start] = s[flat];
+            dst_layout.for_each_owner_segment(0, out.len(), |seg0, seg_len, down| {
+                for k in seg0..seg0 + seg_len {
+                    if src_layout.owner_id_flat(flat_of(k)) != down {
+                        off += 1;
                     }
-                });
-            } else {
-                for (k, o) in out_chunk.iter_mut().enumerate() {
-                    *o = s[flat_of(start + k)];
                 }
-            }
+            });
             off
-        };
-        if out.len() >= PAR_THRESHOLD {
-            out.as_mut_slice()
-                .par_chunks_mut(ROUTE_CHUNK)
-                .enumerate()
-                .map(|(c, oc)| move_chunk(c * ROUTE_CHUNK, oc))
-                .reduce(|| 0u64, |a, b| a + b)
-        } else {
-            move_chunk(0, out.as_mut_slice())
-        }
-    });
+        });
+        ctx.busy(|| {
+            pull_exec(
+                ctx,
+                src_layout,
+                src.as_slice(),
+                &dst_layout,
+                out.as_mut_slice(),
+                &|k| Src::Flat(flat_of(k)),
+            );
+        });
+        off
+    } else {
+        ctx.busy(|| {
+            let s = src.as_slice();
+            let move_chunk = |start: usize, out_chunk: &mut [T]| -> u64 {
+                let mut off = 0u64;
+                if distributed {
+                    dst_layout.for_each_owner_segment(
+                        start,
+                        out_chunk.len(),
+                        |seg0, seg_len, down| {
+                            for k in seg0..seg0 + seg_len {
+                                let flat = flat_of(k);
+                                if src_layout.owner_id_flat(flat) != down {
+                                    off += 1;
+                                }
+                                out_chunk[k - start] = s[flat];
+                            }
+                        },
+                    );
+                } else {
+                    for (k, o) in out_chunk.iter_mut().enumerate() {
+                        *o = s[flat_of(start + k)];
+                    }
+                }
+                off
+            };
+            if out.len() >= PAR_THRESHOLD {
+                out.as_mut_slice()
+                    .par_chunks_mut(ROUTE_CHUNK)
+                    .enumerate()
+                    .map(|(c, oc)| move_chunk(c * ROUTE_CHUNK, oc))
+                    .reduce(|| 0u64, |a, b| a + b)
+            } else {
+                move_chunk(0, out.as_mut_slice())
+            }
+        })
+    };
     ctx.record_comm(
         CommPattern::Gather,
         src.rank(),
@@ -393,13 +466,47 @@ fn scatter_as<T: Elem>(
         src.len() as u64,
         offproc * T::DTYPE.size() as u64,
     );
-    ctx.busy(|| {
-        let d = dst.as_mut_slice();
-        for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
-            d[i as usize] = v;
-        }
-    });
+    if ctx.spmd() && (src.layout().is_distributed() || dst.layout().is_distributed()) {
+        let dst_layout = dst.layout().clone();
+        let idx_s = idx.as_slice();
+        ctx.busy(|| {
+            route_exec(
+                ctx,
+                src.layout(),
+                src.as_slice(),
+                &dst_layout,
+                dst.as_mut_slice(),
+                &|k| idx_s[k] as usize,
+                &|slot, v| *slot = v,
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            let d = dst.as_mut_slice();
+            for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
+                d[i as usize] = v;
+            }
+        });
+    }
     ctx.faults.inject_slice("scatter", dst.as_mut_slice());
+}
+
+/// The combining closure matching a [`Combine`] mode, shared by the SPMD
+/// scatter variants.
+fn combine_apply<T: Num + PartialOrd>(combine: Combine) -> &'static (dyn Fn(&mut T, T) + Sync) {
+    match combine {
+        Combine::Add => &|slot, v| *slot += v,
+        Combine::Max => &|slot, v| {
+            if v > *slot {
+                *slot = v;
+            }
+        },
+        Combine::Min => &|slot, v| {
+            if v < *slot {
+                *slot = v;
+            }
+        },
+    }
 }
 
 /// Combining scatter into a 1-D destination: `dst(idx[k]) ⊕= src[k]`.
@@ -432,25 +539,41 @@ pub fn scatter_combine<T: Num + PartialOrd>(
     if combine == Combine::Add {
         ctx.add_flops(src.len() as u64 * T::DTYPE.add_flops());
     }
-    ctx.busy(|| {
-        let d = dst.as_mut_slice();
-        for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
-            let slot = &mut d[i as usize];
-            match combine {
-                Combine::Add => *slot += v,
-                Combine::Max => {
-                    if v > *slot {
-                        *slot = v;
+    if ctx.spmd() && (src.layout().is_distributed() || dst.layout().is_distributed()) {
+        let dst_layout = dst.layout().clone();
+        let idx_s = idx.as_slice();
+        ctx.busy(|| {
+            route_exec(
+                ctx,
+                src.layout(),
+                src.as_slice(),
+                &dst_layout,
+                dst.as_mut_slice(),
+                &|k| idx_s[k] as usize,
+                combine_apply::<T>(combine),
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            let d = dst.as_mut_slice();
+            for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
+                let slot = &mut d[i as usize];
+                match combine {
+                    Combine::Add => *slot += v,
+                    Combine::Max => {
+                        if v > *slot {
+                            *slot = v;
+                        }
                     }
-                }
-                Combine::Min => {
-                    if v < *slot {
-                        *slot = v;
+                    Combine::Min => {
+                        if v < *slot {
+                            *slot = v;
+                        }
                     }
                 }
             }
-        }
-    });
+        });
+    }
     ctx.faults.inject_slice("scatter", dst.as_mut_slice());
 }
 
@@ -479,12 +602,28 @@ pub fn gather_combine<T: Num + PartialOrd>(
         offproc * T::DTYPE.size() as u64,
     );
     ctx.add_flops(src.len() as u64 * T::DTYPE.add_flops());
-    ctx.busy(|| {
-        let d = dst.as_mut_slice();
-        for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
-            d[i as usize] += v;
-        }
-    });
+    if ctx.spmd() && (src.layout().is_distributed() || dst.layout().is_distributed()) {
+        let dst_layout = dst.layout().clone();
+        let idx_s = idx.as_slice();
+        ctx.busy(|| {
+            route_exec(
+                ctx,
+                src.layout(),
+                src.as_slice(),
+                &dst_layout,
+                dst.as_mut_slice(),
+                &|k| idx_s[k] as usize,
+                &|slot, v| *slot += v,
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            let d = dst.as_mut_slice();
+            for (&i, &v) in idx.as_slice().iter().zip(src.as_slice()) {
+                d[i as usize] += v;
+            }
+        });
+    }
     ctx.faults.inject_slice("gather", dst.as_mut_slice());
 }
 
@@ -572,26 +711,41 @@ pub fn scatter_nd_combine<T: Num + PartialOrd>(
     if combine == Combine::Add {
         ctx.add_flops(src.len() as u64 * T::DTYPE.add_flops());
     }
-    ctx.busy(|| {
-        for k in 0..src.len() {
-            let off = flat_of(k);
-            let v = src.as_slice()[k];
-            let slot = &mut dst.as_mut_slice()[off];
-            match combine {
-                Combine::Add => *slot += v,
-                Combine::Max => {
-                    if v > *slot {
-                        *slot = v;
+    if ctx.spmd() && distributed {
+        let dl = dst.layout().clone();
+        ctx.busy(|| {
+            route_exec(
+                ctx,
+                src_layout,
+                src.as_slice(),
+                &dl,
+                dst.as_mut_slice(),
+                &flat_of,
+                combine_apply::<T>(combine),
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            for k in 0..src.len() {
+                let off = flat_of(k);
+                let v = src.as_slice()[k];
+                let slot = &mut dst.as_mut_slice()[off];
+                match combine {
+                    Combine::Add => *slot += v,
+                    Combine::Max => {
+                        if v > *slot {
+                            *slot = v;
+                        }
                     }
-                }
-                Combine::Min => {
-                    if v < *slot {
-                        *slot = v;
+                    Combine::Min => {
+                        if v < *slot {
+                            *slot = v;
+                        }
                     }
                 }
             }
-        }
-    });
+        });
+    }
     ctx.faults.inject_slice("scatter", dst.as_mut_slice());
 }
 

@@ -4,10 +4,20 @@
 //! inventory names: CSHIFT/EOSHIFT, SPREAD/broadcast, reductions, scans
 //! (plain and segmented), gather/scatter with combiners, send/get, sort,
 //! the AAPC transpose, and the composite stencil driver. Each primitive
-//! computes its result on the host and records `(pattern, src rank, dst
-//! rank, elements, exact off-processor bytes under the block layouts)`
-//! into the run's [`Ctx`](dpf_core::Ctx) — the raw material for the
-//! paper's Tables 3, 6 and 7.
+//! records `(pattern, src rank, dst rank, elements, exact off-processor
+//! bytes under the block layouts)` into the run's [`Ctx`](dpf_core::Ctx)
+//! — the raw material for the paper's Tables 3, 6 and 7.
+//!
+//! Two execution backends share that accounting. Under the default
+//! [`Backend::Virtual`](dpf_core::Backend) a primitive computes its
+//! result on the host (rayon pool); under
+//! [`Backend::Spmd`](dpf_core::Backend) it runs as one worker thread per
+//! virtual processor exchanging block data over typed channels (see the
+//! `spmd` module), producing element-identical results while actually
+//! moving the modeled bytes. The sample sort keeps its host
+//! implementation under both backends: the paper treats it as a composite
+//! benchmark whose communication is recorded through the gather/scatter
+//! primitives it is built from.
 
 #![warn(missing_docs)]
 
@@ -16,6 +26,7 @@ pub mod reduce;
 pub mod scan;
 pub mod shift;
 pub mod sort;
+mod spmd;
 pub mod spread;
 pub mod stencil;
 pub mod transpose;

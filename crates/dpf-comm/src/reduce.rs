@@ -9,10 +9,23 @@
 //! Off-processor volume models a reduction tree: along an axis distributed
 //! over `p` processors, `p − 1` partial values per lane cross processor
 //! boundaries.
+//!
+//! Under the SPMD backend the reductions run as a sequential fold whose
+//! accumulator hops along the owner-segment chain ([`crate::spmd`]), so
+//! element order — and floating-point rounding — is identical to the
+//! virtual backend's serial loops. The partial values that cross workers
+//! are metered; a chain moves the same `p − 1` partials per lane as the
+//! modeled tree for 1-D distributions and more for multi-axis grids
+//! (where row-major segments interleave owners).
 
+use crate::spmd::{axis_exec, fold_exec};
 use dpf_array::DistArray;
 use dpf_core::{flops, CommPattern, Ctx, Elem, Num};
 use rayon::prelude::*;
+
+/// Elements per partial in the virtual dot product's parallel path; the
+/// SPMD dot cuts its chunk partials at the same boundaries.
+const DOT_CHUNK: usize = 4096;
 
 fn record_reduce<T: Elem>(ctx: &Ctx, src_rank: usize, dst_rank: usize, len: u64, partials: u64) {
     ctx.record_comm(
@@ -36,7 +49,20 @@ fn grid_procs<T: Elem>(a: &DistArray<T>) -> usize {
 pub fn sum_all<T: Num>(ctx: &Ctx, a: &DistArray<T>) -> T {
     ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.add_flops());
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    let mut s = ctx.busy(|| serial_sum(a.as_slice()));
+    let mut s = if ctx.spmd() && grid_procs(a) > 1 {
+        ctx.busy(|| {
+            fold_exec(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                T::zero(),
+                T::DTYPE.size() as u64,
+                &|acc: &mut T, _flat, x| *acc += x,
+            )
+        })
+    } else {
+        ctx.busy(|| serial_sum(a.as_slice()))
+    };
     ctx.faults.inject_scalar("reduce", &mut s);
     s
 }
@@ -47,15 +73,35 @@ pub fn sum_masked<T: Num>(ctx: &Ctx, a: &DistArray<T>, mask: &DistArray<bool>) -
     assert_eq!(a.shape(), mask.shape(), "mask shape mismatch");
     ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.add_flops());
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    let mut s = ctx.busy(|| {
-        let mut acc = T::zero();
-        for (&x, &m) in a.as_slice().iter().zip(mask.as_slice()) {
-            if m {
-                acc += x;
+    let mut s = if ctx.spmd() && grid_procs(a) > 1 {
+        // Mask flags are read in place (aligned with the data per the HPF
+        // assumption); only the running partial crosses the chain.
+        let m = mask.as_slice();
+        ctx.busy(|| {
+            fold_exec(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                T::zero(),
+                T::DTYPE.size() as u64,
+                &|acc: &mut T, flat, x| {
+                    if m[flat] {
+                        *acc += x;
+                    }
+                },
+            )
+        })
+    } else {
+        ctx.busy(|| {
+            let mut acc = T::zero();
+            for (&x, &m) in a.as_slice().iter().zip(mask.as_slice()) {
+                if m {
+                    acc += x;
+                }
             }
-        }
-        acc
-    });
+            acc
+        })
+    };
     ctx.faults.inject_scalar("reduce", &mut s);
     s
 }
@@ -64,13 +110,26 @@ pub fn sum_masked<T: Num>(ctx: &Ctx, a: &DistArray<T>, mask: &DistArray<bool>) -
 pub fn product_all<T: Num>(ctx: &Ctx, a: &DistArray<T>) -> T {
     ctx.add_flops(flops::reduction(a.len() as u64) * T::DTYPE.mul_flops());
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    ctx.busy(|| {
-        let mut acc = T::one();
-        for &x in a.as_slice() {
-            acc *= x;
-        }
-        acc
-    })
+    if ctx.spmd() && grid_procs(a) > 1 {
+        ctx.busy(|| {
+            fold_exec(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                T::one(),
+                T::DTYPE.size() as u64,
+                &|acc: &mut T, _flat, x| *acc *= x,
+            )
+        })
+    } else {
+        ctx.busy(|| {
+            let mut acc = T::one();
+            for &x in a.as_slice() {
+                acc *= x;
+            }
+            acc
+        })
+    }
 }
 
 /// `SUM(a, dim=axis)` — reduction along one axis; the result drops that
@@ -101,20 +160,42 @@ pub fn sum_axis<T: Num>(ctx: &Ctx, a: &DistArray<T>, axis: usize) -> DistArray<T
     let mut out = DistArray::<T>::zeros(ctx, &out_shape, &out_axes);
     let outer: usize = a.shape()[..axis].iter().product();
     let inner: usize = a.shape()[axis + 1..].iter().product();
-    ctx.busy(|| {
+    if ctx.spmd() && a.layout().procs_on(axis) > 1 {
+        // Each lane's partial sum hops along the axis's block owners in
+        // coordinate order — the same element order as the serial loop —
+        // and the chain's last owner reports the lane total.
         let src = a.as_slice();
+        let finals = ctx.busy(|| {
+            axis_exec::<T, T>(
+                ctx,
+                a.layout(),
+                axis,
+                None,
+                T::zero(),
+                T::DTYPE.size() as u64,
+                &|acc, flat, _emit| *acc += src[flat],
+            )
+        });
         let dst = out.as_mut_slice();
-        for o in 0..outer {
-            let src_base = o * n * inner;
-            let dst_base = o * inner;
-            for i in 0..n {
-                let row = &src[src_base + i * inner..src_base + (i + 1) * inner];
-                for (k, &v) in row.iter().enumerate() {
-                    dst[dst_base + k] += v;
+        for (reduced_flat, total) in finals {
+            dst[reduced_flat] = total;
+        }
+    } else {
+        ctx.busy(|| {
+            let src = a.as_slice();
+            let dst = out.as_mut_slice();
+            for o in 0..outer {
+                let src_base = o * n * inner;
+                let dst_base = o * inner;
+                for i in 0..n {
+                    let row = &src[src_base + i * inner..src_base + (i + 1) * inner];
+                    for (k, &v) in row.iter().enumerate() {
+                        dst[dst_base + k] += v;
+                    }
                 }
             }
-        }
-    });
+        });
+    }
     ctx.faults.inject_slice("reduce", out.as_mut_slice());
     out
 }
@@ -124,50 +205,117 @@ pub fn sum_axis<T: Num>(ctx: &Ctx, a: &DistArray<T>, axis: usize) -> DistArray<T
 pub fn max_all<T: Elem + PartialOrd>(ctx: &Ctx, a: &DistArray<T>) -> T {
     assert!(!a.is_empty() || a.len() == 1);
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    ctx.busy(|| {
-        let s = a.as_slice();
-        let mut best = s[0];
-        for &x in &s[1..] {
-            if x > best {
-                best = x;
+    if ctx.spmd() && grid_procs(a) > 1 {
+        ctx.busy(|| {
+            fold_exec::<T, Option<T>>(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                None,
+                T::DTYPE.size() as u64,
+                &|best, _flat, x| match best {
+                    Some(b) => {
+                        if x > *b {
+                            *b = x;
+                        }
+                    }
+                    None => *best = Some(x),
+                },
+            )
+        })
+        .expect("max of empty array")
+    } else {
+        ctx.busy(|| {
+            let s = a.as_slice();
+            let mut best = s[0];
+            for &x in &s[1..] {
+                if x > best {
+                    best = x;
+                }
             }
-        }
-        best
-    })
+            best
+        })
+    }
 }
 
 /// `MINVAL(a)`.
 pub fn min_all<T: Elem + PartialOrd>(ctx: &Ctx, a: &DistArray<T>) -> T {
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    ctx.busy(|| {
-        let s = a.as_slice();
-        let mut best = s[0];
-        for &x in &s[1..] {
-            if x < best {
-                best = x;
+    if ctx.spmd() && grid_procs(a) > 1 {
+        ctx.busy(|| {
+            fold_exec::<T, Option<T>>(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                None,
+                T::DTYPE.size() as u64,
+                &|best, _flat, x| match best {
+                    Some(b) => {
+                        if x < *b {
+                            *b = x;
+                        }
+                    }
+                    None => *best = Some(x),
+                },
+            )
+        })
+        .expect("min of empty array")
+    } else {
+        ctx.busy(|| {
+            let s = a.as_slice();
+            let mut best = s[0];
+            for &x in &s[1..] {
+                if x < best {
+                    best = x;
+                }
             }
-        }
-        best
-    })
+            best
+        })
+    }
 }
 
 /// `MAXLOC(|a|)` — flat index and value of the element of largest
 /// magnitude (the pivot search of `gauss-jordan` and `lu`).
 pub fn maxloc_abs<T: Num>(ctx: &Ctx, a: &DistArray<T>) -> (usize, T) {
     record_reduce::<T>(ctx, a.rank(), 0, a.len() as u64, grid_procs(a) as u64 - 1);
-    ctx.busy(|| {
-        let s = a.as_slice();
-        let mut best = 0usize;
-        let mut bm = s[0].mag();
-        for (i, &x) in s.iter().enumerate().skip(1) {
-            let m = x.mag();
-            if m > bm {
-                bm = m;
-                best = i;
+    if ctx.spmd() && grid_procs(a) > 1 {
+        // The hop carries (index, value, magnitude); the strict `>` keeps
+        // the first of equal magnitudes, matching the serial scan.
+        let st = ctx.busy(|| {
+            fold_exec::<T, Option<(usize, T, f64)>>(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                None,
+                (T::DTYPE.size() + std::mem::size_of::<usize>() + std::mem::size_of::<f64>())
+                    as u64,
+                &|st, flat, x| {
+                    let m = x.mag();
+                    match st {
+                        Some((_, _, bm)) if m > *bm => *st = Some((flat, x, m)),
+                        Some(_) => {}
+                        None => *st = Some((flat, x, m)),
+                    }
+                },
+            )
+        });
+        let (best, v, _) = st.expect("maxloc of empty array");
+        (best, v)
+    } else {
+        ctx.busy(|| {
+            let s = a.as_slice();
+            let mut best = 0usize;
+            let mut bm = s[0].mag();
+            for (i, &x) in s.iter().enumerate().skip(1) {
+                let m = x.mag();
+                if m > bm {
+                    bm = m;
+                    best = i;
+                }
             }
-        }
-        (best, s[best])
-    })
+            (best, s[best])
+        })
+    }
 }
 
 /// Dot product `SUM(a * b)`: charges the multiplies plus the `N − 1`
@@ -178,29 +326,94 @@ pub fn dot<T: Num>(ctx: &Ctx, a: &DistArray<T>, b: &DistArray<T>) -> T {
     let n = a.len() as u64;
     ctx.add_flops(n * T::DTYPE.mul_flops() + flops::reduction(n) * T::DTYPE.add_flops());
     record_reduce::<T>(ctx, a.rank(), 0, n, grid_procs(a) as u64 - 1);
-    let mut s = ctx.busy(|| {
+    let mut s = if ctx.spmd() && grid_procs(a) > 1 {
+        // `b` is read in place at the chain's own flats (aligned operands
+        // per the HPF assumption). Above the parallel threshold the chain
+        // state carries the per-4096-chunk partials so the final
+        // combination can reproduce the virtual backend's rayon reduce
+        // tree bit for bit.
+        let bs = b.as_slice();
         if a.len() >= dpf_array::PAR_THRESHOLD {
-            a.as_slice()
-                .par_chunks(4096)
-                .zip(b.as_slice().par_chunks(4096))
-                .map(|(xa, xb)| {
-                    let mut acc = T::zero();
-                    for (&x, &y) in xa.iter().zip(xb) {
-                        acc += x * y;
-                    }
-                    acc
-                })
-                .reduce(T::zero, |p, q| p + q)
+            ctx.busy(|| {
+                let (mut partials, tail) = fold_exec::<T, (Vec<T>, T)>(
+                    ctx,
+                    a.layout(),
+                    a.as_slice(),
+                    (Vec::new(), T::zero()),
+                    T::DTYPE.size() as u64,
+                    &|st, flat, x| {
+                        st.1 += x * bs[flat];
+                        if (flat + 1) % DOT_CHUNK == 0 {
+                            let full = std::mem::replace(&mut st.1, T::zero());
+                            st.0.push(full);
+                        }
+                    },
+                );
+                if !a.len().is_multiple_of(DOT_CHUNK) {
+                    partials.push(tail);
+                }
+                rayon_piece_sum(partials)
+            })
         } else {
-            let mut acc = T::zero();
-            for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
-                acc += x * y;
-            }
-            acc
+            ctx.busy(|| {
+                fold_exec(
+                    ctx,
+                    a.layout(),
+                    a.as_slice(),
+                    T::zero(),
+                    T::DTYPE.size() as u64,
+                    &|acc: &mut T, flat, x| *acc += x * bs[flat],
+                )
+            })
         }
-    });
+    } else {
+        ctx.busy(|| {
+            if a.len() >= dpf_array::PAR_THRESHOLD {
+                a.as_slice()
+                    .par_chunks(DOT_CHUNK)
+                    .zip(b.as_slice().par_chunks(DOT_CHUNK))
+                    .map(|(xa, xb)| {
+                        let mut acc = T::zero();
+                        for (&x, &y) in xa.iter().zip(xb) {
+                            acc += x * y;
+                        }
+                        acc
+                    })
+                    .reduce(T::zero, |p, q| p + q)
+            } else {
+                let mut acc = T::zero();
+                for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+                    acc += x * y;
+                }
+                acc
+            }
+        })
+    };
     ctx.faults.inject_scalar("reduce", &mut s);
     s
+}
+
+/// Combine per-chunk partial sums exactly as the vendored rayon
+/// `reduce(T::zero, +)` does over the virtual dot's chunk map: split the
+/// partials into `current_num_threads()` pieces with the same `div_ceil`
+/// arithmetic, fold each piece from zero, then fold the piece sums from
+/// zero. Matching the association makes the SPMD dot bit-identical to the
+/// virtual backend's parallel path.
+fn rayon_piece_sum<T: Num>(parts: Vec<T>) -> T {
+    let threads = rayon::current_num_threads().min(parts.len().max(1));
+    if threads <= 1 {
+        let piece = parts.into_iter().fold(T::zero(), |p, q| p + q);
+        return T::zero() + piece;
+    }
+    let mut rest = &parts[..];
+    let mut sums = Vec::with_capacity(threads);
+    for i in 0..threads - 1 {
+        let (head, tail) = rest.split_at(rest.len().div_ceil(threads - i));
+        sums.push(head.iter().fold(T::zero(), |p, &q| p + q));
+        rest = tail;
+    }
+    sums.push(rest.iter().fold(T::zero(), |p, &q| p + q));
+    sums.into_iter().fold(T::zero(), |p, q| p + q)
 }
 
 fn serial_sum<T: Num>(s: &[T]) -> T {

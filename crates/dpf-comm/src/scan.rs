@@ -5,7 +5,15 @@
 //! pic-gather-scatter (sum-scans before the router operation). Like
 //! reductions, an add-scan over `N` elements charges `N − 1` FLOPs per
 //! lane; a copy-scan moves data without arithmetic.
+//!
+//! Under the SPMD backend the scans run as per-lane pipelines
+//! ([`crate::spmd`]): each axis block's owner folds its stretch of every
+//! lane and ships the lane accumulators to the next block's owner —
+//! exactly the `lanes × (p − 1)` partials the Scan pattern models — in
+//! the same element order as the serial loops, so results match bit for
+//! bit.
 
+use crate::spmd::axis_exec;
 use dpf_array::DistArray;
 use dpf_core::{flops, CommPattern, Ctx, Elem, Num};
 
@@ -46,25 +54,48 @@ fn scan_add_impl<T: Num>(
     let outer: usize = a.shape()[..axis].iter().product();
     let inner: usize = a.shape()[axis + 1..].iter().product();
     let mut out = DistArray::<T>::zeros(ctx, a.shape(), a.layout().axes());
-    ctx.busy(|| {
+    if ctx.spmd() && a.layout().procs_on(axis) > 1 {
         let src = a.as_slice();
-        let dst = out.as_mut_slice();
-        for o in 0..outer {
-            for k in 0..inner {
-                let mut acc = T::zero();
-                for i in 0..n {
-                    let off = (o * n + i) * inner + k;
+        ctx.busy(|| {
+            axis_exec::<T, T>(
+                ctx,
+                a.layout(),
+                axis,
+                Some(out.as_mut_slice()),
+                T::zero(),
+                T::DTYPE.size() as u64,
+                &|acc, flat, write| {
                     if inclusive {
-                        acc += src[off];
-                        dst[off] = acc;
+                        *acc += src[flat];
+                        write(flat, *acc);
                     } else {
-                        dst[off] = acc;
-                        acc += src[off];
+                        write(flat, *acc);
+                        *acc += src[flat];
+                    }
+                },
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            let src = a.as_slice();
+            let dst = out.as_mut_slice();
+            for o in 0..outer {
+                for k in 0..inner {
+                    let mut acc = T::zero();
+                    for i in 0..n {
+                        let off = (o * n + i) * inner + k;
+                        if inclusive {
+                            acc += src[off];
+                            dst[off] = acc;
+                        } else {
+                            dst[off] = acc;
+                            acc += src[off];
+                        }
                     }
                 }
             }
-        }
-    });
+        });
+    }
     out
 }
 
@@ -89,24 +120,48 @@ pub fn segmented_scan_add<T: Num>(
     let outer: usize = a.shape()[..axis].iter().product();
     let inner: usize = a.shape()[axis + 1..].iter().product();
     let mut out = DistArray::<T>::zeros(ctx, a.shape(), a.layout().axes());
-    ctx.busy(|| {
+    if ctx.spmd() && a.layout().procs_on(axis) > 1 {
+        // Segment flags are read in place (aligned with the data); only
+        // the lane accumulators cross the pipeline.
         let src = a.as_slice();
         let seg = segment_start.as_slice();
-        let dst = out.as_mut_slice();
-        for o in 0..outer {
-            for k in 0..inner {
-                let mut acc = T::zero();
-                for i in 0..n {
-                    let off = (o * n + i) * inner + k;
-                    if seg[off] {
-                        acc = T::zero();
+        ctx.busy(|| {
+            axis_exec::<T, T>(
+                ctx,
+                a.layout(),
+                axis,
+                Some(out.as_mut_slice()),
+                T::zero(),
+                T::DTYPE.size() as u64,
+                &|acc, flat, write| {
+                    if seg[flat] {
+                        *acc = T::zero();
                     }
-                    acc += src[off];
-                    dst[off] = acc;
+                    *acc += src[flat];
+                    write(flat, *acc);
+                },
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            let src = a.as_slice();
+            let seg = segment_start.as_slice();
+            let dst = out.as_mut_slice();
+            for o in 0..outer {
+                for k in 0..inner {
+                    let mut acc = T::zero();
+                    for i in 0..n {
+                        let off = (o * n + i) * inner + k;
+                        if seg[off] {
+                            acc = T::zero();
+                        }
+                        acc += src[off];
+                        dst[off] = acc;
+                    }
                 }
             }
-        }
-    });
+        });
+    }
     out
 }
 
@@ -130,23 +185,46 @@ pub fn segmented_copy_scan<T: Elem>(
     let outer: usize = a.shape()[..axis].iter().product();
     let inner: usize = a.shape()[axis + 1..].iter().product();
     let mut out = DistArray::<T>::zeros(ctx, a.shape(), a.layout().axes());
-    ctx.busy(|| {
+    if ctx.spmd() && a.layout().procs_on(axis) > 1 {
         let src = a.as_slice();
         let seg = segment_start.as_slice();
-        let dst = out.as_mut_slice();
-        for o in 0..outer {
-            for k in 0..inner {
-                let mut current = T::default();
-                for i in 0..n {
-                    let off = (o * n + i) * inner + k;
-                    if i == 0 || seg[off] {
-                        current = src[off];
+        let stride = a.layout().strides()[axis];
+        ctx.busy(|| {
+            axis_exec::<T, T>(
+                ctx,
+                a.layout(),
+                axis,
+                Some(out.as_mut_slice()),
+                T::default(),
+                T::DTYPE.size() as u64,
+                &|cur, flat, write| {
+                    // Axis coordinate 0 starts a segment implicitly.
+                    if (flat / stride).is_multiple_of(n) || seg[flat] {
+                        *cur = src[flat];
                     }
-                    dst[off] = current;
+                    write(flat, *cur);
+                },
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            let src = a.as_slice();
+            let seg = segment_start.as_slice();
+            let dst = out.as_mut_slice();
+            for o in 0..outer {
+                for k in 0..inner {
+                    let mut current = T::default();
+                    for i in 0..n {
+                        let off = (o * n + i) * inner + k;
+                        if i == 0 || seg[off] {
+                            current = src[off];
+                        }
+                        dst[off] = current;
+                    }
                 }
             }
-        }
-    });
+        });
+    }
     out
 }
 

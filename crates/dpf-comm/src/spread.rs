@@ -9,7 +9,8 @@
 //! Off-processor volume models a broadcast tree along the new axis's grid
 //! dimension: `q − 1` copies of the source leave the owning processors.
 
-use dpf_array::{AxisKind, DistArray};
+use crate::spmd::{broadcast_scalar_exec, pull_exec, Src};
+use dpf_array::{AxisKind, DistArray, Layout};
 use dpf_core::{CommPattern, Ctx, Elem};
 
 /// `SPREAD(a, dim=axis, ncopies)`: the result has a new axis of extent
@@ -44,7 +45,16 @@ pub fn broadcast_scalar<T: Elem>(
     shape: &[usize],
     axes: &[AxisKind],
 ) -> DistArray<T> {
-    let out = DistArray::<T>::full(ctx, shape, axes, value);
+    let out = if ctx.spmd() && Layout::new(&ctx.machine, shape, axes).is_distributed() {
+        // Worker 0 ships the scalar to every block owner, which fills its
+        // own blocks; every element is written, so scratch is safe.
+        let mut out = DistArray::<T>::scratch(ctx, shape, axes);
+        let layout = out.layout().clone();
+        ctx.busy(|| broadcast_scalar_exec(ctx, &layout, value, out.as_mut_slice()));
+        out
+    } else {
+        DistArray::<T>::full(ctx, shape, axes, value)
+    };
     let procs: usize = (0..out.rank()).map(|d| out.layout().procs_on(d)).product();
     ctx.record_comm(
         CommPattern::Broadcast,
@@ -85,18 +95,38 @@ fn replicate<T: Elem>(
     );
     let outer: usize = a.shape()[..axis].iter().product();
     let inner: usize = a.shape()[axis..].iter().product();
-    ctx.busy(|| {
-        let src = a.as_slice();
-        let dst = out.as_mut_slice();
-        // Result viewed as [outer, ncopies, inner]; source as [outer, inner].
-        for o in 0..outer.max(1) {
-            let s = &src[o * inner..(o + 1) * inner];
-            for c in 0..ncopies {
-                let d0 = (o * ncopies + c) * inner;
-                dst[d0..d0 + inner].copy_from_slice(s);
+    if ctx.spmd() && q > 1 {
+        // Each owner of a replica block pulls the source row from its
+        // owners; the copies themselves are what crosses the channels.
+        let out_layout = out.layout().clone();
+        ctx.busy(|| {
+            pull_exec(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                &out_layout,
+                out.as_mut_slice(),
+                &|flat| {
+                    let o = flat / (ncopies * inner);
+                    let k = flat % inner;
+                    Src::Flat(o * inner + k)
+                },
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            let src = a.as_slice();
+            let dst = out.as_mut_slice();
+            // Result viewed as [outer, ncopies, inner]; source as [outer, inner].
+            for o in 0..outer.max(1) {
+                let s = &src[o * inner..(o + 1) * inner];
+                for c in 0..ncopies {
+                    let d0 = (o * ncopies + c) * inner;
+                    dst[d0..d0 + inner].copy_from_slice(s);
+                }
             }
-        }
-    });
+        });
+    }
     ctx.faults.inject_slice("spread", out.as_mut_slice());
     out
 }

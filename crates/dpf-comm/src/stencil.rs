@@ -8,10 +8,19 @@
 //! match the paper's Table 6) and charges the off-processor volume of the
 //! halo exchange — for each stencil point with a non-zero axis offset, the
 //! block-boundary elements of that axis cross processors once.
+//!
+//! Under the SPMD backend each worker collects the set of off-block
+//! source elements its outputs touch (the halo, deduplicated across
+//! stencil points), fetches it from the owners in one request/reply
+//! round, and then evaluates its own outputs in the same per-point
+//! accumulation order as the host loop — so results match bit for bit
+//! while only the halo crosses the channels.
 
+use crate::spmd::{split_mut, split_ref, PullMsg};
 use dpf_array::{DistArray, MAX_RANK, PAR_THRESHOLD};
-use dpf_core::{CommPattern, Ctx, Elem, Num};
+use dpf_core::{CommPattern, Ctx, Elem, Num, Router};
 use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Boundary handling for a stencil application.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -119,19 +128,124 @@ pub fn stencil_into<T: Num>(
         }
         *slot = acc;
     };
-    ctx.busy(|| {
-        if out.len() >= PAR_THRESHOLD {
-            out.as_mut_slice()
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(flat, slot)| apply(flat, slot));
-        } else {
-            out.as_mut_slice()
-                .iter_mut()
-                .enumerate()
-                .for_each(|(flat, slot)| apply(flat, slot));
-        }
-    });
+    if ctx.spmd() && a.layout().is_distributed() && out.layout() == a.layout() {
+        let layout = a.layout();
+        let out_layout = out.layout().clone();
+        let shape = &shape;
+        let strides = &strides;
+        ctx.busy(|| {
+            let p = ctx.nprocs();
+            let work: Vec<_> = split_ref(layout, a.as_slice(), p)
+                .into_iter()
+                .zip(split_mut(&out_layout, out.as_mut_slice(), p))
+                .collect();
+            let esize = T::DTYPE.size() as u64;
+            dpf_core::run_workers(
+                p,
+                &ctx.link,
+                work,
+                |wrank, (src, mut dst), router: &mut Router<'_, PullMsg<T>>| {
+                    // Source flat a point reads for an output flat; None
+                    // means the fixed boundary value (no communication).
+                    let src_off = |flat: usize, pt: &StencilPoint<T>| -> Option<usize> {
+                        let mut idx = [0usize; MAX_RANK];
+                        let mut rem = flat;
+                        for d in (0..rank).rev() {
+                            idx[d] = rem % shape[d];
+                            rem /= shape[d];
+                        }
+                        let mut off = 0usize;
+                        for d in 0..rank {
+                            let j = idx[d] as isize + pt.offset[d];
+                            let j = if j < 0 || j >= shape[d] as isize {
+                                match boundary {
+                                    StencilBoundary::Cyclic => {
+                                        j.rem_euclid(shape[d] as isize) as usize
+                                    }
+                                    StencilBoundary::Fixed(_) => return None,
+                                }
+                            } else {
+                                j as usize
+                            };
+                            off += j * strides[d];
+                        }
+                        Some(off)
+                    };
+                    // Collect the halo: off-block sources, deduplicated.
+                    let mut needed: Vec<BTreeSet<usize>> =
+                        (0..p).map(|_| BTreeSet::new()).collect();
+                    for (start, len) in dst.ranges() {
+                        for flat in start..start + len {
+                            for pt in points {
+                                if let Some(off) = src_off(flat, pt) {
+                                    let owner = layout.owner_id_flat(off);
+                                    if owner != wrank {
+                                        needed[owner].insert(off);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for (q, set) in needed.iter().enumerate() {
+                        router.send(q, 0, PullMsg::Req(set.iter().copied().collect()));
+                    }
+                    for q in 0..p {
+                        let PullMsg::Req(r) = router.recv_from(q) else {
+                            unreachable!("halo protocol: Req must precede Vals");
+                        };
+                        let vals: Vec<T> = r.iter().map(|&s| src.get(s)).collect();
+                        router.send(q, vals.len() as u64 * esize, PullMsg::Vals(vals));
+                    }
+                    let mut halo: BTreeMap<usize, T> = BTreeMap::new();
+                    for (q, set) in needed.into_iter().enumerate() {
+                        let PullMsg::Vals(v) = router.recv_from(q) else {
+                            unreachable!("halo protocol: Req must precede Vals");
+                        };
+                        halo.extend(set.into_iter().zip(v));
+                    }
+                    // Evaluate own outputs in the host loop's per-point
+                    // accumulation order.
+                    for (start, len) in dst.ranges() {
+                        for flat in start..start + len {
+                            let mut acc = T::zero();
+                            for pt in points {
+                                match src_off(flat, pt) {
+                                    Some(off) => {
+                                        let v = if layout.owner_id_flat(off) == wrank {
+                                            src.get(off)
+                                        } else {
+                                            halo[&off]
+                                        };
+                                        acc += pt.weight * v;
+                                    }
+                                    None => {
+                                        if let StencilBoundary::Fixed(fill) = boundary {
+                                            acc += pt.weight * fill;
+                                        }
+                                    }
+                                }
+                            }
+                            dst.set(flat, acc);
+                        }
+                    }
+                },
+            );
+        });
+    } else {
+        ctx.busy(|| {
+            if out.len() >= PAR_THRESHOLD {
+                out.as_mut_slice()
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(flat, slot)| apply(flat, slot));
+            } else {
+                out.as_mut_slice()
+                    .iter_mut()
+                    .enumerate()
+                    .for_each(|(flat, slot)| apply(flat, slot));
+            }
+        });
+    }
     ctx.faults.inject_slice("stencil", out.as_mut_slice());
 }
 

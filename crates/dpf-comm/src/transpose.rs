@@ -5,7 +5,13 @@
 //! off-processor volume is computed exactly: an element moves iff its
 //! owner under the source layout differs from the owner of its transposed
 //! position under the destination layout.
+//!
+//! Under the SPMD backend the destination owners pull their elements from
+//! the source owners ([`crate::spmd::pull_exec`]); the owner-mismatch
+//! predicate of the pull is the same one `count_moves` models, so metered
+//! and modeled bytes agree exactly.
 
+use crate::spmd::{pull_exec, Src};
 use dpf_array::{DistArray, MAX_RANK, PAR_THRESHOLD};
 use dpf_core::{CommPattern, Ctx, DpfError, Elem};
 use rayon::prelude::*;
@@ -44,7 +50,38 @@ pub fn transpose_axes<T: Elem>(ctx: &Ctx, a: &DistArray<T>, d0: usize, d1: usize
     order.swap(d0, d1);
     // Build the result through the storage permutation, then account the
     // movement exactly against the fresh layout.
-    let out = ctx.suppress_comm(|| a.permute(ctx, &order));
+    let out = if ctx.spmd() && a.layout().is_distributed() {
+        // Same layout the permute would produce, but every destination
+        // owner pulls its elements from the source owners.
+        let rank = a.rank();
+        let new_shape: Vec<usize> = order.iter().map(|&d| a.shape()[d]).collect();
+        let new_axes: Vec<_> = order.iter().map(|&d| a.layout().axes()[d]).collect();
+        let mut out = DistArray::<T>::scratch(ctx, &new_shape, &new_axes);
+        let out_layout = out.layout().clone();
+        let src_strides = a.layout().strides();
+        ctx.busy(|| {
+            pull_exec(
+                ctx,
+                a.layout(),
+                a.as_slice(),
+                &out_layout,
+                out.as_mut_slice(),
+                &|flat| {
+                    let mut rem = flat;
+                    let mut src_flat = 0usize;
+                    for k in (0..rank).rev() {
+                        let i = rem % new_shape[k];
+                        rem /= new_shape[k];
+                        src_flat += i * src_strides[order[k]];
+                    }
+                    Src::Flat(src_flat)
+                },
+            );
+        });
+        out
+    } else {
+        ctx.suppress_comm(|| a.permute(ctx, &order))
+    };
     let offproc = if a.layout().is_distributed() || out.layout().is_distributed() {
         count_moves(a.shape(), &order, a.layout(), out.layout())
     } else {

@@ -4,6 +4,7 @@ use crate::fault::{FaultInjector, FaultPlan};
 use crate::instr::{CommKey, CommPattern, Instr};
 use crate::machine::Machine;
 use crate::pool::BufferPool;
+use crate::spmd::{Backend, LinkMeter};
 
 /// Execution context threaded through every DPF operation: the virtual
 /// [`Machine`] plus the run's [`Instr`]umentation and the host-side
@@ -24,27 +25,43 @@ pub struct Ctx {
     /// Deterministic fault engine; disabled by default, armed via
     /// [`Ctx::with_faults`].
     pub faults: FaultInjector,
+    /// Which execution engine runs the communication primitives
+    /// ([`Backend::Virtual`] by default).
+    pub backend: Backend,
+    /// Bytes/messages that actually crossed an SPMD channel; stays zero
+    /// under the virtual backend.
+    pub link: LinkMeter,
 }
 
 impl Ctx {
-    /// Context for the given machine.
-    pub fn new(machine: Machine) -> Self {
+    /// Full constructor: machine, optional fault plan, and backend.
+    pub fn build(machine: Machine, plan: Option<FaultPlan>, backend: Backend) -> Self {
         Ctx {
             machine,
             instr: Instr::new(),
             pool: BufferPool::new(),
-            faults: FaultInjector::disabled(),
+            faults: match plan {
+                Some(plan) => FaultInjector::new(plan),
+                None => FaultInjector::disabled(),
+            },
+            backend,
+            link: LinkMeter::new(),
         }
+    }
+
+    /// Context for the given machine.
+    pub fn new(machine: Machine) -> Self {
+        Ctx::build(machine, None, Backend::Virtual)
+    }
+
+    /// Context for the given machine running on `backend`.
+    pub fn with_backend(machine: Machine, backend: Backend) -> Self {
+        Ctx::build(machine, None, backend)
     }
 
     /// Context for the given machine with an armed fault plan.
     pub fn with_faults(machine: Machine, plan: FaultPlan) -> Self {
-        Ctx {
-            machine,
-            instr: Instr::new(),
-            pool: BufferPool::new(),
-            faults: FaultInjector::new(plan),
-        }
+        Ctx::build(machine, Some(plan), Backend::Virtual)
     }
 
     /// Context sized to the host (one virtual processor per hardware
@@ -57,6 +74,12 @@ impl Ctx {
     #[inline]
     pub fn nprocs(&self) -> usize {
         self.machine.nprocs
+    }
+
+    /// True when the SPMD message-passing backend is selected.
+    #[inline]
+    pub fn spmd(&self) -> bool {
+        self.backend.is_spmd()
     }
 
     /// Charge `n` FLOPs (see [`crate::flops`] for the conventions).

@@ -29,6 +29,7 @@ pub mod machine;
 pub mod numeric;
 pub mod pool;
 pub mod report;
+pub mod spmd;
 pub mod verify;
 
 pub use checkpoint::{Checkpoint, RecoveryStats, Step};
@@ -41,4 +42,5 @@ pub use machine::Machine;
 pub use numeric::{Field, Num};
 pub use pool::BufferPool;
 pub use report::{BenchReport, PerfSummary};
+pub use spmd::{run_workers, Backend, LinkMeter, Router, SpmdBarrier};
 pub use verify::{nan_max, Verify};

@@ -12,6 +12,13 @@
 //! count is what lets the suite report communication volumes and pattern
 //! counts for any machine size — exactly what the paper's Tables 3, 4, 6
 //! and 7 tabulate — on a laptop.
+//!
+//! The same machine description also drives the SPMD backend
+//! ([`crate::spmd::Backend::Spmd`]), which spawns one worker thread per
+//! virtual processor and exchanges block data over typed channels instead
+//! of modeling the traffic analytically; both backends share the layouts
+//! and the accounting, so switching backends changes how the bytes move,
+//! not how many are reported.
 
 /// Description of the (virtual) data-parallel machine a benchmark runs on.
 #[derive(Clone, Debug, PartialEq)]

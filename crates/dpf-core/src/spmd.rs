@@ -1,0 +1,378 @@
+//! The SPMD execution backend: per-processor worker threads and typed
+//! message channels.
+//!
+//! The default [`Backend::Virtual`] computes every collective on the host
+//! (rayon pool) and *models* the off-processor traffic analytically. Under
+//! [`Backend::Spmd`] each collective in `dpf-comm` instead spawns one
+//! worker thread per virtual processor, hands each worker only its own
+//! block of every distributed array (per the [`Layout`] block extents) and
+//! moves data between blocks over typed `mpsc` channels — so the bytes a
+//! run reports are bytes that actually crossed a channel.
+//!
+//! This module is the machinery shared by every SPMD collective:
+//!
+//! * [`Backend`] — the enum threaded through `Ctx`, the suite harness and
+//!   the `dpf --backend` CLI flag.
+//! * [`LinkMeter`] — counts messages and payload bytes that crossed a
+//!   channel between two *distinct* workers (self-sends are local).
+//! * [`SpmdBarrier`] — a reusable generation-counted barrier; collectives
+//!   reuse one barrier object across their communication rounds.
+//! * [`Router`] — a worker's mailbox: senders to every peer plus a
+//!   receiver with per-sender pending queues, so per-pair FIFO order
+//!   holds even when rounds interleave on the shared channel.
+//! * [`run_workers`] — spawns the worker set on scoped threads, joins
+//!   them, and propagates the first worker panic.
+//!
+//! Deadlocks are converted into visible failures: every blocking receive
+//! and barrier wait carries a generous timeout and panics with a
+//! diagnosis instead of hanging the suite.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a worker waits on a message or barrier before declaring the
+/// collective deadlocked.
+const SPMD_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Which execution engine runs the communication primitives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Host-side reference implementation: collectives compute on the
+    /// shared-memory rayon pool and communication volume is modeled
+    /// analytically from the block layouts.
+    #[default]
+    Virtual,
+    /// Message-passing implementation: one worker thread per virtual
+    /// processor, each restricted to its own blocks, exchanging data over
+    /// typed channels.
+    Spmd,
+}
+
+impl Backend {
+    /// True for [`Backend::Spmd`].
+    #[inline]
+    pub const fn is_spmd(self) -> bool {
+        matches!(self, Backend::Spmd)
+    }
+
+    /// The CLI spelling of the backend.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Backend::Virtual => "virtual",
+            Backend::Spmd => "spmd",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "virtual" => Ok(Backend::Virtual),
+            "spmd" => Ok(Backend::Spmd),
+            other => Err(format!("unknown backend {other:?} (virtual|spmd)")),
+        }
+    }
+}
+
+/// Counts the traffic that actually crossed a channel between two distinct
+/// workers: message count (including zero-payload control messages) and
+/// payload bytes. Self-sends are delivered through the same channels for
+/// uniform worker code but are not communication, so they are not counted.
+#[derive(Debug, Default)]
+pub struct LinkMeter {
+    messages: AtomicU64,
+    payload_bytes: AtomicU64,
+}
+
+impl LinkMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        LinkMeter::default()
+    }
+
+    /// Record one cross-worker message carrying `bytes` of payload.
+    #[inline]
+    pub fn record(&self, bytes: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.payload_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Messages that crossed a channel between distinct workers.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes that crossed a channel between distinct workers.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// A reusable barrier for `n` workers: generation-counted, so the same
+/// object serves every round of a collective. Waits time out and panic
+/// (deadlock diagnosis) instead of hanging.
+pub struct SpmdBarrier {
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+    n: usize,
+}
+
+impl SpmdBarrier {
+    /// Barrier for `n` workers.
+    pub fn new(n: usize) -> Self {
+        SpmdBarrier {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Block until all `n` workers have arrived at this generation.
+    pub fn wait(&self) {
+        let mut state = self.state.lock().expect("spmd barrier poisoned");
+        let gen = state.1;
+        state.0 += 1;
+        if state.0 == self.n {
+            state.0 = 0;
+            state.1 += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let deadline = Instant::now() + SPMD_TIMEOUT;
+        while state.1 == gen {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                panic!("spmd barrier timed out after {SPMD_TIMEOUT:?} (deadlock suspected)");
+            }
+            let (s, _timeout) = self
+                .cv
+                .wait_timeout(state, left)
+                .expect("spmd barrier poisoned");
+            state = s;
+        }
+    }
+}
+
+/// A worker's communication endpoint: senders to every rank (self
+/// included, so collective code stays uniform) and the worker's receiver.
+/// Incoming messages are tagged with the sender rank and buffered in
+/// per-sender queues, preserving per-pair FIFO order across rounds.
+pub struct Router<'a, M> {
+    rank: usize,
+    txs: Vec<Sender<(usize, M)>>,
+    rx: Receiver<(usize, M)>,
+    pending: Vec<VecDeque<M>>,
+    meter: &'a LinkMeter,
+    barrier: &'a SpmdBarrier,
+}
+
+impl<M: Send> Router<'_, M> {
+    /// This worker's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total worker count.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Send `msg` to worker `to`, metering `payload_bytes` when the
+    /// message actually crosses between distinct workers. Sends never
+    /// block (unbounded channels), so a round may post all its messages
+    /// before any worker starts receiving.
+    pub fn send(&self, to: usize, payload_bytes: u64, msg: M) {
+        if to != self.rank {
+            self.meter.record(payload_bytes);
+        }
+        self.txs[to]
+            .send((self.rank, msg))
+            .expect("spmd peer hung up");
+    }
+
+    /// Receive the next message from worker `from`, buffering messages
+    /// from other senders. Panics after a timeout so a protocol bug shows
+    /// up as a diagnosed failure, not a hung suite.
+    pub fn recv_from(&mut self, from: usize) -> M {
+        if let Some(m) = self.pending[from].pop_front() {
+            return m;
+        }
+        loop {
+            match self.rx.recv_timeout(SPMD_TIMEOUT) {
+                Ok((sender, m)) => {
+                    if sender == from {
+                        return m;
+                    }
+                    self.pending[sender].push_back(m);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "spmd worker {} timed out waiting for worker {from} (deadlock suspected)",
+                        self.rank
+                    );
+                }
+            }
+        }
+    }
+
+    /// Wait on the collective's reusable barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Spawn `nprocs` workers on scoped threads, one per virtual processor,
+/// each receiving its rank, its element of `work` (the worker's own array
+/// blocks and outputs) and a [`Router`] wired to every peer. Returns the
+/// workers' results in rank order; the first worker panic is re-raised on
+/// the caller after all workers have been joined.
+pub fn run_workers<M, W, R, F>(nprocs: usize, meter: &LinkMeter, work: Vec<W>, f: F) -> Vec<R>
+where
+    M: Send,
+    W: Send,
+    R: Send,
+    F: Fn(usize, W, &mut Router<'_, M>) -> R + Sync,
+{
+    assert_eq!(work.len(), nprocs, "one work item per worker");
+    let barrier = SpmdBarrier::new(nprocs);
+    let mut txs = Vec::with_capacity(nprocs);
+    let mut rxs = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let routers: Vec<Router<'_, M>> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Router {
+            rank,
+            txs: txs.clone(),
+            rx,
+            pending: (0..nprocs).map(|_| VecDeque::new()).collect(),
+            meter: &*meter,
+            barrier: &barrier,
+        })
+        .collect();
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = routers
+            .into_iter()
+            .zip(work)
+            .map(|(mut router, w)| {
+                s.spawn(move || {
+                    let rank = router.rank;
+                    f(rank, w, &mut router)
+                })
+            })
+            .collect();
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("virtual".parse::<Backend>().unwrap(), Backend::Virtual);
+        assert_eq!("spmd".parse::<Backend>().unwrap(), Backend::Spmd);
+        assert!("mpi".parse::<Backend>().is_err());
+        assert_eq!(Backend::Spmd.to_string(), "spmd");
+        assert_eq!(Backend::default(), Backend::Virtual);
+        assert!(Backend::Spmd.is_spmd());
+        assert!(!Backend::Virtual.is_spmd());
+    }
+
+    #[test]
+    fn meter_ignores_self_sends() {
+        let meter = LinkMeter::new();
+        let results = run_workers::<u64, (), u64, _>(4, &meter, vec![(); 4], |rank, (), router| {
+            // Every worker sends its rank to every rank (self included).
+            for to in 0..router.nprocs() {
+                router.send(to, 8, rank as u64);
+            }
+            let mut sum = 0;
+            for from in 0..router.nprocs() {
+                sum += router.recv_from(from);
+            }
+            sum
+        });
+        assert_eq!(results, vec![1 + 2 + 3; 4]);
+        // 4 workers x 3 cross-peers each = 12 metered messages.
+        assert_eq!(meter.messages(), 12);
+        assert_eq!(meter.payload_bytes(), 12 * 8);
+    }
+
+    #[test]
+    fn per_sender_fifo_holds_across_rounds() {
+        let meter = LinkMeter::new();
+        let results =
+            run_workers::<u32, (), Vec<u32>, _>(3, &meter, vec![(); 3], |rank, (), router| {
+                // Two back-to-back rounds; receivers must see each peer's
+                // messages in send order even though the shared channel
+                // interleaves senders arbitrarily.
+                for round in 0..2u32 {
+                    for to in 0..router.nprocs() {
+                        router.send(to, 0, round * 10 + rank as u32);
+                    }
+                }
+                router.barrier();
+                let mut got = Vec::new();
+                for from in 0..router.nprocs() {
+                    for round in 0..2u32 {
+                        let m = router.recv_from(from);
+                        assert_eq!(m, round * 10 + from as u32);
+                        got.push(m);
+                    }
+                }
+                got
+            });
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let b = SpmdBarrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        b.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let meter = LinkMeter::new();
+        let res = std::panic::catch_unwind(|| {
+            run_workers::<(), usize, (), _>(2, &meter, vec![0, 1], |rank, _w, _router| {
+                if rank == 1 {
+                    panic!("worker bug");
+                }
+            });
+        });
+        assert!(res.is_err());
+    }
+}

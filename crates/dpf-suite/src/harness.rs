@@ -13,7 +13,7 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Once;
 use std::time::{Duration, Instant};
 
-use dpf_core::{derive_seed, BenchReport, Ctx, FaultPlan, Machine};
+use dpf_core::{derive_seed, Backend, BenchReport, Ctx, FaultPlan, Machine};
 
 use crate::benchmark::{BenchEntry, RunOutput, Size, Version};
 
@@ -41,12 +41,25 @@ impl HarnessResult {
     }
 }
 
-/// Run one version of one benchmark on the given machine and size.
+/// Run one version of one benchmark on the given machine and size under
+/// the default (virtual) backend.
 pub fn run(entry: &BenchEntry, version: Version, machine: &Machine, size: Size) -> HarnessResult {
+    run_on(entry, version, machine, size, Backend::Virtual)
+}
+
+/// Run one version of one benchmark on the given machine, size and
+/// execution backend.
+pub fn run_on(
+    entry: &BenchEntry,
+    version: Version,
+    machine: &Machine,
+    size: Size,
+    backend: Backend,
+) -> HarnessResult {
     let variant = entry
         .variant(version)
         .unwrap_or_else(|| panic!("{} has no {} variant", entry.name, version));
-    let ctx = Ctx::new(machine.clone());
+    let ctx = Ctx::with_backend(machine.clone(), backend);
     let start = Instant::now();
     let output = (variant.run)(&ctx, size);
     let elapsed = start.elapsed();
@@ -132,6 +145,8 @@ pub struct SuiteConfig {
     pub retries: u32,
     /// Benchmarks to skip entirely (recorded as [`RunOutcome::Quarantined`]).
     pub quarantine: Vec<String>,
+    /// Execution backend every run's context is built with.
+    pub backend: Backend,
 }
 
 impl Default for SuiteConfig {
@@ -143,6 +158,7 @@ impl Default for SuiteConfig {
             timeout: Duration::from_secs(300),
             retries: 0,
             quarantine: Vec::new(),
+            backend: Backend::Virtual,
         }
     }
 }
@@ -197,6 +213,16 @@ enum Attempt {
     TimedOut,
 }
 
+/// Owned inputs for one watchdog attempt, so the worker thread borrows
+/// nothing from the sweep.
+struct AttemptSpec {
+    machine: Machine,
+    size: Size,
+    plan: FaultPlan,
+    timeout: Duration,
+    backend: Backend,
+}
+
 /// One attempt on a watchdog-monitored worker thread. The runner is a
 /// plain `fn` pointer and every input is owned, so the worker is fully
 /// detachable: on timeout the thread is abandoned (it parks on a closed
@@ -205,21 +231,19 @@ fn run_attempt(
     name: &'static str,
     version: Version,
     runner: fn(&Ctx, Size) -> RunOutput,
-    machine: Machine,
-    size: Size,
-    plan: FaultPlan,
-    timeout: Duration,
+    spec: AttemptSpec,
 ) -> Attempt {
     install_quiet_hook();
+    let timeout = spec.timeout;
     let (tx, rx) = mpsc::channel();
     let worker = std::thread::Builder::new()
         .name(format!("dpf-worker-{name}"))
         .spawn(move || {
             QUIET_PANICS.with(|q| q.set(true));
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                let ctx = Ctx::with_faults(machine, plan);
+                let ctx = Ctx::build(spec.machine, Some(spec.plan), spec.backend);
                 let start = Instant::now();
-                let output = runner(&ctx, size);
+                let output = runner(&ctx, spec.size);
                 let elapsed = start.elapsed();
                 let injected = ctx.faults.injected() as u64;
                 let report = BenchReport::from_ctx(
@@ -275,15 +299,14 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
                 plan.rate = 0.0;
             }
         }
-        match run_attempt(
-            name,
-            version,
-            runner,
-            cfg.machine.clone(),
-            cfg.size,
+        let spec = AttemptSpec {
+            machine: cfg.machine.clone(),
+            size: cfg.size,
             plan,
-            cfg.timeout,
-        ) {
+            timeout: cfg.timeout,
+            backend: cfg.backend,
+        };
+        match run_attempt(name, version, runner, spec) {
             Attempt::Done(result, injected) => {
                 if result.report.verify.is_pass() {
                     return GuardedResult {

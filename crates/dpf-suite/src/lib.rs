@@ -19,7 +19,7 @@ pub mod tables;
 
 pub use benchmark::{BenchEntry, Group, RunOutput, Size, Variant, Version};
 pub use harness::{
-    run, run_basic, run_guarded, run_suite, GuardedResult, HarnessResult, RunOutcome, SuiteConfig,
-    SuiteReport, SuiteRow,
+    run, run_basic, run_guarded, run_on, run_suite, GuardedResult, HarnessResult, RunOutcome,
+    SuiteConfig, SuiteReport, SuiteRow,
 };
 pub use registry::{find, registry};

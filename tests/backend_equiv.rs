@@ -1,0 +1,407 @@
+//! Differential backend equivalence: every dpf-comm primitive must produce
+//! element-identical results, and byte-identical §1.5 metric accounting,
+//! under the Virtual (rayon, shared-memory) and Spmd (one worker thread per
+//! virtual processor, explicit message passing) backends.
+//!
+//! The properties sweep random problem sizes, shapes and machine sizes —
+//! including `nprocs = 1` (no distribution at all) and, in the targeted
+//! tests below, `nprocs = 64` (far more virtual processors than physical
+//! cores, so workers genuinely interleave).
+
+use dpf::array::{DistArray, PAR, PAR_THRESHOLD, SER};
+use dpf::comm::{
+    broadcast, broadcast_scalar, cshift, dot, eoshift, gather, gather_combine, gather_nd, get,
+    max_all, maxloc_abs, min_all, product_all, scan_add, scan_add_exclusive, scatter,
+    scatter_combine, scatter_nd_combine, segmented_copy_scan, segmented_scan_add, send, sort_keys,
+    spread, star_stencil, stencil, sum_all, sum_axis, sum_masked, transpose, transpose_axes,
+    Combine, StencilBoundary,
+};
+use dpf::core::{Backend, Ctx, Machine};
+use proptest::prelude::*;
+
+fn vctx(p: usize) -> Ctx {
+    Ctx::new(Machine::cm5(p))
+}
+
+fn sctx(p: usize) -> Ctx {
+    Ctx::with_backend(Machine::cm5(p), Backend::Spmd)
+}
+
+/// Run `op` under both backends on a fresh `p`-processor machine and demand
+/// identical results, identical communication-metric maps and identical
+/// FLOP counts. Returns the two contexts for extra, test-specific checks.
+fn check<T: PartialEq + std::fmt::Debug>(p: usize, op: impl Fn(&Ctx) -> T) -> (Ctx, Ctx) {
+    let v = vctx(p);
+    let s = sctx(p);
+    let rv = op(&v);
+    let rs = op(&s);
+    assert_eq!(rv, rs, "backend results differ (p={p})");
+    assert_eq!(
+        v.instr.comm_snapshot(),
+        s.instr.comm_snapshot(),
+        "comm metrics differ (p={p})"
+    );
+    assert_eq!(v.instr.flops(), s.instr.flops(), "FLOPs differ (p={p})");
+    assert_eq!(
+        v.link.messages(),
+        0,
+        "virtual backend sent channel messages"
+    );
+    (v, s)
+}
+
+fn f(i: usize) -> f64 {
+    (i % 23) as f64 - 11.0 + (i % 7) as f64 * 0.125
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn shifts_match(n in 1usize..48, shift in -60isize..60, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], |i| i[0] as i32);
+            (
+                cshift(ctx, &a, 0, shift).to_vec(),
+                eoshift(ctx, &a, 0, shift, -1).to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn shifts_match_2d(r in 1usize..10, c in 1usize..10, shift in -12isize..12, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<i32>::from_fn(ctx, &[r, c], &[PAR, PAR], |i| {
+                (i[0] * 31 + i[1]) as i32
+            });
+            (
+                cshift(ctx, &a, 0, shift).to_vec(),
+                cshift(ctx, &a, 1, shift).to_vec(),
+                eoshift(ctx, &a, 1, shift, 0).to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn spread_and_broadcast_match(n in 1usize..24, copies in 1usize..6, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            (
+                spread(ctx, &a, 0, copies, PAR).to_vec(),
+                broadcast(ctx, &a, 1, copies, PAR).to_vec(),
+                broadcast_scalar(ctx, 2.5f64, &[n, copies], &[PAR, PAR]).to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn whole_array_reductions_match(n in 1usize..200, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            let mask = DistArray::<bool>::from_fn(ctx, &[n], &[PAR], |i| i[0] % 3 != 0);
+            (
+                sum_all(ctx, &a),
+                sum_masked(ctx, &a, &mask),
+                max_all(ctx, &a),
+                min_all(ctx, &a),
+                maxloc_abs(ctx, &a),
+            )
+        });
+        // product over a scaled-down copy so magnitudes stay finite
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| 1.0 + f(i[0]) * 0.01);
+            product_all(ctx, &a)
+        });
+    }
+
+    #[test]
+    fn dot_matches(n in 1usize..300, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            let b = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0] + 5) * 0.5);
+            dot(ctx, &a, &b)
+        });
+    }
+
+    #[test]
+    fn sum_axis_and_scans_match(r in 1usize..12, c in 1usize..12, axis in 0usize..2, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[r, c], &[PAR, PAR], |i| f(i[0] * 13 + i[1]));
+            (
+                sum_axis(ctx, &a, axis).to_vec(),
+                scan_add(ctx, &a, axis).to_vec(),
+                scan_add_exclusive(ctx, &a, axis).to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn segmented_scans_match(n in 1usize..60, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            let seg = DistArray::<bool>::from_fn(ctx, &[n], &[PAR], |i| i[0] % 5 == 0);
+            (
+                segmented_scan_add(ctx, &a, &seg, 0).to_vec(),
+                segmented_copy_scan(ctx, &a, &seg, 0).to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn gather_family_matches(n in 1usize..60, p in 1usize..9) {
+        check(p, |ctx| {
+            let src = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            let idx = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], |i| ((i[0] * 7 + 3) % n) as i32);
+            (
+                gather(ctx, &src, &idx).to_vec(),
+                get(ctx, &src, &idx).to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn gather_nd_matches(r in 1usize..10, c in 1usize..10, p in 1usize..9) {
+        check(p, |ctx| {
+            let src = DistArray::<f64>::from_fn(ctx, &[r, c], &[PAR, PAR], |i| f(i[0] * 17 + i[1]));
+            let m = r * c;
+            let ci = DistArray::<i32>::from_fn(ctx, &[m], &[PAR], |i| ((i[0] * 3 + 1) % r) as i32);
+            let cj = DistArray::<i32>::from_fn(ctx, &[m], &[PAR], |i| ((i[0] * 5 + 2) % c) as i32);
+            gather_nd(ctx, &src, &[&ci, &cj]).to_vec()
+        });
+    }
+
+    #[test]
+    fn scatter_family_matches(n in 1usize..60, p in 1usize..9) {
+        check(p, |ctx| {
+            let src = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            // Deliberately colliding indices: both backends must agree on
+            // last-writer-wins order and on combine accumulation order.
+            let idx = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], |i| ((i[0] * 3 + 1) % n) as i32);
+            let mut plain = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            scatter(ctx, &mut plain, &idx, &src);
+            let mut sent = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            send(ctx, &mut sent, &idx, &src);
+            let mut added = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            scatter_combine(ctx, &mut added, &idx, &src, Combine::Add);
+            let mut maxed = DistArray::<f64>::full(ctx, &[n], &[PAR], f64::MIN);
+            scatter_combine(ctx, &mut maxed, &idx, &src, Combine::Max);
+            let mut minned = DistArray::<f64>::full(ctx, &[n], &[PAR], f64::MAX);
+            scatter_combine(ctx, &mut minned, &idx, &src, Combine::Min);
+            let mut deposited = DistArray::<f64>::zeros(ctx, &[n], &[PAR]);
+            gather_combine(ctx, &mut deposited, &idx, &src);
+            (
+                plain.to_vec(),
+                sent.to_vec(),
+                added.to_vec(),
+                maxed.to_vec(),
+                minned.to_vec(),
+                deposited.to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn scatter_nd_combine_matches(r in 1usize..10, c in 1usize..10, p in 1usize..9) {
+        check(p, |ctx| {
+            let m = r * c;
+            let src = DistArray::<f64>::from_fn(ctx, &[m], &[PAR], |i| f(i[0]));
+            let ci = DistArray::<i32>::from_fn(ctx, &[m], &[PAR], |i| ((i[0] * 3 + 1) % r) as i32);
+            let cj = DistArray::<i32>::from_fn(ctx, &[m], &[PAR], |i| ((i[0] * 5 + 2) % c) as i32);
+            let mut dst = DistArray::<f64>::zeros(ctx, &[r, c], &[PAR, PAR]);
+            scatter_nd_combine(ctx, &mut dst, &[&ci, &cj], &src, Combine::Add);
+            dst.to_vec()
+        });
+    }
+
+    #[test]
+    fn transpose_matches(r in 1usize..14, c in 1usize..14, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[r, c], &[PAR, PAR], |i| f(i[0] * 19 + i[1]));
+            transpose(ctx, &a).to_vec()
+        });
+    }
+
+    #[test]
+    fn transpose_axes_3d_matches(d in 1usize..7, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[d, d + 1, d + 2], &[PAR, PAR, SER], |i| {
+                f(i[0] * 37 + i[1] * 5 + i[2])
+            });
+            transpose_axes(ctx, &a, 0, 1).to_vec()
+        });
+    }
+
+    #[test]
+    fn stencil_matches(n in 2usize..40, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            let pts = star_stencil(1, -2.0, 1.0);
+            (
+                stencil(ctx, &a, &pts, StencilBoundary::Cyclic).to_vec(),
+                stencil(ctx, &a, &pts, StencilBoundary::Fixed(0.25)).to_vec(),
+            )
+        });
+    }
+
+    #[test]
+    fn stencil_2d_matches(r in 2usize..12, c in 2usize..12, p in 1usize..9) {
+        check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[r, c], &[PAR, PAR], |i| f(i[0] * 11 + i[1]));
+            let pts = star_stencil(2, -4.0, 1.0);
+            stencil(ctx, &a, &pts, StencilBoundary::Cyclic).to_vec()
+        });
+    }
+
+    #[test]
+    fn sort_matches(n in 1usize..80, p in 1usize..9) {
+        // Sort stays host-side under both backends (documented exception);
+        // results and metrics must still agree.
+        check(p, |ctx| {
+            let a = DistArray::<i32>::from_fn(ctx, &[n], &[PAR], |i| ((i[0] * 37 + 11) % 64) as i32);
+            let (sorted, perm) = sort_keys(ctx, &a);
+            (sorted.to_vec(), perm.to_vec())
+        });
+    }
+}
+
+/// The dot product above the rayon parallel threshold exercises the
+/// chunk-partial protocol that replays the virtual backend's reduce tree;
+/// the result must stay bit-identical, not merely approximately equal.
+#[test]
+fn dot_above_parallel_threshold_is_bit_identical() {
+    let n = PAR_THRESHOLD + 1000;
+    for p in [2usize, 7, 8] {
+        let (_, s) = check(p, |ctx| {
+            let a = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0]));
+            let b = DistArray::<f64>::from_fn(ctx, &[n], &[PAR], |i| f(i[0] + 3) * 0.25);
+            dot(ctx, &a, &b).to_bits()
+        });
+        assert!(
+            s.link.payload_bytes() > 0,
+            "p={p}: no bytes crossed a channel"
+        );
+    }
+}
+
+/// More virtual processors than this machine has cores: the SPMD executor
+/// must still terminate (no deadlock) and agree with the virtual backend.
+#[test]
+fn oversubscribed_64_workers_agree() {
+    let p = 64;
+    check(p, |ctx| {
+        let a = DistArray::<f64>::from_fn(ctx, &[257], &[PAR], |i| f(i[0]));
+        let idx = DistArray::<i32>::from_fn(ctx, &[257], &[PAR], |i| ((i[0] * 7 + 3) % 257) as i32);
+        let m = DistArray::<f64>::from_fn(ctx, &[24, 24], &[PAR, PAR], |i| f(i[0] * 29 + i[1]));
+        let pts = star_stencil(2, -4.0, 1.0);
+        (
+            cshift(ctx, &a, 0, 13).to_vec(),
+            sum_all(ctx, &a),
+            scan_add(ctx, &a, 0).to_vec(),
+            gather(ctx, &a, &idx).to_vec(),
+            transpose(ctx, &m).to_vec(),
+            stencil(ctx, &m, &pts, StencilBoundary::Cyclic).to_vec(),
+        )
+    });
+}
+
+/// A single virtual processor: nothing is distributed, so the SPMD backend
+/// must not move any bytes over channels at all.
+#[test]
+fn single_processor_moves_no_channel_bytes() {
+    let (_, s) = check(1, |ctx| {
+        let a = DistArray::<f64>::from_fn(ctx, &[100], &[PAR], |i| f(i[0]));
+        let idx = DistArray::<i32>::from_fn(ctx, &[100], &[PAR], |i| ((i[0] * 7) % 100) as i32);
+        (
+            cshift(ctx, &a, 0, 3).to_vec(),
+            sum_all(ctx, &a),
+            scan_add(ctx, &a, 0).to_vec(),
+            gather(ctx, &a, &idx).to_vec(),
+        )
+    });
+    assert_eq!(s.link.payload_bytes(), 0, "p=1 sent payload over channels");
+}
+
+/// Benchmark-level metric parity: a sample of benchmarks from each paper
+/// group, run through the harness under both backends, must report the
+/// identical `(pattern, src_rank, dst_rank) → {calls, elements, bytes}`
+/// map, the identical FLOP count and the identical memory accounting.
+#[test]
+fn benchmark_comm_metrics_are_backend_invariant() {
+    use dpf::suite::{find, run_on, Size, Version};
+    // All four §2 communication functions, plus samples of the linear
+    // algebra and application groups covering every comm pattern family.
+    let sample = [
+        "gather",
+        "reduction",
+        "scatter",
+        "transpose",
+        "matrix-vector",
+        "conj-grad",
+        "fft",
+        "pcr",
+        "step4",
+        "ellip-2D",
+        "diff-3D",
+        "pic-simple",
+        "n-body",
+        "wave-1D",
+    ];
+    let machine = Machine::cm5(8);
+    for name in sample {
+        let entry = find(name).unwrap();
+        let rv = run_on(
+            &entry,
+            Version::Basic,
+            &machine,
+            Size::Small,
+            Backend::Virtual,
+        );
+        let rs = run_on(&entry, Version::Basic, &machine, Size::Small, Backend::Spmd);
+        assert!(rv.report.verify.is_pass(), "{name} failed under virtual");
+        assert!(rs.report.verify.is_pass(), "{name} failed under spmd");
+        assert_eq!(rv.report.comm, rs.report.comm, "{name}: comm maps differ");
+        assert_eq!(
+            rv.report.perf.flops, rs.report.perf.flops,
+            "{name}: FLOPs differ"
+        );
+        assert_eq!(
+            rv.report.memory_bytes, rs.report.memory_bytes,
+            "{name}: memory accounting differs"
+        );
+    }
+}
+
+/// Deterministic fault injection is backend-independent: the same plan on
+/// the same seed must produce a byte-identical suite outcome table twice
+/// in a row under the SPMD backend.
+#[test]
+fn spmd_fault_injection_is_deterministic() {
+    use dpf::suite::{run_suite, Size, SuiteConfig};
+    use dpf::FaultPlan;
+    let cfg = SuiteConfig {
+        machine: Machine::cm5(8),
+        size: Size::Small,
+        faults: FaultPlan::new(0.01, 42),
+        backend: Backend::Spmd,
+        ..SuiteConfig::default()
+    };
+    let first = run_suite(&cfg).summary();
+    let second = run_suite(&cfg).summary();
+    assert_eq!(first, second, "fault outcomes are not reproducible");
+}
+
+/// On a genuinely distributed layout the SPMD backend's link meter must
+/// show traffic: the bytes the Instr reports are bytes that actually
+/// crossed a channel, not a model.
+#[test]
+fn spmd_backend_moves_real_bytes() {
+    let s = sctx(8);
+    let a = DistArray::<f64>::from_fn(&s, &[4096], &[PAR], |i| f(i[0]));
+    let shifted = cshift(&s, &a, 0, 1);
+    assert_eq!(shifted.to_vec()[0], f(1));
+    assert!(s.link.messages() > 0, "no messages crossed the channels");
+    assert!(
+        s.link.payload_bytes() > 0,
+        "no payload crossed the channels"
+    );
+}

@@ -33,6 +33,49 @@ fn memory_usage_is_declared_for_every_benchmark() {
 }
 
 #[test]
+fn full_registry_sweep_upholds_metric_invariants() {
+    // Every benchmark, both backends: wherever the paper tabulates
+    // floating-point work the run must charge FLOPs (only the three pure
+    // data-motion functions are exempt), the declared memory accounting
+    // must be present, and busy time can never exceed elapsed time.
+    use dpf::core::Backend;
+    use dpf::suite::{run_on, Version};
+    let machine = Machine::cm5(8);
+    for backend in [Backend::Virtual, Backend::Spmd] {
+        for entry in registry() {
+            let res = run_on(&entry, Version::Basic, &machine, Size::Small, backend);
+            assert!(
+                res.report.verify.is_pass(),
+                "{} failed verification under {backend}",
+                entry.name
+            );
+            // The pure data-motion functions are exempt (scatter still
+            // charges its one combining pass, so no zero assertion here).
+            let pure_data_motion = entry.flops_formula.starts_with('0');
+            if !pure_data_motion {
+                assert!(
+                    res.report.perf.flops > 0,
+                    "{}: paper tabulates work but no FLOPs charged under {backend}",
+                    entry.name
+                );
+            }
+            assert!(
+                res.report.memory_bytes > 0,
+                "{}: no memory declared under {backend}",
+                entry.name
+            );
+            assert!(
+                res.report.perf.busy <= res.report.perf.elapsed,
+                "{}: busy {:?} > elapsed {:?} under {backend}",
+                entry.name,
+                res.report.perf.busy,
+                res.report.perf.elapsed
+            );
+        }
+    }
+}
+
+#[test]
 fn offproc_volume_grows_with_machine_size_for_transpose() {
     // The AAPC moves (P−1)/P of the matrix: more processors, more volume.
     let entry = dpf::suite::find("transpose").unwrap();
