@@ -13,6 +13,12 @@
 //!   --backend virtual|spmd       execution backend (default virtual)
 //!   --faults RATE                fault-injection probability per comm event
 //!   --fault-seed N               base seed for the deterministic fault plan
+//!   --link-faults RATE           per-frame link-fault probability on the SPMD
+//!                                transport (drop/duplicate/reorder/corrupt)
+//!   --max-retransmits N          retransmissions allowed per frame before a
+//!                                typed LinkFailure (default 6; 0 disables repair)
+//!   --kill-worker R:C            kill SPMD worker R at collective C to
+//!                                exercise supervision + checkpoint recovery
 //!   --timeout-secs N             wall-clock budget per attempt (default 300)
 //!   --retries N                  retry budget after a failed attempt
 //!   --checkpoint-every N         snapshot iterative kernels every N steps
@@ -32,6 +38,9 @@ struct Options {
     backend: Backend,
     faults: f64,
     fault_seed: u64,
+    link_faults: f64,
+    max_retransmits: Option<u32>,
+    kill_worker: Option<(usize, u64)>,
     timeout_secs: u64,
     retries: u32,
     checkpoint_every: usize,
@@ -47,6 +56,9 @@ impl Default for Options {
             backend: Backend::Virtual,
             faults: 0.0,
             fault_seed: 0,
+            link_faults: 0.0,
+            max_retransmits: None,
+            kill_worker: None,
             timeout_secs: 300,
             retries: 0,
             checkpoint_every: 0,
@@ -59,6 +71,11 @@ impl Options {
     fn plan(&self) -> FaultPlan {
         let mut plan = FaultPlan::new(self.faults, self.fault_seed);
         plan.checkpoint_every = self.checkpoint_every;
+        plan.link_rate = self.link_faults;
+        if let Some(budget) = self.max_retransmits {
+            plan.max_retransmits = budget;
+        }
+        plan.kill_worker = self.kill_worker;
         plan
     }
 
@@ -123,6 +140,30 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("bad --fault-seed")?;
             }
+            "--link-faults" => {
+                o.link_faults = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("bad --link-faults (want a rate in 0..=1)")?;
+            }
+            "--max-retransmits" => {
+                o.max_retransmits = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --max-retransmits")?,
+                );
+            }
+            "--kill-worker" => {
+                o.kill_worker = it
+                    .next()
+                    .and_then(|s| {
+                        let (rank, collective) = s.split_once(':')?;
+                        Some((rank.parse().ok()?, collective.parse().ok()?))
+                    })
+                    .ok_or("bad --kill-worker (want RANK:COLLECTIVE)")
+                    .map(Some)?;
+            }
             "--timeout-secs" => {
                 o.timeout_secs = it
                     .next()
@@ -158,6 +199,7 @@ fn usage() -> ExitCode {
         "usage: dpf <list|run <name>|all|table <1-8|perf|eff|model>> \
          [--size small|medium|large] [--version v] [--procs N] \
          [--backend virtual|spmd] [--faults RATE] [--fault-seed N] \
+         [--link-faults RATE] [--max-retransmits N] [--kill-worker R:C] \
          [--timeout-secs N] [--retries N] [--checkpoint-every N] \
          [--quarantine a,b]"
     );

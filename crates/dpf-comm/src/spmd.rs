@@ -139,7 +139,9 @@ pub(crate) enum Src<T> {
 pub(crate) type AxisStep<'a, T, A> = &'a (dyn Fn(&mut A, usize, &mut dyn FnMut(usize, T)) + Sync);
 
 /// Message type of [`pull_exec`]: a request for source flats, then the
-/// values in request order.
+/// values in request order. `Clone` lets the resilient transport keep a
+/// retransmission copy of in-flight frames under link-fault injection.
+#[derive(Clone)]
 pub(crate) enum PullMsg<T> {
     /// Source flat offsets the sender needs from the receiver's blocks.
     Req(Vec<usize>),
@@ -166,7 +168,7 @@ pub(crate) fn pull_exec<T: Elem>(
     let esize = T::DTYPE.size() as u64;
     dpf_core::run_workers(
         p,
-        &ctx.link,
+        ctx.transport(),
         work,
         |_rank, (src, mut out), router: &mut Router<'_, PullMsg<T>>| {
             let p = router.nprocs();
@@ -222,7 +224,7 @@ pub(crate) fn broadcast_scalar_exec<T: Elem>(
     let esize = T::DTYPE.size() as u64;
     dpf_core::run_workers(
         p,
-        &ctx.link,
+        ctx.transport(),
         work,
         move |rank, mut segs, router: &mut Router<'_, T>| {
             if rank == 0 {
@@ -263,7 +265,7 @@ pub(crate) fn route_exec<T: Elem>(
     let esize = T::DTYPE.size() as u64;
     dpf_core::run_workers(
         p,
-        &ctx.link,
+        ctx.transport(),
         work,
         |_rank, (src, mut dst), router: &mut Router<'_, Vec<(usize, usize, T)>>| {
             let p = router.nprocs();
@@ -318,7 +320,7 @@ pub(crate) fn fold_exec<T: Elem, A: Send + Sync + Clone>(
     let init = &init;
     let results = dpf_core::run_workers(
         p,
-        &ctx.link,
+        ctx.transport(),
         work,
         |_rank, (segs, my), router: &mut Router<'_, A>| {
             let mut last = None;
@@ -393,7 +395,7 @@ pub(crate) fn axis_exec<T: Elem, A: Send + Sync + Clone>(
     let rank_of = &rank_of;
     let results = dpf_core::run_workers(
         p,
-        &ctx.link,
+        ctx.transport(),
         work,
         move |wrank, mut out, router: &mut Router<'_, Vec<A>>| {
             let mut finals: Vec<(usize, A)> = Vec::new();

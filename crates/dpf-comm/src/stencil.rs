@@ -142,7 +142,7 @@ pub fn stencil_into<T: Num>(
             let esize = T::DTYPE.size() as u64;
             dpf_core::run_workers(
                 p,
-                &ctx.link,
+                ctx.transport(),
                 work,
                 |wrank, (src, mut dst), router: &mut Router<'_, PullMsg<T>>| {
                     // Source flat a point reads for an output flat; None

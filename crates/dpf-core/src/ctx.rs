@@ -4,7 +4,7 @@ use crate::fault::{FaultInjector, FaultPlan};
 use crate::instr::{CommKey, CommPattern, Instr};
 use crate::machine::Machine;
 use crate::pool::BufferPool;
-use crate::spmd::{Backend, LinkMeter};
+use crate::spmd::{Backend, LinkMeter, Transport, TransportCfg};
 
 /// Execution context threaded through every DPF operation: the virtual
 /// [`Machine`] plus the run's [`Instr`]umentation and the host-side
@@ -31,11 +31,18 @@ pub struct Ctx {
     /// Bytes/messages that actually crossed an SPMD channel; stays zero
     /// under the virtual backend.
     pub link: LinkMeter,
+    /// SPMD transport configuration (link-fault model, retry budget,
+    /// timeouts, buffer caps); derived from the fault plan at build time.
+    pub link_cfg: TransportCfg,
 }
 
 impl Ctx {
     /// Full constructor: machine, optional fault plan, and backend.
     pub fn build(machine: Machine, plan: Option<FaultPlan>, backend: Backend) -> Self {
+        let link_cfg = plan
+            .as_ref()
+            .map(TransportCfg::from_plan)
+            .unwrap_or_default();
         Ctx {
             machine,
             instr: Instr::new(),
@@ -46,6 +53,7 @@ impl Ctx {
             },
             backend,
             link: LinkMeter::new(),
+            link_cfg,
         }
     }
 
@@ -80,6 +88,13 @@ impl Ctx {
     #[inline]
     pub fn spmd(&self) -> bool {
         self.backend.is_spmd()
+    }
+
+    /// The SPMD transport (meter + configuration) collectives pass to
+    /// [`crate::spmd::run_workers`].
+    #[inline]
+    pub fn transport(&self) -> Transport<'_> {
+        Transport::new(&self.link, &self.link_cfg)
     }
 
     /// Charge `n` FLOPs (see [`crate::flops`] for the conventions).

@@ -88,6 +88,47 @@ pub enum DpfError {
         /// Restores performed before giving up.
         restores: usize,
     },
+    /// A message exhausted its retransmit budget on an unreliable link:
+    /// every allowed transmission attempt was dropped or corrupted.
+    LinkFailure {
+        /// Sending worker rank.
+        src: usize,
+        /// Destination worker rank.
+        dst: usize,
+        /// Per-link sequence number of the undeliverable message.
+        seq: u64,
+        /// Transmission attempts consumed (first send + retransmits).
+        attempts: u32,
+    },
+    /// A receiver's per-peer buffer hit its cap (pathological reorder or a
+    /// runaway sender) — backpressure instead of unbounded memory growth.
+    LinkBackpressure {
+        /// The buffering worker rank.
+        worker: usize,
+        /// The peer whose messages filled the buffer.
+        peer: usize,
+        /// Messages buffered when the cap was hit.
+        buffered: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A peer worker died (panicked) mid-collective; the waiter aborts
+    /// instead of blocking until the deadlock timeout.
+    WorkerDied {
+        /// The rank that died.
+        worker: usize,
+        /// The rank that observed the death while waiting.
+        waiter: usize,
+    },
+    /// Heartbeat-based stall detection found no global progress with every
+    /// live worker blocked; the diagnosis holds the wait-for graph.
+    Deadlock {
+        /// The rank that diagnosed the stall.
+        worker: usize,
+        /// The rendered wait-for graph (who blocks on whom, barrier
+        /// generation, pending sequence numbers, heartbeat ages).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DpfError {
@@ -117,6 +158,33 @@ impl std::fmt::Display for DpfError {
             DpfError::StepPanicked { step } => write!(f, "step {step} panicked"),
             DpfError::RecoveryExhausted { restores } => {
                 write!(f, "checkpoint recovery exhausted after {restores} restores")
+            }
+            DpfError::LinkFailure {
+                src,
+                dst,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "link failure: worker {src} -> {dst} seq {seq} undeliverable \
+                 after {attempts} transmission attempt(s)"
+            ),
+            DpfError::LinkBackpressure {
+                worker,
+                peer,
+                buffered,
+                cap,
+            } => write!(
+                f,
+                "link backpressure: worker {worker} buffered {buffered} \
+                 message(s) from peer {peer} (cap {cap})"
+            ),
+            DpfError::WorkerDied { worker, waiter } => write!(
+                f,
+                "spmd worker {waiter} aborted: peer worker {worker} died mid-collective"
+            ),
+            DpfError::Deadlock { worker, detail } => {
+                write!(f, "spmd deadlock diagnosed by worker {worker}:\n{detail}")
             }
         }
     }
@@ -161,6 +229,47 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+/// What an unreliable link does to one transmitted message. Decided
+/// per-message from a SplitMix64 hash of `(seed, src, dst, seq, attempt)`
+/// inside the SPMD router's send path, so a faulted run is byte-reproducible
+/// from its seed regardless of thread interleaving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// The message never reaches the channel (the sender's transport layer
+    /// must retransmit it after a backoff).
+    Drop,
+    /// The message is delivered twice (the receiver must dedup by sequence
+    /// number).
+    Duplicate,
+    /// The message is held back and overtaken by the next message on the
+    /// same link (the receiver must reassemble by sequence number).
+    Reorder,
+    /// The message's checksum is mangled in flight (the receiver detects
+    /// the CRC mismatch, discards the frame and nacks it).
+    Corrupt,
+}
+
+impl LinkFaultKind {
+    /// All four kinds, the default link-fault mix.
+    pub const ALL: [LinkFaultKind; 4] = [
+        LinkFaultKind::Drop,
+        LinkFaultKind::Duplicate,
+        LinkFaultKind::Reorder,
+        LinkFaultKind::Corrupt,
+    ];
+}
+
+impl std::fmt::Display for LinkFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LinkFaultKind::Drop => "drop",
+            LinkFaultKind::Duplicate => "duplicate",
+            LinkFaultKind::Reorder => "reorder",
+            LinkFaultKind::Corrupt => "corrupt",
+        })
+    }
+}
+
 /// A seeded, deterministic description of the faults to inject.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -177,6 +286,19 @@ pub struct FaultPlan {
     /// Snapshot cadence for checkpoint-aware kernels: snapshot every K
     /// iterations, 0 = checkpointing off.
     pub checkpoint_every: usize,
+    /// Probability that any single SPMD channel message suffers a link
+    /// fault, in `[0, 1]`. Zero models a reliable network (the default).
+    pub link_rate: f64,
+    /// The link-fault kinds a fired per-message decision may choose from.
+    pub link_kinds: Vec<LinkFaultKind>,
+    /// Retransmissions the reliable-delivery protocol may spend per
+    /// message before declaring [`DpfError::LinkFailure`]. Zero disables
+    /// repair entirely: the first drop/corrupt fails the run.
+    pub max_retransmits: u32,
+    /// Deterministic worker-death injection: `(rank, collective)` panics
+    /// worker `rank` at the start of the `collective`-th SPMD collective
+    /// of the run (collectives are counted per context).
+    pub kill_worker: Option<(usize, u64)>,
 }
 
 impl Default for FaultPlan {
@@ -187,6 +309,10 @@ impl Default for FaultPlan {
             kinds: FaultKind::ALL.to_vec(),
             stall_ms: 2,
             checkpoint_every: 0,
+            link_rate: 0.0,
+            link_kinds: LinkFaultKind::ALL.to_vec(),
+            max_retransmits: 6,
+            kill_worker: None,
         }
     }
 }
@@ -219,9 +345,55 @@ impl FaultPlan {
         self
     }
 
-    /// True when the plan can actually fire.
+    /// Arm per-message link faults at `rate`.
+    pub fn with_link_faults(mut self, rate: f64) -> Self {
+        self.link_rate = rate;
+        self
+    }
+
+    /// Restrict link faults to a single kind (for targeted tests).
+    pub fn only_link(mut self, kind: LinkFaultKind) -> Self {
+        self.link_kinds = vec![kind];
+        self
+    }
+
+    /// Set the per-message retransmit budget.
+    pub fn with_max_retransmits(mut self, budget: u32) -> Self {
+        self.max_retransmits = budget;
+        self
+    }
+
+    /// Kill worker `rank` at the start of the `collective`-th SPMD
+    /// collective of the run.
+    pub fn with_kill_worker(mut self, rank: usize, collective: u64) -> Self {
+        self.kill_worker = Some((rank, collective));
+        self
+    }
+
+    /// True when the plan can actually fire at a communication buffer
+    /// decision point (link faults are separate — see
+    /// [`FaultPlan::link_active`]).
     pub fn is_active(&self) -> bool {
         self.rate > 0.0 && !self.kinds.is_empty()
+    }
+
+    /// True when per-message link faults can fire.
+    pub fn link_active(&self) -> bool {
+        self.link_rate > 0.0 && !self.link_kinds.is_empty()
+    }
+
+    /// True when any kind of injection — buffer faults, link faults, or a
+    /// worker kill — is armed.
+    pub fn any_active(&self) -> bool {
+        self.is_active() || self.link_active() || self.kill_worker.is_some()
+    }
+
+    /// Disable every injection source, leaving seeds and budgets in place
+    /// (the harness's fault-free final attempt).
+    pub fn disarm(&mut self) {
+        self.rate = 0.0;
+        self.link_rate = 0.0;
+        self.kill_worker = None;
     }
 }
 
@@ -241,7 +413,7 @@ pub struct FaultRecord {
 
 /// SplitMix64 — the hash driving the decision stream.
 #[inline]
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

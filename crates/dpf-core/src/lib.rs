@@ -36,11 +36,16 @@ pub use checkpoint::{Checkpoint, RecoveryStats, Step};
 pub use complex::{Complex, Real, C32, C64};
 pub use ctx::Ctx;
 pub use dtype::{DType, Elem};
-pub use fault::{derive_seed, DpfError, FaultInjector, FaultKind, FaultPlan, FaultRecord};
+pub use fault::{
+    derive_seed, DpfError, FaultInjector, FaultKind, FaultPlan, FaultRecord, LinkFaultKind,
+};
 pub use instr::{CommKey, CommPattern, CommStats, Instr, LocalAccess, PhaseReport};
 pub use machine::Machine;
 pub use numeric::{Field, Num};
 pub use pool::BufferPool;
 pub use report::{BenchReport, PerfSummary};
-pub use spmd::{run_workers, Backend, LinkMeter, Router, SpmdBarrier};
+pub use spmd::{
+    install_quiet_panic_hook, run_workers, set_quiet_panics, Backend, LinkMeter, Router,
+    SpmdBarrier, Transport, TransportCfg,
+};
 pub use verify::{nan_max, Verify};

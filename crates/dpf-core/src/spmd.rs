@@ -1,5 +1,5 @@
-//! The SPMD execution backend: per-processor worker threads and typed
-//! message channels.
+//! The SPMD execution backend: per-processor worker threads, typed
+//! message channels, and a resilient transport layer.
 //!
 //! The default [`Backend::Virtual`] computes every collective on the host
 //! (rayon pool) and *models* the off-processor traffic analytically. Under
@@ -14,28 +14,85 @@
 //! * [`Backend`] — the enum threaded through `Ctx`, the suite harness and
 //!   the `dpf --backend` CLI flag.
 //! * [`LinkMeter`] — counts messages and payload bytes that crossed a
-//!   channel between two *distinct* workers (self-sends are local).
+//!   channel between two *distinct* workers (self-sends are local), plus
+//!   the transport-layer traffic (retransmissions, acks/nacks, injected
+//!   link faults) that the paper's communication model does **not** count.
+//! * [`TransportCfg`] / [`Transport`] — the transport configuration
+//!   (link-fault rate, retry budget, timeouts, buffer caps) and the
+//!   meter+config pair every collective passes to [`run_workers`].
 //! * [`SpmdBarrier`] — a reusable generation-counted barrier; collectives
 //!   reuse one barrier object across their communication rounds.
 //! * [`Router`] — a worker's mailbox: senders to every peer plus a
 //!   receiver with per-sender pending queues, so per-pair FIFO order
 //!   holds even when rounds interleave on the shared channel.
-//! * [`run_workers`] — spawns the worker set on scoped threads, joins
-//!   them, and propagates the first worker panic.
+//! * [`run_workers`] — spawns the worker set on scoped threads, supervises
+//!   them (a panicked worker is recorded and its peers are released with a
+//!   typed [`DpfError::WorkerDied`]), joins them, and re-raises the most
+//!   informative failure on the caller.
 //!
-//! Deadlocks are converted into visible failures: every blocking receive
-//! and barrier wait carries a generous timeout and panics with a
-//! diagnosis instead of hanging the suite.
+//! # Reliable delivery over unreliable links
+//!
+//! When the [`FaultPlan`] arms link faults (`--link-faults RATE`), every
+//! cross-worker frame consults a deterministic SplitMix64 hash of
+//! `(seed, src, dst, seq, attempt)` and may be dropped, duplicated,
+//! reordered, or corrupted *on the simulated wire*. The transport then
+//! guarantees exactly-once, per-link FIFO delivery on top of the lossy
+//! link: frames carry sequence numbers and a CRC32 header checksum,
+//! receivers dedup/reassemble and send cumulative acks (plus nacks for
+//! gaps and checksum rejects), and senders retransmit with exponential
+//! backoff under a bounded retry budget. Because the decision function is
+//! pure, the entire retransmission history — and therefore every
+//! data-plane meter (messages, bytes, retransmissions, fault tallies,
+//! dedup and CRC-reject counts) — is byte-reproducible from the fault
+//! seed, independent of thread timing; only the ack/nack control-frame
+//! counts vary with scheduling, since one cumulative ack covers however
+//! many frames arrived before it flushed.
+//! A frame whose budget is exhausted raises a typed
+//! [`DpfError::LinkFailure`] that the suite harness turns into a
+//! retry/quarantine decision rather than a hung run.
+//!
+//! # Deadlock diagnostics
+//!
+//! Blocking operations publish a [`WaitState`] and watch a global progress
+//! counter. If every live worker is blocked and the counter stays flat for
+//! [`TransportCfg::stall_timeout`], the first worker to notice dumps a
+//! wait-for graph (who waits on whom, barrier generations, expected
+//! sequence numbers, buffered-message counts, heartbeat ages), runs cycle
+//! detection over it, and panics with a typed [`DpfError::Deadlock`]. A
+//! hard per-wait timeout ([`TransportCfg::hard_timeout`]) remains as the
+//! backstop of last resort.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Condvar, Mutex, Once, OnceLock};
 use std::time::{Duration, Instant};
 
-/// How long a worker waits on a message or barrier before declaring the
-/// collective deadlocked.
-const SPMD_TIMEOUT: Duration = Duration::from_secs(60);
+use parking_lot::Mutex as PlMutex;
+
+use crate::fault::{splitmix64, DpfError, FaultPlan, LinkFaultKind};
+
+/// Backstop timeout for a single blocking receive or barrier wait; stall
+/// detection normally diagnoses a deadlock long before this fires.
+const DEFAULT_HARD_TIMEOUT: Duration = Duration::from_secs(60);
+/// How long global progress must stay flat — with every live worker
+/// blocked — before a deadlock is diagnosed.
+const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(10);
+/// Base retransmission timeout; attempt `k` backs off to `rto << k`.
+const DEFAULT_RTO: Duration = Duration::from_millis(40);
+/// Ceiling on the exponential retransmission backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+/// How long a blocked receiver sleeps on its channel per service slice.
+const SERVICE_SLICE: Duration = Duration::from_millis(25);
+/// On the reliable path, a sender polls its channel (acks, nacks, peer
+/// frames) every this-many sends so tight send loops can't starve the
+/// protocol and overflow receiver-side reassembly windows.
+const SEND_SERVICE_EVERY: u32 = 64;
+/// XOR mask applied to a frame's checksum to simulate payload corruption.
+const CRC_MANGLE: u32 = 0xA5A5_5A5A;
 
 /// Which execution engine runs the communication primitives.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -86,13 +143,31 @@ impl std::str::FromStr for Backend {
 }
 
 /// Counts the traffic that actually crossed a channel between two distinct
-/// workers: message count (including zero-payload control messages) and
-/// payload bytes. Self-sends are delivered through the same channels for
-/// uniform worker code but are not communication, so they are not counted.
+/// workers. The *logical* counters (`messages`, `payload_bytes`) count each
+/// application-level message exactly once — this is the quantity compared
+/// against the paper's communication model and it is unchanged by link
+/// faults. The *transport* counters (retransmissions, acks, nacks, injected
+/// faults, discarded duplicates, checksum rejects) account for the extra
+/// wire traffic the reliability protocol generates; all but the ack/nack
+/// control-frame counts are deterministic for a given fault seed, and all
+/// are excluded from the paper-model comparison.
+/// Self-sends are delivered through the same channels for uniform worker
+/// code but are not communication, so they are not counted anywhere.
 #[derive(Debug, Default)]
 pub struct LinkMeter {
     messages: AtomicU64,
     payload_bytes: AtomicU64,
+    retransmits: AtomicU64,
+    retransmitted_bytes: AtomicU64,
+    acks: AtomicU64,
+    nacks: AtomicU64,
+    faults_dropped: AtomicU64,
+    faults_duplicated: AtomicU64,
+    faults_reordered: AtomicU64,
+    faults_corrupted: AtomicU64,
+    duplicates_discarded: AtomicU64,
+    crc_rejects: AtomicU64,
+    collectives: AtomicU64,
 }
 
 impl LinkMeter {
@@ -108,20 +183,472 @@ impl LinkMeter {
         self.payload_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Messages that crossed a channel between distinct workers.
+    /// Messages that crossed a channel between distinct workers, counting
+    /// each logical message once (retransmissions excluded).
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
 
-    /// Payload bytes that crossed a channel between distinct workers.
+    /// Payload bytes that crossed a channel between distinct workers,
+    /// counting each logical message once (retransmissions excluded).
     pub fn payload_bytes(&self) -> u64 {
         self.payload_bytes.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn note_retransmit(&self, bytes: u64) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+        self.retransmitted_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_ack(&self) {
+        self.acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_nack(&self) {
+        self.nacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_fault(&self, kind: LinkFaultKind) {
+        let ctr = match kind {
+            LinkFaultKind::Drop => &self.faults_dropped,
+            LinkFaultKind::Duplicate => &self.faults_duplicated,
+            LinkFaultKind::Reorder => &self.faults_reordered,
+            LinkFaultKind::Corrupt => &self.faults_corrupted,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_duplicate_discarded(&self) {
+        self.duplicates_discarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_crc_reject(&self) {
+        self.crc_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retransmission attempts performed by all senders (each attempt
+    /// counts, whether or not the simulated link lost it again).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes pushed by retransmission attempts. These bytes show
+    /// up here — and only here — never in [`LinkMeter::payload_bytes`],
+    /// so the paper's comm-count model stays fault-invariant.
+    pub fn retransmitted_bytes(&self) -> u64 {
+        self.retransmitted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative acknowledgements sent by receivers (reliable mode only).
+    pub fn acks(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
+    }
+
+    /// Nacks sent by receivers for sequence gaps and checksum rejects.
+    pub fn nacks(&self) -> u64 {
+        self.nacks.load(Ordering::Relaxed)
+    }
+
+    /// Total injected link faults of every kind.
+    pub fn link_faults(&self) -> u64 {
+        self.faults_dropped.load(Ordering::Relaxed)
+            + self.faults_duplicated.load(Ordering::Relaxed)
+            + self.faults_reordered.load(Ordering::Relaxed)
+            + self.faults_corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Injected frame drops.
+    pub fn faults_dropped(&self) -> u64 {
+        self.faults_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Injected frame duplications.
+    pub fn faults_duplicated(&self) -> u64 {
+        self.faults_duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Injected frame reorderings.
+    pub fn faults_reordered(&self) -> u64 {
+        self.faults_reordered.load(Ordering::Relaxed)
+    }
+
+    /// Injected frame corruptions (detected via checksum at the receiver).
+    pub fn faults_corrupted(&self) -> u64 {
+        self.faults_corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Frames a receiver discarded as duplicates of already-delivered or
+    /// already-buffered sequence numbers.
+    pub fn duplicates_discarded(&self) -> u64 {
+        self.duplicates_discarded.load(Ordering::Relaxed)
+    }
+
+    /// Frames a receiver rejected because the checksum did not verify.
+    pub fn crc_rejects(&self) -> u64 {
+        self.crc_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Collectives (i.e. [`run_workers`] invocations) metered so far.
+    pub fn collectives(&self) -> u64 {
+        self.collectives.load(Ordering::Relaxed)
+    }
+
+    /// Claim the next collective index (0-based, monotone per meter).
+    fn begin_collective(&self) -> u64 {
+        self.collectives.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Transport configuration for one SPMD context: link-fault model, retry
+/// budget, timeouts, and receiver-side buffer caps. Built from a
+/// [`FaultPlan`] via [`TransportCfg::from_plan`]; the default is a clean,
+/// reliable in-process link with diagnostics-only supervision.
+#[derive(Clone, Debug)]
+pub struct TransportCfg {
+    /// Per-transmission probability of injecting a link fault.
+    pub link_rate: f64,
+    /// Seed for the deterministic per-frame fault decisions.
+    pub link_seed: u64,
+    /// Which fault kinds the injector may choose from.
+    pub link_kinds: Vec<LinkFaultKind>,
+    /// Retransmissions allowed per frame beyond the first transmission
+    /// before the sender raises [`DpfError::LinkFailure`].
+    pub max_retransmits: u32,
+    /// Base retransmission timeout (exponential backoff multiplies it).
+    pub rto: Duration,
+    /// Flat-progress window after which a fully-blocked worker set is
+    /// diagnosed as deadlocked.
+    pub stall_timeout: Duration,
+    /// Backstop timeout for one blocking receive or barrier wait.
+    pub hard_timeout: Duration,
+    /// Max delivered-but-undrained messages buffered per peer before the
+    /// receiver raises [`DpfError::LinkBackpressure`].
+    pub pending_cap: usize,
+    /// Max out-of-order frames buffered per peer awaiting reassembly
+    /// before the receiver raises [`DpfError::LinkBackpressure`].
+    pub reassembly_cap: usize,
+    /// Kill worker `rank` at the start of collective `index` (0-based),
+    /// exercising supervision and checkpoint/restart recovery.
+    pub kill_worker: Option<(usize, u64)>,
+}
+
+impl Default for TransportCfg {
+    fn default() -> Self {
+        TransportCfg {
+            link_rate: 0.0,
+            link_seed: 0,
+            link_kinds: LinkFaultKind::ALL.to_vec(),
+            max_retransmits: 6,
+            rto: DEFAULT_RTO,
+            stall_timeout: DEFAULT_STALL_TIMEOUT,
+            hard_timeout: DEFAULT_HARD_TIMEOUT,
+            pending_cap: 1 << 16,
+            reassembly_cap: 4096,
+            kill_worker: None,
+        }
+    }
+}
+
+impl TransportCfg {
+    /// Derive the transport configuration from a fault plan.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        TransportCfg {
+            link_rate: plan.link_rate,
+            link_seed: plan.seed,
+            link_kinds: plan.link_kinds.clone(),
+            max_retransmits: plan.max_retransmits,
+            kill_worker: plan.kill_worker,
+            ..TransportCfg::default()
+        }
+    }
+
+    /// True when the link-fault injector is armed.
+    pub fn link_active(&self) -> bool {
+        self.link_rate > 0.0 && !self.link_kinds.is_empty()
+    }
+
+    /// True when the ack/retransmit protocol runs. The in-process channel
+    /// is lossless, so the protocol (and its bookkeeping cost) is engaged
+    /// only when faults are being injected on the simulated wire.
+    pub fn reliable(&self) -> bool {
+        self.link_active()
+    }
+}
+
+/// The meter+configuration pair a collective hands to [`run_workers`].
+#[derive(Clone, Copy)]
+pub struct Transport<'a> {
+    meter: &'a LinkMeter,
+    cfg: &'a TransportCfg,
+}
+
+static CLEAN_CFG: OnceLock<TransportCfg> = OnceLock::new();
+
+impl<'a> Transport<'a> {
+    /// A transport with an explicit configuration.
+    pub fn new(meter: &'a LinkMeter, cfg: &'a TransportCfg) -> Self {
+        Transport { meter, cfg }
+    }
+
+    /// A clean (fault-free, default-configured) transport over `meter`.
+    pub fn clean(meter: &'a LinkMeter) -> Self {
+        Transport {
+            meter,
+            cfg: CLEAN_CFG.get_or_init(TransportCfg::default),
+        }
+    }
+
+    /// The meter this transport records into.
+    pub fn meter(&self) -> &'a LinkMeter {
+        self.meter
+    }
+
+    /// The transport configuration.
+    pub fn cfg(&self) -> &'a TransportCfg {
+        self.cfg
+    }
+}
+
+/// Bit-serial CRC32 (IEEE polynomial, reflected).
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Checksum over a frame's identifying header: source, destination,
+/// sequence number, payload length. Corruption is simulated by mangling
+/// this checksum, which the receiver detects exactly like a payload
+/// bit-flip under an end-to-end checksum.
+fn header_crc(src: usize, dst: usize, seq: u64, payload_bytes: u64) -> u32 {
+    let mut buf = [0u8; 32];
+    buf[0..8].copy_from_slice(&(src as u64).to_le_bytes());
+    buf[8..16].copy_from_slice(&(dst as u64).to_le_bytes());
+    buf[16..24].copy_from_slice(&seq.to_le_bytes());
+    buf[24..32].copy_from_slice(&payload_bytes.to_le_bytes());
+    crc32(&buf)
+}
+
+/// The deterministic per-transmission fault decision: a pure function of
+/// `(seed, src, dst, seq, attempt)`, so every run with the same fault seed
+/// sees the identical loss pattern regardless of thread timing. Repair
+/// transmissions (`attempt > 0`) only re-roll Drop/Corrupt: duplicating or
+/// reordering a retransmission adds nothing the first-attempt model
+/// doesn't already cover, and mapping those rolls to clean delivery keeps
+/// the retry budget meaningful.
+fn link_decide(
+    cfg: &TransportCfg,
+    src: usize,
+    dst: usize,
+    seq: u64,
+    attempt: u32,
+) -> Option<LinkFaultKind> {
+    if src == dst || !cfg.link_active() {
+        return None;
+    }
+    let mut h = splitmix64(cfg.link_seed ^ 0xA076_1D64_78BD_642F);
+    h = splitmix64(h ^ ((src as u64) << 32) ^ dst as u64);
+    h = splitmix64(h ^ seq);
+    h = splitmix64(h ^ attempt as u64);
+    let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    if unit >= cfg.link_rate {
+        return None;
+    }
+    let pick = (splitmix64(h) % cfg.link_kinds.len() as u64) as usize;
+    let kind = cfg.link_kinds[pick];
+    if attempt > 0 && matches!(kind, LinkFaultKind::Duplicate | LinkFaultKind::Reorder) {
+        return None;
+    }
+    Some(kind)
+}
+
+/// Exponential backoff for retransmission attempt `attempt` (0-based).
+fn backoff(rto: Duration, attempt: u32) -> Duration {
+    let mult = 1u32 << attempt.min(6);
+    (rto * mult).min(BACKOFF_CAP)
+}
+
+/// A sequence-numbered, checksummed data frame.
+#[derive(Clone)]
+struct Envelope<M> {
+    seq: u64,
+    payload_bytes: u64,
+    crc: u32,
+    msg: M,
+}
+
+/// What travels on a channel: data frames plus the ack/nack control plane.
+/// Control frames ride the same (lossless) channel but are never metered
+/// as logical messages and are never themselves subjected to link faults.
+enum Frame<M> {
+    Data(Envelope<M>),
+    Ack { upto: u64 },
+    Nack { seq: u64 },
+}
+
+/// Sender-side retransmission state for one in-flight frame.
+struct TxEntry<M> {
+    seq: u64,
+    payload_bytes: u64,
+    msg: M,
+    /// Transmissions performed so far (the initial send counts as one).
+    attempts: u32,
+    /// True when the latest transmission was lost (dropped/corrupted) and
+    /// a repair is owed.
+    victim: bool,
+    retry_at: Instant,
+}
+
+/// Sender-side state for one outgoing link.
+struct TxLink<M> {
+    next_seq: u64,
+    /// In-flight frames in sequence order, trimmed by cumulative acks.
+    unacked: VecDeque<TxEntry<M>>,
+    /// A frame held back by a Reorder fault; released after the next send
+    /// on this link (so it arrives swapped) or at any blocking operation.
+    held: Option<Envelope<M>>,
+}
+
+impl<M> TxLink<M> {
+    fn new() -> Self {
+        TxLink {
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            held: None,
+        }
+    }
+}
+
+/// Receiver-side state for one incoming link.
+struct RxLink<M> {
+    /// Next in-order sequence number expected from this peer.
+    expected: u64,
+    /// Out-of-order frames awaiting reassembly, keyed by sequence number.
+    reorder: BTreeMap<u64, Envelope<M>>,
+    /// A gap nack has been sent for the current `expected` value.
+    nacked: bool,
+}
+
+impl<M> RxLink<M> {
+    fn new() -> Self {
+        RxLink {
+            expected: 0,
+            reorder: BTreeMap::new(),
+            nacked: false,
+        }
+    }
+}
+
+/// What a blocked worker is waiting on, published for the stall detector.
+#[derive(Clone, Copy, Debug)]
+enum WaitState {
+    Recv {
+        peer: usize,
+        expected: u64,
+        reordered: usize,
+        buffered: usize,
+    },
+    Barrier {
+        generation: u64,
+    },
+}
+
+/// Shared supervision state for one worker set: a global progress counter
+/// (the stall detector's signal), retirement/death accounting, per-worker
+/// heartbeats and published wait states.
+struct Supervision {
+    start: Instant,
+    progress: AtomicU64,
+    retired: AtomicUsize,
+    dead: AtomicUsize,
+    deaths: PlMutex<Vec<(usize, String)>>,
+    done: Vec<AtomicBool>,
+    heartbeats: Vec<AtomicU64>,
+    waits: Vec<PlMutex<Option<WaitState>>>,
+    diagnosed: AtomicBool,
+}
+
+impl Supervision {
+    fn new(n: usize) -> Self {
+        Supervision {
+            start: Instant::now(),
+            progress: AtomicU64::new(0),
+            retired: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
+            deaths: PlMutex::new(Vec::new()),
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            heartbeats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            waits: (0..n).map(|_| PlMutex::new(None)).collect(),
+            diagnosed: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn heartbeat(&self, rank: usize) {
+        self.heartbeats[rank].store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    fn retire(&self, rank: usize) {
+        self.done[rank].store(true, Ordering::Release);
+        self.retired.fetch_add(1, Ordering::AcqRel);
+        self.bump();
+    }
+
+    /// Record a worker death. `count_retirement` is false when the worker
+    /// already retired (it died during teardown linger) so the retirement
+    /// counter is not double-bumped.
+    fn record_death(&self, rank: usize, msg: String, count_retirement: bool) {
+        self.deaths.lock().push((rank, msg));
+        self.done[rank].store(true, Ordering::Release);
+        if count_retirement {
+            self.retired.fetch_add(1, Ordering::AcqRel);
+        }
+        self.dead.fetch_add(1, Ordering::AcqRel);
+        self.bump();
+    }
+}
+
+/// Snapshot of the progress counter used by blocking loops to decide when
+/// the system has stalled.
+struct StallWatch {
+    last: u64,
+    since: Instant,
+}
+
+impl StallWatch {
+    fn new(sup: &Supervision) -> Self {
+        StallWatch {
+            last: sup.progress.load(Ordering::Relaxed),
+            since: Instant::now(),
+        }
     }
 }
 
 /// A reusable barrier for `n` workers: generation-counted, so the same
-/// object serves every round of a collective. Waits time out and panic
-/// (deadlock diagnosis) instead of hanging.
+/// object serves every round of a collective. [`Router::barrier`] waits in
+/// slices so it can keep servicing the transport; the standalone
+/// [`SpmdBarrier::wait`] remains for barrier-only users and panics with a
+/// generation/arrival diagnosis instead of hanging.
 pub struct SpmdBarrier {
     state: Mutex<(usize, u64)>,
     cv: Condvar,
@@ -138,8 +665,10 @@ impl SpmdBarrier {
         }
     }
 
-    /// Block until all `n` workers have arrived at this generation.
-    pub fn wait(&self) {
+    /// Arrive at the barrier. Returns `None` when this arrival released
+    /// the generation (the caller proceeds immediately), otherwise the
+    /// generation to [`SpmdBarrier::poll`] for.
+    pub fn arrive(&self) -> Option<u64> {
         let mut state = self.state.lock().expect("spmd barrier poisoned");
         let gen = state.1;
         state.0 += 1;
@@ -147,37 +676,76 @@ impl SpmdBarrier {
             state.0 = 0;
             state.1 += 1;
             self.cv.notify_all();
-            return;
+            None
+        } else {
+            Some(gen)
         }
-        let deadline = Instant::now() + SPMD_TIMEOUT;
-        while state.1 == gen {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                panic!("spmd barrier timed out after {SPMD_TIMEOUT:?} (deadlock suspected)");
+    }
+
+    /// Wait up to `timeout` for generation `gen` to be released. Returns
+    /// true once the barrier has advanced past `gen`.
+    pub fn poll(&self, gen: u64, timeout: Duration) -> bool {
+        let state = self.state.lock().expect("spmd barrier poisoned");
+        if state.1 != gen {
+            return true;
+        }
+        let (state, _) = self
+            .cv
+            .wait_timeout(state, timeout)
+            .expect("spmd barrier poisoned");
+        state.1 != gen
+    }
+
+    /// The current generation (completed barrier rounds).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().expect("spmd barrier poisoned").1
+    }
+
+    /// Workers arrived at the current generation so far.
+    pub fn arrived(&self) -> usize {
+        self.state.lock().expect("spmd barrier poisoned").0
+    }
+
+    /// Block until all `n` workers have arrived at this generation.
+    pub fn wait(&self) {
+        let Some(gen) = self.arrive() else { return };
+        let deadline = Instant::now() + DEFAULT_HARD_TIMEOUT;
+        loop {
+            if self.poll(gen, Duration::from_millis(50)) {
+                return;
             }
-            let (s, _timeout) = self
-                .cv
-                .wait_timeout(state, left)
-                .expect("spmd barrier poisoned");
-            state = s;
+            if Instant::now() >= deadline {
+                panic!(
+                    "spmd barrier timed out after {DEFAULT_HARD_TIMEOUT:?} at generation {gen} \
+                     ({}/{} workers arrived; deadlock suspected)",
+                    self.arrived(),
+                    self.n
+                );
+            }
         }
     }
 }
 
 /// A worker's communication endpoint: senders to every rank (self
 /// included, so collective code stays uniform) and the worker's receiver.
-/// Incoming messages are tagged with the sender rank and buffered in
-/// per-sender queues, preserving per-pair FIFO order across rounds.
+/// Incoming frames are tagged with the sender rank, verified, deduped and
+/// reassembled into per-sender pending queues, preserving exactly-once
+/// per-pair FIFO order even under injected link faults.
 pub struct Router<'a, M> {
     rank: usize,
-    txs: Vec<Sender<(usize, M)>>,
-    rx: Receiver<(usize, M)>,
+    txs: Vec<Sender<(usize, Frame<M>)>>,
+    rx: Receiver<(usize, Frame<M>)>,
     pending: Vec<VecDeque<M>>,
+    tx_links: Vec<TxLink<M>>,
+    rx_links: Vec<RxLink<M>>,
+    ops_since_service: u32,
     meter: &'a LinkMeter,
+    cfg: &'a TransportCfg,
     barrier: &'a SpmdBarrier,
+    sup: &'a Supervision,
 }
 
-impl<M: Send> Router<'_, M> {
+impl<M: Send + Clone> Router<'_, M> {
     /// This worker's rank.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -191,63 +759,696 @@ impl<M: Send> Router<'_, M> {
     }
 
     /// Send `msg` to worker `to`, metering `payload_bytes` when the
-    /// message actually crosses between distinct workers. Sends never
-    /// block (unbounded channels), so a round may post all its messages
-    /// before any worker starts receiving.
-    pub fn send(&self, to: usize, payload_bytes: u64, msg: M) {
-        if to != self.rank {
+    /// message crosses between distinct workers. Sends never block
+    /// (unbounded channels); under an armed link-fault plan the frame may
+    /// be dropped, duplicated, reordered or corrupted on the simulated
+    /// wire, and the reliability protocol repairs it transparently.
+    pub fn send(&mut self, to: usize, payload_bytes: u64, msg: M) {
+        let local = to == self.rank;
+        if !local {
             self.meter.record(payload_bytes);
         }
-        self.txs[to]
-            .send((self.rank, msg))
-            .expect("spmd peer hung up");
+        if local || !self.cfg.reliable() {
+            // Lossless fast path: no checksum, no retransmission state.
+            let seq = self.tx_links[to].next_seq;
+            self.tx_links[to].next_seq += 1;
+            self.transmit(
+                to,
+                Envelope {
+                    seq,
+                    payload_bytes,
+                    crc: 0,
+                    msg,
+                },
+            );
+            return;
+        }
+        // Service the control plane periodically so a tight send loop
+        // can't starve acks/nacks and overflow peer reassembly windows.
+        self.ops_since_service += 1;
+        if self.ops_since_service >= SEND_SERVICE_EVERY {
+            self.ops_since_service = 0;
+            self.service(None);
+            self.run_sender_timers();
+        }
+        let seq = self.tx_links[to].next_seq;
+        self.tx_links[to].next_seq += 1;
+        let crc = header_crc(self.rank, to, seq, payload_bytes);
+        self.tx_links[to].unacked.push_back(TxEntry {
+            seq,
+            payload_bytes,
+            msg: msg.clone(),
+            attempts: 1,
+            victim: false,
+            retry_at: Instant::now() + self.cfg.rto,
+        });
+        let idx = self.tx_links[to].unacked.len() - 1;
+        let env = Envelope {
+            seq,
+            payload_bytes,
+            crc,
+            msg,
+        };
+        match link_decide(self.cfg, self.rank, to, seq, 0) {
+            None => {
+                self.transmit(to, env);
+                self.flush_held(to);
+            }
+            Some(LinkFaultKind::Drop) => {
+                self.meter.note_fault(LinkFaultKind::Drop);
+                self.flush_held(to);
+                self.owe_repair(to, idx, 0);
+            }
+            Some(LinkFaultKind::Corrupt) => {
+                self.meter.note_fault(LinkFaultKind::Corrupt);
+                self.transmit(
+                    to,
+                    Envelope {
+                        crc: env.crc ^ CRC_MANGLE,
+                        ..env
+                    },
+                );
+                self.flush_held(to);
+                self.owe_repair(to, idx, 0);
+            }
+            Some(LinkFaultKind::Duplicate) => {
+                self.meter.note_fault(LinkFaultKind::Duplicate);
+                self.transmit(to, env.clone());
+                self.transmit(to, env);
+                self.flush_held(to);
+            }
+            Some(LinkFaultKind::Reorder) => {
+                self.meter.note_fault(LinkFaultKind::Reorder);
+                // Release any previously held frame, then hold this one
+                // until the next send on this link (or a blocking op).
+                self.flush_held(to);
+                self.tx_links[to].held = Some(env);
+            }
+        }
     }
 
     /// Receive the next message from worker `from`, buffering messages
-    /// from other senders. Panics after a timeout so a protocol bug shows
-    /// up as a diagnosed failure, not a hung suite.
+    /// from other senders. While blocked the worker keeps servicing the
+    /// transport (acks, nacks, retransmission timers), publishes its wait
+    /// state for the stall detector, and aborts with a diagnosis instead
+    /// of hanging.
     pub fn recv_from(&mut self, from: usize) -> M {
         if let Some(m) = self.pending[from].pop_front() {
+            self.sup.bump();
             return m;
         }
+        self.heartbeat();
+        self.flush_all_held();
+        let deadline = Instant::now() + self.cfg.hard_timeout;
+        let mut watch = StallWatch::new(self.sup);
         loop {
-            match self.rx.recv_timeout(SPMD_TIMEOUT) {
-                Ok((sender, m)) => {
-                    if sender == from {
-                        return m;
-                    }
-                    self.pending[sender].push_back(m);
+            self.service(None);
+            if let Some(m) = self.pending[from].pop_front() {
+                self.clear_wait();
+                self.heartbeat();
+                self.sup.bump();
+                return m;
+            }
+            self.check_deaths();
+            self.run_sender_timers();
+            self.publish_wait(WaitState::Recv {
+                peer: from,
+                expected: self.rx_links[from].expected,
+                reordered: self.rx_links[from].reorder.len(),
+                buffered: self.pending.iter().map(VecDeque::len).sum(),
+            });
+            self.service(Some(SERVICE_SLICE));
+            self.stall_check(&mut watch);
+            if Instant::now() >= deadline {
+                self.clear_wait();
+                let hb = self
+                    .sup
+                    .now_ms()
+                    .saturating_sub(self.sup.heartbeats[from].load(Ordering::Relaxed));
+                panic!(
+                    "spmd worker {} timed out after {:?} waiting for worker {from} \
+                     (expected seq {}, {} reordered frame(s) held, {} message(s) buffered \
+                     across peers, peer heartbeat {hb}ms ago; deadlock suspected)",
+                    self.rank,
+                    self.cfg.hard_timeout,
+                    self.rx_links[from].expected,
+                    self.rx_links[from].reorder.len(),
+                    self.pending.iter().map(VecDeque::len).sum::<usize>(),
+                );
+            }
+        }
+    }
+
+    /// Wait on the collective's reusable barrier, servicing the transport
+    /// and watching for stalls while blocked.
+    pub fn barrier(&mut self) {
+        self.heartbeat();
+        self.flush_all_held();
+        let Some(gen) = self.barrier.arrive() else {
+            self.sup.bump();
+            return;
+        };
+        let deadline = Instant::now() + self.cfg.hard_timeout;
+        let mut watch = StallWatch::new(self.sup);
+        loop {
+            if self.barrier.poll(gen, Duration::from_millis(5)) {
+                self.clear_wait();
+                self.sup.bump();
+                return;
+            }
+            self.check_deaths();
+            self.service(None);
+            self.run_sender_timers();
+            self.publish_wait(WaitState::Barrier { generation: gen });
+            self.stall_check(&mut watch);
+            if Instant::now() >= deadline {
+                self.clear_wait();
+                panic!(
+                    "spmd worker {} timed out after {:?} at barrier generation {gen} \
+                     ({}/{} workers arrived; deadlock suspected)",
+                    self.rank,
+                    self.cfg.hard_timeout,
+                    self.barrier.arrived(),
+                    self.nprocs(),
+                );
+            }
+        }
+    }
+
+    #[inline]
+    fn heartbeat(&self) {
+        self.sup.heartbeat(self.rank);
+    }
+
+    fn publish_wait(&self, w: WaitState) {
+        *self.sup.waits[self.rank].lock() = Some(w);
+    }
+
+    fn clear_wait(&self) {
+        *self.sup.waits[self.rank].lock() = None;
+    }
+
+    /// Abort with a typed [`DpfError::WorkerDied`] if any peer has died;
+    /// called from every blocking loop so a dead worker releases the
+    /// collective instead of hanging it.
+    fn check_deaths(&self) {
+        if self.sup.dead.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let worker = self.sup.deaths.lock().first().map(|&(rank, _)| rank);
+        if let Some(worker) = worker {
+            self.clear_wait();
+            std::panic::panic_any(DpfError::WorkerDied {
+                worker,
+                waiter: self.rank,
+            });
+        }
+    }
+
+    /// Put a frame on the wire. A send error means the peer's receiver is
+    /// gone: diagnose it as a death if one is recorded, else panic.
+    fn transmit(&self, to: usize, env: Envelope<M>) {
+        if self.txs[to].send((self.rank, Frame::Data(env))).is_err() {
+            self.check_deaths();
+            panic!("spmd worker {}: peer worker {to} hung up", self.rank);
+        }
+    }
+
+    /// Send a control frame; losing one to a dead peer is harmless (the
+    /// death path releases everyone), so errors are ignored.
+    fn send_ctl(&self, to: usize, frame: Frame<M>) {
+        let _ = self.txs[to].send((self.rank, frame));
+    }
+
+    fn flush_held(&mut self, to: usize) {
+        if let Some(env) = self.tx_links[to].held.take() {
+            self.transmit(to, env);
+        }
+    }
+
+    fn flush_all_held(&mut self) {
+        for to in 0..self.txs.len() {
+            self.flush_held(to);
+        }
+    }
+
+    /// Mark in-flight entry `idx` on link `to` as owing a repair after its
+    /// transmission attempt `attempt` was lost, failing the link with a
+    /// typed error once the retry budget is exhausted.
+    fn owe_repair(&mut self, to: usize, idx: usize, attempt: u32) {
+        if attempt >= self.cfg.max_retransmits {
+            let seq = self.tx_links[to].unacked[idx].seq;
+            self.clear_wait();
+            std::panic::panic_any(DpfError::LinkFailure {
+                src: self.rank,
+                dst: to,
+                seq,
+                attempts: attempt + 1,
+            });
+        }
+        let e = &mut self.tx_links[to].unacked[idx];
+        e.victim = true;
+        e.retry_at = Instant::now() + backoff(self.cfg.rto, attempt);
+    }
+
+    /// Retransmit in-flight entry `idx` on link `to`, consuming one
+    /// transmission attempt and re-rolling the fault decision.
+    fn retransmit(&mut self, to: usize, idx: usize) {
+        let (seq, payload_bytes, attempt, msg) = {
+            let e = &mut self.tx_links[to].unacked[idx];
+            let attempt = e.attempts;
+            e.attempts += 1;
+            (e.seq, e.payload_bytes, attempt, e.msg.clone())
+        };
+        self.meter.note_retransmit(payload_bytes);
+        match link_decide(self.cfg, self.rank, to, seq, attempt) {
+            Some(LinkFaultKind::Drop) => {
+                self.meter.note_fault(LinkFaultKind::Drop);
+                self.owe_repair(to, idx, attempt);
+            }
+            Some(LinkFaultKind::Corrupt) => {
+                self.meter.note_fault(LinkFaultKind::Corrupt);
+                self.transmit(
+                    to,
+                    Envelope {
+                        seq,
+                        payload_bytes,
+                        crc: header_crc(self.rank, to, seq, payload_bytes) ^ CRC_MANGLE,
+                        msg,
+                    },
+                );
+                self.owe_repair(to, idx, attempt);
+            }
+            _ => {
+                self.tx_links[to].unacked[idx].victim = false;
+                self.transmit(
+                    to,
+                    Envelope {
+                        seq,
+                        payload_bytes,
+                        crc: header_crc(self.rank, to, seq, payload_bytes),
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Retransmit every owed repair whose backoff deadline has passed.
+    fn run_sender_timers(&mut self) {
+        if !self.cfg.reliable() {
+            return;
+        }
+        let now = Instant::now();
+        for to in 0..self.txs.len() {
+            if to == self.rank {
+                continue;
+            }
+            let mut idx = 0;
+            while idx < self.tx_links[to].unacked.len() {
+                let e = &self.tx_links[to].unacked[idx];
+                if e.victim && e.retry_at <= now {
+                    self.retransmit(to, idx);
                 }
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
-                        "spmd worker {} timed out waiting for worker {from} (deadlock suspected)",
-                        self.rank
-                    );
+                idx += 1;
+            }
+        }
+    }
+
+    /// Drain the channel; with `block` set, sleep up to that long for one
+    /// more frame if the drain came up empty.
+    fn service(&mut self, block: Option<Duration>) {
+        let mut got_any = false;
+        loop {
+            match self.rx.try_recv() {
+                Ok(item) => {
+                    got_any = true;
+                    self.dispatch(item);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => self.channel_down(),
+            }
+        }
+        if !got_any {
+            if let Some(timeout) = block {
+                match self.rx.recv_timeout(timeout) {
+                    Ok(item) => self.dispatch(item),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => self.channel_down(),
                 }
             }
         }
     }
 
-    /// Wait on the collective's reusable barrier.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    fn channel_down(&self) {
+        self.check_deaths();
+        panic!("spmd worker {}: all peers hung up", self.rank);
+    }
+
+    fn dispatch(&mut self, (sender, frame): (usize, Frame<M>)) {
+        match frame {
+            Frame::Data(env) => self.accept(sender, env),
+            Frame::Ack { upto } => {
+                let link = &mut self.tx_links[sender];
+                while link.unacked.front().is_some_and(|e| e.seq <= upto) {
+                    link.unacked.pop_front();
+                }
+            }
+            Frame::Nack { seq } => self.on_nack(sender, seq),
+        }
+    }
+
+    /// Verify, dedup and reassemble an incoming data frame, delivering
+    /// in-order messages to the per-sender pending queue.
+    fn accept(&mut self, src: usize, env: Envelope<M>) {
+        if src == self.rank {
+            self.deliver(src, env.msg);
+            return;
+        }
+        let reliable = self.cfg.reliable();
+        if reliable && env.crc != header_crc(src, self.rank, env.seq, env.payload_bytes) {
+            self.meter.note_crc_reject();
+            self.meter.note_nack();
+            self.send_ctl(src, Frame::Nack { seq: env.seq });
+            return;
+        }
+        let expected = self.rx_links[src].expected;
+        if env.seq < expected || self.rx_links[src].reorder.contains_key(&env.seq) {
+            self.meter.note_duplicate_discarded();
+            if reliable && expected > 0 {
+                // Re-ack so a sender retransmitting an already-delivered
+                // frame trims its in-flight window.
+                self.meter.note_ack();
+                self.send_ctl(src, Frame::Ack { upto: expected - 1 });
+            }
+            return;
+        }
+        if env.seq > expected {
+            if self.rx_links[src].reorder.len() >= self.cfg.reassembly_cap {
+                self.clear_wait();
+                std::panic::panic_any(DpfError::LinkBackpressure {
+                    worker: self.rank,
+                    peer: src,
+                    buffered: self.rx_links[src].reorder.len(),
+                    cap: self.cfg.reassembly_cap,
+                });
+            }
+            self.rx_links[src].reorder.insert(env.seq, env);
+            if reliable && !self.rx_links[src].nacked {
+                self.rx_links[src].nacked = true;
+                self.meter.note_nack();
+                self.send_ctl(src, Frame::Nack { seq: expected });
+            }
+            return;
+        }
+        self.rx_links[src].expected += 1;
+        self.rx_links[src].nacked = false;
+        self.deliver(src, env.msg);
+        while let Some(e) = {
+            let next = self.rx_links[src].expected;
+            self.rx_links[src].reorder.remove(&next)
+        } {
+            self.rx_links[src].expected += 1;
+            self.deliver(src, e.msg);
+        }
+        if reliable {
+            self.meter.note_ack();
+            let upto = self.rx_links[src].expected - 1;
+            self.send_ctl(src, Frame::Ack { upto });
+        }
+    }
+
+    fn deliver(&mut self, src: usize, msg: M) {
+        if self.pending[src].len() >= self.cfg.pending_cap {
+            self.clear_wait();
+            std::panic::panic_any(DpfError::LinkBackpressure {
+                worker: self.rank,
+                peer: src,
+                buffered: self.pending[src].len(),
+                cap: self.cfg.pending_cap,
+            });
+        }
+        self.pending[src].push_back(msg);
+        self.sup.bump();
+    }
+
+    /// React to a nack: release a held frame the receiver is missing, or
+    /// repair a lost transmission ahead of its backoff timer.
+    fn on_nack(&mut self, from: usize, seq: u64) {
+        if self.tx_links[from]
+            .held
+            .as_ref()
+            .is_some_and(|h| h.seq == seq)
+        {
+            self.flush_held(from);
+            return;
+        }
+        let idx = self.tx_links[from]
+            .unacked
+            .iter()
+            .position(|e| e.seq == seq);
+        if let Some(idx) = idx {
+            if self.tx_links[from].unacked[idx].victim {
+                self.retransmit(from, idx);
+            }
+        }
+    }
+
+    /// Diagnose a deadlock once the whole worker set is blocked and global
+    /// progress has been flat for the stall window.
+    fn stall_check(&mut self, watch: &mut StallWatch) {
+        let current = self.sup.progress.load(Ordering::Relaxed);
+        if current != watch.last {
+            watch.last = current;
+            watch.since = Instant::now();
+            return;
+        }
+        let stalled_for = watch.since.elapsed();
+        if stalled_for < self.cfg.stall_timeout {
+            return;
+        }
+        let n = self.txs.len();
+        for rank in 0..n {
+            if self.sup.done[rank].load(Ordering::Acquire) {
+                continue;
+            }
+            if self.sup.waits[rank].lock().is_none() {
+                // Someone is still computing: not a deadlock (the hard
+                // timeout remains as the backstop).
+                return;
+            }
+        }
+        if self.sup.diagnosed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let detail = self.render_wait_graph(stalled_for);
+        self.clear_wait();
+        std::panic::panic_any(DpfError::Deadlock {
+            worker: self.rank,
+            detail,
+        });
+    }
+
+    /// Render the wait-for graph: one line per worker (what it waits on,
+    /// with sequence/buffer/heartbeat detail) plus cycle detection.
+    fn render_wait_graph(&self, stalled_for: Duration) -> String {
+        use std::fmt::Write as _;
+        let n = self.txs.len();
+        let now = self.sup.now_ms();
+        let deaths = self.sup.deaths.lock().clone();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "no global progress for {stalled_for:?}; wait-for graph ({n} worker(s)):"
+        );
+        let mut edges: Vec<Option<usize>> = vec![None; n];
+        #[allow(clippy::needless_range_loop)] // rank also indexes the sup arrays
+        for rank in 0..n {
+            let hb = now.saturating_sub(self.sup.heartbeats[rank].load(Ordering::Relaxed));
+            if let Some((_, msg)) = deaths.iter().find(|(d, _)| *d == rank) {
+                let _ = writeln!(out, "  worker {rank}: dead ({msg})");
+                continue;
+            }
+            if self.sup.done[rank].load(Ordering::Acquire) {
+                let _ = writeln!(out, "  worker {rank}: finished");
+                continue;
+            }
+            match *self.sup.waits[rank].lock() {
+                Some(WaitState::Recv {
+                    peer,
+                    expected,
+                    reordered,
+                    buffered,
+                }) => {
+                    edges[rank] = Some(peer);
+                    let _ = writeln!(
+                        out,
+                        "  worker {rank}: waiting on worker {peer} (expected seq {expected}, \
+                         {reordered} reordered frame(s) held, {buffered} undrained message(s); \
+                         heartbeat {hb}ms ago)"
+                    );
+                }
+                Some(WaitState::Barrier { generation }) => {
+                    let _ = writeln!(
+                        out,
+                        "  worker {rank}: at barrier generation {generation} \
+                         ({}/{n} arrived; heartbeat {hb}ms ago)",
+                        self.barrier.arrived()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  worker {rank}: running (heartbeat {hb}ms ago)");
+                }
+            }
+        }
+        match find_cycle(&edges) {
+            Some(cycle) => {
+                let mut path = cycle
+                    .iter()
+                    .map(|r| format!("worker {r}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                let _ = write!(path, " -> worker {}", cycle[0]);
+                let _ = writeln!(out, "  wait cycle detected: {path}");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  no recv cycle; suspect a barrier mismatch or lost wakeup"
+                );
+            }
+        }
+        out
+    }
+
+    /// Teardown drain: after a worker's collective body returns it keeps
+    /// servicing acks, nacks and retransmission timers until every worker
+    /// has retired, so a fault on a final frame is still repaired. Clean
+    /// transports (no faults, no deaths) skip this entirely.
+    fn linger(&mut self) {
+        self.clear_wait();
+        self.flush_all_held();
+        if !self.cfg.reliable() && self.sup.dead.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let deadline = Instant::now() + self.cfg.hard_timeout;
+        while self.sup.retired.load(Ordering::Acquire) < self.txs.len() {
+            self.service(Some(Duration::from_millis(5)));
+            self.run_sender_timers();
+            if Instant::now() >= deadline {
+                // Teardown must never hang the suite; the stuck worker's
+                // own wait diagnostics are the authoritative failure.
+                return;
+            }
+        }
+    }
+}
+
+/// Walk the single-successor wait graph and return the first cycle found.
+fn find_cycle(edges: &[Option<usize>]) -> Option<Vec<usize>> {
+    let n = edges.len();
+    // 0 = unvisited, 1 = on the current path, 2 = fully explored.
+    let mut color = vec![0u8; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            if color[cur] == 1 {
+                let pos = path.iter().position(|&x| x == cur).expect("on path");
+                return Some(path[pos..].to_vec());
+            }
+            if color[cur] == 2 {
+                break;
+            }
+            color[cur] = 1;
+            path.push(cur);
+            match edges[cur] {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        for &x in &path {
+            color[x] = 2;
+        }
+    }
+    None
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// stderr report on threads that opted in via [`set_quiet_panics`]. SPMD
+/// worker panics are routine under fault injection — they are caught,
+/// recorded and re-raised as typed errors on the caller — so printing
+/// each one would bury real output.
+pub fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET_PANICS.with(Cell::get) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Mark the current thread's panics as quiet (suppressed by the hook
+/// installed via [`install_quiet_panic_hook`]).
+pub fn set_quiet_panics(quiet: bool) {
+    QUIET_PANICS.with(|q| q.set(quiet));
+}
+
+/// Best-effort human-readable rendering of a caught panic payload.
+fn payload_str(payload: &(dyn Any + Send)) -> String {
+    if let Some(e) = payload.downcast_ref::<DpfError>() {
+        e.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Spawn `nprocs` workers on scoped threads, one per virtual processor,
 /// each receiving its rank, its element of `work` (the worker's own array
 /// blocks and outputs) and a [`Router`] wired to every peer. Returns the
-/// workers' results in rank order; the first worker panic is re-raised on
-/// the caller after all workers have been joined.
-pub fn run_workers<M, W, R, F>(nprocs: usize, meter: &LinkMeter, work: Vec<W>, f: F) -> Vec<R>
+/// workers' results in rank order.
+///
+/// Workers are supervised: a panicking worker is caught, its death is
+/// recorded so blocked peers abort with a typed [`DpfError::WorkerDied`],
+/// and after all workers join the most informative failure — the root
+/// cause, preferring any non-`WorkerDied` payload — is re-raised on the
+/// caller. Finished workers linger to service retransmissions until the
+/// whole set retires, so faults on final frames are still repaired.
+pub fn run_workers<M, W, R, F>(
+    nprocs: usize,
+    transport: Transport<'_>,
+    work: Vec<W>,
+    f: F,
+) -> Vec<R>
 where
-    M: Send,
+    M: Send + Clone,
     W: Send,
     R: Send,
     F: Fn(usize, W, &mut Router<'_, M>) -> R + Sync,
 {
     assert_eq!(work.len(), nprocs, "one work item per worker");
+    install_quiet_panic_hook();
+    let meter = transport.meter;
+    let cfg = transport.cfg;
+    let collective = meter.begin_collective();
     let barrier = SpmdBarrier::new(nprocs);
+    let sup = Supervision::new(nprocs);
     let mut txs = Vec::with_capacity(nprocs);
     let mut rxs = Vec::with_capacity(nprocs);
     for _ in 0..nprocs {
@@ -263,27 +1464,81 @@ where
             txs: txs.clone(),
             rx,
             pending: (0..nprocs).map(|_| VecDeque::new()).collect(),
-            meter: &*meter,
+            tx_links: (0..nprocs).map(|_| TxLink::new()).collect(),
+            rx_links: (0..nprocs).map(|_| RxLink::new()).collect(),
+            ops_since_service: 0,
+            meter,
+            cfg,
             barrier: &barrier,
+            sup: &sup,
         })
         .collect();
+    drop(txs);
     std::thread::scope(|s| {
         let f = &f;
+        let sup = &sup;
         let handles: Vec<_> = routers
             .into_iter()
             .zip(work)
             .map(|(mut router, w)| {
-                s.spawn(move || {
+                s.spawn(move || -> Result<R, Box<dyn Any + Send>> {
+                    set_quiet_panics(true);
                     let rank = router.rank;
-                    f(rank, w, &mut router)
+                    if let Some((kill_rank, kill_at)) = cfg.kill_worker {
+                        if kill_rank == rank && kill_at == collective {
+                            let msg = format!(
+                                "injected fault: spmd worker {rank} killed at collective {kill_at}"
+                            );
+                            sup.record_death(rank, msg.clone(), true);
+                            return Err(Box::new(msg));
+                        }
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(rank, w, &mut router))) {
+                        Ok(out) => {
+                            sup.retire(rank);
+                            match catch_unwind(AssertUnwindSafe(|| router.linger())) {
+                                Ok(()) => Ok(out),
+                                Err(payload) => {
+                                    sup.record_death(rank, payload_str(payload.as_ref()), false);
+                                    Err(payload)
+                                }
+                            }
+                        }
+                        Err(payload) => {
+                            sup.record_death(rank, payload_str(payload.as_ref()), true);
+                            Err(payload)
+                        }
+                    }
                 })
             })
             .collect();
-        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-        joined
-            .into_iter()
-            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
-            .collect()
+        let mut oks = Vec::with_capacity(nprocs);
+        let mut root: Option<Box<dyn Any + Send>> = None;
+        let mut secondary: Option<Box<dyn Any + Send>> = None;
+        for handle in handles {
+            match handle
+                .join()
+                .expect("spmd worker thread machinery panicked")
+            {
+                Ok(r) => oks.push(r),
+                Err(payload) => {
+                    let is_secondary = payload
+                        .downcast_ref::<DpfError>()
+                        .is_some_and(|e| matches!(e, DpfError::WorkerDied { .. }));
+                    if is_secondary {
+                        if secondary.is_none() {
+                            secondary = Some(payload);
+                        }
+                    } else if root.is_none() {
+                        root = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = root.or(secondary) {
+            std::panic::resume_unwind(payload);
+        }
+        oks
     })
 }
 
@@ -303,30 +1558,47 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
     fn meter_ignores_self_sends() {
         let meter = LinkMeter::new();
-        let results = run_workers::<u64, (), u64, _>(4, &meter, vec![(); 4], |rank, (), router| {
-            // Every worker sends its rank to every rank (self included).
-            for to in 0..router.nprocs() {
-                router.send(to, 8, rank as u64);
-            }
-            let mut sum = 0;
-            for from in 0..router.nprocs() {
-                sum += router.recv_from(from);
-            }
-            sum
-        });
+        let results = run_workers::<u64, (), u64, _>(
+            4,
+            Transport::clean(&meter),
+            vec![(); 4],
+            |rank, (), router| {
+                // Every worker sends its rank to every rank (self included).
+                for to in 0..router.nprocs() {
+                    router.send(to, 8, rank as u64);
+                }
+                let mut sum = 0;
+                for from in 0..router.nprocs() {
+                    sum += router.recv_from(from);
+                }
+                sum
+            },
+        );
         assert_eq!(results, vec![1 + 2 + 3; 4]);
-        // 4 workers x 3 cross-peers each = 12 metered messages.
+        // 4 workers x 3 cross-peers each = 12 metered messages; the clean
+        // transport generates no control traffic at all.
         assert_eq!(meter.messages(), 12);
         assert_eq!(meter.payload_bytes(), 12 * 8);
+        assert_eq!(meter.acks(), 0);
+        assert_eq!(meter.retransmits(), 0);
+        assert_eq!(meter.link_faults(), 0);
     }
 
     #[test]
     fn per_sender_fifo_holds_across_rounds() {
         let meter = LinkMeter::new();
-        let results =
-            run_workers::<u32, (), Vec<u32>, _>(3, &meter, vec![(); 3], |rank, (), router| {
+        let results = run_workers::<u32, (), Vec<u32>, _>(
+            3,
+            Transport::clean(&meter),
+            vec![(); 3],
+            |rank, (), router| {
                 // Two back-to-back rounds; receivers must see each peer's
                 // messages in send order even though the shared channel
                 // interleaves senders arbitrarily.
@@ -345,7 +1617,8 @@ mod tests {
                     }
                 }
                 got
-            });
+            },
+        );
         assert_eq!(results.len(), 3);
     }
 
@@ -367,12 +1640,317 @@ mod tests {
     fn worker_panic_propagates_to_caller() {
         let meter = LinkMeter::new();
         let res = std::panic::catch_unwind(|| {
-            run_workers::<(), usize, (), _>(2, &meter, vec![0, 1], |rank, _w, _router| {
-                if rank == 1 {
-                    panic!("worker bug");
-                }
-            });
+            run_workers::<(), usize, (), _>(
+                2,
+                Transport::clean(&meter),
+                vec![0, 1],
+                |rank, _w, _router| {
+                    if rank == 1 {
+                        panic!("worker bug");
+                    }
+                },
+            );
         });
         assert!(res.is_err());
+    }
+
+    /// All-to-all exchange under every fault kind (and the full mix):
+    /// results must be bit-identical to the fault-free run, the logical
+    /// meter must be unchanged, and the transport counters must show the
+    /// faults were actually exercised and repaired.
+    #[test]
+    fn lossy_links_deliver_exactly_once_in_order() {
+        let rounds = 40u64;
+        let exchange = |cfg: &TransportCfg| {
+            let meter = LinkMeter::new();
+            let results = run_workers::<u64, (), Vec<u64>, _>(
+                4,
+                Transport::new(&meter, cfg),
+                vec![(); 4],
+                |rank, (), router| {
+                    for round in 0..rounds {
+                        for to in 0..router.nprocs() {
+                            router.send(to, 8, round * 100 + rank as u64);
+                        }
+                    }
+                    let mut got = Vec::new();
+                    for from in 0..router.nprocs() {
+                        for round in 0..rounds {
+                            let m = router.recv_from(from);
+                            assert_eq!(
+                                m,
+                                round * 100 + from as u64,
+                                "out-of-order or corrupted delivery"
+                            );
+                            got.push(m);
+                        }
+                    }
+                    got
+                },
+            );
+            (results, meter.messages(), meter.payload_bytes())
+        };
+        let clean = exchange(&TransportCfg::default());
+        let mut kinds: Vec<Vec<LinkFaultKind>> =
+            LinkFaultKind::ALL.iter().map(|&k| vec![k]).collect();
+        kinds.push(LinkFaultKind::ALL.to_vec());
+        for link_kinds in kinds {
+            let cfg = TransportCfg {
+                link_rate: 0.3,
+                link_seed: 0xD5F_0004,
+                link_kinds: link_kinds.clone(),
+                max_retransmits: 32,
+                ..TransportCfg::default()
+            };
+            let lossy = exchange(&cfg);
+            assert_eq!(
+                lossy, clean,
+                "kinds {link_kinds:?} changed results or logical meters"
+            );
+        }
+        // The full mix must actually have exercised the repair machinery.
+        let cfg = TransportCfg {
+            link_rate: 0.3,
+            link_seed: 0xD5F_0004,
+            max_retransmits: 32,
+            ..TransportCfg::default()
+        };
+        let meter = LinkMeter::new();
+        run_workers::<u64, (), (), _>(
+            4,
+            Transport::new(&meter, &cfg),
+            vec![(); 4],
+            |rank, (), router| {
+                for round in 0..rounds {
+                    for to in 0..router.nprocs() {
+                        router.send(to, 8, round * 100 + rank as u64);
+                    }
+                }
+                for from in 0..router.nprocs() {
+                    for _ in 0..rounds {
+                        router.recv_from(from);
+                    }
+                }
+            },
+        );
+        assert!(meter.link_faults() > 0, "injector never fired");
+        assert!(meter.retransmits() > 0, "no repairs performed");
+        assert!(meter.acks() > 0, "no acks flowed");
+    }
+
+    /// Retransmission accounting is a pure function of the fault seed:
+    /// two identical lossy runs agree on every transport counter.
+    #[test]
+    fn lossy_transport_counters_are_deterministic() {
+        let run = || {
+            let cfg = TransportCfg {
+                link_rate: 0.25,
+                link_seed: 99,
+                max_retransmits: 32,
+                ..TransportCfg::default()
+            };
+            let meter = LinkMeter::new();
+            run_workers::<u64, (), (), _>(
+                3,
+                Transport::new(&meter, &cfg),
+                vec![(); 3],
+                |rank, (), router| {
+                    for round in 0..30u64 {
+                        for to in 0..router.nprocs() {
+                            router.send(to, 16, round * 10 + rank as u64);
+                        }
+                        for from in 0..router.nprocs() {
+                            router.recv_from(from);
+                        }
+                        router.barrier();
+                    }
+                },
+            );
+            // Control-frame counts (acks/nacks) depend on scheduling — a
+            // cumulative ack covers however many frames arrived before it
+            // flushed — so only the data-plane accounting is compared.
+            assert!(meter.acks() > 0, "no acks flowed");
+            (
+                meter.messages(),
+                meter.payload_bytes(),
+                meter.retransmits(),
+                meter.retransmitted_bytes(),
+                meter.link_faults(),
+                meter.duplicates_discarded(),
+                meter.crc_rejects(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// An exhausted retry budget surfaces as a typed LinkFailure carrying
+    /// the exact link coordinates, not a bare panic string.
+    #[test]
+    fn retry_budget_exhaustion_is_typed() {
+        let cfg = TransportCfg {
+            link_rate: 1.0,
+            link_seed: 7,
+            link_kinds: vec![LinkFaultKind::Drop],
+            max_retransmits: 2,
+            rto: Duration::from_millis(1),
+            ..TransportCfg::default()
+        };
+        let meter = LinkMeter::new();
+        let res = std::panic::catch_unwind(|| {
+            run_workers::<u64, (), (), _>(
+                2,
+                Transport::new(&meter, &cfg),
+                vec![(); 2],
+                |rank, (), router| {
+                    router.send(1 - rank, 8, rank as u64);
+                    router.recv_from(1 - rank);
+                },
+            );
+        });
+        let payload = res.expect_err("budget exhaustion must fail the collective");
+        let err = payload
+            .downcast_ref::<DpfError>()
+            .expect("typed DpfError payload");
+        match err {
+            DpfError::LinkFailure { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected LinkFailure, got {other}"),
+        }
+    }
+
+    /// A killed worker is recorded, its blocked peers abort with a typed
+    /// WorkerDied, and the kill (the root cause) wins propagation.
+    #[test]
+    fn killed_worker_releases_blocked_peers() {
+        let cfg = TransportCfg {
+            kill_worker: Some((1, 0)),
+            ..TransportCfg::default()
+        };
+        let meter = LinkMeter::new();
+        let res = std::panic::catch_unwind(|| {
+            run_workers::<u64, (), (), _>(
+                2,
+                Transport::new(&meter, &cfg),
+                vec![(); 2],
+                |rank, (), router| {
+                    if rank == 0 {
+                        router.recv_from(1);
+                    }
+                },
+            );
+        });
+        let payload = res.expect_err("kill must fail the collective");
+        let msg = payload_str(payload.as_ref());
+        assert!(
+            msg.contains("killed at collective 0"),
+            "root cause should win propagation, got: {msg}"
+        );
+        // The next collective (index 1) must not re-fire the kill.
+        let results = run_workers::<u64, (), u64, _>(
+            2,
+            Transport::new(&meter, &cfg),
+            vec![(); 2],
+            |rank, (), router| {
+                router.send(1 - rank, 8, rank as u64);
+                router.recv_from(1 - rank)
+            },
+        );
+        assert_eq!(results, vec![1, 0]);
+    }
+
+    /// Two workers receiving from each other with nothing in flight is a
+    /// cycle the stall detector must name explicitly.
+    #[test]
+    fn deadlock_diagnosis_names_the_cycle() {
+        let cfg = TransportCfg {
+            stall_timeout: Duration::from_millis(200),
+            hard_timeout: Duration::from_secs(20),
+            ..TransportCfg::default()
+        };
+        let meter = LinkMeter::new();
+        let res = std::panic::catch_unwind(|| {
+            run_workers::<u64, (), (), _>(
+                2,
+                Transport::new(&meter, &cfg),
+                vec![(); 2],
+                |rank, (), router| {
+                    router.recv_from(1 - rank);
+                },
+            );
+        });
+        let payload = res.expect_err("cross wait must be diagnosed");
+        let err = payload
+            .downcast_ref::<DpfError>()
+            .expect("typed DpfError payload");
+        match err {
+            DpfError::Deadlock { detail, .. } => {
+                assert!(detail.contains("wait cycle detected"), "detail: {detail}");
+                assert!(detail.contains("worker 0"), "detail: {detail}");
+                assert!(detail.contains("worker 1"), "detail: {detail}");
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    /// Overflowing the per-peer delivered-message buffer is a typed
+    /// backpressure error, not an OOM.
+    #[test]
+    fn pending_buffer_overflow_is_typed_backpressure() {
+        let cfg = TransportCfg {
+            pending_cap: 4,
+            ..TransportCfg::default()
+        };
+        let meter = LinkMeter::new();
+        let res = std::panic::catch_unwind(|| {
+            run_workers::<u64, (), (), _>(
+                2,
+                Transport::new(&meter, &cfg),
+                vec![(); 2],
+                |rank, (), router| {
+                    if rank == 1 {
+                        for i in 0..32u64 {
+                            router.send(0, 8, i);
+                        }
+                    } else {
+                        // Draining one message forces a service pass over
+                        // everything already on the wire.
+                        router.recv_from(1);
+                        std::thread::sleep(Duration::from_millis(50));
+                        router.recv_from(1);
+                    }
+                },
+            );
+        });
+        let payload = res.expect_err("overflow must fail the collective");
+        let err = payload
+            .downcast_ref::<DpfError>()
+            .expect("typed DpfError payload");
+        assert!(
+            matches!(err, DpfError::LinkBackpressure { cap: 4, .. }),
+            "got {err}"
+        );
+    }
+
+    /// The fault decision is a pure function of its inputs.
+    #[test]
+    fn link_decisions_are_deterministic() {
+        let cfg = TransportCfg {
+            link_rate: 0.5,
+            link_seed: 1234,
+            ..TransportCfg::default()
+        };
+        let mut fired = 0;
+        for seq in 0..200u64 {
+            let a = link_decide(&cfg, 0, 1, seq, 0);
+            let b = link_decide(&cfg, 0, 1, seq, 0);
+            assert_eq!(a, b);
+            if a.is_some() {
+                fired += 1;
+            }
+        }
+        assert!(fired > 50 && fired < 150, "rate wildly off: {fired}/200");
+        // Self-links and disarmed configs never fault.
+        assert_eq!(link_decide(&cfg, 2, 2, 0, 0), None);
+        let clean = TransportCfg::default();
+        assert_eq!(link_decide(&clean, 0, 1, 0, 0), None);
     }
 }

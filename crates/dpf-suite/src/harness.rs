@@ -10,10 +10,12 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::Once;
 use std::time::{Duration, Instant};
 
-use dpf_core::{derive_seed, Backend, BenchReport, Ctx, FaultPlan, Machine};
+use dpf_core::{
+    derive_seed, install_quiet_panic_hook, set_quiet_panics, Backend, BenchReport, Ctx, DpfError,
+    FaultPlan, Machine,
+};
 
 use crate::benchmark::{BenchEntry, RunOutput, Size, Version};
 
@@ -90,6 +92,9 @@ pub enum RunOutcome {
     VerifyFailed,
     /// Every attempt panicked; holds the last panic message.
     Panicked(String),
+    /// Every attempt died with an exhausted link retry budget
+    /// ([`DpfError::LinkFailure`]); holds the last failure message.
+    LinkFailed(String),
     /// Every attempt exceeded the wall-clock budget.
     TimedOut,
     /// A later attempt succeeded after `retries` failed ones.
@@ -118,6 +123,7 @@ impl std::fmt::Display for RunOutcome {
             RunOutcome::Completed => f.write_str("completed"),
             RunOutcome::VerifyFailed => f.write_str("verify-failed"),
             RunOutcome::Panicked(msg) => write!(f, "panicked: {msg}"),
+            RunOutcome::LinkFailed(msg) => write!(f, "link-failure: {msg}"),
             RunOutcome::TimedOut => f.write_str("timed-out"),
             RunOutcome::Recovered { retries } => write!(f, "recovered({retries})"),
             RunOutcome::Quarantined => f.write_str("quarantined"),
@@ -177,28 +183,10 @@ pub struct GuardedResult {
     pub faults_injected: u64,
 }
 
-thread_local! {
-    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-static QUIET_HOOK: Once = Once::new();
-
-/// Install (once) a panic hook that stays silent on harness worker
-/// threads — an injected abort is an expected event, not console noise —
-/// while every other thread keeps the default backtrace behavior.
-fn install_quiet_hook() {
-    QUIET_HOOK.call_once(|| {
-        let prev = panic::take_hook();
-        panic::set_hook(Box::new(move |info| {
-            if !QUIET_PANICS.with(|q| q.get()) {
-                prev(info);
-            }
-        }));
-    });
-}
-
-fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = payload.downcast_ref::<DpfError>() {
+        e.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
@@ -210,6 +198,7 @@ fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
 enum Attempt {
     Done(Box<HarnessResult>, u64),
     Panicked(String),
+    LinkFailed(String),
     TimedOut,
 }
 
@@ -233,13 +222,13 @@ fn run_attempt(
     runner: fn(&Ctx, Size) -> RunOutput,
     spec: AttemptSpec,
 ) -> Attempt {
-    install_quiet_hook();
+    install_quiet_panic_hook();
     let timeout = spec.timeout;
     let (tx, rx) = mpsc::channel();
     let worker = std::thread::Builder::new()
         .name(format!("dpf-worker-{name}"))
         .spawn(move || {
-            QUIET_PANICS.with(|q| q.set(true));
+            set_quiet_panics(true);
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
                 let ctx = Ctx::build(spec.machine, Some(spec.plan), spec.backend);
                 let start = Instant::now();
@@ -256,7 +245,12 @@ fn run_attempt(
                 );
                 (Box::new(HarnessResult { report, output }), injected)
             }));
-            let _ = tx.send(outcome.map_err(payload_to_string));
+            let _ = tx.send(outcome.map_err(|payload| {
+                let link_failed = payload
+                    .downcast_ref::<DpfError>()
+                    .is_some_and(|e| matches!(e, DpfError::LinkFailure { .. }));
+                (payload_to_string(payload.as_ref()), link_failed)
+            }));
         })
         .expect("spawn harness worker");
     match rx.recv_timeout(timeout) {
@@ -264,9 +258,13 @@ fn run_attempt(
             let _ = worker.join();
             Attempt::Done(result, injected)
         }
-        Ok(Err(msg)) => {
+        Ok(Err((msg, link_failed))) => {
             let _ = worker.join();
-            Attempt::Panicked(msg)
+            if link_failed {
+                Attempt::LinkFailed(msg)
+            } else {
+                Attempt::Panicked(msg)
+            }
         }
         Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Attempt::TimedOut,
     }
@@ -291,12 +289,13 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
             std::thread::sleep(Duration::from_millis(10 * attempt as u64));
         }
         let mut plan = cfg.faults.clone();
-        if plan.is_active() {
+        if plan.any_active() {
             plan.seed = derive_seed(cfg.faults.seed, name, attempt as u64);
             if attempt == cfg.retries && cfg.retries > 0 {
-                // Last chance: no injection, so a healthy kernel always
-                // has a fault-free attempt to finish on.
-                plan.rate = 0.0;
+                // Last chance: no injection (data, link or kill faults),
+                // so a healthy kernel always has a fault-free attempt to
+                // finish on.
+                plan.disarm();
             }
         }
         let spec = AttemptSpec {
@@ -324,6 +323,7 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
                 verify_failed = Some(result);
             }
             Attempt::Panicked(msg) => last_failure = RunOutcome::Panicked(msg),
+            Attempt::LinkFailed(msg) => last_failure = RunOutcome::LinkFailed(msg),
             Attempt::TimedOut => last_failure = RunOutcome::TimedOut,
         }
     }
