@@ -15,7 +15,7 @@
 
 use dpf_array::{DistArray, PAR, SER};
 use dpf_comm::{dot, gather, max_all, scatter_combine, Combine};
-use dpf_core::{Ctx, Verify};
+use dpf_core::{nan_max, Ctx, Verify};
 
 /// Benchmark parameters.
 #[derive(Clone, Debug)]
@@ -171,7 +171,7 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, usize, Verify) {
     (
         u,
         iters,
-        Verify::check("fem-3D residual", res, p.tol.max(1e-12)),
+        Verify::check("fem-3D residual", res, nan_max(p.tol, 1e-12)),
     )
 }
 

@@ -15,7 +15,7 @@
 //! verifiable correctness property with the same indirect access pattern.
 
 use dpf_array::{DistArray, PAR, SER};
-use dpf_core::{flops, Ctx, Verify};
+use dpf_core::{flops, nan_max, Ctx, Verify};
 
 /// Benchmark parameters.
 #[derive(Clone, Debug)]
@@ -63,8 +63,8 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f32>, Verify) {
     // sample, the 12·n_vec term).
     let shift_idx = DistArray::<i32>::from_fn(ctx, &[ns, ntr], &[SER, PAR], |i| {
         let t_out = i[0] as f64;
-        let tm = moveout(t_out.max(1.0), i[1] as f64, p.velocity);
-        (tm.round() as i32).min(ns as i32 - 1)
+        let tm = moveout(nan_max(t_out, 1.0), i[1] as f64, p.velocity);
+        i32::min(tm.round() as i32, ns as i32 - 1)
     })
     .declare(ctx);
     // Output gather: out[t, tr] = in[idx[t, tr], tr] with linear taper —

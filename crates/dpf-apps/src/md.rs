@@ -15,7 +15,7 @@
 
 use dpf_array::{DistArray, PAR};
 use dpf_core::checkpoint::{drive, Checkpoint, Step};
-use dpf_core::{CommPattern, Ctx, DpfError, RecoveryStats, Verify};
+use dpf_core::{nan_max, CommPattern, Ctx, DpfError, RecoveryStats, Verify};
 
 /// Benchmark parameters.
 #[derive(Clone, Debug)]
@@ -219,10 +219,10 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
         .vel
         .iter()
         .map(|v| v.as_slice().iter().sum::<f64>().abs())
-        .fold(0.0, dpf_core::nan_max);
+        .fold(0.0, nan_max);
     let e1 = potential(p, &st) + kinetic(&st);
-    let drift = ((e1 - e0) / e0.abs().max(1.0)).abs();
-    let metric = mom.max(if drift < 0.05 { 0.0 } else { drift });
+    let drift = ((e1 - e0) / nan_max(e0.abs(), 1.0)).abs();
+    let metric = nan_max(mom, if drift < 0.05 { 0.0 } else { drift });
     (
         st,
         Verify::check("md momentum + energy drift", metric, 1e-9),
@@ -260,10 +260,10 @@ pub fn run_checkpointed(
         .vel
         .iter()
         .map(|v| v.as_slice().iter().sum::<f64>().abs())
-        .fold(0.0, dpf_core::nan_max);
+        .fold(0.0, nan_max);
     let e1 = potential(p, &st) + kinetic(&st);
-    let drift = ((e1 - e0) / e0.abs().max(1.0)).abs();
-    let metric = mom.max(if drift < 0.05 { 0.0 } else { drift });
+    let drift = ((e1 - e0) / nan_max(e0.abs(), 1.0)).abs();
+    let metric = nan_max(mom, if drift < 0.05 { 0.0 } else { drift });
     Ok((
         st,
         Verify::check("md momentum + energy drift", metric, 1e-9),

@@ -20,7 +20,7 @@ use dpf_comm::{
     apply_perm, cshift, eoshift, gather, scatter_combine, segmented_copy_scan, segmented_scan_add,
     sort_keys, sum_all, Combine,
 };
-use dpf_core::{Ctx, Verify};
+use dpf_core::{nan_max, Ctx, Verify};
 
 /// Benchmark parameters.
 #[derive(Clone, Debug)]
@@ -222,16 +222,20 @@ pub fn run(ctx: &Ctx, p: &Params) -> (DistArray<f64>, Verify) {
         .iter()
         .zip(&inst.supply)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0, dpf_core::nan_max);
+        .fold(0.0, nan_max);
     let worst_col = col
         .iter()
         .zip(&inst.demand)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0, dpf_core::nan_max);
+        .fold(0.0, nan_max);
     let _ = infeas;
     (
         x,
-        Verify::check("qptransport feasibility", worst_row.max(worst_col), 1e-6),
+        Verify::check(
+            "qptransport feasibility",
+            nan_max(worst_row, worst_col),
+            1e-6,
+        ),
     )
 }
 

@@ -14,7 +14,7 @@
 use dpf_array::{DistArray, PAR};
 use dpf_comm::cshift;
 use dpf_core::checkpoint::{drive, Checkpoint, Step};
-use dpf_core::{CommPattern, Ctx, DpfError, RecoveryStats, Verify, C64};
+use dpf_core::{nan_max, nan_min, CommPattern, Ctx, DpfError, RecoveryStats, Verify, C64};
 use dpf_fft::{fft_axis_as, Direction};
 
 /// Benchmark parameters.
@@ -212,15 +212,15 @@ pub fn run(ctx: &Ctx, p: &Params) -> (State, Verify) {
             .map(|(i, _)| i as f64)
             .unwrap();
         let mut d = (peak - want).abs();
-        d = d.min(p.nx as f64 - d);
+        d = nan_min(d, p.nx as f64 - d);
         Verify::check("wave-1D pulse position error", d, 2.0)
     } else {
         // Inhomogeneous: check energy boundedness via the spectra log.
         let e0 = st.spectra.first().copied().unwrap_or(0.0);
-        let emax = st.spectra.iter().cloned().fold(0.0, dpf_core::nan_max);
+        let emax = st.spectra.iter().cloned().fold(0.0, nan_max);
         Verify::check(
             "wave-1D spectral energy growth",
-            emax / e0.max(1e-300) - 1.0,
+            emax / nan_max(e0, 1e-300) - 1.0,
             0.5,
         )
     };
@@ -252,14 +252,14 @@ pub fn run_checkpointed(
             .map(|(i, _)| i as f64)
             .unwrap();
         let mut d = (peak - want).abs();
-        d = d.min(p.nx as f64 - d);
+        d = nan_min(d, p.nx as f64 - d);
         Verify::check("wave-1D pulse position error", d, 2.0)
     } else {
         let e0 = st.spectra.first().copied().unwrap_or(0.0);
-        let emax = st.spectra.iter().cloned().fold(0.0, dpf_core::nan_max);
+        let emax = st.spectra.iter().cloned().fold(0.0, nan_max);
         Verify::check(
             "wave-1D spectral energy growth",
-            emax / e0.max(1e-300) - 1.0,
+            emax / nan_max(e0, 1e-300) - 1.0,
             0.5,
         )
     };

@@ -5,6 +5,13 @@
 //! dpf run <name> [options]          # run one benchmark, print the §1.5 report
 //! dpf all [options]                 # run the whole suite, print a summary line each
 //! dpf table <1..8|perf|eff|model>   # regenerate a paper table
+//! dpf lint [--format text|json] [--deny warnings]
+//!                                   # run the project lint rules over crates/*/src
+//!
+//! Exit codes: 0 = success; 1 = runtime/benchmark failure (verify
+//! failure, panic, timeout, link failure); 2 = configuration error
+//! (bad flags, unknown benchmark, missing variant, unknown quarantine
+//! name, lint findings).
 //!
 //! options:
 //!   --size small|medium|large   problem size tier (default medium)
@@ -196,14 +203,68 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dpf <list|run <name>|all|table <1-8|perf|eff|model>> \
+        "usage: dpf <list|run <name>|all|table <1-8|perf|eff|model>|lint> \
          [--size small|medium|large] [--version v] [--procs N] \
          [--backend virtual|spmd] [--faults RATE] [--fault-seed N] \
          [--link-faults RATE] [--max-retransmits N] [--kill-worker R:C] \
          [--timeout-secs N] [--retries N] [--checkpoint-every N] \
-         [--quarantine a,b]"
+         [--quarantine a,b]\n\
+         \x20      dpf lint [--format text|json] [--deny warnings] [--root PATH]"
     );
     ExitCode::from(2)
+}
+
+/// `dpf lint`: run the project's static-analysis rules over every
+/// `crates/*/src/**.rs` file. Findings go to stdout (text or JSON);
+/// exit 2 on errors (or on any finding under `--deny warnings`), the
+/// configuration-error exit class.
+fn run_lint(args: &[String]) -> Result<ExitCode, String> {
+    let mut format_json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => return Err(format!("bad --format {other:?} (want text|json)")),
+            },
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                other => return Err(format!("bad --deny {other:?} (want warnings)")),
+            },
+            "--root" => {
+                root = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .ok_or("bad --root (want a path)")?,
+                )
+            }
+            other => return Err(format!("unknown lint option {other}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            dpf_lint::find_root(&cwd).ok_or(
+                "no DPF repo root found above the current directory \
+                 (want crates/dpf-core/src); pass --root",
+            )?
+        }
+    };
+    let diags = dpf_lint::lint_tree(&root).map_err(|e| e.to_string())?;
+    if format_json {
+        print!("{}", dpf_lint::render_json(&diags));
+    } else {
+        print!("{}", dpf_lint::render_text(&diags));
+    }
+    if dpf_lint::is_failing(&diags, deny_warnings) {
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn main() -> ExitCode {
@@ -238,14 +299,14 @@ fn main() -> ExitCode {
             };
             let Some(entry) = find(name) else {
                 eprintln!("unknown benchmark {name:?}; try `dpf list`");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             };
             if entry.variant(opts.version).is_none() {
                 eprintln!(
                     "{name} has no runnable {} variant in this reproduction",
                     opts.version
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
             let cfg = opts.suite_config();
             let guarded = dpf_suite::run_guarded(&entry, opts.version, &cfg);
@@ -261,10 +322,10 @@ fn main() -> ExitCode {
                 "outcome: {} ({} attempt(s), {} fault(s) injected)",
                 guarded.outcome, guarded.attempts, guarded.faults_injected
             );
-            if guarded.outcome.is_success() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+            match &guarded.outcome {
+                o if o.is_success() => ExitCode::SUCCESS,
+                dpf_suite::RunOutcome::ConfigError(_) => ExitCode::from(2),
+                _ => ExitCode::FAILURE,
             }
         }
         "all" => {
@@ -278,12 +339,23 @@ fn main() -> ExitCode {
             let cfg = opts.suite_config();
             let report = dpf_suite::run_suite(&cfg);
             print!("{}", report.summary());
-            if report.failures() == 0 {
-                ExitCode::SUCCESS
-            } else {
+            // Runtime failures (exit 1) dominate config errors (exit 2):
+            // a broken benchmark is the stronger signal.
+            if report.failures() > 0 {
                 ExitCode::FAILURE
+            } else if report.config_errors() > 0 {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
             }
         }
+        "lint" => match run_lint(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                usage()
+            }
+        },
         "table" => {
             let Some(which) = args.get(1) else {
                 return usage();

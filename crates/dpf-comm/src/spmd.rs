@@ -38,6 +38,13 @@
 //! payload size, since the analytic `Instr` model the tables are built
 //! from never charges addressing overhead either.
 
+// The `*_exec` drivers below are the SPMD protocol layer, not numeric hot
+// paths: each collective builds its O(p) worker-view table and owned
+// message payloads once per call, which is the message-passing model
+// itself (frames are owned when handed to the router). Per-element work
+// stays allocation-free inside the worker closures.
+// dpf-lint: allow-file(hot-path-alloc, reason = "per-collective O(p) view setup and owned message payloads are the SPMD protocol, not per-element hot-path traffic")
+
 use dpf_array::Layout;
 use dpf_core::{Ctx, Elem, Router};
 

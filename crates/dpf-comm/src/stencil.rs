@@ -95,7 +95,7 @@ pub fn stencil_into<T: Num>(
     );
     record_stencil(ctx, a, points.iter().map(|p| p.offset.as_slice()));
 
-    let shape = a.shape().to_vec();
+    let shape = a.shape();
     let rank = shape.len();
     let strides = a.layout().strides();
     let apply = |flat: usize, slot: &mut T| {
@@ -138,6 +138,7 @@ pub fn stencil_into<T: Num>(
             let work: Vec<_> = split_ref(layout, a.as_slice(), p)
                 .into_iter()
                 .zip(split_mut(&out_layout, out.as_mut_slice(), p))
+                // dpf-lint: allow(hot-path-alloc, reason = "O(p) worker-view table built once per collective, same as the spmd.rs exec drivers")
                 .collect();
             let esize = T::DTYPE.size() as u64;
             dpf_core::run_workers(

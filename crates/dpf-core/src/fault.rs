@@ -129,6 +129,16 @@ pub enum DpfError {
         /// generation, pending sequence numbers, heartbeat ages).
         detail: String,
     },
+    /// The run was misconfigured before any benchmark code executed
+    /// (unknown benchmark in a quarantine list, missing variant, bad
+    /// flag combination). Config errors are *not* runtime failures:
+    /// the suite reports them on their own row class and the CLI maps
+    /// them to the usage/config exit code (2), never the
+    /// benchmark-failure exit code (1).
+    Config {
+        /// What was misconfigured.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for DpfError {
@@ -185,6 +195,9 @@ impl std::fmt::Display for DpfError {
             ),
             DpfError::Deadlock { worker, detail } => {
                 write!(f, "spmd deadlock diagnosed by worker {worker}:\n{detail}")
+            }
+            DpfError::Config { what } => {
+                write!(f, "configuration error: {what}")
             }
         }
     }

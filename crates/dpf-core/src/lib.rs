@@ -48,4 +48,4 @@ pub use spmd::{
     install_quiet_panic_hook, run_workers, set_quiet_panics, Backend, LinkMeter, Router,
     SpmdBarrier, Transport, TransportCfg,
 };
-pub use verify::{nan_max, Verify};
+pub use verify::{nan_max, nan_min, Verify};

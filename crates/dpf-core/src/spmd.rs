@@ -62,6 +62,13 @@
 //! hard per-wait timeout ([`TransportCfg::hard_timeout`]) remains as the
 //! backstop of last resort.
 
+// The transport legitimately reads the wall clock: retransmission
+// timers (RTO backoff), heartbeat stall detection and hard-timeout
+// deadlines are protocol state, not §1.5 busy/elapsed metering — that
+// accounting stays centralized in `instr.rs`, which never sees these
+// reads because transport time is wait time, metered as messages.
+// dpf-lint: allow-file(untimed-clock, reason = "RTO/heartbeat/deadline protocol timers, not busy-elapsed metering; section 1.5 accounting stays in instr.rs")
+
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};

@@ -47,6 +47,18 @@ pub fn nan_max(a: f64, b: f64) -> f64 {
     }
 }
 
+/// NaN-propagating minimum: the [`nan_max`] twin, for folds and clamps
+/// that take the smaller value (periodic distances, lower envelopes).
+/// `f64::min` has the same NaN-dropping hole as `f64::max`.
+#[inline]
+pub fn nan_min(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else {
+        a.min(b)
+    }
+}
+
 impl Verify {
     /// Build a Pass/Fail from a measured error value and tolerance.
     pub fn check(metric: &'static str, value: f64, tol: f64) -> Self {
@@ -101,6 +113,14 @@ mod tests {
         // The plain IEEE max would have returned 0.0 here — that is the
         // hole this helper closes.
         assert_eq!(0.0f64.max(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn nan_min_propagates_nan() {
+        assert_eq!(nan_min(1.0, 2.0), 1.0);
+        assert!(nan_min(0.0, f64::NAN).is_nan());
+        assert!(nan_min(f64::NAN, 0.0).is_nan());
+        assert_eq!(0.0f64.min(f64::NAN), 0.0);
     }
 
     #[test]

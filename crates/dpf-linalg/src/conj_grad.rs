@@ -191,7 +191,7 @@ pub fn cg_solve_optimized(ctx: &Ctx, sys: &CgSystem, tol: f64, max_iter: usize) 
     ctx.add_flops(2 * n as u64 - 1);
     ctx.record_comm(dpf_core::CommPattern::Reduction, 1, 0, n as u64, 0);
     let mut rho = ctx.busy(|| dot_serial(&r, &r));
-    let mut res = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let mut res = r.iter().fold(0.0f64, |m, v| dpf_core::nan_max(m, v.abs()));
     let mut iters = 0usize;
     let mut q = vec![0.0f64; n];
     while res > tol && iters < max_iter {
@@ -222,7 +222,7 @@ pub fn cg_solve_optimized(ctx: &Ctx, sys: &CgSystem, tol: f64, max_iter: usize) 
                 x[i] += alpha * p[i];
                 r[i] -= alpha * q[i];
                 acc += r[i] * r[i];
-                m = m.max(r[i].abs());
+                m = dpf_core::nan_max(m, r[i].abs());
             }
             (acc, m)
         });

@@ -1,0 +1,66 @@
+//! Standalone entry point: `cargo run -p dpf-lint -- [--format text|json]
+//! [--deny warnings] [--root PATH]`. Exit code 0 when clean, 2 when the
+//! lint fails (configuration/convention class, distinct from the
+//! benchmark-failure exit 1 of `dpf run`/`dpf all`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dpf_lint_main(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dpf-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared driver for the standalone binary (also mirrored by
+/// `dpf lint` in dpf-cli).
+fn dpf_lint_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut format_json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => return Err(format!("bad --format {other:?} (want text|json)")),
+            },
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                other => return Err(format!("bad --deny {other:?} (want warnings)")),
+            },
+            "--root" => {
+                root = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .ok_or("bad --root (want a path)")?,
+                )
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            dpf_lint::find_root(&cwd)
+                .ok_or("no DPF repo root found above the current directory (want crates/dpf-core/src); pass --root")?
+        }
+    };
+    let diags = dpf_lint::lint_tree(&root).map_err(|e| e.to_string())?;
+    if format_json {
+        print!("{}", dpf_lint::render_json(&diags));
+    } else {
+        print!("{}", dpf_lint::render_text(&diags));
+    }
+    if dpf_lint::is_failing(&diags, deny_warnings) {
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}

@@ -1,0 +1,675 @@
+//! The rule catalog. Every rule is a pure function over one lexed
+//! [`SourceFile`] (plus one tree-wide pass for `try-parity`'s cross-file
+//! direction), so rules compose and test in isolation.
+//!
+//! | rule | severity | invariant |
+//! |------|----------|-----------|
+//! | `nan-unsafe-fold`  | error   | verify/reduction folds must use `dpf_core::nan_max`/`nan_min` (IEEE `max` drops NaN) |
+//! | `untimed-clock`    | warning | `Instant::now()` only in the sanctioned metrics/harness modules (§1.5 busy/elapsed stays centralized) |
+//! | `hot-path-alloc`   | warning | no `Vec::new`/`vec![`/`.collect()`/`.to_vec()` inside `*_into`/`*_exec` hot paths (PR 1 buffer-reuse discipline) |
+//! | `try-parity`       | error   | every `try_*` primitive keeps its exported panicking twin, and the known comm/linalg pairs stay complete |
+//! | `metered-send`     | error   | raw channel sends in `spmd.rs` only inside the LinkMeter/envelope path (`Router::send` → `transmit`/`send_ctl`) |
+//! | `flop-conventions` | error   | the §1.5 FLOP-weight constants match the paper's table (add/mul 1, div/sqrt 4, log/trig 8) |
+//! | `unsafe-forbid`    | error   | the repo is `unsafe`-free; any new `unsafe` needs a `// SAFETY:` comment *and* an allow pragma |
+
+use crate::lex::Tok;
+use crate::{Diagnostic, Severity, SourceFile};
+use std::collections::BTreeMap;
+
+/// One registered per-file rule.
+pub struct Rule {
+    /// Stable identifier used in diagnostics and pragmas.
+    pub id: &'static str,
+    /// One-line description for `--help` / docs.
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&SourceFile) -> Vec<Diagnostic>,
+}
+
+/// All per-file rules, in catalog order.
+pub const FILE_RULES: &[Rule] = &[
+    Rule {
+        id: "nan-unsafe-fold",
+        summary: "verify/reduction folds must use dpf_core::nan_max / nan_min",
+        check: nan_unsafe_fold,
+    },
+    Rule {
+        id: "untimed-clock",
+        summary: "Instant::now() only in the sanctioned metrics/harness modules",
+        check: untimed_clock,
+    },
+    Rule {
+        id: "hot-path-alloc",
+        summary: "no allocation inside *_into / *_exec hot paths",
+        check: hot_path_alloc,
+    },
+    Rule {
+        id: "try-parity",
+        summary: "every try_* primitive keeps its exported panicking twin",
+        check: try_parity_in_file,
+    },
+    Rule {
+        id: "metered-send",
+        summary: "spmd.rs channel sends go through the LinkMeter/envelope path",
+        check: metered_send,
+    },
+    Rule {
+        id: "flop-conventions",
+        summary: "FLOP-weight constants match the paper's table",
+        check: flop_conventions,
+    },
+    Rule {
+        id: "unsafe-forbid",
+        summary: "no unsafe without a SAFETY comment and an allow pragma",
+        check: unsafe_forbid,
+    },
+];
+
+fn ident(t: Option<&crate::lex::Token>, s: &str) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Ident(i)) if i == s)
+}
+
+fn ident_in(t: Option<&crate::lex::Token>, set: &[&str]) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Ident(i)) if set.contains(&i.as_str()))
+}
+
+fn punct(t: Option<&crate::lex::Token>, c: char) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// `a::b` starting at token `i` (four tokens: Ident, ':', ':', Ident).
+fn path2(f: &SourceFile, i: usize, heads: &[&str], tails: &[&str]) -> bool {
+    ident_in(f.tokens.get(i), heads)
+        && punct(f.tokens.get(i + 1), ':')
+        && punct(f.tokens.get(i + 2), ':')
+        && ident_in(f.tokens.get(i + 3), tails)
+}
+
+// ------------------------------------------------------ nan-unsafe-fold
+
+/// Spans (token-index ranges) of `.fold(` / `.reduce(` argument lists
+/// whose seed is a floating literal (or an `f64::`/`f32::` constant) —
+/// the classic worst-error fold shape.
+fn float_fold_spans(f: &SourceFile) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !(punct(f.tokens.get(i), '.')
+            && ident_in(f.tokens.get(i + 1), &["fold", "reduce"])
+            && punct(f.tokens.get(i + 2), '('))
+        {
+            continue;
+        }
+        let mut k = i + 3;
+        // Skip a leading unary minus on the seed.
+        if punct(f.tokens.get(k), '-') {
+            k += 1;
+        }
+        let float_seed = matches!(f.tokens.get(k).map(|t| &t.tok), Some(Tok::Float(_)))
+            || ident_in(f.tokens.get(k), &["f64", "f32"]);
+        if !float_seed {
+            continue;
+        }
+        // Find the matching close paren of the fold call.
+        let mut depth = 1usize;
+        let mut j = i + 3;
+        while j < f.tokens.len() && depth > 0 {
+            if punct(f.tokens.get(j), '(') {
+                depth += 1;
+            } else if punct(f.tokens.get(j), ')') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        spans.push((i + 3, j));
+    }
+    spans
+}
+
+fn nan_unsafe_fold(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let spans = float_fold_spans(f);
+    for i in 0..f.tokens.len() {
+        // `f64::max` / `f32::min` as a path — NaN-dropping wherever it
+        // appears (typically passed to a fold).
+        if path2(f, i, &["f64", "f32"], &["max", "min"]) {
+            out.push(Diagnostic::new(
+                &f.path,
+                f.tokens[i].line,
+                "nan-unsafe-fold",
+                Severity::Error,
+                "IEEE f64::max/min silently drops NaN, so a poisoned buffer can fold to a passing metric"
+                    .into(),
+                "use dpf_core::nan_max / dpf_core::nan_min".into(),
+            ));
+            continue;
+        }
+        // `.max(` / `.min(` method call.
+        if !(punct(f.tokens.get(i), '.')
+            && ident_in(f.tokens.get(i + 1), &["max", "min"])
+            && punct(f.tokens.get(i + 2), '('))
+        {
+            continue;
+        }
+        // Integer clamps (`.max(1)`, `.min(8)`) are fine anywhere, and
+        // zero-argument `.max()`/`.min()` is `Iterator::max` — it needs
+        // `Ord`, which f64 does not implement, so it cannot drop NaN.
+        if matches!(f.tokens.get(i + 3).map(|t| &t.tok), Some(Tok::Int(_)))
+            || punct(f.tokens.get(i + 3), ')')
+        {
+            continue;
+        }
+        let in_verify = f
+            .fn_at(i)
+            .is_some_and(|s| s.returns_verify || s.name.contains("verify"));
+        let in_float_fold = spans.iter().any(|&(a, b)| i >= a && i < b);
+        if in_verify || in_float_fold {
+            out.push(Diagnostic::new(
+                &f.path,
+                f.tokens[i].line,
+                "nan-unsafe-fold",
+                Severity::Error,
+                "bare .max()/.min() in verify/reduction code drops NaN (0.0f64.max(NAN) == 0.0)"
+                    .into(),
+                "fold with dpf_core::nan_max / dpf_core::nan_min instead".into(),
+            ));
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------- untimed-clock
+
+/// Modules allowed to read the wall clock: the instrumentation layer
+/// that owns §1.5 busy/elapsed accounting and the watchdog harness that
+/// owns attempt timeouts. Everything else must go through them.
+const CLOCK_SANCTIONED: &[&str] = &["dpf-core/src/instr.rs", "dpf-suite/src/harness.rs"];
+
+fn untimed_clock(f: &SourceFile) -> Vec<Diagnostic> {
+    if CLOCK_SANCTIONED.iter().any(|m| f.path.ends_with(m)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..f.tokens.len() {
+        if path2(f, i, &["Instant", "SystemTime"], &["now"]) {
+            out.push(Diagnostic::new(
+                &f.path,
+                f.tokens[i].line,
+                "untimed-clock",
+                Severity::Warning,
+                "raw clock read outside the metrics/harness layer fragments §1.5 busy/elapsed accounting"
+                    .into(),
+                "time phases via Ctx::busy / the Instr layer, or justify with an allow pragma"
+                    .into(),
+            ));
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------- hot-path-alloc
+
+/// Token spans of `run_workers(...)` call argument lists. The worker
+/// closure passed to `run_workers` is SPMD *protocol* code: message
+/// payloads are owned frames handed to the router, so allocating them
+/// is the point, not a hot-path leak. The rule guards the numeric path
+/// around the protocol, not the protocol itself.
+fn worker_closure_spans(f: &SourceFile) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !(ident(f.tokens.get(i), "run_workers") && punct(f.tokens.get(i + 1), '(')) {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        while j < f.tokens.len() && depth > 0 {
+            if punct(f.tokens.get(j), '(') {
+                depth += 1;
+            } else if punct(f.tokens.get(j), ')') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        spans.push((i + 2, j));
+    }
+    spans
+}
+
+fn hot_path_alloc(f: &SourceFile) -> Vec<Diagnostic> {
+    let protocol = worker_closure_spans(f);
+    let mut out = Vec::new();
+    let mut flag = |i: usize, what: &str| {
+        out.push(Diagnostic::new(
+            &f.path,
+            f.tokens[i].line,
+            "hot-path-alloc",
+            Severity::Warning,
+            format!("{what} allocates inside a zero-allocation hot path"),
+            "reuse a caller buffer or Ctx::scratch from the BufferPool".into(),
+        ));
+    };
+    for i in 0..f.tokens.len() {
+        let Some(span) = f.fn_at(i) else { continue };
+        if !(span.name.ends_with("_into") || span.name.ends_with("_exec")) {
+            continue;
+        }
+        if protocol.iter().any(|&(a, b)| i >= a && i < b) {
+            continue;
+        }
+        if path2(f, i, &["Vec"], &["new", "with_capacity"]) {
+            flag(i, "Vec::new/with_capacity");
+        } else if ident(f.tokens.get(i), "vec") && punct(f.tokens.get(i + 1), '!') {
+            flag(i, "vec![]");
+        } else if punct(f.tokens.get(i), '.') && ident(f.tokens.get(i + 1), "collect") {
+            flag(i, ".collect()");
+        } else if punct(f.tokens.get(i), '.')
+            && ident(f.tokens.get(i + 1), "to_vec")
+            && punct(f.tokens.get(i + 2), '(')
+        {
+            flag(i, ".to_vec()");
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------- try-parity
+
+/// All `pub fn` names in a file, with the line each is declared on.
+/// (`pub(crate)` and friends count: the parity contract is about the
+/// crate keeping both spellings callable, not about visibility width.)
+pub fn public_fns(f: &SourceFile) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !ident(f.tokens.get(i), "pub") {
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip a visibility scope like `(crate)` / `(super)`.
+        if punct(f.tokens.get(j), '(') {
+            while j < f.tokens.len() && !punct(f.tokens.get(j), ')') {
+                j += 1;
+            }
+            j += 1;
+        }
+        if ident(f.tokens.get(j), "fn") {
+            if let Some(Tok::Ident(name)) = f.tokens.get(j + 1).map(|t| &t.tok) {
+                out.push((name.clone(), f.tokens[j + 1].line));
+            }
+        }
+    }
+    out
+}
+
+fn try_parity_in_file(f: &SourceFile) -> Vec<Diagnostic> {
+    let fns = public_fns(f);
+    let names: std::collections::BTreeSet<&str> = fns.iter().map(|(n, _)| n.as_str()).collect();
+    let mut out = Vec::new();
+    for (name, line) in &fns {
+        if let Some(base) = name.strip_prefix("try_") {
+            if !names.contains(base) {
+                out.push(Diagnostic::new(
+                    &f.path,
+                    *line,
+                    "try-parity",
+                    Severity::Error,
+                    format!("`{name}` has no exported panicking twin `{base}` in this file"),
+                    format!("keep `pub fn {base}` next to `pub fn {name}` (PR 2 parity contract)"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The comm/linalg/fft primitives that PR 2 gave fallible twins. Both
+/// spellings must stay exported somewhere in the tree.
+pub const REQUIRED_TWINS: &[&str] = &[
+    "gather",
+    "gather_nd",
+    "scatter",
+    "scatter_combine",
+    "scatter_nd_combine",
+    "transpose",
+    "fft",
+    "fft_row",
+    "fft_axis",
+    "fft_axis_as",
+    "lu_factor",
+    "lu_factor_blocked",
+    "gauss_jordan_solve",
+];
+
+/// Tree-wide direction of `try-parity`: given every `pub fn` in the
+/// tree (name → declaration sites), check the required twin pairs are
+/// both present.
+pub fn check_required_twins(pub_fns: &BTreeMap<String, Vec<(String, u32)>>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for base in REQUIRED_TWINS {
+        let try_name = format!("try_{base}");
+        let base_at = pub_fns.get(*base).and_then(|v| v.first());
+        let try_at = pub_fns.get(&try_name).and_then(|v| v.first());
+        match (base_at, try_at) {
+            (Some(_), Some(_)) => {}
+            (Some((file, line)), None) => out.push(Diagnostic::new(
+                file,
+                *line,
+                "try-parity",
+                Severity::Error,
+                format!("panicking primitive `{base}` lost its fallible twin `{try_name}`"),
+                format!("restore `pub fn {try_name}` (PR 2 parity contract)"),
+            )),
+            (None, Some((file, line))) => out.push(Diagnostic::new(
+                file,
+                *line,
+                "try-parity",
+                Severity::Error,
+                format!("fallible `{try_name}` lost its panicking twin `{base}`"),
+                format!("restore `pub fn {base}` (PR 2 parity contract)"),
+            )),
+            (None, None) => out.push(Diagnostic::new(
+                "(tree)",
+                0,
+                "try-parity",
+                Severity::Error,
+                format!("required primitive pair `{base}`/`{try_name}` is missing from the tree"),
+                "restore both exports or update rules::REQUIRED_TWINS with the rename".into(),
+            )),
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------- metered-send
+
+/// Functions inside the transport that *are* the envelope path: the
+/// only places a raw channel `.send(` is legitimate.
+const ENVELOPE_PATH: &[&str] = &["transmit", "send_ctl"];
+
+fn metered_send(f: &SourceFile) -> Vec<Diagnostic> {
+    if !(f.path.ends_with("/spmd.rs") || f.path == "spmd.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 1..f.tokens.len() {
+        if !(punct(f.tokens.get(i), '.')
+            && ident(f.tokens.get(i + 1), "send")
+            && punct(f.tokens.get(i + 2), '('))
+        {
+            continue;
+        }
+        // Receiver heuristic: the identifier just before the dot. A
+        // `router.send(...)` (or anything named `*router`) is the
+        // metered API; everything else is a raw channel endpoint.
+        let metered_receiver = matches!(
+            f.tokens.get(i - 1).map(|t| &t.tok),
+            Some(Tok::Ident(r)) if r.ends_with("router")
+        );
+        if metered_receiver {
+            continue;
+        }
+        let in_envelope_path = f
+            .fn_at(i)
+            .is_some_and(|s| ENVELOPE_PATH.contains(&s.name.as_str()));
+        if !in_envelope_path {
+            out.push(Diagnostic::new(
+                &f.path,
+                f.tokens[i].line,
+                "metered-send",
+                Severity::Error,
+                "raw channel send bypasses the LinkMeter/envelope path, so §1.5 message counts drift"
+                    .into(),
+                "send through Router::send (or extend transmit/send_ctl if this is protocol traffic)"
+                    .into(),
+            ));
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------- flop-conventions
+
+/// Paper §1.5 operation weights (Hennessy & Patterson, the paper's
+/// reference [6]).
+const FLOP_WEIGHTS: &[(&str, u64)] = &[
+    ("ADD", 1),
+    ("SUB", 1),
+    ("MUL", 1),
+    ("DIV", 4),
+    ("SQRT", 4),
+    ("LOG", 8),
+    ("TRIG", 8),
+    ("EXP", 8),
+];
+
+fn flop_conventions(f: &SourceFile) -> Vec<Diagnostic> {
+    if !f.path.ends_with("flops.rs") {
+        return Vec::new();
+    }
+    let mut seen: BTreeMap<&str, (u64, u32)> = BTreeMap::new();
+    for i in 0..f.tokens.len() {
+        // `pub const NAME: u64 = <int>;`
+        if !(ident(f.tokens.get(i), "pub") && ident(f.tokens.get(i + 1), "const")) {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = f.tokens.get(i + 2).map(|t| &t.tok) else {
+            continue;
+        };
+        let Some(entry) = FLOP_WEIGHTS.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        // Scan to the `=` and read the integer literal after it.
+        let mut j = i + 3;
+        while j < f.tokens.len() && !punct(f.tokens.get(j), '=') && !punct(f.tokens.get(j), ';') {
+            j += 1;
+        }
+        if let Some(Tok::Int(text)) = f.tokens.get(j + 1).map(|t| &t.tok) {
+            let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(v) = digits.parse::<u64>() {
+                seen.insert(entry.0, (v, f.tokens[i + 2].line));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (name, expect) in FLOP_WEIGHTS {
+        match seen.get(name) {
+            Some(&(v, _)) if v == *expect => {}
+            Some(&(v, line)) => out.push(Diagnostic::new(
+                &f.path,
+                line,
+                "flop-conventions",
+                Severity::Error,
+                format!(
+                    "FLOP weight {name} = {v} contradicts the paper's table (§1.5 says {expect})"
+                ),
+                format!("restore `pub const {name}: u64 = {expect};`"),
+            )),
+            None => out.push(Diagnostic::new(
+                &f.path,
+                1,
+                "flop-conventions",
+                Severity::Error,
+                format!("FLOP weight constant {name} is missing from the conventions table"),
+                format!("declare `pub const {name}: u64 = {expect};`"),
+            )),
+        }
+    }
+    if !f.fns.iter().any(|s| s.name == "reduction") {
+        out.push(Diagnostic::new(
+            &f.path,
+            1,
+            "flop-conventions",
+            Severity::Error,
+            "the N-1 reduction FLOP helper `reduction` is missing".into(),
+            "restore `pub const fn reduction(n: u64) -> u64`".into(),
+        ));
+    }
+    out
+}
+
+// -------------------------------------------------------- unsafe-forbid
+
+fn unsafe_forbid(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !ident(f.tokens.get(i), "unsafe") {
+            continue;
+        }
+        let line = f.tokens[i].line;
+        let has_safety = f.comments.iter().any(|c| {
+            c.line + 3 >= line && c.line <= line && c.text.trim_start().starts_with("SAFETY:")
+        });
+        let mut d = Diagnostic::new(
+            &f.path,
+            line,
+            "unsafe-forbid",
+            Severity::Error,
+            if has_safety {
+                "the repo is unsafe-free by policy; this block needs an explicit allow pragma"
+                    .into()
+            } else {
+                "unsafe without a `// SAFETY:` justification comment".into()
+            },
+            "add `// SAFETY: <why this is sound>` and `// dpf-lint: allow(unsafe-forbid, reason = ...)`"
+                .into(),
+        );
+        d.suppressible = has_safety;
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    fn rules_hit(src: &str, path: &str) -> Vec<(&'static str, u32)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn nan_fold_catches_the_pr2_bug_class() {
+        let src = r#"
+pub fn check(errs: &[f64]) -> Verify {
+    let worst = errs.iter().fold(0.0, |m, v| m.max(v.abs()));
+    Verify::check("residual", worst, 1e-9)
+}
+"#;
+        let hits = rules_hit(src, "crates/dpf-apps/src/x.rs");
+        assert!(hits.contains(&("nan-unsafe-fold", 3)), "{hits:?}");
+    }
+
+    #[test]
+    fn nan_fold_catches_f64_max_path_and_float_folds_outside_verify() {
+        let src = "fn any() { let w = xs.iter().copied().fold(0.0f64, f64::max); }";
+        let hits = rules_hit(src, "a.rs");
+        assert!(hits.iter().any(|h| h.0 == "nan-unsafe-fold"), "{hits:?}");
+        let src2 = "fn any() { let w = xs.iter().fold(-f64::INFINITY, |m, v| m.max(v)); }";
+        assert!(rules_hit(src2, "a.rs")
+            .iter()
+            .any(|h| h.0 == "nan-unsafe-fold"));
+    }
+
+    #[test]
+    fn nan_fold_ignores_integer_clamps_and_domain_math() {
+        // usize clamp inside a verify fn, and float math outside one.
+        let src = "
+pub fn verify_shape(n: usize) -> Verify { let m = n.max(1); Verify::NotApplicable }
+fn step(d: f64, nx: f64) -> f64 { d.min(nx - d) }
+";
+        assert!(rules_hit(src, "a.rs").is_empty());
+    }
+
+    #[test]
+    fn untimed_clock_spares_sanctioned_modules() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(!rules_hit(src, "crates/dpf-core/src/instr.rs")
+            .iter()
+            .any(|h| h.0 == "untimed-clock"));
+        assert!(rules_hit(src, "crates/dpf-apps/src/md.rs")
+            .iter()
+            .any(|h| h.0 == "untimed-clock"));
+    }
+
+    #[test]
+    fn hot_path_alloc_scopes_to_into_and_exec() {
+        let src = "
+pub fn map_into(out: &mut [f64]) { let v: Vec<f64> = xs.iter().collect(); }
+pub fn map(xs: &[f64]) -> Vec<f64> { xs.to_vec() }
+";
+        let hits = rules_hit(src, "a.rs");
+        assert!(hits.contains(&("hot-path-alloc", 2)), "{hits:?}");
+        assert_eq!(hits.iter().filter(|h| h.0 == "hot-path-alloc").count(), 1);
+    }
+
+    #[test]
+    fn try_parity_wants_the_twin_in_file() {
+        let src = "pub fn try_gather() {}";
+        assert!(rules_hit(src, "a.rs").iter().any(|h| h.0 == "try-parity"));
+        let src2 = "pub fn try_gather() {}\npub fn gather() {}";
+        assert!(!rules_hit(src2, "a.rs").iter().any(|h| h.0 == "try-parity"));
+    }
+
+    #[test]
+    fn metered_send_flags_raw_channel_sends_in_spmd() {
+        let src = "
+fn leak(tx: &Sender<u8>) { tx.send(1).unwrap(); }
+fn transmit(&self) { self.txs[0].send(frame).unwrap(); }
+fn ok(router: &mut Router) { router.send(1, 8, msg); }
+";
+        let hits = rules_hit(src, "crates/dpf-core/src/spmd.rs");
+        assert_eq!(
+            hits.iter().filter(|h| h.0 == "metered-send").count(),
+            1,
+            "{hits:?}"
+        );
+        assert!(hits.contains(&("metered-send", 2)));
+        // Same source outside spmd.rs: no rule.
+        assert!(rules_hit(src, "crates/dpf-core/src/other.rs").is_empty());
+    }
+
+    #[test]
+    fn flop_conventions_checks_the_table() {
+        let good = "
+pub const ADD: u64 = 1; pub const SUB: u64 = 1; pub const MUL: u64 = 1;
+pub const DIV: u64 = 4; pub const SQRT: u64 = 4;
+pub const LOG: u64 = 8; pub const TRIG: u64 = 8; pub const EXP: u64 = 8;
+pub const fn reduction(n: u64) -> u64 { n.saturating_sub(1) }
+";
+        assert!(rules_hit(good, "crates/dpf-core/src/flops.rs").is_empty());
+        let drifted = good.replace("DIV: u64 = 4", "DIV: u64 = 2");
+        let hits = rules_hit(&drifted, "crates/dpf-core/src/flops.rs");
+        assert!(hits.iter().any(|h| h.0 == "flop-conventions"), "{hits:?}");
+        // The table is only enforced in flops.rs.
+        assert!(rules_hit(&drifted, "crates/dpf-core/src/cost.rs").is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment_and_pragma() {
+        let bare = "fn f() { unsafe { std::hint::unreachable_unchecked() } }";
+        let hits = lint_source("a.rs", bare);
+        assert!(hits
+            .iter()
+            .any(|d| d.rule == "unsafe-forbid" && !d.suppressible));
+        let excused = "
+fn f() {
+    // SAFETY: n < len checked above
+    // dpf-lint: allow(unsafe-forbid, reason = \"bounds proven by caller\")
+    unsafe { go(n) }
+}
+";
+        let hits = lint_source("a.rs", excused);
+        assert!(!hits.iter().any(|d| d.rule == "unsafe-forbid"), "{hits:?}");
+        // SAFETY comment alone (no pragma) still fails.
+        let half = "
+fn f() {
+    // SAFETY: trust me
+    unsafe { go(n) }
+}
+";
+        assert!(lint_source("a.rs", half)
+            .iter()
+            .any(|d| d.rule == "unsafe-forbid" && d.suppressible));
+    }
+}

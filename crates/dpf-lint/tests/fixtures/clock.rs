@@ -1,0 +1,8 @@
+// lint-path: crates/dpf-apps/src/clock.rs
+// Raw clock read outside the sanctioned instr/harness modules: §1.5
+// busy/elapsed accounting must stay centralized.
+
+pub fn step(dt: f64) -> f64 {
+    let t0 = Instant::now();
+    dt * t0.elapsed().as_secs_f64()
+}

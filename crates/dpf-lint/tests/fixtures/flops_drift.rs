@@ -1,0 +1,12 @@
+// lint-path: crates/dpf-core/src/flops.rs
+// The §1.5 FLOP-weight table with a drifted DIV weight and the
+// reduction helper deleted.
+
+pub const ADD: u64 = 1;
+pub const SUB: u64 = 1;
+pub const MUL: u64 = 1;
+pub const DIV: u64 = 2;
+pub const SQRT: u64 = 4;
+pub const LOG: u64 = 8;
+pub const TRIG: u64 = 8;
+pub const EXP: u64 = 8;

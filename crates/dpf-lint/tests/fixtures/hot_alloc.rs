@@ -1,0 +1,16 @@
+// lint-path: crates/dpf-comm/src/hot_alloc.rs
+// Allocation inside a zero-allocation `_into` hot path (PR 1 buffer
+// discipline). The non-`_into` sibling may allocate freely.
+
+pub fn axpy_into(out: &mut [f64], xs: &[f64], a: f64) {
+    let mut tmp: Vec<f64> = Vec::new();
+    let doubled: Vec<f64> = xs.iter().map(|v| v * a).collect();
+    for (o, d) in out.iter_mut().zip(doubled) {
+        *o = d;
+    }
+    tmp.clear();
+}
+
+pub fn axpy(xs: &[f64], a: f64) -> Vec<f64> {
+    xs.iter().map(|v| v * a).collect()
+}

@@ -1,0 +1,20 @@
+// lint-path: crates/dpf-apps/src/nan_fold.rs
+// Worst-error folds written the NaN-dropping way: every shape the
+// nan-unsafe-fold rule must catch.
+
+pub fn check(errs: &[f64]) -> Verify {
+    let worst = errs.iter().fold(0.0, |m, v| m.max(v.abs()));
+    Verify::check("residual", worst, 1e-9)
+}
+
+pub fn reduce_all(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0f64, f64::max)
+}
+
+pub fn verify_drift(ds: &[f64]) -> f64 {
+    let mut m = 0.0;
+    for d in ds {
+        m = m.min(*d);
+    }
+    m
+}

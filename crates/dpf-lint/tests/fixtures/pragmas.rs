@@ -1,0 +1,7 @@
+// lint-path: crates/dpf-apps/src/pragmas.rs
+// A reason-less pragma is malformed (bad-pragma); a well-formed pragma
+// that suppresses nothing is stale (unused-pragma).
+// dpf-lint: allow(nan-unsafe-fold)
+// dpf-lint: allow(hot-path-alloc, reason = "the allocation this excused is gone")
+
+fn f() {}

@@ -1,0 +1,11 @@
+// lint-path: crates/dpf-apps/src/suppressed.rs
+// Every violation below carries a justifying pragma, so the file lints
+// clean: line-scoped allow, and file-wide allow-file.
+// dpf-lint: allow-file(untimed-clock, reason = "fixture exercising file-wide suppression")
+
+pub fn check(errs: &[f64]) -> Verify {
+    let t0 = Instant::now();
+    // dpf-lint: allow(nan-unsafe-fold, reason = "fixture exercising line-scoped suppression")
+    let worst = errs.iter().fold(0.0, |m, v| m.max(v.abs()));
+    Verify::check("residual", worst, t0.elapsed().as_secs_f64())
+}

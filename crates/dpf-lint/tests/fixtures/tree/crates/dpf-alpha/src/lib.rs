@@ -1,0 +1,10 @@
+// Mini-tree fixture crate "alpha": exports a fallible primitive with
+// no panicking twin anywhere in the tree.
+
+pub fn try_solve(n: usize) -> Result<usize, ()> {
+    Ok(n)
+}
+
+pub fn helper(n: usize) -> usize {
+    n + 1
+}

@@ -1,0 +1,6 @@
+// Mini-tree fixture crate "beta": a NaN-dropping fold, so tree output
+// mixes per-file and tree-wide diagnostics.
+
+pub fn worst(errs: &[f64]) -> f64 {
+    errs.iter().copied().fold(0.0f64, f64::max)
+}

@@ -1,0 +1,8 @@
+// lint-path: crates/dpf-core/src/unsafe_block.rs
+// Unsafe with no SAFETY comment: non-suppressible, even with a pragma
+// directly above it.
+
+pub fn peek(xs: &[f64], n: usize) -> f64 {
+    // dpf-lint: allow(unsafe-forbid, reason = "a pragma alone must not excuse this")
+    unsafe { *xs.get_unchecked(n) }
+}

@@ -104,6 +104,11 @@ pub enum RunOutcome {
     },
     /// Skipped: the benchmark is on the quarantine list.
     Quarantined,
+    /// The run never started because it was misconfigured (e.g. the
+    /// requested variant does not exist). Distinct from the runtime
+    /// failure classes above: the CLI maps config errors to exit code 2
+    /// (usage/config) rather than 1 (benchmark failure).
+    ConfigError(String),
 }
 
 impl RunOutcome {
@@ -127,6 +132,7 @@ impl std::fmt::Display for RunOutcome {
             RunOutcome::TimedOut => f.write_str("timed-out"),
             RunOutcome::Recovered { retries } => write!(f, "recovered({retries})"),
             RunOutcome::Quarantined => f.write_str("quarantined"),
+            RunOutcome::ConfigError(msg) => write!(f, "config-error: {msg}"),
         }
     }
 }
@@ -276,9 +282,17 @@ fn run_attempt(
 /// are active and a retry budget exists, the final attempt runs
 /// fault-free so the sweep always terminates with a definitive outcome.
 pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> GuardedResult {
-    let variant = entry
-        .variant(version)
-        .unwrap_or_else(|| panic!("{} has no {} variant", entry.name, version));
+    // A missing variant is a configuration error, not a benchmark
+    // failure: report it as such instead of panicking (the unguarded
+    // [`run`] still panics, for callers that want the hard stop).
+    let Some(variant) = entry.variant(version) else {
+        return GuardedResult {
+            outcome: RunOutcome::ConfigError(format!("{} has no {} variant", entry.name, version)),
+            result: None,
+            attempts: 0,
+            faults_injected: 0,
+        };
+    };
     let name = entry.name;
     let runner = variant.run;
     let mut last_failure = RunOutcome::TimedOut;
@@ -350,12 +364,32 @@ pub struct SuiteRow {
 pub struct SuiteReport {
     /// One row per registry benchmark, in registry order.
     pub rows: Vec<SuiteRow>,
+    /// Configuration errors that do not correspond to any registry row
+    /// (e.g. unknown benchmark names in the quarantine list).
+    pub setup_errors: Vec<DpfError>,
 }
 
 impl SuiteReport {
-    /// Rows whose outcome counts as a failure.
+    /// Rows whose outcome counts as a *runtime* failure. Config errors
+    /// are counted separately by [`SuiteReport::config_errors`].
     pub fn failures(&self) -> usize {
-        self.rows.iter().filter(|r| !r.outcome.is_success()).count()
+        self.rows
+            .iter()
+            .filter(|r| !r.outcome.is_success() && !matches!(r.outcome, RunOutcome::ConfigError(_)))
+            .count()
+    }
+
+    /// Configuration errors across the sweep: per-row
+    /// [`RunOutcome::ConfigError`] outcomes plus setup errors that never
+    /// mapped to a row (unknown quarantine names). The CLI turns a
+    /// nonzero count into exit code 2.
+    pub fn config_errors(&self) -> usize {
+        self.setup_errors.len()
+            + self
+                .rows
+                .iter()
+                .filter(|r| matches!(r.outcome, RunOutcome::ConfigError(_)))
+                .count()
     }
 
     /// Render the sweep summary: one line per benchmark with its verify
@@ -386,12 +420,18 @@ impl SuiteReport {
                 row.name, verify, row.outcome, problem
             );
         }
+        for err in &self.setup_errors {
+            let _ = writeln!(s, "{err}");
+        }
         let _ = writeln!(
             s,
             "{} benchmarks, {} failed",
             self.rows.len(),
             self.failures()
         );
+        if self.config_errors() > 0 {
+            let _ = writeln!(s, "{} config error(s)", self.config_errors());
+        }
         s
     }
 }
@@ -400,6 +440,17 @@ impl SuiteReport {
 /// harness. The sweep never aborts on a single benchmark: every panic,
 /// timeout or verification failure is recorded as that row's outcome.
 pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
+    // Quarantine names that match no registry entry would otherwise be
+    // silently ignored — a misspelled quarantine would quietly run the
+    // benchmark it meant to skip. Surface them as typed config errors.
+    let setup_errors = cfg
+        .quarantine
+        .iter()
+        .filter(|q| crate::registry::find(q.as_str()).is_none())
+        .map(|q| DpfError::Config {
+            what: format!("unknown benchmark {q:?} in quarantine list"),
+        })
+        .collect();
     let rows = crate::registry::registry()
         .iter()
         .map(|entry| {
@@ -418,7 +469,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
             }
         })
         .collect();
-    SuiteReport { rows }
+    SuiteReport { rows, setup_errors }
 }
 
 #[cfg(test)]
@@ -533,6 +584,37 @@ mod tests {
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.attempts, b.attempts);
         assert_eq!(a.faults_injected, b.faults_injected);
+    }
+
+    #[test]
+    fn guarded_missing_variant_is_config_error() {
+        let entry = registry::find("boson").unwrap();
+        let res = run_guarded(&entry, Version::CDpeac, &small_cfg());
+        match &res.outcome {
+            RunOutcome::ConfigError(msg) => assert!(msg.contains("has no"), "{msg}"),
+            other => panic!("expected ConfigError, got {other}"),
+        }
+        assert!(!res.outcome.is_success());
+        assert_eq!(res.attempts, 0);
+        assert!(res.result.is_none());
+    }
+
+    #[test]
+    fn suite_flags_unknown_quarantine_names() {
+        let mut cfg = small_cfg();
+        cfg.quarantine = registry::registry()
+            .iter()
+            .map(|e| e.name.to_string())
+            .collect();
+        cfg.quarantine.push("no-such-benchmark".to_string());
+        let report = run_suite(&cfg);
+        assert_eq!(report.config_errors(), 1);
+        // A config error is not a runtime failure: the failure count
+        // (and its exit-code class) stays clean.
+        assert_eq!(report.failures(), 0);
+        let summary = report.summary();
+        assert!(summary.contains("unknown benchmark \"no-such-benchmark\""));
+        assert!(summary.contains("1 config error(s)"));
     }
 
     #[test]

@@ -991,7 +991,7 @@ pub fn wave_1d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
         .map(|(i, _)| i as f64)
         .unwrap();
     let mut d = (peak - want).abs();
-    d = d.min(p.nx as f64 - d);
+    d = dpf_core::nan_min(d, p.nx as f64 - d);
     RunOutput {
         problem: format!("nx={}, steps={} (fused)", p.nx, p.steps),
         verify: dpf_core::Verify::check("wave-1D optimized pulse", d, 2.0),

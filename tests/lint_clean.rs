@@ -1,0 +1,31 @@
+//! Tier-1 gate: the shipped tree is clean under the project's own
+//! static-analysis pass (`crates/dpf-lint`). Any NaN-unsafe fold, raw
+//! clock read, hot-path allocation, broken `try_*` twin, unmetered
+//! transport send, drifted §1.5 FLOP weight, or unexcused `unsafe`
+//! anywhere in `crates/*/src` fails this test with the offending
+//! `file:line` in the message — same contract as the CI lint job, but
+//! enforced by `cargo test` alone.
+
+use std::path::Path;
+
+#[test]
+fn live_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = dpf_lint::lint_tree(root).expect("walk crates/*/src");
+    assert!(
+        diags.is_empty(),
+        "dpf-lint findings in the live tree (run `cargo run -p dpf-lint` for details):\n{}",
+        dpf_lint::render_text(&diags)
+    );
+}
+
+#[test]
+fn live_tree_json_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let first = dpf_lint::render_json(&dpf_lint::lint_tree(root).unwrap());
+    let second = dpf_lint::render_json(&dpf_lint::lint_tree(root).unwrap());
+    assert_eq!(
+        first, second,
+        "`dpf lint --format json` must be byte-stable"
+    );
+}
