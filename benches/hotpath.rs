@@ -17,8 +17,8 @@
 //! per-op seed/new throughput ratios.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpf_array::{unflatten, DistArray, PAR};
-use dpf_comm::{cshift, gather};
+use dpf_array::{unflatten, DistArray, Expr, MAX_RANK, PAR};
+use dpf_comm::{cshift, fuse, gather, star_stencil, stencil_into, StencilBoundary, StencilPoint};
 use dpf_core::{Ctx, Machine};
 use rayon::prelude::*;
 
@@ -263,12 +263,130 @@ fn bench_gather(c: &mut Criterion) {
     g.finish();
 }
 
+// ------------------------------------------------------- star_stencil --
+
+/// Seed stencil host loop: per-element multi-index decode and per-point
+/// wrap handling for *every* element, transcribed from the pre-split
+/// `stencil_into` host branch (boundary and interior took the same path).
+fn seed_star_stencil(a: &DistArray<f64>, points: &[StencilPoint<f64>], out: &mut [f64]) {
+    let shape = a.shape();
+    let rank = shape.len();
+    let strides = a.layout().strides().to_vec();
+    let src = a.as_slice();
+    let apply = |flat: usize, slot: &mut f64| {
+        let mut idx = [0usize; MAX_RANK];
+        let mut rem = flat;
+        for d in (0..rank).rev() {
+            idx[d] = rem % shape[d];
+            rem /= shape[d];
+        }
+        let mut acc = 0.0;
+        for p in points {
+            let mut off = 0usize;
+            for d in 0..rank {
+                let j = idx[d] as isize + p.offset[d];
+                let j = if j < 0 || j >= shape[d] as isize {
+                    j.rem_euclid(shape[d] as isize) as usize
+                } else {
+                    j as usize
+                };
+                off += j * strides[d];
+            }
+            acc += p.weight * src[off];
+        }
+        *slot = acc;
+    };
+    if out.len() >= dpf_array::PAR_THRESHOLD {
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(flat, slot)| apply(flat, slot));
+    } else {
+        out.iter_mut()
+            .enumerate()
+            .for_each(|(flat, slot)| apply(flat, slot));
+    }
+}
+
+fn bench_star_stencil(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("star_stencil");
+    let points = star_stencil(2, -4.0, 1.0);
+    for &n in &SIZES {
+        let s = side(n);
+        let a = DistArray::<f64>::from_fn(&ctx, &[s, s], &[PAR, PAR], |i| (i[0] * s + i[1]) as f64);
+        let mut out = DistArray::<f64>::zeros(&ctx, &[s, s], &[PAR, PAR]);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| {
+                stencil_into(&ctx, &a, &points, StencilBoundary::Cyclic, &mut out);
+                black_box(out.as_slice()[n / 2])
+            })
+        });
+        let mut raw = vec![0.0f64; n];
+        g.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                seed_star_stencil(&a, &points, &mut raw);
+                black_box(raw[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
+// --------------------------------------------------------- fused_diff1 --
+
+/// Seed 1-D diffusion step: the pre-fusion eager composition — two
+/// whole-array CSHIFT temporaries plus three full elementwise passes,
+/// each materializing a pooled intermediate.
+fn seed_diff1(ctx: &Ctx, u: &DistArray<f64>, k: f64, out: &mut DistArray<f64>) {
+    let up = cshift(ctx, u, 0, 1);
+    let um = cshift(ctx, u, 0, -1);
+    let sum = up.zip_map(ctx, 1, &um, |a, b| a + b);
+    let lap = sum.zip_map(ctx, 2, u, |s, x| s - 2.0 * x);
+    u.zip_map_into(ctx, 2, &lap, out, move |x, l| x + k * l);
+    up.recycle(ctx);
+    um.recycle(ctx);
+    sum.recycle(ctx);
+    lap.recycle(ctx);
+}
+
+fn bench_fused_diff1(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fused_diff1");
+    let k = 0.1;
+    for &n in &SIZES {
+        let u = DistArray::<f64>::from_fn(&ctx, &[n], &[PAR], |i| (i[0] % 101) as f64 * 0.01);
+        let mut out = DistArray::<f64>::zeros(&ctx, &[n], &[PAR]);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| {
+                let e = Expr::leaf(&u)
+                    .shift(0, 1)
+                    .zip(Expr::leaf(&u).shift(0, -1), 1, |a, b| a + b)
+                    .zip(Expr::leaf(&u), 2, |s, x| s - 2.0 * x)
+                    .zip(Expr::leaf(&u), 2, move |l, x| x + k * l);
+                fuse::eval_into(&ctx, &e, &mut out);
+                black_box(out.as_slice()[n / 2])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                seed_diff1(&ctx, &u, k, &mut out);
+                black_box(out.as_slice()[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     hotpath,
     bench_map,
     bench_cshift,
     bench_permute,
     bench_indexed_fill,
-    bench_gather
+    bench_gather,
+    bench_star_stencil,
+    bench_fused_diff1
 );
 criterion_main!(hotpath);

@@ -13,7 +13,8 @@
 //! per-particle forces (3 Reductions), and sends the updated positions
 //! back to the home arrays (3 sends).
 
-use dpf_array::{DistArray, PAR};
+use dpf_array::{DistArray, Expr, PAR};
+use dpf_comm::fuse;
 use dpf_core::checkpoint::{drive, Checkpoint, Step};
 use dpf_core::{nan_max, CommPattern, Ctx, DpfError, RecoveryStats, Verify};
 
@@ -138,7 +139,6 @@ pub fn kinetic(st: &State) -> f64 {
 }
 
 /// One force evaluation: 6 SPREADs, the pair matrix, 3 Reductions.
-#[allow(clippy::needless_range_loop)] // i/j couple several arrays per axis
 pub fn forces(ctx: &Ctx, p: &Params, st: &State) -> [DistArray<f64>; 3] {
     let n = st.pos[0].len();
     // The spread pair per coordinate realizes an all-to-all broadcast —
@@ -157,40 +157,33 @@ pub fn forces(ctx: &Ctx, p: &Params, st: &State) -> [DistArray<f64>; 3] {
         })
         .collect();
     ctx.add_flops(51 * (n as u64) * (n as u64));
-    let mut out = [
-        DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
-        DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
-        DistArray::<f64>::zeros(ctx, &[n], &[PAR]),
-    ];
     // Pairwise matrix and row reduction, fused for memory economy but
     // recorded as the 3 matrix Reductions of Table 6.
     for _ in 0..3 {
         ctx.record_comm(CommPattern::Reduction, 2, 1, (n * n) as u64, 0);
     }
-    ctx.busy(|| {
-        let xs: Vec<&[f64]> = st.pos.iter().map(|a| a.as_slice()).collect();
-        for i in 0..n {
-            let mut acc = [0.0f64; 3];
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let dx = [
-                    spreads[0].get(&[i, j]) - xs[0][i],
-                    spreads[1].get(&[i, j]) - xs[1][i],
-                    spreads[2].get(&[i, j]) - xs[2][i],
-                ];
-                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
-                let f = lj_fac(r2, p.epsilon, p.sigma);
-                for d in 0..3 {
-                    acc[d] -= f * dx[d];
-                }
-            }
-            for d in 0..3 {
-                out[d].as_mut_slice()[i] = acc[d];
-            }
-        }
+    // Deferred pair matrix: dx_d[i][j] = x_d[j] − x_d[i], the spread row
+    // against the home vector broadcast along the rows. The LJ factor
+    // matrix materializes once (no records, FLOPs charged above), then
+    // one fused row-fold per axis accumulates the forces without ever
+    // materializing a dx or contribution matrix.
+    let dx =
+        |d: usize| Expr::leaf(&spreads[d]).zip(Expr::leaf(&st.pos[d]).bcast(1, n), 0, |s, x| s - x);
+    let sq = |d: usize| dx(d).map(0, |v| v * v);
+    let r2 = sq(0)
+        .zip(sq(1), 0, |a, b| a + b)
+        .zip(sq(2), 0, |a, b| a + b);
+    let (eps, sigma) = (p.epsilon, p.sigma);
+    let fmat = fuse::eval(ctx, &r2.map(0, move |v| lj_fac(v, eps, sigma)));
+    // The diagonal pair (i,i) contributes lj_fac(0)·(±0.0) — a bitwise
+    // no-op on the accumulator — so no self-term mask is needed and the
+    // result matches the eager loop's explicit `i == j` skip exactly.
+    let out = [0, 1, 2].map(|d| {
+        let contrib = Expr::leaf(&fmat).zip(dx(d), 0, |f, v| f * v);
+        let acc = fuse::fold_rows(ctx, &contrib, 0.0, |a, v| a - v);
+        DistArray::from_vec(ctx, &[n], &[PAR], acc)
     });
+    fmat.recycle(ctx);
     out
 }
 

@@ -11,8 +11,8 @@
 //! (the two FFTs) tracks the energy spectrum exactly as the paper's code
 //! couples grid and Fourier space each iteration.
 
-use dpf_array::{DistArray, PAR};
-use dpf_comm::cshift;
+use dpf_array::{DistArray, Expr, PAR};
+use dpf_comm::fuse;
 use dpf_core::checkpoint::{drive, Checkpoint, Step};
 use dpf_core::{nan_max, nan_min, CommPattern, Ctx, DpfError, RecoveryStats, Verify, C64};
 use dpf_fft::{fft_axis_as, Direction};
@@ -89,31 +89,34 @@ pub fn step(ctx: &Ctx, p: &Params, st: &mut State) {
                                      // the assembled flux shifted back — with the three state moves of the
                                      // leapfrog rotation that is the paper's 12 per iteration (we record
                                      // the 6 genuine ones; EXPERIMENTS.md notes the difference).
-    let u_p = cshift(ctx, &st.now, 0, 1);
-    let u_m = cshift(ctx, &st.now, 0, -1);
-    let c_p = cshift(ctx, &st.c2, 0, 1);
-    let c_m = cshift(ctx, &st.c2, 0, -1);
-    // c² at the half points by averaging: 2 more shifts are avoided by
-    // reusing c_p/c_m; the flux difference:
-    let chp = st.c2.zip_map(ctx, 2, &c_p, |a, b| 0.5 * (a + b));
-    let chm = st.c2.zip_map(ctx, 2, &c_m, |a, b| 0.5 * (a + b));
-    let flux_p = chp.zip_map(
-        ctx,
-        2,
-        &u_p.zip_map(ctx, 1, &st.now, |a, b| a - b),
-        |c, d| c * d,
-    );
-    let flux_m = chm.zip_map(
-        ctx,
-        2,
-        &st.now.zip_map(ctx, 1, &u_m, |a, b| a - b),
-        |c, d| c * d,
-    );
-    let lap = flux_p.zip_map(ctx, 1, &flux_m, |a, b| a - b);
-    let next = st
-        .now
-        .zip_map(ctx, 2, &st.prev, |u, up| 2.0 * u - up)
-        .zip_map(ctx, 2, &lap, move |v, l| v + dt2 * l);
+                                     // The whole flux assembly is one deferred expression: four shift
+                                     // offsets plus the elementwise chain fuse into a single sweep with
+                                     // no intermediate arrays, while the four Cshift records and the
+                                     // 15n FLOP charge replay exactly as the eager chain made them.
+    let next = {
+        let u = Expr::leaf(&st.now);
+        let c2 = Expr::leaf(&st.c2);
+        // c² at the half points by averaging; the flux difference:
+        let chp = c2
+            .clone()
+            .zip(c2.clone().shift(0, 1), 2, |a, b| 0.5 * (a + b));
+        let chm = c2.clone().zip(c2.shift(0, -1), 2, |a, b| 0.5 * (a + b));
+        let flux_p = chp.zip(
+            u.clone().shift(0, 1).zip(u.clone(), 1, |a, b| a - b),
+            2,
+            |c, d| c * d,
+        );
+        let flux_m = chm.zip(
+            u.clone().zip(u.clone().shift(0, -1), 1, |a, b| a - b),
+            2,
+            |c, d| c * d,
+        );
+        let lap = flux_p.zip(flux_m, 1, |a, b| a - b);
+        let e = u
+            .zip(Expr::leaf(&st.prev), 2, |u, up| 2.0 * u - up)
+            .zip(lap, 2, move |v, l| v + dt2 * l);
+        fuse::eval(ctx, &e)
+    };
     st.prev = std::mem::replace(&mut st.now, next);
     // Spectral diagnostic: forward FFT, total spectral energy, (the
     // second FFT of the paper's pair returns the filtered field — here
@@ -269,6 +272,7 @@ pub fn run_checkpointed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpf_comm::cshift;
     use dpf_core::Machine;
 
     fn ctx() -> Ctx {

@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod expr;
 pub mod layout;
 pub mod mask;
 pub mod section;
 
 pub use array::{unflatten, DistArray, MAX_RANK, PAR_THRESHOLD};
+pub use expr::Expr;
 pub use layout::{AxisKind, IndexIter, Layout, PAR, SER};
 pub use mask::{all, any, count, merge};
 pub use section::Triplet;

@@ -70,7 +70,10 @@ fn validate_count_to_1d(src_layout: &Layout, dst_layout: &Layout, idx: &[i32], l
         }
         off
     };
-    if idx.len() >= PAR_THRESHOLD {
+    // The rayon dispatch only pays off with real worker parallelism; on a
+    // single-core host the chunked reduce made gather@4M ~0.94x of the
+    // seed loop (BENCH_1), so fall back to the serial sweep there.
+    if idx.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
         idx.par_chunks(ROUTE_CHUNK)
             .enumerate()
             .map(|(c, chunk)| count_chunk(c * ROUTE_CHUNK, chunk))
@@ -282,7 +285,7 @@ fn gather_as<T: Elem>(
                 }
                 off
             };
-            if out.len() >= PAR_THRESHOLD {
+            if out.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
                 out.as_mut_slice()
                     .par_chunks_mut(ROUTE_CHUNK)
                     .zip(idx.as_slice().par_chunks(ROUTE_CHUNK))
@@ -400,7 +403,7 @@ pub fn gather_nd<T: Elem>(
                 }
                 off
             };
-            if out.len() >= PAR_THRESHOLD {
+            if out.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
                 out.as_mut_slice()
                     .par_chunks_mut(ROUTE_CHUNK)
                     .enumerate()
@@ -688,7 +691,7 @@ pub fn scatter_nd_combine<T: Num + PartialOrd>(
             off
         };
         let n = src.len();
-        if n >= PAR_THRESHOLD {
+        if n >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
             let chunks = n.div_ceil(ROUTE_CHUNK);
             (0..chunks)
                 .into_par_iter()

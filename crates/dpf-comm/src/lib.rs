@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fuse;
 pub mod gather;
 pub mod reduce;
 pub mod scan;

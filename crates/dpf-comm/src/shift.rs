@@ -67,7 +67,10 @@ pub fn eoshift_into<T: Elem>(
     ctx.faults.inject_slice("eoshift", out.as_mut_slice());
 }
 
-fn record_shift<T: Elem>(
+/// Record the analytic Cshift/Eoshift event for a shift of `a` — shared
+/// with the fusing evaluator (`crate::fuse`), which must replay the exact
+/// eager record for each deferred shift node.
+pub(crate) fn record_shift<T: Elem>(
     ctx: &Ctx,
     a: &DistArray<T>,
     axis: usize,
@@ -84,7 +87,7 @@ fn record_shift<T: Elem>(
     );
 }
 
-enum Boundary<T> {
+pub(crate) enum Boundary<T> {
     Cyclic,
     Fill(T),
 }
@@ -103,7 +106,7 @@ fn shifted<T: Elem>(
     out
 }
 
-fn shifted_into<T: Elem>(
+pub(crate) fn shifted_into<T: Elem>(
     ctx: &Ctx,
     a: &DistArray<T>,
     axis: usize,
@@ -180,7 +183,10 @@ fn shifted_into<T: Elem>(
                 }
             }
         };
-        if dst.len() >= PAR_THRESHOLD {
+        // Splitting lanes across rayon only pays when there is more than
+        // one worker thread; on a single-core host the parallel dispatch
+        // overhead made cshift@65K ~0.74x of the seed loop (BENCH_1).
+        if dst.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
             dst.par_chunks_mut(inner.max(1))
                 .enumerate()
                 .for_each(|(row, d)| copy_lane(row, d));

@@ -10,8 +10,8 @@
 //! EXPERIMENTS.md), two inner products and one convergence reduction,
 //! and three AXPY updates — `5n + 4n + 6n = 15n` FLOPs.
 
-use dpf_array::{DistArray, PAR};
-use dpf_comm::{cshift, dot, max_all};
+use dpf_array::{DistArray, Expr, PAR};
+use dpf_comm::{dot, fuse, max_all};
 use dpf_core::checkpoint::{drive, Checkpoint, Step};
 use dpf_core::{Ctx, DpfError, RecoveryStats, Verify};
 
@@ -42,14 +42,23 @@ pub struct CgResult {
 
 /// Tridiagonal matrix–vector product `A·v` (2 CSHIFTs, 5n FLOPs).
 fn apply(ctx: &Ctx, sys: &CgSystem, v: &DistArray<f64>) -> DistArray<f64> {
-    let up = cshift(ctx, v, 0, 1); // v[i+1]
-    let down = cshift(ctx, v, 0, -1); // v[i-1]
-                                      // q = l*down + d*v + u*up : 3 muls + 2 adds per element.
-    let dv = sys.diag.zip_map(ctx, 1, v, |d, x| d * x);
-    let lu = sys.lower.zip_map(ctx, 1, &down, |l, x| l * x);
-    let uu = sys.upper.zip_map(ctx, 1, &up, |u, x| u * x);
-    let s = dv.zip_map(ctx, 1, &lu, |a, b| a + b);
-    s.zip_map(ctx, 1, &uu, |a, b| a + b)
+    // q = l*down + d*v + u*up : 3 muls + 2 adds per element, built as a
+    // deferred expression so the whole matvec runs as one fused sweep
+    // with zero intermediate arrays (and the same two Cshift records
+    // and FLOP charges the eager chain made).
+    let q = Expr::leaf(&sys.diag)
+        .zip(Expr::leaf(v), 1, |d, x| d * x)
+        .zip(
+            Expr::leaf(&sys.lower).zip(Expr::leaf(v).shift(0, -1), 1, |l, x| l * x),
+            1,
+            |a, b| a + b,
+        )
+        .zip(
+            Expr::leaf(&sys.upper).zip(Expr::leaf(v).shift(0, 1), 1, |u, x| u * x),
+            1,
+            |a, b| a + b,
+        );
+    fuse::eval(ctx, &q)
 }
 
 /// Solve to `tol` (residual max-norm) or `max_iter`.

@@ -7,6 +7,7 @@
 //! | `nan-unsafe-fold`  | error   | verify/reduction folds must use `dpf_core::nan_max`/`nan_min` (IEEE `max` drops NaN) |
 //! | `untimed-clock`    | warning | `Instant::now()` only in the sanctioned metrics/harness modules (§1.5 busy/elapsed stays centralized) |
 //! | `hot-path-alloc`   | warning | no `Vec::new`/`vec![`/`.collect()`/`.to_vec()` inside `*_into`/`*_exec` hot paths (PR 1 buffer-reuse discipline) |
+//! | `hot-path-clone`   | warning | no `.clone()` of a `DistArray` parameter inside `*_into`/`*_exec` hot paths (a clone is a whole-block copy) |
 //! | `try-parity`       | error   | every `try_*` primitive keeps its exported panicking twin, and the known comm/linalg pairs stay complete |
 //! | `metered-send`     | error   | raw channel sends in `spmd.rs` only inside the LinkMeter/envelope path (`Router::send` → `transmit`/`send_ctl`) |
 //! | `flop-conventions` | error   | the §1.5 FLOP-weight constants match the paper's table (add/mul 1, div/sqrt 4, log/trig 8) |
@@ -42,6 +43,11 @@ pub const FILE_RULES: &[Rule] = &[
         id: "hot-path-alloc",
         summary: "no allocation inside *_into / *_exec hot paths",
         check: hot_path_alloc,
+    },
+    Rule {
+        id: "hot-path-clone",
+        summary: "no DistArray clones inside *_into / *_exec hot paths",
+        check: hot_path_clone,
     },
     Rule {
         id: "try-parity",
@@ -267,6 +273,107 @@ fn hot_path_alloc(f: &SourceFile) -> Vec<Diagnostic> {
         {
             flag(i, ".to_vec()");
         }
+    }
+    out
+}
+
+// ------------------------------------------------------- hot-path-clone
+
+/// `DistArray`-typed parameter names per `*_into`/`*_exec` fn in the
+/// file. Heuristic: inside the fn's parenthesized parameter list, an
+/// `ident :` at top nesting level (not the `::` of a path) starts a
+/// parameter whose type region runs to the next top-level parameter or
+/// the closing paren; the parameter counts if `DistArray` appears
+/// anywhere in that region.
+fn hot_fn_distarray_params(f: &SourceFile) -> BTreeMap<String, Vec<String>> {
+    let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for i in 0..f.tokens.len() {
+        if !ident(f.tokens.get(i), "fn") {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = f.tokens.get(i + 1).map(|t| &t.tok) else {
+            continue;
+        };
+        if !(name.ends_with("_into") || name.ends_with("_exec")) {
+            continue;
+        }
+        // Skip any generic parameter list between the name and `(`.
+        let mut j = i + 2;
+        while j < f.tokens.len() && !punct(f.tokens.get(j), '(') {
+            if punct(f.tokens.get(j), '{') {
+                break;
+            }
+            j += 1;
+        }
+        if !punct(f.tokens.get(j), '(') {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut k = j + 1;
+        let mut current: Option<String> = None;
+        while k < f.tokens.len() && depth > 0 {
+            if punct(f.tokens.get(k), '(') {
+                depth += 1;
+            } else if punct(f.tokens.get(k), ')') {
+                depth -= 1;
+            } else if depth == 1 {
+                if let Some(Tok::Ident(p)) = f.tokens.get(k).map(|t| &t.tok) {
+                    if punct(f.tokens.get(k + 1), ':') && !punct(f.tokens.get(k + 2), ':') {
+                        current = Some(p.clone());
+                    } else if p == "DistArray" {
+                        if let Some(cur) = &current {
+                            map.entry(name.clone()).or_default().push(cur.clone());
+                        }
+                    }
+                }
+            }
+            k += 1;
+        }
+    }
+    map
+}
+
+fn hot_path_clone(f: &SourceFile) -> Vec<Diagnostic> {
+    let params = hot_fn_distarray_params(f);
+    if params.is_empty() {
+        return Vec::new();
+    }
+    let protocol = worker_closure_spans(f);
+    let mut out = Vec::new();
+    for i in 0..f.tokens.len() {
+        let Some(Tok::Ident(var)) = f.tokens.get(i).map(|t| &t.tok) else {
+            continue;
+        };
+        // `var.clone(` — a chained receiver like `x.layout().clone()`
+        // never matches (the token before `.clone` is `)`), so cheap
+        // clones of metadata stay legal.
+        if !(punct(f.tokens.get(i + 1), '.')
+            && ident(f.tokens.get(i + 2), "clone")
+            && punct(f.tokens.get(i + 3), '('))
+        {
+            continue;
+        }
+        let Some(span) = f.fn_at(i) else { continue };
+        if !(span.name.ends_with("_into") || span.name.ends_with("_exec")) {
+            continue;
+        }
+        if protocol.iter().any(|&(a, b)| i >= a && i < b) {
+            continue;
+        }
+        let Some(ps) = params.get(&span.name) else {
+            continue;
+        };
+        if !ps.iter().any(|p| p == var) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &f.path,
+            f.tokens[i].line,
+            "hot-path-clone",
+            Severity::Warning,
+            format!("`{var}.clone()` copies a whole DistArray inside a zero-allocation hot path"),
+            "borrow the input, or reuse a pooled buffer via DistArray::scratch".into(),
+        ));
     }
     out
 }
@@ -601,6 +708,34 @@ pub fn map(xs: &[f64]) -> Vec<f64> { xs.to_vec() }
         let hits = rules_hit(src, "a.rs");
         assert!(hits.contains(&("hot-path-alloc", 2)), "{hits:?}");
         assert_eq!(hits.iter().filter(|h| h.0 == "hot-path-alloc").count(), 1);
+    }
+
+    #[test]
+    fn hot_path_clone_flags_distarray_param_clones() {
+        let src = "
+pub fn fuse_into(ctx: &Ctx, a: &DistArray<f64>, out: &mut DistArray<f64>) {
+    let staging = a.clone();
+    let lay = out.layout().clone();
+}
+pub fn build(a: &DistArray<f64>) -> DistArray<f64> { a.clone() }
+";
+        let hits = rules_hit(src, "a.rs");
+        // The DistArray parameter clone in the hot path is flagged...
+        assert!(hits.contains(&("hot-path-clone", 3)), "{hits:?}");
+        // ...but the metadata clone and the non-hot fn are not.
+        assert_eq!(hits.iter().filter(|h| h.0 == "hot-path-clone").count(), 1);
+    }
+
+    #[test]
+    fn hot_path_clone_ignores_non_distarray_params() {
+        let src = "
+pub fn scale_into(plan: &Plan, out: &mut DistArray<f64>) {
+    let p = plan.clone();
+}
+";
+        assert!(!rules_hit(src, "a.rs")
+            .iter()
+            .any(|h| h.0 == "hot-path-clone"));
     }
 
     #[test]

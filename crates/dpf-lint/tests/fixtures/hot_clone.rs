@@ -1,0 +1,12 @@
+// Known-bad: cloning a DistArray argument inside an `_into` hot path —
+// a whole-block copy exactly where the buffer-reuse discipline forbids
+// allocation. The metadata clone through an accessor stays legal.
+
+pub fn scale_into(ctx: &Ctx, a: &DistArray<f64>, out: &mut DistArray<f64>) {
+    let staging = a.clone();
+    let lay = out.layout().clone();
+    for (o, s) in out.as_mut_slice().iter_mut().zip(staging.as_slice()) {
+        *o = 2.0 * s;
+    }
+    let _ = (ctx, lay);
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Advisory benchmark regression gate.
+
+Compares two snapshots produced by ``scripts/bench_snapshot.sh`` and
+fails if any benchmark shared by both got slower than the tolerance
+allows. The comparison is ``new``-variant median time per (op, elements)
+pair: ``ratio = baseline_median / candidate_median`` (>1 means the
+candidate is faster). A pair only present in one snapshot is reported
+but never gates — new benchmarks must be able to land alongside the
+code they measure.
+
+Usage:
+    scripts/bench_gate.py <baseline.json> <candidate.json> [--tolerance 0.95]
+
+Exit status: 0 if every common pair has ratio >= tolerance, 1 otherwise.
+Intended as an *advisory* CI job (continue-on-error): microbenchmarks on
+shared runners are noisy, so a failure is a prompt to look, not a veto.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    out = {}
+    for b in snap.get("benches", []):
+        if "new" in b:
+            out[(b["op"], b["elements"])] = b["new"]["median_ns"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.95,
+        help="minimum allowed baseline/candidate median-time ratio "
+        "(default 0.95, i.e. up to a 5%% slowdown passes)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("bench-gate: no common (op, elements) pairs — nothing to compare")
+        return 1
+
+    width = max(len(f"{op}@{elems}") for op, elems in common)
+    failures = []
+    print(f"bench-gate: {args.baseline} -> {args.candidate} (tolerance {args.tolerance})")
+    for op, elems in common:
+        ratio = base[(op, elems)] / cand[(op, elems)]
+        status = "ok" if ratio >= args.tolerance else "SLOWER"
+        if status != "ok":
+            failures.append((op, elems, ratio))
+        name = f"{op}@{elems}"
+        print(
+            f"  {name:<{width}}  base {base[(op, elems)] / 1e6:10.3f} ms"
+            f"  cand {cand[(op, elems)] / 1e6:10.3f} ms"
+            f"  ratio {ratio:6.3f}  {status}"
+        )
+    for key in sorted(set(cand) - set(base)):
+        print(f"  {key[0]}@{key[1]}: new benchmark, not gated")
+    for key in sorted(set(base) - set(cand)):
+        print(f"  {key[0]}@{key[1]}: dropped from candidate, not gated")
+
+    if failures:
+        print(
+            f"bench-gate: {len(failures)} pair(s) slower than "
+            f"{args.tolerance}x baseline: "
+            + ", ".join(f"{op}@{e} ({r:.3f})" for op, e, r in failures)
+        )
+        return 1
+    print(f"bench-gate: all {len(common)} common pairs within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,210 @@
+#![recursion_limit = "512"]
+//! Fused-vs-eager equivalence: evaluating a deferred [`Expr`] graph with
+//! the fusing evaluator must be *bit-identical* to running the same
+//! chain through the eager API — both the results and the recorded §1.5
+//! metrics (communication-event maps and FLOP counts) — over random
+//! shapes, machine sizes and shift amounts, on both the Virtual and the
+//! SPMD backend.
+
+use dpf::array::{AxisKind, DistArray, Expr, PAR, SER};
+use dpf::comm::{cshift, eoshift, fuse};
+use dpf::core::{Backend, Ctx, Machine};
+use proptest::prelude::*;
+
+fn ctx(p: usize, backend: Backend) -> Ctx {
+    Ctx::with_backend(Machine::cm5(p), backend)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Assert the fused context saw exactly the eager context's metrics.
+fn assert_metrics_equal(ec: &Ctx, fc: &Ctx) {
+    assert_eq!(
+        ec.instr.comm_snapshot(),
+        fc.instr.comm_snapshot(),
+        "fused evaluation changed the recorded communication events"
+    );
+    assert_eq!(
+        ec.instr.flops(),
+        fc.instr.flops(),
+        "fused evaluation changed the recorded FLOP count"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // 1-D chain: two shifts (cyclic + end-off) feeding an elementwise
+    // chain, swept over sizes, machine sizes and both backends.
+    #[test]
+    fn fused_1d_chain_matches_eager(
+        n in 1usize..300,
+        p in 1usize..9,
+        s1 in -10isize..10,
+        s2 in -10isize..10,
+        spmd in 0usize..2,
+    ) {
+        let backend = if spmd == 1 { Backend::Spmd } else { Backend::Virtual };
+        let ec = ctx(p, backend);
+        let fc = ctx(p, backend);
+        let mk = |c: &Ctx| DistArray::<f64>::from_fn(c, &[n], &[PAR], |i| (i[0] as f64).sin() + 0.25);
+        let ae = mk(&ec);
+        let af = mk(&fc);
+
+        let t1 = cshift(&ec, &ae, 0, s1);
+        let t2 = ae.zip_map(&ec, 1, &t1, |x, y| x * y + 0.5);
+        let t3 = eoshift(&ec, &ae, 0, s2, -1.0);
+        let t4 = t2.zip_map(&ec, 2, &t3, |x, y| x - 2.0 * y);
+        let eager = t4.map(&ec, 1, f64::abs);
+
+        let e = Expr::leaf(&af)
+            .zip(Expr::leaf(&af).shift(0, s1), 1, |x, y| x * y + 0.5)
+            .zip(Expr::leaf(&af).eoshift(0, s2, -1.0), 2, |x, y| x - 2.0 * y)
+            .map(1, f64::abs);
+        let fused = fuse::eval(&fc, &e);
+
+        prop_assert_eq!(bits(&eager.to_vec()), bits(&fused.to_vec()));
+        assert_metrics_equal(&ec, &fc);
+        if backend == Backend::Virtual {
+            prop_assert_eq!(fc.link.messages(), 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // 2-D chain with shifts along both axes and a mixed serial/parallel
+    // layout — exercises the strided (non-contiguous) shift-on-read path.
+    #[test]
+    fn fused_2d_chain_matches_eager(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        p in 1usize..9,
+        s0 in -5isize..5,
+        s1 in -5isize..5,
+        serial_inner in 0usize..2,
+        spmd in 0usize..2,
+    ) {
+        let backend = if spmd == 1 { Backend::Spmd } else { Backend::Virtual };
+        let axes: [AxisKind; 2] = if serial_inner == 1 { [PAR, SER] } else { [PAR, PAR] };
+        let ec = ctx(p, backend);
+        let fc = ctx(p, backend);
+        let mk = |c: &Ctx| {
+            DistArray::<f64>::from_fn(c, &[rows, cols], &axes, |i| (i[0] * cols + i[1]) as f64 * 0.75)
+        };
+        let ae = mk(&ec);
+        let af = mk(&fc);
+
+        let t1 = cshift(&ec, &ae, 0, s0);
+        let t2 = cshift(&ec, &ae, 1, s1);
+        let t3 = t1.zip_map(&ec, 2, &t2, |a, b| 0.5 * (a + b));
+        let eager = t3.zip_map(&ec, 1, &ae, |m, x| m - x);
+
+        let e = Expr::leaf(&af)
+            .shift(0, s0)
+            .zip(Expr::leaf(&af).shift(1, s1), 2, |a, b| 0.5 * (a + b))
+            .zip(Expr::leaf(&af), 1, |m, x| m - x);
+        let fused = fuse::eval(&fc, &e);
+
+        prop_assert_eq!(bits(&eager.to_vec()), bits(&fused.to_vec()));
+        assert_metrics_equal(&ec, &fc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Broadcast + row fold against a direct reference computation, with
+    // the FLOP charge exactly `Σ node_flops · node_len`.
+    #[test]
+    fn fused_bcast_fold_matches_reference(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        p in 1usize..9,
+    ) {
+        let c = ctx(p, Backend::Virtual);
+        let m = DistArray::<f64>::from_fn(&c, &[rows, cols], &[PAR, PAR], |i| {
+            (i[0] * cols + i[1]) as f64 * 0.5 - 1.0
+        });
+        let v = DistArray::<f64>::from_fn(&c, &[rows], &[PAR], |i| i[0] as f64 + 0.25);
+        let e = Expr::leaf(&m).zip(Expr::leaf(&v).bcast(1, cols), 1, |a, b| a - b);
+        let acc = fuse::fold_rows(&c, &e, 0.0, |a, x| a + x);
+
+        let mv = m.to_vec();
+        let vv = v.to_vec();
+        let mut want = vec![0.0f64; rows];
+        for i in 0..rows {
+            for j in 0..cols {
+                want[i] += mv[i * cols + j] - vv[i];
+            }
+        }
+        prop_assert_eq!(bits(&acc), bits(&want));
+        prop_assert_eq!(c.instr.flops(), (rows * cols) as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Shift of a compound subexpression (forcing materialization into a
+    // pooled buffer) still matches the eager composition bit for bit.
+    #[test]
+    fn fused_shift_of_compound_matches_eager(
+        n in 1usize..200,
+        p in 1usize..9,
+        s in -6isize..6,
+        spmd in 0usize..2,
+    ) {
+        let backend = if spmd == 1 { Backend::Spmd } else { Backend::Virtual };
+        let ec = ctx(p, backend);
+        let fc = ctx(p, backend);
+        let mk = |c: &Ctx| DistArray::<f64>::from_fn(c, &[n], &[PAR], |i| (i[0] as f64).cos());
+        let ae = mk(&ec);
+        let af = mk(&fc);
+
+        let sq = ae.map(&ec, 1, |x| x * x);
+        let sh = cshift(&ec, &sq, 0, s);
+        let eager = sh.zip_map(&ec, 1, &ae, |a, b| a + b);
+
+        let e = Expr::leaf(&af)
+            .map(1, |x| x * x)
+            .shift(0, s)
+            .zip(Expr::leaf(&af), 1, |a, b| a + b);
+        let fused = fuse::eval(&fc, &e);
+
+        prop_assert_eq!(bits(&eager.to_vec()), bits(&fused.to_vec()));
+        assert_metrics_equal(&ec, &fc);
+    }
+}
+
+/// Above `PAR_THRESHOLD` the fused sweep may split across rayon workers;
+/// results (and metrics) must not depend on which path ran.
+#[test]
+fn fused_parallel_path_matches_eager() {
+    let ec = ctx(4, Backend::Virtual);
+    let fc = ctx(4, Backend::Virtual);
+    let n = 40_000usize;
+    let mk = |c: &Ctx| DistArray::<f64>::from_fn(c, &[n], &[PAR], |i| (i[0] % 97) as f64 * 0.125);
+    let ae = mk(&ec);
+    let af = mk(&fc);
+
+    let t1 = cshift(&ec, &ae, 0, 1);
+    let t2 = cshift(&ec, &ae, 0, -1);
+    let lap = t1
+        .zip_map(&ec, 2, &t2, |a, b| a + b)
+        .zip_map(&ec, 2, &ae, |s, u| s - 2.0 * u);
+    let eager = lap.map(&ec, 1, |x| 0.25 * x);
+
+    let e = Expr::leaf(&af)
+        .shift(0, 1)
+        .zip(Expr::leaf(&af).shift(0, -1), 2, |a, b| a + b)
+        .zip(Expr::leaf(&af), 2, |s, u| s - 2.0 * u)
+        .map(1, |x| 0.25 * x);
+    let fused = fuse::eval(&fc, &e);
+
+    assert_eq!(bits(&eager.to_vec()), bits(&fused.to_vec()));
+    assert_metrics_equal(&ec, &fc);
+}
