@@ -5,6 +5,7 @@
 //! dpf run <name> [options]          # run one benchmark, print the §1.5 report
 //! dpf all [options]                 # run the whole suite, print a summary line each
 //! dpf table <1..8|perf|eff|model>   # regenerate a paper table
+//! dpf soak [options]                # seeded chaos sweeps: kills + faults
 //! dpf lint [--format text|json] [--deny warnings]
 //!                                   # run the project lint rules over crates/*/src
 //!
@@ -24,19 +25,26 @@
 //!                                transport (drop/duplicate/reorder/corrupt)
 //!   --max-retransmits N          retransmissions allowed per frame before a
 //!                                typed LinkFailure (default 6; 0 disables repair)
-//!   --kill-worker R:C            kill SPMD worker R at collective C to
-//!                                exercise supervision + checkpoint recovery
+//!   --kill-worker R:C            kill SPMD worker R at collective C
+//!                                (repeatable: a schedule of kills)
+//!   --recover in-run|restart|off what a worker death does: heal inside the
+//!                                run via buddy-replica respawn (in-run),
+//!                                restart the benchmark from the harness
+//!                                (restart, default), or fail hard (off)
 //!   --timeout-secs N             wall-clock budget per attempt (default 300)
 //!   --retries N                  retry budget after a failed attempt
 //!   --checkpoint-every N         snapshot iterative kernels every N steps
 //!   --quarantine a,b             skip the named benchmarks (dpf all)
+//!   --format text|json           suite/soak report format (dpf all, dpf soak)
+//!   --iterations N               full-registry sweeps per soak (dpf soak)
+//!   --kill-rate RATE             per-benchmark kill probability (dpf soak)
 //! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dpf_core::{Backend, FaultPlan, Machine};
-use dpf_suite::{find, registry, tables, Size, SuiteConfig, Version};
+use dpf_core::{Backend, FaultPlan, Machine, RecoverMode};
+use dpf_suite::{find, registry, tables, Size, SoakConfig, SuiteConfig, Version};
 
 struct Options {
     size: Size,
@@ -47,11 +55,15 @@ struct Options {
     fault_seed: u64,
     link_faults: f64,
     max_retransmits: Option<u32>,
-    kill_worker: Option<(usize, u64)>,
+    kill_workers: Vec<(usize, u64)>,
+    recover: Option<RecoverMode>,
     timeout_secs: u64,
     retries: u32,
     checkpoint_every: usize,
     quarantine: Vec<String>,
+    format_json: bool,
+    iterations: u32,
+    kill_rate: f64,
 }
 
 impl Default for Options {
@@ -65,11 +77,15 @@ impl Default for Options {
             fault_seed: 0,
             link_faults: 0.0,
             max_retransmits: None,
-            kill_worker: None,
+            kill_workers: Vec::new(),
+            recover: None,
             timeout_secs: 300,
             retries: 0,
             checkpoint_every: 0,
             quarantine: Vec::new(),
+            format_json: false,
+            iterations: 1,
+            kill_rate: 0.0,
         }
     }
 }
@@ -82,7 +98,8 @@ impl Options {
         if let Some(budget) = self.max_retransmits {
             plan.max_retransmits = budget;
         }
-        plan.kill_worker = self.kill_worker;
+        plan.kill_workers = self.kill_workers.clone();
+        plan.recover = self.recover.unwrap_or_default();
         plan
     }
 
@@ -162,14 +179,41 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--kill-worker" => {
-                o.kill_worker = it
+                // Repeatable: each occurrence appends one scheduled kill.
+                let kill = it
                     .next()
                     .and_then(|s| {
                         let (rank, collective) = s.split_once(':')?;
                         Some((rank.parse().ok()?, collective.parse().ok()?))
                     })
-                    .ok_or("bad --kill-worker (want RANK:COLLECTIVE)")
-                    .map(Some)?;
+                    .ok_or("bad --kill-worker (want RANK:COLLECTIVE)")?;
+                o.kill_workers.push(kill);
+            }
+            "--recover" => {
+                o.recover = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --recover (want in-run|restart|off)")?,
+                );
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => o.format_json = true,
+                Some("text") => o.format_json = false,
+                other => return Err(format!("bad --format {other:?} (want text|json)")),
+            },
+            "--iterations" => {
+                o.iterations = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("bad --iterations (want a positive count)")?;
+            }
+            "--kill-rate" => {
+                o.kill_rate = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("bad --kill-rate (want a rate in 0..=1)")?;
             }
             "--timeout-secs" => {
                 o.timeout_secs = it
@@ -203,12 +247,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dpf <list|run <name>|all|table <1-8|perf|eff|model>|lint> \
+        "usage: dpf <list|run <name>|all|soak|table <1-8|perf|eff|model>|lint> \
          [--size small|medium|large] [--version v] [--procs N] \
          [--backend virtual|spmd] [--faults RATE] [--fault-seed N] \
-         [--link-faults RATE] [--max-retransmits N] [--kill-worker R:C] \
-         [--timeout-secs N] [--retries N] [--checkpoint-every N] \
-         [--quarantine a,b]\n\
+         [--link-faults RATE] [--max-retransmits N] [--kill-worker R:C]... \
+         [--recover in-run|restart|off] [--timeout-secs N] [--retries N] \
+         [--checkpoint-every N] [--quarantine a,b] [--format text|json]\n\
+         \x20      dpf soak [--iterations N] [--kill-rate RATE] [common options]\n\
          \x20      dpf lint [--format text|json] [--deny warnings] [--root PATH]"
     );
     ExitCode::from(2)
@@ -338,13 +383,44 @@ fn main() -> ExitCode {
             };
             let cfg = opts.suite_config();
             let report = dpf_suite::run_suite(&cfg);
-            print!("{}", report.summary());
+            if opts.format_json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.summary());
+            }
             // Runtime failures (exit 1) dominate config errors (exit 2):
             // a broken benchmark is the stronger signal.
             if report.failures() > 0 {
                 ExitCode::FAILURE
             } else if report.config_errors() > 0 {
                 ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "soak" => {
+            let mut opts = match parse_options(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            // Chaos soaks exist to exercise in-run healing; unless the
+            // user explicitly picked a recover mode, arm it.
+            if opts.recover.is_none() {
+                opts.recover = Some(RecoverMode::InRun);
+            }
+            let soak_cfg = SoakConfig {
+                base: opts.suite_config(),
+                iterations: opts.iterations,
+                kill_rate: opts.kill_rate,
+                seed: opts.fault_seed,
+            };
+            let report = dpf_suite::run_soak(&soak_cfg);
+            print!("{}", report.summary());
+            if report.failures() > 0 {
+                ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
             }

@@ -46,7 +46,7 @@
 // dpf-lint: allow-file(hot-path-alloc, reason = "per-collective O(p) view setup and owned message payloads are the SPMD protocol, not per-element hot-path traffic")
 
 use dpf_array::Layout;
-use dpf_core::{Ctx, Elem, Router};
+use dpf_core::{Ctx, Elem, Router, ShardState};
 
 /// A worker's read-only view of its blocks of one array: the flat
 /// segments it owns, ascending.
@@ -98,6 +98,35 @@ impl<T: Copy> SegsMut<'_, T> {
     pub(crate) fn fill(&mut self, v: T) {
         for piece in &mut self.pieces {
             piece.1.fill(v);
+        }
+    }
+}
+
+// In-run recovery snapshots (`--recover in-run`): a worker's shard state
+// is whatever it owns *and may mutate* during the collective. Read-only
+// source views never change, so they serialize to nothing; mutable views
+// capture their owned elements bit-exactly in segment order. Segment
+// starts and lengths are structural (fixed by the layout, identical
+// across attempts of an epoch) and are not serialized.
+impl<T> ShardState for Segs<'_, T> {
+    fn capture(&self, _out: &mut Vec<u8>) {}
+    fn restore(&mut self, _cursor: &mut &[u8]) {}
+}
+
+impl<T: Elem> ShardState for SegsMut<'_, T> {
+    fn capture(&self, out: &mut Vec<u8>) {
+        for piece in &self.pieces {
+            for v in piece.1.iter() {
+                v.put_le(out);
+            }
+        }
+    }
+    fn restore(&mut self, cursor: &mut &[u8]) {
+        for piece in self.pieces.iter_mut() {
+            for v in piece.1.iter_mut() {
+                *v = T::get_le(cursor);
+                *cursor = &cursor[T::WIRE_BYTES..];
+            }
         }
     }
 }
@@ -177,7 +206,7 @@ pub(crate) fn pull_exec<T: Elem>(
         p,
         ctx.transport(),
         work,
-        |_rank, (src, mut out), router: &mut Router<'_, PullMsg<T>>| {
+        |_rank, (src, out), router: &mut Router<'_, PullMsg<T>>| {
             let p = router.nprocs();
             let mut reqs: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
             let mut places: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
@@ -233,7 +262,7 @@ pub(crate) fn broadcast_scalar_exec<T: Elem>(
         p,
         ctx.transport(),
         work,
-        move |rank, mut segs, router: &mut Router<'_, T>| {
+        move |rank, segs, router: &mut Router<'_, T>| {
             if rank == 0 {
                 for (q, &owns) in has.iter().enumerate() {
                     if owns {
@@ -274,7 +303,7 @@ pub(crate) fn route_exec<T: Elem>(
         p,
         ctx.transport(),
         work,
-        |_rank, (src, mut dst), router: &mut Router<'_, Vec<(usize, usize, T)>>| {
+        |_rank, (src, dst), router: &mut Router<'_, Vec<(usize, usize, T)>>| {
             let p = router.nprocs();
             let mut outgoing: Vec<Vec<(usize, usize, T)>> = (0..p).map(|_| Vec::new()).collect();
             for (start, len) in src.ranges() {
@@ -331,7 +360,7 @@ pub(crate) fn fold_exec<T: Elem, A: Send + Sync + Clone>(
         work,
         |_rank, (segs, my), router: &mut Router<'_, A>| {
             let mut last = None;
-            for j in my {
+            for &j in my.iter() {
                 let (s, l, _) = table[j];
                 let mut state = if j == 0 {
                     init.clone()
@@ -404,7 +433,7 @@ pub(crate) fn axis_exec<T: Elem, A: Send + Sync + Clone>(
         p,
         ctx.transport(),
         work,
-        move |wrank, mut out, router: &mut Router<'_, Vec<A>>| {
+        move |wrank, out, router: &mut Router<'_, Vec<A>>| {
             let mut finals: Vec<(usize, A)> = Vec::new();
             if wrank >= grid {
                 return finals; // idle virtual processor for this layout

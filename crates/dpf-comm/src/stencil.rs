@@ -145,7 +145,7 @@ pub fn stencil_into<T: Num>(
                 p,
                 ctx.transport(),
                 work,
-                |wrank, (src, mut dst), router: &mut Router<'_, PullMsg<T>>| {
+                |wrank, (src, dst), router: &mut Router<'_, PullMsg<T>>| {
                     // Source flat a point reads for an output flat; None
                     // means the fixed boundary value (no communication).
                     let src_off = |flat: usize, pt: &StencilPoint<T>| -> Option<usize> {

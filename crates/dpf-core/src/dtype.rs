@@ -115,6 +115,11 @@ pub trait Elem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'st
     /// The DPF type descriptor for this element.
     const DTYPE: DType;
 
+    /// Bytes of the *host* representation serialized by
+    /// [`Elem::put_le`]/[`Elem::get_le`] (Rust sizes, e.g. 1 for `bool`
+    /// — not the paper's ledger sizes in [`DType::size`]).
+    const WIRE_BYTES: usize;
+
     /// The value after NaN-poisoning (or the closest analogue the type
     /// can express).
     fn poisoned(self) -> Self;
@@ -126,10 +131,21 @@ pub trait Elem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'st
     /// floating point; always true where corruption is representable as
     /// a legal value).
     fn is_sound(self) -> bool;
+
+    /// Append the value's little-endian bytes (exactly
+    /// [`Elem::WIRE_BYTES`] of them) to `out`. Bit-exact round-trip with
+    /// [`Elem::get_le`] — NaN payloads and signed zeros survive — so
+    /// replica snapshots rehydrate to the identical value.
+    fn put_le(self, out: &mut Vec<u8>);
+
+    /// Read one value back from the first [`Elem::WIRE_BYTES`] bytes of
+    /// `bytes` (the inverse of [`Elem::put_le`]).
+    fn get_le(bytes: &[u8]) -> Self;
 }
 
 impl Elem for i32 {
     const DTYPE: DType = DType::I32;
+    const WIRE_BYTES: usize = 4;
     fn poisoned(self) -> Self {
         i32::MIN
     }
@@ -139,9 +155,16 @@ impl Elem for i32 {
     fn is_sound(self) -> bool {
         self != i32::MIN
     }
+    fn put_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn get_le(bytes: &[u8]) -> Self {
+        i32::from_le_bytes(bytes[..4].try_into().unwrap())
+    }
 }
 impl Elem for bool {
     const DTYPE: DType = DType::Bool;
+    const WIRE_BYTES: usize = 1;
     fn poisoned(self) -> Self {
         !self
     }
@@ -151,9 +174,16 @@ impl Elem for bool {
     fn is_sound(self) -> bool {
         true
     }
+    fn put_le(self, out: &mut Vec<u8>) {
+        out.push(self as u8);
+    }
+    fn get_le(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
 }
 impl Elem for f32 {
     const DTYPE: DType = DType::F32;
+    const WIRE_BYTES: usize = 4;
     fn poisoned(self) -> Self {
         f32::NAN
     }
@@ -163,9 +193,16 @@ impl Elem for f32 {
     fn is_sound(self) -> bool {
         self.is_finite()
     }
+    fn put_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn get_le(bytes: &[u8]) -> Self {
+        f32::from_bits(u32::from_le_bytes(bytes[..4].try_into().unwrap()))
+    }
 }
 impl Elem for f64 {
     const DTYPE: DType = DType::F64;
+    const WIRE_BYTES: usize = 8;
     fn poisoned(self) -> Self {
         f64::NAN
     }
@@ -175,9 +212,16 @@ impl Elem for f64 {
     fn is_sound(self) -> bool {
         self.is_finite()
     }
+    fn put_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn get_le(bytes: &[u8]) -> Self {
+        f64::from_bits(u64::from_le_bytes(bytes[..8].try_into().unwrap()))
+    }
 }
 impl Elem for C32 {
     const DTYPE: DType = DType::C32;
+    const WIRE_BYTES: usize = 8;
     fn poisoned(self) -> Self {
         C32 {
             re: f32::NAN,
@@ -193,9 +237,20 @@ impl Elem for C32 {
     fn is_sound(self) -> bool {
         self.re.is_finite() && self.im.is_finite()
     }
+    fn put_le(self, out: &mut Vec<u8>) {
+        self.re.put_le(out);
+        self.im.put_le(out);
+    }
+    fn get_le(bytes: &[u8]) -> Self {
+        C32 {
+            re: f32::get_le(&bytes[..4]),
+            im: f32::get_le(&bytes[4..8]),
+        }
+    }
 }
 impl Elem for C64 {
     const DTYPE: DType = DType::C64;
+    const WIRE_BYTES: usize = 16;
     fn poisoned(self) -> Self {
         C64 {
             re: f64::NAN,
@@ -210,6 +265,16 @@ impl Elem for C64 {
     }
     fn is_sound(self) -> bool {
         self.re.is_finite() && self.im.is_finite()
+    }
+    fn put_le(self, out: &mut Vec<u8>) {
+        self.re.put_le(out);
+        self.im.put_le(out);
+    }
+    fn get_le(bytes: &[u8]) -> Self {
+        C64 {
+            re: f64::get_le(&bytes[..8]),
+            im: f64::get_le(&bytes[8..16]),
+        }
     }
 }
 
@@ -261,6 +326,32 @@ mod tests {
         let z = C64 { re: 1.0, im: 2.0 };
         assert!(z.is_sound());
         assert!(!z.poisoned().is_sound());
+    }
+
+    #[test]
+    fn wire_round_trip_is_bit_exact() {
+        fn rt<T: Elem>(v: T) {
+            let mut buf = Vec::new();
+            v.put_le(&mut buf);
+            assert_eq!(buf.len(), T::WIRE_BYTES);
+            assert_eq!(T::get_le(&buf), v);
+        }
+        rt(-7i32);
+        rt(true);
+        rt(false);
+        rt(-0.0f32);
+        rt(1.5e-39f32);
+        rt(-0.0f64);
+        rt(f64::MIN_POSITIVE / 8.0);
+        rt(C32 { re: 0.5, im: -2.0 });
+        rt(C64 {
+            re: 1.0e300,
+            im: -3.5,
+        });
+        // NaN payloads must survive byte-for-byte even though NaN != NaN.
+        let mut buf = Vec::new();
+        f64::from_bits(0x7FF8_0000_0000_1234).put_le(&mut buf);
+        assert_eq!(f64::get_le(&buf).to_bits(), 0x7FF8_0000_0000_1234);
     }
 
     #[test]

@@ -129,6 +129,15 @@ pub enum DpfError {
         /// generation, pending sequence numbers, heartbeat ages).
         detail: String,
     },
+    /// A respawned worker's buddy replica failed its CRC check during
+    /// in-run recovery; the run falls back to harness-level restart
+    /// rather than rehydrating from corrupt bytes.
+    ReplicaCorrupt {
+        /// The rank whose state could not be rehydrated.
+        worker: usize,
+        /// The epoch (collective) whose replica was corrupt.
+        epoch: u64,
+    },
     /// The run was misconfigured before any benchmark code executed
     /// (unknown benchmark in a quarantine list, missing variant, bad
     /// flag combination). Config errors are *not* runtime failures:
@@ -196,6 +205,11 @@ impl std::fmt::Display for DpfError {
             DpfError::Deadlock { worker, detail } => {
                 write!(f, "spmd deadlock diagnosed by worker {worker}:\n{detail}")
             }
+            DpfError::ReplicaCorrupt { worker, epoch } => write!(
+                f,
+                "replica corrupt: worker {worker} cannot be rehydrated at epoch {epoch} \
+                 (buddy snapshot failed its CRC check)"
+            ),
             DpfError::Config { what } => {
                 write!(f, "configuration error: {what}")
             }
@@ -283,6 +297,48 @@ impl std::fmt::Display for LinkFaultKind {
     }
 }
 
+/// What the SPMD executor does when a worker dies mid-run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoverMode {
+    /// Heal inside the run: park surviving peers at a recovery barrier,
+    /// respawn the dead rank, rehydrate its shard from the buddy replica,
+    /// rewind everyone to the last consistent epoch and resume.
+    InRun,
+    /// Propagate the death as [`DpfError::WorkerDied`] and let the
+    /// harness retry the whole benchmark (the historical behavior, and
+    /// still the fallback when in-run healing cannot proceed).
+    #[default]
+    Restart,
+    /// Propagate the death and do not retry at all: a killed worker
+    /// fails the row.
+    Off,
+}
+
+impl std::str::FromStr for RecoverMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "in-run" => Ok(RecoverMode::InRun),
+            "restart" => Ok(RecoverMode::Restart),
+            "off" => Ok(RecoverMode::Off),
+            other => Err(format!(
+                "unknown recover mode '{other}' (expected in-run, restart or off)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RecoverMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoverMode::InRun => "in-run",
+            RecoverMode::Restart => "restart",
+            RecoverMode::Off => "off",
+        })
+    }
+}
+
 /// A seeded, deterministic description of the faults to inject.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -308,10 +364,18 @@ pub struct FaultPlan {
     /// message before declaring [`DpfError::LinkFailure`]. Zero disables
     /// repair entirely: the first drop/corrupt fails the run.
     pub max_retransmits: u32,
-    /// Deterministic worker-death injection: `(rank, collective)` panics
-    /// worker `rank` at the start of the `collective`-th SPMD collective
-    /// of the run (collectives are counted per context).
-    pub kill_worker: Option<(usize, u64)>,
+    /// Deterministic worker-death schedule: each `(rank, collective)`
+    /// entry panics worker `rank` at the start of the `collective`-th
+    /// SPMD collective of the run (collectives are counted per context).
+    /// Multiple entries kill multiple workers across epochs.
+    pub kill_workers: Vec<(usize, u64)>,
+    /// What the SPMD executor does when a worker dies (see
+    /// [`RecoverMode`]); defaults to harness-level restart.
+    pub recover: RecoverMode,
+    /// Chaos knob: corrupt every buddy-replica checksum so in-run
+    /// rehydration is forced onto its corrupt-replica fallback path
+    /// (typed [`DpfError::ReplicaCorrupt`] → harness restart).
+    pub replica_corrupt: bool,
 }
 
 impl Default for FaultPlan {
@@ -325,7 +389,9 @@ impl Default for FaultPlan {
             link_rate: 0.0,
             link_kinds: LinkFaultKind::ALL.to_vec(),
             max_retransmits: 6,
-            kill_worker: None,
+            kill_workers: Vec::new(),
+            recover: RecoverMode::default(),
+            replica_corrupt: false,
         }
     }
 }
@@ -376,10 +442,23 @@ impl FaultPlan {
         self
     }
 
-    /// Kill worker `rank` at the start of the `collective`-th SPMD
-    /// collective of the run.
+    /// Schedule worker `rank` to die at the start of the `collective`-th
+    /// SPMD collective of the run. Callable repeatedly: each call appends
+    /// one entry to the kill schedule.
     pub fn with_kill_worker(mut self, rank: usize, collective: u64) -> Self {
-        self.kill_worker = Some((rank, collective));
+        self.kill_workers.push((rank, collective));
+        self
+    }
+
+    /// Set the worker-death recovery mode.
+    pub fn with_recover(mut self, mode: RecoverMode) -> Self {
+        self.recover = mode;
+        self
+    }
+
+    /// Corrupt every buddy-replica checksum (targeted fallback tests).
+    pub fn with_replica_corrupt(mut self) -> Self {
+        self.replica_corrupt = true;
         self
     }
 
@@ -398,7 +477,7 @@ impl FaultPlan {
     /// True when any kind of injection — buffer faults, link faults, or a
     /// worker kill — is armed.
     pub fn any_active(&self) -> bool {
-        self.is_active() || self.link_active() || self.kill_worker.is_some()
+        self.is_active() || self.link_active() || !self.kill_workers.is_empty()
     }
 
     /// Disable every injection source, leaving seeds and budgets in place
@@ -406,7 +485,8 @@ impl FaultPlan {
     pub fn disarm(&mut self) {
         self.rate = 0.0;
         self.link_rate = 0.0;
-        self.kill_worker = None;
+        self.kill_workers.clear();
+        self.replica_corrupt = false;
     }
 }
 

@@ -38,6 +38,7 @@ pub use ctx::Ctx;
 pub use dtype::{DType, Elem};
 pub use fault::{
     derive_seed, DpfError, FaultInjector, FaultKind, FaultPlan, FaultRecord, LinkFaultKind,
+    RecoverMode,
 };
 pub use instr::{CommKey, CommPattern, CommStats, Instr, LocalAccess, PhaseReport};
 pub use machine::Machine;
@@ -46,6 +47,6 @@ pub use pool::BufferPool;
 pub use report::{BenchReport, PerfSummary};
 pub use spmd::{
     install_quiet_panic_hook, run_workers, set_quiet_panics, Backend, LinkMeter, Router,
-    SpmdBarrier, Transport, TransportCfg,
+    ShardState, SpmdBarrier, Transport, TransportCfg,
 };
 pub use verify::{nan_max, nan_min, Verify};

@@ -61,6 +61,42 @@
 //! detection over it, and panics with a typed [`DpfError::Deadlock`]. A
 //! hard per-wait timeout ([`TransportCfg::hard_timeout`]) remains as the
 //! backstop of last resort.
+//!
+//! # In-run self-healing (`--recover in-run`)
+//!
+//! Under [`RecoverMode::InRun`] a worker death no longer aborts the
+//! collective. Every collective is one *epoch*: at epoch entry — before
+//! any communication — each worker serializes its mutable shard (the
+//! [`ShardState`] of its work item) and pushes the snapshot, epoch-tagged
+//! and CRC'd, to its buddy rank (`rank+1 mod p`) as recovery traffic.
+//! Because the snapshot is taken before the first send of the epoch, the
+//! set of p snapshots is a globally consistent cut by construction.
+//!
+//! When a worker dies (an injected `--kill-worker` entry or a non-typed
+//! body panic), its driver registers a heal request instead of a hard
+//! death; [`Router::check_deaths`] then parks every surviving worker at a
+//! three-phase recovery rendezvous rather than panicking it:
+//!
+//! 1. **Quiesce** — all p drivers (the victim is represented by a freshly
+//!    respawned thread) arrive at the recovery barrier, so every doomed
+//!    in-flight frame is already sitting in some receiver's channel.
+//! 2. **Rewind** — each driver drains its own channel (keeping replica
+//!    frames, discarding doomed data/ack/nack traffic), resets its
+//!    sequence/reassembly state, and restores its shard from the local
+//!    epoch snapshot; rank 0 rolls the logical §1.5 meters back to the
+//!    epoch mark and resets the collective barrier.
+//! 3. **Rehydrate** — buddies forward the victims' replicas; each victim
+//!    verifies the CRC (a mismatch is a typed
+//!    [`DpfError::ReplicaCorrupt`] that falls back to harness restart)
+//!    and restores its shard from the replica bytes.
+//!
+//! Then every worker re-runs the epoch body from the start. Sequence
+//! numbers restart from zero, so the deterministic link-fault decisions
+//! re-roll identically and the healed run's results *and* logical §1.5
+//! meters are byte-identical to a clean run's. All recovery traffic
+//! (replica pushes, rehydration forwards, respawns, rewound epochs) is
+//! metered on dedicated [`LinkMeter`] counters, never on the logical
+//! messages/bytes the paper's model counts.
 
 // The transport legitimately reads the wall clock: retransmission
 // timers (RTO backoff), heartbeat stall detection and hard-timeout
@@ -80,7 +116,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex as PlMutex;
 
-use crate::fault::{splitmix64, DpfError, FaultPlan, LinkFaultKind};
+use crate::fault::{splitmix64, DpfError, FaultPlan, LinkFaultKind, RecoverMode};
 
 /// Backstop timeout for a single blocking receive or barrier wait; stall
 /// detection normally diagnoses a deadlock long before this fires.
@@ -100,6 +136,12 @@ const SERVICE_SLICE: Duration = Duration::from_millis(25);
 const SEND_SERVICE_EVERY: u32 = 64;
 /// XOR mask applied to a frame's checksum to simulate payload corruption.
 const CRC_MANGLE: u32 = 0xA5A5_5A5A;
+/// Poll slice while parked at the recovery rendezvous or in commit-wait.
+const HEAL_SLICE: Duration = Duration::from_millis(2);
+/// Default per-collective respawn budget under in-run recovery; a rank
+/// that keeps dying past this budget hard-fails the collective so the
+/// harness-level restart path takes over.
+const DEFAULT_MAX_RESPAWNS: u32 = 8;
 
 /// Which execution engine runs the communication primitives.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -175,6 +217,12 @@ pub struct LinkMeter {
     duplicates_discarded: AtomicU64,
     crc_rejects: AtomicU64,
     collectives: AtomicU64,
+    replicas_pushed: AtomicU64,
+    replica_bytes: AtomicU64,
+    rehydrations: AtomicU64,
+    rehydrate_bytes: AtomicU64,
+    respawns: AtomicU64,
+    epochs_rewound: AtomicU64,
 }
 
 impl LinkMeter {
@@ -310,6 +358,67 @@ impl LinkMeter {
     fn begin_collective(&self) -> u64 {
         self.collectives.fetch_add(1, Ordering::Relaxed)
     }
+
+    #[inline]
+    fn note_replica_push(&self, bytes: u64) {
+        self.replicas_pushed.fetch_add(1, Ordering::Relaxed);
+        self.replica_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_rehydration(&self, bytes: u64) {
+        self.rehydrations.fetch_add(1, Ordering::Relaxed);
+        self.rehydrate_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn note_epoch_rewound(&self) {
+        self.epochs_rewound.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Roll the logical counters back to an epoch mark. Only called by
+    /// rank 0's driver during a recovery rewind, while every other driver
+    /// is parked at the recovery barrier (so no concurrent `record`).
+    fn rollback_logical(&self, mark: (u64, u64)) {
+        self.messages.store(mark.0, Ordering::Relaxed);
+        self.payload_bytes.store(mark.1, Ordering::Relaxed);
+    }
+
+    /// Epoch-start shard snapshots pushed to buddy ranks (recovery
+    /// traffic — never counted as logical §1.5 messages).
+    pub fn replicas_pushed(&self) -> u64 {
+        self.replicas_pushed.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of epoch-start shard snapshots pushed to buddy ranks.
+    pub fn replica_bytes(&self) -> u64 {
+        self.replica_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Replica forwards performed to rehydrate respawned workers.
+    pub fn rehydrations(&self) -> u64 {
+        self.rehydrations.load(Ordering::Relaxed)
+    }
+
+    /// Bytes forwarded to rehydrate respawned workers.
+    pub fn rehydrate_bytes(&self) -> u64 {
+        self.rehydrate_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads respawned in-run after a death.
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Recovery rounds that rewound an epoch to its consistent snapshot.
+    pub fn epochs_rewound(&self) -> u64 {
+        self.epochs_rewound.load(Ordering::Relaxed)
+    }
 }
 
 /// Transport configuration for one SPMD context: link-fault model, retry
@@ -340,9 +449,19 @@ pub struct TransportCfg {
     /// Max out-of-order frames buffered per peer awaiting reassembly
     /// before the receiver raises [`DpfError::LinkBackpressure`].
     pub reassembly_cap: usize,
-    /// Kill worker `rank` at the start of collective `index` (0-based),
-    /// exercising supervision and checkpoint/restart recovery.
-    pub kill_worker: Option<(usize, u64)>,
+    /// Kill schedule: each `(rank, collective)` entry kills worker `rank`
+    /// at the start of collective `collective` (0-based), exercising
+    /// supervision and — under [`RecoverMode::InRun`] — in-run healing.
+    pub kill_workers: Vec<(usize, u64)>,
+    /// What a worker death does to the collective (heal in-run, abort for
+    /// harness restart, or abort without retry).
+    pub recover: RecoverMode,
+    /// Respawns allowed per worker per collective under in-run recovery
+    /// before the death hard-fails the collective.
+    pub max_respawns: u32,
+    /// Test-only chaos knob: mangle the CRC of every pushed shard replica
+    /// so rehydration is forced onto the corrupt-replica fallback path.
+    pub replica_corrupt: bool,
 }
 
 impl Default for TransportCfg {
@@ -357,7 +476,10 @@ impl Default for TransportCfg {
             hard_timeout: DEFAULT_HARD_TIMEOUT,
             pending_cap: 1 << 16,
             reassembly_cap: 4096,
-            kill_worker: None,
+            kill_workers: Vec::new(),
+            recover: RecoverMode::default(),
+            max_respawns: DEFAULT_MAX_RESPAWNS,
+            replica_corrupt: false,
         }
     }
 }
@@ -370,7 +492,9 @@ impl TransportCfg {
             link_seed: plan.seed,
             link_kinds: plan.link_kinds.clone(),
             max_retransmits: plan.max_retransmits,
-            kill_worker: plan.kill_worker,
+            kill_workers: plan.kill_workers.clone(),
+            recover: plan.recover,
+            replica_corrupt: plan.replica_corrupt,
             ..TransportCfg::default()
         }
     }
@@ -501,8 +625,32 @@ struct Envelope<M> {
 /// as logical messages and are never themselves subjected to link faults.
 enum Frame<M> {
     Data(Envelope<M>),
-    Ack { upto: u64 },
-    Nack { seq: u64 },
+    Ack {
+        upto: u64,
+    },
+    Nack {
+        seq: u64,
+    },
+    /// A shard snapshot on the recovery channel: the epoch-start replica a
+    /// worker pushes to its buddy, and the same bytes forwarded back to a
+    /// respawned victim during rehydration. Metered on the recovery
+    /// counters only, never as a logical message, and never subjected to
+    /// link faults (recovery must not depend on the wire under test).
+    Replica {
+        epoch: u64,
+        owner: usize,
+        crc: u32,
+        data: Vec<u8>,
+    },
+}
+
+/// A buddy-held shard snapshot, keyed by owner rank in the receiver's
+/// replica store.
+#[derive(Clone)]
+struct ReplicaEntry {
+    epoch: u64,
+    crc: u32,
+    data: Vec<u8>,
 }
 
 /// Sender-side retransmission state for one in-flight frame.
@@ -585,10 +733,26 @@ struct Supervision {
     heartbeats: Vec<AtomicU64>,
     waits: Vec<PlMutex<Option<WaitState>>>,
     diagnosed: AtomicBool,
+    /// In-run healing engaged for this collective (`--recover in-run`
+    /// with more than one worker).
+    heal_armed: bool,
+    /// Victims registered for the current recovery round and not yet
+    /// rehydrated; nonzero turns every blocking operation's death check
+    /// into a park-at-the-recovery-barrier instead of a hard abort.
+    heal_pending: AtomicUsize,
+    /// Ranks awaiting respawn+rehydration in the current round.
+    heal_victims: PlMutex<Vec<usize>>,
+    /// Drivers that completed the epoch body in the current attempt; the
+    /// epoch commits — finally — once all `n` have (no victim can appear
+    /// after that, since a victim never completes the body).
+    heal_committed: AtomicUsize,
+    /// The three-phase recovery rendezvous barrier (quiesce → rewind →
+    /// rehydrate), reused across rounds.
+    heal_bar: SpmdBarrier,
 }
 
 impl Supervision {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, heal_armed: bool) -> Self {
         Supervision {
             start: Instant::now(),
             progress: AtomicU64::new(0),
@@ -599,6 +763,11 @@ impl Supervision {
             heartbeats: (0..n).map(|_| AtomicU64::new(0)).collect(),
             waits: (0..n).map(|_| PlMutex::new(None)).collect(),
             diagnosed: AtomicBool::new(false),
+            heal_armed,
+            heal_pending: AtomicUsize::new(0),
+            heal_victims: PlMutex::new(Vec::new()),
+            heal_committed: AtomicUsize::new(0),
+            heal_bar: SpmdBarrier::new(n),
         }
     }
 
@@ -633,7 +802,27 @@ impl Supervision {
         self.dead.fetch_add(1, Ordering::AcqRel);
         self.bump();
     }
+
+    /// Register a healable death: the rank joins the current recovery
+    /// round's victim set instead of the hard-death registry, and blocked
+    /// peers park at the recovery barrier instead of aborting.
+    fn record_heal(&self, rank: usize) {
+        self.heal_victims.lock().push(rank);
+        self.heal_pending.fetch_add(1, Ordering::AcqRel);
+        self.bump();
+    }
+
+    /// First hard death on record, if any.
+    fn first_dead(&self) -> Option<usize> {
+        self.deaths.lock().first().map(|&(rank, _)| rank)
+    }
 }
+
+/// Panic payload used to unwind a surviving worker out of its collective
+/// body and into the recovery rendezvous when a peer's death is healable.
+/// Never escapes [`run_workers`]: the driver catches it and re-enters the
+/// epoch loop after the rewind.
+struct HealRewind;
 
 /// Snapshot of the progress counter used by blocking loops to decide when
 /// the system has stalled.
@@ -713,6 +902,17 @@ impl SpmdBarrier {
         self.state.lock().expect("spmd barrier poisoned").0
     }
 
+    /// Discard partial arrivals at the current generation (recovery
+    /// rewind: every worker re-runs the epoch body, so any arrivals from
+    /// the doomed attempt must be forgotten). The generation counter is
+    /// left alone — `arrive`/`poll` are relative to whatever generation
+    /// they observe, so rewound workers synchronize correctly from any
+    /// starting generation. Only called while every worker is parked at
+    /// the recovery barrier.
+    fn reset_arrivals(&self) {
+        self.state.lock().expect("spmd barrier poisoned").0 = 0;
+    }
+
     /// Block until all `n` workers have arrived at this generation.
     pub fn wait(&self) {
         let Some(gen) = self.arrive() else { return };
@@ -750,6 +950,10 @@ pub struct Router<'a, M> {
     cfg: &'a TransportCfg,
     barrier: &'a SpmdBarrier,
     sup: &'a Supervision,
+    /// Buddy-held shard snapshots keyed by owner rank. Survives recovery
+    /// rewinds (it is the recovery state) and dies with the Router at the
+    /// end of the collective.
+    replica_store: Vec<Option<ReplicaEntry>>,
 }
 
 impl<M: Send + Clone> Router<'_, M> {
@@ -955,20 +1159,24 @@ impl<M: Send + Clone> Router<'_, M> {
         *self.sup.waits[self.rank].lock() = None;
     }
 
-    /// Abort with a typed [`DpfError::WorkerDied`] if any peer has died;
-    /// called from every blocking loop so a dead worker releases the
-    /// collective instead of hanging it.
+    /// Release this worker from its blocking loop when a peer has died:
+    /// a hard death aborts with a typed [`DpfError::WorkerDied`]; a
+    /// healable death (in-run recovery armed) unwinds with the private
+    /// [`HealRewind`] marker, which the driver catches to park this
+    /// worker at the recovery rendezvous instead of failing the run.
     fn check_deaths(&self) {
-        if self.sup.dead.load(Ordering::Acquire) == 0 {
-            return;
+        if self.sup.dead.load(Ordering::Acquire) > 0 {
+            if let Some(worker) = self.sup.first_dead() {
+                self.clear_wait();
+                std::panic::panic_any(DpfError::WorkerDied {
+                    worker,
+                    waiter: self.rank,
+                });
+            }
         }
-        let worker = self.sup.deaths.lock().first().map(|&(rank, _)| rank);
-        if let Some(worker) = worker {
+        if self.sup.heal_armed && self.sup.heal_pending.load(Ordering::Acquire) > 0 {
             self.clear_wait();
-            std::panic::panic_any(DpfError::WorkerDied {
-                worker,
-                waiter: self.rank,
-            });
+            std::panic::panic_any(HealRewind);
         }
     }
 
@@ -1122,6 +1330,14 @@ impl<M: Send + Clone> Router<'_, M> {
                 }
             }
             Frame::Nack { seq } => self.on_nack(sender, seq),
+            Frame::Replica {
+                epoch,
+                owner,
+                crc,
+                data,
+            } => {
+                self.replica_store[owner] = Some(ReplicaEntry { epoch, crc, data });
+            }
         }
     }
 
@@ -1349,6 +1565,218 @@ impl<M: Send + Clone> Router<'_, M> {
             }
         }
     }
+
+    // ---- in-run recovery (`--recover in-run`) ----------------------------
+
+    /// Put a frame on the recovery channel. Recovery traffic rides the
+    /// same lossless in-process channels as the ack/nack control plane:
+    /// it is never metered as a logical message and never subjected to
+    /// link faults. A send error means the peer's receiver is gone, which
+    /// the death paths diagnose — ignore it here.
+    fn send_recovery(&self, to: usize, frame: Frame<M>) {
+        let _ = self.txs[to].send((self.rank, frame));
+    }
+
+    /// Push this worker's epoch-start shard snapshot to its buddy rank
+    /// (`rank+1 mod p`), CRC'd and epoch-tagged, metered on the replica
+    /// counters.
+    fn push_replica(&mut self, epoch: u64, snapshot: &[u8]) {
+        let buddy = (self.rank + 1) % self.nprocs();
+        if buddy == self.rank {
+            return;
+        }
+        let mut crc = crc32(snapshot);
+        if self.cfg.replica_corrupt {
+            crc ^= CRC_MANGLE;
+        }
+        self.meter.note_replica_push(snapshot.len() as u64);
+        self.send_recovery(
+            buddy,
+            Frame::Replica {
+                epoch,
+                owner: self.rank,
+                crc,
+                data: snapshot.to_vec(),
+            },
+        );
+    }
+
+    /// Forward the buddy-held replica of `victim` back to its respawned
+    /// worker (rehydration phase), metered on the rehydrate counters.
+    fn forward_replica(&mut self, victim: usize, epoch: u64) -> Result<(), String> {
+        match self.replica_store[victim].clone() {
+            Some(entry) if entry.epoch == epoch => {
+                self.meter.note_rehydration(entry.data.len() as u64);
+                self.send_recovery(
+                    victim,
+                    Frame::Replica {
+                        epoch,
+                        owner: victim,
+                        crc: entry.crc,
+                        data: entry.data,
+                    },
+                );
+                Ok(())
+            }
+            _ => Err(format!(
+                "spmd worker {}: no epoch-{epoch} replica held for victim worker {victim}",
+                self.rank
+            )),
+        }
+    }
+
+    /// A respawned victim blocks here until its buddy's replica forward
+    /// arrives, then verifies the CRC. Only replica frames can be in
+    /// flight during the rehydration phase (every doomed data/control
+    /// frame was drained at the rewind), so anything else is dropped.
+    fn await_replica(&mut self, epoch: u64) -> Result<Vec<u8>, DpfError> {
+        let deadline = Instant::now() + self.cfg.hard_timeout;
+        loop {
+            if let Some(entry) = self.replica_store[self.rank].take() {
+                if entry.epoch == epoch {
+                    if crc32(&entry.data) != entry.crc {
+                        return Err(DpfError::ReplicaCorrupt {
+                            worker: self.rank,
+                            epoch,
+                        });
+                    }
+                    return Ok(entry.data);
+                }
+            }
+            match self.rx.recv_timeout(HEAL_SLICE) {
+                Ok((
+                    _,
+                    Frame::Replica {
+                        epoch,
+                        owner,
+                        crc,
+                        data,
+                    },
+                )) => {
+                    self.replica_store[owner] = Some(ReplicaEntry { epoch, crc, data });
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(DpfError::ReplicaCorrupt {
+                        worker: self.rank,
+                        epoch,
+                    });
+                }
+            }
+            if self.sup.dead.load(Ordering::Acquire) > 0 || Instant::now() >= deadline {
+                return Err(DpfError::ReplicaCorrupt {
+                    worker: self.rank,
+                    epoch,
+                });
+            }
+        }
+    }
+
+    /// Rewind phase: drain this worker's channel completely — keeping
+    /// replica frames, discarding the doomed attempt's data/ack/nack
+    /// traffic — and reset all per-link transport state so the re-run
+    /// starts from sequence zero on every link (which also re-rolls the
+    /// deterministic link-fault decisions identically to a clean run).
+    fn drain_for_heal(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok((
+                    _,
+                    Frame::Replica {
+                        epoch,
+                        owner,
+                        crc,
+                        data,
+                    },
+                )) => {
+                    self.replica_store[owner] = Some(ReplicaEntry { epoch, crc, data });
+                }
+                Ok(_) => {}
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let n = self.txs.len();
+        self.pending = (0..n).map(|_| VecDeque::new()).collect();
+        self.tx_links = (0..n).map(|_| TxLink::new()).collect();
+        self.rx_links = (0..n).map(|_| RxLink::new()).collect();
+        self.ops_since_service = 0;
+        self.clear_wait();
+    }
+
+    /// Park at the recovery rendezvous barrier. Returns `Err(())` when a
+    /// hard death is recorded (or the wait times out) — the round cannot
+    /// complete and the caller aborts with a typed payload.
+    fn heal_bar_wait(&mut self) -> Result<(), ()> {
+        let Some(gen) = self.sup.heal_bar.arrive() else {
+            return Ok(());
+        };
+        let deadline = Instant::now() + self.cfg.hard_timeout;
+        loop {
+            if self.sup.heal_bar.poll(gen, HEAL_SLICE) {
+                return Ok(());
+            }
+            if self.sup.dead.load(Ordering::Acquire) > 0 || Instant::now() >= deadline {
+                return Err(());
+            }
+        }
+    }
+
+    /// End-of-body wait under in-run recovery: the epoch commits only
+    /// once all workers have completed it (after which no victim can
+    /// appear, because a victim never completes the body). While waiting,
+    /// the worker keeps servicing the transport exactly like the linger
+    /// drain, so peers' final repairs still get their acks.
+    fn commit_wait(&mut self) -> CommitOutcome {
+        self.clear_wait();
+        self.flush_all_held();
+        self.sup.heal_committed.fetch_add(1, Ordering::AcqRel);
+        self.sup.bump();
+        let n = self.txs.len();
+        let deadline = Instant::now() + self.cfg.hard_timeout;
+        loop {
+            if self.sup.dead.load(Ordering::Acquire) > 0 {
+                return CommitOutcome::Aborted;
+            }
+            if self.sup.heal_pending.load(Ordering::Acquire) > 0 {
+                return CommitOutcome::Heal;
+            }
+            if self.sup.heal_committed.load(Ordering::Acquire) >= n {
+                return CommitOutcome::Committed;
+            }
+            self.service(Some(HEAL_SLICE));
+            self.run_sender_timers();
+            if Instant::now() >= deadline {
+                return CommitOutcome::Aborted;
+            }
+        }
+    }
+
+    /// The typed payload for a worker that must give up on a recovery
+    /// round: the first recorded hard death if there is one, else a
+    /// timeout diagnosis.
+    fn heal_abort_payload(&self) -> Box<dyn Any + Send> {
+        match self.sup.first_dead() {
+            Some(worker) => Box::new(DpfError::WorkerDied {
+                worker,
+                waiter: self.rank,
+            }),
+            None => Box::new(format!(
+                "spmd worker {}: recovery rendezvous timed out after {:?}",
+                self.rank, self.cfg.hard_timeout
+            )),
+        }
+    }
+}
+
+/// What [`Router::commit_wait`] resolved to.
+enum CommitOutcome {
+    /// Every worker completed the epoch body: the result is final.
+    Committed,
+    /// A victim registered while waiting: rewind and re-run the epoch.
+    Heal,
+    /// A hard death (or timeout) was recorded: abort the collective.
+    Aborted,
 }
 
 /// Walk the single-successor wait graph and return the first cycle found.
@@ -1426,6 +1854,376 @@ fn payload_str(payload: &(dyn Any + Send)) -> String {
     }
 }
 
+/// Byte-serializable worker-local shard state, the unit of in-run
+/// recovery (`--recover in-run`).
+///
+/// Every worker captures its work item's *owned element bytes* at each
+/// epoch (collective) entry and pushes them to its buddy rank; a worker
+/// respawned after a death rebuilds its work item by restoring the
+/// buddy's replica. [`ShardState::capture`] appends to `out`;
+/// [`ShardState::restore`] reads the same prefix back in place and
+/// advances the cursor, so implementations compose structurally (tuples,
+/// options, vectors).
+///
+/// Structure — `Some` vs `None`, slice lengths, piece counts — is *not*
+/// serialized: it is fixed by the data decomposition, which is identical
+/// across attempts of the same epoch, and `restore` always runs against a
+/// value of the same shape `capture` saw. Element round trips must be
+/// bit-exact (see [`crate::Elem::put_le`]): healed runs are asserted
+/// byte-identical to clean runs.
+pub trait ShardState {
+    /// Append this value's owned bytes to `out`.
+    fn capture(&self, out: &mut Vec<u8>);
+
+    /// Rebuild this value from the front of `*cursor`, advancing it past
+    /// exactly the bytes [`ShardState::capture`] wrote.
+    fn restore(&mut self, cursor: &mut &[u8]);
+}
+
+impl ShardState for () {
+    fn capture(&self, _out: &mut Vec<u8>) {}
+    fn restore(&mut self, _cursor: &mut &[u8]) {}
+}
+
+impl ShardState for usize {
+    fn capture(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+    fn restore(&mut self, cursor: &mut &[u8]) {
+        let (head, rest) = cursor.split_at(8);
+        *self = u64::from_le_bytes(head.try_into().expect("8-byte head")) as usize;
+        *cursor = rest;
+    }
+}
+
+impl<A: ShardState, B: ShardState> ShardState for (A, B) {
+    fn capture(&self, out: &mut Vec<u8>) {
+        self.0.capture(out);
+        self.1.capture(out);
+    }
+    fn restore(&mut self, cursor: &mut &[u8]) {
+        self.0.restore(cursor);
+        self.1.restore(cursor);
+    }
+}
+
+impl<T: ShardState> ShardState for Option<T> {
+    fn capture(&self, out: &mut Vec<u8>) {
+        if let Some(inner) = self {
+            inner.capture(out);
+        }
+    }
+    fn restore(&mut self, cursor: &mut &[u8]) {
+        if let Some(inner) = self {
+            inner.restore(cursor);
+        }
+    }
+}
+
+impl<T: ShardState> ShardState for Vec<T> {
+    fn capture(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.capture(out);
+        }
+    }
+    fn restore(&mut self, cursor: &mut &[u8]) {
+        for v in self.iter_mut() {
+            v.restore(cursor);
+        }
+    }
+}
+
+/// A driver's role in a recovery round.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum HealRole {
+    /// Respawned in place of a dead rank: rehydrates from the buddy's
+    /// replica in phase 3.
+    Victim,
+    /// Survivor: rewinds its own work item from its local epoch-start
+    /// snapshot in phase 2.
+    Peer,
+}
+
+/// Restore `w` from a snapshot whose bytes have been deliberately
+/// garbled. A respawned victim's work item is scrambled *before* the
+/// recovery round so that rehydration from the buddy replica is provably
+/// load-bearing — if the restore in phase 3 were skipped or wrong, the
+/// healed results could not come out byte-identical to a clean run.
+fn scramble<W: ShardState>(w: &mut W, snapshot: &[u8]) {
+    let garbled: Vec<u8> = snapshot.iter().map(|b| b ^ 0xFF).collect();
+    w.restore(&mut &garbled[..]);
+}
+
+/// The three-phase recovery rendezvous, run by every driver (peers and
+/// respawned victims alike) once a round is open:
+///
+/// 1. **Quiesce** — park at the dedicated recovery barrier. When it
+///    releases, every doomed frame of the abandoned attempt is already
+///    sitting in some receiver's channel: unbounded mpsc sends complete
+///    synchronously, and each park happens-after that driver's last send.
+/// 2. **Rewind** — drain the own channel (keeping replica frames,
+///    discarding the doomed data/control traffic), reset all per-link
+///    transport state to sequence zero, restore peers' work items from
+///    their epoch-start snapshots; rank 0 additionally rolls the logical
+///    meters back to the epoch mark, resets the collective barrier's
+///    partial arrivals and re-zeroes the commit counter.
+/// 3. **Rehydrate** — buddies forward their held replicas to the
+///    victims; each victim CRC-verifies and restores. Rank 0 closes the
+///    round (clears the victim set and pending count) before the final
+///    barrier releases everyone back into the epoch body.
+///
+/// Any hard death observed while parked aborts the round with a typed
+/// payload; the run then falls back to harness-level restart semantics.
+fn heal_round<M, W>(
+    router: &mut Router<'_, M>,
+    w: &mut W,
+    snapshot: &[u8],
+    role: HealRole,
+    epoch_mark: (u64, u64),
+    collective: u64,
+) -> Result<(), Box<dyn Any + Send>>
+where
+    M: Send + Clone,
+    W: ShardState,
+{
+    let abort = |router: &Router<'_, M>| -> Result<(), Box<dyn Any + Send>> {
+        let payload = router.heal_abort_payload();
+        router
+            .sup
+            .record_death(router.rank, payload_str(payload.as_ref()), true);
+        Err(payload)
+    };
+    // Phase 1: quiesce.
+    if router.heal_bar_wait().is_err() {
+        return abort(router);
+    }
+    // Phase 2: rewind. The victim set is read before rank 0 clears it in
+    // phase 3; every driver passes this read before arriving at the
+    // phase-2 barrier below.
+    let victims: Vec<usize> = router.sup.heal_victims.lock().clone();
+    router.drain_for_heal();
+    if role == HealRole::Peer {
+        w.restore(&mut &snapshot[..]);
+    }
+    if router.rank == 0 {
+        router.meter.rollback_logical(epoch_mark);
+        router.barrier.reset_arrivals();
+        router.sup.heal_committed.store(0, Ordering::Release);
+        router.meter.note_epoch_rewound();
+    }
+    if router.heal_bar_wait().is_err() {
+        return abort(router);
+    }
+    // Phase 3: rehydrate.
+    for &v in &victims {
+        if router.rank == (v + 1) % router.nprocs() && router.rank != v {
+            if let Err(detail) = router.forward_replica(v, collective) {
+                router.sup.record_death(router.rank, detail.clone(), true);
+                return Err(Box::new(detail));
+            }
+        }
+    }
+    if role == HealRole::Victim {
+        match router.await_replica(collective) {
+            Ok(data) => w.restore(&mut &data[..]),
+            Err(e) => {
+                router.sup.record_death(router.rank, e.to_string(), true);
+                return Err(Box::new(e));
+            }
+        }
+    }
+    if router.rank == 0 {
+        // Close the round before releasing anyone: once the final barrier
+        // opens, resumed workers consult `heal_pending` in their death
+        // checks again.
+        router.sup.heal_victims.lock().clear();
+        router.sup.heal_pending.store(0, Ordering::Release);
+    }
+    if router.heal_bar_wait().is_err() {
+        return abort(router);
+    }
+    Ok(())
+}
+
+/// Hand the dead rank's seat to a fresh thread. The dying driver's thread
+/// blocks on the join and relays the replacement's result, so the outer
+/// `run_workers` join loop still sees exactly one result per rank. The
+/// recursion back into [`drive`] is the same monomorphized instantiation,
+/// bounded by the respawn budget.
+fn respawn<M, W, R, F>(
+    w: W,
+    router: Router<'_, M>,
+    f: &F,
+    collective: u64,
+    epoch_mark: (u64, u64),
+    respawns_left: u32,
+    fired: Vec<bool>,
+) -> Result<R, Box<dyn Any + Send>>
+where
+    M: Send + Clone,
+    W: Send + ShardState,
+    R: Send,
+    F: Fn(usize, &mut W, &mut Router<'_, M>) -> R + Sync,
+{
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            drive(
+                w,
+                router,
+                f,
+                collective,
+                epoch_mark,
+                respawns_left,
+                fired,
+                true,
+            )
+        })
+        .join()
+        .unwrap_or_else(|_| {
+            Err(
+                Box::new("spmd respawned worker thread machinery panicked".to_string())
+                    as Box<dyn Any + Send>,
+            )
+        })
+    })
+}
+
+/// One worker's supervised epoch loop. Without in-run healing this is a
+/// single pass: run the body, retire, linger. With healing armed, each
+/// iteration of the loop is one *attempt* at the epoch: capture + push
+/// the shard replica, honor any scheduled kill, run the body, and either
+/// commit (all workers completed) or rewind through [`heal_round`] and
+/// try again. A healable death (injected kill or untyped body panic)
+/// converts this thread into a [`respawn`] relay instead of a hard abort.
+#[allow(clippy::too_many_arguments)]
+fn drive<M, W, R, F>(
+    mut w: W,
+    mut router: Router<'_, M>,
+    f: &F,
+    collective: u64,
+    epoch_mark: (u64, u64),
+    mut respawns_left: u32,
+    mut fired: Vec<bool>,
+    resume_as_victim: bool,
+) -> Result<R, Box<dyn Any + Send>>
+where
+    M: Send + Clone,
+    W: Send + ShardState,
+    R: Send,
+    F: Fn(usize, &mut W, &mut Router<'_, M>) -> R + Sync,
+{
+    set_quiet_panics(true);
+    let rank = router.rank;
+    let heal_armed = router.sup.heal_armed;
+    let mut snapshot: Vec<u8> = Vec::new();
+    if resume_as_victim {
+        heal_round(
+            &mut router,
+            &mut w,
+            &snapshot,
+            HealRole::Victim,
+            epoch_mark,
+            collective,
+        )?;
+    }
+    loop {
+        if heal_armed {
+            snapshot.clear();
+            w.capture(&mut snapshot);
+            router.push_replica(collective, &snapshot);
+        }
+        // Scheduled kill gate: each schedule entry fires at most once, so
+        // the re-run after a heal does not re-kill the respawned worker.
+        let due = (0..fired.len())
+            .find(|&i| !fired[i] && router.cfg.kill_workers[i] == (rank, collective));
+        if let Some(i) = due {
+            fired[i] = true;
+            if heal_armed && respawns_left > 0 {
+                router.sup.record_heal(rank);
+                scramble(&mut w, &snapshot);
+                router.meter.note_respawn();
+                respawns_left -= 1;
+                return respawn(w, router, f, collective, epoch_mark, respawns_left, fired);
+            }
+            let msg =
+                format!("injected fault: spmd worker {rank} killed at collective {collective}");
+            router.sup.record_death(rank, msg.clone(), true);
+            return Err(Box::new(msg));
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(rank, &mut w, &mut router))) {
+            Ok(out) => {
+                let committed = if heal_armed {
+                    match router.commit_wait() {
+                        CommitOutcome::Committed => true,
+                        CommitOutcome::Heal => {
+                            heal_round(
+                                &mut router,
+                                &mut w,
+                                &snapshot,
+                                HealRole::Peer,
+                                epoch_mark,
+                                collective,
+                            )?;
+                            continue;
+                        }
+                        CommitOutcome::Aborted => {
+                            let payload = router.heal_abort_payload();
+                            router
+                                .sup
+                                .record_death(rank, payload_str(payload.as_ref()), true);
+                            return Err(payload);
+                        }
+                    }
+                } else {
+                    true
+                };
+                debug_assert!(committed);
+                router.sup.retire(rank);
+                return match catch_unwind(AssertUnwindSafe(|| router.linger())) {
+                    Ok(()) => Ok(out),
+                    Err(payload) => {
+                        router
+                            .sup
+                            .record_death(rank, payload_str(payload.as_ref()), false);
+                        Err(payload)
+                    }
+                };
+            }
+            Err(payload) => {
+                if payload.is::<HealRewind>() {
+                    heal_round(
+                        &mut router,
+                        &mut w,
+                        &snapshot,
+                        HealRole::Peer,
+                        epoch_mark,
+                        collective,
+                    )?;
+                    continue;
+                }
+                // Typed DpfError payloads (link failures, backpressure,
+                // deadlock diagnoses, peer-death echoes) are hard faults:
+                // respawning would not change the outcome, and the
+                // harness owns that recovery policy. Untyped panics — the
+                // injected kills and generic body bugs — are healable.
+                let healable =
+                    heal_armed && respawns_left > 0 && payload.downcast_ref::<DpfError>().is_none();
+                if healable {
+                    router.sup.record_heal(rank);
+                    scramble(&mut w, &snapshot);
+                    router.meter.note_respawn();
+                    respawns_left -= 1;
+                    return respawn(w, router, f, collective, epoch_mark, respawns_left, fired);
+                }
+                router
+                    .sup
+                    .record_death(rank, payload_str(payload.as_ref()), true);
+                return Err(payload);
+            }
+        }
+    }
+}
+
 /// Spawn `nprocs` workers on scoped threads, one per virtual processor,
 /// each receiving its rank, its element of `work` (the worker's own array
 /// blocks and outputs) and a [`Router`] wired to every peer. Returns the
@@ -1437,6 +2235,11 @@ fn payload_str(payload: &(dyn Any + Send)) -> String {
 /// cause, preferring any non-`WorkerDied` payload — is re-raised on the
 /// caller. Finished workers linger to service retransmissions until the
 /// whole set retires, so faults on final frames are still repaired.
+///
+/// Under `--recover in-run` (with more than one worker) healable deaths
+/// do not abort: the collective rewinds to its start, the dead rank is
+/// respawned and rehydrated from its buddy's replica, and the epoch
+/// re-runs — see the module docs and [`ShardState`].
 pub fn run_workers<M, W, R, F>(
     nprocs: usize,
     transport: Transport<'_>,
@@ -1445,17 +2248,21 @@ pub fn run_workers<M, W, R, F>(
 ) -> Vec<R>
 where
     M: Send + Clone,
-    W: Send,
+    W: Send + ShardState,
     R: Send,
-    F: Fn(usize, W, &mut Router<'_, M>) -> R + Sync,
+    F: Fn(usize, &mut W, &mut Router<'_, M>) -> R + Sync,
 {
     assert_eq!(work.len(), nprocs, "one work item per worker");
     install_quiet_panic_hook();
     let meter = transport.meter;
     let cfg = transport.cfg;
     let collective = meter.begin_collective();
+    let heal_armed = cfg.recover == RecoverMode::InRun && nprocs > 1;
+    // The logical-meter rollback point for epoch rewinds: §1.5 counters
+    // as they stood before any worker of this collective sent anything.
+    let epoch_mark = (meter.messages(), meter.payload_bytes());
     let barrier = SpmdBarrier::new(nprocs);
-    let sup = Supervision::new(nprocs);
+    let sup = Supervision::new(nprocs, heal_armed);
     let mut txs = Vec::with_capacity(nprocs);
     let mut rxs = Vec::with_capacity(nprocs);
     for _ in 0..nprocs {
@@ -1478,44 +2285,28 @@ where
             cfg,
             barrier: &barrier,
             sup: &sup,
+            replica_store: (0..nprocs).map(|_| None).collect(),
         })
         .collect();
     drop(txs);
     std::thread::scope(|s| {
         let f = &f;
-        let sup = &sup;
         let handles: Vec<_> = routers
             .into_iter()
             .zip(work)
-            .map(|(mut router, w)| {
-                s.spawn(move || -> Result<R, Box<dyn Any + Send>> {
-                    set_quiet_panics(true);
-                    let rank = router.rank;
-                    if let Some((kill_rank, kill_at)) = cfg.kill_worker {
-                        if kill_rank == rank && kill_at == collective {
-                            let msg = format!(
-                                "injected fault: spmd worker {rank} killed at collective {kill_at}"
-                            );
-                            sup.record_death(rank, msg.clone(), true);
-                            return Err(Box::new(msg));
-                        }
-                    }
-                    match catch_unwind(AssertUnwindSafe(|| f(rank, w, &mut router))) {
-                        Ok(out) => {
-                            sup.retire(rank);
-                            match catch_unwind(AssertUnwindSafe(|| router.linger())) {
-                                Ok(()) => Ok(out),
-                                Err(payload) => {
-                                    sup.record_death(rank, payload_str(payload.as_ref()), false);
-                                    Err(payload)
-                                }
-                            }
-                        }
-                        Err(payload) => {
-                            sup.record_death(rank, payload_str(payload.as_ref()), true);
-                            Err(payload)
-                        }
-                    }
+            .map(|(router, w)| {
+                let fired = vec![false; cfg.kill_workers.len()];
+                s.spawn(move || {
+                    drive(
+                        w,
+                        router,
+                        f,
+                        collective,
+                        epoch_mark,
+                        cfg.max_respawns,
+                        fired,
+                        false,
+                    )
                 })
             })
             .collect();
@@ -1576,7 +2367,7 @@ mod tests {
             4,
             Transport::clean(&meter),
             vec![(); 4],
-            |rank, (), router| {
+            |rank, _w, router| {
                 // Every worker sends its rank to every rank (self included).
                 for to in 0..router.nprocs() {
                     router.send(to, 8, rank as u64);
@@ -1605,7 +2396,7 @@ mod tests {
             3,
             Transport::clean(&meter),
             vec![(); 3],
-            |rank, (), router| {
+            |rank, _w, router| {
                 // Two back-to-back rounds; receivers must see each peer's
                 // messages in send order even though the shared channel
                 // interleaves senders arbitrarily.
@@ -1674,7 +2465,7 @@ mod tests {
                 4,
                 Transport::new(&meter, cfg),
                 vec![(); 4],
-                |rank, (), router| {
+                |rank, _w, router| {
                     for round in 0..rounds {
                         for to in 0..router.nprocs() {
                             router.send(to, 8, round * 100 + rank as u64);
@@ -1727,7 +2518,7 @@ mod tests {
             4,
             Transport::new(&meter, &cfg),
             vec![(); 4],
-            |rank, (), router| {
+            |rank, _w, router| {
                 for round in 0..rounds {
                     for to in 0..router.nprocs() {
                         router.send(to, 8, round * 100 + rank as u64);
@@ -1761,7 +2552,7 @@ mod tests {
                 3,
                 Transport::new(&meter, &cfg),
                 vec![(); 3],
-                |rank, (), router| {
+                |rank, _w, router| {
                     for round in 0..30u64 {
                         for to in 0..router.nprocs() {
                             router.send(to, 16, round * 10 + rank as u64);
@@ -1808,7 +2599,7 @@ mod tests {
                 2,
                 Transport::new(&meter, &cfg),
                 vec![(); 2],
-                |rank, (), router| {
+                |rank, _w, router| {
                     router.send(1 - rank, 8, rank as u64);
                     router.recv_from(1 - rank);
                 },
@@ -1829,7 +2620,7 @@ mod tests {
     #[test]
     fn killed_worker_releases_blocked_peers() {
         let cfg = TransportCfg {
-            kill_worker: Some((1, 0)),
+            kill_workers: vec![(1, 0)],
             ..TransportCfg::default()
         };
         let meter = LinkMeter::new();
@@ -1838,7 +2629,7 @@ mod tests {
                 2,
                 Transport::new(&meter, &cfg),
                 vec![(); 2],
-                |rank, (), router| {
+                |rank, _w, router| {
                     if rank == 0 {
                         router.recv_from(1);
                     }
@@ -1856,7 +2647,7 @@ mod tests {
             2,
             Transport::new(&meter, &cfg),
             vec![(); 2],
-            |rank, (), router| {
+            |rank, _w, router| {
                 router.send(1 - rank, 8, rank as u64);
                 router.recv_from(1 - rank)
             },
@@ -1879,7 +2670,7 @@ mod tests {
                 2,
                 Transport::new(&meter, &cfg),
                 vec![(); 2],
-                |rank, (), router| {
+                |rank, _w, router| {
                     router.recv_from(1 - rank);
                 },
             );
@@ -1912,7 +2703,7 @@ mod tests {
                 2,
                 Transport::new(&meter, &cfg),
                 vec![(); 2],
-                |rank, (), router| {
+                |rank, _w, router| {
                     if rank == 1 {
                         for i in 0..32u64 {
                             router.send(0, 8, i);
@@ -1959,5 +2750,149 @@ mod tests {
         assert_eq!(link_decide(&cfg, 2, 2, 0, 0), None);
         let clean = TransportCfg::default();
         assert_eq!(link_decide(&clean, 0, 1, 0, 0), None);
+    }
+
+    /// The exchange used by the healing tests: every worker's shard is a
+    /// vector it mutates with values received from every peer, so a
+    /// mid-run death corrupts real state that only the buddy replica can
+    /// bring back.
+    fn healing_exchange(cfg: &TransportCfg) -> (Vec<Vec<usize>>, u64, u64, u64, u64) {
+        let meter = LinkMeter::new();
+        let nprocs = 4;
+        let work: Vec<Vec<usize>> = (0..nprocs).map(|r| vec![r; 8]).collect();
+        let results = run_workers::<u64, Vec<usize>, Vec<usize>, _>(
+            nprocs,
+            Transport::new(&meter, cfg),
+            work,
+            |rank, w, router| {
+                for to in 0..router.nprocs() {
+                    router.send(to, 8, (rank * 10) as u64);
+                }
+                let n = router.nprocs();
+                for (from, slot) in w.iter_mut().enumerate().take(n) {
+                    let m = router.recv_from(from) as usize;
+                    *slot = *slot * 100 + m;
+                }
+                router.barrier();
+                w.clone()
+            },
+        );
+        (
+            results,
+            meter.messages(),
+            meter.payload_bytes(),
+            meter.respawns(),
+            meter.epochs_rewound(),
+        )
+    }
+
+    /// An injected kill under `--recover in-run` heals: the run completes
+    /// with results and §1.5 logical meters byte-identical to a clean
+    /// run, one respawn and one epoch rewind on the recovery counters.
+    #[test]
+    fn killed_worker_heals_bit_identically() {
+        let clean = healing_exchange(&TransportCfg::default());
+        assert_eq!(clean.3, 0);
+        assert_eq!(clean.4, 0);
+        let cfg = TransportCfg {
+            kill_workers: vec![(2, 0)],
+            recover: RecoverMode::InRun,
+            ..TransportCfg::default()
+        };
+        let healed = healing_exchange(&cfg);
+        assert_eq!(healed.0, clean.0, "healed results differ from clean run");
+        assert_eq!(healed.1, clean.1, "logical message count drifted");
+        assert_eq!(healed.2, clean.2, "logical payload bytes drifted");
+        assert_eq!(healed.3, 1, "exactly one respawn expected");
+        assert_eq!(healed.4, 1, "exactly one epoch rewind expected");
+    }
+
+    /// A generic (untyped) body panic is healable too: the buggy rank is
+    /// respawned once and the re-run succeeds.
+    #[test]
+    fn untyped_body_panic_heals_once() {
+        let cfg = TransportCfg {
+            recover: RecoverMode::InRun,
+            ..TransportCfg::default()
+        };
+        let meter = LinkMeter::new();
+        let boom = AtomicBool::new(true);
+        let results = run_workers::<u64, usize, usize, _>(
+            3,
+            Transport::new(&meter, &cfg),
+            vec![10, 20, 30],
+            |rank, w, router| {
+                if rank == 1 && boom.swap(false, Ordering::AcqRel) {
+                    panic!("transient worker bug");
+                }
+                for to in 0..router.nprocs() {
+                    router.send(to, 8, *w as u64);
+                }
+                let mut sum = 0;
+                for from in 0..router.nprocs() {
+                    sum += router.recv_from(from) as usize;
+                }
+                sum
+            },
+        );
+        assert_eq!(results, vec![60; 3]);
+        assert_eq!(meter.respawns(), 1);
+        assert_eq!(meter.epochs_rewound(), 1);
+    }
+
+    /// A corrupted buddy replica must not produce wrong answers: the
+    /// victim's rehydration fails its CRC check and the collective aborts
+    /// with a typed ReplicaCorrupt (the harness then falls back to a full
+    /// restart).
+    #[test]
+    fn corrupt_replica_aborts_with_typed_error() {
+        let cfg = TransportCfg {
+            kill_workers: vec![(1, 0)],
+            recover: RecoverMode::InRun,
+            replica_corrupt: true,
+            ..TransportCfg::default()
+        };
+        let res = std::panic::catch_unwind(|| healing_exchange(&cfg));
+        let payload = res.expect_err("corrupt replica must fail the collective");
+        let err = payload
+            .downcast_ref::<DpfError>()
+            .expect("typed DpfError payload");
+        assert!(
+            matches!(err, DpfError::ReplicaCorrupt { worker: 1, .. }),
+            "got {err}"
+        );
+    }
+
+    /// The respawn budget bounds healing: with it exhausted, a kill is a
+    /// hard death exactly as under `--recover restart`.
+    #[test]
+    fn exhausted_respawn_budget_is_a_hard_death() {
+        let cfg = TransportCfg {
+            kill_workers: vec![(1, 0)],
+            recover: RecoverMode::InRun,
+            max_respawns: 0,
+            ..TransportCfg::default()
+        };
+        let res = std::panic::catch_unwind(|| healing_exchange(&cfg));
+        let payload = res.expect_err("kill with no budget must fail");
+        let msg = payload_str(payload.as_ref());
+        assert!(msg.contains("killed at collective 0"), "got: {msg}");
+    }
+
+    /// Shard serialization composes structurally and round-trips through
+    /// capture/restore, including the scramble used on respawned victims.
+    #[test]
+    fn shard_state_round_trips() {
+        let original: (Vec<usize>, Option<usize>) = (vec![7, 0, usize::MAX], Some(42));
+        let mut snapshot = Vec::new();
+        original.capture(&mut snapshot);
+        assert_eq!(snapshot.len(), 4 * 8);
+        let mut rebuilt: (Vec<usize>, Option<usize>) = (vec![0, 0, 0], Some(0));
+        rebuilt.restore(&mut &snapshot[..]);
+        assert_eq!(rebuilt, original);
+        scramble(&mut rebuilt, &snapshot);
+        assert_ne!(rebuilt, original, "scramble must actually garble state");
+        rebuilt.restore(&mut &snapshot[..]);
+        assert_eq!(rebuilt, original);
     }
 }

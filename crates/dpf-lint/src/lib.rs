@@ -362,6 +362,8 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut diags = Vec::new();
     let mut pub_fns: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    let mut registry: Option<(String, String)> = None;
+    let mut tables: Option<(String, String)> = None;
     for path in source_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -375,9 +377,18 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         for (name, line) in rules::public_fns(&file) {
             pub_fns.entry(name).or_default().push((rel.clone(), line));
         }
+        if rel.ends_with("dpf-suite/src/registry.rs") {
+            registry = Some((rel.clone(), src.clone()));
+        } else if rel.ends_with("dpf-suite/src/tables.rs") {
+            tables = Some((rel.clone(), src.clone()));
+        }
         diags.extend(lint_source(&rel, &src));
     }
     diags.extend(rules::check_required_twins(&pub_fns));
+    diags.extend(rules::check_comm_inventory(
+        registry.as_ref().map(|(p, s)| (p.as_str(), s.as_str())),
+        tables.as_ref().map(|(p, s)| (p.as_str(), s.as_str())),
+    ));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(diags)
 }

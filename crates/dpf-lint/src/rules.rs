@@ -9,8 +9,9 @@
 //! | `hot-path-alloc`   | warning | no `Vec::new`/`vec![`/`.collect()`/`.to_vec()` inside `*_into`/`*_exec` hot paths (PR 1 buffer-reuse discipline) |
 //! | `hot-path-clone`   | warning | no `.clone()` of a `DistArray` parameter inside `*_into`/`*_exec` hot paths (a clone is a whole-block copy) |
 //! | `try-parity`       | error   | every `try_*` primitive keeps its exported panicking twin, and the known comm/linalg pairs stay complete |
-//! | `metered-send`     | error   | raw channel sends in `spmd.rs` only inside the LinkMeter/envelope path (`Router::send` → `transmit`/`send_ctl`) |
+//! | `metered-send`     | error   | raw channel sends in `spmd.rs` only inside the LinkMeter/envelope path (`Router::send` → `transmit`/`send_ctl`/`send_recovery`) |
 //! | `flop-conventions` | error   | the §1.5 FLOP-weight constants match the paper's table (add/mul 1, div/sqrt 4, log/trig 8) |
+//! | `comm-inventory`   | error   | registry `patterns` fields agree with the §1.5 `COMM_INVENTORY` in dpf-suite's tables.rs (tree-wide) |
 //! | `unsafe-forbid`    | error   | the repo is `unsafe`-free; any new `unsafe` needs a `// SAFETY:` comment *and* an allow pragma |
 
 use crate::lex::Tok;
@@ -488,8 +489,11 @@ pub fn check_required_twins(pub_fns: &BTreeMap<String, Vec<(String, u32)>>) -> V
 // --------------------------------------------------------- metered-send
 
 /// Functions inside the transport that *are* the envelope path: the
-/// only places a raw channel `.send(` is legitimate.
-const ENVELOPE_PATH: &[&str] = &["transmit", "send_ctl"];
+/// only places a raw channel `.send(` is legitimate. `send_recovery` is
+/// the recovery channel — replica pushes and rehydration forwards are
+/// metered on the dedicated recovery counters there, never as §1.5
+/// logical messages.
+const ENVELOPE_PATH: &[&str] = &["transmit", "send_ctl", "send_recovery"];
 
 fn metered_send(f: &SourceFile) -> Vec<Diagnostic> {
     if !(f.path.ends_with("/spmd.rs") || f.path == "spmd.rs") {
@@ -640,6 +644,232 @@ fn unsafe_forbid(f: &SourceFile) -> Vec<Diagnostic> {
         );
         d.suppressible = has_safety;
         out.push(d);
+    }
+    out
+}
+
+// ------------------------------------------------------ comm-inventory
+
+/// The 17 `CommPattern` variants (dpf-core/src/instrument.rs): any
+/// other name in a `patterns:` field or inventory entry is a typo.
+pub const KNOWN_PATTERNS: &[&str] = &[
+    "Stencil",
+    "Gather",
+    "GatherCombine",
+    "Scatter",
+    "ScatterCombine",
+    "Reduction",
+    "Broadcast",
+    "Spread",
+    "Aabc",
+    "Aapc",
+    "Butterfly",
+    "Scan",
+    "Cshift",
+    "Eoshift",
+    "Send",
+    "Get",
+    "Sort",
+];
+
+/// Pull every `Xxx` out of `Path::Xxx` occurrences in a snippet. Both
+/// spellings of the inventory (`P::Cshift` in the registry,
+/// `CommPattern::Cshift` in the tables) reduce to the variant name.
+fn path_variants(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(k) = text[i..].find("::") {
+        let start = i + k + 2;
+        let mut end = start;
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        if end > start {
+            out.push(text[start..end].to_string());
+        }
+        i = end.max(i + k + 2);
+    }
+    out
+}
+
+/// Textual parse of the registry: each benchmark's `name: "..."` and
+/// the variant names in its `patterns: &[...]` field (which may span
+/// lines). Returns `(name, patterns, line-of-patterns-field)`.
+pub fn registry_patterns(src: &str) -> Vec<(String, Vec<String>, u32)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    let mut acc: Option<(String, u32)> = None;
+    for (k, line) in src.lines().enumerate() {
+        let lno = k as u32 + 1;
+        let t = line.trim();
+        if let Some((buf, at)) = acc.as_mut() {
+            buf.push_str(t);
+            if t.contains(']') {
+                let (n, b, a) = (name.clone(), buf.clone(), *at);
+                acc = None;
+                if let Some(n) = n {
+                    out.push((n, path_variants(&b), a));
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("name:") {
+            name = rest
+                .split('"')
+                .nth(1)
+                .map(str::to_string)
+                .or_else(|| name.clone());
+        } else if let Some(rest) = t.strip_prefix("patterns:") {
+            if rest.contains(']') {
+                if let Some(n) = name.clone() {
+                    out.push((n, path_variants(rest), lno));
+                }
+            } else {
+                acc = Some((rest.to_string(), lno));
+            }
+        }
+    }
+    out
+}
+
+/// Textual parse of the `COMM_INVENTORY` static in tables.rs: each
+/// `("name", &[CommPattern::X, ...])` entry (which may span lines).
+/// Returns `None` when the file has no `COMM_INVENTORY` at all.
+pub fn inventory_entries(src: &str) -> Option<Vec<(String, Vec<String>, u32)>> {
+    let mut lines = src.lines().enumerate();
+    lines.find(|(_, l)| l.contains("COMM_INVENTORY"))?;
+    let mut out = Vec::new();
+    let mut entry: Option<(String, u32, i32)> = None;
+    for (k, line) in lines {
+        let lno = k as u32 + 1;
+        let t = line.trim();
+        if entry.is_none() && t == "];" {
+            break;
+        }
+        let (buf, at, depth) = match entry.as_mut() {
+            Some(e) => e,
+            None => {
+                if !t.starts_with('(') {
+                    continue;
+                }
+                entry = Some((String::new(), lno, 0));
+                entry.as_mut().unwrap()
+            }
+        };
+        buf.push_str(t);
+        *depth += t.chars().filter(|&c| c == '(').count() as i32;
+        *depth -= t.chars().filter(|&c| c == ')').count() as i32;
+        if *depth <= 0 {
+            let name = buf.split('"').nth(1).unwrap_or("").to_string();
+            out.push((name, path_variants(buf), *at));
+            entry = None;
+        }
+    }
+    Some(out)
+}
+
+/// Tree-wide `comm-inventory` rule: the registry's per-benchmark
+/// `patterns` fields and the §1.5 `COMM_INVENTORY` in tables.rs are two
+/// spellings of the same paper fact (Tables 3/7); they must list the
+/// same benchmarks with the same pattern sets, and only real
+/// `CommPattern` variant names. Silent when the tree has no registry
+/// (fixture mini-trees); a registry without any inventory is an error.
+pub fn check_comm_inventory(
+    registry: Option<(&str, &str)>,
+    tables: Option<(&str, &str)>,
+) -> Vec<Diagnostic> {
+    let Some((reg_path, reg_src)) = registry else {
+        return Vec::new();
+    };
+    let reg = registry_patterns(reg_src);
+    let inv = tables.and_then(|(_, src)| inventory_entries(src));
+    let mut out = Vec::new();
+    let Some(inv) = inv else {
+        out.push(Diagnostic::new(
+            reg_path,
+            0,
+            "comm-inventory",
+            Severity::Error,
+            "registry has benchmark pattern fields but no COMM_INVENTORY declares the §1.5 tables"
+                .into(),
+            "declare `pub const COMM_INVENTORY` in dpf-suite's tables.rs (one entry per benchmark)"
+                .into(),
+        ));
+        return out;
+    };
+    let tab_path = tables.map(|(p, _)| p).unwrap_or("(tree)");
+    let check_names = |path: &str, name: &str, pats: &[String], line: u32, out: &mut Vec<_>| {
+        for p in pats {
+            if !KNOWN_PATTERNS.contains(&p.as_str()) {
+                out.push(Diagnostic::new(
+                    path,
+                    line,
+                    "comm-inventory",
+                    Severity::Error,
+                    format!("`{name}` names unknown communication pattern `{p}`"),
+                    "use one of the 17 CommPattern variants (see dpf-core instrument.rs)".into(),
+                ));
+            }
+        }
+    };
+    for (name, pats, line) in &reg {
+        check_names(reg_path, name, pats, *line, &mut out);
+        match inv.iter().find(|(n, _, _)| n == name) {
+            None => out.push(Diagnostic::new(
+                reg_path,
+                *line,
+                "comm-inventory",
+                Severity::Error,
+                format!("benchmark `{name}` has no §1.5 COMM_INVENTORY entry"),
+                format!("add (\"{name}\", &[...]) to COMM_INVENTORY in tables.rs"),
+            )),
+            Some((_, declared, _)) => {
+                let mut a = pats.clone();
+                let mut b = declared.clone();
+                a.sort();
+                b.sort();
+                if a != b {
+                    out.push(Diagnostic::new(
+                        reg_path,
+                        *line,
+                        "comm-inventory",
+                        Severity::Error,
+                        format!(
+                            "`{name}` declares patterns [{}] but the §1.5 inventory says [{}]",
+                            pats.join(", "),
+                            declared.join(", ")
+                        ),
+                        "fix whichever side drifted from the paper's Tables 3/7".into(),
+                    ));
+                }
+            }
+        }
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for (name, pats, line) in &inv {
+        check_names(tab_path, name, pats, *line, &mut out);
+        if seen.contains(&name.as_str()) {
+            out.push(Diagnostic::new(
+                tab_path,
+                *line,
+                "comm-inventory",
+                Severity::Error,
+                format!("COMM_INVENTORY lists `{name}` twice"),
+                "keep one entry per benchmark".into(),
+            ));
+        }
+        seen.push(name);
+        if !reg.iter().any(|(n, _, _)| n == name) {
+            out.push(Diagnostic::new(
+                tab_path,
+                *line,
+                "comm-inventory",
+                Severity::Error,
+                format!("COMM_INVENTORY lists `{name}`, which is not in the registry"),
+                "remove the stale entry or restore the benchmark".into(),
+            ));
+        }
     }
     out
 }

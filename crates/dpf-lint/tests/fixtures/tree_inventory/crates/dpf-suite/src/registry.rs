@@ -1,0 +1,28 @@
+//! Mini registry fixture for the tree-wide `comm-inventory` rule.
+//! `alpha` agrees with the inventory (order differs, sets match),
+//! `beta` drifted, `gamma` names a pattern that does not exist and has
+//! no inventory entry at all, `delta` exercises the multi-line form.
+
+pub fn registry() -> Vec<Entry> {
+    vec![
+        Entry {
+            name: "alpha",
+            patterns: &[P::Cshift, P::Reduction],
+        },
+        Entry {
+            name: "beta",
+            patterns: &[P::Stencil],
+        },
+        Entry {
+            name: "gamma",
+            patterns: &[P::Warp],
+        },
+        Entry {
+            name: "delta",
+            patterns: &[
+                P::Sort,
+                P::Scan,
+            ],
+        },
+    ]
+}

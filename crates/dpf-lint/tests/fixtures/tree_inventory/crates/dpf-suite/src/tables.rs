@@ -1,0 +1,14 @@
+//! Mini tables fixture: the declared inventory `beta` disagrees with
+//! the registry, `delta` is listed twice, and `stale` names a
+//! benchmark the registry no longer has.
+
+pub const COMM_INVENTORY: &[(&str, &[CommPattern])] = &[
+    ("alpha", &[CommPattern::Reduction, CommPattern::Cshift]),
+    ("beta", &[CommPattern::Stencil, CommPattern::Aapc]),
+    (
+        "delta",
+        &[CommPattern::Sort, CommPattern::Scan],
+    ),
+    ("delta", &[CommPattern::Sort]),
+    ("stale", &[CommPattern::Get]),
+];

@@ -142,6 +142,70 @@ fn tree_walk_finds_cross_file_parity_breaks() {
     assert_eq!(missing, dpf_lint::rules::REQUIRED_TWINS.len());
 }
 
+/// A second mini tree holding only a registry/tables pair with every
+/// deliberate `comm-inventory` defect: drifted pattern set, unknown
+/// pattern name, missing inventory entry, duplicate entry, stale
+/// benchmark. The golden file pins the exact rendered diagnostics.
+#[test]
+fn comm_inventory_tree_matches_golden() {
+    let root = fixture_dir().join("tree_inventory");
+    let diags: Vec<_> = dpf_lint::lint_tree(&root)
+        .unwrap()
+        .into_iter()
+        .filter(|d| d.rule == "comm-inventory")
+        .collect();
+    let rendered = dpf_lint::render_text(&diags);
+    let expected_path = fixture_dir().join("tree_inventory.expected");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&expected_path, &rendered).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+        panic!(
+            "{} is missing; run UPDATE_GOLDEN=1 cargo test -p dpf-lint --test golden",
+            expected_path.display()
+        )
+    });
+    assert_eq!(rendered, expected, "comm-inventory diagnostics drifted");
+    // Spot-check the defect classes so the golden cannot silently go
+    // empty: drift, unknown pattern, missing entry, duplicate, stale.
+    for needle in [
+        "inventory says",
+        "unknown communication pattern `Warp`",
+        "no §1.5 COMM_INVENTORY entry",
+        "twice",
+        "not in the registry",
+    ] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no diagnostic matching {needle:?} in:\n{rendered}"
+        );
+    }
+    assert!(dpf_lint::is_failing(&diags, false));
+}
+
+/// A registry with no `COMM_INVENTORY` anywhere is itself a finding —
+/// the inventory cannot silently disappear. (The alpha/beta mini tree
+/// has neither file, so it stays silent: rule scoped to real trees.)
+#[test]
+fn registry_without_inventory_is_reported_and_no_registry_is_silent() {
+    let src =
+        fs::read_to_string(fixture_dir().join("tree_inventory/crates/dpf-suite/src/registry.rs"))
+            .unwrap();
+    let diags = dpf_lint::rules::check_comm_inventory(
+        Some(("crates/dpf-suite/src/registry.rs", src.as_str())),
+        None,
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("no COMM_INVENTORY"));
+    assert!(dpf_lint::rules::check_comm_inventory(None, None).is_empty());
+    let tree_diags = dpf_lint::lint_tree(&tree_root()).unwrap();
+    assert!(
+        !tree_diags.iter().any(|d| d.rule == "comm-inventory"),
+        "mini tree without a registry must stay silent"
+    );
+}
+
 #[test]
 fn tree_output_is_sorted_and_deterministic() {
     let first = dpf_lint::lint_tree(&tree_root()).unwrap();

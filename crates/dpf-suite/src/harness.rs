@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use dpf_core::{
     derive_seed, install_quiet_panic_hook, set_quiet_panics, Backend, BenchReport, Ctx, DpfError,
-    FaultPlan, Machine,
+    FaultPlan, Machine, RecoverMode,
 };
 
 use crate::benchmark::{BenchEntry, RunOutput, Size, Version};
@@ -97,7 +97,20 @@ pub enum RunOutcome {
     LinkFailed(String),
     /// Every attempt exceeded the wall-clock budget.
     TimedOut,
-    /// A later attempt succeeded after `retries` failed ones.
+    /// The first attempt completed, but only because the SPMD backend
+    /// healed worker deaths *inside* the run (`--recover in-run`):
+    /// dead ranks were respawned and rehydrated from buddy replicas
+    /// without restarting the benchmark. Distinct from
+    /// [`RunOutcome::Recovered`], which is harness-level restart.
+    Healed {
+        /// Worker respawns performed across the run.
+        respawns: u64,
+        /// Collectives rewound to their start and re-run.
+        epochs_rewound: u64,
+    },
+    /// A later attempt succeeded after `retries` failed ones — the
+    /// harness restarted the whole benchmark (as opposed to
+    /// [`RunOutcome::Healed`], which recovers without a restart).
     Recovered {
         /// Failed attempts before the one that succeeded.
         retries: u32,
@@ -117,7 +130,10 @@ impl RunOutcome {
     pub fn is_success(&self) -> bool {
         matches!(
             self,
-            RunOutcome::Completed | RunOutcome::Recovered { .. } | RunOutcome::Quarantined
+            RunOutcome::Completed
+                | RunOutcome::Healed { .. }
+                | RunOutcome::Recovered { .. }
+                | RunOutcome::Quarantined
         )
     }
 }
@@ -130,6 +146,10 @@ impl std::fmt::Display for RunOutcome {
             RunOutcome::Panicked(msg) => write!(f, "panicked: {msg}"),
             RunOutcome::LinkFailed(msg) => write!(f, "link-failure: {msg}"),
             RunOutcome::TimedOut => f.write_str("timed-out"),
+            RunOutcome::Healed {
+                respawns,
+                epochs_rewound,
+            } => write!(f, "healed({respawns}/{epochs_rewound})"),
             RunOutcome::Recovered { retries } => write!(f, "recovered({retries})"),
             RunOutcome::Quarantined => f.write_str("quarantined"),
             RunOutcome::ConfigError(msg) => write!(f, "config-error: {msg}"),
@@ -201,11 +221,27 @@ fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// A completed attempt's payload: the result plus the fault and in-run
+/// recovery accounting read from the attempt's own context.
+struct AttemptDone {
+    result: Box<HarnessResult>,
+    injected: u64,
+    respawns: u64,
+    epochs_rewound: u64,
+}
+
 enum Attempt {
-    Done(Box<HarnessResult>, u64),
+    Done(AttemptDone),
     Panicked(String),
     LinkFailed(String),
     TimedOut,
+}
+
+/// True when a failure message describes an SPMD worker death (an
+/// injected kill or the typed peer-death echo). Under `--recover off`
+/// these are terminal: the harness does not retry them.
+fn is_worker_death(msg: &str) -> bool {
+    msg.contains("killed at collective") || msg.contains("died mid-collective")
 }
 
 /// Owned inputs for one watchdog attempt, so the worker thread borrows
@@ -241,6 +277,8 @@ fn run_attempt(
                 let output = runner(&ctx, spec.size);
                 let elapsed = start.elapsed();
                 let injected = ctx.faults.injected() as u64;
+                let respawns = ctx.link.respawns();
+                let epochs_rewound = ctx.link.epochs_rewound();
                 let report = BenchReport::from_ctx(
                     name,
                     version.name(),
@@ -249,7 +287,12 @@ fn run_attempt(
                     elapsed,
                     output.verify.clone(),
                 );
-                (Box::new(HarnessResult { report, output }), injected)
+                AttemptDone {
+                    result: Box::new(HarnessResult { report, output }),
+                    injected,
+                    respawns,
+                    epochs_rewound,
+                }
             }));
             let _ = tx.send(outcome.map_err(|payload| {
                 let link_failed = payload
@@ -260,9 +303,9 @@ fn run_attempt(
         })
         .expect("spawn harness worker");
     match rx.recv_timeout(timeout) {
-        Ok(Ok((result, injected))) => {
+        Ok(Ok(done)) => {
             let _ = worker.join();
-            Attempt::Done(result, injected)
+            Attempt::Done(done)
         }
         Ok(Err((msg, link_failed))) => {
             let _ = worker.join();
@@ -297,6 +340,7 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
     let runner = variant.run;
     let mut last_failure = RunOutcome::TimedOut;
     let mut verify_failed: Option<Box<HarnessResult>> = None;
+    let mut launched = 0;
     for attempt in 0..=cfg.retries {
         if attempt > 0 {
             // Short linear backoff between attempts.
@@ -319,33 +363,46 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
             timeout: cfg.timeout,
             backend: cfg.backend,
         };
+        launched = attempt + 1;
         match run_attempt(name, version, runner, spec) {
-            Attempt::Done(result, injected) => {
-                if result.report.verify.is_pass() {
+            Attempt::Done(done) => {
+                if done.result.report.verify.is_pass() {
                     return GuardedResult {
-                        outcome: if attempt == 0 {
-                            RunOutcome::Completed
-                        } else {
+                        outcome: if attempt > 0 {
                             RunOutcome::Recovered { retries: attempt }
+                        } else if done.respawns > 0 {
+                            RunOutcome::Healed {
+                                respawns: done.respawns,
+                                epochs_rewound: done.epochs_rewound,
+                            }
+                        } else {
+                            RunOutcome::Completed
                         },
-                        result: Some(*result),
+                        result: Some(*done.result),
                         attempts: attempt + 1,
-                        faults_injected: injected,
+                        faults_injected: done.injected,
                     };
                 }
                 last_failure = RunOutcome::VerifyFailed;
-                verify_failed = Some(result);
+                verify_failed = Some(done.result);
             }
-            Attempt::Panicked(msg) => last_failure = RunOutcome::Panicked(msg),
+            Attempt::Panicked(msg) => {
+                let terminal = cfg.faults.recover == RecoverMode::Off && is_worker_death(&msg);
+                last_failure = RunOutcome::Panicked(msg);
+                if terminal {
+                    // `--recover off`: a worker death is final — no
+                    // harness restart, no in-run healing.
+                    break;
+                }
+            }
             Attempt::LinkFailed(msg) => last_failure = RunOutcome::LinkFailed(msg),
             Attempt::TimedOut => last_failure = RunOutcome::TimedOut,
         }
     }
-    let attempts = cfg.retries + 1;
     GuardedResult {
         outcome: last_failure,
         result: verify_failed.map(|b| *b),
-        attempts,
+        attempts: launched,
         faults_injected: 0,
     }
 }
@@ -434,6 +491,91 @@ impl SuiteReport {
         }
         s
     }
+
+    /// Render the sweep as a JSON object. In-run healing and
+    /// harness-level restart are distinct outcome kinds (`healed` with
+    /// respawn/rewind counts vs `recovered` with a retry count), so
+    /// downstream tooling never conflates the two recovery paths.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n  \"benchmarks\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let (verify, problem) = match &row.result {
+                Some(res) => (
+                    if res.report.verify.is_pass() {
+                        "\"pass\""
+                    } else {
+                        "\"fail\""
+                    },
+                    json_escape(&res.output.problem),
+                ),
+                None => ("null", String::new()),
+            };
+            let outcome = match &row.outcome {
+                RunOutcome::Completed => "{\"kind\": \"completed\"}".to_string(),
+                RunOutcome::VerifyFailed => "{\"kind\": \"verify-failed\"}".to_string(),
+                RunOutcome::Panicked(msg) => {
+                    format!(
+                        "{{\"kind\": \"panicked\", \"message\": \"{}\"}}",
+                        json_escape(msg)
+                    )
+                }
+                RunOutcome::LinkFailed(msg) => format!(
+                    "{{\"kind\": \"link-failure\", \"message\": \"{}\"}}",
+                    json_escape(msg)
+                ),
+                RunOutcome::TimedOut => "{\"kind\": \"timed-out\"}".to_string(),
+                RunOutcome::Healed {
+                    respawns,
+                    epochs_rewound,
+                } => format!(
+                    "{{\"kind\": \"healed\", \"respawns\": {respawns}, \
+                     \"epochs_rewound\": {epochs_rewound}}}"
+                ),
+                RunOutcome::Recovered { retries } => {
+                    format!("{{\"kind\": \"recovered\", \"retries\": {retries}}}")
+                }
+                RunOutcome::Quarantined => "{\"kind\": \"quarantined\"}".to_string(),
+                RunOutcome::ConfigError(msg) => format!(
+                    "{{\"kind\": \"config-error\", \"message\": \"{}\"}}",
+                    json_escape(msg)
+                ),
+            };
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"verify\": {verify}, \
+                 \"outcome\": {outcome}, \"problem\": \"{problem}\"}}",
+                row.name
+            );
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"total\": {},", self.rows.len());
+        let _ = writeln!(s, "  \"failed\": {},", self.failures());
+        let _ = writeln!(s, "  \"config_errors\": {}", self.config_errors());
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rolled report renderer.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Run the whole registry (basic versions) under the fault-tolerant

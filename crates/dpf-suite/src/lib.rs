@@ -7,6 +7,8 @@
 //! * [`tables`] — regenerate every table of the paper (1–8) plus the
 //!   performance and arithmetic-efficiency reports.
 //! * [`comm_bench`] — the four §2 communication benchmarks themselves.
+//! * [`soak`] — the `dpf soak` chaos driver: seeded randomized kill/fault
+//!   schedules swept over the registry with a deterministic summary.
 
 #![warn(missing_docs)]
 
@@ -15,6 +17,7 @@ pub mod comm_bench;
 pub mod harness;
 pub mod registry;
 pub mod runners;
+pub mod soak;
 pub mod tables;
 
 pub use benchmark::{BenchEntry, Group, RunOutput, Size, Variant, Version};
@@ -23,3 +26,4 @@ pub use harness::{
     SuiteConfig, SuiteReport, SuiteRow,
 };
 pub use registry::{find, registry};
+pub use soak::{run_soak, SoakConfig, SoakIteration, SoakReport, SoakRow};

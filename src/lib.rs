@@ -45,8 +45,10 @@ pub use dpf_fft as fft;
 pub use dpf_linalg as linalg;
 pub use dpf_suite as suite;
 
-pub use dpf_core::{Backend, Ctx, DpfError, FaultKind, FaultPlan, LinkFaultKind, Machine, Verify};
+pub use dpf_core::{
+    Backend, Ctx, DpfError, FaultKind, FaultPlan, LinkFaultKind, Machine, RecoverMode, Verify,
+};
 pub use dpf_suite::{
-    find, registry, run, run_basic, run_guarded, run_on, run_suite, RunOutcome, Size, SuiteConfig,
-    SuiteReport, Version,
+    find, registry, run, run_basic, run_guarded, run_on, run_soak, run_suite, RunOutcome, Size,
+    SoakConfig, SuiteConfig, SuiteReport, Version,
 };
