@@ -6,16 +6,22 @@
 //! dpf all [options]                 # run the whole suite, print a summary line each
 //! dpf table <1..8|perf|eff|model>   # regenerate a paper table
 //! dpf soak [options]                # seeded chaos sweeps: kills + faults
+//! dpf campaign <spec.toml> [--serial] [--format text|json] [--out DIR]
+//!                                   # run a multi-tenant sweep from a spec
+//! dpf tables [--campaign FILE] [--out DIR]
+//!                                   # paper tables from a recorded campaign
 //! dpf lint [--format text|json] [--deny warnings]
 //!                                   # run the project lint rules over crates/*/src
 //!
 //! Exit codes: 0 = success; 1 = runtime/benchmark failure (verify
 //! failure, panic, timeout, link failure); 2 = configuration error
 //! (bad flags, unknown benchmark, missing variant, unknown quarantine
-//! name, lint findings).
+//! name, bad campaign spec, lint findings).
 //!
 //! options:
-//!   --size small|medium|large   problem size tier (default medium)
+//!   --size small|medium|large|S|W|A|B|C
+//!                                problem size tier or NAS-style class
+//!                                (default medium; class S = small)
 //!   --version basic|optimized|library|CMSSL|C/DPEAC
 //!   --procs N                    virtual processors (default 32, CM-5 style)
 //!   --backend virtual|spmd       execution backend (default virtual)
@@ -44,7 +50,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use dpf_core::{Backend, FaultPlan, Machine, RecoverMode};
-use dpf_suite::{find, registry, tables, Size, SoakConfig, SuiteConfig, Version};
+use dpf_suite::{
+    find, registry, report_tables, run_campaign, tables, CampaignReport, CampaignSpec, ExecMode,
+    ProblemClass, Size, SoakConfig, SuiteConfig, Version,
+};
 
 struct Options {
     size: Size,
@@ -112,6 +121,7 @@ impl Options {
             retries: self.retries,
             quarantine: self.quarantine.clone(),
             backend: self.backend,
+            pool: None,
         }
     }
 }
@@ -122,12 +132,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--size" => {
-                o.size = match it.next().map(String::as_str) {
-                    Some("small") => Size::Small,
-                    Some("medium") => Size::Medium,
-                    Some("large") => Size::Large,
-                    other => return Err(format!("bad --size {other:?}")),
-                }
+                o.size = it
+                    .next()
+                    .ok_or("bad --size (want small|medium|large or a class S|W|A|B|C)")?
+                    .parse()?;
             }
             "--version" => {
                 o.version = match it.next().map(String::as_str) {
@@ -247,16 +255,143 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dpf <list|run <name>|all|soak|table <1-8|perf|eff|model>|lint> \
-         [--size small|medium|large] [--version v] [--procs N] \
+        "usage: dpf <list|run <name>|all|soak|campaign <spec>|tables|table <1-8|perf|eff|model>|lint> \
+         [--size small|medium|large|S|W|A|B|C] [--version v] [--procs N] \
          [--backend virtual|spmd] [--faults RATE] [--fault-seed N] \
          [--link-faults RATE] [--max-retransmits N] [--kill-worker R:C]... \
          [--recover in-run|restart|off] [--timeout-secs N] [--retries N] \
          [--checkpoint-every N] [--quarantine a,b] [--format text|json]\n\
          \x20      dpf soak [--iterations N] [--kill-rate RATE] [common options]\n\
+         \x20      dpf campaign <spec.toml> [--serial] [--format text|json] [--out DIR]\n\
+         \x20      dpf tables [--campaign FILE] [--out DIR]\n\
          \x20      dpf lint [--format text|json] [--deny warnings] [--root PATH]"
     );
     ExitCode::from(2)
+}
+
+/// `dpf campaign <spec.toml>`: expand the spec's sweep axes into tenants
+/// and run them (concurrently unless `--serial`). With `--out DIR`, the
+/// three artifacts — `campaign.json`, `tables.md`, `tables.json` — are
+/// written there; stdout gets the summary (or the campaign JSON under
+/// `--format json`). Exit 1 when any row failed, 2 on spec/IO errors.
+fn run_campaign_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut spec_path: Option<&str> = None;
+    let mut serial = false;
+    let mut format_json = false;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--serial" => serial = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => return Err(format!("bad --format {other:?} (want text|json)")),
+            },
+            "--out" => {
+                out_dir = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .ok_or("bad --out (want a directory)")?,
+                );
+            }
+            other if !other.starts_with("--") && spec_path.is_none() => spec_path = Some(other),
+            other => return Err(format!("unknown campaign option {other}")),
+        }
+    }
+    let spec_path = spec_path.ok_or("campaign needs a spec file: dpf campaign <spec.toml>")?;
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read campaign spec {spec_path:?}: {e}"))?;
+    let spec = CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+    let mode = if serial {
+        ExecMode::Serial
+    } else {
+        ExecMode::Concurrent
+    };
+    let report = run_campaign(&spec, mode).map_err(|e| e.to_string())?;
+    if let Some(dir) = &out_dir {
+        write_artifacts(dir, &report)?;
+    }
+    if format_json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.summary());
+    }
+    Ok(if report.failed() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Write the campaign's three artifacts into `dir`.
+fn write_artifacts(dir: &std::path::Path, report: &CampaignReport) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    for (file, content) in [
+        ("campaign.json", report.render_json()),
+        ("tables.md", report_tables::render_markdown(report)),
+        ("tables.json", report_tables::render_json(report)),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, content).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `dpf tables`: regenerate the paper tables from a recorded campaign
+/// artifact (`--campaign FILE`), or — without one — from a fresh serial
+/// class-S run of the whole registry. Markdown goes to stdout; `--out`
+/// also writes `tables.md` + `tables.json`.
+fn run_tables_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut campaign_file: Option<&str> = None;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--campaign" => {
+                campaign_file = Some(
+                    it.next()
+                        .map(String::as_str)
+                        .ok_or("bad --campaign (want a campaign.json path)")?,
+                );
+            }
+            "--out" => {
+                out_dir = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .ok_or("bad --out (want a directory)")?,
+                );
+            }
+            other => return Err(format!("unknown tables option {other}")),
+        }
+    }
+    let report = match campaign_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read campaign artifact {path:?}: {e}"))?;
+            CampaignReport::parse(&text)?
+        }
+        None => {
+            let spec = CampaignSpec {
+                name: "tables".to_string(),
+                classes: vec![ProblemClass::S],
+                ..CampaignSpec::default()
+            };
+            run_campaign(&spec, ExecMode::Serial).map_err(|e| e.to_string())?
+        }
+    };
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        for (file, content) in [
+            ("tables.md", report_tables::render_markdown(&report)),
+            ("tables.json", report_tables::render_json(&report)),
+        ] {
+            let path = dir.join(file);
+            std::fs::write(&path, content).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        }
+    }
+    print!("{}", report_tables::render_markdown(&report));
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `dpf lint`: run the project's static-analysis rules over every
@@ -425,6 +560,20 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+        "campaign" => match run_campaign_cmd(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        },
+        "tables" => match run_tables_cmd(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        },
         "lint" => match run_lint(&args[1..]) {
             Ok(code) => code,
             Err(e) => {

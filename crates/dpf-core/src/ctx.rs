@@ -1,5 +1,7 @@
 //! The benchmark execution context.
 
+use std::sync::Arc;
+
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::instr::{CommKey, CommPattern, Instr};
 use crate::machine::Machine;
@@ -20,8 +22,10 @@ pub struct Ctx {
     /// The run's metric state.
     pub instr: Instr,
     /// Free list of retired output buffers (host-side optimization; never
-    /// affects the recorded §1.5 metrics).
-    pub pool: BufferPool,
+    /// affects the recorded §1.5 metrics). Behind an `Arc` so several
+    /// concurrent contexts (campaign tenants) can share one budgeted
+    /// pool; a plain [`Ctx::build`] still gets a private pool.
+    pub pool: Arc<BufferPool>,
     /// Deterministic fault engine; disabled by default, armed via
     /// [`Ctx::with_faults`].
     pub faults: FaultInjector,
@@ -39,6 +43,19 @@ pub struct Ctx {
 impl Ctx {
     /// Full constructor: machine, optional fault plan, and backend.
     pub fn build(machine: Machine, plan: Option<FaultPlan>, backend: Backend) -> Self {
+        Ctx::build_shared(machine, plan, backend, Arc::new(BufferPool::new()))
+    }
+
+    /// [`Ctx::build`] with a caller-supplied (possibly shared) buffer
+    /// pool. Sharing is safe: the pool is thread-safe, exact-fit, and
+    /// invisible to the §1.5 metric ledger, so runs sharing a pool
+    /// record the same metrics as runs with private pools.
+    pub fn build_shared(
+        machine: Machine,
+        plan: Option<FaultPlan>,
+        backend: Backend,
+        pool: Arc<BufferPool>,
+    ) -> Self {
         let link_cfg = plan
             .as_ref()
             .map(TransportCfg::from_plan)
@@ -46,7 +63,7 @@ impl Ctx {
         Ctx {
             machine,
             instr: Instr::new(),
-            pool: BufferPool::new(),
+            pool,
             faults: match plan {
                 Some(plan) => FaultInjector::new(plan),
                 None => FaultInjector::disabled(),

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod class;
 pub mod complex;
 pub mod cost;
 pub mod ctx;
@@ -33,6 +34,7 @@ pub mod spmd;
 pub mod verify;
 
 pub use checkpoint::{Checkpoint, RecoveryStats, Step};
+pub use class::ProblemClass;
 pub use complex::{Complex, Real, C32, C64};
 pub use ctx::Ctx;
 pub use dtype::{DType, Elem};

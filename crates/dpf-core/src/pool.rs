@@ -20,7 +20,7 @@
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
@@ -34,11 +34,23 @@ type Shelf = Vec<Box<dyn Any + Send>>;
 
 /// A free list of retired `Vec<T>` buffers keyed by element type and
 /// exact length.
+/// When several tenants (concurrent suite runs) share one pool, the pool
+/// can also carry a *byte budget*: an upper bound on the total bytes it
+/// will keep shelved at once. A `put` that would exceed the budget drops
+/// the buffer to the allocator instead — admission control for retired
+/// memory, never an error. The high-water mark is tracked so a capped
+/// pool can prove it stayed within budget.
 #[derive(Default)]
 pub struct BufferPool {
     shelves: Mutex<HashMap<(TypeId, usize), Shelf>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Shelved-byte ceiling; 0 = unbounded (per-shelf cap only).
+    budget_bytes: usize,
+    /// Bytes currently shelved (maintained under the shelves lock).
+    shelved_bytes: AtomicUsize,
+    /// High-water mark of `shelved_bytes`.
+    peak_shelved_bytes: AtomicUsize,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -57,6 +69,15 @@ impl BufferPool {
         Self::default()
     }
 
+    /// An empty pool that will never keep more than `budget_bytes`
+    /// shelved at once (0 means unbounded).
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        BufferPool {
+            budget_bytes,
+            ..Self::default()
+        }
+    }
+
     /// Take a buffer of exactly `len` elements of `T`, or allocate one.
     ///
     /// The returned buffer has `len` initialized elements of unspecified
@@ -67,6 +88,8 @@ impl BufferPool {
         if let Some(shelf) = self.shelves.lock().get_mut(&key) {
             if let Some(boxed) = shelf.pop() {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.shelved_bytes
+                    .fetch_sub(std::mem::size_of::<T>() * len, Ordering::Relaxed);
                 let buf = *boxed
                     .downcast::<Vec<T>>()
                     .expect("pool shelf type/key mismatch");
@@ -86,11 +109,19 @@ impl BufferPool {
         if len == 0 {
             return;
         }
+        let bytes = std::mem::size_of::<T>() * len;
         let key = (TypeId::of::<T>(), len);
         let mut shelves = self.shelves.lock();
+        if self.budget_bytes > 0
+            && self.shelved_bytes.load(Ordering::Relaxed) + bytes > self.budget_bytes
+        {
+            return;
+        }
         let shelf = shelves.entry(key).or_default();
         if shelf.len() < SHELF_CAP {
             shelf.push(Box::new(buf));
+            let now = self.shelved_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+            self.peak_shelved_bytes.fetch_max(now, Ordering::Relaxed);
         }
     }
 
@@ -109,11 +140,29 @@ impl BufferPool {
         self.shelves.lock().values().map(Vec::len).sum()
     }
 
+    /// Bytes currently shelved.
+    pub fn shelved_bytes(&self) -> usize {
+        self.shelved_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of shelved bytes since creation (or the last
+    /// [`clear`](Self::clear)).
+    pub fn peak_shelved_bytes(&self) -> usize {
+        self.peak_shelved_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The shelved-byte ceiling (0 = unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
     /// Release every shelved buffer to the allocator and reset counters.
     pub fn clear(&self) {
         self.shelves.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.shelved_bytes.store(0, Ordering::Relaxed);
+        self.peak_shelved_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -170,6 +219,34 @@ mod tests {
         let pool = BufferPool::new();
         pool.put(Vec::<f64>::new());
         assert_eq!(pool.shelved(), 0);
+    }
+
+    #[test]
+    fn byte_budget_caps_shelved_memory() {
+        // Budget of two f64 buffers of 64 elements: the third is dropped.
+        let pool = BufferPool::with_budget(2 * 64 * 8);
+        for _ in 0..3 {
+            pool.put(vec![0.0f64; 64]);
+        }
+        assert_eq!(pool.shelved(), 2);
+        assert_eq!(pool.shelved_bytes(), 2 * 64 * 8);
+        assert!(pool.peak_shelved_bytes() <= pool.budget_bytes());
+        // Taking one back frees budget for a new put.
+        let _buf: Vec<f64> = pool.take(64);
+        pool.put(vec![0.0f64; 64]);
+        assert_eq!(pool.shelved(), 2);
+        assert!(pool.peak_shelved_bytes() <= pool.budget_bytes());
+    }
+
+    #[test]
+    fn unbounded_pool_tracks_shelved_bytes() {
+        let pool = BufferPool::new();
+        pool.put(vec![0.0f64; 100]);
+        assert_eq!(pool.shelved_bytes(), 800);
+        assert_eq!(pool.peak_shelved_bytes(), 800);
+        let _buf: Vec<f64> = pool.take(100);
+        assert_eq!(pool.shelved_bytes(), 0);
+        assert_eq!(pool.peak_shelved_bytes(), 800);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The benchmark registry types.
 
-use dpf_core::{CommPattern, Ctx, LocalAccess, Verify};
+use dpf_core::{CommPattern, Ctx, LocalAccess, ProblemClass, Verify};
 
 /// The three benchmark groups of the suite (paper §1.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -68,7 +68,13 @@ impl std::fmt::Display for Version {
 
 /// Problem-size tier for the harness (each benchmark maps these to its
 /// own parameters).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+///
+/// The legacy three-tier axis (`Small`/`Medium`/`Large`) is joined by
+/// [`Size::Class`], the NAS-style parameterized axis: every runner
+/// derives its shapes from the [`ProblemClass`] descriptor's scaling
+/// rules, anchored so class S is parameter-for-parameter identical to
+/// `Small`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Size {
     /// Seconds-scale CI runs and pattern classification.
     Small,
@@ -76,6 +82,41 @@ pub enum Size {
     Medium,
     /// Benchmark-grade.
     Large,
+    /// Parameterized problem class (S = `Small`, then W/A/B/C scale up).
+    Class(ProblemClass),
+}
+
+impl Size {
+    /// Stable lower-case label (class sizes keep their letter).
+    pub fn label(self) -> &'static str {
+        match self {
+            Size::Small => "small",
+            Size::Medium => "medium",
+            Size::Large => "large",
+            Size::Class(c) => c.name(),
+        }
+    }
+}
+
+impl std::fmt::Display for Size {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Size {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "small" => Ok(Size::Small),
+            "medium" => Ok(Size::Medium),
+            "large" => Ok(Size::Large),
+            other => other.parse::<ProblemClass>().map(Size::Class).map_err(|_| {
+                format!("unknown size {s:?} (want small|medium|large or a class S|W|A|B|C)")
+            }),
+        }
+    }
 }
 
 /// What a benchmark runner reports back (the harness adds the timing and
@@ -150,6 +191,17 @@ mod tests {
             names,
             vec!["basic", "optimized", "library", "CMSSL", "C/DPEAC"]
         );
+    }
+
+    #[test]
+    fn sizes_parse_and_label_round_trip() {
+        for s in ["small", "medium", "large", "S", "W", "A", "B", "C"] {
+            let size: Size = s.parse().unwrap();
+            assert_eq!(size.label(), s, "label must round-trip");
+            assert_eq!(size.to_string(), s);
+        }
+        assert_eq!("s".parse::<Size>().unwrap(), Size::Class(ProblemClass::S));
+        assert!("huge".parse::<Size>().is_err());
     }
 
     #[test]

@@ -1,0 +1,838 @@
+//! The benchmark-campaign engine: many suite configurations ("tenants")
+//! swept from one spec and executed concurrently on a bounded worker pool.
+//!
+//! A [`CampaignSpec`] names the axes of a sweep — problem classes,
+//! processor counts, backends, fault and link rates — and the engine
+//! expands their cross product into [`TenantSpec`]s. Each tenant is an
+//! independent guarded suite run ([`crate::harness::run_guarded`] per
+//! registry entry): its own machine, fault plan and derived seed, sharing
+//! only one byte-budgeted [`BufferPool`] with every other tenant.
+//!
+//! Concurrency is an execution detail, never a result detail. Tenant
+//! seeds derive from the tenant *key* (not from scheduling order), the
+//! shared pool is metric-invisible, and the recorded rows carry only the
+//! paper's logical §1.5 quantities — so a campaign run serially and the
+//! same campaign run on an oversubscribed pool render byte-identical
+//! reports. The admission control is the bounded worker count plus the
+//! pool byte budget; both are recorded in [`CampaignStats`], which is
+//! deliberately *excluded* from the JSON artifact (it is the one
+//! scheduling-dependent part of a run).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dpf_core::{derive_seed, Backend, BufferPool, DpfError, FaultPlan, Machine, ProblemClass};
+
+use crate::benchmark::{Size, Version};
+use crate::harness::{run_guarded, GuardedResult, RunOutcome, SuiteConfig};
+use crate::schema::Json;
+
+/// One campaign: the sweep axes and the execution budget.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Campaign name (report header).
+    pub name: String,
+    /// Problem classes to sweep.
+    pub classes: Vec<ProblemClass>,
+    /// Virtual-machine processor counts to sweep.
+    pub procs: Vec<usize>,
+    /// Execution backends to sweep.
+    pub backends: Vec<Backend>,
+    /// Data-fault rates to sweep (0 = no injection).
+    pub fault_rates: Vec<f64>,
+    /// SPMD link-fault rates to sweep (0 = reliable network).
+    pub link_rates: Vec<f64>,
+    /// Benchmarks each tenant runs (empty = the whole registry).
+    pub benchmarks: Vec<String>,
+    /// Base seed; every tenant derives its own from this and its key.
+    pub seed: u64,
+    /// Worker-pool bound: at most this many tenants run at once.
+    pub workers: usize,
+    /// Byte budget of the shared buffer pool (0 = unbounded).
+    pub pool_budget_bytes: usize,
+    /// Wall-clock budget per benchmark attempt, seconds.
+    pub timeout_secs: u64,
+    /// Retry budget per benchmark.
+    pub retries: u32,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_string(),
+            classes: vec![ProblemClass::S],
+            procs: vec![4],
+            backends: vec![Backend::Virtual],
+            fault_rates: vec![0.0],
+            link_rates: vec![0.0],
+            benchmarks: Vec::new(),
+            seed: 7,
+            workers: 4,
+            pool_budget_bytes: 0,
+            timeout_secs: 300,
+            retries: 0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Parse a campaign spec from the TOML subset the suite uses
+    /// (`key = value` lines, `[a, b]` lists, `"…"` strings, `#`
+    /// comments). Unknown keys, malformed values and empty axes are
+    /// [`DpfError::Config`] errors.
+    pub fn parse(text: &str) -> Result<CampaignSpec, DpfError> {
+        let bad = |what: String| DpfError::Config { what };
+        let mut spec = CampaignSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(format!("line {}: expected `key = value`", lineno + 1)))?;
+            let (key, value) = (key.trim(), value.trim());
+            let ctx = |e: String| bad(format!("line {}: key {key:?}: {e}", lineno + 1));
+            match key {
+                "name" => spec.name = parse_string(value).map_err(ctx)?,
+                "classes" => spec.classes = parse_list(value).map_err(ctx)?,
+                "procs" => spec.procs = parse_list(value).map_err(ctx)?,
+                "backends" => spec.backends = parse_list(value).map_err(ctx)?,
+                "fault_rates" => spec.fault_rates = parse_list(value).map_err(ctx)?,
+                "link_rates" => spec.link_rates = parse_list(value).map_err(ctx)?,
+                "benchmarks" => {
+                    spec.benchmarks = parse_list_of_strings(value).map_err(ctx)?;
+                }
+                "seed" => spec.seed = value.parse().map_err(|_| ctx("not an integer".into()))?,
+                "workers" => {
+                    spec.workers = value.parse().map_err(|_| ctx("not an integer".into()))?;
+                }
+                "pool_budget_bytes" => {
+                    spec.pool_budget_bytes =
+                        value.parse().map_err(|_| ctx("not an integer".into()))?;
+                }
+                "timeout_secs" => {
+                    spec.timeout_secs = value.parse().map_err(|_| ctx("not an integer".into()))?;
+                }
+                "retries" => {
+                    spec.retries = value.parse().map_err(|_| ctx("not an integer".into()))?;
+                }
+                other => {
+                    return Err(bad(format!("line {}: unknown key {other:?}", lineno + 1)));
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the axes and budgets are usable.
+    pub fn validate(&self) -> Result<(), DpfError> {
+        let bad = |what: &str| {
+            Err(DpfError::Config {
+                what: what.to_string(),
+            })
+        };
+        if self.classes.is_empty()
+            || self.procs.is_empty()
+            || self.backends.is_empty()
+            || self.fault_rates.is_empty()
+            || self.link_rates.is_empty()
+        {
+            return bad("every sweep axis needs at least one value");
+        }
+        if self.workers == 0 {
+            return bad("workers must be at least 1");
+        }
+        if self.procs.iter().any(|&p| p == 0 || p > 255) {
+            return bad("procs must be in 1..=255 (comm keys store ranks in a byte)");
+        }
+        if self
+            .fault_rates
+            .iter()
+            .chain(&self.link_rates)
+            .any(|r| !(0.0..=1.0).contains(r))
+        {
+            return bad("fault and link rates must be in [0, 1]");
+        }
+        for name in &self.benchmarks {
+            if crate::registry::find(name).is_none() {
+                return Err(DpfError::Config {
+                    what: format!("unknown benchmark {name:?} in campaign spec"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The sweep's tenants, in deterministic axis order
+    /// (class, procs, backend, fault rate, link rate).
+    pub fn tenants(&self) -> Vec<TenantSpec> {
+        let mut out = Vec::new();
+        for &class in &self.classes {
+            for &procs in &self.procs {
+                for &backend in &self.backends {
+                    for &fault_rate in &self.fault_rates {
+                        for &link_rate in &self.link_rates {
+                            out.push(TenantSpec {
+                                class,
+                                procs,
+                                backend,
+                                fault_rate,
+                                link_rate,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Remove a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A `"quoted"` TOML string.
+fn parse_string(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got {value:?}"))?;
+    if inner.contains('"') {
+        return Err(format!("unsupported escape in {value:?}"));
+    }
+    Ok(inner.to_string())
+}
+
+/// A `[a, b, c]` list whose items parse via `FromStr`. Items may be
+/// quoted; an error in any item fails the list.
+fn parse_list<T>(value: &str) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    parse_list_of_strings(value)?
+        .iter()
+        .map(|item| item.parse::<T>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn parse_list_of_strings(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [list], got {value:?}"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| {
+            let item = item.trim();
+            if item.is_empty() {
+                return Err("empty list item".to_string());
+            }
+            if item.starts_with('"') {
+                parse_string(item)
+            } else {
+                Ok(item.to_string())
+            }
+        })
+        .collect()
+}
+
+/// One point of the sweep: a full suite configuration in miniature.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// Problem class the tenant runs at.
+    pub class: ProblemClass,
+    /// Virtual-machine processor count.
+    pub procs: usize,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Data-fault rate.
+    pub fault_rate: f64,
+    /// SPMD link-fault rate.
+    pub link_rate: f64,
+}
+
+impl TenantSpec {
+    /// Stable identity string, e.g. `"S/p4/virtual/f0/l0"`. The tenant's
+    /// fault seed derives from this key, so results depend on *what* the
+    /// tenant is, never on when the scheduler ran it.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/p{}/{}/f{}/l{}",
+            self.class, self.procs, self.backend, self.fault_rate, self.link_rate
+        )
+    }
+
+    /// The [`SuiteConfig`] this tenant runs under.
+    pub fn suite_config(&self, campaign: &CampaignSpec, pool: Arc<BufferPool>) -> SuiteConfig {
+        let mut faults =
+            FaultPlan::new(self.fault_rate, derive_seed(campaign.seed, &self.key(), 0));
+        faults.link_rate = self.link_rate;
+        SuiteConfig {
+            machine: Machine::cm5(self.procs),
+            size: Size::Class(self.class),
+            faults,
+            timeout: Duration::from_secs(campaign.timeout_secs),
+            retries: campaign.retries,
+            quarantine: Vec::new(),
+            backend: self.backend,
+            pool: Some(pool),
+        }
+    }
+}
+
+/// One benchmark's recorded §1.5 metrics within a tenant. Only logical
+/// quantities — no wall-clock times, no rates — so rows are identical
+/// across backends, pool sharing and scheduling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantRow {
+    /// Benchmark name.
+    pub name: String,
+    /// How the guarded run ended.
+    pub outcome: RunOutcome,
+    /// Whether the completed attempt verified (false when none did).
+    pub verify: bool,
+    /// FLOPs charged (§1.5 attribute 4).
+    pub flops: u64,
+    /// Declared memory in bytes (attribute 7).
+    pub memory_bytes: u64,
+    /// Problem size in data points.
+    pub points: u64,
+    /// Main-loop iterations executed.
+    pub iterations: u64,
+    /// Aggregated communication records (attribute 6).
+    pub comm: Vec<CommRow>,
+}
+
+/// One aggregated communication record of a [`TenantRow`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommRow {
+    /// Pattern name, e.g. `"gather"`.
+    pub pattern: String,
+    /// Source array rank.
+    pub src_rank: u8,
+    /// Destination array rank.
+    pub dst_rank: u8,
+    /// Primitive invocations.
+    pub calls: u64,
+    /// Elements moved.
+    pub elements: u64,
+    /// Bytes that crossed a virtual-processor boundary.
+    pub offproc_bytes: u64,
+}
+
+impl CommRow {
+    /// The paper's Table 3/7 row label, e.g. `"gather 1-D"` or
+    /// `"send 2-D to 1-D"` (mirrors `CommKey`'s display form).
+    pub fn label(&self) -> String {
+        if self.src_rank == self.dst_rank {
+            format!("{} {}-D", self.pattern, self.src_rank)
+        } else {
+            format!(
+                "{} {}-D to {}-D",
+                self.pattern, self.src_rank, self.dst_rank
+            )
+        }
+    }
+}
+
+impl TenantRow {
+    fn from_guarded(name: &str, guarded: GuardedResult) -> TenantRow {
+        let (verify, flops, memory_bytes, points, iterations, comm) = match &guarded.result {
+            Some(res) => (
+                res.report.verify.is_pass(),
+                res.report.perf.flops,
+                res.report.memory_bytes,
+                res.output.points,
+                res.output.iterations,
+                res.report
+                    .comm
+                    .iter()
+                    .map(|(key, stats)| CommRow {
+                        pattern: key.pattern.to_string(),
+                        src_rank: key.src_rank,
+                        dst_rank: key.dst_rank,
+                        calls: stats.calls,
+                        elements: stats.elements,
+                        offproc_bytes: stats.offproc_bytes,
+                    })
+                    .collect(),
+            ),
+            None => (false, 0, 0, 0, 0, Vec::new()),
+        };
+        TenantRow {
+            name: name.to_string(),
+            outcome: guarded.outcome,
+            verify,
+            flops,
+            memory_bytes,
+            points,
+            iterations,
+            comm,
+        }
+    }
+}
+
+/// One tenant's spec plus its recorded rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantResult {
+    /// The sweep point.
+    pub spec: TenantSpec,
+    /// One row per benchmark the tenant ran, in registry order.
+    pub rows: Vec<TenantRow>,
+}
+
+/// Execution accounting of one campaign run. Scheduling-dependent by
+/// nature, so it appears in [`CampaignReport::summary`] but never in the
+/// JSON artifact (which must be byte-identical serial vs concurrent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Worker-pool bound the run was admitted under.
+    pub workers: usize,
+    /// Most tenants ever in flight at once.
+    pub peak_concurrent: usize,
+    /// High-water mark of the shared pool's shelved bytes.
+    pub pool_peak_bytes: usize,
+    /// The pool's byte budget (0 = unbounded).
+    pub pool_budget_bytes: usize,
+}
+
+/// How [`run_campaign`] schedules tenants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One tenant at a time, in [`CampaignSpec::tenants`] order.
+    Serial,
+    /// Up to `workers` tenants at once on a bounded pool.
+    Concurrent,
+}
+
+/// A completed campaign: every tenant's rows plus execution stats.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Base seed from the spec.
+    pub seed: u64,
+    /// One result per tenant, in sweep order.
+    pub tenants: Vec<TenantResult>,
+    /// Execution accounting (not part of the JSON artifact).
+    pub stats: CampaignStats,
+}
+
+/// Run every tenant of the spec. Both modes produce identical reports up
+/// to [`CampaignReport::stats`]; `Concurrent` bounds parallelism by
+/// `spec.workers` (admission control) and shares one budgeted buffer
+/// pool across all tenants.
+pub fn run_campaign(spec: &CampaignSpec, mode: ExecMode) -> Result<CampaignReport, DpfError> {
+    spec.validate()?;
+    let tenants = spec.tenants();
+    let pool = Arc::new(BufferPool::with_budget(spec.pool_budget_bytes));
+    let peak_concurrent = AtomicUsize::new(0);
+    let results: Vec<TenantResult> = match mode {
+        ExecMode::Serial => {
+            peak_concurrent.store(1, Ordering::Relaxed);
+            tenants
+                .iter()
+                .map(|tenant| run_tenant(spec, tenant, &pool))
+                .collect()
+        }
+        ExecMode::Concurrent => {
+            let workers = spec.workers.min(tenants.len()).max(1);
+            let queue: Mutex<VecDeque<usize>> = Mutex::new((0..tenants.len()).collect());
+            let slots: Vec<Mutex<Option<TenantResult>>> =
+                tenants.iter().map(|_| Mutex::new(None)).collect();
+            let in_flight = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let idx = queue.lock().expect("campaign queue").pop_front();
+                        let Some(idx) = idx else { break };
+                        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak_concurrent.fetch_max(now, Ordering::SeqCst);
+                        let result = run_tenant(spec, &tenants[idx], &pool);
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        *slots[idx].lock().expect("campaign slot") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("campaign slot")
+                        .expect("every queued tenant ran")
+                })
+                .collect()
+        }
+    };
+    Ok(CampaignReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        tenants: results,
+        stats: CampaignStats {
+            workers: spec.workers,
+            peak_concurrent: peak_concurrent.load(Ordering::Relaxed),
+            pool_peak_bytes: pool.peak_shelved_bytes(),
+            pool_budget_bytes: spec.pool_budget_bytes,
+        },
+    })
+}
+
+fn run_tenant(spec: &CampaignSpec, tenant: &TenantSpec, pool: &Arc<BufferPool>) -> TenantResult {
+    let cfg = tenant.suite_config(spec, Arc::clone(pool));
+    let rows = crate::registry::registry()
+        .iter()
+        .filter(|entry| {
+            spec.benchmarks.is_empty() || spec.benchmarks.iter().any(|b| b == entry.name)
+        })
+        .map(|entry| TenantRow::from_guarded(entry.name, run_guarded(entry, Version::Basic, &cfg)))
+        .collect();
+    TenantResult {
+        spec: *tenant,
+        rows,
+    }
+}
+
+impl CampaignReport {
+    /// Rows whose outcome counts as a failure, across all tenants.
+    pub fn failed(&self) -> usize {
+        self.tenants
+            .iter()
+            .flat_map(|t| &t.rows)
+            .filter(|r| !r.outcome.is_success())
+            .count()
+    }
+
+    /// Total rows across all tenants.
+    pub fn total_rows(&self) -> usize {
+        self.tenants.iter().map(|t| t.rows.len()).sum()
+    }
+
+    /// Human-readable run summary, including the scheduling stats the
+    /// JSON artifact deliberately omits.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "dpf campaign {:?}: {} tenant(s), {} row(s), {} failed",
+            self.name,
+            self.tenants.len(),
+            self.total_rows(),
+            self.failed()
+        );
+        for tenant in &self.tenants {
+            let failed = tenant
+                .rows
+                .iter()
+                .filter(|r| !r.outcome.is_success())
+                .count();
+            let _ = writeln!(
+                s,
+                "  {:<28} {} row(s), {} failed",
+                tenant.spec.key(),
+                tenant.rows.len(),
+                failed
+            );
+        }
+        let budget = if self.stats.pool_budget_bytes == 0 {
+            "unbounded".to_string()
+        } else {
+            format!("{} B", self.stats.pool_budget_bytes)
+        };
+        let _ = writeln!(
+            s,
+            "  workers {} (peak concurrent {}), pool peak {} B (budget {})",
+            self.stats.workers, self.stats.peak_concurrent, self.stats.pool_peak_bytes, budget
+        );
+        s
+    }
+
+    /// The campaign as a JSON tree: logical results only, no stats, no
+    /// timings — the artifact is byte-identical serial vs concurrent.
+    pub fn to_json(&self) -> Json {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|tenant| {
+                let rows = tenant
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let comm = row
+                            .comm
+                            .iter()
+                            .map(|c| {
+                                Json::Obj(vec![
+                                    ("pattern".to_string(), Json::str(&c.pattern)),
+                                    ("src_rank".to_string(), Json::U64(c.src_rank as u64)),
+                                    ("dst_rank".to_string(), Json::U64(c.dst_rank as u64)),
+                                    ("calls".to_string(), Json::U64(c.calls)),
+                                    ("elements".to_string(), Json::U64(c.elements)),
+                                    ("offproc_bytes".to_string(), Json::U64(c.offproc_bytes)),
+                                ])
+                            })
+                            .collect();
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::str(&row.name)),
+                            ("outcome".to_string(), row.outcome.to_json()),
+                            ("verify".to_string(), Json::Bool(row.verify)),
+                            ("flops".to_string(), Json::U64(row.flops)),
+                            ("memory_bytes".to_string(), Json::U64(row.memory_bytes)),
+                            ("points".to_string(), Json::U64(row.points)),
+                            ("iterations".to_string(), Json::U64(row.iterations)),
+                            ("comm".to_string(), Json::Arr(comm)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("tenant".to_string(), Json::str(tenant.spec.key())),
+                    ("class".to_string(), Json::str(tenant.spec.class.name())),
+                    ("procs".to_string(), Json::U64(tenant.spec.procs as u64)),
+                    (
+                        "backend".to_string(),
+                        Json::str(tenant.spec.backend.to_string()),
+                    ),
+                    ("fault_rate".to_string(), Json::F64(tenant.spec.fault_rate)),
+                    ("link_rate".to_string(), Json::F64(tenant.spec.link_rate)),
+                    ("rows".to_string(), Json::Arr(rows)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("campaign".to_string(), Json::str(&self.name)),
+            ("seed".to_string(), Json::U64(self.seed)),
+            ("tenants".to_string(), Json::Arr(tenants)),
+        ])
+    }
+
+    /// [`CampaignReport::to_json`] rendered via the shared schema.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstruct a report from its JSON artifact ([`CampaignReport::to_json`]'s
+    /// inverse up to [`CampaignReport::stats`], which the artifact omits).
+    pub fn from_json(value: &Json) -> Result<CampaignReport, String> {
+        let name = value
+            .get("campaign")
+            .and_then(Json::as_str)
+            .ok_or("campaign JSON has no \"campaign\" name")?
+            .to_string();
+        let seed = value
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("campaign JSON has no \"seed\"")?;
+        let tenants = value
+            .get("tenants")
+            .and_then(Json::as_arr)
+            .ok_or("campaign JSON has no \"tenants\"")?
+            .iter()
+            .map(tenant_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignReport {
+            name,
+            seed,
+            tenants,
+            stats: CampaignStats::default(),
+        })
+    }
+
+    /// Parse a rendered JSON artifact back into a report.
+    pub fn parse(text: &str) -> Result<CampaignReport, String> {
+        CampaignReport::from_json(&Json::parse(text)?)
+    }
+}
+
+fn tenant_from_json(value: &Json) -> Result<TenantResult, String> {
+    let str_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("tenant JSON has no {key:?}"))
+    };
+    let f64_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("tenant JSON has no {key:?}"))
+    };
+    let spec = TenantSpec {
+        class: str_field("class")?.parse()?,
+        procs: value
+            .get("procs")
+            .and_then(Json::as_u64)
+            .ok_or("tenant JSON has no \"procs\"")? as usize,
+        backend: str_field("backend")?.parse()?,
+        fault_rate: f64_field("fault_rate")?,
+        link_rate: f64_field("link_rate")?,
+    };
+    let rows = value
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("tenant JSON has no \"rows\"")?
+        .iter()
+        .map(row_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TenantResult { spec, rows })
+}
+
+fn row_from_json(value: &Json) -> Result<TenantRow, String> {
+    let u64_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("row JSON has no {key:?}"))
+    };
+    let comm = value
+        .get("comm")
+        .and_then(Json::as_arr)
+        .ok_or("row JSON has no \"comm\"")?
+        .iter()
+        .map(|c| {
+            let field = |key: &str| {
+                c.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("comm JSON has no {key:?}"))
+            };
+            Ok(CommRow {
+                pattern: c
+                    .get("pattern")
+                    .and_then(Json::as_str)
+                    .ok_or("comm JSON has no \"pattern\"")?
+                    .to_string(),
+                src_rank: field("src_rank")? as u8,
+                dst_rank: field("dst_rank")? as u8,
+                calls: field("calls")?,
+                elements: field("elements")?,
+                offproc_bytes: field("offproc_bytes")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(TenantRow {
+        name: value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("row JSON has no \"name\"")?
+            .to_string(),
+        outcome: RunOutcome::from_json(value.get("outcome").ok_or("row JSON has no \"outcome\"")?)?,
+        verify: value
+            .get("verify")
+            .and_then(Json::as_bool)
+            .ok_or("row JSON has no \"verify\"")?,
+        flops: u64_field("flops")?,
+        memory_bytes: u64_field("memory_bytes")?,
+        points: u64_field("points")?,
+        iterations: u64_field("iterations")?,
+        comm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_the_toml_subset() {
+        let spec = CampaignSpec::parse(
+            r#"
+            # a test campaign
+            name = "mini"
+            classes = [S, W]          # letters may be bare or quoted
+            procs = [1, 4]
+            backends = ["virtual", "spmd"]
+            fault_rates = [0.0]
+            link_rates = [0.0]
+            benchmarks = ["conj-grad", "gather"]
+            seed = 11
+            workers = 2
+            pool_budget_bytes = 1048576
+            timeout_secs = 60
+            retries = 1
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.classes, vec![ProblemClass::S, ProblemClass::W]);
+        assert_eq!(spec.procs, vec![1, 4]);
+        assert_eq!(spec.backends, vec![Backend::Virtual, Backend::Spmd]);
+        assert_eq!(spec.benchmarks, vec!["conj-grad", "gather"]);
+        assert_eq!(spec.seed, 11);
+        assert_eq!(spec.workers, 2);
+        assert_eq!(spec.pool_budget_bytes, 1 << 20);
+        assert_eq!(spec.retries, 1);
+        assert_eq!(spec.tenants().len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn spec_rejects_bad_input() {
+        for (text, needle) in [
+            ("bogus_key = 1", "unknown key"),
+            ("classes = []", "at least one value"),
+            ("workers = 0", "workers"),
+            ("procs = [0]", "procs"),
+            ("fault_rates = [1.5]", "rates"),
+            ("benchmarks = [\"no-such\"]", "unknown benchmark"),
+            ("name = unquoted", "quoted string"),
+            ("just a line", "key = value"),
+        ] {
+            let err = CampaignSpec::parse(text).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_keys_are_stable_and_unique() {
+        let spec = CampaignSpec {
+            classes: vec![ProblemClass::S, ProblemClass::W],
+            procs: vec![1, 4],
+            backends: vec![Backend::Virtual, Backend::Spmd],
+            fault_rates: vec![0.0, 0.01],
+            ..CampaignSpec::default()
+        };
+        let tenants = spec.tenants();
+        assert_eq!(tenants.len(), 16);
+        let keys: std::collections::BTreeSet<String> =
+            tenants.iter().map(TenantSpec::key).collect();
+        assert_eq!(keys.len(), 16, "tenant keys must be unique");
+        assert_eq!(tenants[0].key(), "S/p1/virtual/f0/l0");
+    }
+
+    #[test]
+    fn campaign_json_round_trips() {
+        let spec = CampaignSpec {
+            benchmarks: vec!["gather".to_string(), "conj-grad".to_string()],
+            procs: vec![2],
+            ..CampaignSpec::default()
+        };
+        let report = run_campaign(&spec, ExecMode::Serial).unwrap();
+        assert_eq!(report.failed(), 0);
+        let text = report.render_json();
+        let back = CampaignReport::parse(&text).unwrap();
+        assert_eq!(back.name, report.name);
+        assert_eq!(back.seed, report.seed);
+        assert_eq!(back.tenants, report.tenants);
+        assert_eq!(back.render_json(), text, "render must be a fixed point");
+    }
+}

@@ -17,6 +17,7 @@ fn n_for(size: Size) -> usize {
         Size::Small => 1 << 10,
         Size::Medium => 1 << 16,
         Size::Large => 1 << 20,
+        Size::Class(c) => c.pow2(1 << 10),
     }
 }
 
@@ -110,6 +111,7 @@ pub fn run_transpose(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => 32,
         Size::Medium => 256,
         Size::Large => 1024,
+        Size::Class(c) => c.pow2(32),
     };
     let a = DistArray::<f64>::from_fn(ctx, &[side, side], &[PAR, PAR], |i| {
         (i[0] * side + i[1]) as f64

@@ -10,14 +10,16 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dpf_core::{
-    derive_seed, install_quiet_panic_hook, set_quiet_panics, Backend, BenchReport, Ctx, DpfError,
-    FaultPlan, Machine, RecoverMode,
+    derive_seed, install_quiet_panic_hook, set_quiet_panics, Backend, BenchReport, BufferPool, Ctx,
+    DpfError, FaultPlan, Machine, RecoverMode,
 };
 
 use crate::benchmark::{BenchEntry, RunOutput, Size, Version};
+use crate::schema::Json;
 
 /// Result of one harnessed run: the full metric report plus the runner's
 /// own output.
@@ -136,6 +138,84 @@ impl RunOutcome {
                 | RunOutcome::Quarantined
         )
     }
+
+    /// The outcome as a tagged JSON object (`{"kind": ..., ...}`). In-run
+    /// healing and harness-level restart stay distinct kinds so
+    /// downstream tooling never conflates the two recovery paths.
+    pub fn to_json(&self) -> Json {
+        let kind = |k: &str| ("kind".to_string(), Json::str(k));
+        Json::Obj(match self {
+            RunOutcome::Completed => vec![kind("completed")],
+            RunOutcome::VerifyFailed => vec![kind("verify-failed")],
+            RunOutcome::Panicked(msg) => {
+                vec![kind("panicked"), ("message".to_string(), Json::str(msg))]
+            }
+            RunOutcome::LinkFailed(msg) => {
+                vec![
+                    kind("link-failure"),
+                    ("message".to_string(), Json::str(msg)),
+                ]
+            }
+            RunOutcome::TimedOut => vec![kind("timed-out")],
+            RunOutcome::Healed {
+                respawns,
+                epochs_rewound,
+            } => vec![
+                kind("healed"),
+                ("respawns".to_string(), Json::U64(*respawns)),
+                ("epochs_rewound".to_string(), Json::U64(*epochs_rewound)),
+            ],
+            RunOutcome::Recovered { retries } => vec![
+                kind("recovered"),
+                ("retries".to_string(), Json::U64(*retries as u64)),
+            ],
+            RunOutcome::Quarantined => vec![kind("quarantined")],
+            RunOutcome::ConfigError(msg) => {
+                vec![
+                    kind("config-error"),
+                    ("message".to_string(), Json::str(msg)),
+                ]
+            }
+        })
+    }
+
+    /// Inverse of [`RunOutcome::to_json`].
+    pub fn from_json(value: &Json) -> Result<RunOutcome, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("outcome object has no \"kind\"")?;
+        let msg = || {
+            value
+                .get("message")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("outcome kind {kind:?} has no \"message\""))
+        };
+        let count = |field: &str| {
+            value
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("outcome kind {kind:?} has no {field:?}"))
+        };
+        Ok(match kind {
+            "completed" => RunOutcome::Completed,
+            "verify-failed" => RunOutcome::VerifyFailed,
+            "panicked" => RunOutcome::Panicked(msg()?),
+            "link-failure" => RunOutcome::LinkFailed(msg()?),
+            "timed-out" => RunOutcome::TimedOut,
+            "healed" => RunOutcome::Healed {
+                respawns: count("respawns")?,
+                epochs_rewound: count("epochs_rewound")?,
+            },
+            "recovered" => RunOutcome::Recovered {
+                retries: count("retries")? as u32,
+            },
+            "quarantined" => RunOutcome::Quarantined,
+            "config-error" => RunOutcome::ConfigError(msg()?),
+            other => return Err(format!("unknown outcome kind {other:?}")),
+        })
+    }
 }
 
 impl std::fmt::Display for RunOutcome {
@@ -179,6 +259,10 @@ pub struct SuiteConfig {
     pub quarantine: Vec<String>,
     /// Execution backend every run's context is built with.
     pub backend: Backend,
+    /// Buffer pool the runs' contexts share (`None` = a private pool per
+    /// attempt). Campaign tenants pass one budgeted pool here; sharing is
+    /// metric-invisible (see [`Ctx::build_shared`]).
+    pub pool: Option<Arc<BufferPool>>,
 }
 
 impl Default for SuiteConfig {
@@ -191,6 +275,7 @@ impl Default for SuiteConfig {
             retries: 0,
             quarantine: Vec::new(),
             backend: Backend::Virtual,
+            pool: None,
         }
     }
 }
@@ -252,6 +337,7 @@ struct AttemptSpec {
     plan: FaultPlan,
     timeout: Duration,
     backend: Backend,
+    pool: Option<Arc<BufferPool>>,
 }
 
 /// One attempt on a watchdog-monitored worker thread. The runner is a
@@ -272,7 +358,12 @@ fn run_attempt(
         .spawn(move || {
             set_quiet_panics(true);
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                let ctx = Ctx::build(spec.machine, Some(spec.plan), spec.backend);
+                let ctx = match spec.pool {
+                    Some(pool) => {
+                        Ctx::build_shared(spec.machine, Some(spec.plan), spec.backend, pool)
+                    }
+                    None => Ctx::build(spec.machine, Some(spec.plan), spec.backend),
+                };
                 let start = Instant::now();
                 let output = runner(&ctx, spec.size);
                 let elapsed = start.elapsed();
@@ -362,6 +453,7 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
             plan,
             timeout: cfg.timeout,
             backend: cfg.backend,
+            pool: cfg.pool.clone(),
         };
         launched = attempt + 1;
         match run_attempt(name, version, runner, spec) {
@@ -492,90 +584,50 @@ impl SuiteReport {
         s
     }
 
-    /// Render the sweep as a JSON object. In-run healing and
-    /// harness-level restart are distinct outcome kinds (`healed` with
-    /// respawn/rewind counts vs `recovered` with a retry count), so
-    /// downstream tooling never conflates the two recovery paths.
-    pub fn render_json(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        s.push_str("{\n  \"benchmarks\": [\n");
-        for (i, row) in self.rows.iter().enumerate() {
-            let (verify, problem) = match &row.result {
-                Some(res) => (
-                    if res.report.verify.is_pass() {
-                        "\"pass\""
-                    } else {
-                        "\"fail\""
-                    },
-                    json_escape(&res.output.problem),
-                ),
-                None => ("null", String::new()),
-            };
-            let outcome = match &row.outcome {
-                RunOutcome::Completed => "{\"kind\": \"completed\"}".to_string(),
-                RunOutcome::VerifyFailed => "{\"kind\": \"verify-failed\"}".to_string(),
-                RunOutcome::Panicked(msg) => {
-                    format!(
-                        "{{\"kind\": \"panicked\", \"message\": \"{}\"}}",
-                        json_escape(msg)
-                    )
-                }
-                RunOutcome::LinkFailed(msg) => format!(
-                    "{{\"kind\": \"link-failure\", \"message\": \"{}\"}}",
-                    json_escape(msg)
-                ),
-                RunOutcome::TimedOut => "{\"kind\": \"timed-out\"}".to_string(),
-                RunOutcome::Healed {
-                    respawns,
-                    epochs_rewound,
-                } => format!(
-                    "{{\"kind\": \"healed\", \"respawns\": {respawns}, \
-                     \"epochs_rewound\": {epochs_rewound}}}"
-                ),
-                RunOutcome::Recovered { retries } => {
-                    format!("{{\"kind\": \"recovered\", \"retries\": {retries}}}")
-                }
-                RunOutcome::Quarantined => "{\"kind\": \"quarantined\"}".to_string(),
-                RunOutcome::ConfigError(msg) => format!(
-                    "{{\"kind\": \"config-error\", \"message\": \"{}\"}}",
-                    json_escape(msg)
-                ),
-            };
-            let _ = write!(
-                s,
-                "    {{\"name\": \"{}\", \"verify\": {verify}, \
-                 \"outcome\": {outcome}, \"problem\": \"{problem}\"}}",
-                row.name
-            );
-            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
-        }
-        s.push_str("  ],\n");
-        let _ = writeln!(s, "  \"total\": {},", self.rows.len());
-        let _ = writeln!(s, "  \"failed\": {},", self.failures());
-        let _ = writeln!(s, "  \"config_errors\": {}", self.config_errors());
-        s.push_str("}\n");
-        s
+    /// The sweep as a JSON tree on the shared [`schema`](crate::schema)
+    /// model (one row per benchmark with its verify state, tagged
+    /// [`RunOutcome`] object and problem string, then the counts).
+    pub fn to_json(&self) -> Json {
+        let benchmarks = self
+            .rows
+            .iter()
+            .map(|row| {
+                let (verify, problem) = match &row.result {
+                    Some(res) => (
+                        Json::str(if res.report.verify.is_pass() {
+                            "pass"
+                        } else {
+                            "fail"
+                        }),
+                        res.output.problem.clone(),
+                    ),
+                    None => (Json::Null, String::new()),
+                };
+                Json::Obj(vec![
+                    ("name".to_string(), Json::str(row.name)),
+                    ("verify".to_string(), verify),
+                    ("outcome".to_string(), row.outcome.to_json()),
+                    ("problem".to_string(), Json::str(problem)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("benchmarks".to_string(), Json::Arr(benchmarks)),
+            ("total".to_string(), Json::U64(self.rows.len() as u64)),
+            ("failed".to_string(), Json::U64(self.failures() as u64)),
+            (
+                "config_errors".to_string(),
+                Json::U64(self.config_errors() as u64),
+            ),
+        ])
     }
-}
 
-/// Minimal JSON string escaping for the hand-rolled report renderer.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
+    /// [`SuiteReport::to_json`] rendered through the shared schema
+    /// renderer, so the suite report and the campaign tables can never
+    /// drift apart in escaping or number formatting.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
     }
-    out
 }
 
 /// Run the whole registry (basic versions) under the fault-tolerant

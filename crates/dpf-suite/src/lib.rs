@@ -9,21 +9,39 @@
 //! * [`comm_bench`] — the four §2 communication benchmarks themselves.
 //! * [`soak`] — the `dpf soak` chaos driver: seeded randomized kill/fault
 //!   schedules swept over the registry with a deterministic summary.
+//! * [`classes`] — the NAS-style S/W/A/B/C problem-class axis.
+//! * [`campaign`] — the multi-tenant campaign engine: a spec sweeps
+//!   (class × procs × backend × fault rate) into tenant suites run
+//!   concurrently on a bounded worker pool.
+//! * [`report_tables`] — render a recorded campaign into the paper's
+//!   tables (Markdown + JSON, timing-free).
+//! * [`schema`] — the shared hand-rolled JSON value model every
+//!   machine-readable artifact renders through.
 
 #![warn(missing_docs)]
 
 pub mod benchmark;
+pub mod campaign;
+pub mod classes;
 pub mod comm_bench;
 pub mod harness;
 pub mod registry;
+pub mod report_tables;
 pub mod runners;
+pub mod schema;
 pub mod soak;
 pub mod tables;
 
 pub use benchmark::{BenchEntry, Group, RunOutput, Size, Variant, Version};
+pub use campaign::{
+    run_campaign, CampaignReport, CampaignSpec, CampaignStats, CommRow, ExecMode, TenantResult,
+    TenantRow, TenantSpec,
+};
+pub use classes::ProblemClass;
 pub use harness::{
     run, run_basic, run_guarded, run_on, run_suite, GuardedResult, HarnessResult, RunOutcome,
     SuiteConfig, SuiteReport, SuiteRow,
 };
 pub use registry::{find, registry};
+pub use schema::Json;
 pub use soak::{run_soak, SoakConfig, SoakIteration, SoakReport, SoakRow};

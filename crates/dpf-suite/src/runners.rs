@@ -39,6 +39,7 @@ fn matvec_impl(ctx: &Ctx, size: Size, library: bool) -> RunOutput {
         Size::Small => (2, 16, 16),
         Size::Medium => (4, 128, 128),
         Size::Large => (4, 512, 512),
+        Size::Class(c) => (c.linear(2), c.pow2(16), c.pow2(16)),
     };
     let (a, x) = matvec::workload(ctx, matvec::MvLayout::Instances, ni, n, m);
     let y = if library {
@@ -61,6 +62,7 @@ pub fn lu(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => (16, 2),
         Size::Medium => (96, 4),
         Size::Large => (256, 8),
+        Size::Class(c) => (c.linear(16), c.linear(2)),
     };
     let (a, b) = lu::workload(ctx, n, r);
     let f = ctx.phase("lu:factor", || lu::lu_factor(ctx, &a));
@@ -80,6 +82,7 @@ pub fn lu_blocked(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => (16, 2, 4),
         Size::Medium => (96, 4, 16),
         Size::Large => (256, 8, 32),
+        Size::Class(c) => (c.linear(16), c.linear(2), c.linear(4)),
     };
     let (a, b) = lu::workload(ctx, n, r);
     let f = ctx.phase("lu:factor", || lu::lu_factor_blocked(ctx, &a, nb));
@@ -99,6 +102,7 @@ pub fn qr(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => (24, 12, 2),
         Size::Medium => (128, 64, 4),
         Size::Large => (384, 192, 4),
+        Size::Class(c) => (c.linear(24), c.linear(12), c.linear(2)),
     };
     let (a, b, x_true) = qr::workload(ctx, m, n, r);
     let f = ctx.phase("qr:factor", || qr::qr_factor(ctx, &a));
@@ -118,6 +122,7 @@ pub fn gauss_jordan(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => 16,
         Size::Medium => 96,
         Size::Large => 256,
+        Size::Class(c) => c.linear(16),
     };
     let (a, b) = gj::workload(ctx, n);
     let x = gj::gauss_jordan_solve(ctx, &a, &b);
@@ -156,6 +161,11 @@ fn pcr_impl(ctx: &Ctx, size: Size, rank: usize) -> RunOutput {
         (3, Size::Small) => vec![2, 4, 16],
         (3, Size::Medium) => vec![8, 16, 64],
         (3, Size::Large) => vec![16, 64, 256],
+        // Class axis: only the solved (last) dimension must stay a power
+        // of two; batch dimensions grow linearly to bound memory.
+        (1, Size::Class(c)) => vec![c.pow2(64)],
+        (2, Size::Class(c)) => vec![c.linear(4), c.pow2(32)],
+        (3, Size::Class(c)) => vec![c.linear(2), c.linear(4), c.pow2(16)],
         _ => unreachable!(),
     };
     let axes = vec![PAR; shape.len()];
@@ -177,6 +187,7 @@ pub fn conj_grad(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => 128,
         Size::Medium => 4096,
         Size::Large => 1 << 16,
+        Size::Class(c) => c.pow2(128),
     };
     let sys = cg::workload(ctx, n);
     let every = ctx.faults.checkpoint_every();
@@ -207,6 +218,7 @@ pub fn conj_grad_optimized(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => 128,
         Size::Medium => 4096,
         Size::Large => 1 << 16,
+        Size::Class(c) => c.pow2(128),
     };
     let sys = cg::workload(ctx, n);
     let out = cg::cg_solve_optimized(ctx, &sys, 1e-11, 10 * n);
@@ -225,6 +237,7 @@ pub fn jacobi(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => 8,
         Size::Medium => 24,
         Size::Large => 48,
+        Size::Class(c) => c.linear(8),
     };
     let a = jc::workload(ctx, n);
     let every = ctx.faults.checkpoint_every();
@@ -255,6 +268,13 @@ pub fn fft(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Small => [vec![256], vec![16, 16], vec![8, 8, 8]],
         Size::Medium => [vec![1 << 16], vec![256, 256], vec![32, 32, 32]],
         Size::Large => [vec![1 << 20], vec![1024, 1024], vec![64, 64, 64]],
+        // Scale the leading axis only: every dimension stays a power of
+        // two and the 3-D round trip grows geometrically, not cubed.
+        Size::Class(c) => [
+            vec![c.pow2(256)],
+            vec![c.pow2(16), 16],
+            vec![c.pow2(8), 8, 8],
+        ],
     };
     let mut worst = Verify::NotApplicable;
     let mut points = 0u64;
@@ -298,6 +318,12 @@ pub fn boson(ctx: &Ctx, size: Size) -> RunOutput {
             sweeps: 20,
             ..Default::default()
         },
+        Size::Class(c) => b::Params {
+            nt: c.pow2(4),
+            nx: c.pow2(8),
+            sweeps: c.linear(3),
+            ..Default::default()
+        },
     };
     let (_, verify) = b::run(ctx, &p);
     RunOutput {
@@ -321,6 +347,11 @@ pub fn diff_1d(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => d::Params {
             nx: 1 << 16,
             steps: 16,
+            ..Default::default()
+        },
+        Size::Class(c) => d::Params {
+            nx: c.pow2(64),
+            steps: c.linear(4),
             ..Default::default()
         },
     };
@@ -361,6 +392,11 @@ pub fn diff_2d(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => d::Params {
             nx: 512,
             steps: 10,
+            ..Default::default()
+        },
+        Size::Class(c) => d::Params {
+            nx: c.linear(16),
+            steps: c.linear(3),
             ..Default::default()
         },
     };
@@ -407,6 +443,11 @@ pub fn diff_3d(ctx: &Ctx, size: Size) -> RunOutput {
             steps: 20,
             ..Default::default()
         },
+        Size::Class(c) => d::Params {
+            n: c.linear(8),
+            steps: c.linear(3),
+            ..Default::default()
+        },
     };
     let every = ctx.faults.checkpoint_every();
     if every > 0 {
@@ -451,6 +492,11 @@ pub fn diff_3d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
             steps: 20,
             ..Default::default()
         },
+        Size::Class(c) => d::Params {
+            n: c.linear(8),
+            steps: c.linear(3),
+            ..Default::default()
+        },
     };
     let (_, verify) = d::run_optimized(ctx, &p);
     RunOutput {
@@ -475,6 +521,10 @@ pub fn ellip_2d(ctx: &Ctx, size: Size) -> RunOutput {
             max_iter: 4000,
             ..Default::default()
         },
+        Size::Class(c) => e::Params {
+            n: c.linear(16),
+            ..Default::default()
+        },
     };
     let (_, iters, verify) = e::run(ctx, &p);
     RunOutput {
@@ -497,6 +547,11 @@ pub fn fem_3d(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => f::Params {
             nv_side: 14,
             max_iter: 1500,
+            ..Default::default()
+        },
+        Size::Class(c) => f::Params {
+            nv_side: c.linear(4),
+            max_iter: c.linear(500),
             ..Default::default()
         },
     };
@@ -524,6 +579,11 @@ pub fn fermion(ctx: &Ctx, size: Size) -> RunOutput {
             l: 12,
             chain: 8,
         },
+        Size::Class(c) => f::Params {
+            sites: c.pow2(16),
+            l: c.linear(4),
+            chain: c.linear(2),
+        },
     };
     let (_, verify) = f::run(ctx, &p);
     RunOutput {
@@ -548,6 +608,11 @@ pub fn fermion_optimized(ctx: &Ctx, size: Size) -> RunOutput {
             sites: 1024,
             l: 12,
             chain: 8,
+        },
+        Size::Class(c) => f::Params {
+            sites: c.pow2(16),
+            l: c.linear(4),
+            chain: c.linear(2),
         },
     };
     let (_, verify) = f::run_optimized(ctx, &p);
@@ -574,6 +639,12 @@ pub fn gmo(ctx: &Ctx, size: Size) -> RunOutput {
             ns: 2048,
             ntr: 512,
             t0: 512.0,
+            ..Default::default()
+        },
+        Size::Class(c) => g::Params {
+            ns: c.pow2(64),
+            ntr: c.pow2(16),
+            t0: c.pow2(20) as f64,
             ..Default::default()
         },
     };
@@ -603,6 +674,12 @@ pub fn ks_spectral(ctx: &Ctx, size: Size) -> RunOutput {
             steps: 50,
             ..Default::default()
         },
+        Size::Class(c) => k::Params {
+            ne: c.linear(2),
+            nx: c.pow2(32),
+            steps: c.linear(5),
+            ..Default::default()
+        },
     };
     let (_, verify) = k::run(ctx, &p);
     RunOutput {
@@ -626,6 +703,11 @@ pub fn md(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => m::Params {
             side: 6,
             steps: 20,
+            ..Default::default()
+        },
+        Size::Class(c) => m::Params {
+            side: c.linear(2),
+            steps: c.linear(5),
             ..Default::default()
         },
     };
@@ -676,6 +758,11 @@ pub fn mdcell(ctx: &Ctx, size: Size) -> RunOutput {
             steps: 8,
             ..Default::default()
         },
+        Size::Class(c) => m::Params {
+            nc: c.linear(3),
+            steps: c.linear(2),
+            ..Default::default()
+        },
     };
     let (_, verify) = m::run(ctx, &p);
     RunOutput {
@@ -702,6 +789,7 @@ fn n_body_impl(ctx: &Ctx, size: Size, variant: dpf_apps::n_body::Variant) -> Run
         Size::Small => 24,
         Size::Medium => 128,
         Size::Large => 512,
+        Size::Class(c) => c.pow2(24),
     };
     let p = nb::Params { n, eps2: 1e-2 };
     let (_, _, verify) = nb::run(ctx, &p, variant);
@@ -730,6 +818,12 @@ pub fn pic_simple(ctx: &Ctx, size: Size) -> RunOutput {
             steps: 10,
             ..Default::default()
         },
+        Size::Class(c) => p::Params {
+            np: c.pow2(128),
+            ng: c.pow2(8),
+            steps: c.linear(3),
+            ..Default::default()
+        },
     };
     let (_, verify) = p::run(ctx, &pars);
     RunOutput {
@@ -755,6 +849,11 @@ pub fn pic_gather_scatter(ctx: &Ctx, size: Size) -> RunOutput {
             ng: 16,
             steps: 8,
         },
+        Size::Class(c) => p::Params {
+            np: c.pow2(128),
+            ng: c.linear(4),
+            steps: c.linear(2),
+        },
     };
     let (_, verify) = p::run(ctx, &pars);
     RunOutput {
@@ -777,6 +876,11 @@ pub fn qcd_kernel(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => q::Params {
             n: 6,
             max_iter: 400,
+            ..Default::default()
+        },
+        Size::Class(c) => q::Params {
+            n: c.linear(2),
+            max_iter: c.linear(200),
             ..Default::default()
         },
     };
@@ -802,6 +906,11 @@ pub fn qmc(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => q::Params {
             n_walkers: 8192,
             blocks: 60,
+            ..Default::default()
+        },
+        Size::Class(c) => q::Params {
+            n_walkers: c.pow2(512),
+            blocks: c.linear(12),
             ..Default::default()
         },
     };
@@ -833,6 +942,12 @@ pub fn qptransport(ctx: &Ctx, size: Size) -> RunOutput {
             n_edges: 1 << 14,
             iters: 120,
         },
+        Size::Class(c) => q::Params {
+            n_src: c.linear(8),
+            n_dst: c.linear(6),
+            n_edges: c.pow2(64),
+            iters: c.linear(40),
+        },
     };
     let iters = p.iters;
     let edges = p.n_edges;
@@ -860,6 +975,11 @@ pub fn rp(ctx: &Ctx, size: Size) -> RunOutput {
             max_iter: 1500,
             ..Default::default()
         },
+        Size::Class(c) => r::Params {
+            n: c.linear(6),
+            max_iter: c.linear(200),
+            ..Default::default()
+        },
     };
     let (_, iters, verify) = r::run(ctx, &p);
     RunOutput {
@@ -883,6 +1003,11 @@ pub fn step4(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => s::Params {
             n: 256,
             steps: 30,
+            ..Default::default()
+        },
+        Size::Class(c) => s::Params {
+            n: c.pow2(16),
+            steps: c.linear(3),
             ..Default::default()
         },
     };
@@ -910,6 +1035,11 @@ pub fn step4_optimized(ctx: &Ctx, size: Size) -> RunOutput {
             steps: 30,
             ..Default::default()
         },
+        Size::Class(c) => s4::Params {
+            n: c.pow2(16),
+            steps: c.linear(3),
+            ..Default::default()
+        },
     };
     let (_, verify) = s4::run_optimized(ctx, &p);
     RunOutput {
@@ -933,6 +1063,11 @@ pub fn wave_1d(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => w::Params {
             nx: 1 << 14,
             steps: 100,
+            ..Default::default()
+        },
+        Size::Class(c) => w::Params {
+            nx: c.pow2(64),
+            steps: c.linear(10),
             ..Default::default()
         },
     };
@@ -973,6 +1108,11 @@ pub fn wave_1d_optimized(ctx: &Ctx, size: Size) -> RunOutput {
         Size::Large => w::Params {
             nx: 1 << 14,
             steps: 100,
+            ..Default::default()
+        },
+        Size::Class(c) => w::Params {
+            nx: c.pow2(64),
+            steps: c.linear(10),
             ..Default::default()
         },
     };

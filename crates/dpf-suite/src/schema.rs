@@ -1,0 +1,416 @@
+//! The one JSON value model every suite artifact renders through.
+//!
+//! The suite deliberately carries no serialization dependency, and before
+//! this module each JSON emitter hand-formatted its own strings — the
+//! suite report and the campaign tables could (and did) drift apart in
+//! escaping and number formatting. Everything machine-readable now builds
+//! a [`Json`] tree and renders it here, so one renderer defines the
+//! byte-level format and one parser can read every artifact back.
+//!
+//! Determinism is part of the contract: object keys keep their insertion
+//! order (no hashing), arrays keep theirs, and floats render via Rust's
+//! shortest-round-trip `{:?}` formatting (`2.0` stays `"2.0"`), so the
+//! same tree always renders to the same bytes — the property the golden
+//! tests and the serial-vs-concurrent campaign comparison rely on.
+
+/// A JSON value with deterministic rendering.
+///
+/// Integers and floats are distinct variants: §1.5 metrics are exact
+/// counters (`U64`), while derived ratios are `F64`. The parser keeps the
+/// distinction by reading integer-looking numbers as [`Json::U64`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (exact counters).
+    U64(u64),
+    /// A float (derived ratios); must be finite.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved and significant for rendering.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is a [`Json::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a float ([`Json::U64`] widens losslessly for
+    /// metric-sized values).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(x) => Some(*x),
+            Json::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Json::Arr`].
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is a [`Json::Obj`].
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Render as pretty-printed JSON (2-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            // `{:?}` is Rust's shortest round-trip float formatting:
+            // integral floats keep their ".0", so U64 vs F64 survives a
+            // render → parse → render cycle byte-for-byte.
+            Json::F64(x) => out.push_str(&format!("{x:?}")),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    out.push('"');
+                    out.push_str(&json_escape(k));
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document produced by [`Json::render`] (or any JSON
+    /// within this model: finite numbers, no duplicate-key semantics).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Minimal JSON string escaping (control characters, quotes, backslash).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------ recursive descent
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number run");
+    // Integer-looking numbers stay exact; everything else is a float.
+    if let Ok(n) = text.parse::<u64>() {
+        return Ok(Json::U64(n));
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one full UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid utf-8 at byte {pos}"))?;
+                let c = rest.chars().next().expect("non-empty rest");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::str("fft")),
+            ("flops".to_string(), Json::U64(123456)),
+            ("ratio".to_string(), Json::F64(2.0)),
+            ("verify".to_string(), Json::Null),
+            ("ok".to_string(), Json::Bool(true)),
+            (
+                "rows".to_string(),
+                Json::Arr(vec![Json::U64(1), Json::F64(0.5), Json::str("a \"b\"\n")]),
+            ),
+            ("empty".to_string(), Json::Arr(vec![])),
+        ])
+    }
+
+    #[test]
+    fn render_parse_round_trips_bytes() {
+        let doc = sample();
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.render(), text, "render must be a fixed point");
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = Json::F64(2.0).render();
+        assert_eq!(text, "2.0\n");
+        assert_eq!(Json::parse(&text).unwrap(), Json::F64(2.0));
+        assert_eq!(Json::parse("2\n").unwrap(), Json::U64(2));
+    }
+
+    #[test]
+    fn accessors_read_fields() {
+        let doc = sample();
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("fft"));
+        assert_eq!(doc.get("flops").and_then(Json::as_u64), Some(123456));
+        assert_eq!(doc.get("ratio").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "quote \" backslash \\ newline \n tab \t ctrl \u{1} unicode é";
+        let doc = Json::str(s);
+        let back = Json::parse(&doc.render()).unwrap();
+        assert_eq!(back.as_str(), Some(s));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+}

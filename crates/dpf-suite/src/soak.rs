@@ -122,11 +122,7 @@ impl SoakReport {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let size = match self.config.base.size {
-            crate::benchmark::Size::Small => "small",
-            crate::benchmark::Size::Medium => "medium",
-            crate::benchmark::Size::Large => "large",
-        };
+        let size = self.config.base.size.label();
         let _ = writeln!(
             s,
             "dpf soak: {} iteration(s), seed {}, kill-rate {}, backend {}, size {size}, {} benchmarks",

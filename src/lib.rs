@@ -49,6 +49,7 @@ pub use dpf_core::{
     Backend, Ctx, DpfError, FaultKind, FaultPlan, LinkFaultKind, Machine, RecoverMode, Verify,
 };
 pub use dpf_suite::{
-    find, registry, run, run_basic, run_guarded, run_on, run_soak, run_suite, RunOutcome, Size,
-    SoakConfig, SuiteConfig, SuiteReport, Version,
+    find, registry, run, run_basic, run_campaign, run_guarded, run_on, run_soak, run_suite,
+    CampaignReport, CampaignSpec, ExecMode, ProblemClass, RunOutcome, Size, SoakConfig,
+    SuiteConfig, SuiteReport, Version,
 };

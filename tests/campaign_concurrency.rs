@@ -1,0 +1,112 @@
+//! Concurrency stress for the campaign engine: many tenants on an
+//! oversubscribed worker pool must record row-for-row exactly the same
+//! logical metrics as a serial sweep, and the admission controls (worker
+//! bound, pool byte budget) must actually bind.
+
+use std::sync::Arc;
+
+use dpf::core::BufferPool;
+use dpf::suite::campaign::{run_campaign, CampaignSpec, ExecMode};
+use dpf::{Backend, ProblemClass};
+
+/// Sixteen tenants: S x procs {1, 2, 4, 8} x both backends x fault rates
+/// {0, 0.01}, on a pool of only 3 workers. A benchmark subset keeps the
+/// stress seconds-scale without losing any of the contention.
+fn stress_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "stress".to_string(),
+        classes: vec![ProblemClass::S],
+        procs: vec![1, 2, 4, 8],
+        backends: vec![Backend::Virtual, Backend::Spmd],
+        fault_rates: vec![0.0, 0.01],
+        link_rates: vec![0.0],
+        benchmarks: vec![
+            "conj-grad".to_string(),
+            "gather".to_string(),
+            "transpose".to_string(),
+            "wave-1D".to_string(),
+        ],
+        seed: 42,
+        workers: 3,
+        pool_budget_bytes: 0,
+        timeout_secs: 300,
+        retries: 1,
+    }
+}
+
+#[test]
+fn oversubscribed_pool_matches_serial_row_for_row() {
+    let spec = stress_spec();
+    assert_eq!(spec.tenants().len(), 16, "16 tenants on 3 workers");
+
+    let serial = run_campaign(&spec, ExecMode::Serial).unwrap();
+    let concurrent = run_campaign(&spec, ExecMode::Concurrent).unwrap();
+
+    // Row-for-row: same tenants in the same order with identical logical
+    // metrics (outcome, verify, flops, memory, points, comm records).
+    assert_eq!(serial.tenants.len(), concurrent.tenants.len());
+    for (s, c) in serial.tenants.iter().zip(&concurrent.tenants) {
+        assert_eq!(s.spec.key(), c.spec.key());
+        assert_eq!(s.rows, c.rows, "tenant {} diverged", s.spec.key());
+    }
+    // And therefore byte-identical artifacts.
+    assert_eq!(serial.render_json(), concurrent.render_json());
+
+    // The worker bound held.
+    assert!(concurrent.stats.peak_concurrent >= 1);
+    assert!(
+        concurrent.stats.peak_concurrent <= spec.workers,
+        "admission control exceeded the worker bound: {} > {}",
+        concurrent.stats.peak_concurrent,
+        spec.workers
+    );
+}
+
+#[test]
+fn pool_budget_is_never_exceeded_under_contention() {
+    // A deliberately tiny budget: tenants will constantly hit the
+    // admission check and drop retired buffers instead of shelving them.
+    let budget = 64 * 1024;
+    let spec = CampaignSpec {
+        pool_budget_bytes: budget,
+        ..stress_spec()
+    };
+    let report = run_campaign(&spec, ExecMode::Concurrent).unwrap();
+    assert_eq!(report.stats.pool_budget_bytes, budget);
+    assert!(
+        report.stats.pool_peak_bytes <= budget,
+        "shared pool burst its budget: {} > {budget}",
+        report.stats.pool_peak_bytes
+    );
+
+    // Metric invariance: the budgeted run records the same artifact as
+    // an unbounded serial run — the pool is invisible to §1.5 metrics.
+    let unbounded = run_campaign(&stress_spec(), ExecMode::Serial).unwrap();
+    assert_eq!(report.render_json(), unbounded.render_json());
+}
+
+#[test]
+fn shared_pool_admission_is_thread_safe_under_direct_stress() {
+    // Direct pool-level stress (no harness in the way): hammer one
+    // budgeted pool from many threads and check the high-water mark.
+    let budget = 16 * 1024;
+    let pool = Arc::new(BufferPool::with_budget(budget));
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let pool = Arc::clone(&pool);
+            scope.spawn(move || {
+                for i in 0..500 {
+                    let len = 64 + (t * 131 + i * 17) % 512;
+                    let buf: Vec<f64> = pool.take(len);
+                    pool.put(buf);
+                }
+            });
+        }
+    });
+    assert!(
+        pool.peak_shelved_bytes() <= budget,
+        "pool burst its budget: {} > {budget}",
+        pool.peak_shelved_bytes()
+    );
+    assert!(pool.shelved_bytes() <= budget);
+}

@@ -1,0 +1,216 @@
+//! Golden tests for the campaign engine's artifacts.
+//!
+//! The golden campaign (`campaigns/golden_s.toml`: class S, procs {1, 4},
+//! both backends, fault-free) is run once and its three artifacts —
+//! `campaign.json`, `tables.md`, `tables.json` — are pinned byte-for-byte
+//! under `tests/golden/campaign/`. CI additionally runs the same spec
+//! through the `dpf campaign` CLI and diffs against the same files.
+//!
+//! What the pins prove:
+//! * determinism — rerunning the campaign reproduces every byte;
+//! * schedule independence — the concurrent executor renders the same
+//!   artifact as the serial one;
+//! * backend invariance — the tables from the virtual-only tenants equal
+//!   the tables from the SPMD-only tenants (the tables carry only
+//!   logical §1.5 quantities, which PR 3 made backend-invariant).
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test --test campaign_tables` and review the
+//! diff like any other golden update.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dpf::suite::campaign::{run_campaign, CampaignReport, CampaignSpec, ExecMode};
+use dpf::suite::harness::{RunOutcome, SuiteReport, SuiteRow};
+use dpf::suite::schema::Json;
+use dpf::suite::{report_tables, run_guarded, SuiteConfig, Version};
+use dpf::Machine;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden_dir() -> PathBuf {
+    repo_root().join("tests/golden/campaign")
+}
+
+fn golden_spec() -> CampaignSpec {
+    let path = repo_root().join("campaigns/golden_s.toml");
+    let text =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    CampaignSpec::parse(&text).expect("golden campaign spec parses")
+}
+
+fn run_golden(mode: ExecMode) -> CampaignReport {
+    run_campaign(&golden_spec(), mode).expect("golden campaign runs")
+}
+
+fn check_golden(file: &str, rendered: &str) {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let expected_path = golden_dir().join(file);
+    if update {
+        fs::create_dir_all(golden_dir()).unwrap();
+        fs::write(&expected_path, rendered).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+        panic!(
+            "{} is missing; run UPDATE_GOLDEN=1 cargo test --test campaign_tables",
+            expected_path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "{file} drifted from its golden; if intentional, bless with \
+         UPDATE_GOLDEN=1 cargo test --test campaign_tables"
+    );
+}
+
+#[test]
+fn golden_campaign_artifacts_are_byte_stable() {
+    let report = run_golden(ExecMode::Serial);
+    assert_eq!(report.failed(), 0, "golden campaign must be clean");
+    check_golden("campaign.expected.json", &report.render_json());
+    check_golden(
+        "tables.expected.md",
+        &report_tables::render_markdown(&report),
+    );
+    check_golden("tables.expected.json", &report_tables::render_json(&report));
+
+    // Determinism: a second run of the same spec reproduces every byte.
+    let again = run_golden(ExecMode::Serial);
+    assert_eq!(again.render_json(), report.render_json());
+}
+
+#[test]
+fn concurrent_execution_renders_identical_artifacts() {
+    let serial = run_golden(ExecMode::Serial);
+    let concurrent = run_golden(ExecMode::Concurrent);
+    assert_eq!(concurrent.render_json(), serial.render_json());
+    assert_eq!(
+        report_tables::render_markdown(&concurrent),
+        report_tables::render_markdown(&serial)
+    );
+    assert_eq!(
+        report_tables::render_json(&concurrent),
+        report_tables::render_json(&serial)
+    );
+}
+
+/// Keep only the tenants running on the named backend.
+fn backend_only(report: &CampaignReport, backend: &str) -> CampaignReport {
+    let mut out = report.clone();
+    out.tenants
+        .retain(|t| t.spec.backend.to_string() == backend);
+    out
+}
+
+#[test]
+fn tables_are_backend_invariant() {
+    let report = run_golden(ExecMode::Serial);
+    let virtual_only = backend_only(&report, "virtual");
+    let spmd_only = backend_only(&report, "spmd");
+    assert!(!virtual_only.tenants.is_empty() && !spmd_only.tenants.is_empty());
+    assert_eq!(
+        report_tables::render_markdown(&virtual_only),
+        report_tables::render_markdown(&spmd_only),
+        "tables must not depend on the execution backend"
+    );
+    assert_eq!(
+        report_tables::render_json(&virtual_only),
+        report_tables::render_json(&spmd_only)
+    );
+}
+
+#[test]
+fn campaign_artifact_round_trips_through_schema() {
+    let report = run_golden(ExecMode::Serial);
+    let text = report.render_json();
+    let back = CampaignReport::parse(&text).expect("artifact parses back");
+    assert_eq!(back.name, report.name);
+    assert_eq!(back.seed, report.seed);
+    assert_eq!(back.tenants, report.tenants);
+    assert_eq!(back.render_json(), text, "render must be a fixed point");
+    // The regenerated-from-artifact tables match the originals exactly.
+    assert_eq!(
+        report_tables::render_markdown(&back),
+        report_tables::render_markdown(&report)
+    );
+}
+
+#[test]
+fn suite_report_json_shares_the_schema() {
+    // One real row (completed, verified) plus every synthetic outcome
+    // class the harness can record.
+    let entry = dpf::find("conj-grad").unwrap();
+    let cfg = SuiteConfig {
+        machine: Machine::cm5(4),
+        ..SuiteConfig::default()
+    };
+    let guarded = run_guarded(&entry, Version::Basic, &cfg);
+    let report = SuiteReport {
+        rows: vec![
+            SuiteRow {
+                name: "conj-grad",
+                outcome: guarded.outcome.clone(),
+                result: guarded.result,
+            },
+            SuiteRow {
+                name: "panicky",
+                outcome: RunOutcome::Panicked("boom \"quoted\"\n".to_string()),
+                result: None,
+            },
+            SuiteRow {
+                name: "slow",
+                outcome: RunOutcome::TimedOut,
+                result: None,
+            },
+            SuiteRow {
+                name: "healed",
+                outcome: RunOutcome::Healed {
+                    respawns: 2,
+                    epochs_rewound: 3,
+                },
+                result: None,
+            },
+            SuiteRow {
+                name: "retried",
+                outcome: RunOutcome::Recovered { retries: 1 },
+                result: None,
+            },
+            SuiteRow {
+                name: "skipped",
+                outcome: RunOutcome::Quarantined,
+                result: None,
+            },
+            SuiteRow {
+                name: "misconfigured",
+                outcome: RunOutcome::ConfigError("no such variant".to_string()),
+                result: None,
+            },
+        ],
+        setup_errors: vec![dpf::DpfError::Config {
+            what: "unknown benchmark \"nope\"".to_string(),
+        }],
+    };
+
+    // The rendered report parses back through the shared schema and the
+    // parse → render cycle is the identity on bytes.
+    let text = report.render_json();
+    let doc = Json::parse(&text).expect("suite report JSON parses");
+    assert_eq!(doc.render(), text);
+    assert_eq!(doc, report.to_json());
+
+    // Every row's outcome object round-trips through the RunOutcome
+    // codec the campaign artifact reuses.
+    let rows = doc.get("benchmarks").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), report.rows.len());
+    for (row_json, row) in rows.iter().zip(&report.rows) {
+        assert_eq!(row_json.get("name").and_then(Json::as_str), Some(row.name),);
+        let outcome = RunOutcome::from_json(row_json.get("outcome").unwrap()).unwrap();
+        assert_eq!(outcome, row.outcome);
+    }
+    assert_eq!(doc.get("total").and_then(Json::as_u64), Some(7));
+    assert_eq!(doc.get("config_errors").and_then(Json::as_u64), Some(2));
+}
