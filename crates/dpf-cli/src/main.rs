@@ -7,7 +7,10 @@
 //! dpf table <1..8|perf|eff|model>   # regenerate a paper table
 //! dpf soak [options]                # seeded chaos sweeps: kills + faults
 //! dpf campaign <spec.toml> [--serial] [--format text|json] [--out DIR]
-//!                                   # run a multi-tenant sweep from a spec
+//!              [--resume] [--deadline-secs N]
+//!                                   # run a multi-tenant sweep from a spec;
+//!                                   # with --out the run keeps a durable
+//!                                   # journal and --resume continues it
 //! dpf tables [--campaign FILE] [--out DIR]
 //!                                   # paper tables from a recorded campaign
 //! dpf lint [--format text|json] [--deny warnings]
@@ -16,7 +19,9 @@
 //! Exit codes: 0 = success; 1 = runtime/benchmark failure (verify
 //! failure, panic, timeout, link failure); 2 = configuration error
 //! (bad flags, unknown benchmark, missing variant, unknown quarantine
-//! name, bad campaign spec, lint findings).
+//! name, bad campaign spec, corrupt journal/artifact, lint findings);
+//! 130 = interrupted (SIGINT/SIGTERM drained a partial run — for
+//! campaigns the journal is kept, so `--resume` completes it).
 //!
 //! options:
 //!   --size small|medium|large|S|W|A|B|C
@@ -49,11 +54,16 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dpf_core::{Backend, FaultPlan, Machine, RecoverMode};
+use dpf_core::{Backend, DpfError, FaultPlan, Machine, RecoverMode};
 use dpf_suite::{
-    find, registry, report_tables, run_campaign, tables, CampaignReport, CampaignSpec, ExecMode,
-    ProblemClass, Size, SoakConfig, SuiteConfig, Version,
+    find, journal, registry, report_tables, run_campaign, run_campaign_with, shutdown, tables,
+    CampaignReport, CampaignRun, CampaignSpec, CancelToken, ExecMode, ProblemClass, Size,
+    SoakConfig, SuiteConfig, Version,
 };
+
+/// The conventional "terminated by SIGINT" code: a partial run was
+/// drained gracefully rather than completed.
+const EXIT_INTERRUPTED: u8 = 130;
 
 struct Options {
     size: Size,
@@ -122,6 +132,7 @@ impl Options {
             quarantine: self.quarantine.clone(),
             backend: self.backend,
             pool: None,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -263,6 +274,7 @@ fn usage() -> ExitCode {
          [--checkpoint-every N] [--quarantine a,b] [--format text|json]\n\
          \x20      dpf soak [--iterations N] [--kill-rate RATE] [common options]\n\
          \x20      dpf campaign <spec.toml> [--serial] [--format text|json] [--out DIR]\n\
+         \x20                   [--resume] [--deadline-secs N]\n\
          \x20      dpf tables [--campaign FILE] [--out DIR]\n\
          \x20      dpf lint [--format text|json] [--deny warnings] [--root PATH]"
     );
@@ -271,18 +283,45 @@ fn usage() -> ExitCode {
 
 /// `dpf campaign <spec.toml>`: expand the spec's sweep axes into tenants
 /// and run them (concurrently unless `--serial`). With `--out DIR`, the
-/// three artifacts — `campaign.json`, `tables.md`, `tables.json` — are
-/// written there; stdout gets the summary (or the campaign JSON under
-/// `--format json`). Exit 1 when any row failed, 2 on spec/IO errors.
+/// run keeps a durable row journal in DIR and — on completion — writes
+/// the three artifacts `campaign.json`, `tables.md`, `tables.json`
+/// atomically there; stdout gets the summary (or the campaign JSON
+/// under `--format json`). `--resume` replays the journal from an
+/// interrupted or killed run and measures only what is missing; the
+/// finished artifacts are byte-identical to an uninterrupted run's.
+/// Exit 1 when any row failed, 2 on spec/journal/IO errors, 130 when a
+/// SIGINT/SIGTERM drained the run part-way (journal kept for --resume).
 fn run_campaign_cmd(args: &[String]) -> Result<ExitCode, String> {
     let mut spec_path: Option<&str> = None;
     let mut serial = false;
     let mut format_json = false;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut deadline_secs: Option<u64> = None;
+    let mut crash_after_rows: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--serial" => serial = true,
+            "--resume" => resume = true,
+            "--deadline-secs" => {
+                deadline_secs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("bad --deadline-secs (want a positive count)")?,
+                );
+            }
+            // Hidden chaos hook (scripts/chaos_campaign.sh): SIGKILL
+            // this process the instant N rows are durable in the
+            // journal, simulating a power cut at a seeded point.
+            "--crash-after-rows" => {
+                crash_after_rows = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --crash-after-rows")?,
+                );
+            }
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => format_json = true,
                 Some("text") => format_json = false,
@@ -303,14 +342,43 @@ fn run_campaign_cmd(args: &[String]) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read campaign spec {spec_path:?}: {e}"))?;
     let spec = CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
-    let mode = if serial {
-        ExecMode::Serial
-    } else {
-        ExecMode::Concurrent
-    };
-    let report = run_campaign(&spec, mode).map_err(|e| e.to_string())?;
+    shutdown::install();
     if let Some(dir) = &out_dir {
-        write_artifacts(dir, &report)?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    }
+    let journal_path = out_dir.as_ref().map(|d| d.join(journal::JOURNAL_FILE));
+    let run = CampaignRun {
+        mode: if serial {
+            ExecMode::Serial
+        } else {
+            ExecMode::Concurrent
+        },
+        journal: journal_path.clone(),
+        resume,
+        deadline: deadline_secs.map(Duration::from_secs),
+        cancel: Some(shutdown::flag()),
+        crash_after_rows,
+    };
+    let outcome = run_campaign_with(&spec, &run).map_err(|e| e.to_string())?;
+    let report = &outcome.report;
+    if outcome.interrupted {
+        // Partial run: the journal stays for --resume, and no artifact
+        // is written — artifacts only ever hold a complete campaign.
+        if format_json {
+            print!("{}", report.render_json());
+        } else {
+            print!("{}", report.summary());
+        }
+        return Ok(ExitCode::from(EXIT_INTERRUPTED));
+    }
+    if let Some(dir) = &out_dir {
+        report_tables::write_artifacts(report, dir).map_err(|e| e.to_string())?;
+        if let Some(path) = &journal_path {
+            // The artifacts are durable; the journal has served its
+            // purpose (and its row order is schedule-dependent, so it
+            // must not linger in an out-dir that byte-diffs cleanly).
+            journal::discard(path).map_err(|e| e.to_string())?;
+        }
     }
     if format_json {
         print!("{}", report.render_json());
@@ -322,20 +390,6 @@ fn run_campaign_cmd(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
-}
-
-/// Write the campaign's three artifacts into `dir`.
-fn write_artifacts(dir: &std::path::Path, report: &CampaignReport) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
-    for (file, content) in [
-        ("campaign.json", report.render_json()),
-        ("tables.md", report_tables::render_markdown(report)),
-        ("tables.json", report_tables::render_json(report)),
-    ] {
-        let path = dir.join(file);
-        std::fs::write(&path, content).map_err(|e| format!("cannot write {path:?}: {e}"))?;
-    }
-    Ok(())
 }
 
 /// `dpf tables`: regenerate the paper tables from a recorded campaign
@@ -369,7 +423,15 @@ fn run_tables_cmd(args: &[String]) -> Result<ExitCode, String> {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read campaign artifact {path:?}: {e}"))?;
-            CampaignReport::parse(&text)?
+            // A truncated or hand-mangled artifact is a config error
+            // (exit 2), reported with the file and the parse error's
+            // byte offset — never a panic.
+            CampaignReport::parse(&text).map_err(|e| {
+                DpfError::Config {
+                    what: format!("bad campaign artifact {path}: {e}"),
+                }
+                .to_string()
+            })?
         }
         None => {
             let spec = CampaignSpec {
@@ -386,8 +448,7 @@ fn run_tables_cmd(args: &[String]) -> Result<ExitCode, String> {
             ("tables.md", report_tables::render_markdown(&report)),
             ("tables.json", report_tables::render_json(&report)),
         ] {
-            let path = dir.join(file);
-            std::fs::write(&path, content).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            dpf_suite::write_atomic(&dir.join(file), &content).map_err(|e| e.to_string())?;
         }
     }
     print!("{}", report_tables::render_markdown(&report));
@@ -516,16 +577,22 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
-            let cfg = opts.suite_config();
+            shutdown::install();
+            let mut cfg = opts.suite_config();
+            cfg.cancel = CancelToken::watching(shutdown::flag());
             let report = dpf_suite::run_suite(&cfg);
             if opts.format_json {
                 print!("{}", report.render_json());
             } else {
                 print!("{}", report.summary());
             }
-            // Runtime failures (exit 1) dominate config errors (exit 2):
-            // a broken benchmark is the stronger signal.
-            if report.failures() > 0 {
+            // The interrupt code dominates (the sweep is partial, so
+            // pass/fail is not decided); then runtime failures (exit 1)
+            // dominate config errors (exit 2): a broken benchmark is
+            // the stronger signal.
+            if report.interrupted() > 0 {
+                ExitCode::from(EXIT_INTERRUPTED)
+            } else if report.failures() > 0 {
                 ExitCode::FAILURE
             } else if report.config_errors() > 0 {
                 ExitCode::from(2)
@@ -546,15 +613,20 @@ fn main() -> ExitCode {
             if opts.recover.is_none() {
                 opts.recover = Some(RecoverMode::InRun);
             }
+            shutdown::install();
+            let mut base = opts.suite_config();
+            base.cancel = CancelToken::watching(shutdown::flag());
             let soak_cfg = SoakConfig {
-                base: opts.suite_config(),
+                base,
                 iterations: opts.iterations,
                 kill_rate: opts.kill_rate,
                 seed: opts.fault_seed,
             };
             let report = dpf_suite::run_soak(&soak_cfg);
             print!("{}", report.summary());
-            if report.failures() > 0 {
+            if report.interrupted() > 0 {
+                ExitCode::from(EXIT_INTERRUPTED)
+            } else if report.failures() > 0 {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS

@@ -148,6 +148,16 @@ pub enum DpfError {
         /// What was misconfigured.
         what: String,
     },
+    /// An artifact or journal file could not be read or written
+    /// durably (create, write, fsync or rename failed). Like
+    /// [`DpfError::Config`], this is an environment problem rather
+    /// than a benchmark failure, and the CLI maps it to exit code 2.
+    Artifact {
+        /// The path involved.
+        path: String,
+        /// The failing operation and OS error.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for DpfError {
@@ -212,6 +222,9 @@ impl std::fmt::Display for DpfError {
             ),
             DpfError::Config { what } => {
                 write!(f, "configuration error: {what}")
+            }
+            DpfError::Artifact { path, what } => {
+                write!(f, "artifact I/O error: {path}: {what}")
             }
         }
     }

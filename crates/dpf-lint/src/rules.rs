@@ -13,6 +13,7 @@
 //! | `flop-conventions` | error   | the §1.5 FLOP-weight constants match the paper's table (add/mul 1, div/sqrt 4, log/trig 8) |
 //! | `comm-inventory`   | error   | registry `patterns` fields agree with the §1.5 `COMM_INVENTORY` in dpf-suite's tables.rs (tree-wide) |
 //! | `unsafe-forbid`    | error   | the repo is `unsafe`-free; any new `unsafe` needs a `// SAFETY:` comment *and* an allow pragma |
+//! | `atomic-artifact`  | warning | no direct `fs::write`/`File::create` outside the atomic artifact writer (torn files break `--resume` and `dpf tables --campaign`) |
 
 use crate::lex::Tok;
 use crate::{Diagnostic, Severity, SourceFile};
@@ -69,6 +70,11 @@ pub const FILE_RULES: &[Rule] = &[
         id: "unsafe-forbid",
         summary: "no unsafe without a SAFETY comment and an allow pragma",
         check: unsafe_forbid,
+    },
+    Rule {
+        id: "atomic-artifact",
+        summary: "file writes go through the atomic artifact writer",
+        check: atomic_artifact,
     },
 ];
 
@@ -648,6 +654,45 @@ fn unsafe_forbid(f: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+// ------------------------------------------------------ atomic-artifact
+
+/// The modules allowed to create files directly: the atomic writer
+/// itself (its temp file is the mechanism) and the journal (its
+/// append-only file is fsync'd per record, a different durability
+/// discipline that rename-replace cannot express).
+const ARTIFACT_SANCTIONED: &[&str] = &["dpf-suite/src/artifact.rs", "dpf-suite/src/journal.rs"];
+
+/// A bare `fs::write` (or `File::create`) left a truncated file under
+/// its final name when the process died mid-write — exactly the torn
+/// artifact that `dpf tables --campaign` then chokes on. Everything
+/// machine-read must go through `dpf_suite::artifact::write_atomic`
+/// (temp + fsync + rename), so readers only ever observe complete
+/// files.
+fn atomic_artifact(f: &SourceFile) -> Vec<Diagnostic> {
+    if ARTIFACT_SANCTIONED.iter().any(|m| f.path.ends_with(m)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..f.tokens.len() {
+        let what = if path2(f, i, &["fs"], &["write"]) {
+            "fs::write"
+        } else if path2(f, i, &["File"], &["create"]) {
+            "File::create"
+        } else {
+            continue;
+        };
+        out.push(Diagnostic::new(
+            &f.path,
+            f.tokens[i].line,
+            "atomic-artifact",
+            Severity::Warning,
+            format!("direct {what} publishes a torn file if the process dies mid-write"),
+            "write through dpf_suite::artifact::write_atomic (temp + fsync + rename)".into(),
+        ));
+    }
+    out
+}
+
 // ------------------------------------------------------ comm-inventory
 
 /// The 17 `CommPattern` variants (dpf-core/src/instrument.rs): any
@@ -1008,6 +1053,29 @@ pub const fn reduction(n: u64) -> u64 { n.saturating_sub(1) }
         assert!(hits.iter().any(|h| h.0 == "flop-conventions"), "{hits:?}");
         // The table is only enforced in flops.rs.
         assert!(rules_hit(&drifted, "crates/dpf-core/src/cost.rs").is_empty());
+    }
+
+    #[test]
+    fn atomic_artifact_spares_the_writer_and_journal() {
+        let src = "
+fn save(dir: &Path) {
+    std::fs::write(dir.join(\"campaign.json\"), text).unwrap();
+    let f = File::create(dir.join(\"tables.md\")).unwrap();
+}
+";
+        let hits = rules_hit(src, "crates/dpf-cli/src/main.rs");
+        assert_eq!(
+            hits.iter().filter(|h| h.0 == "atomic-artifact").count(),
+            2,
+            "{hits:?}"
+        );
+        // The sanctioned modules are the mechanism, not a violation.
+        assert!(!rules_hit(src, "crates/dpf-suite/src/artifact.rs")
+            .iter()
+            .any(|h| h.0 == "atomic-artifact"));
+        assert!(!rules_hit(src, "crates/dpf-suite/src/journal.rs")
+            .iter()
+            .any(|h| h.0 == "atomic-artifact"));
     }
 
     #[test]

@@ -1,0 +1,10 @@
+// lint-path: crates/dpf-cli/src/report.rs
+// Bare file writes outside the atomic artifact writer: a crash
+// mid-write leaves a torn file under the final name, which the next
+// `dpf tables --campaign` run chokes on.
+
+pub fn save(dir: &Path, report: &CampaignReport) {
+    std::fs::write(dir.join("campaign.json"), report.render_json()).unwrap();
+    let mut f = File::create(dir.join("tables.md")).unwrap();
+    f.write_all(b"| table |\n").unwrap();
+}

@@ -1,0 +1,113 @@
+//! The atomic artifact writer: the one sanctioned path for writing
+//! campaign artifacts (`campaign.json`, `tables.md`, `tables.json`) and
+//! any other machine-read file the suite produces.
+//!
+//! A bare `fs::write` is not crash-consistent: a process killed mid-write
+//! leaves a truncated file under the *final* name, and the next
+//! `dpf tables --campaign` run reads garbage. [`write_atomic`] instead
+//! writes a same-directory temp file, fsyncs it, renames it over the
+//! target (rename within one directory is atomic on POSIX filesystems)
+//! and fsyncs the directory so the rename itself is durable. Readers
+//! therefore observe either the old complete file or the new complete
+//! file — never a torn one.
+//!
+//! The `atomic-artifact` lint rule (crates/dpf-lint) flags direct
+//! `fs::write`/`File::create` calls outside this module so artifact
+//! paths cannot quietly regress to the torn-write shape.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
+
+use dpf_core::DpfError;
+
+/// Map an I/O failure on `path` into the typed artifact error class.
+fn io_err(path: &Path, op: &str, e: std::io::Error) -> DpfError {
+    DpfError::Artifact {
+        path: path.display().to_string(),
+        what: format!("{op}: {e}"),
+    }
+}
+
+/// Durably replace `path` with `content`: write `.{name}.tmp` in the
+/// same directory, fsync it, rename it over `path`, then fsync the
+/// directory. After this returns `Ok`, a crash at any later point leaves
+/// the complete new content; a crash at any earlier point leaves the
+/// previous state of `path` untouched (the temp file may linger, and is
+/// overwritten by the next attempt).
+pub fn write_atomic(path: &Path, content: &str) -> Result<(), DpfError> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let name = path.file_name().ok_or_else(|| {
+        io_err(
+            path,
+            "resolve file name",
+            std::io::Error::other("no file name"),
+        )
+    })?;
+    let tmp = match dir {
+        Some(d) => d.join(format!(".{}.tmp", name.to_string_lossy())),
+        None => Path::new(&format!(".{}.tmp", name.to_string_lossy())).to_path_buf(),
+    };
+    {
+        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, "create temp", e))?;
+        f.write_all(content.as_bytes())
+            .map_err(|e| io_err(&tmp, "write", e))?;
+        // Data must be on disk *before* the rename publishes the name;
+        // otherwise the rename can survive a crash that the bytes do not.
+        f.sync_all().map_err(|e| io_err(&tmp, "fsync", e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, "rename temp over target", e))?;
+    sync_dir(dir.unwrap_or_else(|| Path::new(".")));
+    Ok(())
+}
+
+/// Fsync a directory so a just-performed rename inside it is durable.
+/// Best-effort: not every platform or filesystem supports opening a
+/// directory for sync (the rename is still atomic without it).
+fn sync_dir(dir: &Path) {
+    #[cfg(unix)]
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        // Unit tests don't get CARGO_TARGET_TMPDIR; scratch under the
+        // workspace target dir so nothing is written outside the repo.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-tmp")
+            .join(name);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_content() {
+        let dir = scratch("artifact-basic");
+        let path = dir.join("a.json");
+        write_atomic(&path, "first\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first\n");
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        // The temp name never survives a successful write.
+        assert!(!dir.join(".a.json.tmp").exists());
+    }
+
+    #[test]
+    fn missing_directory_is_a_typed_artifact_error() {
+        let dir = scratch("artifact-missing");
+        let path = dir.join("no-such-subdir").join("a.json");
+        let err = write_atomic(&path, "x").unwrap_err();
+        assert!(
+            matches!(err, DpfError::Artifact { .. }),
+            "expected Artifact error, got {err}"
+        );
+        assert!(err.to_string().contains("artifact I/O error"));
+    }
+}

@@ -18,15 +18,17 @@
 //! deliberately *excluded* from the JSON artifact (it is the one
 //! scheduling-dependent part of a run).
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use dpf_core::{derive_seed, Backend, BufferPool, DpfError, FaultPlan, Machine, ProblemClass};
 
 use crate::benchmark::{Size, Version};
-use crate::harness::{run_guarded, GuardedResult, RunOutcome, SuiteConfig};
+use crate::harness::{run_guarded, CancelToken, GuardedResult, RunOutcome, SuiteConfig};
+use crate::journal::{Journal, JOURNAL_VERSION};
 use crate::schema::Json;
 
 /// One campaign: the sweep axes and the execution budget.
@@ -56,6 +58,11 @@ pub struct CampaignSpec {
     pub timeout_secs: u64,
     /// Retry budget per benchmark.
     pub retries: u32,
+    /// Per-tenant wall-clock deadline, seconds (`None` = no deadline).
+    /// A tenant that outlives its deadline has its remaining rows
+    /// cancelled into [`RunOutcome::DeadlineExceeded`] instead of
+    /// hanging the pool. The CLI's `--deadline-secs` overrides this.
+    pub deadline_secs: Option<u64>,
 }
 
 impl Default for CampaignSpec {
@@ -73,6 +80,7 @@ impl Default for CampaignSpec {
             pool_budget_bytes: 0,
             timeout_secs: 300,
             retries: 0,
+            deadline_secs: None,
         }
     }
 }
@@ -119,6 +127,10 @@ impl CampaignSpec {
                 "retries" => {
                     spec.retries = value.parse().map_err(|_| ctx("not an integer".into()))?;
                 }
+                "deadline_secs" => {
+                    spec.deadline_secs =
+                        Some(value.parse().map_err(|_| ctx("not an integer".into()))?);
+                }
                 other => {
                     return Err(bad(format!("line {}: unknown key {other:?}", lineno + 1)));
                 }
@@ -157,6 +169,9 @@ impl CampaignSpec {
         {
             return bad("fault and link rates must be in [0, 1]");
         }
+        if self.deadline_secs == Some(0) {
+            return bad("deadline_secs must be at least 1");
+        }
         for name in &self.benchmarks {
             if crate::registry::find(name).is_none() {
                 return Err(DpfError::Config {
@@ -165,6 +180,20 @@ impl CampaignSpec {
             }
         }
         Ok(())
+    }
+
+    /// FNV-1a 64 fingerprint of the whole spec (over its canonical
+    /// `Debug` form). Pinned in the journal header so a `--resume`
+    /// against a spec that changed in *any* field — axes, seed,
+    /// benchmark list, budgets — is a typed config error instead of a
+    /// silently mixed artifact.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// The sweep's tenants, in deterministic axis order
@@ -295,6 +324,7 @@ impl TenantSpec {
             quarantine: Vec::new(),
             backend: self.backend,
             pool: Some(pool),
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -437,21 +467,252 @@ pub struct CampaignReport {
     pub stats: CampaignStats,
 }
 
+/// How one crash-consistent campaign invocation runs: the schedule mode
+/// plus the durability, cancellation and deadline options the CLI wires
+/// up. [`Default`] is a plain in-memory serial run — exactly what the
+/// original `run_campaign` did.
+#[derive(Clone, Debug)]
+pub struct CampaignRun {
+    /// Tenant scheduling mode.
+    pub mode: ExecMode,
+    /// Path of the write-ahead journal (`None` = no journal: results
+    /// live only in memory, as for library callers and tests).
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal at [`CampaignRun::journal`]:
+    /// replay its rows, skip the work they pin, append the rest.
+    pub resume: bool,
+    /// Per-tenant wall-clock deadline; overrides the spec's
+    /// `deadline_secs` when set.
+    pub deadline: Option<Duration>,
+    /// Shutdown flag to observe (the signal handler's, in the CLI).
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Hidden chaos hook: SIGKILL the process the moment this many
+    /// rows have been journaled. Deterministic by construction — the
+    /// kill happens *after* the fsync, so the journal always holds
+    /// exactly this many rows when the process dies.
+    pub crash_after_rows: Option<u64>,
+}
+
+impl Default for CampaignRun {
+    fn default() -> Self {
+        CampaignRun {
+            mode: ExecMode::Serial,
+            journal: None,
+            resume: false,
+            deadline: None,
+            cancel: None,
+            crash_after_rows: None,
+        }
+    }
+}
+
+/// What a crash-consistent campaign invocation produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The (possibly partial) report.
+    pub report: CampaignReport,
+    /// True when a shutdown request cut the run short: the report is
+    /// partial, the journal (if any) was kept for `--resume`, and the
+    /// CLI exits with the interrupt code instead of writing artifacts.
+    pub interrupted: bool,
+}
+
+/// The shared per-run state the tenant runners consult: the journal
+/// (behind a mutex — rows from concurrent tenants interleave), the rows
+/// replayed from a resumed journal, and the cancellation wiring.
+struct Engine {
+    journal: Option<Mutex<Journal>>,
+    /// First journal-append failure; once set, journaling stops and the
+    /// run as a whole reports the error (durability was the contract).
+    journal_err: Mutex<Option<DpfError>>,
+    rows_journaled: AtomicU64,
+    crash_after: Option<u64>,
+    /// `(tenant key, benchmark name)` → row already made durable by a
+    /// previous run. These are returned verbatim instead of re-run.
+    replayed: BTreeMap<(String, String), TenantRow>,
+    deadline: Option<Duration>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Engine {
+    /// Journal one freshly computed row. [`RunOutcome::Interrupted`]
+    /// rows are deliberately *not* journaled: they record "not
+    /// measured", and a resume must measure them for real.
+    fn record(&self, tenant_key: &str, row: &TenantRow) {
+        if row.outcome == RunOutcome::Interrupted {
+            return;
+        }
+        let Some(journal) = &self.journal else { return };
+        if self
+            .journal_err
+            .lock()
+            .expect("journal error slot")
+            .is_some()
+        {
+            return;
+        }
+        let record = Json::Obj(vec![
+            ("kind".to_string(), Json::str("row")),
+            ("tenant".to_string(), Json::str(tenant_key)),
+            ("row".to_string(), row_to_json(row)),
+        ]);
+        let appended = journal.lock().expect("campaign journal").append(&record);
+        if let Err(e) = appended {
+            *self.journal_err.lock().expect("journal error slot") = Some(e);
+            return;
+        }
+        let n = self.rows_journaled.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.crash_after.is_some_and(|limit| n >= limit) {
+            // The row above is fsync'd; die before anything else is.
+            crate::shutdown::self_kill();
+        }
+    }
+}
+
+/// The journal header record for `spec`.
+fn journal_header(spec: &CampaignSpec) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::str("header")),
+        ("version".to_string(), Json::U64(JOURNAL_VERSION)),
+        ("campaign".to_string(), Json::str(&spec.name)),
+        ("seed".to_string(), Json::U64(spec.seed)),
+        (
+            "spec".to_string(),
+            Json::str(format!("{:016x}", spec.fingerprint())),
+        ),
+    ])
+}
+
+/// Check a replayed journal header against the spec being resumed.
+fn check_header(
+    spec: &CampaignSpec,
+    header: &Json,
+    path: &std::path::Path,
+) -> Result<(), DpfError> {
+    let mismatch = |what: String| DpfError::Config {
+        what: format!(
+            "--resume: journal {} {what}; \
+             the journal can only resume the exact spec that wrote it",
+            path.display()
+        ),
+    };
+    let version = header.get("version").and_then(Json::as_u64);
+    if version != Some(JOURNAL_VERSION) {
+        return Err(mismatch(format!(
+            "has journal format version {version:?}, this build writes {JOURNAL_VERSION}"
+        )));
+    }
+    let name = header.get("campaign").and_then(Json::as_str);
+    if name != Some(spec.name.as_str()) {
+        return Err(mismatch(format!(
+            "was written by campaign {name:?}, spec names {:?}",
+            spec.name
+        )));
+    }
+    let seed = header.get("seed").and_then(Json::as_u64);
+    if seed != Some(spec.seed) {
+        return Err(mismatch(format!(
+            "was written with seed {seed:?}, spec has {}",
+            spec.seed
+        )));
+    }
+    let fp = format!("{:016x}", spec.fingerprint());
+    let stored = header.get("spec").and_then(Json::as_str);
+    if stored != Some(fp.as_str()) {
+        return Err(mismatch(format!(
+            "was written by a different spec (fingerprint {stored:?}, current {fp:?})"
+        )));
+    }
+    Ok(())
+}
+
+/// Parse a replayed row record into the replay map.
+fn replay_record(
+    record: &Json,
+    path: &std::path::Path,
+    into: &mut BTreeMap<(String, String), TenantRow>,
+) -> Result<(), DpfError> {
+    let bad = |what: String| DpfError::Config {
+        what: format!("corrupt journal {}: {what}", path.display()),
+    };
+    match record.get("kind").and_then(Json::as_str) {
+        Some("row") => {}
+        other => return Err(bad(format!("unexpected record kind {other:?}"))),
+    }
+    let tenant = record
+        .get("tenant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("row record has no \"tenant\"".to_string()))?;
+    let row = row_from_json(
+        record
+            .get("row")
+            .ok_or_else(|| bad("row record has no \"row\"".to_string()))?,
+    )
+    .map_err(bad)?;
+    into.insert((tenant.to_string(), row.name.clone()), row);
+    Ok(())
+}
+
 /// Run every tenant of the spec. Both modes produce identical reports up
 /// to [`CampaignReport::stats`]; `Concurrent` bounds parallelism by
 /// `spec.workers` (admission control) and shares one budgeted buffer
 /// pool across all tenants.
 pub fn run_campaign(spec: &CampaignSpec, mode: ExecMode) -> Result<CampaignReport, DpfError> {
+    let run = CampaignRun {
+        mode,
+        ..CampaignRun::default()
+    };
+    run_campaign_with(spec, &run).map(|outcome| outcome.report)
+}
+
+/// [`run_campaign`] with the full crash-consistency machinery: a durable
+/// write-ahead journal, resume-from-journal, cooperative cancellation
+/// and per-tenant deadlines. Because every tenant's fault seed derives
+/// from its *key* (never from scheduling), a resumed run's artifacts are
+/// byte-identical to an uninterrupted run's.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    run: &CampaignRun,
+) -> Result<CampaignOutcome, DpfError> {
     spec.validate()?;
+    let mut replayed = BTreeMap::new();
+    let journal = match (&run.journal, run.resume) {
+        (Some(path), true) => {
+            let (journal, replay) = Journal::open_resume(path)?;
+            check_header(spec, &replay.header, path)?;
+            for record in &replay.records {
+                replay_record(record, path, &mut replayed)?;
+            }
+            Some(Mutex::new(journal))
+        }
+        (Some(path), false) => Some(Mutex::new(Journal::create(path, &journal_header(spec))?)),
+        (None, true) => {
+            return Err(DpfError::Config {
+                what: "--resume needs a journal path (run with --out DIR)".to_string(),
+            });
+        }
+        (None, false) => None,
+    };
+    let engine = Engine {
+        journal,
+        journal_err: Mutex::new(None),
+        rows_journaled: AtomicU64::new(0),
+        crash_after: run.crash_after_rows,
+        replayed,
+        deadline: run
+            .deadline
+            .or_else(|| spec.deadline_secs.map(Duration::from_secs)),
+        cancel: run.cancel.clone(),
+    };
     let tenants = spec.tenants();
     let pool = Arc::new(BufferPool::with_budget(spec.pool_budget_bytes));
     let peak_concurrent = AtomicUsize::new(0);
-    let results: Vec<TenantResult> = match mode {
+    let results: Vec<TenantResult> = match run.mode {
         ExecMode::Serial => {
             peak_concurrent.store(1, Ordering::Relaxed);
             tenants
                 .iter()
-                .map(|tenant| run_tenant(spec, tenant, &pool))
+                .map(|tenant| run_tenant(spec, tenant, &pool, &engine))
                 .collect()
         }
         ExecMode::Concurrent => {
@@ -467,7 +728,11 @@ pub fn run_campaign(spec: &CampaignSpec, mode: ExecMode) -> Result<CampaignRepor
                         let Some(idx) = idx else { break };
                         let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                         peak_concurrent.fetch_max(now, Ordering::SeqCst);
-                        let result = run_tenant(spec, &tenants[idx], &pool);
+                        // Workers keep draining the queue even after an
+                        // interrupt: cancelled tenants return all-
+                        // Interrupted rows almost instantly, and one
+                        // code path fills every slot either way.
+                        let result = run_tenant(spec, &tenants[idx], &pool, &engine);
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                         *slots[idx].lock().expect("campaign slot") = Some(result);
                     });
@@ -483,7 +748,15 @@ pub fn run_campaign(spec: &CampaignSpec, mode: ExecMode) -> Result<CampaignRepor
                 .collect()
         }
     };
-    Ok(CampaignReport {
+    if let Some(e) = engine
+        .journal_err
+        .lock()
+        .expect("journal error slot")
+        .take()
+    {
+        return Err(e);
+    }
+    let report = CampaignReport {
         name: spec.name.clone(),
         seed: spec.seed,
         tenants: results,
@@ -493,17 +766,51 @@ pub fn run_campaign(spec: &CampaignSpec, mode: ExecMode) -> Result<CampaignRepor
             pool_peak_bytes: pool.peak_shelved_bytes(),
             pool_budget_bytes: spec.pool_budget_bytes,
         },
+    };
+    let interrupted = report.interrupted() > 0
+        || engine
+            .cancel
+            .as_deref()
+            .is_some_and(|f| f.load(Ordering::Relaxed));
+    Ok(CampaignOutcome {
+        report,
+        interrupted,
     })
 }
 
-fn run_tenant(spec: &CampaignSpec, tenant: &TenantSpec, pool: &Arc<BufferPool>) -> TenantResult {
-    let cfg = tenant.suite_config(spec, Arc::clone(pool));
+fn run_tenant(
+    spec: &CampaignSpec,
+    tenant: &TenantSpec,
+    pool: &Arc<BufferPool>,
+    engine: &Engine,
+) -> TenantResult {
+    let key = tenant.key();
+    let mut cfg = tenant.suite_config(spec, Arc::clone(pool));
+    // The cancel token is built per tenant: the deadline clock starts
+    // when the tenant starts, and the interrupt flag is shared.
+    let mut cancel = match &engine.cancel {
+        Some(flag) => CancelToken::watching(Arc::clone(flag)),
+        None => CancelToken::default(),
+    };
+    if let Some(deadline) = engine.deadline {
+        cancel = cancel.with_deadline(deadline);
+    }
+    cfg.cancel = cancel;
     let rows = crate::registry::registry()
         .iter()
         .filter(|entry| {
             spec.benchmarks.is_empty() || spec.benchmarks.iter().any(|b| b == entry.name)
         })
-        .map(|entry| TenantRow::from_guarded(entry.name, run_guarded(entry, Version::Basic, &cfg)))
+        .map(|entry| {
+            if let Some(row) = engine.replayed.get(&(key.clone(), entry.name.to_string())) {
+                // Already durable from the interrupted run: identical
+                // by construction (seeds derive from the tenant key).
+                return row.clone();
+            }
+            let row = TenantRow::from_guarded(entry.name, run_guarded(entry, Version::Basic, &cfg));
+            engine.record(&key, &row);
+            row
+        })
         .collect();
     TenantResult {
         spec: *tenant,
@@ -513,11 +820,24 @@ fn run_tenant(spec: &CampaignSpec, tenant: &TenantSpec, pool: &Arc<BufferPool>) 
 
 impl CampaignReport {
     /// Rows whose outcome counts as a failure, across all tenants.
+    /// Interrupted rows are partial, not failed — see
+    /// [`CampaignReport::interrupted`].
     pub fn failed(&self) -> usize {
         self.tenants
             .iter()
             .flat_map(|t| &t.rows)
-            .filter(|r| !r.outcome.is_success())
+            .filter(|r| !r.outcome.is_success() && r.outcome != RunOutcome::Interrupted)
+            .count()
+    }
+
+    /// Rows a shutdown request left unmeasured. Nonzero means this is a
+    /// partial report: the CLI prints the summary but writes no
+    /// artifacts (the journal holds the completed rows for `--resume`).
+    pub fn interrupted(&self) -> usize {
+        self.tenants
+            .iter()
+            .flat_map(|t| &t.rows)
+            .filter(|r| r.outcome == RunOutcome::Interrupted)
             .count()
     }
 
@@ -543,7 +863,7 @@ impl CampaignReport {
             let failed = tenant
                 .rows
                 .iter()
-                .filter(|r| !r.outcome.is_success())
+                .filter(|r| !r.outcome.is_success() && r.outcome != RunOutcome::Interrupted)
                 .count();
             let _ = writeln!(
                 s,
@@ -563,6 +883,14 @@ impl CampaignReport {
             "  workers {} (peak concurrent {}), pool peak {} B (budget {})",
             self.stats.workers, self.stats.peak_concurrent, self.stats.pool_peak_bytes, budget
         );
+        if self.interrupted() > 0 {
+            let _ = writeln!(
+                s,
+                "  INTERRUPTED: {} row(s) not measured; \
+                 rerun with --resume to complete the campaign",
+                self.interrupted()
+            );
+        }
         s
     }
 
@@ -573,36 +901,7 @@ impl CampaignReport {
             .tenants
             .iter()
             .map(|tenant| {
-                let rows = tenant
-                    .rows
-                    .iter()
-                    .map(|row| {
-                        let comm = row
-                            .comm
-                            .iter()
-                            .map(|c| {
-                                Json::Obj(vec![
-                                    ("pattern".to_string(), Json::str(&c.pattern)),
-                                    ("src_rank".to_string(), Json::U64(c.src_rank as u64)),
-                                    ("dst_rank".to_string(), Json::U64(c.dst_rank as u64)),
-                                    ("calls".to_string(), Json::U64(c.calls)),
-                                    ("elements".to_string(), Json::U64(c.elements)),
-                                    ("offproc_bytes".to_string(), Json::U64(c.offproc_bytes)),
-                                ])
-                            })
-                            .collect();
-                        Json::Obj(vec![
-                            ("name".to_string(), Json::str(&row.name)),
-                            ("outcome".to_string(), row.outcome.to_json()),
-                            ("verify".to_string(), Json::Bool(row.verify)),
-                            ("flops".to_string(), Json::U64(row.flops)),
-                            ("memory_bytes".to_string(), Json::U64(row.memory_bytes)),
-                            ("points".to_string(), Json::U64(row.points)),
-                            ("iterations".to_string(), Json::U64(row.iterations)),
-                            ("comm".to_string(), Json::Arr(comm)),
-                        ])
-                    })
-                    .collect();
+                let rows = tenant.rows.iter().map(row_to_json).collect();
                 Json::Obj(vec![
                     ("tenant".to_string(), Json::str(tenant.spec.key())),
                     ("class".to_string(), Json::str(tenant.spec.class.name())),
@@ -660,6 +959,36 @@ impl CampaignReport {
     pub fn parse(text: &str) -> Result<CampaignReport, String> {
         CampaignReport::from_json(&Json::parse(text)?)
     }
+}
+
+/// One [`TenantRow`] as JSON. Shared by the campaign artifact and the
+/// journal's row records, so a journaled row replays into exactly the
+/// bytes the artifact would have carried.
+fn row_to_json(row: &TenantRow) -> Json {
+    let comm = row
+        .comm
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("pattern".to_string(), Json::str(&c.pattern)),
+                ("src_rank".to_string(), Json::U64(c.src_rank as u64)),
+                ("dst_rank".to_string(), Json::U64(c.dst_rank as u64)),
+                ("calls".to_string(), Json::U64(c.calls)),
+                ("elements".to_string(), Json::U64(c.elements)),
+                ("offproc_bytes".to_string(), Json::U64(c.offproc_bytes)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".to_string(), Json::str(&row.name)),
+        ("outcome".to_string(), row.outcome.to_json()),
+        ("verify".to_string(), Json::Bool(row.verify)),
+        ("flops".to_string(), Json::U64(row.flops)),
+        ("memory_bytes".to_string(), Json::U64(row.memory_bytes)),
+        ("points".to_string(), Json::U64(row.points)),
+        ("iterations".to_string(), Json::U64(row.iterations)),
+        ("comm".to_string(), Json::Arr(comm)),
+    ])
 }
 
 fn tenant_from_json(value: &Json) -> Result<TenantResult, String> {

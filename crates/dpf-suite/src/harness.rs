@@ -9,6 +9,7 @@
 //! run ends in a [`RunOutcome`] recorded in the [`SuiteReport`].
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -124,6 +125,18 @@ pub enum RunOutcome {
     /// failure classes above: the CLI maps config errors to exit code 2
     /// (usage/config) rather than 1 (benchmark failure).
     ConfigError(String),
+    /// The run was cancelled by a shutdown request (SIGINT/SIGTERM)
+    /// before it could finish — or before it could start. Not a
+    /// benchmark failure and not a success: the row simply was not
+    /// measured, and a resumed campaign will run it for real. The CLI
+    /// maps an interrupted sweep to the dedicated exit code 130.
+    Interrupted,
+    /// The run was cancelled because its tenant exceeded its wall-clock
+    /// deadline (`--deadline-secs` / spec `deadline_secs`). Unlike
+    /// [`RunOutcome::Interrupted`] this is a definitive per-row verdict
+    /// — the straggler was measured as "too slow" — so it is journaled
+    /// and counted as a runtime failure.
+    DeadlineExceeded,
 }
 
 impl RunOutcome {
@@ -176,6 +189,8 @@ impl RunOutcome {
                     ("message".to_string(), Json::str(msg)),
                 ]
             }
+            RunOutcome::Interrupted => vec![kind("interrupted")],
+            RunOutcome::DeadlineExceeded => vec![kind("deadline-exceeded")],
         })
     }
 
@@ -213,6 +228,8 @@ impl RunOutcome {
             },
             "quarantined" => RunOutcome::Quarantined,
             "config-error" => RunOutcome::ConfigError(msg()?),
+            "interrupted" => RunOutcome::Interrupted,
+            "deadline-exceeded" => RunOutcome::DeadlineExceeded,
             other => return Err(format!("unknown outcome kind {other:?}")),
         })
     }
@@ -233,7 +250,80 @@ impl std::fmt::Display for RunOutcome {
             RunOutcome::Recovered { retries } => write!(f, "recovered({retries})"),
             RunOutcome::Quarantined => f.write_str("quarantined"),
             RunOutcome::ConfigError(msg) => write!(f, "config-error: {msg}"),
+            RunOutcome::Interrupted => f.write_str("interrupted"),
+            RunOutcome::DeadlineExceeded => f.write_str("deadline-exceeded"),
         }
+    }
+}
+
+// ------------------------------------------------ cooperative cancellation
+
+/// Why a cancelled run stopped: an operator shutdown request or a
+/// per-tenant wall-clock deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cancelled {
+    /// A shutdown flag (SIGINT/SIGTERM) was raised.
+    Interrupt,
+    /// The token's deadline passed.
+    Deadline,
+}
+
+impl Cancelled {
+    /// The row outcome this cancellation class records.
+    pub fn outcome(self) -> RunOutcome {
+        match self {
+            Cancelled::Interrupt => RunOutcome::Interrupted,
+            Cancelled::Deadline => RunOutcome::DeadlineExceeded,
+        }
+    }
+}
+
+/// A cooperative cancellation handle. The watchdog polls it between
+/// 50 ms receive slices and [`run_guarded`] checks it before every
+/// attempt; neither ever kills a thread — workers are asked (drained
+/// within a grace period on interrupt) or abandoned (deadline), exactly
+/// like the existing timeout path.
+///
+/// The default token never cancels, so every pre-existing call site
+/// keeps its behavior.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token observing a shared shutdown flag (e.g. the one the
+    /// signal handler flips).
+    pub fn watching(flag: Arc<AtomicBool>) -> CancelToken {
+        CancelToken {
+            flag: Some(flag),
+            deadline: None,
+        }
+    }
+
+    /// This token with a wall-clock deadline `budget` from now. Used
+    /// per tenant: the deadline starts when the tenant starts.
+    pub fn with_deadline(mut self, budget: Duration) -> CancelToken {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Has cancellation been requested? An interrupt dominates a
+    /// deadline: operator shutdown is reported as such even if the
+    /// tenant's clock also ran out.
+    pub fn check(&self) -> Option<Cancelled> {
+        if self
+            .flag
+            .as_deref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+        {
+            return Some(Cancelled::Interrupt);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(Cancelled::Deadline);
+        }
+        None
     }
 }
 
@@ -263,6 +353,11 @@ pub struct SuiteConfig {
     /// attempt). Campaign tenants pass one budgeted pool here; sharing is
     /// metric-invisible (see [`Ctx::build_shared`]).
     pub pool: Option<Arc<BufferPool>>,
+    /// Cooperative cancellation handle (default: never cancels).
+    /// Checked before each attempt and at 50 ms watchdog checkpoints;
+    /// cancelled runs record [`RunOutcome::Interrupted`] or
+    /// [`RunOutcome::DeadlineExceeded`].
+    pub cancel: CancelToken,
 }
 
 impl Default for SuiteConfig {
@@ -276,6 +371,7 @@ impl Default for SuiteConfig {
             quarantine: Vec::new(),
             backend: Backend::Virtual,
             pool: None,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -320,6 +416,7 @@ enum Attempt {
     Panicked(String),
     LinkFailed(String),
     TimedOut,
+    Cancelled(Cancelled),
 }
 
 /// True when a failure message describes an SPMD worker death (an
@@ -338,6 +435,7 @@ struct AttemptSpec {
     timeout: Duration,
     backend: Backend,
     pool: Option<Arc<BufferPool>>,
+    cancel: CancelToken,
 }
 
 /// One attempt on a watchdog-monitored worker thread. The runner is a
@@ -393,20 +491,52 @@ fn run_attempt(
             }));
         })
         .expect("spawn harness worker");
-    match rx.recv_timeout(timeout) {
-        Ok(Ok(done)) => {
-            let _ = worker.join();
-            Attempt::Done(done)
-        }
-        Ok(Err((msg, link_failed))) => {
-            let _ = worker.join();
-            if link_failed {
-                Attempt::LinkFailed(msg)
-            } else {
-                Attempt::Panicked(msg)
+    // The watchdog waits in 50 ms slices so a shutdown request or a
+    // tenant deadline is noticed promptly even under a long per-attempt
+    // timeout. A finished worker is returned the moment its message
+    // lands; nothing about the non-cancelled path's outcome changes.
+    const CHECKPOINT: Duration = Duration::from_millis(50);
+    // How long an interrupt waits for the in-flight attempt to finish
+    // on its own before abandoning it. Deadlines get no grace: the
+    // straggler already used its whole budget.
+    const INTERRUPT_GRACE: Duration = Duration::from_millis(1500);
+    let start = Instant::now();
+    loop {
+        let waited = start.elapsed();
+        let slice = match spec.cancel.check() {
+            Some(Cancelled::Deadline) => return Attempt::Cancelled(Cancelled::Deadline),
+            Some(Cancelled::Interrupt) => {
+                // Grace drain: give the worker one last bounded window.
+                match rx.recv_timeout(INTERRUPT_GRACE) {
+                    Ok(outcome) => return finish_attempt(worker, outcome),
+                    Err(_) => return Attempt::Cancelled(Cancelled::Interrupt),
+                }
             }
+            None => {
+                if waited >= timeout {
+                    return Attempt::TimedOut;
+                }
+                CHECKPOINT.min(timeout - waited)
+            }
+        };
+        match rx.recv_timeout(slice) {
+            Ok(outcome) => return finish_attempt(worker, outcome),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return Attempt::TimedOut,
         }
-        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Attempt::TimedOut,
+    }
+}
+
+/// Join a finished worker and classify its message.
+fn finish_attempt(
+    worker: std::thread::JoinHandle<()>,
+    outcome: Result<AttemptDone, (String, bool)>,
+) -> Attempt {
+    let _ = worker.join();
+    match outcome {
+        Ok(done) => Attempt::Done(done),
+        Err((msg, true)) => Attempt::LinkFailed(msg),
+        Err((msg, false)) => Attempt::Panicked(msg),
     }
 }
 
@@ -433,6 +563,17 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
     let mut verify_failed: Option<Box<HarnessResult>> = None;
     let mut launched = 0;
     for attempt in 0..=cfg.retries {
+        // Cancellation wins over retries: once a shutdown or deadline
+        // fires, no further attempt launches and the row records the
+        // cancellation class (attempt 0: the run never started at all).
+        if let Some(cancelled) = cfg.cancel.check() {
+            return GuardedResult {
+                outcome: cancelled.outcome(),
+                result: None,
+                attempts: launched,
+                faults_injected: 0,
+            };
+        }
         if attempt > 0 {
             // Short linear backoff between attempts.
             std::thread::sleep(Duration::from_millis(10 * attempt as u64));
@@ -454,6 +595,7 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
             timeout: cfg.timeout,
             backend: cfg.backend,
             pool: cfg.pool.clone(),
+            cancel: cfg.cancel.clone(),
         };
         launched = attempt + 1;
         match run_attempt(name, version, runner, spec) {
@@ -489,6 +631,12 @@ pub fn run_guarded(entry: &BenchEntry, version: Version, cfg: &SuiteConfig) -> G
             }
             Attempt::LinkFailed(msg) => last_failure = RunOutcome::LinkFailed(msg),
             Attempt::TimedOut => last_failure = RunOutcome::TimedOut,
+            Attempt::Cancelled(cancelled) => {
+                // No retry can follow a cancellation; the in-flight
+                // attempt's partial work is discarded unrecorded.
+                last_failure = cancelled.outcome();
+                break;
+            }
         }
     }
     GuardedResult {
@@ -520,11 +668,28 @@ pub struct SuiteReport {
 
 impl SuiteReport {
     /// Rows whose outcome counts as a *runtime* failure. Config errors
-    /// are counted separately by [`SuiteReport::config_errors`].
+    /// are counted separately by [`SuiteReport::config_errors`], and
+    /// interrupted rows by [`SuiteReport::interrupted`] — a run that was
+    /// never measured is neither pass nor fail.
     pub fn failures(&self) -> usize {
         self.rows
             .iter()
-            .filter(|r| !r.outcome.is_success() && !matches!(r.outcome, RunOutcome::ConfigError(_)))
+            .filter(|r| {
+                !r.outcome.is_success()
+                    && !matches!(
+                        r.outcome,
+                        RunOutcome::ConfigError(_) | RunOutcome::Interrupted
+                    )
+            })
+            .count()
+    }
+
+    /// Rows cancelled by an operator shutdown request. Nonzero means
+    /// the sweep is partial; the CLI reports exit code 130.
+    pub fn interrupted(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, RunOutcome::Interrupted))
             .count()
     }
 
@@ -581,6 +746,9 @@ impl SuiteReport {
         if self.config_errors() > 0 {
             let _ = writeln!(s, "{} config error(s)", self.config_errors());
         }
+        if self.interrupted() > 0 {
+            let _ = writeln!(s, "{} interrupted (partial sweep)", self.interrupted());
+        }
         s
     }
 
@@ -611,7 +779,7 @@ impl SuiteReport {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("benchmarks".to_string(), Json::Arr(benchmarks)),
             ("total".to_string(), Json::U64(self.rows.len() as u64)),
             ("failed".to_string(), Json::U64(self.failures() as u64)),
@@ -619,7 +787,16 @@ impl SuiteReport {
                 "config_errors".to_string(),
                 Json::U64(self.config_errors() as u64),
             ),
-        ])
+        ];
+        // Only partial sweeps carry the field, so a clean sweep's JSON
+        // is byte-identical to what it was before interrupts existed.
+        if self.interrupted() > 0 {
+            fields.push((
+                "interrupted".to_string(),
+                Json::U64(self.interrupted() as u64),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// [`SuiteReport::to_json`] rendered through the shared schema
@@ -809,6 +986,94 @@ mod tests {
         let summary = report.summary();
         assert!(summary.contains("unknown benchmark \"no-such-benchmark\""));
         assert!(summary.contains("1 config error(s)"));
+    }
+
+    #[test]
+    fn preset_interrupt_cancels_before_any_attempt() {
+        let entry = registry::find("conj-grad").unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut cfg = small_cfg();
+        cfg.cancel = CancelToken::watching(flag);
+        let res = run_guarded(&entry, Version::Basic, &cfg);
+        assert_eq!(res.outcome, RunOutcome::Interrupted);
+        assert_eq!(res.attempts, 0);
+        assert!(res.result.is_none());
+        assert!(!res.outcome.is_success());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_into_deadline_exceeded() {
+        let entry = registry::find("conj-grad").unwrap();
+        let mut cfg = small_cfg();
+        cfg.cancel = CancelToken::default().with_deadline(Duration::ZERO);
+        let res = run_guarded(&entry, Version::Basic, &cfg);
+        assert_eq!(res.outcome, RunOutcome::DeadlineExceeded);
+        assert_eq!(res.attempts, 0);
+    }
+
+    #[test]
+    fn deadline_cancels_a_stalled_attempt_promptly() {
+        use dpf_core::FaultKind;
+        let entry = registry::find("conj-grad").unwrap();
+        let mut cfg = small_cfg();
+        cfg.faults = FaultPlan::new(1.0, 7)
+            .only(FaultKind::Stall)
+            .with_stall_ms(10_000);
+        cfg.timeout = Duration::from_secs(60);
+        cfg.cancel = CancelToken::default().with_deadline(Duration::from_millis(100));
+        let start = Instant::now();
+        let res = run_guarded(&entry, Version::Basic, &cfg);
+        assert_eq!(res.outcome, RunOutcome::DeadlineExceeded);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline must beat the 60 s timeout"
+        );
+    }
+
+    #[test]
+    fn interrupted_rows_are_partial_not_failed() {
+        let report = SuiteReport {
+            rows: vec![
+                SuiteRow {
+                    name: "a",
+                    outcome: RunOutcome::Completed,
+                    result: None,
+                },
+                SuiteRow {
+                    name: "b",
+                    outcome: RunOutcome::Interrupted,
+                    result: None,
+                },
+                SuiteRow {
+                    name: "c",
+                    outcome: RunOutcome::DeadlineExceeded,
+                    result: None,
+                },
+            ],
+            setup_errors: Vec::new(),
+        };
+        assert_eq!(report.failures(), 1, "only the deadline row is a failure");
+        assert_eq!(report.interrupted(), 1);
+        let summary = report.summary();
+        assert!(summary.contains("1 interrupted (partial sweep)"));
+        assert_eq!(
+            report.to_json().get("interrupted").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clean_report_json_has_no_interrupted_field() {
+        let report = SuiteReport {
+            rows: vec![SuiteRow {
+                name: "a",
+                outcome: RunOutcome::Completed,
+                result: None,
+            }],
+            setup_errors: Vec::new(),
+        };
+        assert!(report.to_json().get("interrupted").is_none());
+        assert!(!report.summary().contains("interrupted"));
     }
 
     #[test]

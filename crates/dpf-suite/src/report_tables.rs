@@ -22,6 +22,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use dpf_core::DpfError;
+
 use crate::benchmark::{BenchEntry, Group, Version};
 use crate::campaign::{CampaignReport, TenantResult, TenantRow};
 use crate::registry::registry;
@@ -381,6 +383,17 @@ pub fn tables_json(report: &CampaignReport) -> Json {
 /// [`tables_json`] rendered via the shared schema.
 pub fn render_json(report: &CampaignReport) -> String {
     tables_json(report).render()
+}
+
+/// Write a campaign's three artifacts — `campaign.json`, `tables.md`,
+/// `tables.json` — into `dir`, each through the atomic writer: a crash
+/// at any point leaves every file either absent, previous, or complete,
+/// never torn.
+pub fn write_artifacts(report: &CampaignReport, dir: &std::path::Path) -> Result<(), DpfError> {
+    crate::artifact::write_atomic(&dir.join("campaign.json"), &report.render_json())?;
+    crate::artifact::write_atomic(&dir.join("tables.md"), &render_markdown(report))?;
+    crate::artifact::write_atomic(&dir.join("tables.json"), &render_json(report))?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -108,6 +108,45 @@ impl Json {
         out
     }
 
+    /// Render as a single line with no insignificant whitespace and no
+    /// trailing newline — the journal's JSONL format, where one value
+    /// must occupy exactly one line. Same escaping and number formatting
+    /// as [`Json::render`], so `parse` reads both identically.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&json_escape(k));
+                    out.push_str("\":");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -161,7 +200,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -169,6 +208,12 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses the call stack, so unbounded nesting in a hostile (or
+/// merely corrupt) artifact would be a stack overflow — an abort, not a
+/// catchable error. No real artifact nests deeper than ~6 levels.
+const MAX_DEPTH: usize = 200;
 
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
@@ -213,12 +258,15 @@ fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => parse_obj(bytes, pos, depth),
+        Some(b'[') => parse_arr(bytes, pos, depth),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -258,7 +306,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
+            None => return Err(format!("unterminated string at byte {pos}")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -301,7 +349,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -310,7 +358,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -323,7 +371,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(bytes, pos);
@@ -335,7 +383,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         skip_ws(bytes, pos);
         let key = parse_string(bytes, pos)?;
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         fields.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -412,5 +460,40 @@ mod tests {
         assert!(Json::parse("{} x").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_parses_back() {
+        let doc = sample();
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "compact render must be one line");
+        assert!(!line.contains(": "), "no space after colons");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        // Scalars agree with the pretty renderer (minus the newline).
+        assert_eq!(Json::F64(2.0).render_compact(), "2.0");
+        assert_eq!(Json::str("a\nb").render_compact(), "\"a\\nb\"");
+        assert_eq!(Json::Arr(vec![]).render_compact(), "[]");
+        assert_eq!(Json::Obj(vec![]).render_compact(), "{}");
+    }
+
+    #[test]
+    fn parse_errors_name_a_byte_offset() {
+        for bad in ["", "[1, 2", "\"open", "{\"a\": }", "[1 2]"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.contains("at byte"), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let mut evil = String::new();
+        for _ in 0..100_000 {
+            evil.push('[');
+        }
+        let err = Json::parse(&evil).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err:?}");
+        // Mixed and legal-depth nesting still parse.
+        let fine = "[".repeat(50) + &"]".repeat(50);
+        assert!(Json::parse(&fine).is_ok());
     }
 }

@@ -1,0 +1,155 @@
+//! Cooperative shutdown for long-running commands.
+//!
+//! `dpf campaign`, `dpf all` and `dpf soak` can run for minutes; an
+//! operator's Ctrl-C (SIGINT) or a supervisor's SIGTERM should not
+//! discard everything already measured. [`install`] registers a
+//! signal handler that does the only async-signal-safe thing possible:
+//! flip one process-global atomic flag. The harness polls that flag at
+//! tenant boundaries and watchdog checkpoints ([`requested`]), drains
+//! in-flight work within a short grace period, journals what finished
+//! and exits with the dedicated interrupt code (130).
+//!
+//! The flag is process-global on purpose: a second Ctrl-C while the
+//! drain is in progress re-stores the same value and changes nothing —
+//! shutdown is level-triggered, not edge-triggered, so the handler
+//! stays trivially reentrant.
+//!
+//! [`self_kill`] is the other half of the crash story: the hidden
+//! `--crash-after-rows N` flag uses it to SIGKILL the process at a
+//! deterministic point, simulating an OOM kill or power loss for the
+//! chaos harness (`scripts/chaos_campaign.sh`). SIGKILL cannot be
+//! caught, so nothing — not even the journal's final line — gets a
+//! chance to flush beyond what was already fsync'd.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// POSIX SIGINT (Ctrl-C).
+const SIGINT: i32 = 2;
+/// POSIX SIGTERM (polite supervisor kill).
+const SIGTERM: i32 = 15;
+/// POSIX SIGKILL (uncatchable kill, used by [`self_kill`]).
+#[cfg(unix)]
+const SIGKILL: i32 = 9;
+
+/// The process-global "please stop" flag. Shared as an `Arc` so the
+/// CLI can hand clones to [`crate::harness::CancelToken::watching`]
+/// and [`crate::campaign::CampaignRun::cancel`]; the Arc is leaked
+/// into a `OnceLock` and never deallocated, so the signal handler's
+/// access is a plain atomic load/store.
+fn flag_cell() -> &'static Arc<AtomicBool> {
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)))
+}
+
+/// A clone of the process-global shutdown flag, for wiring into
+/// cancel tokens. Only ever transitions false → true under signals;
+/// there is deliberately no way to clear it from the handler side.
+pub fn flag() -> Arc<AtomicBool> {
+    flag_cell().clone()
+}
+
+#[cfg(unix)]
+extern "C" {
+    /// libc `signal(2)`: minimal registration, enough for a handler
+    /// whose entire body is one atomic store.
+    fn signal(signum: i32, handler: usize) -> usize;
+    /// libc `raise(3)`: deliver a signal to the calling process.
+    fn raise(signum: i32) -> i32;
+}
+
+/// The registered handler. Async-signal-safe by construction: a single
+/// relaxed atomic store, no allocation, no locks, no formatting.
+/// ([`install`] initialises the `OnceLock` before registering, so
+/// `flag_cell` here is a pure load, never the allocating init path.)
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    flag_cell().store(true, Ordering::Relaxed);
+}
+
+/// Register the SIGINT/SIGTERM handler. Idempotent; call once near the
+/// top of a long-running CLI command. On non-unix targets this is a
+/// no-op and shutdown can only be requested programmatically via
+/// [`request`].
+pub fn install() {
+    let _ = flag_cell(); // init before the handler can possibly run
+    #[cfg(unix)]
+    {
+        // SAFETY: `signal` is the documented libc registration call, and
+        // the handler's whole body is one atomic store (async-signal-safe).
+        // dpf-lint: allow(unsafe-forbid, reason = "libc signal registration for graceful shutdown")
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Has a shutdown been requested (by signal or by [`request`])?
+pub fn requested() -> bool {
+    flag_cell().load(Ordering::Relaxed)
+}
+
+/// Request a shutdown programmatically — what the signal handler does,
+/// callable from tests and from in-process embedders.
+pub fn request() {
+    flag_cell().store(true, Ordering::Relaxed);
+}
+
+/// Clear the flag. Test-only escape hatch: the flag is process-global,
+/// so tests that set it must clear it to avoid poisoning later tests
+/// in the same process.
+pub fn reset() {
+    flag_cell().store(false, Ordering::Relaxed);
+}
+
+/// Kill the current process as un-gracefully as the OS allows
+/// (SIGKILL; `abort` where signals don't exist). Drives the hidden
+/// `--crash-after-rows` flag: no destructors, no flushes, no handler —
+/// the closest a test can get to a power cut.
+pub fn self_kill() -> ! {
+    #[cfg(unix)]
+    {
+        // SAFETY: `raise(SIGKILL)` delivers an uncatchable signal to
+        // this process; it never returns, and takes no Rust state with it.
+        // dpf-lint: allow(unsafe-forbid, reason = "deterministic self-SIGKILL for the chaos harness")
+        unsafe {
+            raise(SIGKILL);
+        }
+    }
+    std::process::abort()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_round_trip() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        request(); // level-triggered: second request is a no-op
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[test]
+    fn flag_clone_mirrors_the_global() {
+        reset();
+        let watched = flag();
+        assert!(!watched.load(Ordering::Relaxed));
+        request();
+        assert!(watched.load(Ordering::Relaxed), "clones share one flag");
+        reset();
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+        assert!(!requested(), "installing a handler must not set the flag");
+    }
+}

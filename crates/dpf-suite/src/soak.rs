@@ -96,12 +96,23 @@ pub struct SoakReport {
 }
 
 impl SoakReport {
-    /// Runs whose outcome counts as a failure (same rule as the suite).
+    /// Runs whose outcome counts as a failure (same rule as the suite:
+    /// interrupted runs are partial, not failed).
     pub fn failures(&self) -> usize {
         self.iterations
             .iter()
             .flat_map(|it| &it.rows)
-            .filter(|r| !r.row.outcome.is_success())
+            .filter(|r| !r.row.outcome.is_success() && r.row.outcome != RunOutcome::Interrupted)
+            .count()
+    }
+
+    /// Runs a shutdown request left unmeasured. Nonzero means the soak
+    /// is partial and the CLI exits with the interrupt code.
+    pub fn interrupted(&self) -> usize {
+        self.iterations
+            .iter()
+            .flat_map(|it| &it.rows)
+            .filter(|r| r.row.outcome == RunOutcome::Interrupted)
             .count()
     }
 
@@ -153,6 +164,10 @@ impl SoakReport {
                         total_rewound += epochs_rewound;
                     }
                     RunOutcome::Recovered { .. } => recovered += 1,
+                    // Interrupted rows are neither completed nor failed;
+                    // they surface in their detail lines and the
+                    // partial-soak total below.
+                    RunOutcome::Interrupted => {}
                     o if o.is_success() => completed += 1,
                     _ => failed += 1,
                 }
@@ -197,6 +212,13 @@ impl SoakReport {
             total_rewound,
             self.failures()
         );
+        if self.interrupted() > 0 {
+            let _ = writeln!(
+                s,
+                "INTERRUPTED: {} run(s) not measured (partial soak)",
+                self.interrupted()
+            );
+        }
         s
     }
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Kill–resume chaos harness for the campaign journal.
+#
+# Usage: scripts/chaos_campaign.sh [spec.toml] [crash_points...]
+#
+# Runs the campaign clean (serial) to establish reference artifacts,
+# then — for each seeded crash point N and for both the serial and the
+# concurrent scheduler — re-runs it with the hidden `--crash-after-rows N`
+# flag (the process SIGKILLs itself the instant the Nth row is fsync'd
+# into the journal, the closest a test can get to a power cut), resumes
+# with `--resume`, and byte-diffs the recovered artifacts against the
+# reference. Any divergence is a crash-consistency bug.
+#
+# Defaults: campaigns/golden_s.toml, crash points 1 and 5. CI runs this
+# in the crash-resume-smoke job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+spec="${1:-campaigns/golden_s.toml}"
+shift || true
+points=("${@:-1 5}")
+if [ "${#points[@]}" -eq 1 ]; then
+  # Allow "1 5" as one arg or nothing at all.
+  read -r -a points <<<"${points[0]}"
+fi
+
+dpf="${DPF_BIN:-target/release/dpf}"
+if [ ! -x "$dpf" ]; then
+  echo "building $dpf..." >&2
+  cargo build --release -p dpf-cli
+fi
+
+work="${CHAOS_WORK_DIR:-target/chaos-campaign}"
+rm -rf "$work"
+mkdir -p "$work"
+
+echo "== reference run: $spec -> $work/reference" >&2
+"$dpf" campaign "$spec" --serial --out "$work/reference" >/dev/null
+if [ -e "$work/reference/journal.jsonl" ]; then
+  echo "FAIL: completed run left its journal behind" >&2
+  exit 1
+fi
+
+fail=0
+for mode in serial concurrent; do
+  mode_flag=()
+  [ "$mode" = serial ] && mode_flag=(--serial)
+  for n in "${points[@]}"; do
+    out="$work/$mode-crash-$n"
+    echo "== $mode, SIGKILL after $n journaled row(s)" >&2
+    # The crash run dies by SIGKILL (137); anything else is a bug.
+    set +e
+    "$dpf" campaign "$spec" "${mode_flag[@]}" --out "$out" \
+      --crash-after-rows "$n" >/dev/null 2>&1
+    status=$?
+    set -e
+    if [ "$status" -ne 137 ]; then
+      echo "FAIL: expected death by SIGKILL (137), got $status" >&2
+      fail=1
+      continue
+    fi
+    if [ ! -s "$out/journal.jsonl" ]; then
+      echo "FAIL: no journal survived the crash" >&2
+      fail=1
+      continue
+    fi
+    "$dpf" campaign "$spec" "${mode_flag[@]}" --out "$out" --resume >/dev/null
+    # Byte-identity of the recovered directory against the reference
+    # (the discarded journal is absent from both).
+    if ! diff -r "$work/reference" "$out" >&2; then
+      echo "FAIL: $mode resume after $n row(s) diverged from the reference" >&2
+      fail=1
+    else
+      echo "   ok: artifacts byte-identical" >&2
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "chaos_campaign: FAILED" >&2
+  exit 1
+fi
+echo "chaos_campaign: all crash points recovered byte-identically" >&2

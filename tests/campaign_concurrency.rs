@@ -31,6 +31,7 @@ fn stress_spec() -> CampaignSpec {
         pool_budget_bytes: 0,
         timeout_secs: 300,
         retries: 1,
+        deadline_secs: None,
     }
 }
 

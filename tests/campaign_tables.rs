@@ -189,6 +189,16 @@ fn suite_report_json_shares_the_schema() {
                 outcome: RunOutcome::ConfigError("no such variant".to_string()),
                 result: None,
             },
+            SuiteRow {
+                name: "halted",
+                outcome: RunOutcome::Interrupted,
+                result: None,
+            },
+            SuiteRow {
+                name: "overdue",
+                outcome: RunOutcome::DeadlineExceeded,
+                result: None,
+            },
         ],
         setup_errors: vec![dpf::DpfError::Config {
             what: "unknown benchmark \"nope\"".to_string(),
@@ -211,6 +221,9 @@ fn suite_report_json_shares_the_schema() {
         let outcome = RunOutcome::from_json(row_json.get("outcome").unwrap()).unwrap();
         assert_eq!(outcome, row.outcome);
     }
-    assert_eq!(doc.get("total").and_then(Json::as_u64), Some(7));
+    assert_eq!(doc.get("total").and_then(Json::as_u64), Some(9));
     assert_eq!(doc.get("config_errors").and_then(Json::as_u64), Some(2));
+    // The one Interrupted row surfaces in the partial-sweep counter
+    // (and only then does the JSON carry the field at all).
+    assert_eq!(doc.get("interrupted").and_then(Json::as_u64), Some(1));
 }

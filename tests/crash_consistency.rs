@@ -1,0 +1,287 @@
+//! Crash-consistency tests for the campaign journal + resume engine.
+//!
+//! The durability contract under test: a campaign killed at *any* point
+//! and resumed with `--resume` produces artifacts **byte-identical** to
+//! an uninterrupted run — serially and concurrently. The journal is a
+//! write-ahead row log (one fsync'd, CRC-tagged line per completed
+//! row), so a kill can be simulated exactly by truncating the journal
+//! to the rows that were durable at death and running again with
+//! `resume: true`. `scripts/chaos_campaign.sh` performs the same
+//! experiment with a real SIGKILL via the hidden `--crash-after-rows`
+//! flag; these tests pin the engine-level semantics in-process.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpf::suite::campaign::{
+    run_campaign, run_campaign_with, CampaignReport, CampaignRun, CampaignSpec, ExecMode,
+};
+use dpf::suite::harness::RunOutcome;
+use dpf::suite::journal::JOURNAL_FILE;
+use dpf::suite::report_tables;
+use dpf::DpfError;
+use dpf_core::{Backend, ProblemClass};
+
+/// A seconds-scale spec: two tenants (procs 1 and 4), three benchmarks
+/// each — six rows total, enough to truncate mid-tenant.
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "crash-consistency".to_string(),
+        classes: vec![ProblemClass::S],
+        procs: vec![1, 4],
+        backends: vec![Backend::Virtual],
+        benchmarks: vec![
+            "gather".to_string(),
+            "conj-grad".to_string(),
+            "diff-1D".to_string(),
+        ],
+        workers: 2,
+        ..CampaignSpec::default()
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The three artifact bodies, rendered exactly as `--out` writes them.
+fn artifacts(report: &CampaignReport) -> [String; 3] {
+    [
+        report.render_json(),
+        report_tables::render_markdown(report),
+        report_tables::render_json(report),
+    ]
+}
+
+/// Truncate the journal to its header plus the first `keep_rows` rows —
+/// the exact on-disk state after a SIGKILL once that many rows were
+/// durable (the append path fsyncs every line).
+fn truncate_journal(path: &Path, keep_rows: usize) {
+    let text = fs::read_to_string(path).unwrap();
+    let keep: String = text
+        .split_inclusive('\n')
+        .take(1 + keep_rows)
+        .collect::<Vec<_>>()
+        .concat();
+    fs::write(path, keep).unwrap();
+}
+
+fn journaled_run(dir: &Path, mode: ExecMode, resume: bool) -> CampaignReport {
+    let run = CampaignRun {
+        mode,
+        journal: Some(dir.join(JOURNAL_FILE)),
+        resume,
+        ..CampaignRun::default()
+    };
+    let outcome = run_campaign_with(&spec(), &run).expect("campaign runs");
+    assert!(!outcome.interrupted);
+    outcome.report
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_serial() {
+    let clean = artifacts(&run_campaign(&spec(), ExecMode::Serial).unwrap());
+    for keep_rows in [0, 1, 3, 5] {
+        let dir = scratch(&format!("resume-serial-{keep_rows}"));
+        journaled_run(&dir, ExecMode::Serial, false);
+        truncate_journal(&dir.join(JOURNAL_FILE), keep_rows);
+        let resumed = journaled_run(&dir, ExecMode::Serial, true);
+        assert_eq!(
+            artifacts(&resumed),
+            clean,
+            "serial resume after {keep_rows} durable row(s) must reproduce every byte"
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_concurrent() {
+    // The reference is the *serial* clean run: resume identity must
+    // hold across schedules, not just within one.
+    let clean = artifacts(&run_campaign(&spec(), ExecMode::Serial).unwrap());
+    let dir = scratch("resume-concurrent");
+    journaled_run(&dir, ExecMode::Concurrent, false);
+    truncate_journal(&dir.join(JOURNAL_FILE), 2);
+    let resumed = journaled_run(&dir, ExecMode::Concurrent, true);
+    assert_eq!(artifacts(&resumed), clean);
+}
+
+#[test]
+fn torn_tail_line_is_tolerated_on_resume() {
+    let clean = artifacts(&run_campaign(&spec(), ExecMode::Serial).unwrap());
+    let dir = scratch("resume-torn");
+    journaled_run(&dir, ExecMode::Serial, false);
+    // Chop mid-line: the state after a power cut during the very last
+    // append (everything before it was fsync'd line-by-line).
+    let path = dir.join(JOURNAL_FILE);
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() - 11]).unwrap();
+    let resumed = journaled_run(&dir, ExecMode::Serial, true);
+    assert_eq!(artifacts(&resumed), clean);
+}
+
+#[test]
+fn resume_against_a_changed_spec_is_a_typed_config_error() {
+    let dir = scratch("resume-changed-spec");
+    journaled_run(&dir, ExecMode::Serial, false);
+    let mut changed = spec();
+    changed.seed += 1;
+    let run = CampaignRun {
+        journal: Some(dir.join(JOURNAL_FILE)),
+        resume: true,
+        ..CampaignRun::default()
+    };
+    let err = run_campaign_with(&changed, &run).unwrap_err();
+    assert!(matches!(err, DpfError::Config { .. }), "{err}");
+    assert!(err.to_string().contains("--resume"), "{err}");
+}
+
+#[test]
+fn interior_corruption_is_a_typed_config_error_with_an_offset() {
+    let dir = scratch("resume-corrupt");
+    journaled_run(&dir, ExecMode::Serial, false);
+    let path = dir.join(JOURNAL_FILE);
+    let text = fs::read_to_string(&path).unwrap();
+    // Flip one content byte on line 2 (an interior, fully-fsync'd row).
+    let mut lines: Vec<String> = text.split_inclusive('\n').map(str::to_string).collect();
+    lines[1] = lines[1].replacen("\"kind\"", "\"KIND\"", 1);
+    fs::write(&path, lines.concat()).unwrap();
+    let run = CampaignRun {
+        journal: Some(path.clone()),
+        resume: true,
+        ..CampaignRun::default()
+    };
+    let err = run_campaign_with(&spec(), &run).unwrap_err();
+    assert!(matches!(err, DpfError::Config { .. }), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("byte offset"), "{msg}");
+}
+
+#[test]
+fn resume_without_a_journal_path_is_a_config_error() {
+    let run = CampaignRun {
+        resume: true,
+        ..CampaignRun::default()
+    };
+    let err = run_campaign_with(&spec(), &run).unwrap_err();
+    assert!(matches!(err, DpfError::Config { .. }), "{err}");
+    let dir = scratch("resume-no-journal");
+    let run = CampaignRun {
+        journal: Some(dir.join(JOURNAL_FILE)),
+        resume: true,
+        ..CampaignRun::default()
+    };
+    let err = run_campaign_with(&spec(), &run).unwrap_err();
+    assert!(err.to_string().contains("no journal"), "{err}");
+}
+
+#[test]
+fn preset_shutdown_flag_interrupts_and_resume_completes() {
+    let clean = artifacts(&run_campaign(&spec(), ExecMode::Serial).unwrap());
+    let dir = scratch("resume-interrupt");
+    let cancel = Arc::new(AtomicBool::new(true));
+    let run = CampaignRun {
+        journal: Some(dir.join(JOURNAL_FILE)),
+        cancel: Some(cancel),
+        ..CampaignRun::default()
+    };
+    let outcome = run_campaign_with(&spec(), &run).unwrap();
+    assert!(outcome.interrupted);
+    assert!(outcome.report.interrupted() > 0);
+    for tenant in &outcome.report.tenants {
+        for row in &tenant.rows {
+            assert_eq!(row.outcome, RunOutcome::Interrupted, "{}", row.name);
+        }
+    }
+    // Interrupted rows are "not measured", never journaled: the journal
+    // holds only the header, and a resume measures everything for real.
+    let lines = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+    assert_eq!(lines.lines().count(), 1, "only the header is durable");
+    let resumed = journaled_run(&dir, ExecMode::Serial, true);
+    assert_eq!(artifacts(&resumed), clean);
+}
+
+#[test]
+fn expired_deadline_marks_rows_deadline_exceeded_and_journals_them() {
+    let dir = scratch("deadline-zero");
+    let run = CampaignRun {
+        journal: Some(dir.join(JOURNAL_FILE)),
+        deadline: Some(Duration::ZERO),
+        ..CampaignRun::default()
+    };
+    let outcome = run_campaign_with(&spec(), &run).unwrap();
+    assert!(!outcome.interrupted, "a deadline is a verdict, not a stop");
+    let mut rows = 0;
+    for tenant in &outcome.report.tenants {
+        for row in &tenant.rows {
+            assert_eq!(row.outcome, RunOutcome::DeadlineExceeded, "{}", row.name);
+            rows += 1;
+        }
+    }
+    // DeadlineExceeded is definitive and therefore durable: header + one
+    // journal line per row.
+    let lines = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+    assert_eq!(lines.lines().count(), 1 + rows);
+    // Resuming (without the deadline) replays the recorded verdicts
+    // instead of re-measuring — the journal pinned them.
+    let resumed = journaled_run(&dir, ExecMode::Serial, true);
+    assert!(resumed
+        .tenants
+        .iter()
+        .flat_map(|t| &t.rows)
+        .all(|r| r.outcome == RunOutcome::DeadlineExceeded));
+}
+
+/// An in-flight cancellation (flag flips mid-run) journals completed
+/// rows and leaves the rest for resume; the resumed artifacts still
+/// match a clean run byte-for-byte.
+#[test]
+fn mid_run_interrupt_preserves_completed_rows() {
+    let clean = artifacts(&run_campaign(&spec(), ExecMode::Serial).unwrap());
+    let dir = scratch("resume-mid-interrupt");
+    journaled_run(&dir, ExecMode::Serial, false);
+    let path = dir.join(JOURNAL_FILE);
+    let full = fs::read_to_string(&path).unwrap();
+    let total_rows = full.lines().count() - 1;
+    truncate_journal(&path, 2);
+    // Resume under a pre-set cancel flag: the replayed rows come back
+    // from the journal, the missing ones are Interrupted, and nothing
+    // new is journaled.
+    let cancel = Arc::new(AtomicBool::new(true));
+    let run = CampaignRun {
+        journal: Some(path.clone()),
+        resume: true,
+        cancel: Some(cancel.clone()),
+        ..CampaignRun::default()
+    };
+    let outcome = run_campaign_with(&spec(), &run).unwrap();
+    assert!(outcome.interrupted);
+    let replayed = outcome
+        .report
+        .tenants
+        .iter()
+        .flat_map(|t| &t.rows)
+        .filter(|r| r.outcome != RunOutcome::Interrupted)
+        .count();
+    assert_eq!(replayed, 2, "exactly the durable rows survive the flag");
+    assert_eq!(
+        fs::read_to_string(&path).unwrap().lines().count(),
+        3,
+        "an interrupted resume adds no journal lines"
+    );
+    // Clear the flag and finish: byte-identity end to end.
+    cancel.store(false, Ordering::Relaxed);
+    let resumed = journaled_run(&dir, ExecMode::Serial, true);
+    assert_eq!(artifacts(&resumed), clean);
+    assert_eq!(
+        fs::read_to_string(&path).unwrap().lines().count(),
+        1 + total_rows
+    );
+}

@@ -1,0 +1,153 @@
+//! Property tests for the shared JSON schema (`dpf::suite::schema`).
+//!
+//! The schema is the byte-level contract behind every artifact the
+//! campaign engine journals, writes and resumes: both renderers must be
+//! fixed points under `parse` (value-identical AND byte-identical), and
+//! the parser must reject malformed input with a typed error — never a
+//! panic — because `dpf tables --campaign` and `--resume` feed it
+//! whatever a crash left on disk.
+//!
+//! The vendored proptest subset has no recursive tree strategy, so the
+//! random `Json` trees come from a hand-rolled SplitMix64 generator
+//! driven by a proptest-supplied seed: every case is reproducible from
+//! the printed seed alone.
+
+use dpf::suite::schema::Json;
+use proptest::prelude::*;
+
+/// SplitMix64: tiny, seedable, and good enough to cover the value space.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A string off a palette that exercises every escaping branch:
+/// quotes, backslashes, control characters, multi-byte UTF-8.
+fn gen_string(rng: &mut Rng) -> String {
+    const PALETTE: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{7f}', 'é', '§', '→', '🦀',
+        '/', ':', ',', '{', ']',
+    ];
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| PALETTE[rng.below(PALETTE.len() as u64) as usize])
+        .collect()
+}
+
+/// A finite f64 drawn from raw bits (clamping away inf/NaN), so odd
+/// exponents and subnormals hit the shortest-round-trip formatter.
+fn gen_float(rng: &mut Rng) -> f64 {
+    let f = f64::from_bits(rng.next());
+    if f.is_finite() {
+        f
+    } else {
+        (rng.below(2_000_001) as f64 - 1_000_000.0) / 64.0
+    }
+}
+
+fn gen_value(rng: &mut Rng, depth: usize) -> Json {
+    let pick = if depth >= 4 {
+        rng.below(5) // scalars only at the depth cap
+    } else {
+        rng.below(7)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 1),
+        2 => Json::U64(rng.next()),
+        3 => Json::F64(gen_float(rng)),
+        4 => Json::Str(gen_string(rng)),
+        5 => {
+            let n = rng.below(5) as usize;
+            Json::Arr((0..n).map(|_| gen_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.below(5) as usize;
+            Json::Obj(
+                (0..n)
+                    .map(|i| (format!("{}{i}", gen_string(rng)), gen_value(rng, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // parse ∘ render is the identity on values, and render is a fixed
+    // point on bytes — for both the pretty and the compact renderer.
+    #[test]
+    fn render_parse_is_the_identity(seed in 0u64..u64::MAX) {
+        let value = gen_value(&mut Rng(seed), 0);
+
+        let pretty = value.render();
+        let back = Json::parse(&pretty).expect("own pretty output parses");
+        prop_assert_eq!(&back, &value);
+        prop_assert_eq!(back.render(), pretty);
+
+        let compact = value.render_compact();
+        prop_assert!(!compact.contains('\n'), "compact output is one line");
+        let back = Json::parse(&compact).expect("own compact output parses");
+        prop_assert_eq!(&back, &value);
+        prop_assert_eq!(back.render_compact(), compact);
+    }
+
+    // Every strict byte-prefix of a rendered document is rejected with
+    // an error (wrapping in an object means no prefix is a complete
+    // value), and none of them panics — the torn-artifact case.
+    #[test]
+    fn truncation_at_every_boundary_is_a_clean_error(seed in 0u64..u64::MAX) {
+        let value = Json::Obj(vec![("v".to_string(), gen_value(&mut Rng(seed), 1))]);
+        let text = value.render_compact();
+        for (cut, _) in text.char_indices().skip(1) {
+            let err = Json::parse(&text[..cut]);
+            prop_assert!(err.is_err(), "prefix of {cut} bytes parsed: {text:?}");
+            prop_assert!(err.unwrap_err().contains("at byte"));
+        }
+        prop_assert!(Json::parse("").is_err());
+    }
+
+    // Trailing garbage after a complete document is an error naming the
+    // offending offset.
+    #[test]
+    fn trailing_garbage_is_rejected(seed in 0u64..u64::MAX) {
+        let value = gen_value(&mut Rng(seed), 0);
+        let mut text = value.render_compact();
+        let cut = text.len();
+        text.push_str(" x");
+        let err = Json::parse(&text).unwrap_err();
+        prop_assert!(err.contains("at byte"), "{err:?}");
+        prop_assert!(err.contains(&(cut + 1).to_string()), "{err:?}");
+    }
+
+    // Single-byte corruption of a valid document must produce *either*
+    // a parse (some mutations stay legal JSON) or an error — never a
+    // panic, hang or abort. This is the journal's checksum-miss backstop.
+    #[test]
+    fn mutated_documents_never_panic(seed in 0u64..u64::MAX) {
+        let mut rng = Rng(seed);
+        let value = gen_value(&mut rng, 0);
+        let text = value.render_compact();
+        if text.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = text.clone().into_bytes();
+        let at = rng.below(bytes.len() as u64) as usize;
+        bytes[at] = (rng.next() & 0x7f) as u8; // keep it ASCII: stays a str
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let _ = Json::parse(&mutated);
+        }
+    }
+}
