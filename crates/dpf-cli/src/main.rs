@@ -13,7 +13,7 @@
 //!                                   # journal and --resume continues it
 //! dpf tables [--campaign FILE] [--out DIR]
 //!                                   # paper tables from a recorded campaign
-//! dpf lint [--format text|json] [--deny warnings]
+//! dpf lint [--format text|json|sarif] [--deny warnings]
 //!                                   # run the project lint rules over crates/*/src
 //!
 //! Exit codes: 0 = success; 1 = runtime/benchmark failure (verify
@@ -57,7 +57,7 @@ use std::time::Duration;
 use dpf_core::{Backend, DpfError, FaultPlan, Machine, RecoverMode};
 use dpf_suite::{
     find, journal, registry, report_tables, run_campaign, run_campaign_with, shutdown, tables,
-    CampaignReport, CampaignRun, CampaignSpec, CancelToken, ExecMode, ProblemClass, Size,
+    CampaignReport, CampaignRun, CampaignSpec, CancelToken, ExecMode, Json, ProblemClass, Size,
     SoakConfig, SuiteConfig, Version,
 };
 
@@ -276,7 +276,7 @@ fn usage() -> ExitCode {
          \x20      dpf campaign <spec.toml> [--serial] [--format text|json] [--out DIR]\n\
          \x20                   [--resume] [--deadline-secs N]\n\
          \x20      dpf tables [--campaign FILE] [--out DIR]\n\
-         \x20      dpf lint [--format text|json] [--deny warnings] [--root PATH]"
+         \x20      dpf lint [--format text|json|sarif] [--deny warnings] [--root PATH]"
     );
     ExitCode::from(2)
 }
@@ -460,16 +460,17 @@ fn run_tables_cmd(args: &[String]) -> Result<ExitCode, String> {
 /// exit 2 on errors (or on any finding under `--deny warnings`), the
 /// configuration-error exit class.
 fn run_lint(args: &[String]) -> Result<ExitCode, String> {
-    let mut format_json = false;
+    let mut format = LintFormat::Text;
     let mut deny_warnings = false;
     let mut root: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => format_json = true,
-                Some("text") => format_json = false,
-                other => return Err(format!("bad --format {other:?} (want text|json)")),
+                Some("json") => format = LintFormat::Json,
+                Some("text") => format = LintFormat::Text,
+                Some("sarif") => format = LintFormat::Sarif,
+                other => return Err(format!("bad --format {other:?} (want text|json|sarif)")),
             },
             "--deny" => match it.next().map(String::as_str) {
                 Some("warnings") => deny_warnings = true,
@@ -496,16 +497,118 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     let diags = dpf_lint::lint_tree(&root).map_err(|e| e.to_string())?;
-    if format_json {
-        print!("{}", dpf_lint::render_json(&diags));
-    } else {
-        print!("{}", dpf_lint::render_text(&diags));
+    match format {
+        LintFormat::Json => print!("{}", dpf_lint::render_json(&diags)),
+        LintFormat::Sarif => println!("{}", render_sarif(&diags).render()),
+        LintFormat::Text => print!("{}", dpf_lint::render_text(&diags)),
     }
     if dpf_lint::is_failing(&diags, deny_warnings) {
         Ok(ExitCode::from(2))
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// Output format for `dpf lint`.
+#[derive(Clone, Copy, PartialEq)]
+enum LintFormat {
+    Text,
+    Json,
+    Sarif,
+}
+
+/// Render lint diagnostics as a minimal SARIF 2.1.0 log, the format
+/// GitHub code scanning ingests for inline PR annotations. The rule
+/// catalog lists every per-file rule plus any rule id that only shows
+/// up in tree-wide or pragma meta-diagnostics.
+fn render_sarif(diags: &[dpf_lint::Diagnostic]) -> Json {
+    let mut rule_ids: Vec<&str> = dpf_lint::rules::FILE_RULES.iter().map(|r| r.id).collect();
+    let mut summaries: Vec<(&str, &str)> = dpf_lint::rules::FILE_RULES
+        .iter()
+        .map(|r| (r.id, r.summary))
+        .collect();
+    for d in diags {
+        if !rule_ids.contains(&d.rule) {
+            rule_ids.push(d.rule);
+            summaries.push((d.rule, "tree-wide or pragma meta-diagnostic"));
+        }
+    }
+    let rules: Vec<Json> = summaries
+        .iter()
+        .map(|(id, summary)| {
+            Json::Obj(vec![
+                ("id".into(), Json::str(*id)),
+                (
+                    "shortDescription".into(),
+                    Json::Obj(vec![("text".into(), Json::str(*summary))]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                dpf_lint::Severity::Error => "error",
+                dpf_lint::Severity::Warning => "warning",
+            };
+            Json::Obj(vec![
+                ("ruleId".into(), Json::str(d.rule)),
+                ("level".into(), Json::str(level)),
+                (
+                    "message".into(),
+                    Json::Obj(vec![(
+                        "text".into(),
+                        Json::str(format!("{} — {}", d.message, d.suggestion)),
+                    )]),
+                ),
+                (
+                    "locations".into(),
+                    Json::Arr(vec![Json::Obj(vec![(
+                        "physicalLocation".into(),
+                        Json::Obj(vec![
+                            (
+                                "artifactLocation".into(),
+                                Json::Obj(vec![("uri".into(), Json::str(&d.file))]),
+                            ),
+                            (
+                                "region".into(),
+                                // SARIF regions are 1-based; line 0 marks
+                                // whole-file findings in dpf-lint.
+                                Json::Obj(vec![(
+                                    "startLine".into(),
+                                    Json::U64(u64::from(d.line.max(1))),
+                                )]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "$schema".into(),
+            Json::str("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version".into(), Json::str("2.1.0")),
+        (
+            "runs".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                (
+                    "tool".into(),
+                    Json::Obj(vec![(
+                        "driver".into(),
+                        Json::Obj(vec![
+                            ("name".into(), Json::str("dpf-lint")),
+                            ("rules".into(), Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".into(), Json::Arr(results)),
+            ])]),
+        ),
+    ])
 }
 
 fn main() -> ExitCode {

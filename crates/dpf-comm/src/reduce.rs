@@ -379,6 +379,7 @@ pub fn dot<T: Num>(ctx: &Ctx, a: &DistArray<T>, b: &DistArray<T>) -> T {
                         }
                         acc
                     })
+                    // dpf-lint: allow(determinism-taint, reason = "blessed bit-replay pair: fixed DOT_CHUNK piece sums make this the reference tree that rayon_piece_sum replays bit-exactly on the SPMD chain")
                     .reduce(T::zero, |p, q| p + q)
             } else {
                 let mut acc = T::zero();

@@ -1,7 +1,9 @@
 //! A hand-rolled Rust lexer — just enough of the language to drive the
 //! lint rules: identifiers, punctuation, numeric literals and comments,
-//! with string/char/lifetime literals recognised (and their *contents*
-//! discarded) so that rule patterns never fire inside literal text.
+//! with string/char/lifetime literals recognised as single opaque tokens
+//! so that rule patterns never fire inside literal text. String literals
+//! carry their raw text (the registry-coverage rule reads `name: "..."`
+//! field values); rules must never pattern-match *inside* it.
 //!
 //! The vendor set has no `syn`, and the rules only need token streams
 //! with line numbers plus the comment channel (for `// dpf-lint:`
@@ -19,8 +21,8 @@ pub enum Tok {
     Int(String),
     /// Floating literal, verbatim text (`0.0`, `1e-6`, `2.0f64`).
     Float(String),
-    /// String literal (contents dropped).
-    Str,
+    /// String literal, raw contents (escapes left verbatim).
+    Str(String),
     /// Char literal (contents dropped).
     Char,
     /// Lifetime (`'a`).
@@ -98,18 +100,35 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 i = j;
             }
             '"' => {
+                let at = line;
+                let j = skip_string(&b, i, &mut line);
+                let inner: String = b[i + 1..j.saturating_sub(1).max(i + 1)].iter().collect();
                 toks.push(Token {
-                    line,
-                    tok: Tok::Str,
+                    line: at,
+                    tok: Tok::Str(inner),
                 });
-                i = skip_string(&b, i, &mut line);
+                i = j;
             }
             'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let at = line;
+                // Content starts after the opening quote and ends before
+                // the closing quote + hashes.
+                let mut q = i;
+                let mut hashes = 0usize;
+                while q < b.len() && b[q] != '"' {
+                    if b[q] == '#' {
+                        hashes += 1;
+                    }
+                    q += 1;
+                }
+                let j = skip_raw_or_byte_string(&b, i, &mut line);
+                let end = j.saturating_sub(hashes + 1).max(q + 1);
+                let inner: String = b[q + 1..end.min(b.len())].iter().collect();
                 toks.push(Token {
-                    line,
-                    tok: Tok::Str,
+                    line: at,
+                    tok: Tok::Str(inner),
                 });
-                i = skip_raw_or_byte_string(&b, i, &mut line);
+                i = j;
             }
             '\'' => {
                 // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
@@ -359,6 +378,20 @@ let r = r#"Instant::now()"#; /* Vec::new() */
         assert!(matches!(kinds[6], Tok::Int(s) if s == "0"));
         assert!(matches!(kinds[7], Tok::Punct('.')));
         assert!(matches!(toks.last().unwrap().tok, Tok::Float(ref s) if s == "3f64"));
+    }
+
+    #[test]
+    fn string_tokens_carry_contents() {
+        let (toks, _) =
+            lex(r###"let n = "fft"; let r = r#"raw "inner" text"#; let b = b"bytes";"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["fft", "raw \"inner\" text", "bytes"]);
     }
 
     #[test]

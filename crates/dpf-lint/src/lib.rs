@@ -24,8 +24,11 @@
 
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod flow;
 pub mod lex;
 pub mod rules;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

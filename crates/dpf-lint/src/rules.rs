@@ -14,6 +14,10 @@
 //! | `comm-inventory`   | error   | registry `patterns` fields agree with the §1.5 `COMM_INVENTORY` in dpf-suite's tables.rs (tree-wide) |
 //! | `unsafe-forbid`    | error   | the repo is `unsafe`-free; any new `unsafe` needs a `// SAFETY:` comment *and* an allow pragma |
 //! | `atomic-artifact`  | warning | no direct `fs::write`/`File::create` outside the atomic artifact writer (torn files break `--resume` and `dpf tables --campaign`) |
+//! | `collective-parity`| error   | a collective (barrier, `*_exec`, recovery rendezvous) under a rank-dependent branch needs a matching call on every sibling path (static SPMD deadlock) |
+//! | `lock-order`       | error   | every lock pair is acquired in one consistent order across a file's functions (guard lifetimes per edition 2021) |
+//! | `determinism-taint`| error   | hash iteration / wall clock / thread id / unordered FP reduce must not flow into Verify, instrumentation or serialized artifacts |
+//! | `registry-coverage`| error   | every `paper_versions` entry in the benchmark registry has a runnable variant or a pragma documenting the gap |
 
 use crate::lex::Tok;
 use crate::{Diagnostic, Severity, SourceFile};
@@ -75,6 +79,26 @@ pub const FILE_RULES: &[Rule] = &[
         id: "atomic-artifact",
         summary: "file writes go through the atomic artifact writer",
         check: atomic_artifact,
+    },
+    Rule {
+        id: "collective-parity",
+        summary: "collectives under rank-dependent branches must have matching sibling calls",
+        check: crate::flow::check_collective_parity,
+    },
+    Rule {
+        id: "lock-order",
+        summary: "lock pairs are acquired in one consistent order",
+        check: crate::flow::check_lock_order,
+    },
+    Rule {
+        id: "determinism-taint",
+        summary: "nondeterminism sources must not flow into Verify/meter/artifact state",
+        check: crate::taint::check_determinism_taint,
+    },
+    Rule {
+        id: "registry-coverage",
+        summary: "every registry paper_versions entry has a runnable variant or a documented gap",
+        check: registry_coverage,
     },
 ];
 
@@ -919,6 +943,145 @@ pub fn check_comm_inventory(
     out
 }
 
+// --------------------------------------------------- registry-coverage
+
+/// The paper's five implementation versions (Table 2).
+pub const KNOWN_VERSIONS: &[&str] = &["Basic", "Optimized", "Library", "Cmssl", "CDpeac"];
+
+/// `registry-coverage` (the ROADMAP carry-over): every version a
+/// registry entry *claims* from the paper (`paper_versions`) must have
+/// a runnable variant in its `variants` field — otherwise the golden
+/// tables advertise measurements the suite cannot produce. A genuine
+/// gap (e.g. CMSSL's library internals are unpublished) is documented
+/// with an `allow(registry-coverage, ...)` pragma directly above the
+/// `paper_versions:` field, which keeps the gap visible in the source
+/// instead of silently implied. Runs per-file (so pragmas apply),
+/// scoped to the real registry path.
+fn registry_coverage(f: &SourceFile) -> Vec<Diagnostic> {
+    if !f.path.ends_with("dpf-suite/src/registry.rs") {
+        return Vec::new();
+    }
+    // Per entry: (name, paper_versions line, claimed, runnable).
+    type EntryState = (String, Option<(u32, Vec<String>)>, Vec<String>);
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    let mut cur: Option<EntryState> = None;
+    let flush = |cur: &mut Option<EntryState>, out: &mut Vec<Diagnostic>| {
+        let Some((name, pv, variants)) = cur.take() else {
+            return;
+        };
+        let Some((line, claimed)) = pv else { return };
+        for v in &claimed {
+            if !KNOWN_VERSIONS.contains(&v.as_str()) && v != "Version" {
+                out.push(Diagnostic::new(
+                    &f.path,
+                    line,
+                    "registry-coverage",
+                    Severity::Error,
+                    format!("registry entry `{name}` claims unknown paper version `{v}`"),
+                    format!("use one of {KNOWN_VERSIONS:?} (paper Table 2)"),
+                ));
+            }
+        }
+        let missing: Vec<&String> = claimed
+            .iter()
+            .filter(|v| KNOWN_VERSIONS.contains(&v.as_str()) && !variants.contains(v))
+            .collect();
+        if !missing.is_empty() {
+            let list = missing
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(Diagnostic::new(
+                &f.path,
+                line,
+                "registry-coverage",
+                Severity::Error,
+                format!(
+                    "registry entry `{name}` claims paper version(s) [{list}] with no \
+                     runnable variant: the golden tables advertise measurements the \
+                     suite cannot produce"
+                ),
+                "add the variant(s), or document the gap with a pragma directly above \
+                 `paper_versions:` stating why the version cannot be reproduced"
+                    .into(),
+            ));
+        }
+    };
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(k) if k == "name" && punct(toks.get(i + 1), ':') => {
+                if let Some(Tok::Str(s)) = toks.get(i + 2).map(|t| &t.tok) {
+                    flush(&mut cur, &mut out);
+                    cur = Some((s.clone(), None, Vec::new()));
+                    i += 3;
+                    continue;
+                }
+            }
+            Tok::Ident(k) if k == "paper_versions" && punct(toks.get(i + 1), ':') => {
+                let line = toks[i].line;
+                let mut claimed = Vec::new();
+                let mut j = i + 2;
+                while j < toks.len() && !punct(toks.get(j), ']') {
+                    if let Tok::Ident(v) = &toks[j].tok {
+                        if v != "Version" {
+                            claimed.push(v.clone());
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some((_, pv, _)) = cur.as_mut() {
+                    *pv = Some((line, claimed));
+                }
+                i = j + 1;
+                continue;
+            }
+            Tok::Ident(k) if k == "variants" && punct(toks.get(i + 1), ':') => {
+                // Collect version idents in the field value (macro form
+                // `variants!(Basic => path, ...)` or a literal slice)
+                // up to the field's `,` at delimiter depth zero.
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                let mut found = Vec::new();
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => {
+                            depth -= 1;
+                            if depth < 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct('}') => {
+                            depth -= 1;
+                            if depth < 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct(',') if depth == 0 => break,
+                        Tok::Ident(v) if KNOWN_VERSIONS.contains(&v.as_str()) => {
+                            found.push(v.clone());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some((_, _, vs)) = cur.as_mut() {
+                    vs.extend(found);
+                }
+                i = j;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::lint_source;
@@ -1076,6 +1239,52 @@ fn save(dir: &Path) {
         assert!(!rules_hit(src, "crates/dpf-suite/src/journal.rs")
             .iter()
             .any(|h| h.0 == "atomic-artifact"));
+    }
+
+    #[test]
+    fn registry_coverage_flags_unrunnable_paper_versions() {
+        let src = r#"
+pub fn registry() -> Vec<BenchEntry> {
+    vec![
+        BenchEntry {
+            name: "fft",
+            paper_versions: &[Basic, Library, Cmssl],
+            variants: variants!(Basic => r::fft),
+        },
+        BenchEntry {
+            name: "pcr",
+            paper_versions: &[Basic, Optimized],
+            variants: variants!(Basic => r::pcr, Optimized => r::pcr_opt, Library => r::pcr_lib),
+        },
+        BenchEntry {
+            name: "typo",
+            paper_versions: &[Basix],
+            variants: variants!(Basic => r::typo),
+        },
+    ]
+}
+"#;
+        let hits = rules_hit(src, "crates/dpf-suite/src/registry.rs");
+        let cov: Vec<_> = hits.iter().filter(|h| h.0 == "registry-coverage").collect();
+        // fft misses Library+Cmssl (one diagnostic), typo has an
+        // unknown version; pcr's extra runnable variant is fine.
+        assert_eq!(cov.len(), 2, "{hits:?}");
+        // Any other path is out of scope.
+        assert!(rules_hit(src, "crates/dpf-suite/src/other.rs")
+            .iter()
+            .all(|h| h.0 != "registry-coverage"));
+        // A pragma above paper_versions documents the gap.
+        let excused = src.replace(
+            "            paper_versions: &[Basic, Library, Cmssl],",
+            "            // dpf-lint: allow(registry-coverage, reason = \"CMSSL internals unpublished\")\n            paper_versions: &[Basic, Library, Cmssl],",
+        );
+        let diags = lint_source("crates/dpf-suite/src/registry.rs", &excused);
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.rule == "registry-coverage" && d.message.contains("fft")),
+            "{diags:?}"
+        );
     }
 
     #[test]

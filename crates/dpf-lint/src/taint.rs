@@ -1,0 +1,625 @@
+//! The **determinism-taint** rule: an intra-procedural taint analysis
+//! that seeds at nondeterminism sources and flags flows into the
+//! repo's determinism-critical sinks, turning the differential suite's
+//! bit-identity guarantee (§1.5 byte-reproducible metrics) into a
+//! statically checked property.
+//!
+//! Sources:
+//! * `HashMap`/`HashSet` iteration (`.iter()`, `.keys()`, `.values()`,
+//!   `.drain()`, ...) over a variable whose hash-typed declaration is
+//!   visible in the same function — hash iteration order is
+//!   per-process random;
+//! * `Instant::now()` / `SystemTime::now()` (outside the sanctioned
+//!   instrumentation files, where wall time *is* the measurement);
+//! * `thread::current().id()` — scheduler-dependent identity;
+//! * unordered parallel `reduce` with a non-integer identity — FP
+//!   addition is not associative, so rayon's work-stealing split makes
+//!   the sum run-dependent. Integer identities (`|| 0u64`) are
+//!   order-immune and skipped; the blessed bit-replay helpers carry a
+//!   pragma documenting their replay obligation. This source is
+//!   flagged *directly* (its result almost always escapes the
+//!   function).
+//!
+//! Sinks: `Verify::*` constructors, instrumentation recording
+//! (`.record*`/`.note_*`/`.charge_*` and calls on `*meter`
+//! receivers), and artifact/journal serialization (`write_atomic`,
+//! `render_json`, `to_json`).
+//!
+//! The analysis is deliberately shallow: taint propagates through
+//! `let` bindings and plain assignments inside one function, fixpoint
+//! over the statement list. Cross-function flows are the differential
+//! suite's job; this rule catches the in-function class the reviewer
+//! checklist kept re-litigating.
+
+use crate::lex::Tok;
+use crate::{Diagnostic, Severity, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Files where wall-clock reads are the product, not a hazard (the
+/// same set the untimed-clock rule sanctions).
+const CLOCK_SANCTIONED: &[&str] = &["instr.rs", "harness.rs"];
+
+#[derive(Debug)]
+struct TaintSource {
+    idx: usize,
+    line: u32,
+    desc: String,
+}
+
+/// The determinism-taint rule entry point.
+pub fn check_determinism_taint(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Group token indices by innermost enclosing named fn.
+    let mut per_fn: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, enc) in f.enclosing.iter().enumerate() {
+        if let Some(k) = enc {
+            per_fn.entry(*k).or_default().push(i);
+        }
+    }
+    let hash_params = hash_typed_params(f);
+    for (k, idxs) in &per_fn {
+        let fn_name = f.fns[*k].name.as_str();
+        diags.extend(check_fn(
+            f,
+            idxs,
+            hash_params.get(fn_name).cloned().unwrap_or_default(),
+        ));
+    }
+    diags.sort_by_key(|d| (d.line, d.message.clone()));
+    diags.dedup_by(|a, b| a.line == b.line && a.message == b.message);
+    diags
+}
+
+/// Hash-typed parameter names per function, from signature scans
+/// (signatures precede the body brace, so they are outside the body's
+/// `enclosing` range).
+fn hash_typed_params(f: &SourceFile) -> BTreeMap<String, BTreeSet<String>> {
+    let toks = &f.tokens;
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        let is_fn = matches!(&toks[i].tok, Tok::Ident(s) if s == "fn");
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        // Scan the parameter list: `ident : ... HashMap/HashSet ...`
+        // up to the matching `)`.
+        let mut j = i + 2;
+        while j < toks.len() && !matches!(&toks[j].tok, Tok::Punct('(')) {
+            if matches!(&toks[j].tok, Tok::Punct('{') | Tok::Punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+        if !matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut param: Option<String> = None;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(',') if depth == 1 => param = None,
+                Tok::Punct(':') if depth == 1 => {
+                    // `param: Type` — remember which param the type
+                    // tokens belong to (set just below by the Ident arm
+                    // preceding this `:`).
+                }
+                Tok::Ident(s) if s == "HashMap" || s == "HashSet" => {
+                    if let Some(p) = &param {
+                        out.entry(name.clone()).or_default().insert(p.clone());
+                    }
+                }
+                // First ident of a parameter before its `:`.
+                Tok::Ident(s) if depth == 1 && param.is_none() => {
+                    param = Some(s.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Per-function analysis over its (possibly gapped) token index list.
+fn check_fn(f: &SourceFile, idxs: &[usize], mut hash_vars: BTreeSet<String>) -> Vec<Diagnostic> {
+    let toks = &f.tokens;
+    let at = |p: usize| idxs.get(p).map(|&i| &toks[i].tok);
+
+    // ---- pass 1: hash-typed locals -------------------------------
+    for (p, &i) in idxs.iter().enumerate() {
+        if !matches!(&toks[i].tok, Tok::Ident(s) if s == "let") {
+            continue;
+        }
+        let mut q = p + 1;
+        if matches!(at(q), Some(Tok::Ident(s)) if s == "mut") {
+            q += 1;
+        }
+        let Some(Tok::Ident(var)) = at(q) else {
+            continue;
+        };
+        let var = var.clone();
+        // Scan the statement for a hash-typed constructor/annotation.
+        let mut r = q + 1;
+        while r < idxs.len() {
+            match at(r) {
+                Some(Tok::Punct(';')) => break,
+                Some(Tok::Ident(s)) if s == "HashMap" || s == "HashSet" => {
+                    hash_vars.insert(var.clone());
+                    break;
+                }
+                _ => r += 1,
+            }
+        }
+    }
+
+    // ---- pass 2: sources ------------------------------------------
+    let mut sources: Vec<TaintSource> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let clock_ok = CLOCK_SANCTIONED.iter().any(|s| f.path.ends_with(s));
+    for (p, &i) in idxs.iter().enumerate() {
+        match &toks[i].tok {
+            Tok::Ident(v) if hash_vars.contains(v) => {
+                // `v.iter()` / `v.values()` ...
+                if matches!(at(p + 1), Some(Tok::Punct('.')))
+                    && matches!(at(p + 2), Some(Tok::Ident(m)) if ITER_METHODS.contains(&m.as_str()))
+                    && matches!(at(p + 3), Some(Tok::Punct('(')))
+                {
+                    sources.push(TaintSource {
+                        idx: i,
+                        line: toks[i].line,
+                        desc: format!("hash-order iteration over `{v}`"),
+                    });
+                }
+                // `for x in v` — hash iteration via IntoIterator.
+                if p >= 1
+                    && matches!(at(p - 1), Some(Tok::Ident(s)) if s == "in")
+                    && !matches!(at(p + 1), Some(Tok::Punct('.')))
+                {
+                    sources.push(TaintSource {
+                        idx: i,
+                        line: toks[i].line,
+                        desc: format!("hash-order iteration over `{v}`"),
+                    });
+                }
+            }
+            Tok::Ident(v)
+                if !clock_ok
+                    && (v == "Instant" || v == "SystemTime")
+                    && matches!(at(p + 1), Some(Tok::Punct(':')))
+                    && matches!(at(p + 2), Some(Tok::Punct(':')))
+                    && matches!(at(p + 3), Some(Tok::Ident(m)) if m == "now") =>
+            {
+                sources.push(TaintSource {
+                    idx: i,
+                    line: toks[i].line,
+                    desc: format!("wall-clock read (`{v}::now`)"),
+                });
+            }
+            // `thread::current().id()`
+            Tok::Ident(v)
+                if v == "current"
+                    && matches!(at(p + 1), Some(Tok::Punct('(')))
+                    && matches!(at(p + 2), Some(Tok::Punct(')')))
+                    && matches!(at(p + 3), Some(Tok::Punct('.')))
+                    && matches!(at(p + 4), Some(Tok::Ident(m)) if m == "id") =>
+            {
+                sources.push(TaintSource {
+                    idx: i,
+                    line: toks[i].line,
+                    desc: "scheduler-dependent thread id".into(),
+                });
+            }
+            Tok::Ident(v) if v == "reduce" => {
+                if let Some(d) = check_par_reduce(f, idxs, p) {
+                    diags.push(d);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- pass 3: taint fixpoint over statements -------------------
+    // Statements are `;`-separated runs; a statement taints its bound
+    // or assigned variable when its expression mentions a source site
+    // or an already-tainted variable.
+    let mut stmts: Vec<(Option<String>, usize, usize)> = Vec::new(); // (var, start, end) in idxs positions
+    {
+        let mut start = 0usize;
+        for p in 0..idxs.len() {
+            let boundary = matches!(
+                at(p),
+                Some(Tok::Punct(';')) | Some(Tok::Punct('{')) | Some(Tok::Punct('}'))
+            );
+            if boundary || p + 1 == idxs.len() {
+                let end = if boundary { p } else { p + 1 };
+                if end > start {
+                    let var = stmt_target(f, idxs, start, end);
+                    stmts.push((var, start, end));
+                }
+                start = p + 1;
+            }
+        }
+    }
+    let mut tainted: BTreeMap<String, (u32, String)> = BTreeMap::new(); // var -> (source line, desc)
+    for _ in 0..8 {
+        let mut changed = false;
+        for (var, s, e) in &stmts {
+            let Some(var) = var else { continue };
+            if tainted.contains_key(var) {
+                continue;
+            }
+            if let Some((line, desc)) = stmt_taint(f, idxs, *s, *e, &sources, &tainted) {
+                tainted.insert(var.clone(), (line, desc));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- pass 4: sinks --------------------------------------------
+    for (p, &i) in idxs.iter().enumerate() {
+        let sink: Option<String> = match &toks[i].tok {
+            Tok::Ident(v) if v == "Verify" => {
+                if matches!(at(p + 1), Some(Tok::Punct(':')))
+                    && matches!(at(p + 2), Some(Tok::Punct(':')))
+                    && matches!(at(p + 3), Some(Tok::Ident(_)))
+                    && matches!(at(p + 4), Some(Tok::Punct('(')))
+                {
+                    Some("a Verify result".into())
+                } else {
+                    None
+                }
+            }
+            Tok::Ident(m)
+                if (m.starts_with("record")
+                    || m.starts_with("note_")
+                    || m.starts_with("charge_"))
+                    && p >= 1
+                    && matches!(at(p - 1), Some(Tok::Punct('.')))
+                    && matches!(at(p + 1), Some(Tok::Punct('('))) =>
+            {
+                Some(format!("instrumentation counter (`{m}`)"))
+            }
+            Tok::Ident(m)
+                if (m == "write_atomic" || m == "render_json" || m == "to_json")
+                    && matches!(at(p + 1), Some(Tok::Punct('('))) =>
+            {
+                Some(format!("artifact/journal serialization (`{m}`)"))
+            }
+            _ => None,
+        };
+        let Some(sink_desc) = sink else { continue };
+        // Argument span: from the opening paren to its match.
+        let open = idxs
+            .iter()
+            .skip(p)
+            .position(|&j| matches!(&toks[j].tok, Tok::Punct('(')))
+            .map(|off| p + off);
+        let Some(open) = open else { continue };
+        let mut depth = 0i32;
+        let mut close = open;
+        for q in open..idxs.len() {
+            match at(q) {
+                Some(Tok::Punct('(')) => depth += 1,
+                Some(Tok::Punct(')')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = q;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Does the argument list mention a source site or tainted var?
+        let mut hit: Option<(u32, String)> = None;
+        for &j in &idxs[open..=close] {
+            if let Some(src) = sources.iter().find(|s| s.idx == j) {
+                hit = Some((src.line, src.desc.clone()));
+                break;
+            }
+            if let Tok::Ident(v) = &toks[j].tok {
+                if let Some((line, desc)) = tainted.get(v) {
+                    hit = Some((*line, format!("{desc} via `{v}`")));
+                    break;
+                }
+            }
+        }
+        if let Some((src_line, src_desc)) = hit {
+            diags.push(Diagnostic::new(
+                &f.path,
+                toks[i].line,
+                "determinism-taint",
+                Severity::Error,
+                format!(
+                    "{src_desc} (line {src_line}) flows into {sink_desc}: the §1.5 \
+                     byte-reproducibility guarantee (differential bit-identity suite) \
+                     breaks on re-run"
+                ),
+                "derive the value from a deterministic ordering (sort keys, BTreeMap, \
+                 the bit-replay helpers), or keep nondeterminism out of verified state"
+                    .into(),
+            ));
+        }
+    }
+    diags
+}
+
+/// `.reduce(` on a parallel-iterator chain with a non-integer identity:
+/// flagged directly. Returns the diagnostic if it fires.
+fn check_par_reduce(f: &SourceFile, idxs: &[usize], p: usize) -> Option<Diagnostic> {
+    let toks = &f.tokens;
+    let at = |q: usize| idxs.get(q).map(|&i| &toks[i].tok);
+    let i = idxs[p];
+    if p == 0
+        || !matches!(at(p - 1), Some(Tok::Punct('.')))
+        || !matches!(at(p + 1), Some(Tok::Punct('(')))
+    {
+        return None;
+    }
+    // A rayon chain: some `par_*` / `into_par_iter` adapter upstream in
+    // the same receiver chain. Walk backwards, skipping balanced groups
+    // (closure bodies with braces, call argument lists), stopping at a
+    // statement boundary or on leaving the chain's own sub-expression.
+    let mut par = false;
+    let mut q = p;
+    let mut depth = 0i32;
+    let mut steps = 0;
+    while q > 0 && steps < 400 {
+        q -= 1;
+        steps += 1;
+        match at(q) {
+            Some(Tok::Punct('}')) | Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => depth += 1,
+            Some(Tok::Punct('{')) | Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            Some(Tok::Punct(';')) | Some(Tok::Punct(',')) if depth == 0 => break,
+            Some(Tok::Ident(s))
+                if depth == 0 && (s.starts_with("par_") || s == "into_par_iter") =>
+            {
+                par = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if !par {
+        return None;
+    }
+    // Identity argument: `|| 0u64` or a leading integer literal means
+    // an order-immune integer reduction — skip.
+    let id_start = p + 2;
+    let int_identity = match at(id_start) {
+        Some(Tok::Int(_)) => true,
+        Some(Tok::Punct('|')) => {
+            matches!(at(id_start + 1), Some(Tok::Punct('|')))
+                && matches!(at(id_start + 2), Some(Tok::Int(_)))
+        }
+        _ => false,
+    };
+    if int_identity {
+        return None;
+    }
+    Some(Diagnostic::new(
+        &f.path,
+        toks[i].line,
+        "determinism-taint",
+        Severity::Error,
+        "unordered parallel `reduce` with a non-integer identity: rayon's \
+         work-stealing split makes FP reduction order (and thus the result's \
+         low bits) run-dependent"
+            .to_string(),
+        "use an integer identity, a deterministic fixed-split reduction (the \
+         bit-replay helpers), or document the replay obligation with a pragma"
+            .into(),
+    ))
+}
+
+/// The variable a statement binds (`let [mut] x = ...`) or assigns
+/// (`x = ...`, `x += ...`), if any.
+fn stmt_target(f: &SourceFile, idxs: &[usize], s: usize, e: usize) -> Option<String> {
+    let toks = &f.tokens;
+    let at = |q: usize| {
+        if q < e {
+            idxs.get(q).map(|&i| &toks[i].tok)
+        } else {
+            None
+        }
+    };
+    if matches!(at(s), Some(Tok::Ident(k)) if k == "let") {
+        let mut q = s + 1;
+        if matches!(at(q), Some(Tok::Ident(k)) if k == "mut") {
+            q += 1;
+        }
+        if let Some(Tok::Ident(v)) = at(q) {
+            return Some(v.clone());
+        }
+        return None;
+    }
+    // `for x in <tainted iterable>` binds x per element.
+    if matches!(at(s), Some(Tok::Ident(k)) if k == "for") {
+        if let Some(Tok::Ident(v)) = at(s + 1) {
+            if matches!(at(s + 2), Some(Tok::Ident(k)) if k == "in") {
+                return Some(v.clone());
+            }
+        }
+        return None;
+    }
+    // `x.push(tainted)` & co.: building a container from tainted data
+    // taints the container.
+    if let Some(Tok::Ident(v)) = at(s) {
+        if matches!(at(s + 1), Some(Tok::Punct('.')))
+            && matches!(at(s + 2), Some(Tok::Ident(_)))
+            && matches!(at(s + 3), Some(Tok::Punct('(')))
+        {
+            return Some(v.clone());
+        }
+    }
+    // `x = ...` / `x op= ...` (not `x == ...`).
+    if let Some(Tok::Ident(v)) = at(s) {
+        let mut q = s + 1;
+        if matches!(at(q), Some(Tok::Punct(c)) if matches!(c, '+' | '-' | '*' | '/')) {
+            q += 1;
+        }
+        if matches!(at(q), Some(Tok::Punct('='))) && !matches!(at(q + 1), Some(Tok::Punct('='))) {
+            return Some(v.clone());
+        }
+    }
+    None
+}
+
+/// Does the statement's expression mention a source site or a tainted
+/// variable? Returns the originating (line, description).
+fn stmt_taint(
+    f: &SourceFile,
+    idxs: &[usize],
+    s: usize,
+    e: usize,
+    sources: &[TaintSource],
+    tainted: &BTreeMap<String, (u32, String)>,
+) -> Option<(u32, String)> {
+    let toks = &f.tokens;
+    for (q, &j) in idxs.iter().enumerate().take(e).skip(s) {
+        if let Some(src) = sources.iter().find(|src| src.idx == j) {
+            return Some((src.line, src.desc.clone()));
+        }
+        if let Tok::Ident(v) = &toks[j].tok {
+            // The target itself appearing on the RHS is fine to match:
+            // `x += tainted` re-taints x, harmlessly.
+            if q > s {
+                if let Some(t) = tainted.get(v) {
+                    return Some(t.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/dpf-suite/src/apps/demo.rs", src);
+        check_determinism_taint(&f)
+    }
+
+    #[test]
+    fn hash_iteration_feeding_verify_is_flagged() {
+        let d = lint(
+            "fn check(n: usize) -> Verify {\n\
+             let mut m: HashMap<usize, f64> = HashMap::new();\n\
+             m.insert(n, 1.0);\n\
+             let worst = m.values().fold(0.0, |a, b| a + b);\n\
+             Verify::check(\"worst\", worst, 1e-9)\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "determinism-taint");
+        assert!(d[0].message.contains("hash-order iteration over `m`"));
+        assert!(d[0].message.contains("Verify"));
+    }
+
+    #[test]
+    fn hash_param_for_loop_into_serialization_is_flagged() {
+        let d = lint(
+            "fn dump(rows: HashMap<String, u64>) {\n\
+             let mut out = Vec::new();\n\
+             for r in rows { out.push(r); }\n\
+             write_atomic(&path, &render_json(&out));\n\
+             }",
+        );
+        assert!(!d.is_empty(), "{d:?}");
+        assert!(d[0].message.contains("rows"));
+    }
+
+    #[test]
+    fn sorted_hash_access_is_clean() {
+        // Iteration taints, but sorting before the sink is the fix...
+        // at this analysis depth the taint survives `.sort()` on the
+        // same variable only if rebound; a BTreeMap never taints.
+        let d = lint(
+            "fn check(n: usize) -> Verify {\n\
+             let m: BTreeMap<usize, f64> = BTreeMap::new();\n\
+             let worst = m.values().fold(0.0, |a, b| a + b);\n\
+             Verify::check(\"worst\", worst, 1e-9)\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn thread_id_into_meter_is_flagged() {
+        let d = lint(
+            "fn tag(meter: &LinkMeter) {\n\
+             let id = thread::current().id();\n\
+             meter.record_origin(id);\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("thread id"));
+    }
+
+    #[test]
+    fn clock_read_outside_sink_is_clean() {
+        let d = lint("fn pace() { let t0 = Instant::now(); spin_until(t0 + step); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn clock_read_into_verify_is_flagged() {
+        let d = lint(
+            "fn check() -> Verify { let t = Instant::now().elapsed().as_secs_f64(); Verify::check(\"t\", t, 0.0) }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn par_reduce_float_identity_is_flagged_integer_is_not() {
+        let d = lint(
+            "fn dot(a: &[f64]) -> f64 { a.par_iter().map(|x| x * x).reduce(|| 0.0, |p, q| p + q) }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("unordered parallel `reduce`"));
+        let d2 = lint(
+            "fn count(a: &[u64]) -> u64 { a.par_iter().map(|x| x + 1).reduce(|| 0u64, |p, q| p + q) }",
+        );
+        assert!(d2.is_empty(), "{d2:?}");
+        // Sequential reduce is not rayon's problem.
+        let d3 = lint("fn s(a: &[f64]) -> f64 { a.iter().copied().reduce(|p, q| p + q).unwrap() }");
+        assert!(d3.is_empty(), "{d3:?}");
+    }
+}

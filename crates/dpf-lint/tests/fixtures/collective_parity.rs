@@ -1,0 +1,57 @@
+// Fixture for the collective-parity rule: collectives reached under
+// rank-dependent control flow inside SPMD regions (run_workers worker
+// closures and `*_exec` protocol fns) must execute on every rank.
+
+/// Positive: a barrier only rank 0 reaches inside a worker closure —
+/// the other ranks never arrive, so the program deadlocks statically.
+pub fn spawn_gated(m: &Machine) {
+    run_workers(m, |rank, comm| {
+        if rank == 0 {
+            comm.barrier();
+        }
+        comm.fold_exec(rank, 1.0);
+    });
+}
+
+/// Positive: a divergent early return before a collective in a
+/// protocol fn — odd ranks leave, even ranks block in the barrier.
+pub fn gate_exec(rank: usize, comm: &Comm) {
+    if rank % 2 == 1 {
+        return;
+    }
+    comm.barrier();
+}
+
+/// Suppressed: a documented asymmetric prologue.
+pub fn seeded_exec(rank: usize, comm: &Comm) {
+    if rank == 0 {
+        // dpf-lint: allow(collective-parity, reason = "fixture: demonstrating pragma suppression of an asymmetric prologue")
+        comm.route_exec(0);
+    }
+    comm.barrier();
+}
+
+/// Clean: both branches of a rank test perform the same collectives,
+/// so every rank arrives no matter which way the test goes.
+pub fn balanced_exec(rank: usize, comm: &Comm) {
+    if rank == 0 {
+        comm.barrier();
+        comm.fold_exec(rank, 0.0);
+    } else {
+        comm.barrier();
+        comm.fold_exec(rank, 1.0);
+    }
+}
+
+/// Clean: rank-gated point-to-point traffic is legitimate SPMD idiom —
+/// send/recv are not collectives and peers block in recv_from instead.
+pub fn broadcast_like(m: &Machine) {
+    run_workers(m, |rank, comm| {
+        if rank == 0 {
+            comm.send(1, 42.0);
+        }
+        let v = comm.recv_from(0);
+        comm.barrier();
+        v
+    });
+}

@@ -1,0 +1,49 @@
+// Fixture for the determinism-taint rule: values derived from
+// nondeterministic sources (hash-order iteration, wall clocks, thread
+// ids, unordered float reduces) must not flow into Verify results,
+// instrumentation counters, or serialized artifacts.
+
+/// Positive: HashMap iteration order feeds a Verify fold — the
+/// residual depends on hash seeding, so verification is flaky.
+pub fn verify_from_hash(map: &HashMap<String, f64>) -> Verify {
+    let mut acc = 0.0;
+    for v in map.values() {
+        acc += v;
+    }
+    Verify::Residual(acc)
+}
+
+/// Positive: a wall-clock read charged to an instrumentation counter.
+pub fn time_charge(instr: &mut Instr) {
+    // dpf-lint: allow(untimed-clock, reason = "fixture: the clock read itself is the taint source under test")
+    let t = Instant::now();
+    instr.charge_comm(t.elapsed().as_nanos() as u64);
+}
+
+/// Positive: an unordered parallel reduce with a float identity — the
+/// combining tree varies run to run, so the sum is not bit-stable.
+pub fn par_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).reduce(|| 0.0, |p, q| p + q)
+}
+
+/// Suppressed: a documented replayable reduce.
+pub fn blessed_sum(xs: &[f64]) -> f64 {
+    // dpf-lint: allow(determinism-taint, reason = "fixture: demonstrating pragma suppression of a replay-pinned reduce")
+    xs.par_iter().map(|x| x + 1.0).reduce(|| 0.0, |p, q| p + q)
+}
+
+/// Clean: sorting the keys first makes the fold order-deterministic,
+/// and a BTreeMap never had the problem.
+pub fn verify_sorted(map: &BTreeMap<String, f64>) -> Verify {
+    let mut acc = 0.0;
+    for v in map.values() {
+        acc += v;
+    }
+    Verify::Residual(acc)
+}
+
+/// Clean: integer identities are order-insensitive, so an unordered
+/// reduce over counters is fine.
+pub fn count_par(xs: &[u64]) -> u64 {
+    xs.par_iter().map(|x| x + 1).reduce(|| 0u64, |p, q| p + q)
+}

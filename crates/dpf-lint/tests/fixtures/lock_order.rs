@@ -1,0 +1,47 @@
+// Fixture for the lock-order rule: two locks taken in both orders
+// across the file form a cycle in the lock-acquisition graph, the
+// classic AB/BA deadlock recipe.
+
+/// First direction: deaths before waits.
+pub fn reap(&self) {
+    let d = self.deaths.lock();
+    let w = self.waits.lock();
+    d.push(w.len());
+}
+
+/// Positive: same pair, inverted — waits before deaths.
+pub fn stall(&self) {
+    let w = self.waits.lock();
+    let d = self.deaths.lock();
+    w.push(d.len());
+}
+
+/// Suppressed: a documented inversion (e.g. both sides gated by a
+/// third outer lock the analysis cannot see).
+pub fn audit(&self) {
+    let s = self.state.lock();
+    let h = self.heal.lock();
+    s.note(h.epoch());
+}
+
+pub fn heal(&self) {
+    let h = self.heal.lock();
+    // dpf-lint: allow(lock-order, reason = "fixture: demonstrating pragma suppression of a documented inversion")
+    let s = self.state.lock();
+    h.note(s.epoch());
+}
+
+/// Clean: a temporary guard dies at the end of its statement, so the
+/// second lock is never taken while the first is held.
+pub fn snapshot(&self) -> usize {
+    let n = self.deaths.lock().len();
+    let m = self.waits.lock().len();
+    n + m
+}
+
+/// Clean: consistent ordering everywhere else.
+pub fn drain(&self) {
+    let d = self.deaths.lock();
+    let w = self.waits.lock();
+    w.extend(d.drain());
+}

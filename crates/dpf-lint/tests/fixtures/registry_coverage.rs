@@ -1,0 +1,34 @@
+// lint-path: crates/dpf-suite/src/registry.rs
+// Fixture for the registry-coverage rule: every paper version listed
+// for a registry entry must map to a runnable variant, or carry a
+// documented-gap pragma.
+
+pub fn registry() -> Vec<BenchEntry> {
+    vec![
+        // Positive: paper lists Cmssl but only Basic is runnable.
+        BenchEntry {
+            name: "fixture-gap",
+            paper_versions: &[Basic, Cmssl],
+            variants: variants!(Basic => r::gap),
+        },
+        // Positive: a version name outside the paper's five classes.
+        BenchEntry {
+            name: "fixture-typo",
+            paper_versions: &[Basic, Cmsl],
+            variants: variants!(Basic => r::typo),
+        },
+        // Suppressed: a documented gap.
+        BenchEntry {
+            name: "fixture-documented",
+            // dpf-lint: allow(registry-coverage, reason = "fixture: demonstrating a documented coverage gap")
+            paper_versions: &[Basic, CDpeac],
+            variants: variants!(Basic => r::documented),
+        },
+        // Clean: every paper version has a runnable variant (extras ok).
+        BenchEntry {
+            name: "fixture-covered",
+            paper_versions: &[Basic, Optimized],
+            variants: variants!(Basic => r::covered, Optimized => r::covered_opt, Library => r::covered_lib),
+        },
+    ]
+}

@@ -7,5 +7,6 @@ pub fn check(errs: &[f64]) -> Verify {
     let t0 = Instant::now();
     // dpf-lint: allow(nan-unsafe-fold, reason = "fixture exercising line-scoped suppression")
     let worst = errs.iter().fold(0.0, |m, v| m.max(v.abs()));
+    // dpf-lint: allow(determinism-taint, reason = "fixture exercising suppression of a clock-tainted verify")
     Verify::check("residual", worst, t0.elapsed().as_secs_f64())
 }
